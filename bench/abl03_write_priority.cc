@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Ablation A3 (DESIGN.md §4). Extended columns show hit rates
+ * and coalescing traffic alongside the stall breakdown.
+ */
+
+#include "figure_bench.hh"
+#include "harness/figures.hh"
+
+int
+main()
+{
+    return wbsim::bench::runFigure(
+        wbsim::figures::ablationWritePriority(), true);
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Ablation A11: the Width row of the paper's Table 2. Narrow entries
+ * lose coalescing opportunities and multiply L2 write traffic; wide
+ * entries coalesce across line boundaries at the cost of longer
+ * transfers.
+ */
+
+#include "figure_bench.hh"
+#include "harness/figures.hh"
+
+int
+main()
+{
+    return wbsim::bench::runFigure(wbsim::figures::ablationEntryWidth(),
+                                   true);
+}

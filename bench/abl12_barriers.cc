@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Ablation A12: memory-barrier cost (§2.2 notes that coalescing and
+ * read-bypassing reorder memory operations, so multiprocessor codes
+ * need ordering instructions). Each barrier drains the buffer; this
+ * ablation sweeps barrier frequency and shows how quickly
+ * synchronisation erodes the write buffer's benefit, for eager and
+ * lazy retirement.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "workloads/spec92.hh"
+
+using namespace wbsim;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnvironment();
+
+    const double fractions[] = {0.0, 0.0005, 0.005, 0.02};
+    const char *benchmarks[] = {"sc", "li", "fft", "wave5"};
+
+    MachineConfig eager = figures::baselineMachine();
+    eager.writeBuffer.depth = 8;
+    MachineConfig lazy = figures::baselinePlusMachine();
+    lazy.writeBuffer.highWaterMark = 8;
+    lazy.writeBuffer.hazardPolicy = LoadHazardPolicy::ReadFromWB;
+    const MachineConfig machines[] = {eager, lazy};
+    const char *machine_names[] = {"8-deep/retire-at-2",
+                                   "12-deep/retire-at-8/rdWB"};
+
+    struct Cell
+    {
+        SimResults results;
+    };
+    std::vector<Cell> cells(4 * 4 * 2);
+    parallelFor(cells.size(), options.threads, [&](std::size_t index) {
+        std::size_t b = index / 8;
+        std::size_t f = (index / 2) % 4;
+        std::size_t m = index % 2;
+        BenchmarkProfile profile = spec92::profile(benchmarks[b]);
+        profile.barrierFraction = fractions[f];
+        cells[index].results =
+            runOne(profile, machines[m], options.instructions,
+                   options.seed, options.warmup);
+    });
+
+    std::cout << "== abl12: Memory-barrier cost (buffer drains)\n";
+    TextTable table;
+    table.setHeader({"benchmark", "machine", "barrier-frac",
+                     "barriers", "barrier-stall%", "T-stall%", "CPI"});
+    for (std::size_t b = 0; b < 4; ++b) {
+        for (std::size_t f = 0; f < 4; ++f) {
+            for (std::size_t m = 0; m < 2; ++m) {
+                const SimResults &r =
+                    cells[b * 8 + f * 2 + m].results;
+                double barrier_pct = r.cycles
+                    ? 100.0 * double(r.barrierStallCycles)
+                        / double(r.cycles)
+                    : 0.0;
+                double cpi = double(r.cycles) / double(r.instructions);
+                table.addRow({benchmarks[b], machine_names[m],
+                              formatDouble(fractions[f], 4),
+                              std::to_string(r.barriers),
+                              formatPercent(barrier_pct),
+                              formatPercent(r.pctTotalStalls()),
+                              formatDouble(cpi, 3)});
+            }
+        }
+        if (b + 1 < 4)
+            table.addSeparator();
+    }
+    table.render(std::cout);
+    std::cout << "(lazier retirement holds more dirty entries, so "
+                 "each barrier costs more)\n";
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Ablation A13: Table 2's "Retirement Order" parameter. FIFO (the
+ * Alphas' order) against fullest-first, which maximises words per
+ * transfer but leaves the oldest, most merge-ripe entries in place.
+ */
+
+#include "figure_bench.hh"
+#include "harness/figures.hh"
+
+int
+main()
+{
+    return wbsim::bench::runFigure(wbsim::figures::ablationRetireOrder(),
+                                   true);
+}

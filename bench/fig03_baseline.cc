@@ -1,0 +1,13 @@
+/**
+ * @file
+ * Reproduces the paper's Figure 3. See DESIGN.md §4.
+ */
+
+#include "figure_bench.hh"
+#include "harness/figures.hh"
+
+int
+main()
+{
+    return wbsim::bench::runFigure(wbsim::figures::figure03());
+}

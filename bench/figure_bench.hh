@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared main() body for the per-figure reproduction binaries.
+ *
+ * Every binary runs standalone with no arguments; WBSIM_INSTRUCTIONS,
+ * WBSIM_WARMUP, WBSIM_THREADS and WBSIM_SEED scale the runs.
+ */
+
+#ifndef WBSIM_BENCH_FIGURE_BENCH_HH
+#define WBSIM_BENCH_FIGURE_BENCH_HH
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "util/options.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim::bench
+{
+
+/** Run one figure experiment over all benchmarks and report it. */
+inline int
+runFigure(const Experiment &experiment, bool extended = false)
+{
+    RunnerOptions options = RunnerOptions::fromEnvironment();
+    auto profiles = spec92::allProfiles();
+    ExperimentResults results =
+        runExperiment(experiment, profiles, options);
+    ReportOptions report;
+    report.extended = extended;
+    report.csv = envUint("WBSIM_CSV", 0) != 0;
+    printExperimentReport(std::cout, experiment, profiles, results,
+                          report);
+    std::cout << "(instructions=" << options.instructions << " warmup="
+              << options.warmup << " seed=" << options.seed << ")\n";
+    return 0;
+}
+
+} // namespace wbsim::bench
+
+#endif // WBSIM_BENCH_FIGURE_BENCH_HH

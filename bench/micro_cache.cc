@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the cache tag store.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/cache.hh"
+
+namespace
+{
+
+using namespace wbsim;
+
+void
+BM_CacheHit(benchmark::State &state)
+{
+    Cache cache(CacheGeometry{8 * 1024, 32, 1}, "bench");
+    for (Addr a = 0; a < 8 * 1024; a += 32)
+        cache.allocate(a);
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr = (addr + 32) % (8 * 1024);
+        benchmark::DoNotOptimize(cache.access(addr));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheHit);
+
+void
+BM_CacheMissAllocate(benchmark::State &state)
+{
+    auto assoc = static_cast<std::uint64_t>(state.range(0));
+    Cache cache(CacheGeometry{256 * 1024, 32, assoc}, "bench");
+    Addr addr = 0;
+    for (auto _ : state) {
+        addr += 32; // endless stream: every access misses
+        if (!cache.access(addr))
+            cache.allocate(addr);
+        benchmark::DoNotOptimize(addr);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheMissAllocate)->Arg(1)->Arg(4)->Arg(8);
+
+} // namespace
+
+BENCHMARK_MAIN();

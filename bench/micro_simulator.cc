@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Google-benchmark measurement of end-to-end simulation throughput
+ * (instructions per second), the number that governs how long the
+ * reproduction suite takes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/figures.hh"
+#include "sim/simulator.hh"
+#include "workloads/generator.hh"
+#include "workloads/spec92.hh"
+
+namespace
+{
+
+using namespace wbsim;
+
+void
+BM_SimulateBaseline(benchmark::State &state)
+{
+    auto profile = spec92::profile("compress");
+    for (auto _ : state) {
+        SyntheticSource source(profile, 100'000, 1);
+        Simulator simulator(figures::baselineMachine());
+        benchmark::DoNotOptimize(simulator.run(source));
+    }
+    state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SimulateBaseline);
+
+void
+BM_SimulateRealL2(benchmark::State &state)
+{
+    auto profile = spec92::profile("tomcatv");
+    MachineConfig machine = figures::baselineMachine();
+    machine.perfectL2 = false;
+    machine.l2.sizeBytes = 512 * 1024;
+    for (auto _ : state) {
+        SyntheticSource source(profile, 100'000, 1);
+        Simulator simulator(machine);
+        benchmark::DoNotOptimize(simulator.run(source));
+    }
+    state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_SimulateRealL2);
+
+} // namespace
+
+BENCHMARK_MAIN();

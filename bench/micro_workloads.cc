@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Google-benchmark measurement of the synthetic workload generators.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "workloads/generator.hh"
+#include "workloads/spec92.hh"
+
+namespace
+{
+
+using namespace wbsim;
+
+void
+BM_Generate(benchmark::State &state)
+{
+    auto names = spec92::benchmarkNames();
+    const std::string &name = names[static_cast<std::size_t>(
+        state.range(0))];
+    state.SetLabel(name);
+    SyntheticSource source(spec92::profile(name), ~Count{0}, 1);
+    TraceRecord record;
+    for (auto _ : state) {
+        source.next(record);
+        benchmark::DoNotOptimize(record);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Generate)->Arg(0)->Arg(9)->Arg(16); // espresso/tomcatv/gmtry
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reproduces Table 4: the benchmarks' load/store instruction mix.
+ * The synthetic models match these by construction; this bench
+ * verifies the generators actually deliver the published mix.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "workloads/spec92.hh"
+
+using namespace wbsim;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnvironment();
+    auto profiles = spec92::allProfiles();
+    std::vector<SimResults> results(profiles.size());
+    parallelFor(profiles.size(), options.threads, [&](std::size_t b) {
+        results[b] = runOne(profiles[b], figures::baselineMachine(),
+                            options.instructions, options.seed,
+                            options.warmup);
+    });
+
+    std::cout << "== tab04: Benchmark instruction mix (Table 4)\n";
+    TextTable table;
+    table.setHeader({"benchmark", "pct-loads", "(paper)", "pct-stores",
+                     "(paper)"});
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        const SimResults &r = results[b];
+        table.addRow({
+            profiles[b].name,
+            formatPercent(100.0 * double(r.loads)
+                          / double(r.instructions)),
+            formatPercent(100.0 * profiles[b].pctLoads, 1),
+            formatPercent(100.0 * double(r.stores)
+                          / double(r.instructions)),
+            formatPercent(100.0 * profiles[b].pctStores, 1),
+        });
+    }
+    table.render(std::cout);
+    return 0;
+}

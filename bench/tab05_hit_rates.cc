@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reproduces Table 5: L1 load hit rate and write-buffer hit (merge)
+ * rate per benchmark under the baseline model, against the paper's
+ * published values.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "workloads/spec92.hh"
+
+using namespace wbsim;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnvironment();
+    auto profiles = spec92::allProfiles();
+    std::vector<SimResults> results(profiles.size());
+    parallelFor(profiles.size(), options.threads, [&](std::size_t b) {
+        results[b] = runOne(profiles[b], figures::baselineMachine(),
+                            options.instructions, options.seed,
+                            options.warmup);
+    });
+
+    std::cout << "== tab05: L1 and write-buffer hit rates, baseline "
+                 "model (Table 5)\n";
+    TextTable table;
+    table.setHeader({"benchmark", "L1 hit rate", "(paper)",
+                     "WB hit rate", "(paper)"});
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        const SimResults &r = results[b];
+        table.addRow({
+            profiles[b].name,
+            formatPercent(100.0 * r.l1LoadHitRate()),
+            formatPercent(100.0 * profiles[b].targetL1LoadHit),
+            formatPercent(100.0 * r.wbMergeRate()),
+            formatPercent(100.0 * profiles[b].targetWbMerge),
+        });
+    }
+    table.render(std::cout);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Reproduces Table 7: L1 hit rate and L2 hit rates with real L2
+ * caches of 128K, 512K and 1M (memory latency 25), against the
+ * paper's published values.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "workloads/spec92.hh"
+
+using namespace wbsim;
+
+int
+main()
+{
+    RunnerOptions options = RunnerOptions::fromEnvironment();
+    // Steady-state hit rates for the big-footprint models (tomcatv's
+    // 700K arrays in a 1M L2) need a long warmup before measuring.
+    options.warmup = std::max<Count>(options.warmup, 1'500'000);
+    auto profiles = spec92::allProfiles();
+
+    std::vector<MachineConfig> machines;
+    for (unsigned kb : {128u, 512u, 1024u}) {
+        MachineConfig machine = figures::baselineMachine();
+        machine.perfectL2 = false;
+        machine.l2.sizeBytes = std::uint64_t{kb} * 1024;
+        machine.memLatency = 25;
+        machines.push_back(machine);
+    }
+
+    std::vector<std::vector<SimResults>> results(
+        profiles.size(), std::vector<SimResults>(machines.size()));
+    parallelFor(profiles.size() * machines.size(), options.threads,
+                [&](std::size_t index) {
+                    std::size_t b = index / machines.size();
+                    std::size_t m = index % machines.size();
+                    results[b][m] =
+                        runOne(profiles[b], machines[m],
+                               options.instructions, options.seed,
+                               options.warmup);
+                });
+
+    std::cout << "== tab07: L1 and L2 hit rates, real L2 caches "
+                 "(Table 7)\n";
+    TextTable table;
+    table.setHeader({"benchmark", "L1 hit", "L2@128K", "(paper)",
+                     "L2@512K", "(paper)", "L2@1M", "(paper)"});
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        const BenchmarkProfile &p = profiles[b];
+        table.addRow({
+            p.name,
+            formatPercent(100.0 * results[b][2].l1LoadHitRate()),
+            formatPercent(100.0 * results[b][0].l2ReadHitRate()),
+            formatPercent(100.0 * p.targetL2Hit128K),
+            formatPercent(100.0 * results[b][1].l2ReadHitRate()),
+            formatPercent(100.0 * p.targetL2Hit512K),
+            formatPercent(100.0 * results[b][2].l2ReadHitRate()),
+            formatPercent(100.0 * p.targetL2Hit1M),
+        });
+    }
+    table.render(std::cout);
+    return 0;
+}

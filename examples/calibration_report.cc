@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Calibration report: runs every SPEC92 model on the paper's
+ * baseline machine (and on the real-L2 machines of Table 7) and
+ * prints measured-vs-published values for every calibrated quantity.
+ *
+ * This is the tool used to tune the workload models; the tolerance
+ * bands asserted by tests/workloads/calibration_test.cc are checked
+ * visually here first.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "workloads/spec92.hh"
+
+using namespace wbsim;
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    options.declare("instructions", "instructions per run", "2000000");
+    options.declare("warmup", "warmup instructions", "2000000");
+    options.declare("seed", "workload seed", "1");
+    options.parse(argc, argv);
+
+    const Count instructions = options.getUint("instructions");
+    const Count warmup = options.getUint("warmup");
+    const std::uint64_t seed = options.getUint("seed");
+
+    auto profiles = spec92::allProfiles();
+    profiles.push_back(spec92::transformedProfile("gmtry"));
+    profiles.push_back(spec92::transformedProfile("cholsky"));
+
+    const MachineConfig baseline = figures::baselineMachine();
+    MachineConfig real128 = baseline;
+    real128.perfectL2 = false;
+    real128.l2.sizeBytes = 128 * 1024;
+    MachineConfig real512 = real128;
+    real512.l2.sizeBytes = 512 * 1024;
+    MachineConfig real1m = real128;
+    real1m.l2.sizeBytes = 1024 * 1024;
+    const std::vector<MachineConfig> machines = {baseline, real128,
+                                                 real512, real1m};
+
+    // results[benchmark][machine]
+    std::vector<std::vector<SimResults>> results(
+        profiles.size(), std::vector<SimResults>(machines.size()));
+    parallelFor(profiles.size() * machines.size(), defaultThreads(),
+                [&](std::size_t index) {
+                    std::size_t b = index / machines.size();
+                    std::size_t m = index % machines.size();
+                    results[b][m] = runOne(profiles[b], machines[m],
+                                           instructions, seed, warmup);
+                });
+
+    TextTable table;
+    table.setHeader({"benchmark", "ld%", "st%", "L1hit", "(tgt)",
+                     "WBhit", "(tgt)", "L2@128K", "(tgt)", "L2@512K",
+                     "(tgt)", "L2@1M", "(tgt)", "T-stall%"});
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        const BenchmarkProfile &p = profiles[b];
+        const SimResults &base = results[b][0];
+        auto pct = [](double v) { return formatPercent(100 * v); };
+        table.addRow({
+            p.name,
+            pct(double(base.loads) / double(base.instructions)),
+            pct(double(base.stores) / double(base.instructions)),
+            pct(base.l1LoadHitRate()), pct(p.targetL1LoadHit),
+            pct(base.wbMergeRate()), pct(p.targetWbMerge),
+            pct(results[b][1].l2ReadHitRate()), pct(p.targetL2Hit128K),
+            pct(results[b][2].l2ReadHitRate()), pct(p.targetL2Hit512K),
+            pct(results[b][3].l2ReadHitRate()), pct(p.targetL2Hit1M),
+            formatPercent(base.pctTotalStalls()),
+        });
+    }
+    table.render(std::cout);
+
+    std::cout << "\nBaseline stall breakdown (R/F/L as % of time):\n";
+    TextTable stalls;
+    stalls.setHeader({"benchmark", "R%", "F%", "L%", "T%", "hazards",
+                      "occupancy"});
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        const SimResults &r = results[b][0];
+        stalls.addRow({profiles[b].name,
+                       formatPercent(r.pctL2ReadAccess()),
+                       formatPercent(r.pctBufferFull()),
+                       formatPercent(r.pctLoadHazard()),
+                       formatPercent(r.pctTotalStalls()),
+                       std::to_string(r.wbHazards),
+                       formatDouble(r.wbMeanOccupancy, 2)});
+    }
+    stalls.render(std::cout);
+    return 0;
+}

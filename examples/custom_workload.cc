@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bring-your-own-workload demo: build a BenchmarkProfile from
+ * scratch (a producer/consumer loop with a large shared array and
+ * frequent read-after-write traffic - a worst case for load
+ * hazards), then compare every load-hazard policy on it.
+ *
+ * This is the template for modelling a workload the SPEC92
+ * catalogue does not cover.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+
+using namespace wbsim;
+
+namespace
+{
+
+/** A hazard-heavy producer/consumer workload. */
+BenchmarkProfile
+producerConsumer()
+{
+    BenchmarkProfile p;
+    p.name = "producer-consumer";
+    p.pctLoads = 0.30;
+    p.pctStores = 0.20;
+
+    // Loads: half from a hot stack, half re-reading the shared ring.
+    BehaviorSpec hot;
+    hot.kind = BehaviorKind::Stack;
+    hot.region = 2 * 1024;
+    hot.weight = 0.5;
+
+    BehaviorSpec ring;
+    ring.kind = BehaviorKind::Loop;
+    ring.region = 256 * 1024;
+    ring.weight = 0.5;
+
+    p.loadBehaviors = {hot, ring};
+
+    // Stores: the producer walks the same ring.
+    BehaviorSpec producer = ring;
+    producer.weight = 1.0;
+    producer.shareWithLoad = 1; // writes the array the loads read
+    p.storeBehaviors = {producer};
+
+    // The consumer reads data the producer just wrote: a very high
+    // read-after-write rate, so load hazards dominate.
+    p.rawFraction = 0.25;
+    p.rawDistanceMin = 1;
+    p.rawDistanceMax = 4;
+    p.storeBurstContinue = 0.5;
+    return p;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    options.declare("instructions", "instructions per run", "1000000");
+    options.declare("seed", "workload seed", "1");
+    options.parse(argc, argv);
+
+    const Count instructions = options.getUint("instructions");
+    const Count warmup = instructions / 2;
+    const std::uint64_t seed = options.getUint("seed");
+
+    BenchmarkProfile profile = producerConsumer();
+    profile.validate();
+
+    std::cout << "custom workload: " << profile.name
+              << " (25% of loads re-read recent stores)\n\n";
+
+    TextTable table;
+    table.setHeader({"hazard policy", "R%", "F%", "L%", "T%",
+                     "hazards", "served-from-WB"});
+    for (LoadHazardPolicy policy :
+         {LoadHazardPolicy::FlushFull, LoadHazardPolicy::FlushPartial,
+          LoadHazardPolicy::FlushItemOnly,
+          LoadHazardPolicy::ReadFromWB}) {
+        MachineConfig machine = figures::baselineMachine();
+        machine.writeBuffer.depth = 8;
+        machine.writeBuffer.highWaterMark = 4;
+        machine.writeBuffer.hazardPolicy = policy;
+        SimResults r =
+            runOne(profile, machine, instructions, seed, warmup);
+        table.addRow({loadHazardPolicyName(policy),
+                      formatPercent(r.pctL2ReadAccess()),
+                      formatPercent(r.pctBufferFull()),
+                      formatPercent(r.pctLoadHazard()),
+                      formatPercent(r.pctTotalStalls()),
+                      std::to_string(r.wbHazards),
+                      std::to_string(r.wbServedLoads)});
+    }
+    table.render(std::cout);
+    std::cout << "\nread-from-WB turns every hazard into a free hit: "
+                 "the paper's §3.5 conclusion, amplified.\n";
+    return 0;
+}

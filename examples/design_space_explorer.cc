@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Design-space explorer: sweep any one write-buffer or cache
+ * parameter over a list of values for a chosen benchmark and print
+ * the stall breakdown per point - the tool a designer would use to
+ * answer "how deep should my buffer be for this workload?".
+ *
+ * Usage examples:
+ *   design_space_explorer --benchmark=fft --sweep=depth \
+ *       --values=2,4,6,8,10,12
+ *   design_space_explorer --benchmark=li --sweep=retire-at \
+ *       --values=2,4,6,8 --depth=12 --hazard=read-from-WB
+ *   design_space_explorer --benchmark=tomcatv --sweep=l2-latency \
+ *       --values=3,6,10,20
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "sim/simulator.hh"
+#include "workloads/generator.hh"
+#include "harness/figures.hh"
+#include "util/barchart.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+#include "workloads/spec92.hh"
+
+using namespace wbsim;
+
+namespace
+{
+
+std::vector<std::uint64_t>
+parseValues(const std::string &text)
+{
+    std::vector<std::uint64_t> values;
+    std::stringstream stream(text);
+    std::string item;
+    while (std::getline(stream, item, ','))
+        values.push_back(std::stoull(item));
+    if (values.empty())
+        wbsim_fatal("--values needs a comma-separated list");
+    return values;
+}
+
+LoadHazardPolicy
+parseHazard(const std::string &name)
+{
+    for (LoadHazardPolicy policy :
+         {LoadHazardPolicy::FlushFull, LoadHazardPolicy::FlushPartial,
+          LoadHazardPolicy::FlushItemOnly,
+          LoadHazardPolicy::ReadFromWB}) {
+        if (name == loadHazardPolicyName(policy))
+            return policy;
+    }
+    wbsim_fatal("unknown hazard policy '", name,
+                "' (flush-full, flush-partial, flush-item-only, "
+                "read-from-WB)");
+}
+
+void
+applySweep(MachineConfig &machine, const std::string &knob,
+           std::uint64_t value)
+{
+    if (knob == "depth")
+        machine.writeBuffer.depth = static_cast<unsigned>(value);
+    else if (knob == "retire-at")
+        machine.writeBuffer.highWaterMark =
+            static_cast<unsigned>(value);
+    else if (knob == "l1-kb")
+        machine.l1d.sizeBytes = value * 1024;
+    else if (knob == "l2-latency")
+        machine.l2Latency = value;
+    else if (knob == "l2-kb") {
+        machine.perfectL2 = false;
+        machine.l2.sizeBytes = value * 1024;
+    } else if (knob == "mem-latency") {
+        machine.perfectL2 = false;
+        machine.memLatency = value;
+    } else if (knob == "datapath")
+        machine.l2DatapathBytes = static_cast<unsigned>(value);
+    else if (knob == "issue-width")
+        machine.issueWidth = static_cast<unsigned>(value);
+    else
+        wbsim_fatal("unknown sweep knob '", knob,
+                    "' (depth, retire-at, l1-kb, l2-latency, l2-kb, "
+                    "mem-latency, datapath, issue-width)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    options.declare("benchmark", "SPEC92 model", "compress");
+    options.declare("sweep", "knob to sweep", "depth");
+    options.declare("values", "comma-separated values",
+                    "2,4,6,8,10,12");
+    options.declare("depth", "fixed buffer depth", "4");
+    options.declare("retire-at", "fixed high-water mark", "2");
+    options.declare("hazard", "load-hazard policy", "flush-full");
+    options.declare("instructions", "instructions per point",
+                    "1000000");
+    options.declare("seed", "workload seed", "1");
+    options.declare("events", "dump the last N debug events of the "
+                              "final run (0 = off)", "0");
+    options.parse(argc, argv);
+
+    const std::string benchmark = options.get("benchmark");
+    const std::string knob = options.get("sweep");
+    const Count instructions = options.getUint("instructions");
+    const Count warmup = instructions / 2;
+    const std::uint64_t seed = options.getUint("seed");
+
+    MachineConfig base = figures::baselineMachine();
+    base.writeBuffer.depth =
+        static_cast<unsigned>(options.getUint("depth"));
+    base.writeBuffer.highWaterMark =
+        static_cast<unsigned>(options.getUint("retire-at"));
+    base.writeBuffer.hazardPolicy = parseHazard(options.get("hazard"));
+
+    BenchmarkProfile profile = spec92::profile(benchmark);
+
+    std::cout << "sweep of '" << knob << "' for " << benchmark
+              << "\n\n";
+    TextTable table;
+    table.setHeader({knob, "config", "R%", "F%", "L%", "T%", "CPI"});
+    BarChart chart({"L2-read-access", "buffer-full", "load-hazard"});
+    chart.beginGroup(benchmark);
+
+    for (std::uint64_t value : parseValues(options.get("values"))) {
+        MachineConfig machine = base;
+        applySweep(machine, knob, value);
+        machine.validate();
+        SimResults r =
+            runOne(profile, machine, instructions, seed, warmup);
+        double cpi = double(r.cycles) / double(r.instructions);
+        table.addRow({std::to_string(value), machine.describe(),
+                      formatPercent(r.pctL2ReadAccess()),
+                      formatPercent(r.pctBufferFull()),
+                      formatPercent(r.pctLoadHazard()),
+                      formatPercent(r.pctTotalStalls()),
+                      formatDouble(cpi, 3)});
+        chart.addBar({std::to_string(value),
+                      {r.pctL2ReadAccess(), r.pctBufferFull(),
+                       r.pctLoadHazard()}});
+    }
+    table.render(std::cout);
+    std::cout << "\n";
+    chart.render(std::cout);
+
+    if (Count events = options.getUint("events"); events > 0) {
+        // Replay the last sweep point with an event log attached and
+        // show the tail of the microarchitectural story.
+        MachineConfig machine = base;
+        auto values = parseValues(options.get("values"));
+        applySweep(machine, knob, values.back());
+        EventLog log(events);
+        Simulator simulator(machine);
+        simulator.attachEventLog(&log);
+        SyntheticSource source(profile, instructions, seed);
+        simulator.run(source);
+        std::cout << "\nlast " << log.size() << " events of the "
+                  << values.back() << " run:\n";
+        log.dump(std::cout);
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Machine showdown: the real write buffers the paper keeps
+ * referencing - Alpha 21064, Alpha 21164, an UltraSPARC-style
+ * arbiter - against the paper's recommended configuration, across
+ * all 17 benchmark models.
+ */
+
+#include <iostream>
+
+#include "harness/experiment.hh"
+#include "harness/machines.hh"
+#include "harness/report.hh"
+#include "util/options.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "workloads/spec92.hh"
+
+using namespace wbsim;
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    options.declare("instructions", "instructions per run", "500000");
+    options.declare("seed", "workload seed", "1");
+    options.parse(argc, argv);
+
+    const Count instructions = options.getUint("instructions");
+    const Count warmup = instructions / 2;
+    const std::uint64_t seed = options.getUint("seed");
+
+    auto presets = machines::allMachines();
+    auto profiles = spec92::allProfiles();
+
+    std::vector<std::vector<SimResults>> results(
+        profiles.size(), std::vector<SimResults>(presets.size()));
+    parallelFor(profiles.size() * presets.size(), defaultThreads(),
+                [&](std::size_t index) {
+                    std::size_t b = index / presets.size();
+                    std::size_t m = index % presets.size();
+                    results[b][m] =
+                        runOne(profiles[b], presets[m].machine,
+                               instructions, seed, warmup);
+                });
+
+    std::cout << "total write-buffer stall % by machine\n\n";
+    TextTable table;
+    std::vector<std::string> header = {"benchmark"};
+    for (const auto &preset : presets)
+        header.push_back(preset.name);
+    table.setHeader(header);
+
+    std::vector<double> totals(presets.size(), 0.0);
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        std::vector<std::string> row = {profiles[b].name};
+        for (std::size_t m = 0; m < presets.size(); ++m) {
+            row.push_back(
+                formatPercent(results[b][m].pctTotalStalls()));
+            totals[m] += results[b][m].pctTotalStalls();
+        }
+        table.addRow(std::move(row));
+    }
+    table.addSeparator();
+    std::vector<std::string> mean_row = {"MEAN"};
+    for (double total : totals)
+        mean_row.push_back(
+            formatPercent(total / double(profiles.size())));
+    table.addRow(std::move(mean_row));
+    table.render(std::cout);
+
+    std::cout << "\nmachines:\n";
+    for (const auto &preset : presets)
+        std::cout << "  " << preset.name << ": "
+                  << preset.machine.writeBuffer.describe() << "\n";
+    return 0;
+}

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Trace toolchain demo: generate a binary trace file from a workload
+ * model, inspect it, and simulate straight from the file - the
+ * workflow for substituting real traces (converted ChampSim /
+ * Valgrind output) for the synthetic SPEC92 models.
+ *
+ * Subcommands (first positional argument):
+ *   gen  --benchmark=li --out=li.wbt [--instructions=N]
+ *   info --in=li.wbt
+ *   dump --in=li.wbt [--count=20]
+ *   sim  --in=li.wbt [--depth=4] [--retire-at=2]
+ *   din2wbt --in=trace.din --out=trace.wbt   (import Dinero traces)
+ *   wbt2din --in=trace.wbt --out=trace.din   (export to Dinero)
+ */
+
+#include <iostream>
+
+#include "sim/simulator.hh"
+#include "harness/figures.hh"
+#include "harness/report.hh"
+#include "trace/dinero.hh"
+#include "trace/trace_file.hh"
+#include "util/logging.hh"
+#include "util/options.hh"
+#include "workloads/generator.hh"
+#include "workloads/spec92.hh"
+
+using namespace wbsim;
+
+namespace
+{
+
+int
+doGen(const Options &options)
+{
+    SyntheticSource source(spec92::profile(options.get("benchmark")),
+                           options.getUint("instructions"),
+                           options.getUint("seed"));
+    Count written = writeTraceFile(options.get("out"), source,
+                                   /*with_pcs=*/true);
+    std::cout << "wrote " << written << " records to "
+              << options.get("out") << "\n";
+    return 0;
+}
+
+int
+doInfo(const Options &options)
+{
+    TraceFileReader reader(options.get("in"));
+    const TraceFileHeader &header = reader.header();
+    std::cout << "trace: " << options.get("in") << "\n"
+              << "  workload: " << header.name << "\n"
+              << "  records:  " << header.count << "\n"
+              << "  pcs:      " << (header.hasPcs ? "yes" : "no")
+              << "\n";
+    Count loads = 0, stores = 0;
+    TraceRecord rec;
+    while (reader.next(rec)) {
+        loads += rec.isLoad();
+        stores += rec.isStore();
+    }
+    std::cout << "  loads:    " << loads << "\n"
+              << "  stores:   " << stores << "\n";
+    return 0;
+}
+
+int
+doDump(const Options &options)
+{
+    TraceFileReader reader(options.get("in"));
+    Count limit = options.getUint("count");
+    TraceRecord rec;
+    for (Count i = 0; i < limit && reader.next(rec); ++i)
+        std::cout << i << ": " << toString(rec) << "\n";
+    return 0;
+}
+
+int
+doSim(const Options &options)
+{
+    MachineConfig machine = figures::baselineMachine();
+    machine.writeBuffer.depth =
+        static_cast<unsigned>(options.getUint("depth"));
+    machine.writeBuffer.highWaterMark =
+        static_cast<unsigned>(options.getUint("retire-at"));
+    TraceFileReader reader(options.get("in"));
+    Simulator simulator(machine);
+    SimResults results = simulator.run(reader);
+    std::cout << summarizeRun(results) << "\n";
+    return 0;
+}
+
+int
+doDin2Wbt(const Options &options)
+{
+    DineroReader reader(options.get("in"));
+    Count written = writeTraceFile(options.get("out"), reader);
+    std::cout << "converted " << written << " din records to "
+              << options.get("out") << "\n";
+    return 0;
+}
+
+int
+doWbt2Din(const Options &options)
+{
+    TraceFileReader reader(options.get("in"));
+    Count written = writeDineroFile(options.get("out"), reader);
+    std::cout << "converted " << written << " records to din format "
+              << options.get("out") << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    options.declare("benchmark", "workload model for 'gen'", "li");
+    options.declare("out", "output trace path", "trace.wbt");
+    options.declare("in", "input trace path", "trace.wbt");
+    options.declare("instructions", "records to generate", "200000");
+    options.declare("count", "records to dump", "20");
+    options.declare("depth", "write buffer depth for 'sim'", "4");
+    options.declare("retire-at", "high-water mark for 'sim'", "2");
+    options.declare("seed", "generator seed", "1");
+    options.parse(argc, argv);
+
+    std::string command = options.positionals().empty()
+        ? "demo"
+        : options.positionals().front();
+
+    if (command == "gen")
+        return doGen(options);
+    if (command == "info")
+        return doInfo(options);
+    if (command == "dump")
+        return doDump(options);
+    if (command == "sim")
+        return doSim(options);
+    if (command == "din2wbt")
+        return doDin2Wbt(options);
+    if (command == "wbt2din")
+        return doWbt2Din(options);
+
+    if (command == "demo") {
+        // No arguments: run the full pipeline on a temp file.
+        std::cout << "== demo: gen -> info -> dump -> sim ==\n";
+        Options gen = options;
+        const char *args[] = {"trace_tools", "--out=/tmp/wbsim_demo.wbt",
+                              "--in=/tmp/wbsim_demo.wbt", "--count=8"};
+        gen.parse(4, args);
+        doGen(gen);
+        doInfo(gen);
+        doDump(gen);
+        return doSim(gen);
+    }
+
+    wbsim_fatal("unknown subcommand '", command,
+                "' (gen, info, dump, sim, din2wbt, wbt2din)\n",
+                options.usage());
+}

@@ -1,0 +1,104 @@
+#include "core/config.hh"
+
+#include <sstream>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+const char *
+loadHazardPolicyName(LoadHazardPolicy policy)
+{
+    switch (policy) {
+      case LoadHazardPolicy::FlushFull:
+        return "flush-full";
+      case LoadHazardPolicy::FlushPartial:
+        return "flush-partial";
+      case LoadHazardPolicy::FlushItemOnly:
+        return "flush-item-only";
+      case LoadHazardPolicy::ReadFromWB:
+        return "read-from-WB";
+    }
+    return "?";
+}
+
+const char *
+retirementModeName(RetirementMode mode)
+{
+    switch (mode) {
+      case RetirementMode::Occupancy:
+        return "occupancy";
+      case RetirementMode::FixedRate:
+        return "fixed-rate";
+    }
+    return "?";
+}
+
+const char *
+retirementOrderName(RetirementOrder order)
+{
+    switch (order) {
+      case RetirementOrder::Fifo:
+        return "fifo";
+      case RetirementOrder::FullestFirst:
+        return "fullest-first";
+    }
+    return "?";
+}
+
+unsigned
+WriteBufferConfig::headroom() const
+{
+    return depth >= highWaterMark ? depth - highWaterMark : 0;
+}
+
+void
+WriteBufferConfig::validate() const
+{
+    if (depth == 0)
+        wbsim_fatal("write buffer depth must be at least 1");
+    if (!isPowerOfTwo(entryBytes) || !isPowerOfTwo(wordBytes))
+        wbsim_fatal("write buffer entry and word sizes must be powers "
+                    "of two");
+    if (wordBytes > entryBytes)
+        wbsim_fatal("write buffer word larger than entry");
+    if (wordsPerEntry() > 32)
+        wbsim_fatal("write buffer entries support at most 32 words");
+    if (retirementMode == RetirementMode::Occupancy) {
+        if (highWaterMark < 1 || highWaterMark > depth)
+            wbsim_fatal("retire-at-", highWaterMark,
+                        " requires 1 <= N <= depth (depth=", depth, ")");
+    } else {
+        if (fixedRatePeriod == 0)
+            wbsim_fatal("fixed-rate retirement needs a non-zero period");
+    }
+    if (writePriorityThreshold > depth)
+        wbsim_fatal("write-priority threshold exceeds buffer depth");
+}
+
+std::string
+WriteBufferConfig::describe() const
+{
+    std::ostringstream os;
+    if (kind == BufferKind::WriteCache)
+        os << "write-cache/";
+    os << depth << "-deep/";
+    if (!coalescing)
+        os << "non-coalescing/";
+    if (retirementMode == RetirementMode::Occupancy)
+        os << "retire-at-" << highWaterMark;
+    else
+        os << "fixed-rate-" << fixedRatePeriod;
+    if (retirementOrder != RetirementOrder::Fifo)
+        os << "/" << retirementOrderName(retirementOrder);
+    if (ageTimeout)
+        os << "/timeout-" << ageTimeout;
+    os << "/" << loadHazardPolicyName(hazardPolicy);
+    if (writePriorityThreshold)
+        os << "/write-priority-at-" << writePriorityThreshold;
+    return os.str();
+}
+
+} // namespace wbsim

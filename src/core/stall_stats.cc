@@ -1,0 +1,18 @@
+#include "core/stall_stats.hh"
+
+namespace wbsim
+{
+
+StallStats &
+StallStats::operator+=(const StallStats &other)
+{
+    bufferFullCycles += other.bufferFullCycles;
+    bufferFullEvents += other.bufferFullEvents;
+    l2ReadAccessCycles += other.l2ReadAccessCycles;
+    l2ReadAccessEvents += other.l2ReadAccessEvents;
+    loadHazardCycles += other.loadHazardCycles;
+    loadHazardEvents += other.loadHazardEvents;
+    return *this;
+}
+
+} // namespace wbsim

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The paper's three-way classification of write-buffer-induced
+ * stalls (Table 3). Every cycle the write buffer costs the processor
+ * lands in exactly one of these categories.
+ */
+
+#ifndef WBSIM_CORE_STALL_STATS_HH
+#define WBSIM_CORE_STALL_STATS_HH
+
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** Accumulated write-buffer-induced stall cycles and event counts. */
+struct StallStats
+{
+    /** Store waited for a free entry (buffer full, no merge). */
+    Count bufferFullCycles = 0;
+    Count bufferFullEvents = 0;
+
+    /** Load miss waited for the write buffer to release L2. */
+    Count l2ReadAccessCycles = 0;
+    Count l2ReadAccessEvents = 0;
+
+    /** Load miss waited for hazard handling (flushes). */
+    Count loadHazardCycles = 0;
+    Count loadHazardEvents = 0;
+
+    /** Total write-buffer-induced stall cycles. */
+    Count totalCycles() const
+    {
+        return bufferFullCycles + l2ReadAccessCycles + loadHazardCycles;
+    }
+
+    StallStats &operator+=(const StallStats &other);
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_CORE_STALL_STATS_HH

@@ -1,0 +1,27 @@
+#include "core/store_buffer.hh"
+
+namespace wbsim
+{
+
+double
+StoreBufferStats::mergeRate() const
+{
+    return stats::ratio(merges, stores);
+}
+
+double
+StoreBufferStats::wordsPerWriteback() const
+{
+    return entriesWritten == 0
+        ? 0.0
+        : static_cast<double>(wordsWritten)
+            / static_cast<double>(entriesWritten);
+}
+
+void
+StoreBufferStats::reset()
+{
+    *this = StoreBufferStats{};
+}
+
+} // namespace wbsim

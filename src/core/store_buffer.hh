@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Abstract interface shared by the FIFO write buffer and the
+ * write-cache variant, plus common statistics.
+ *
+ * Timing protocol: the store buffer runs its own retirement engine
+ * lazily. Before every interaction at CPU time `now`, callers invoke
+ * advanceTo(now), which replays any retirements that would have
+ * started strictly before `now` (hence "read-bypassing": a load
+ * arriving at `now` wins a tie for the L2 port against a retirement
+ * that becomes eligible at `now`).
+ */
+
+#ifndef WBSIM_CORE_STORE_BUFFER_HH
+#define WBSIM_CORE_STORE_BUFFER_HH
+
+#include <cstdint>
+
+#include "core/config.hh"
+#include "core/stall_stats.hh"
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** Statistics common to all store-buffer organisations. */
+struct StoreBufferStats
+{
+    Count stores = 0;       //!< stores presented
+    Count merges = 0;       //!< stores that coalesced into an entry
+    Count allocations = 0;  //!< stores that allocated a new entry
+    Count retirements = 0;  //!< autonomous entry writes to L2
+    Count flushes = 0;      //!< hazard-forced entry writes to L2
+    Count hazards = 0;      //!< load misses that hit an active block
+    Count wbServedLoads = 0; //!< loads served directly (read-from-WB)
+    Count wordsWritten = 0; //!< valid words transferred to L2
+    Count entriesWritten = 0; //!< entries transferred to L2
+    /** Buffer occupancy observed at each store. */
+    stats::Histogram occupancy{33};
+
+    /** The paper's Table 5 "WB hit rate": merges / stores. */
+    double mergeRate() const;
+    /** Mean valid words per entry written to L2 (coalescing gain). */
+    double wordsPerWriteback() const;
+    /** Zero all counters (for warmup support). */
+    void reset();
+};
+
+/** Result of probing the buffer for an L1 load miss. */
+struct LoadProbe
+{
+    /** Some active entry overlaps the load's L1 line: a hazard. */
+    bool blockHit = false;
+    /** Every word the load needs is valid in the buffer. */
+    bool wordHit = false;
+    /** FIFO sequence number of the newest matching entry (write
+     *  buffer only; used to bound flush-partial). */
+    std::uint64_t hitSeq = 0;
+};
+
+/** Outcome of hazard handling. */
+struct HazardResult
+{
+    /** Cycle at which the buffer-side handling completes and the
+     *  load may proceed. */
+    Cycle done = 0;
+    /** True if the load was served from the buffer and needs no L2
+     *  access and no L1 fill. */
+    bool servedFromBuffer = false;
+};
+
+/** Interface between the Simulator and a store-buffer organisation. */
+class StoreBuffer
+{
+  public:
+    virtual ~StoreBuffer() = default;
+
+    /** Replay retirement activity up to (strictly before) @p now. */
+    virtual void advanceTo(Cycle now) = 0;
+
+    /**
+     * Present a store at @p now. Merges or allocates; on buffer-full
+     * waits for an entry and charges @p stalls.
+     * @return cycle at which the store completes (== now unless the
+     *         store stalled).
+     */
+    virtual Cycle store(Addr addr, unsigned size, Cycle now,
+                        StallStats &stalls) = 0;
+
+    /** Probe for a load; call advanceTo(now) first. */
+    virtual LoadProbe probeLoad(Addr addr, unsigned size) const = 0;
+
+    /**
+     * Resolve a load hazard at @p now per the configured policy.
+     * Counts the hazard; flush waits are charged by the caller using
+     * (result.done - now).
+     */
+    virtual HazardResult handleLoadHazard(const LoadProbe &probe,
+                                          Addr addr, unsigned size,
+                                          Cycle now) = 0;
+
+    /** Currently occupied entries (a retiring entry counts). */
+    virtual unsigned occupancy() const = 0;
+
+    /**
+     * Retire entries until occupancy < @p target (UltraSPARC-style
+     * priority inversion, memory-barrier draining, end of run).
+     * @return cycle when done.
+     */
+    virtual Cycle drainBelow(unsigned target, Cycle now) = 0;
+
+    virtual const WriteBufferConfig &config() const = 0;
+    virtual const StoreBufferStats &stats() const = 0;
+
+    /** Reset statistics; buffered contents are retained. */
+    virtual void resetStats() = 0;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_CORE_STORE_BUFFER_HH

@@ -1,0 +1,436 @@
+#include "core/write_buffer.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+WriteBuffer::WriteBuffer(const WriteBufferConfig &config, L2Port &port,
+                         L2WriteHook hook, unsigned line_bytes)
+    : config_(config), port_(port), hook_(std::move(hook)),
+      line_bytes_(line_bytes),
+      next_fixed_attempt_(config.fixedRatePeriod)
+{
+    config_.validate();
+    wbsim_assert(config_.kind == BufferKind::WriteBuffer,
+                 "WriteBuffer built from a write-cache config");
+    wbsim_assert(hook_ != nullptr, "write buffer needs an L2 write hook");
+    entries_.resize(config_.depth);
+}
+
+unsigned
+WriteBuffer::countValid() const
+{
+    unsigned n = 0;
+    for (const Entry &entry : entries_)
+        if (entry.valid)
+            ++n;
+    return n;
+}
+
+unsigned
+WriteBuffer::occupancy() const
+{
+    return countValid();
+}
+
+int
+WriteBuffer::findMergeTarget(Addr base) const
+{
+    int best = -1;
+    std::uint64_t best_seq = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &entry = entries_[i];
+        if (!entry.valid || entry.base != base)
+            continue;
+        if (retire_in_flight_ && i == retiring_index_)
+            continue; // stores cannot merge into a retiring entry
+        if (entry.seq > best_seq) {
+            best_seq = entry.seq;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+int
+WriteBuffer::findFreeEntry() const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (!entries_[i].valid)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+WriteBuffer::oldestEntry() const
+{
+    int best = -1;
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &entry = entries_[i];
+        if (entry.valid && entry.seq < best_seq) {
+            best_seq = entry.seq;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+int
+WriteBuffer::retirementVictim() const
+{
+    if (config_.retirementOrder == RetirementOrder::Fifo)
+        return oldestEntry();
+    // Fullest-first: most valid words wins, oldest breaks ties.
+    int best = -1;
+    int best_words = -1;
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &entry = entries_[i];
+        if (!entry.valid)
+            continue;
+        int words = std::popcount(entry.validMask);
+        if (words > best_words
+            || (words == best_words && entry.seq < best_seq)) {
+            best_words = words;
+            best_seq = entry.seq;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+std::uint32_t
+WriteBuffer::wordMask(Addr addr, unsigned size) const
+{
+    const unsigned entry_bytes = config_.entryBytes;
+    const unsigned word_bytes = config_.wordBytes;
+    Addr offset = addr & (entry_bytes - 1);
+    wbsim_assert(offset + size <= entry_bytes,
+                 "access crosses a write-buffer entry boundary");
+    unsigned first = static_cast<unsigned>(offset / word_bytes);
+    unsigned last = static_cast<unsigned>((offset + size - 1) / word_bytes);
+    std::uint32_t mask = 0;
+    for (unsigned w = first; w <= last; ++w)
+        mask |= (1u << w);
+    return mask;
+}
+
+void
+WriteBuffer::noteOccupancyChange(Cycle at)
+{
+    unsigned occ = countValid();
+    bool condition = config_.retirementMode == RetirementMode::Occupancy
+        && occ >= config_.highWaterMark;
+    if (condition) {
+        if (occupancy_since_ == kNoCycle)
+            occupancy_since_ = at;
+    } else {
+        occupancy_since_ = kNoCycle;
+    }
+}
+
+Cycle
+WriteBuffer::nextTrigger() const
+{
+    unsigned occ = countValid();
+    if (occ == 0)
+        return kNoCycle;
+    if (config_.retirementMode == RetirementMode::FixedRate)
+        return next_fixed_attempt_;
+    Cycle trigger = kNoCycle;
+    if (occ >= config_.highWaterMark) {
+        wbsim_assert(occupancy_since_ != kNoCycle,
+                     "occupancy condition holds but no timestamp");
+        trigger = occupancy_since_;
+    }
+    if (config_.ageTimeout != 0) {
+        int oldest = oldestEntry();
+        wbsim_assert(oldest >= 0, "non-empty buffer with no oldest entry");
+        Cycle age_trigger = entries_[static_cast<std::size_t>(oldest)]
+                                .allocCycle
+            + config_.ageTimeout;
+        trigger = std::min(trigger, age_trigger);
+    }
+    return trigger;
+}
+
+void
+WriteBuffer::startRetirement(std::size_t index, Cycle start, L2Txn kind)
+{
+    Entry &entry = entries_[index];
+    wbsim_assert(entry.valid, "retiring an invalid entry");
+    wbsim_assert(!retire_in_flight_, "overlapping retirements");
+    auto valid_words =
+        static_cast<unsigned>(std::popcount(entry.validMask));
+    Cycle duration = hook_(entry.base, valid_words,
+                           config_.wordsPerEntry(), start);
+    wbsim_assert(duration > 0, "L2 write hook returned zero duration");
+    Cycle actual = port_.begin(kind, start, duration);
+    wbsim_assert(actual == start, "retirement start raced the L2 port");
+    retire_in_flight_ = true;
+    retiring_index_ = index;
+    retire_done_ = start + duration;
+    stats_.wordsWritten += valid_words;
+    ++stats_.entriesWritten;
+    ++stats_.retirements;
+    if (config_.retirementMode == RetirementMode::FixedRate)
+        next_fixed_attempt_ = start + config_.fixedRatePeriod;
+}
+
+void
+WriteBuffer::completeRetirement()
+{
+    wbsim_assert(retire_in_flight_, "completing a retirement that "
+                 "never started");
+    entries_[retiring_index_].valid = false;
+    entries_[retiring_index_].validMask = 0;
+    retire_in_flight_ = false;
+    noteOccupancyChange(retire_done_);
+}
+
+Cycle
+WriteBuffer::writeEntryNow(std::size_t index, Cycle earliest, L2Txn kind)
+{
+    Entry &entry = entries_[index];
+    wbsim_assert(entry.valid, "flushing an invalid entry");
+    auto valid_words =
+        static_cast<unsigned>(std::popcount(entry.validMask));
+    Cycle start = std::max(earliest, port_.freeAt());
+    Cycle duration = hook_(entry.base, valid_words,
+                           config_.wordsPerEntry(), start);
+    port_.begin(kind, start, duration);
+    entry.valid = false;
+    entry.validMask = 0;
+    stats_.wordsWritten += valid_words;
+    ++stats_.entriesWritten;
+    if (kind == L2Txn::WriteFlush)
+        ++stats_.flushes;
+    else
+        ++stats_.retirements;
+    noteOccupancyChange(start + duration);
+    return start + duration;
+}
+
+void
+WriteBuffer::advanceTo(Cycle now)
+{
+    // Fixed-rate attempts tick past an empty buffer without effect.
+    if (config_.retirementMode == RetirementMode::FixedRate
+        && countValid() == 0) {
+        while (next_fixed_attempt_ < now)
+            next_fixed_attempt_ += config_.fixedRatePeriod;
+    }
+    for (;;) {
+        if (retire_in_flight_) {
+            if (retire_done_ <= now) {
+                completeRetirement();
+                continue;
+            }
+            break;
+        }
+        Cycle trigger = nextTrigger();
+        if (trigger == kNoCycle)
+            break;
+        Cycle start = std::max(trigger, port_.freeAt());
+        if (start >= now)
+            break; // ties go to the reader: read-bypassing
+        int victim = retirementVictim();
+        wbsim_assert(victim >= 0, "trigger with an empty buffer");
+        startRetirement(static_cast<std::size_t>(victim), start,
+                        L2Txn::WriteRetire);
+    }
+    engine_now_ = std::max(engine_now_, now);
+}
+
+Cycle
+WriteBuffer::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
+{
+    advanceTo(now);
+    ++stats_.stores;
+    stats_.occupancy.sample(countValid());
+
+    Addr base = alignDown(addr, config_.entryBytes);
+    std::uint32_t mask = wordMask(addr, size);
+
+    if (config_.coalescing) {
+        if (int target = findMergeTarget(base); target >= 0) {
+            entries_[static_cast<std::size_t>(target)].validMask |= mask;
+            ++stats_.merges;
+            return now;
+        }
+    }
+
+    Cycle t = now;
+    int free = findFreeEntry();
+    if (free < 0) {
+        // Buffer-full stall: wait for the next entry to free.
+        ++stalls.bufferFullEvents;
+        if (!retire_in_flight_) {
+            Cycle trigger = nextTrigger();
+            wbsim_assert(trigger != kNoCycle,
+                         "full buffer with no retirement trigger");
+            int victim = retirementVictim();
+            Cycle start = std::max({trigger, port_.freeAt(), now});
+            startRetirement(static_cast<std::size_t>(victim), start,
+                            L2Txn::WriteRetire);
+        }
+        t = retire_done_;
+        completeRetirement();
+        stalls.bufferFullCycles += t - now;
+        engine_now_ = std::max(engine_now_, t);
+        free = findFreeEntry();
+        wbsim_assert(free >= 0, "no free entry after a retirement");
+    }
+
+    Entry &entry = entries_[static_cast<std::size_t>(free)];
+    entry.base = base;
+    entry.validMask = mask;
+    entry.valid = true;
+    entry.seq = next_seq_++;
+    entry.allocCycle = t;
+    ++stats_.allocations;
+    noteOccupancyChange(t);
+    return t;
+}
+
+LoadProbe
+WriteBuffer::probeLoad(Addr addr, unsigned size) const
+{
+    LoadProbe probe;
+    Addr line_base = alignDown(addr, line_bytes_);
+    Addr line_end = line_base + line_bytes_;
+    Addr entry_base = alignDown(addr, config_.entryBytes);
+    std::uint32_t needed = wordMask(addr, size);
+    std::uint32_t found = 0;
+    for (const Entry &entry : entries_) {
+        if (!entry.valid)
+            continue;
+        Addr end = entry.base + config_.entryBytes;
+        if (entry.base < line_end && end > line_base) {
+            probe.blockHit = true;
+            probe.hitSeq = std::max(probe.hitSeq, entry.seq);
+        }
+        if (entry.base == entry_base)
+            found |= entry.validMask;
+    }
+    probe.wordHit = probe.blockHit && (found & needed) == needed;
+    return probe;
+}
+
+HazardResult
+WriteBuffer::handleLoadHazard(const LoadProbe &probe, Addr addr,
+                              unsigned size, Cycle now)
+{
+    wbsim_assert(probe.blockHit, "hazard handling without a block hit");
+    ++stats_.hazards;
+
+    if (config_.hazardPolicy == LoadHazardPolicy::ReadFromWB) {
+        if (probe.wordHit) {
+            ++stats_.wbServedLoads;
+            return {now + config_.wbHitExtraCycles, true};
+        }
+        // The line is active but the needed word is not valid: the
+        // load reads L2 and merges the active words for free (§2.2).
+        return {now, false};
+    }
+
+    Cycle t = now;
+    // An underway transaction always completes first.
+    if (retire_in_flight_) {
+        t = retire_done_;
+        completeRetirement();
+    }
+
+    // Flush-full empties the entire buffer whenever a hazard occurs
+    // (§2.2) - even when the hit entry was the one mid-retirement.
+    if (config_.hazardPolicy == LoadHazardPolicy::FlushFull) {
+        for (;;) {
+            int oldest = oldestEntry();
+            if (oldest < 0)
+                break;
+            t = writeEntryNow(static_cast<std::size_t>(oldest), t,
+                              L2Txn::WriteFlush);
+        }
+        engine_now_ = std::max(engine_now_, t);
+        return {t, false};
+    }
+
+    // The precise policies flush until the load's line is fully
+    // purged (duplicated blocks can take several rounds).
+    for (;;) {
+        LoadProbe current = probeLoad(addr, size);
+        if (!current.blockHit)
+            break;
+        switch (config_.hazardPolicy) {
+          case LoadHazardPolicy::FlushPartial:
+            for (;;) {
+                int oldest = oldestEntry();
+                if (oldest < 0)
+                    break;
+                auto index = static_cast<std::size_t>(oldest);
+                std::uint64_t seq = entries_[index].seq;
+                t = writeEntryNow(index, t, L2Txn::WriteFlush);
+                if (seq >= current.hitSeq)
+                    break;
+            }
+            break;
+          case LoadHazardPolicy::FlushFull:
+            wbsim_panic("flush-full handled above");
+          case LoadHazardPolicy::FlushItemOnly: {
+            // Flush the oldest entry overlapping the load's line.
+            Addr line_base = alignDown(addr, line_bytes_);
+            Addr line_end = line_base + line_bytes_;
+            int victim = -1;
+            std::uint64_t victim_seq = ~std::uint64_t{0};
+            for (std::size_t i = 0; i < entries_.size(); ++i) {
+                const Entry &entry = entries_[i];
+                if (!entry.valid)
+                    continue;
+                Addr end = entry.base + config_.entryBytes;
+                if (entry.base < line_end && end > line_base
+                    && entry.seq < victim_seq) {
+                    victim_seq = entry.seq;
+                    victim = static_cast<int>(i);
+                }
+            }
+            wbsim_assert(victim >= 0, "block hit but no matching entry");
+            t = writeEntryNow(static_cast<std::size_t>(victim), t,
+                              L2Txn::WriteFlush);
+            break;
+          }
+          case LoadHazardPolicy::ReadFromWB:
+            wbsim_panic("unreachable hazard policy");
+        }
+    }
+    engine_now_ = std::max(engine_now_, t);
+    return {t, false};
+}
+
+Cycle
+WriteBuffer::drainBelow(unsigned target, Cycle now)
+{
+    advanceTo(now);
+    Cycle t = now;
+    while (countValid() >= target) {
+        if (retire_in_flight_) {
+            t = std::max(t, retire_done_);
+            completeRetirement();
+            continue;
+        }
+        int victim = retirementVictim();
+        if (victim < 0)
+            break;
+        t = writeEntryNow(static_cast<std::size_t>(victim), t,
+                          L2Txn::WriteRetire);
+    }
+    engine_now_ = std::max(engine_now_, t);
+    return t;
+}
+
+} // namespace wbsim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The paper's coalescing FIFO write buffer (§2.2).
+ *
+ * Entries hold one address-aligned block each, with per-word valid
+ * bits. Incoming stores merge into a matching entry or allocate a
+ * new one; the buffer autonomously retires entries to L2 according
+ * to its retirement policy, and resolves load hazards according to
+ * its load-hazard policy. Stall cycles are attributed per Table 3.
+ */
+
+#ifndef WBSIM_CORE_WRITE_BUFFER_HH
+#define WBSIM_CORE_WRITE_BUFFER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/store_buffer.hh"
+#include "mem/l2_port.hh"
+
+namespace wbsim
+{
+
+/**
+ * Performs the functional L2 write for one buffer entry and returns
+ * how long the L2 port is held.
+ *
+ * @param base entry base address.
+ * @param valid_words number of valid words in the entry.
+ * @param total_words entry capacity in words.
+ * @param start cycle at which the transfer begins.
+ * @return port occupancy in cycles (>= 1).
+ */
+using L2WriteHook = std::function<Cycle(Addr base, unsigned valid_words,
+                                        unsigned total_words,
+                                        Cycle start)>;
+
+/** The coalescing FIFO write buffer. */
+class WriteBuffer : public StoreBuffer
+{
+  public:
+    /**
+     * @param config validated configuration (kind == WriteBuffer).
+     * @param port the shared L2 port.
+     * @param hook functional L2 write callback.
+     * @param line_bytes L1 line size, the granularity of load-hazard
+     *        detection (an L1 fill must not bypass *any* stale word
+     *        of its line, §2.2).
+     */
+    WriteBuffer(const WriteBufferConfig &config, L2Port &port,
+                L2WriteHook hook, unsigned line_bytes = 32);
+
+    void advanceTo(Cycle now) override;
+    Cycle store(Addr addr, unsigned size, Cycle now,
+                StallStats &stalls) override;
+    LoadProbe probeLoad(Addr addr, unsigned size) const override;
+    HazardResult handleLoadHazard(const LoadProbe &probe, Addr addr,
+                                  unsigned size, Cycle now) override;
+    unsigned occupancy() const override;
+    Cycle drainBelow(unsigned target, Cycle now) override;
+
+    const WriteBufferConfig &config() const override { return config_; }
+    const StoreBufferStats &stats() const override { return stats_; }
+    void resetStats() override { stats_.reset(); }
+
+    /** True if a retirement is in flight (for tests). */
+    bool retirementUnderway() const { return retire_in_flight_; }
+
+    /** How far the retirement engine has been advanced (tests). */
+    Cycle engineTime() const { return engine_now_; }
+
+  private:
+    struct Entry
+    {
+        Addr base = 0;
+        std::uint32_t validMask = 0;
+        bool valid = false;
+        std::uint64_t seq = 0;     //!< FIFO order (allocation order)
+        Cycle allocCycle = 0;      //!< for the age-timeout policy
+    };
+
+    WriteBufferConfig config_;
+    L2Port &port_;
+    L2WriteHook hook_;
+    unsigned line_bytes_;
+
+    std::vector<Entry> entries_;
+    std::uint64_t next_seq_ = 1;
+    Cycle engine_now_ = 0;
+
+    bool retire_in_flight_ = false;
+    std::size_t retiring_index_ = 0;
+    Cycle retire_done_ = 0;
+
+    /** Cycle at which the occupancy condition last became true, or
+     *  kNoCycle while occupancy < highWaterMark. */
+    Cycle occupancy_since_ = kNoCycle;
+    /** Next scheduled attempt for fixed-rate retirement. */
+    Cycle next_fixed_attempt_;
+
+    StoreBufferStats stats_;
+
+    unsigned countValid() const;
+    int findMergeTarget(Addr base) const;
+    int findFreeEntry() const;
+    /** FIFO-oldest valid entry that is not mid-retirement. */
+    int oldestEntry() const;
+    /** Entry the retirement policy picks next (Table 2's order). */
+    int retirementVictim() const;
+    std::uint32_t wordMask(Addr addr, unsigned size) const;
+
+    /** Earliest cycle a retirement is wanted, or kNoCycle. */
+    Cycle nextTrigger() const;
+    void startRetirement(std::size_t index, Cycle start, L2Txn kind);
+    void completeRetirement();
+    void noteOccupancyChange(Cycle at);
+
+    /** Write one entry to L2 beginning no earlier than @p earliest;
+     *  frees the entry. @return completion cycle. */
+    Cycle writeEntryNow(std::size_t index, Cycle earliest, L2Txn kind);
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_CORE_WRITE_BUFFER_HH

@@ -1,0 +1,257 @@
+#include "core/write_cache.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+WriteCache::WriteCache(const WriteBufferConfig &config, L2Port &port,
+                       L2WriteHook hook, unsigned line_bytes)
+    : config_(config), port_(port), hook_(std::move(hook)),
+      line_bytes_(line_bytes)
+{
+    config_.validate();
+    wbsim_assert(config_.kind == BufferKind::WriteCache,
+                 "WriteCache built from a write-buffer config");
+    wbsim_assert(hook_ != nullptr, "write cache needs an L2 write hook");
+    entries_.resize(config_.depth);
+}
+
+int
+WriteCache::findEntry(Addr base) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].valid && entries_[i].base == base)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+WriteCache::findFree() const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (!entries_[i].valid)
+            return static_cast<int>(i);
+    return -1;
+}
+
+int
+WriteCache::lruEntry() const
+{
+    int best = -1;
+    std::uint64_t best_use = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].valid && entries_[i].lastUse < best_use) {
+            best_use = entries_[i].lastUse;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+std::uint32_t
+WriteCache::wordMask(Addr addr, unsigned size) const
+{
+    const unsigned entry_bytes = config_.entryBytes;
+    const unsigned word_bytes = config_.wordBytes;
+    Addr offset = addr & (entry_bytes - 1);
+    wbsim_assert(offset + size <= entry_bytes,
+                 "access crosses a write-cache entry boundary");
+    unsigned first = static_cast<unsigned>(offset / word_bytes);
+    unsigned last = static_cast<unsigned>((offset + size - 1) / word_bytes);
+    std::uint32_t mask = 0;
+    for (unsigned w = first; w <= last; ++w)
+        mask |= (1u << w);
+    return mask;
+}
+
+Cycle
+WriteCache::writeOut(std::size_t index, Cycle earliest, L2Txn kind)
+{
+    Entry &entry = entries_[index];
+    wbsim_assert(entry.valid, "writing out an invalid write-cache entry");
+    auto valid_words =
+        static_cast<unsigned>(std::popcount(entry.validMask));
+    Cycle start = std::max(earliest, port_.freeAt());
+    Cycle duration = hook_(entry.base, valid_words,
+                           config_.wordsPerEntry(), start);
+    port_.begin(kind, start, duration);
+    entry.valid = false;
+    entry.validMask = 0;
+    stats_.wordsWritten += valid_words;
+    ++stats_.entriesWritten;
+    if (kind == L2Txn::WriteFlush)
+        ++stats_.flushes;
+    else
+        ++stats_.retirements;
+    return start + duration;
+}
+
+void
+WriteCache::advanceTo(Cycle now)
+{
+    // The write cache has no autonomous retirement engine; the only
+    // background activity is the in-flight eviction write, which is
+    // pure timing state.
+    (void)now;
+}
+
+unsigned
+WriteCache::occupancy() const
+{
+    unsigned n = 0;
+    for (const Entry &entry : entries_)
+        if (entry.valid)
+            ++n;
+    return n;
+}
+
+Cycle
+WriteCache::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
+{
+    ++stats_.stores;
+    stats_.occupancy.sample(occupancy());
+
+    Addr base = alignDown(addr, config_.entryBytes);
+    std::uint32_t mask = wordMask(addr, size);
+
+    if (config_.coalescing) {
+        if (int hit = findEntry(base); hit >= 0) {
+            auto index = static_cast<std::size_t>(hit);
+            entries_[index].validMask |= mask;
+            entries_[index].lastUse = ++use_clock_;
+            ++stats_.merges;
+            return now;
+        }
+    }
+
+    Cycle t = now;
+    int slot = findFree();
+    if (slot < 0) {
+        // Must evict the LRU block. The eviction register holds one
+        // outgoing block; if it is still draining we stall.
+        if (evict_done_ > t) {
+            ++stalls.bufferFullEvents;
+            stalls.bufferFullCycles += evict_done_ - t;
+            t = evict_done_;
+        }
+        int victim = lruEntry();
+        wbsim_assert(victim >= 0, "full write cache with no LRU victim");
+        auto index = static_cast<std::size_t>(victim);
+        // The victim's data moves to the eviction register and the
+        // slot is reused immediately; the write itself drains in the
+        // background.
+        auto valid_words = static_cast<unsigned>(
+            std::popcount(entries_[index].validMask));
+        Cycle start = std::max(t, port_.freeAt());
+        Cycle duration = hook_(entries_[index].base, valid_words,
+                               config_.wordsPerEntry(), start);
+        port_.begin(L2Txn::WriteRetire, start, duration);
+        evict_done_ = start + duration;
+        stats_.wordsWritten += valid_words;
+        ++stats_.entriesWritten;
+        ++stats_.retirements;
+        entries_[index].valid = false;
+        entries_[index].validMask = 0;
+        slot = victim;
+    }
+
+    Entry &entry = entries_[static_cast<std::size_t>(slot)];
+    entry.base = base;
+    entry.validMask = mask;
+    entry.valid = true;
+    entry.lastUse = ++use_clock_;
+    entry.seq = next_seq_++;
+    ++stats_.allocations;
+    return t;
+}
+
+LoadProbe
+WriteCache::probeLoad(Addr addr, unsigned size) const
+{
+    LoadProbe probe;
+    Addr line_base = alignDown(addr, line_bytes_);
+    Addr line_end = line_base + line_bytes_;
+    Addr entry_base = alignDown(addr, config_.entryBytes);
+    std::uint32_t needed = wordMask(addr, size);
+    std::uint32_t found = 0;
+    for (const Entry &entry : entries_) {
+        if (!entry.valid)
+            continue;
+        Addr end = entry.base + config_.entryBytes;
+        if (entry.base < line_end && end > line_base) {
+            probe.blockHit = true;
+            probe.hitSeq = std::max(probe.hitSeq, entry.seq);
+        }
+        if (entry.base == entry_base)
+            found |= entry.validMask;
+    }
+    probe.wordHit = probe.blockHit && (found & needed) == needed;
+    return probe;
+}
+
+HazardResult
+WriteCache::handleLoadHazard(const LoadProbe &probe, Addr addr,
+                             unsigned size, Cycle now)
+{
+    (void)size; // word selection already resolved in the probe
+    wbsim_assert(probe.blockHit, "hazard handling without a block hit");
+    ++stats_.hazards;
+
+    if (config_.hazardPolicy == LoadHazardPolicy::ReadFromWB) {
+        if (probe.wordHit) {
+            ++stats_.wbServedLoads;
+            return {now + config_.wbHitExtraCycles, true};
+        }
+        return {now, false};
+    }
+
+    Cycle t = now;
+    // An in-flight eviction write completes first.
+    t = std::max(t, evict_done_);
+
+    switch (config_.hazardPolicy) {
+      case LoadHazardPolicy::FlushFull:
+      case LoadHazardPolicy::FlushPartial: // no FIFO order: full flush
+        for (std::size_t i = 0; i < entries_.size(); ++i)
+            if (entries_[i].valid)
+                t = writeOut(i, t, L2Txn::WriteFlush);
+        break;
+      case LoadHazardPolicy::FlushItemOnly: {
+        Addr line_base = alignDown(addr, line_bytes_);
+        Addr line_end = line_base + line_bytes_;
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            const Entry &entry = entries_[i];
+            if (!entry.valid)
+                continue;
+            Addr end = entry.base + config_.entryBytes;
+            if (entry.base < line_end && end > line_base)
+                t = writeOut(i, t, L2Txn::WriteFlush);
+        }
+        break;
+      }
+      case LoadHazardPolicy::ReadFromWB:
+        wbsim_panic("unreachable hazard policy");
+    }
+    return {t, false};
+}
+
+Cycle
+WriteCache::drainBelow(unsigned target, Cycle now)
+{
+    Cycle t = std::max(now, evict_done_);
+    while (occupancy() >= target) {
+        int victim = lruEntry();
+        if (victim < 0)
+            break;
+        t = writeOut(static_cast<std::size_t>(victim), t,
+                     L2Txn::WriteRetire);
+    }
+    return t;
+}
+
+} // namespace wbsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Jouppi-style write cache (paper §1 related work; our ablation A5).
+ *
+ * A small, fully-associative cache of write blocks with LRU
+ * replacement. Unlike the FIFO write buffer it never retires
+ * autonomously: a block is written to L2 only when it must be
+ * evicted to make room for a newly-allocated block (or when a load
+ * hazard forces a flush). One eviction write may be in flight at a
+ * time; a store that needs the eviction slot while it is busy takes
+ * a buffer-full stall.
+ *
+ * FlushPartial has no FIFO meaning here and behaves as FlushFull.
+ */
+
+#ifndef WBSIM_CORE_WRITE_CACHE_HH
+#define WBSIM_CORE_WRITE_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/store_buffer.hh"
+#include "core/write_buffer.hh" // for L2WriteHook
+#include "mem/l2_port.hh"
+
+namespace wbsim
+{
+
+/** Fully-associative, LRU, retire-on-evict store buffer. */
+class WriteCache : public StoreBuffer
+{
+  public:
+    WriteCache(const WriteBufferConfig &config, L2Port &port,
+               L2WriteHook hook, unsigned line_bytes = 32);
+
+    void advanceTo(Cycle now) override;
+    Cycle store(Addr addr, unsigned size, Cycle now,
+                StallStats &stalls) override;
+    LoadProbe probeLoad(Addr addr, unsigned size) const override;
+    HazardResult handleLoadHazard(const LoadProbe &probe, Addr addr,
+                                  unsigned size, Cycle now) override;
+    unsigned occupancy() const override;
+    Cycle drainBelow(unsigned target, Cycle now) override;
+
+    const WriteBufferConfig &config() const override { return config_; }
+    const StoreBufferStats &stats() const override { return stats_; }
+    void resetStats() override { stats_.reset(); }
+
+  private:
+    struct Entry
+    {
+        Addr base = 0;
+        std::uint32_t validMask = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+        std::uint64_t seq = 0;
+    };
+
+    WriteBufferConfig config_;
+    L2Port &port_;
+    L2WriteHook hook_;
+    unsigned line_bytes_;
+
+    std::vector<Entry> entries_;
+    std::uint64_t use_clock_ = 0;
+    std::uint64_t next_seq_ = 1;
+    /** Completion cycle of the eviction write in flight (0 = idle). */
+    Cycle evict_done_ = 0;
+
+    StoreBufferStats stats_;
+
+    int findEntry(Addr base) const;
+    int findFree() const;
+    int lruEntry() const;
+    std::uint32_t wordMask(Addr addr, unsigned size) const;
+
+    /** Write entry @p index to L2 no earlier than @p earliest and
+     *  free it synchronously. @return completion cycle. */
+    Cycle writeOut(std::size_t index, Cycle earliest, L2Txn kind);
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_CORE_WRITE_CACHE_HH

@@ -1,0 +1,101 @@
+#include "harness/experiment.hh"
+
+#include <cmath>
+
+#include "sim/simulator.hh"
+#include "util/options.hh"
+#include "util/thread_pool.hh"
+#include "workloads/generator.hh"
+
+namespace wbsim
+{
+
+RunnerOptions
+RunnerOptions::fromEnvironment()
+{
+    RunnerOptions options;
+    options.instructions = envUint("WBSIM_INSTRUCTIONS", 1'000'000);
+    options.warmup =
+        envUint("WBSIM_WARMUP", options.instructions / 2);
+    options.threads = defaultThreads();
+    options.seed = envUint("WBSIM_SEED", 1);
+    return options;
+}
+
+SimResults
+runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
+       Count instructions, std::uint64_t seed, Count warmup)
+{
+    SyntheticSource source(profile, instructions + warmup, seed);
+    Simulator simulator(machine);
+    if (warmup > 0) {
+        TraceRecord record;
+        Count done = 0;
+        while (done < warmup && source.next(record)) {
+            simulator.step(record);
+            ++done;
+        }
+        simulator.resetStats();
+    }
+    return simulator.run(source);
+}
+
+ExperimentResults
+runExperiment(const Experiment &experiment,
+              const std::vector<BenchmarkProfile> &profiles,
+              const RunnerOptions &options)
+{
+    const std::size_t benchmarks = profiles.size();
+    const std::size_t variants = experiment.variants.size();
+    ExperimentResults results(benchmarks,
+                              std::vector<SimResults>(variants));
+    parallelFor(benchmarks * variants, options.threads,
+                [&](std::size_t index) {
+                    std::size_t b = index / variants;
+                    std::size_t v = index % variants;
+                    results[b][v] =
+                        runOne(profiles[b],
+                               experiment.variants[v].machine,
+                               options.instructions, options.seed,
+                               options.warmup);
+                });
+    return results;
+}
+
+std::vector<SimResults>
+runReplicated(const BenchmarkProfile &profile,
+              const MachineConfig &machine,
+              const RunnerOptions &options, unsigned replicas)
+{
+    std::vector<SimResults> runs(replicas);
+    parallelFor(replicas, options.threads, [&](std::size_t i) {
+        runs[i] = runOne(profile, machine, options.instructions,
+                         options.seed + i, options.warmup);
+    });
+    return runs;
+}
+
+MetricSummary
+summarizeMetric(const std::vector<SimResults> &runs,
+                const std::function<double(const SimResults &)> &metric)
+{
+    MetricSummary summary;
+    summary.n = runs.size();
+    if (runs.empty())
+        return summary;
+    double sum = 0.0;
+    for (const SimResults &r : runs)
+        sum += metric(r);
+    summary.mean = sum / double(runs.size());
+    if (runs.size() > 1) {
+        double ss = 0.0;
+        for (const SimResults &r : runs) {
+            double d = metric(r) - summary.mean;
+            ss += d * d;
+        }
+        summary.sd = std::sqrt(ss / double(runs.size() - 1));
+    }
+    return summary;
+}
+
+} // namespace wbsim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment descriptions and the grid runner: each of the paper's
+ * figures is "all benchmarks x a set of machine variants".
+ */
+
+#ifndef WBSIM_HARNESS_EXPERIMENT_HH
+#define WBSIM_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/machine_config.hh"
+#include "sim/results.hh"
+#include "workloads/profile.hh"
+
+namespace wbsim
+{
+
+/** One machine variant within an experiment (one bar per group). */
+struct ConfigVariant
+{
+    /** Short label, e.g. "retire-at-4" or "8k". */
+    std::string label;
+    MachineConfig machine;
+};
+
+/** One of the paper's figures/tables as a runnable experiment. */
+struct Experiment
+{
+    /** Identity like "fig04". */
+    std::string id;
+    /** Paper caption, e.g. "Stall Cycles as a Function of Depth". */
+    std::string title;
+    /** Sub-caption, e.g. "retire-at-2, flush-full". */
+    std::string subtitle;
+    std::vector<ConfigVariant> variants;
+};
+
+/** Results indexed [benchmark][variant]. */
+using ExperimentResults = std::vector<std::vector<SimResults>>;
+
+/** Settings for running experiment grids. */
+struct RunnerOptions
+{
+    /** Instructions per simulation; WBSIM_INSTRUCTIONS overrides. */
+    Count instructions = 0;
+    /** Warmup instructions before stats reset; WBSIM_WARMUP
+     *  overrides. Warmup populates the caches so steady-state rates
+     *  are measured (the paper's full-program runs amortise
+     *  compulsory misses; short synthetic runs must warm up). */
+    Count warmup = 0;
+    /** Worker threads; WBSIM_THREADS overrides, 0 = all cores. */
+    unsigned threads = 0;
+    /** Workload generator seed. */
+    std::uint64_t seed = 1;
+
+    /** Resolve env overrides and defaults. */
+    static RunnerOptions fromEnvironment();
+};
+
+/** Run one benchmark on one machine. */
+SimResults runOne(const BenchmarkProfile &profile,
+                  const MachineConfig &machine, Count instructions,
+                  std::uint64_t seed = 1, Count warmup = 0);
+
+/** Run the full benchmark x variant grid, in parallel. */
+ExperimentResults runExperiment(const Experiment &experiment,
+                                const std::vector<BenchmarkProfile> &
+                                    profiles,
+                                const RunnerOptions &options);
+
+/** Mean and sample standard deviation of a metric over replicas. */
+struct MetricSummary
+{
+    double mean = 0.0;
+    double sd = 0.0;
+    std::size_t n = 0;
+};
+
+/**
+ * Run one benchmark/machine cell with @p replicas different workload
+ * seeds (baseSeed, baseSeed+1, ...), in parallel. Seed replication
+ * quantifies how much of a result is workload-model noise versus
+ * design signal.
+ */
+std::vector<SimResults> runReplicated(const BenchmarkProfile &profile,
+                                      const MachineConfig &machine,
+                                      const RunnerOptions &options,
+                                      unsigned replicas);
+
+/** Summarise a metric (e.g. &SimResults::pctTotalStalls). */
+MetricSummary summarizeMetric(
+    const std::vector<SimResults> &runs,
+    const std::function<double(const SimResults &)> &metric);
+
+} // namespace wbsim
+
+#endif // WBSIM_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Factories for every figure and ablation experiment (DESIGN.md §4).
+ * Each returns an Experiment whose variants mirror the bars of the
+ * corresponding paper figure.
+ */
+
+#ifndef WBSIM_HARNESS_FIGURES_HH
+#define WBSIM_HARNESS_FIGURES_HH
+
+#include "harness/experiment.hh"
+
+namespace wbsim::figures
+{
+
+/** The paper's baseline machine (Tables 1 and 2): 8K L1, perfect
+ *  I-cache and L2, 6-cycle L2, 4-deep retire-at-2 flush-full WB. */
+MachineConfig baselineMachine();
+
+/** A "baseline+" machine: 12-deep, retire-at-2, flush-full. */
+MachineConfig baselinePlusMachine();
+
+Experiment figure03(); //!< baseline stall breakdown
+Experiment figure04(); //!< depth 2..12
+Experiment figure05(); //!< retire-at-2..10 @ 12-deep flush-full
+Experiment figure06(); //!< hazard policies @ 12-deep retire-at-10
+Experiment figure07(); //!< hazard policies @ 12-deep retire-at-8
+Experiment figure08(); //!< retirement sweep, flush-partial, headroom 6
+Experiment figure09(); //!< retirement sweep, flush-item-only, headroom 6
+Experiment figure10(); //!< L1 size 8K/16K/32K
+Experiment figure11(); //!< L2 latency 3/6/10
+Experiment figure12(); //!< perfect vs 1M/512K/128K L2
+Experiment figure13(); //!< memory latency 25/50
+
+Experiment ablationFixedRate();     //!< A1: occupancy vs fixed-rate
+Experiment ablationAgeTimeout();    //!< A2: 21064/21164 timeouts
+Experiment ablationWritePriority(); //!< A3: UltraSPARC arbitration
+Experiment ablationNonCoalescing(); //!< A4: 1-word entries
+Experiment ablationWriteCache();    //!< A5: Jouppi write cache
+Experiment ablationDatapath();      //!< A6: narrow L2 datapath
+Experiment ablationIssueWidth();    //!< A7: superscalar store density
+Experiment ablationBubbles();       //!< A8: pipeline bubbles
+Experiment ablationICache();        //!< A9: real instruction cache
+Experiment ablationWbHitCost();     //!< A10: read-from-WB hit cost
+Experiment ablationEntryWidth();    //!< A11: entry width (Table 2)
+Experiment ablationRetireOrder();   //!< A13: retirement order (Table 2)
+Experiment ablationWriteAllocate(); //!< A14: L1 write-miss policy
+
+} // namespace wbsim::figures
+
+#endif // WBSIM_HARNESS_FIGURES_HH

@@ -1,0 +1,72 @@
+#include "harness/machines.hh"
+
+#include "harness/figures.hh"
+
+namespace wbsim::machines
+{
+
+MachineConfig
+alpha21064()
+{
+    // §2.2: "the Alpha 21064 retires the oldest entry if 2 or more
+    // entries are valid", flush-full on load hazards, and a lone
+    // entry retires "after 256 cycles".
+    MachineConfig machine = figures::baselineMachine();
+    machine.writeBuffer.depth = 4;
+    machine.writeBuffer.highWaterMark = 2;
+    machine.writeBuffer.hazardPolicy = LoadHazardPolicy::FlushFull;
+    machine.writeBuffer.ageTimeout = 256;
+    return machine;
+}
+
+MachineConfig
+alpha21164()
+{
+    // §2.2: "The 21164 has a similar buffer that is 6 entries deep
+    // and uses flush-partial"; its age timeout is 64 cycles.
+    MachineConfig machine = figures::baselineMachine();
+    machine.writeBuffer.depth = 6;
+    machine.writeBuffer.highWaterMark = 2;
+    machine.writeBuffer.hazardPolicy = LoadHazardPolicy::FlushPartial;
+    machine.writeBuffer.ageTimeout = 64;
+    return machine;
+}
+
+MachineConfig
+ultraSparc()
+{
+    // §2.2: "The UltraSPARC-I uses read-bypassing until the buffer
+    // becomes too full, at which point the write buffer gets
+    // priority for L2." The threshold is modelled as depth - 1.
+    MachineConfig machine = figures::baselineMachine();
+    machine.writeBuffer.depth = 8;
+    machine.writeBuffer.highWaterMark = 2;
+    machine.writeBuffer.hazardPolicy = LoadHazardPolicy::FlushFull;
+    machine.writeBuffer.writePriorityThreshold = 7;
+    return machine;
+}
+
+MachineConfig
+paperRecommendation()
+{
+    // §3.5: "a deep, read-from-WB buffer with at least 4 to 6
+    // entries of headroom".
+    MachineConfig machine = figures::baselineMachine();
+    machine.writeBuffer.depth = 12;
+    machine.writeBuffer.highWaterMark = 8;
+    machine.writeBuffer.hazardPolicy = LoadHazardPolicy::ReadFromWB;
+    return machine;
+}
+
+std::vector<NamedMachine>
+allMachines()
+{
+    return {
+        {"Alpha-21064", alpha21064()},
+        {"Alpha-21164", alpha21164()},
+        {"UltraSPARC", ultraSparc()},
+        {"paper-best", paperRecommendation()},
+    };
+}
+
+} // namespace wbsim::machines

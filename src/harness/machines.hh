@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Named write-buffer presets for the real machines the paper uses
+ * as reference points throughout (§2.2, Table 2 and the citations
+ * to the 21064/21164 hardware reference manuals and the
+ * UltraSPARC-I paper).
+ */
+
+#ifndef WBSIM_HARNESS_MACHINES_HH
+#define WBSIM_HARNESS_MACHINES_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/machine_config.hh"
+
+namespace wbsim::machines
+{
+
+/**
+ * DEC Alpha 21064: 4-deep, cache-line-wide, retire-at-2,
+ * flush-full, 256-cycle age timeout on lingering entries.
+ */
+MachineConfig alpha21064();
+
+/**
+ * DEC Alpha 21164: 6-deep, retire-at-2, flush-partial, 64-cycle age
+ * timeout.
+ */
+MachineConfig alpha21164();
+
+/**
+ * SUN UltraSPARC-I style: 8-deep, read-bypassing until the buffer
+ * nears full, at which point writes get priority for L2.
+ */
+MachineConfig ultraSparc();
+
+/**
+ * The paper's §3.5 recommendation: 12-deep, retire-at-8 (4-6
+ * entries of headroom), read-from-WB.
+ */
+MachineConfig paperRecommendation();
+
+/** One named preset. */
+struct NamedMachine
+{
+    std::string name;
+    MachineConfig machine;
+};
+
+/** All presets, in the order above. */
+std::vector<NamedMachine> allMachines();
+
+} // namespace wbsim::machines
+
+#endif // WBSIM_HARNESS_MACHINES_HH

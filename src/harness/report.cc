@@ -1,0 +1,105 @@
+#include "harness/report.hh"
+
+#include <sstream>
+
+#include "util/barchart.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace wbsim
+{
+
+void
+printExperimentReport(std::ostream &os, const Experiment &experiment,
+                      const std::vector<BenchmarkProfile> &profiles,
+                      const ExperimentResults &results,
+                      const ReportOptions &options)
+{
+    wbsim_assert(results.size() == profiles.size(),
+                 "result/profile size mismatch");
+
+    os << "== " << experiment.id << ": " << experiment.title << "\n";
+    if (!experiment.subtitle.empty())
+        os << "   (" << experiment.subtitle << ")\n";
+
+    TextTable table;
+    std::vector<std::string> header = {"benchmark", "config",
+                                       "R%", "F%", "L%", "T%"};
+    if (options.extended) {
+        header.insert(header.end(),
+                      {"L1hit%", "WBhit%", "haz", "wb-served",
+                       "words/wr"});
+    }
+    table.setHeader(header);
+
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        for (std::size_t v = 0; v < experiment.variants.size(); ++v) {
+            const SimResults &r = results[b][v];
+            std::vector<std::string> row = {
+                profiles[b].name,
+                experiment.variants[v].label,
+                formatPercent(r.pctL2ReadAccess()),
+                formatPercent(r.pctBufferFull()),
+                formatPercent(r.pctLoadHazard()),
+                formatPercent(r.pctTotalStalls()),
+            };
+            if (options.extended) {
+                row.push_back(formatPercent(100 * r.l1LoadHitRate()));
+                row.push_back(formatPercent(100 * r.wbMergeRate()));
+                row.push_back(std::to_string(r.wbHazards));
+                row.push_back(std::to_string(r.wbServedLoads));
+                double words = r.wbEntriesWritten
+                    ? double(r.wbWordsWritten) / double(r.wbEntriesWritten)
+                    : 0.0;
+                row.push_back(formatDouble(words, 2));
+            }
+            table.addRow(std::move(row));
+        }
+        if (experiment.variants.size() > 1
+            && b + 1 < profiles.size()) {
+            table.addSeparator();
+        }
+    }
+    table.render(os);
+
+    if (options.csv) {
+        os << "-- csv --\n";
+        table.renderCsv(os);
+    }
+
+    if (options.barChart) {
+        BarChart chart({"L2-read-access", "buffer-full", "load-hazard"});
+        for (std::size_t b = 0; b < profiles.size(); ++b) {
+            chart.beginGroup(profiles[b].name);
+            for (std::size_t v = 0; v < experiment.variants.size();
+                 ++v) {
+                const SimResults &r = results[b][v];
+                chart.addBar(StackedBar{
+                    experiment.variants[v].label,
+                    {r.pctL2ReadAccess(), r.pctBufferFull(),
+                     r.pctLoadHazard()}});
+            }
+        }
+        chart.render(os);
+    }
+    os << "\n";
+}
+
+std::string
+summarizeRun(const SimResults &results)
+{
+    std::ostringstream os;
+    os << results.workload << " [" << results.machine << "]: "
+       << results.instructions << " instructions, " << results.cycles
+       << " cycles (CPI " << formatDouble(
+              results.instructions
+                  ? double(results.cycles) / double(results.instructions)
+                  : 0.0, 3)
+       << "); stalls R=" << formatPercent(results.pctL2ReadAccess())
+       << "% F=" << formatPercent(results.pctBufferFull())
+       << "% L=" << formatPercent(results.pctLoadHazard())
+       << "% T=" << formatPercent(results.pctTotalStalls()) << "%";
+    return os.str();
+}
+
+} // namespace wbsim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Paper-style rendering of experiment results: a numeric table
+ * (stall percentages by category) plus a text version of the
+ * stacked-bar figures.
+ */
+
+#ifndef WBSIM_HARNESS_REPORT_HH
+#define WBSIM_HARNESS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace wbsim
+{
+
+/** Options controlling report rendering. */
+struct ReportOptions
+{
+    bool barChart = true;  //!< render the text figure
+    bool csv = false;      //!< additionally emit CSV rows
+    bool extended = false; //!< extra columns (hit rates, traffic)
+};
+
+/**
+ * Print the full report for one experiment: title, per-benchmark
+ * stall table (R/F/L/T as % of execution time, matching the paper's
+ * bar order), and a stacked text bar chart.
+ */
+void printExperimentReport(std::ostream &os, const Experiment &experiment,
+                           const std::vector<BenchmarkProfile> &profiles,
+                           const ExperimentResults &results,
+                           const ReportOptions &options = {});
+
+/** One-line summary of a single run (for examples and debugging). */
+std::string summarizeRun(const SimResults &results);
+
+} // namespace wbsim
+
+#endif // WBSIM_HARNESS_REPORT_HH

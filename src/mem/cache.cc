@@ -1,0 +1,177 @@
+#include "mem/cache.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+std::uint64_t
+CacheGeometry::sets() const
+{
+    return sizeBytes / (lineBytes * associativity);
+}
+
+void
+CacheGeometry::validate(const std::string &what) const
+{
+    if (!isPowerOfTwo(sizeBytes) || !isPowerOfTwo(lineBytes)
+        || !isPowerOfTwo(associativity)) {
+        wbsim_fatal(what, ": cache size, line size and associativity "
+                    "must be powers of two");
+    }
+    if (lineBytes * associativity > sizeBytes)
+        wbsim_fatal(what, ": cache smaller than one set");
+}
+
+Cache::Cache(const CacheGeometry &geometry, std::string name)
+    : geometry_(geometry), name_(std::move(name))
+{
+    geometry_.validate(name_);
+    lines_.resize(geometry_.sets() * geometry_.associativity);
+    setShift_ = exactLog2(geometry_.lineBytes);
+    setMask_ = geometry_.sets() - 1;
+}
+
+Addr
+Cache::blockAlign(Addr addr) const
+{
+    return alignDown(addr, geometry_.lineBytes);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::size_t>((addr >> setShift_) & setMask_);
+}
+
+Cache::Line *
+Cache::findLine(Addr addr)
+{
+    Addr tag = blockAlign(addr);
+    std::size_t base = setIndex(addr) * geometry_.associativity;
+    for (std::size_t w = 0; w < geometry_.associativity; ++w) {
+        Line &line = lines_[base + w];
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr addr) const
+{
+    return const_cast<Cache *>(this)->findLine(addr);
+}
+
+Cache::Line *
+Cache::victimLine(Addr addr)
+{
+    std::size_t base = setIndex(addr) * geometry_.associativity;
+    Line *victim = nullptr;
+    for (std::size_t w = 0; w < geometry_.associativity; ++w) {
+        Line &line = lines_[base + w];
+        if (!line.valid)
+            return &line; // free way: no eviction needed
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    return victim;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->lastUse = ++useClock_;
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return findLine(addr) != nullptr;
+}
+
+std::optional<Eviction>
+Cache::allocate(Addr addr, bool dirty)
+{
+    wbsim_assert(!probe(addr), "allocating a line that is present in ",
+                 name_);
+    Line *victim = victimLine(addr);
+    std::optional<Eviction> eviction;
+    if (victim->valid)
+        eviction = Eviction{victim->tag, victim->dirty};
+    victim->tag = blockAlign(addr);
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lastUse = ++useClock_;
+    return eviction;
+}
+
+bool
+Cache::setDirty(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->dirty = true;
+        return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    if (Line *line = findLine(addr)) {
+        line->valid = false;
+        line->dirty = false;
+        return true;
+    }
+    return false;
+}
+
+void
+Cache::invalidateAll()
+{
+    for (Line &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+std::uint64_t
+Cache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const Line &line : lines_)
+        if (line.valid)
+            ++n;
+    return n;
+}
+
+void
+Cache::forEachValidLine(const std::function<void(Addr, bool)> &fn) const
+{
+    for (const Line &line : lines_)
+        if (line.valid)
+            fn(line.tag, line.dirty);
+}
+
+double
+Cache::hitRate() const
+{
+    return stats::ratio(hits_.value(), hits_.value() + misses_.value());
+}
+
+void
+Cache::resetStats()
+{
+    hits_.reset();
+    misses_.reset();
+}
+
+} // namespace wbsim

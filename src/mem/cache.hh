@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Generic set-associative cache tag store with true-LRU replacement.
+ *
+ * The simulator separates *function* from *timing*: tag stores like
+ * this one answer hit/miss/eviction questions, while all cycle
+ * accounting happens in the Simulator. No data values are modelled;
+ * the paper's study depends only on address behaviour.
+ */
+
+#ifndef WBSIM_MEM_CACHE_HH
+#define WBSIM_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** Geometry of a cache tag store. */
+struct CacheGeometry
+{
+    std::uint64_t sizeBytes = 8 * 1024;
+    std::uint64_t lineBytes = 32;
+    std::uint64_t associativity = 1;
+
+    std::uint64_t sets() const;
+    /** fatal() unless all fields are consistent powers of two. */
+    void validate(const std::string &what) const;
+};
+
+/** Outcome of an allocation: the victim line, if one was evicted. */
+struct Eviction
+{
+    Addr blockAddr = 0;
+    bool dirty = false;
+};
+
+/**
+ * A set-associative tag store with per-line valid and dirty bits and
+ * true LRU. Addresses are byte addresses; all interfaces operate on
+ * the containing line.
+ */
+class Cache
+{
+  public:
+    Cache(const CacheGeometry &geometry, std::string name);
+
+    const CacheGeometry &geometry() const { return geometry_; }
+    const std::string &name() const { return name_; }
+
+    /** Line-align an address. */
+    Addr blockAlign(Addr addr) const;
+
+    /**
+     * Look up @p addr; promotes the line to MRU on hit.
+     * @return true on hit.
+     */
+    bool access(Addr addr);
+
+    /** Look up without disturbing replacement state. */
+    bool probe(Addr addr) const;
+
+    /**
+     * Insert the line containing @p addr (must not be present),
+     * evicting the LRU line of its set if the set is full.
+     * @return the eviction, if any.
+     */
+    std::optional<Eviction> allocate(Addr addr, bool dirty = false);
+
+    /** Mark the line containing @p addr dirty; false if absent. */
+    bool setDirty(Addr addr);
+
+    /** Drop the line containing @p addr; false if absent. */
+    bool invalidate(Addr addr);
+
+    /** Drop every line. */
+    void invalidateAll();
+
+    /** Number of currently valid lines. */
+    std::uint64_t validLines() const;
+
+    /** Invoke @p fn(blockAddr, dirty) for every valid line (for
+     *  invariant checking and debugging; no LRU side effects). */
+    void forEachValidLine(
+        const std::function<void(Addr, bool)> &fn) const;
+
+    /** @name Accumulated access statistics. */
+    /// @{
+    Count hits() const { return hits_.value(); }
+    Count misses() const { return misses_.value(); }
+    double hitRate() const;
+    void resetStats();
+    /// @}
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0; //!< LRU timestamp
+    };
+
+    CacheGeometry geometry_;
+    std::string name_;
+    std::vector<Line> lines_;
+    std::uint64_t setShift_;
+    std::uint64_t setMask_;
+    std::uint64_t useClock_ = 0;
+    stats::Counter hits_;
+    stats::Counter misses_;
+
+    Line *findLine(Addr addr);
+    const Line *findLine(Addr addr) const;
+    Line *victimLine(Addr addr);
+    std::size_t setIndex(Addr addr) const;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_MEM_CACHE_HH

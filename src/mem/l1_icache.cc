@@ -1,0 +1,52 @@
+#include "mem/l1_icache.hh"
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+L1ICache::L1ICache() = default;
+
+L1ICache::L1ICache(const CacheGeometry &geometry)
+    : tags_(std::in_place, geometry, "L1I")
+{
+}
+
+bool
+L1ICache::fetch(Addr pc)
+{
+    if (!tags_) {
+        ++hits_;
+        return true;
+    }
+    if (tags_->access(pc)) {
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    return false;
+}
+
+void
+L1ICache::fill(Addr pc)
+{
+    wbsim_assert(tags_.has_value(), "filling a perfect I-cache");
+    tags_->allocate(pc);
+}
+
+void
+L1ICache::resetStats()
+{
+    hits_.reset();
+    misses_.reset();
+    if (tags_)
+        tags_->resetStats();
+}
+
+double
+L1ICache::hitRate() const
+{
+    return stats::ratio(hits_.value(), hits_.value() + misses_.value());
+}
+
+} // namespace wbsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * L1 instruction cache: perfect by default (Table 1), with an
+ * optional real direct-mapped mode implementing the paper's §4.3
+ * "L2-I-fetch stall" discussion.
+ */
+
+#ifndef WBSIM_MEM_L1_ICACHE_HH
+#define WBSIM_MEM_L1_ICACHE_HH
+
+#include <optional>
+
+#include "mem/cache.hh"
+
+namespace wbsim
+{
+
+/** Instruction cache that can be configured as perfect or real. */
+class L1ICache
+{
+  public:
+    /** Perfect I-cache: every fetch hits. */
+    L1ICache();
+
+    /** Real I-cache with the given geometry. */
+    explicit L1ICache(const CacheGeometry &geometry);
+
+    bool isPerfect() const { return !tags_.has_value(); }
+
+    /** Fetch the line containing @p pc. @return true on hit. */
+    bool fetch(Addr pc);
+
+    /** Fill after a fetch miss (real mode only). */
+    void fill(Addr pc);
+
+    Count hits() const { return hits_.value(); }
+    Count misses() const { return misses_.value(); }
+    double hitRate() const;
+
+    /** Reset counters (content retained): for warmup support. */
+    void resetStats();
+
+  private:
+    std::optional<Cache> tags_;
+    stats::Counter hits_;
+    stats::Counter misses_;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_MEM_L1_ICACHE_HH

@@ -1,0 +1,91 @@
+#include "mem/l2_cache.hh"
+
+namespace wbsim
+{
+
+L2Cache::L2Cache() = default;
+
+L2Cache::L2Cache(const CacheGeometry &geometry)
+    : tags_(std::in_place, geometry, "L2")
+{
+}
+
+const CacheGeometry *
+L2Cache::geometry() const
+{
+    return tags_ ? &tags_->geometry() : nullptr;
+}
+
+void
+L2Cache::recordEviction(const std::optional<Eviction> &eviction,
+                        L2Outcome &outcome)
+{
+    if (!eviction)
+        return;
+    outcome.invalidations.push_back(eviction->blockAddr);
+    if (eviction->dirty)
+        outcome.dirtyWriteBack = true;
+}
+
+L2Outcome
+L2Cache::read(Addr addr)
+{
+    L2Outcome outcome;
+    if (!tags_) {
+        ++read_hits_;
+        return outcome;
+    }
+    if (tags_->access(addr)) {
+        ++read_hits_;
+        return outcome;
+    }
+    ++read_misses_;
+    outcome.hit = false;
+    outcome.memoryFetch = true;
+    recordEviction(tags_->allocate(addr, /*dirty=*/false), outcome);
+    return outcome;
+}
+
+L2Outcome
+L2Cache::write(Addr addr, bool full_line)
+{
+    L2Outcome outcome;
+    if (!tags_) {
+        ++write_hits_;
+        return outcome;
+    }
+    if (tags_->access(addr)) {
+        tags_->setDirty(addr);
+        ++write_hits_;
+        return outcome;
+    }
+    ++write_misses_;
+    outcome.hit = false;
+    outcome.memoryFetch = !full_line; // fetch-on-write for partials
+    recordEviction(tags_->allocate(addr, /*dirty=*/true), outcome);
+    return outcome;
+}
+
+bool
+L2Cache::probe(Addr addr) const
+{
+    return !tags_ || tags_->probe(addr);
+}
+
+void
+L2Cache::resetStats()
+{
+    read_hits_.reset();
+    read_misses_.reset();
+    write_hits_.reset();
+    write_misses_.reset();
+}
+
+double
+L2Cache::readHitRate() const
+{
+    return stats::ratio(read_hits_.value(),
+                        read_hits_.value() + read_misses_.value());
+}
+
+} // namespace wbsim

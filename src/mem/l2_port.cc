@@ -1,0 +1,67 @@
+#include "mem/l2_port.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+const char *
+l2TxnName(L2Txn txn)
+{
+    switch (txn) {
+      case L2Txn::None:
+        return "idle";
+      case L2Txn::Read:
+        return "read";
+      case L2Txn::WriteRetire:
+        return "retire";
+      case L2Txn::WriteFlush:
+        return "flush";
+    }
+    return "?";
+}
+
+bool
+L2Port::writeUnderwayAt(Cycle t) const
+{
+    return busyAt(t)
+        && (current_ == L2Txn::WriteRetire
+            || current_ == L2Txn::WriteFlush);
+}
+
+L2Txn
+L2Port::kindAt(Cycle t) const
+{
+    return busyAt(t) ? current_ : L2Txn::None;
+}
+
+Cycle
+L2Port::begin(L2Txn kind, Cycle earliest, Cycle duration)
+{
+    wbsim_assert(kind != L2Txn::None, "cannot begin an idle transaction");
+    wbsim_assert(duration > 0, "zero-length L2 transaction");
+    Cycle start = std::max(earliest, free_at_);
+    busy_from_ = start;
+    free_at_ = start + duration;
+    current_ = kind;
+    auto idx = static_cast<std::size_t>(kind);
+    busy_cycles_[idx] += duration;
+    ++transactions_[idx];
+    return start;
+}
+
+Count
+L2Port::busyCycles(L2Txn kind) const
+{
+    return busy_cycles_[static_cast<std::size_t>(kind)];
+}
+
+Count
+L2Port::transactions(L2Txn kind) const
+{
+    return transactions_[static_cast<std::size_t>(kind)];
+}
+
+} // namespace wbsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The single port between the CPU/write-buffer side and L2.
+ *
+ * All L2 traffic — load-miss reads, write-buffer retirements, and
+ * hazard-induced flushes — serialises through this port. The paper's
+ * read-bypassing rule ("loads beat *pending* retirements, but an
+ * *underway* write is never preempted") is enforced by the callers:
+ * the write buffer only begins transactions strictly before the
+ * cycle at which a competing load arrives.
+ */
+
+#ifndef WBSIM_MEM_L2_PORT_HH
+#define WBSIM_MEM_L2_PORT_HH
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** What the L2 port is doing. */
+enum class L2Txn : std::uint8_t
+{
+    None,        //!< idle
+    Read,        //!< L1 load-miss (or I-fetch) read
+    WriteRetire, //!< autonomous write-buffer retirement
+    WriteFlush,  //!< load-hazard-forced flush
+};
+
+/** Printable name for an L2Txn. */
+const char *l2TxnName(L2Txn txn);
+
+/** Busy-interval model of the L2 access port. */
+class L2Port
+{
+  public:
+    /** First cycle at which the port is idle. */
+    Cycle freeAt() const { return free_at_; }
+
+    /** True if a transaction is in flight at cycle @p t. */
+    bool busyAt(Cycle t) const
+    {
+        return t >= busy_from_ && t < free_at_;
+    }
+
+    /** True if a *write* is in flight at cycle @p t. */
+    bool writeUnderwayAt(Cycle t) const;
+
+    /** Kind of the transaction in flight (None when idle). */
+    L2Txn kindAt(Cycle t) const;
+
+    /**
+     * Begin a transaction no earlier than @p earliest, lasting
+     * @p duration cycles.
+     * @return the actual start cycle (>= earliest).
+     */
+    Cycle begin(L2Txn kind, Cycle earliest, Cycle duration);
+
+    /** @name Utilisation statistics. */
+    /// @{
+    Count busyCycles(L2Txn kind) const;
+    Count transactions(L2Txn kind) const;
+    /// @}
+
+  private:
+    Cycle busy_from_ = 0;
+    Cycle free_at_ = 0;
+    L2Txn current_ = L2Txn::None;
+    Count busy_cycles_[4] = {};
+    Count transactions_[4] = {};
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_MEM_L2_PORT_HH

@@ -1,0 +1,45 @@
+#include "mem/main_memory.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+MainMemory::MainMemory(Cycle latency)
+    : latency_(latency)
+{
+    wbsim_assert(latency > 0, "memory latency must be positive");
+}
+
+Cycle
+MainMemory::occupy(Cycle earliest)
+{
+    Cycle start = std::max(earliest, free_at_);
+    free_at_ = start + latency_;
+    return free_at_;
+}
+
+void
+MainMemory::resetStats()
+{
+    reads_.reset();
+    write_backs_.reset();
+}
+
+Cycle
+MainMemory::read(Cycle earliest)
+{
+    ++reads_;
+    return occupy(earliest);
+}
+
+Cycle
+MainMemory::writeBack(Cycle earliest)
+{
+    ++write_backs_;
+    return occupy(earliest);
+}
+
+} // namespace wbsim

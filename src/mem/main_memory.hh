@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Main memory behind L2: a fixed-latency, single-transaction
+ * resource. Only exercised by the real-L2 model (the baseline's
+ * perfect L2 never misses).
+ */
+
+#ifndef WBSIM_MEM_MAIN_MEMORY_HH
+#define WBSIM_MEM_MAIN_MEMORY_HH
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** Fixed-latency main memory with a single-access channel. */
+class MainMemory
+{
+  public:
+    explicit MainMemory(Cycle latency = 25);
+
+    Cycle latency() const { return latency_; }
+    Cycle freeAt() const { return free_at_; }
+
+    /**
+     * Fetch a line, no earlier than @p earliest.
+     * @return completion cycle.
+     */
+    Cycle read(Cycle earliest);
+
+    /**
+     * Queue a write-back. Write-backs are buffered and do not block
+     * the requester; they occupy the channel so later demand fetches
+     * queue behind them. @return completion cycle.
+     */
+    Cycle writeBack(Cycle earliest);
+
+    Count reads() const { return reads_.value(); }
+    Count writeBacks() const { return write_backs_.value(); }
+
+    /** Reset counters (busy state retained): for warmup support. */
+    void resetStats();
+
+  private:
+    Cycle latency_;
+    Cycle free_at_ = 0;
+    stats::Counter reads_;
+    stats::Counter write_backs_;
+
+    Cycle occupy(Cycle earliest);
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_MEM_MAIN_MEMORY_HH

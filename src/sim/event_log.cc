@@ -1,0 +1,114 @@
+#include "sim/event_log.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+const char *
+simEventKindName(SimEventKind kind)
+{
+    switch (kind) {
+      case SimEventKind::LoadHit:
+        return "load-hit";
+      case SimEventKind::LoadMiss:
+        return "load-miss";
+      case SimEventKind::Store:
+        return "store";
+      case SimEventKind::BufferFullStall:
+        return "buffer-full-stall";
+      case SimEventKind::ReadAccessStall:
+        return "read-access-stall";
+      case SimEventKind::Hazard:
+        return "hazard";
+      case SimEventKind::WbWrite:
+        return "wb-write";
+      case SimEventKind::Barrier:
+        return "barrier";
+      case SimEventKind::IFetchMiss:
+        return "ifetch-miss";
+    }
+    return "?";
+}
+
+std::string
+toString(const SimEventRecord &event)
+{
+    std::ostringstream os;
+    os << "@" << event.cycle << " " << simEventKindName(event.kind);
+    if (event.addr)
+        os << " addr=0x" << std::hex << event.addr << std::dec;
+    if (event.a)
+        os << " a=" << event.a;
+    if (event.b)
+        os << " b=" << event.b;
+    return os.str();
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : ring_(capacity)
+{
+    wbsim_assert(capacity > 0, "event log needs capacity");
+}
+
+void
+EventLog::record(Cycle cycle, SimEventKind kind, Addr addr, Count a,
+                 Count b)
+{
+    ring_[head_] = SimEventRecord{cycle, kind, addr, a, b};
+    head_ = (head_ + 1) % ring_.size();
+    if (count_ < ring_.size())
+        ++count_;
+    ++recorded_;
+}
+
+std::size_t
+EventLog::size() const
+{
+    return count_;
+}
+
+Count
+EventLog::dropped() const
+{
+    return recorded_ - count_;
+}
+
+const SimEventRecord &
+EventLog::at(std::size_t i) const
+{
+    wbsim_assert(i < count_, "event log index out of range");
+    std::size_t oldest = (head_ + ring_.size() - count_) % ring_.size();
+    return ring_[(oldest + i) % ring_.size()];
+}
+
+std::vector<SimEventRecord>
+EventLog::ofKind(SimEventKind kind) const
+{
+    std::vector<SimEventRecord> matches;
+    for (std::size_t i = 0; i < count_; ++i)
+        if (at(i).kind == kind)
+            matches.push_back(at(i));
+    return matches;
+}
+
+void
+EventLog::dump(std::ostream &os) const
+{
+    if (dropped() > 0)
+        os << "(... " << dropped() << " earlier events dropped)\n";
+    for (std::size_t i = 0; i < count_; ++i)
+        os << toString(at(i)) << "\n";
+}
+
+void
+EventLog::clear()
+{
+    head_ = 0;
+    count_ = 0;
+    recorded_ = 0;
+}
+
+} // namespace wbsim

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A lightweight ring-buffer event log for debugging simulations.
+ *
+ * When attached to a Simulator it records one entry per interesting
+ * microarchitectural event (loads, stores, stalls, hazards, write
+ * transfers). The ring keeps the most recent `capacity` events, so
+ * a log can stay attached across a billion-instruction run and still
+ * answer "what just happened" when something looks wrong - the same
+ * role DPRINTF traces play in gem5, without the I/O cost.
+ */
+
+#ifndef WBSIM_SIM_EVENT_LOG_HH
+#define WBSIM_SIM_EVENT_LOG_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** What happened. */
+enum class SimEventKind : std::uint8_t
+{
+    LoadHit,        //!< L1 load hit
+    LoadMiss,       //!< L1 load miss (addr)
+    Store,          //!< store presented to the buffer (addr)
+    BufferFullStall, //!< store waited (a = cycles)
+    ReadAccessStall, //!< load waited for the port (a = cycles)
+    Hazard,         //!< load hazard (addr; a = stall; b = served?)
+    WbWrite,        //!< buffer entry written to L2 (addr; a = words)
+    Barrier,        //!< barrier drained the buffer (a = stall)
+    IFetchMiss,     //!< instruction fetch missed (real I-cache)
+};
+
+const char *simEventKindName(SimEventKind kind);
+
+/** One recorded event. */
+struct SimEventRecord
+{
+    Cycle cycle = 0;
+    SimEventKind kind = SimEventKind::LoadHit;
+    Addr addr = 0;
+    Count a = 0;
+    Count b = 0;
+};
+
+/** Render like "@142 hazard addr=0x1000 a=6 b=0". */
+std::string toString(const SimEventRecord &event);
+
+/** Fixed-capacity ring of the most recent events. */
+class EventLog
+{
+  public:
+    explicit EventLog(std::size_t capacity = 4096);
+
+    /** Append one event; the oldest is dropped when full. */
+    void record(Cycle cycle, SimEventKind kind, Addr addr = 0,
+                Count a = 0, Count b = 0);
+
+    /** Number of events currently retained. */
+    std::size_t size() const;
+
+    /** Total events ever recorded (including dropped ones). */
+    Count recorded() const { return recorded_; }
+
+    /** Events dropped from the front of the ring. */
+    Count dropped() const;
+
+    /** The i-th retained event, oldest first. */
+    const SimEventRecord &at(std::size_t i) const;
+
+    /** Retained events matching @p kind, oldest first. */
+    std::vector<SimEventRecord> ofKind(SimEventKind kind) const;
+
+    /** Write one formatted line per retained event. */
+    void dump(std::ostream &os) const;
+
+    void clear();
+
+  private:
+    std::vector<SimEventRecord> ring_;
+    std::size_t head_ = 0; //!< next write slot
+    std::size_t count_ = 0;
+    Count recorded_ = 0;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_SIM_EVENT_LOG_HH

@@ -1,0 +1,71 @@
+#include "sim/machine_config.hh"
+
+#include <sstream>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+Cycle
+MachineConfig::l2TransferCycles() const
+{
+    // The base latency moves the first datapath beat; additional
+    // beats add one cycle each.
+    std::uint64_t beats = divCeil(l1d.lineBytes, l2DatapathBytes);
+    return l2Latency + (beats - 1);
+}
+
+void
+MachineConfig::validate() const
+{
+    l1d.validate("L1D");
+    if (!perfectICache)
+        l1i.validate("L1I");
+    if (!perfectL2) {
+        l2.validate("L2");
+        if (l2.lineBytes != l1d.lineBytes)
+            wbsim_fatal("L1 and L2 line sizes must match (strict "
+                        "inclusion model)");
+        if (l2.sizeBytes < l1d.sizeBytes)
+            wbsim_fatal("L2 smaller than L1 breaks inclusion");
+    }
+    if (l2Latency == 0)
+        wbsim_fatal("L2 latency must be positive");
+    if (memLatency == 0)
+        wbsim_fatal("memory latency must be positive");
+    if (l2DatapathBytes == 0 || !isPowerOfTwo(l2DatapathBytes))
+        wbsim_fatal("L2 datapath width must be a power of two");
+    if (issueWidth == 0)
+        wbsim_fatal("issue width must be positive");
+    if (bubbleProbability < 0.0 || bubbleProbability > 1.0)
+        wbsim_fatal("bubble probability out of range");
+    writeBuffer.validate();
+    if (writeBuffer.entryBytes > l1d.lineBytes
+        && writeBuffer.entryBytes % l1d.lineBytes != 0)
+        wbsim_fatal("write buffer entries wider than a line must be a "
+                    "multiple of the line size");
+}
+
+std::string
+MachineConfig::describe() const
+{
+    std::ostringstream os;
+    os << "L1D=" << l1d.sizeBytes / 1024 << "K";
+    if (l1WriteAllocate)
+        os << "+wa";
+    if (!perfectICache)
+        os << "/L1I=" << l1i.sizeBytes / 1024 << "K";
+    if (perfectL2)
+        os << "/L2=perfect";
+    else
+        os << "/L2=" << l2.sizeBytes / 1024 << "K,mem=" << memLatency;
+    os << ",lat=" << l2Latency;
+    if (issueWidth != 1)
+        os << "/issue=" << issueWidth;
+    os << "/" << writeBuffer.describe();
+    return os.str();
+}
+
+} // namespace wbsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * SimResults: everything a run produces, in the units the paper
+ * reports (stall cycles as a percentage of total execution time,
+ * hit rates, traffic counts).
+ */
+
+#ifndef WBSIM_SIM_RESULTS_HH
+#define WBSIM_SIM_RESULTS_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/stall_stats.hh"
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** Aggregated outcome of one simulation run. */
+struct SimResults
+{
+    std::string workload;
+    std::string machine;
+
+    Count instructions = 0;
+    Count cycles = 0;
+    Count loads = 0;
+    Count stores = 0;
+
+    /** The paper's three stall categories (Table 3). */
+    StallStats stalls;
+
+    /** @name L1 data cache. */
+    /// @{
+    Count l1LoadHits = 0;
+    Count l1LoadMisses = 0;
+    Count l1StoreHits = 0;
+    Count l1StoreMisses = 0;
+    /// @}
+
+    /** @name Write buffer. */
+    /// @{
+    Count wbMerges = 0;
+    Count wbAllocations = 0;
+    Count wbRetirements = 0;
+    Count wbFlushes = 0;
+    Count wbHazards = 0;
+    Count wbServedLoads = 0;
+    Count wbWordsWritten = 0;
+    Count wbEntriesWritten = 0;
+    double wbMeanOccupancy = 0.0;
+    /// @}
+
+    /** @name L2 and memory. */
+    /// @{
+    Count l2ReadHits = 0;
+    Count l2ReadMisses = 0;
+    Count l2WriteHits = 0;
+    Count l2WriteMisses = 0;
+    Count memReads = 0;
+    Count memWriteBacks = 0;
+    /// @}
+
+    /** @name Real-I-cache extension (§4.3). */
+    /// @{
+    Count ifetchMisses = 0;
+    Count l2IFetchStallCycles = 0;
+    /// @}
+
+    /** @name Memory-barrier extension (§2.2 ordering instructions). */
+    /// @{
+    Count barriers = 0;
+    Count barrierStallCycles = 0;
+    /// @}
+
+    /** @name Write-allocate L1 extension (ablation A14). */
+    /// @{
+    Count storeFetches = 0;
+    Count storeFetchCycles = 0;
+    /// @}
+
+    /** L1 load hit rate (Table 5). */
+    double l1LoadHitRate() const;
+    /** Write buffer merge ("hit") rate over stores (Table 5). */
+    double wbMergeRate() const;
+    /** L2 hit rate over demand reads (Table 7). */
+    double l2ReadHitRate() const;
+
+    /** @name Stall cycles as % of total time (the figures' y-axis). */
+    /// @{
+    double pctBufferFull() const;
+    double pctL2ReadAccess() const;
+    double pctLoadHazard() const;
+    double pctTotalStalls() const;
+    /// @}
+
+    /** Dump every statistic as "prefix.name value" lines (the
+     *  machine-readable companion to the report tables). */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_SIM_RESULTS_HH

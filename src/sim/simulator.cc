@@ -1,0 +1,316 @@
+#include "sim/simulator.hh"
+
+#include "core/write_buffer.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "core/write_cache.hh"
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+Simulator::Simulator(const MachineConfig &config)
+    : config_(config),
+      l2_transfer_cycles_(config.l2TransferCycles()),
+      l1d_(config.l1d),
+      l1i_(config.perfectICache ? L1ICache() : L1ICache(config.l1i)),
+      l2_(config.perfectL2 ? L2Cache() : L2Cache(config.l2)),
+      memory_(config.memLatency)
+{
+    config_.validate();
+    L2WriteHook hook = [this](Addr base, unsigned valid_words,
+                              unsigned total_words, Cycle start) {
+        return l2Write(base, valid_words, total_words, start);
+    };
+    auto line = static_cast<unsigned>(config_.l1d.lineBytes);
+    if (config_.writeBuffer.kind == BufferKind::WriteCache) {
+        buffer_ = std::make_unique<WriteCache>(config_.writeBuffer,
+                                               port_, hook, line);
+    } else {
+        buffer_ = std::make_unique<WriteBuffer>(config_.writeBuffer,
+                                                port_, hook, line);
+    }
+}
+
+Cycle
+Simulator::l2Write(Addr base, unsigned valid_words, unsigned total_words,
+                   Cycle start)
+{
+    // Transfer time scales with the entry's width over the datapath
+    // (identical to the fixed line transfer for line-wide entries).
+    std::uint64_t entry_bytes =
+        std::uint64_t{total_words} * config_.writeBuffer.wordBytes;
+    Cycle duration = config_.l2Latency
+        + (divCeil(std::max<std::uint64_t>(entry_bytes,
+                                           config_.l2DatapathBytes),
+                   config_.l2DatapathBytes)
+           - 1);
+    bool full_line = valid_words == total_words
+        && config_.writeBuffer.entryBytes >= config_.l1d.lineBytes;
+    L2Outcome outcome = l2_.write(base, full_line);
+    if (outcome.memoryFetch) {
+        // Fetch-on-write merge for a partial line that misses L2.
+        // The paper charges every retirement a fixed L2 transfer
+        // (Table 1), so the merge fetch proceeds in the background:
+        // it occupies the memory channel (delaying later demand
+        // fetches) but not the L2 port (DESIGN.md §3).
+        memory_.read(start + config_.l2Latency);
+    }
+    if (outcome.dirtyWriteBack)
+        memory_.writeBack(start + duration);
+    for (Addr addr : outcome.invalidations)
+        l1d_.invalidate(addr);
+    if (event_log_)
+        event_log_->record(start, SimEventKind::WbWrite, base,
+                           valid_words);
+    return duration;
+}
+
+void
+Simulator::advanceIssue()
+{
+    if (++issue_slot_ >= config_.issueWidth) {
+        issue_slot_ = 0;
+        ++cycle_;
+    }
+    if (config_.bubbleProbability > 0.0
+        && bubble_rng_.nextBool(config_.bubbleProbability)) {
+        ++cycle_;
+    }
+}
+
+void
+Simulator::fetch(Addr pc)
+{
+    if (l1i_.fetch(pc))
+        return;
+    ++ifetch_misses_;
+    note(SimEventKind::IFetchMiss, pc);
+    buffer_->advanceTo(cycle_);
+    // An I-fetch miss reads L2 like a data miss; waiting on a write
+    // is the §4.3 "L2-I-fetch stall" category, tracked separately
+    // from the paper's three data-side categories.
+    Count events_unused = 0;
+    cycle_ = l2DemandRead(pc, cycle_, l2_ifetch_stall_cycles_,
+                          events_unused);
+    l1i_.fill(pc);
+}
+
+Cycle
+Simulator::l2DemandRead(Addr addr, Cycle earliest, Count &stall_cycles,
+                        Count &stall_events)
+{
+    Cycle t = earliest;
+    if (port_.busyAt(t)) {
+        // Blocking caches mean a previous demand read always
+        // finished before the CPU resumed, so any occupancy here is
+        // a write-buffer transaction: an L2-read-access stall.
+        wbsim_assert(port_.writeUnderwayAt(t),
+                     "demand read blocked by another read");
+        stall_cycles += port_.freeAt() - t;
+        ++stall_events;
+        note(SimEventKind::ReadAccessStall, addr, port_.freeAt() - t);
+        t = port_.freeAt();
+    }
+    Cycle start = port_.begin(L2Txn::Read, t, config_.l2Latency);
+    wbsim_assert(start == t, "demand read start raced the L2 port");
+    Cycle done = start + config_.l2Latency;
+    L2Outcome outcome = l2_.read(addr);
+    if (outcome.memoryFetch) {
+        // The L2 port is released during the memory access (§4.2):
+        // the write buffer may retire meanwhile.
+        done = memory_.read(done);
+    }
+    if (outcome.dirtyWriteBack)
+        memory_.writeBack(done);
+    for (Addr line : outcome.invalidations)
+        l1d_.invalidate(line);
+    return done;
+}
+
+void
+Simulator::doStore(Addr addr, unsigned size)
+{
+    ++stores_;
+    bool l1_hit = l1d_.store(addr); // write-through (functional)
+    if (!l1_hit && config_.l1WriteAllocate) {
+        // Write-allocate: fetch the line through L2 before writing.
+        // If the block is active in the write buffer the fill merges
+        // its words for free, exactly as a read-from-WB word-miss
+        // fill does (§2.2); no flush is needed.
+        ++store_fetches_;
+        buffer_->advanceTo(cycle_);
+        Count wait_cycles = 0, wait_events = 0;
+        Cycle done = l2DemandRead(addr, cycle_, wait_cycles,
+                                  wait_events);
+        store_fetch_cycles_ += done - cycle_;
+        cycle_ = done;
+        l1d_.fill(addr);
+    }
+    note(SimEventKind::Store, addr);
+    Count full_before = stalls_.bufferFullCycles;
+    cycle_ = buffer_->store(addr, size, cycle_, stalls_);
+    if (stalls_.bufferFullCycles != full_before) {
+        note(SimEventKind::BufferFullStall, addr,
+             stalls_.bufferFullCycles - full_before);
+    }
+}
+
+void
+Simulator::doLoad(Addr addr, unsigned size)
+{
+    ++loads_;
+    if (l1d_.load(addr)) {
+        note(SimEventKind::LoadHit, addr);
+        return; // 1-cycle hit: the issue cycle already charged
+    }
+    note(SimEventKind::LoadMiss, addr);
+
+    buffer_->advanceTo(cycle_);
+
+    // UltraSPARC-style priority inversion: above the threshold the
+    // buffer drains below it before the read may proceed.
+    unsigned threshold = config_.writeBuffer.writePriorityThreshold;
+    if (threshold != 0 && buffer_->occupancy() >= threshold) {
+        Cycle t = buffer_->drainBelow(threshold, cycle_);
+        if (t > cycle_) {
+            stalls_.l2ReadAccessCycles += t - cycle_;
+            ++stalls_.l2ReadAccessEvents;
+            cycle_ = t;
+        }
+    }
+
+    LoadProbe probe = buffer_->probeLoad(addr, size);
+    if (probe.blockHit) {
+        HazardResult hazard =
+            buffer_->handleLoadHazard(probe, addr, size, cycle_);
+        note(SimEventKind::Hazard, addr, hazard.done - cycle_,
+             hazard.servedFromBuffer ? 1 : 0);
+        if (hazard.done > cycle_) {
+            stalls_.loadHazardCycles += hazard.done - cycle_;
+            ++stalls_.loadHazardEvents;
+        }
+        cycle_ = hazard.done;
+        if (hazard.servedFromBuffer)
+            return; // as fast as an L1 hit; no fill, no L2 access
+    }
+
+    cycle_ = l2DemandRead(addr, cycle_, stalls_.l2ReadAccessCycles,
+                          stalls_.l2ReadAccessEvents);
+    l1d_.fill(addr);
+}
+
+void
+Simulator::step(const TraceRecord &record)
+{
+    ++instructions_;
+    advanceIssue();
+    if (!config_.perfectICache)
+        fetch(record.pc);
+    switch (record.op) {
+      case Op::NonMem:
+        break;
+      case Op::Load:
+        doLoad(record.addr, record.size);
+        break;
+      case Op::Store:
+        doStore(record.addr, record.size);
+        break;
+      case Op::Barrier: {
+        // §2.2: ordering instructions drain the buffer; the CPU
+        // stalls until every buffered write is in L2.
+        ++barriers_;
+        Cycle done = buffer_->drainBelow(1, cycle_);
+        note(SimEventKind::Barrier, 0, done - cycle_);
+        if (done > cycle_) {
+            barrier_stall_cycles_ += done - cycle_;
+            cycle_ = done;
+        }
+        break;
+      }
+    }
+}
+
+void
+Simulator::drain()
+{
+    buffer_->advanceTo(cycle_);
+    cycle_ = std::max(cycle_, buffer_->drainBelow(1, cycle_));
+}
+
+void
+Simulator::resetStats()
+{
+    cycle_base_ = cycle_;
+    instructions_ = 0;
+    loads_ = 0;
+    stores_ = 0;
+    stalls_ = StallStats{};
+    ifetch_misses_ = 0;
+    l2_ifetch_stall_cycles_ = 0;
+    barriers_ = 0;
+    barrier_stall_cycles_ = 0;
+    store_fetches_ = 0;
+    store_fetch_cycles_ = 0;
+    l1d_.resetStats();
+    l1i_.resetStats();
+    l2_.resetStats();
+    memory_.resetStats();
+    buffer_->resetStats();
+}
+
+SimResults
+Simulator::results(const std::string &workload) const
+{
+    SimResults r;
+    r.workload = workload;
+    r.machine = config_.describe();
+    r.instructions = instructions_;
+    r.cycles = cycle_ - cycle_base_;
+    r.loads = loads_;
+    r.stores = stores_;
+    r.stalls = stalls_;
+    r.l1LoadHits = l1d_.loadHits();
+    r.l1LoadMisses = l1d_.loadMisses();
+    r.l1StoreHits = l1d_.storeHits();
+    r.l1StoreMisses = l1d_.storeMisses();
+    const StoreBufferStats &bs = buffer_->stats();
+    r.wbMerges = bs.merges;
+    r.wbAllocations = bs.allocations;
+    r.wbRetirements = bs.retirements;
+    r.wbFlushes = bs.flushes;
+    r.wbHazards = bs.hazards;
+    r.wbServedLoads = bs.wbServedLoads;
+    r.wbWordsWritten = bs.wordsWritten;
+    r.wbEntriesWritten = bs.entriesWritten;
+    r.wbMeanOccupancy = bs.occupancy.mean();
+    r.l2ReadHits = l2_.readHits();
+    r.l2ReadMisses = l2_.readMisses();
+    r.l2WriteHits = l2_.writeHits();
+    r.l2WriteMisses = l2_.writeMisses();
+    r.memReads = memory_.reads();
+    r.memWriteBacks = memory_.writeBacks();
+    r.ifetchMisses = ifetch_misses_;
+    r.l2IFetchStallCycles = l2_ifetch_stall_cycles_;
+    r.barriers = barriers_;
+    r.barrierStallCycles = barrier_stall_cycles_;
+    r.storeFetches = store_fetches_;
+    r.storeFetchCycles = store_fetch_cycles_;
+    return r;
+}
+
+SimResults
+Simulator::run(TraceSource &source, Count max_instructions)
+{
+    TraceRecord record;
+    while ((max_instructions == 0 || instructions_ < max_instructions)
+           && source.next(record)) {
+        step(record);
+    }
+    drain();
+    return results(source.name());
+}
+
+} // namespace wbsim

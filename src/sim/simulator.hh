@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The cycle-level simulator of the paper's machine model (§2.1):
+ * single-issue, blocking caches, write-through L1, coalescing write
+ * buffer, and an L2 that is either perfect or real.
+ *
+ * The simulator is the only place timing decisions are made; caches
+ * and buffers are functional models plus busy-interval resources.
+ */
+
+#ifndef WBSIM_SIM_SIMULATOR_HH
+#define WBSIM_SIM_SIMULATOR_HH
+
+#include <memory>
+
+#include "core/store_buffer.hh"
+#include "mem/l1_dcache.hh"
+#include "mem/l1_icache.hh"
+#include "mem/l2_cache.hh"
+#include "mem/l2_port.hh"
+#include "mem/main_memory.hh"
+#include "sim/event_log.hh"
+#include "sim/machine_config.hh"
+#include "sim/results.hh"
+#include "trace/source.hh"
+#include "util/random.hh"
+
+namespace wbsim
+{
+
+/** One simulated machine; run one trace through it. */
+class Simulator
+{
+  public:
+    explicit Simulator(const MachineConfig &config);
+
+    /**
+     * Consume @p source to exhaustion (or @p max_instructions) and
+     * return the aggregated results. The write buffer is drained at
+     * the end so all traffic is accounted.
+     */
+    SimResults run(TraceSource &source, Count max_instructions = 0);
+
+    /** Execute a single record (exposed for fine-grained tests). */
+    void step(const TraceRecord &record);
+
+    /** @name Introspection for tests. */
+    /// @{
+    Cycle now() const { return cycle_; }
+    const StallStats &stalls() const { return stalls_; }
+    StoreBuffer &buffer() { return *buffer_; }
+    L1DataCache &l1d() { return l1d_; }
+    L2Cache &l2() { return l2_; }
+    L2Port &port() { return port_; }
+    MainMemory &memory() { return memory_; }
+    Count instructions() const { return instructions_; }
+    /// @}
+
+    /** Drain the store buffer and advance time to completion. */
+    void drain();
+
+    /**
+     * Attach a debug event log (nullptr detaches). The simulator
+     * records loads, stores, stalls, hazards and write transfers;
+     * the caller owns the log.
+     */
+    void attachEventLog(EventLog *log) { event_log_ = log; }
+
+    /**
+     * Zero all statistics while keeping cache and buffer contents:
+     * call after a warmup period so steady-state behaviour is
+     * measured without compulsory-miss pollution.
+     */
+    void resetStats();
+
+    /** Snapshot results so far (drain() first for exact totals). */
+    SimResults results(const std::string &workload) const;
+
+  private:
+    MachineConfig config_;
+    Cycle l2_transfer_cycles_;
+
+    L1DataCache l1d_;
+    L1ICache l1i_;
+    L2Cache l2_;
+    L2Port port_;
+    MainMemory memory_;
+    std::unique_ptr<StoreBuffer> buffer_;
+
+    Cycle cycle_ = 0;
+    Cycle cycle_base_ = 0;
+    Count instructions_ = 0;
+    Count loads_ = 0;
+    Count stores_ = 0;
+    unsigned issue_slot_ = 0;
+    Rng bubble_rng_{0xb0bb1e};
+
+    StallStats stalls_;
+    Count ifetch_misses_ = 0;
+    Count l2_ifetch_stall_cycles_ = 0;
+    Count barriers_ = 0;
+    Count barrier_stall_cycles_ = 0;
+    Count store_fetches_ = 0;
+    Count store_fetch_cycles_ = 0;
+    EventLog *event_log_ = nullptr;
+
+    /** Record an event if a log is attached. */
+    void note(SimEventKind kind, Addr addr = 0, Count a = 0,
+              Count b = 0)
+    {
+        if (event_log_)
+            event_log_->record(cycle_, kind, addr, a, b);
+    }
+
+    /** Charge the issue cost of one instruction. */
+    void advanceIssue();
+
+    /** Functional-and-timing L2 write callback for the buffer. */
+    Cycle l2Write(Addr base, unsigned valid_words, unsigned total_words,
+                  Cycle start);
+
+    /** Handle an instruction fetch (real-I-cache extension). */
+    void fetch(Addr pc);
+
+    void doLoad(Addr addr, unsigned size);
+    void doStore(Addr addr, unsigned size);
+
+    /** Perform a demand L2 read at @p earliest, charging port waits
+     *  to the given stall counters. @return data-ready cycle. */
+    Cycle l2DemandRead(Addr addr, Cycle earliest, Count &stall_cycles,
+                       Count &stall_events);
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_SIM_SIMULATOR_HH

@@ -1,0 +1,132 @@
+#include "trace/dinero.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+bool
+parseDineroLine(const std::string &line, unsigned access_bytes,
+                TraceRecord &record)
+{
+    std::size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos || line[pos] == '#'
+        || line[pos] == ';') {
+        return false; // blank or comment
+    }
+
+    char label = line[pos];
+    if (label < '0' || label > '2')
+        wbsim_fatal("din line has unknown label '", label, "': ",
+                    line);
+    std::size_t addr_pos = line.find_first_not_of(" \t", pos + 1);
+    if (addr_pos == std::string::npos)
+        wbsim_fatal("din line missing address: ", line);
+
+    char *end = nullptr;
+    unsigned long long addr =
+        std::strtoull(line.c_str() + addr_pos, &end, 16);
+    if (end == line.c_str() + addr_pos)
+        wbsim_fatal("din line has a malformed address: ", line);
+
+    auto size = static_cast<std::uint8_t>(access_bytes);
+    switch (label) {
+      case '0':
+        record = TraceRecord::load(addr, size);
+        break;
+      case '1':
+        record = TraceRecord::store(addr, size);
+        break;
+      default: // '2': instruction fetch
+        record = TraceRecord::nonMem(addr);
+        break;
+    }
+    return true;
+}
+
+struct DineroReader::Impl
+{
+    std::ifstream file;
+    std::string path;
+    unsigned accessBytes;
+    Count skipped = 0;
+};
+
+DineroReader::DineroReader(const std::string &path, unsigned access_bytes)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->path = path;
+    impl_->accessBytes = access_bytes;
+    impl_->file.open(path);
+    if (!impl_->file)
+        wbsim_fatal("cannot open din trace '", path, "'");
+}
+
+DineroReader::~DineroReader() = default;
+
+bool
+DineroReader::next(TraceRecord &record)
+{
+    std::string line;
+    while (std::getline(impl_->file, line)) {
+        if (parseDineroLine(line, impl_->accessBytes, record))
+            return true;
+        ++impl_->skipped;
+    }
+    return false;
+}
+
+void
+DineroReader::reset()
+{
+    impl_->file.clear();
+    impl_->file.seekg(0);
+    impl_->skipped = 0;
+}
+
+std::string
+DineroReader::name() const
+{
+    return impl_->path;
+}
+
+Count
+DineroReader::skippedLines() const
+{
+    return impl_->skipped;
+}
+
+Count
+writeDineroFile(const std::string &path, TraceSource &source)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        wbsim_fatal("cannot create din trace '", path, "'");
+    TraceRecord rec;
+    Count written = 0;
+    out << std::hex;
+    while (source.next(rec)) {
+        switch (rec.op) {
+          case Op::Load:
+            out << "0 " << rec.addr << "\n";
+            break;
+          case Op::Store:
+            out << "1 " << rec.addr << "\n";
+            break;
+          case Op::NonMem:
+            out << "2 " << rec.pc << "\n";
+            break;
+          case Op::Barrier:
+            continue; // inexpressible in din format
+        }
+        ++written;
+    }
+    if (!out)
+        wbsim_fatal("error writing din trace '", path, "'");
+    return written;
+}
+
+} // namespace wbsim

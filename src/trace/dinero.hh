@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dinero "din" trace format support.
+ *
+ * The classic dineroIII/IV input format is one access per line:
+ *
+ *     <label> <hex-address>
+ *
+ * with label 0 = data read, 1 = data write, 2 = instruction fetch.
+ * Many teaching traces and tools from the paper's era still speak
+ * it, so wbsim can read and write it directly. Instruction fetches
+ * become NonMem records carrying the fetch address as their PC; the
+ * format has no access sizes, so a configurable default (8 bytes,
+ * the Alpha word) is applied.
+ */
+
+#ifndef WBSIM_TRACE_DINERO_HH
+#define WBSIM_TRACE_DINERO_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/source.hh"
+
+namespace wbsim
+{
+
+/** Streams records out of a din-format text file. */
+class DineroReader : public TraceSource
+{
+  public:
+    /**
+     * Open @p path; fatal() if missing.
+     * @param access_bytes size applied to every load/store.
+     */
+    explicit DineroReader(const std::string &path,
+                          unsigned access_bytes = 8);
+    ~DineroReader() override;
+
+    bool next(TraceRecord &record) override;
+    void reset() override;
+    std::string name() const override;
+
+    /** Lines skipped because they were blank or comments. */
+    Count skippedLines() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/** Write a whole source as din-format text. Barriers are dropped
+ *  (the format cannot express them); @return records written. */
+Count writeDineroFile(const std::string &path, TraceSource &source);
+
+/** Parse one din line into @p record; false for blank/comment
+ *  lines; fatal() on malformed input (exposed for tests). */
+bool parseDineroLine(const std::string &line, unsigned access_bytes,
+                     TraceRecord &record);
+
+} // namespace wbsim
+
+#endif // WBSIM_TRACE_DINERO_HH

@@ -1,0 +1,90 @@
+#include "trace/memory_trace.hh"
+
+namespace wbsim
+{
+
+MemoryTrace::MemoryTrace(std::vector<TraceRecord> records, std::string name)
+    : records_(std::move(records)), name_(std::move(name))
+{
+}
+
+void
+MemoryTrace::append(const TraceRecord &record)
+{
+    records_.push_back(record);
+}
+
+MemoryTrace
+MemoryTrace::capture(TraceSource &source, std::string name)
+{
+    MemoryTrace trace({}, std::move(name));
+    TraceRecord rec;
+    while (source.next(rec))
+        trace.append(rec);
+    return trace;
+}
+
+bool
+MemoryTrace::next(TraceRecord &record)
+{
+    if (cursor_ >= records_.size())
+        return false;
+    record = records_[cursor_++];
+    return true;
+}
+
+TruncatedSource::TruncatedSource(TraceSource &inner, Count limit)
+    : inner_(inner), limit_(limit)
+{
+}
+
+bool
+TruncatedSource::next(TraceRecord &record)
+{
+    if (taken_ >= limit_)
+        return false;
+    if (!inner_.next(record))
+        return false;
+    ++taken_;
+    return true;
+}
+
+void
+TruncatedSource::reset()
+{
+    inner_.reset();
+    taken_ = 0;
+}
+
+std::string
+TruncatedSource::name() const
+{
+    return inner_.name();
+}
+
+ConcatSource::ConcatSource(std::vector<TraceSource *> parts,
+                           std::string name)
+    : parts_(std::move(parts)), name_(std::move(name))
+{
+}
+
+bool
+ConcatSource::next(TraceRecord &record)
+{
+    while (current_ < parts_.size()) {
+        if (parts_[current_]->next(record))
+            return true;
+        ++current_;
+    }
+    return false;
+}
+
+void
+ConcatSource::reset()
+{
+    for (auto *part : parts_)
+        part->reset();
+    current_ = 0;
+}
+
+} // namespace wbsim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * An in-memory trace: a vector of records usable as a TraceSource.
+ * Handy for unit tests and for capturing generator output.
+ */
+
+#ifndef WBSIM_TRACE_MEMORY_TRACE_HH
+#define WBSIM_TRACE_MEMORY_TRACE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace wbsim
+{
+
+/** A trace held entirely in memory. */
+class MemoryTrace : public TraceSource
+{
+  public:
+    MemoryTrace() = default;
+    explicit MemoryTrace(std::vector<TraceRecord> records,
+                         std::string name = "memory-trace");
+
+    /** Append one record (does not disturb the read cursor). */
+    void append(const TraceRecord &record);
+
+    /** Capture everything remaining in @p source. */
+    static MemoryTrace capture(TraceSource &source,
+                               std::string name = "captured");
+
+    std::size_t size() const { return records_.size(); }
+    const TraceRecord &at(std::size_t i) const { return records_.at(i); }
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+    bool next(TraceRecord &record) override;
+    void reset() override { cursor_ = 0; }
+    std::string name() const override { return name_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t cursor_ = 0;
+    std::string name_ = "memory-trace";
+};
+
+/** Source adapter that stops after a fixed number of records. */
+class TruncatedSource : public TraceSource
+{
+  public:
+    TruncatedSource(TraceSource &inner, Count limit);
+
+    bool next(TraceRecord &record) override;
+    void reset() override;
+    std::string name() const override;
+
+  private:
+    TraceSource &inner_;
+    Count limit_;
+    Count taken_ = 0;
+};
+
+/** Source adapter that concatenates several sources in order. */
+class ConcatSource : public TraceSource
+{
+  public:
+    explicit ConcatSource(std::vector<TraceSource *> parts,
+                          std::string name = "concat");
+
+    bool next(TraceRecord &record) override;
+    void reset() override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::vector<TraceSource *> parts_;
+    std::size_t current_ = 0;
+    std::string name_;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_TRACE_MEMORY_TRACE_HH

@@ -1,0 +1,60 @@
+#include "trace/record.hh"
+
+#include <sstream>
+
+namespace wbsim
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::NonMem:
+        return "nonmem";
+      case Op::Load:
+        return "load";
+      case Op::Store:
+        return "store";
+      case Op::Barrier:
+        return "barrier";
+    }
+    return "?";
+}
+
+TraceRecord
+TraceRecord::nonMem(Addr pc)
+{
+    return TraceRecord{Op::NonMem, 0, 0, pc};
+}
+
+TraceRecord
+TraceRecord::load(Addr addr, std::uint8_t size, Addr pc)
+{
+    return TraceRecord{Op::Load, size, addr, pc};
+}
+
+TraceRecord
+TraceRecord::store(Addr addr, std::uint8_t size, Addr pc)
+{
+    return TraceRecord{Op::Store, size, addr, pc};
+}
+
+TraceRecord
+TraceRecord::barrier(Addr pc)
+{
+    return TraceRecord{Op::Barrier, 0, 0, pc};
+}
+
+std::string
+toString(const TraceRecord &rec)
+{
+    std::ostringstream os;
+    os << opName(rec.op);
+    if (rec.isMem()) {
+        os << " 0x" << std::hex << rec.addr << std::dec << " ("
+           << unsigned(rec.size) << "B)";
+    }
+    return os.str();
+}
+
+} // namespace wbsim

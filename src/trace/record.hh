@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The instruction-level event record consumed by the simulator.
+ *
+ * This mirrors what the paper's ATOM instrumentation delivered to
+ * the authors' analysis routines: a stream of retired instructions,
+ * each either a non-memory instruction, a load, or a store, with a
+ * data address and access size for memory operations.
+ */
+
+#ifndef WBSIM_TRACE_RECORD_HH
+#define WBSIM_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** Kind of retired instruction. */
+enum class Op : std::uint8_t
+{
+    NonMem = 0,  //!< any instruction with no data-memory access
+    Load = 1,    //!< data load
+    Store = 2,   //!< data store
+    /** Memory barrier: drains the write buffer before the next
+     *  instruction may issue (§2.2's ordering instructions). */
+    Barrier = 3,
+};
+
+/** Printable name for an Op. */
+const char *opName(Op op);
+
+/** One retired instruction. */
+struct TraceRecord
+{
+    Op op = Op::NonMem;
+    /** Access size in bytes; meaningful for loads/stores only.
+     *  The Alphas of the paper write 4- or 8-byte words. */
+    std::uint8_t size = 0;
+    /** Data virtual address; meaningful for loads/stores only. */
+    Addr addr = 0;
+    /** Instruction address (used by the real-I-cache extension). */
+    Addr pc = 0;
+
+    bool isMem() const { return op == Op::Load || op == Op::Store; }
+    bool isLoad() const { return op == Op::Load; }
+    bool isStore() const { return op == Op::Store; }
+
+    static TraceRecord nonMem(Addr pc = 0);
+    static TraceRecord load(Addr addr, std::uint8_t size = 8, Addr pc = 0);
+    static TraceRecord store(Addr addr, std::uint8_t size = 8, Addr pc = 0);
+    static TraceRecord barrier(Addr pc = 0);
+
+    bool operator==(const TraceRecord &other) const = default;
+};
+
+/** Debug rendering like "store 0x1000 (8B)". */
+std::string toString(const TraceRecord &rec);
+
+} // namespace wbsim
+
+#endif // WBSIM_TRACE_RECORD_HH

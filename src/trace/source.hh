@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Abstract instruction-stream source.
+ *
+ * Simulator runs pull TraceRecords one at a time; a source is either
+ * a synthetic workload generator, an in-memory trace, or a trace
+ * file reader. Sources are single-pass but restartable via reset().
+ */
+
+#ifndef WBSIM_TRACE_SOURCE_HH
+#define WBSIM_TRACE_SOURCE_HH
+
+#include <string>
+
+#include "trace/record.hh"
+
+namespace wbsim
+{
+
+/** A restartable stream of retired-instruction records. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Fetch the next record.
+     * @return false at end of stream (record untouched).
+     */
+    virtual bool next(TraceRecord &record) = 0;
+
+    /** Rewind to the beginning of the stream. */
+    virtual void reset() = 0;
+
+    /** Human-readable identity for reports. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_TRACE_SOURCE_HH

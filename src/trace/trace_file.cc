@@ -1,0 +1,269 @@
+#include "trace/trace_file.hh"
+
+#include <fstream>
+#include <ostream>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'W', 'B', 'T', 'R', 'A', 'C', 'E', '\n'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kFlagPcs = 1u << 0;
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    char buf[4];
+    for (int i = 0; i < 4; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf, 4);
+}
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    char buf[8];
+    for (int i = 0; i < 8; ++i)
+        buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    os.write(buf, 8);
+}
+
+std::uint32_t
+getU32(std::istream &is)
+{
+    unsigned char buf[4];
+    is.read(reinterpret_cast<char *>(buf), 4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t{buf[i]} << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(std::istream &is)
+{
+    unsigned char buf[8];
+    is.read(reinterpret_cast<char *>(buf), 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t{buf[i]} << (8 * i);
+    return v;
+}
+
+void
+putVarint(std::ostream &os, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        os.put(static_cast<char>((v & 0x7f) | 0x80));
+        v >>= 7;
+    }
+    os.put(static_cast<char>(v));
+}
+
+bool
+getVarint(std::istream &is, std::uint64_t &out)
+{
+    out = 0;
+    unsigned shift = 0;
+    for (;;) {
+        int c = is.get();
+        if (c == std::char_traits<char>::eof())
+            return false;
+        out |= std::uint64_t(c & 0x7f) << shift;
+        if (!(c & 0x80))
+            return true;
+        shift += 7;
+        if (shift >= 64)
+            return false;
+    }
+}
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1)
+        ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1)
+        ^ -static_cast<std::int64_t>(v & 1);
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(std::ostream &os, const std::string &name,
+                                 bool with_pcs)
+    : os_(os), with_pcs_(with_pcs)
+{
+    os_.write(kMagic, sizeof(kMagic));
+    putU32(os_, kVersion);
+    putU32(os_, with_pcs_ ? kFlagPcs : 0);
+    count_pos_ = os_.tellp();
+    putU64(os_, 0); // patched by finish()
+    putU32(os_, static_cast<std::uint32_t>(name.size()));
+    os_.write(name.data(), static_cast<std::streamsize>(name.size()));
+}
+
+void
+TraceFileWriter::write(const TraceRecord &record)
+{
+    unsigned size_log = 0;
+    if (record.isMem()) {
+        wbsim_assert(record.size > 0 && isPowerOfTwo(record.size)
+                         && record.size <= 64,
+                     "trace access size must be a small power of two");
+        size_log = exactLog2(record.size);
+    }
+    auto opcode = static_cast<unsigned char>(
+        static_cast<unsigned>(record.op) | (size_log << 2));
+    os_.put(static_cast<char>(opcode));
+    if (record.isMem()) {
+        putVarint(os_, zigzag(static_cast<std::int64_t>(record.addr)
+                              - static_cast<std::int64_t>(prev_addr_)));
+        prev_addr_ = record.addr;
+    }
+    if (with_pcs_) {
+        putVarint(os_, zigzag(static_cast<std::int64_t>(record.pc)
+                              - static_cast<std::int64_t>(prev_pc_)));
+        prev_pc_ = record.pc;
+    }
+    ++written_;
+}
+
+void
+TraceFileWriter::finish()
+{
+    std::streampos end = os_.tellp();
+    os_.seekp(count_pos_);
+    putU64(os_, written_);
+    os_.seekp(end);
+    os_.flush();
+}
+
+struct TraceFileReader::Impl
+{
+    std::ifstream file;
+    std::string path;
+    std::streampos records_start;
+    Count remaining = 0;
+    Addr prev_addr = 0;
+    Addr prev_pc = 0;
+};
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->path = path;
+    impl_->file.open(path, std::ios::binary);
+    if (!impl_->file)
+        wbsim_fatal("cannot open trace file '", path, "'");
+
+    char magic[sizeof(kMagic)];
+    impl_->file.read(magic, sizeof(magic));
+    if (!impl_->file || !std::equal(magic, magic + sizeof(magic), kMagic))
+        wbsim_fatal("'", path, "' is not a wbsim trace file");
+
+    header_.version = getU32(impl_->file);
+    if (header_.version != kVersion)
+        wbsim_fatal("trace file '", path, "' has unsupported version ",
+                    header_.version);
+    std::uint32_t flags = getU32(impl_->file);
+    header_.hasPcs = (flags & kFlagPcs) != 0;
+    header_.count = getU64(impl_->file);
+    std::uint32_t name_len = getU32(impl_->file);
+    header_.name.resize(name_len);
+    impl_->file.read(header_.name.data(), name_len);
+    if (!impl_->file)
+        wbsim_fatal("trace file '", path, "' is truncated");
+
+    impl_->records_start = impl_->file.tellg();
+    impl_->remaining = header_.count;
+}
+
+TraceFileReader::~TraceFileReader() = default;
+
+bool
+TraceFileReader::next(TraceRecord &record)
+{
+    if (impl_->remaining == 0)
+        return false;
+    int opcode = impl_->file.get();
+    if (opcode == std::char_traits<char>::eof())
+        wbsim_fatal("trace file '", impl_->path,
+                    "' ends before its declared record count");
+    auto op_bits = static_cast<unsigned>(opcode) & 0x3;
+    record.op = static_cast<Op>(op_bits);
+    unsigned size_log = (static_cast<unsigned>(opcode) >> 2) & 0x7;
+    record.size = record.isMem()
+        ? static_cast<std::uint8_t>(1u << size_log) : 0;
+    record.addr = 0;
+    record.pc = 0;
+    if (record.isMem()) {
+        std::uint64_t delta;
+        if (!getVarint(impl_->file, delta))
+            wbsim_fatal("trace file '", impl_->path, "' is truncated");
+        impl_->prev_addr = static_cast<Addr>(
+            static_cast<std::int64_t>(impl_->prev_addr)
+            + unzigzag(delta));
+        record.addr = impl_->prev_addr;
+    }
+    if (header_.hasPcs) {
+        std::uint64_t delta;
+        if (!getVarint(impl_->file, delta))
+            wbsim_fatal("trace file '", impl_->path, "' is truncated");
+        impl_->prev_pc = static_cast<Addr>(
+            static_cast<std::int64_t>(impl_->prev_pc) + unzigzag(delta));
+        record.pc = impl_->prev_pc;
+    }
+    --impl_->remaining;
+    return true;
+}
+
+void
+TraceFileReader::reset()
+{
+    impl_->file.clear();
+    impl_->file.seekg(impl_->records_start);
+    impl_->remaining = header_.count;
+    impl_->prev_addr = 0;
+    impl_->prev_pc = 0;
+}
+
+Count
+writeTraceFile(const std::string &path, TraceSource &source, bool with_pcs)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        wbsim_fatal("cannot create trace file '", path, "'");
+    TraceFileWriter writer(out, source.name(), with_pcs);
+    TraceRecord rec;
+    while (source.next(rec))
+        writer.write(rec);
+    writer.finish();
+    if (!out)
+        wbsim_fatal("error writing trace file '", path, "'");
+    return writer.written();
+}
+
+std::vector<TraceRecord>
+readTraceFile(const std::string &path)
+{
+    TraceFileReader reader(path);
+    std::vector<TraceRecord> records;
+    records.reserve(reader.header().count);
+    TraceRecord rec;
+    while (reader.next(rec))
+        records.push_back(rec);
+    return records;
+}
+
+} // namespace wbsim

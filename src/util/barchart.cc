@@ -1,0 +1,86 @@
+#include "util/barchart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+BarChart::BarChart(std::vector<std::string> segment_names, unsigned width)
+    : segment_names_(std::move(segment_names)), width_(width)
+{
+    wbsim_assert(width_ >= 10, "bar chart too narrow");
+}
+
+const char *
+BarChart::glyphFor(std::size_t segment)
+{
+    static const char *glyphs[] = {"#", "o", ".", "x", "+", "~"};
+    return glyphs[segment % (sizeof(glyphs) / sizeof(glyphs[0]))];
+}
+
+void
+BarChart::beginGroup(const std::string &name)
+{
+    groups_.push_back({name, {}});
+}
+
+void
+BarChart::addBar(StackedBar bar)
+{
+    wbsim_assert(!groups_.empty(), "addBar before beginGroup");
+    wbsim_assert(bar.segments.size() == segment_names_.size(),
+                 "bar segment count mismatch");
+    groups_.back().bars.push_back(std::move(bar));
+}
+
+void
+BarChart::render(std::ostream &os) const
+{
+    double max_total = scale_max_;
+    std::size_t label_width = 0;
+    for (const auto &group : groups_) {
+        for (const auto &bar : group.bars) {
+            double total = 0.0;
+            for (double v : bar.segments)
+                total += v;
+            max_total = std::max(max_total, total);
+            label_width = std::max(label_width, bar.label.size());
+        }
+    }
+    if (max_total <= 0.0)
+        max_total = 1.0;
+
+    os << "legend:";
+    for (std::size_t i = 0; i < segment_names_.size(); ++i)
+        os << "  " << glyphFor(i) << " = " << segment_names_[i];
+    os << "   (full width = " << max_total << ")\n";
+
+    for (const auto &group : groups_) {
+        if (!group.name.empty())
+            os << group.name << "\n";
+        for (const auto &bar : group.bars) {
+            os << "  " << bar.label
+               << std::string(label_width - bar.label.size(), ' ')
+               << " |";
+            double total = 0.0;
+            unsigned drawn = 0;
+            for (std::size_t i = 0; i < bar.segments.size(); ++i) {
+                total += bar.segments[i];
+                // Cumulative rounding keeps the stack length honest.
+                auto upto = static_cast<unsigned>(
+                    std::lround(total / max_total * width_));
+                for (; drawn < upto; ++drawn)
+                    os << glyphFor(i);
+            }
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), " %.3f", total);
+            os << buf << "\n";
+        }
+    }
+}
+
+} // namespace wbsim

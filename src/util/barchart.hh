@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Text rendering of the paper's stacked stall-cycle bar charts.
+ *
+ * Each figure in the paper is a per-benchmark group of stacked bars
+ * (L2-read-access / buffer-full / load-hazard segments). We render
+ * the same data as horizontal bars so figures can be eyeballed in a
+ * terminal and diffed in CI.
+ */
+
+#ifndef WBSIM_UTIL_BARCHART_HH
+#define WBSIM_UTIL_BARCHART_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wbsim
+{
+
+/** One stacked horizontal bar: a label plus ordered segments. */
+struct StackedBar
+{
+    std::string label;
+    /** Segment values, in stacking order; units are arbitrary. */
+    std::vector<double> segments;
+};
+
+/**
+ * Renderer for groups of stacked horizontal bars.
+ *
+ * Segments are drawn with one glyph per segment kind, scaled so the
+ * largest bar spans @p width characters. A legend line maps glyphs
+ * to segment names.
+ */
+class BarChart
+{
+  public:
+    /** @param segment_names names for legend, stacking order.
+     *  @param width maximum bar width in characters. */
+    explicit BarChart(std::vector<std::string> segment_names,
+                      unsigned width = 60);
+
+    /** Start a new labelled group (e.g. one benchmark). */
+    void beginGroup(const std::string &name);
+
+    /** Add one bar to the current group. */
+    void addBar(StackedBar bar);
+
+    /** Render all groups, legend first. */
+    void render(std::ostream &os) const;
+
+    /** Override the value that maps to full width (default: max). */
+    void setScaleMax(double scale_max) { scale_max_ = scale_max; }
+
+  private:
+    struct Group
+    {
+        std::string name;
+        std::vector<StackedBar> bars;
+    };
+
+    std::vector<std::string> segment_names_;
+    unsigned width_;
+    double scale_max_ = 0.0;
+    std::vector<Group> groups_;
+
+    static const char *glyphFor(std::size_t segment);
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_UTIL_BARCHART_HH

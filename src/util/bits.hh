@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the cache and write-buffer models.
+ */
+
+#ifndef WBSIM_UTIL_BITS_HH
+#define WBSIM_UTIL_BITS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** True iff @p value is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** floor(log2(value)); @p value must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/** log2 of a power of two. Panics otherwise. */
+inline unsigned
+exactLog2(std::uint64_t value)
+{
+    wbsim_assert(isPowerOfTwo(value), "exactLog2 of non-power-of-two");
+    return floorLog2(value);
+}
+
+/** Round @p addr down to a multiple of power-of-two @p align. */
+constexpr Addr
+alignDown(Addr addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round @p addr up to a multiple of power-of-two @p align. */
+constexpr Addr
+alignUp(Addr addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** True iff @p addr is a multiple of power-of-two @p align. */
+constexpr bool
+isAligned(Addr addr, std::uint64_t align)
+{
+    return (addr & (align - 1)) == 0;
+}
+
+/** Extract bits [first, first+count) of @p value. */
+constexpr std::uint64_t
+bitsOf(std::uint64_t value, unsigned first, unsigned count)
+{
+    return (value >> first) & ((count >= 64) ? ~std::uint64_t{0}
+                                             : ((std::uint64_t{1} << count)
+                                                - 1));
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace wbsim
+
+#endif // WBSIM_UTIL_BITS_HH

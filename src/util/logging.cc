@@ -1,0 +1,54 @@
+#include "util/logging.hh"
+
+#include <mutex>
+
+namespace wbsim
+{
+
+namespace
+{
+
+LogLevel global_level = LogLevel::Normal;
+std::mutex log_mutex;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+namespace detail
+{
+
+void
+report(const char *kind, const std::string &message)
+{
+    std::lock_guard<std::mutex> lock(log_mutex);
+    std::cerr << kind << ": " << message << "\n";
+}
+
+void
+terminate(const char *kind, const char *file, int line,
+          const std::string &message, int exit_code)
+{
+    {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::cerr << kind << ": " << message << "\n"
+                  << "  at " << file << ":" << line << "\n";
+    }
+    if (exit_code < 0)
+        std::abort();
+    std::exit(exit_code);
+}
+
+} // namespace detail
+
+} // namespace wbsim

@@ -1,0 +1,143 @@
+#include "util/options.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+void
+Options::declare(const std::string &name, const std::string &help,
+                 const std::string &default_value, bool is_flag)
+{
+    decls_[name] = Decl{help, default_value, is_flag};
+}
+
+void
+Options::parse(int argc, const char *const *argv)
+{
+    if (argc > 0)
+        program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positionals_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        std::string name = body;
+        std::string value;
+        bool has_value = false;
+        if (auto eq = body.find('='); eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+            has_value = true;
+        }
+        auto it = decls_.find(name);
+        if (it == decls_.end())
+            wbsim_fatal("unknown option --", name, "\n", usage());
+        if (it->second.is_flag) {
+            if (has_value)
+                wbsim_fatal("flag --", name, " takes no value");
+            values_[name] = "1";
+        } else {
+            if (!has_value) {
+                if (i + 1 >= argc)
+                    wbsim_fatal("option --", name, " needs a value");
+                value = argv[++i];
+            }
+            values_[name] = value;
+        }
+    }
+}
+
+bool
+Options::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+std::string
+Options::get(const std::string &name) const
+{
+    if (auto it = values_.find(name); it != values_.end())
+        return it->second;
+    if (auto it = decls_.find(name); it != decls_.end())
+        return it->second.default_value;
+    wbsim_panic("option ", name, " was never declared");
+}
+
+std::int64_t
+Options::getInt(const std::string &name) const
+{
+    const std::string text = get(name);
+    char *end = nullptr;
+    long long v = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0')
+        wbsim_fatal("option --", name, " expects an integer, got '",
+                    text, "'");
+    return v;
+}
+
+std::uint64_t
+Options::getUint(const std::string &name) const
+{
+    std::int64_t v = getInt(name);
+    if (v < 0)
+        wbsim_fatal("option --", name, " must be non-negative");
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+Options::getDouble(const std::string &name) const
+{
+    const std::string text = get(name);
+    char *end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        wbsim_fatal("option --", name, " expects a number, got '",
+                    text, "'");
+    return v;
+}
+
+bool
+Options::getFlag(const std::string &name) const
+{
+    return get(name) == "1";
+}
+
+std::string
+Options::usage() const
+{
+    std::ostringstream os;
+    os << "usage: " << program_ << " [options]\n";
+    for (const auto &[name, decl] : decls_) {
+        os << "  --" << name;
+        if (!decl.is_flag)
+            os << "=<value>";
+        os << "  " << decl.help;
+        if (!decl.default_value.empty())
+            os << " (default " << decl.default_value << ")";
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::uint64_t
+envUint(const char *name, std::uint64_t fallback)
+{
+    const char *text = std::getenv(name);
+    if (!text || !*text)
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0') {
+        warn("ignoring malformed ", name, "='", text, "'");
+        return fallback;
+    }
+    return v;
+}
+
+} // namespace wbsim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal command-line option parsing for examples and tools.
+ *
+ * Supports "--name=value", "--name value", bare "--flag", and
+ * positional arguments. Unknown options are fatal (user error).
+ */
+
+#ifndef WBSIM_UTIL_OPTIONS_HH
+#define WBSIM_UTIL_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wbsim
+{
+
+/** Parsed command line: named options plus positionals. */
+class Options
+{
+  public:
+    /**
+     * Declare an option before parsing.
+     * @param name option name without leading dashes.
+     * @param help one-line description.
+     * @param default_value textual default ("" for flags).
+     * @param is_flag true for boolean flags that take no value.
+     */
+    void declare(const std::string &name, const std::string &help,
+                 const std::string &default_value = "",
+                 bool is_flag = false);
+
+    /** Parse argv; fatal() on unknown or malformed options. */
+    void parse(int argc, const char *const *argv);
+
+    bool has(const std::string &name) const;
+    std::string get(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    std::uint64_t getUint(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+    /** Program name from argv[0]. */
+    const std::string &program() const { return program_; }
+
+    /** Render a usage/help message. */
+    std::string usage() const;
+
+  private:
+    struct Decl
+    {
+        std::string help;
+        std::string default_value;
+        bool is_flag = false;
+    };
+
+    std::map<std::string, Decl> decls_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positionals_;
+    std::string program_;
+};
+
+/** Read an environment variable as unsigned, or @p fallback. */
+std::uint64_t envUint(const char *name, std::uint64_t fallback);
+
+} // namespace wbsim
+
+#endif // WBSIM_UTIL_OPTIONS_HH

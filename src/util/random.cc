@@ -1,0 +1,110 @@
+#include "util/random.hh"
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    // Mix each input through a full splitmix64 round; a single xor
+    // of the raw values collides for small integers.
+    std::uint64_t state = a;
+    std::uint64_t mixed = splitmix64(state);
+    state = mixed ^ b;
+    return splitmix64(state);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    state0_ = splitmix64(s);
+    state1_ = splitmix64(s);
+    // A zero state would lock the generator at zero forever.
+    if (state0_ == 0 && state1_ == 0)
+        state1_ = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    std::uint64_t x = state0_;
+    const std::uint64_t y = state1_;
+    state0_ = y;
+    x ^= x << 23;
+    state1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return state1_ + y;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    wbsim_assert(bound != 0, "nextBelow(0)");
+    // Multiply-shift rejection-free mapping; bias is < 2^-64 * bound,
+    // negligible for simulation purposes.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next())
+         * static_cast<unsigned __int128>(bound)) >> 64);
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    wbsim_assert(lo <= hi, "nextRange with lo > hi");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    if (total <= 0.0)
+        return 0;
+    double draw = nextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        draw -= weights[i];
+        if (draw < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+unsigned
+Rng::nextBurst(double p, unsigned cap)
+{
+    unsigned length = 1;
+    while (length < cap && nextBool(p))
+        ++length;
+    return length;
+}
+
+} // namespace wbsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * The workload generators must be reproducible across runs, platforms
+ * and standard-library versions, so we implement our own xorshift128+
+ * generator and distribution helpers rather than relying on
+ * <random> (whose distributions are not specified bit-exactly).
+ */
+
+#ifndef WBSIM_UTIL_RANDOM_HH
+#define WBSIM_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace wbsim
+{
+
+/**
+ * xorshift128+ PRNG. Small, fast, and deterministic everywhere.
+ * Seeded via splitmix64 so that nearby seeds give independent
+ * streams.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p of returning true. */
+    bool nextBool(double p);
+
+    /**
+     * Draw an index according to a discrete weight vector.
+     * Weights need not be normalised; all-zero weights return 0.
+     */
+    std::size_t nextWeighted(const std::vector<double> &weights);
+
+    /**
+     * Geometric-ish burst length: 1 + number of successes of
+     * repeated trials with probability @p p, capped at @p cap.
+     */
+    unsigned nextBurst(double p, unsigned cap);
+
+  private:
+    std::uint64_t state0_;
+    std::uint64_t state1_;
+};
+
+/** splitmix64 step; used for seed expansion and hashing. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Hash two 64-bit values into one (for derived seeds). */
+std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b);
+
+} // namespace wbsim
+
+#endif // WBSIM_UTIL_RANDOM_HH

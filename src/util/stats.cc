@@ -1,0 +1,131 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace wbsim::stats
+{
+
+double
+ratio(Count numerator, Count denominator)
+{
+    if (denominator == 0)
+        return 0.0;
+    return static_cast<double>(numerator)
+        / static_cast<double>(denominator);
+}
+
+double
+percent(Count numerator, Count denominator)
+{
+    return 100.0 * ratio(numerator, denominator);
+}
+
+Histogram::Histogram(std::size_t buckets)
+    : counts_(buckets + 1, 0)
+{
+    wbsim_assert(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(std::uint64_t value)
+{
+    sample(value, 1);
+}
+
+void
+Histogram::sample(std::uint64_t value, Count count)
+{
+    if (count == 0)
+        return;
+    std::size_t idx = std::min<std::uint64_t>(value, counts_.size() - 1);
+    counts_[idx] += count;
+    samples_ += count;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+    sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+std::uint64_t
+Histogram::minValue() const
+{
+    return samples_ == 0 ? 0 : min_;
+}
+
+double
+Histogram::mean() const
+{
+    if (samples_ == 0)
+        return 0.0;
+    return sum_ / static_cast<double>(samples_);
+}
+
+Count
+Histogram::bucket(std::size_t i) const
+{
+    wbsim_assert(i < counts_.size(), "histogram bucket out of range");
+    return counts_[i];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    samples_ = 0;
+    min_ = ~std::uint64_t{0};
+    max_ = 0;
+    sum_ = 0.0;
+}
+
+std::string
+Histogram::summary() const
+{
+    static const char *glyphs[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    std::ostringstream os;
+    os << "n=" << samples_ << " mean=" << mean()
+       << " min=" << minValue() << " max=" << max_ << " |";
+    Count peak = 0;
+    for (Count c : counts_)
+        peak = std::max(peak, c);
+    for (Count c : counts_) {
+        std::size_t level = 0;
+        if (peak > 0 && c > 0)
+            level = 1 + (c * 6) / peak;
+        os << glyphs[std::min<std::size_t>(level, 7)];
+    }
+    os << "|";
+    return os.str();
+}
+
+void
+StatSet::addScalar(const std::string &name, const Count *value)
+{
+    counts_[name] = value;
+}
+
+void
+StatSet::addScalar(const std::string &name, const Counter *counter)
+{
+    counters_[name] = counter;
+}
+
+void
+StatSet::addDouble(const std::string &name, const double *value)
+{
+    doubles_[name] = value;
+}
+
+void
+StatSet::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &[name, ptr] : counts_)
+        os << prefix << name << " " << *ptr << "\n";
+    for (const auto &[name, ptr] : counters_)
+        os << prefix << name << " " << ptr->value() << "\n";
+    for (const auto &[name, ptr] : doubles_)
+        os << prefix << name << " " << *ptr << "\n";
+}
+
+} // namespace wbsim::stats

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Lightweight statistics package: counters, ratios, distributions,
+ * and a named registry for dumping.
+ *
+ * Modelled loosely on gem5's Stats package but intentionally small:
+ * stats here are plain values updated inline by the models, and the
+ * registry exists only to give them names and a uniform dump format.
+ */
+
+#ifndef WBSIM_UTIL_STATS_HH
+#define WBSIM_UTIL_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace wbsim::stats
+{
+
+/** A monotonically increasing event count. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++value_; return *this; }
+    Counter &operator+=(Count n) { value_ += n; return *this; }
+
+    Count value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    Count value_ = 0;
+};
+
+/** Ratio of two counts, rendered as a fraction or percentage. */
+double ratio(Count numerator, Count denominator);
+
+/** Percentage (0-100) of two counts; 0 when denominator is 0. */
+double percent(Count numerator, Count denominator);
+
+/**
+ * A histogram over a fixed integer range [0, buckets); values beyond
+ * the top bucket accumulate in an overflow bucket. Tracks min, max,
+ * mean, and per-bucket counts.
+ */
+class Histogram
+{
+  public:
+    /** @param buckets number of unit-width buckets before overflow. */
+    explicit Histogram(std::size_t buckets = 64);
+
+    /** Record one sample of @p value. */
+    void sample(std::uint64_t value);
+
+    /** Record @p count samples of @p value. */
+    void sample(std::uint64_t value, Count count);
+
+    Count samples() const { return samples_; }
+    std::uint64_t minValue() const;
+    std::uint64_t maxValue() const { return max_; }
+    double mean() const;
+
+    /** Count in bucket @p i (i == buckets() means overflow). */
+    Count bucket(std::size_t i) const;
+    std::size_t buckets() const { return counts_.size() - 1; }
+
+    void reset();
+
+    /** Render "mean=… min=… max=… n=…" plus sparkline of buckets. */
+    std::string summary() const;
+
+  private:
+    std::vector<Count> counts_; // last slot is overflow
+    Count samples_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    std::uint64_t max_ = 0;
+    double sum_ = 0.0;
+};
+
+/**
+ * A named collection of scalar statistics for uniform dumping.
+ * Models register name → value accessors at construction time.
+ */
+class StatSet
+{
+  public:
+    /** Register a scalar by value-snapshot (copied at dump time). */
+    void addScalar(const std::string &name, const Count *value);
+    void addScalar(const std::string &name, const Counter *counter);
+    void addDouble(const std::string &name, const double *value);
+
+    /** Write "name value" lines, one per stat, sorted by name. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, const Count *> counts_;
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const double *> doubles_;
+};
+
+} // namespace wbsim::stats
+
+#endif // WBSIM_UTIL_STATS_HH

@@ -1,0 +1,144 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+namespace
+{
+
+bool
+looksNumeric(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    bool digit_seen = false;
+    for (char c : cell) {
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            digit_seen = true;
+        else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e')
+            return false;
+    }
+    return digit_seen;
+}
+
+} // namespace
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    wbsim_assert(header_.empty() || row.size() == header_.size(),
+                 "table row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back({kSeparatorTag});
+}
+
+std::size_t
+TextTable::rows() const
+{
+    std::size_t n = 0;
+    for (const auto &row : rows_)
+        if (!(row.size() == 1 && row[0] == kSeparatorTag))
+            ++n;
+    return n;
+}
+
+void
+TextTable::render(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string> &row) {
+        if (row.size() == 1 && row[0] == kSeparatorTag)
+            return;
+        widths.resize(std::max(widths.size(), row.size()), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto &row : rows_)
+        widen(row);
+
+    auto rule = [&]() {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            os << "+" << std::string(widths[i] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto emit = [&](const std::vector<std::string> &row, bool is_header) {
+        for (std::size_t i = 0; i < widths.size(); ++i) {
+            std::string cell = i < row.size() ? row[i] : "";
+            bool right = !is_header && looksNumeric(cell);
+            os << "| ";
+            if (right)
+                os << std::string(widths[i] - cell.size(), ' ') << cell;
+            else
+                os << cell << std::string(widths[i] - cell.size(), ' ');
+            os << " ";
+        }
+        os << "|\n";
+    };
+
+    rule();
+    if (!header_.empty()) {
+        emit(header_, true);
+        rule();
+    }
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == kSeparatorTag)
+            rule();
+        else
+            emit(row, false);
+    }
+    rule();
+}
+
+void
+TextTable::renderCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                os << ",";
+            os << row[i];
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto &row : rows_) {
+        if (!(row.size() == 1 && row[0] == kSeparatorTag))
+            emit(row);
+    }
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatPercent(double value, int decimals)
+{
+    return formatDouble(value, decimals);
+}
+
+} // namespace wbsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain-text table rendering for the reproduction reports.
+ */
+
+#ifndef WBSIM_UTIL_TABLE_HH
+#define WBSIM_UTIL_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wbsim
+{
+
+/**
+ * A simple text table: a header row plus data rows, rendered with
+ * aligned columns. Numeric-looking cells are right-aligned, others
+ * left-aligned.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row (also fixes the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Number of data rows (separators excluded). */
+    std::size_t rows() const;
+
+    /** Render with box-drawing-free ASCII framing. */
+    void render(std::ostream &os) const;
+
+    /** Render as comma-separated values (header + rows). */
+    void renderCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    // A row with a single empty sentinel cell encodes a separator.
+    std::vector<std::vector<std::string>> rows_;
+    static constexpr const char *kSeparatorTag = "\x01sep";
+};
+
+/** Format @p value with @p decimals digits after the point. */
+std::string formatDouble(double value, int decimals);
+
+/** Format a percentage like "12.34". */
+std::string formatPercent(double value, int decimals = 2);
+
+} // namespace wbsim
+
+#endif // WBSIM_UTIL_TABLE_HH

@@ -1,0 +1,52 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+#include "util/options.hh"
+
+namespace wbsim
+{
+
+void
+parallelFor(std::size_t count, unsigned threads,
+            const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (threads <= 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    threads = std::min<std::size_t>(threads, count);
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&]() {
+            for (;;) {
+                std::size_t i = next.fetch_add(1);
+                if (i >= count)
+                    return;
+                body(i);
+            }
+        });
+    }
+    for (auto &worker : workers)
+        worker.join();
+}
+
+unsigned
+defaultThreads()
+{
+    auto env = envUint("WBSIM_THREADS", 0);
+    if (env > 0)
+        return static_cast<unsigned>(std::min<std::uint64_t>(env, 64));
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    return std::min(hw, 64u);
+}
+
+} // namespace wbsim

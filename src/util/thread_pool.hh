@@ -1,0 +1,39 @@
+/**
+ * @file
+ * A small fixed-size thread pool for running experiment grids.
+ *
+ * The harness runs hundreds of independent simulations per figure;
+ * parallelFor() distributes them across hardware threads while
+ * keeping results ordered and deterministic (each simulation owns
+ * its state; no sharing).
+ */
+
+#ifndef WBSIM_UTIL_THREAD_POOL_HH
+#define WBSIM_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace wbsim
+{
+
+/**
+ * Run @p body(i) for every i in [0, count) across @p threads
+ * workers. Blocks until all iterations finish. With threads <= 1 the
+ * loop runs inline (useful for debugging).
+ *
+ * Exceptions escaping @p body terminate the process (the simulator
+ * reports errors via fatal()/panic() instead).
+ */
+void parallelFor(std::size_t count, unsigned threads,
+                 const std::function<void(std::size_t)> &body);
+
+/** Hardware concurrency clamped to [1, 64], honours WBSIM_THREADS. */
+unsigned defaultThreads();
+
+} // namespace wbsim
+
+#endif // WBSIM_UTIL_THREAD_POOL_HH

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef WBSIM_UTIL_TYPES_HH
+#define WBSIM_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace wbsim
+{
+
+/** Simulated time, in CPU cycles. */
+using Cycle = std::uint64_t;
+
+/** A byte address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A count of simulated events (instructions, accesses, stalls...). */
+using Count = std::uint64_t;
+
+/** Sentinel for "no cycle" / "never". */
+constexpr Cycle kNoCycle = ~Cycle{0};
+
+} // namespace wbsim
+
+#endif // WBSIM_UTIL_TYPES_HH

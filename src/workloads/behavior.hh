@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Address-stream behaviours: the building blocks of the synthetic
+ * SPEC92 workload models.
+ *
+ * The original study instrumented DEC Alpha SPEC92 binaries with
+ * ATOM; those binaries and traces are unobtainable, so each
+ * benchmark is modelled as a weighted mixture of archetypal access
+ * behaviours, calibrated to the paper's published per-benchmark
+ * statistics (Tables 4, 5 and 7). See DESIGN.md §2.
+ */
+
+#ifndef WBSIM_WORKLOADS_BEHAVIOR_HH
+#define WBSIM_WORKLOADS_BEHAVIOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** The closed set of behaviour archetypes. */
+enum class BehaviorKind : std::uint8_t
+{
+    /** Sequential walk over a region, restarting at the beginning:
+     *  models array streaming and re-traversal. Region size controls
+     *  which cache level captures the reuse. */
+    Loop,
+    /** Uniformly random aligned accesses within a region: models
+     *  hash tables and irregular heap access. */
+    Random,
+    /** Column-major matrix walk: consecutive accesses `stride`
+     *  bytes apart, `columns` per sweep, then the base shifts by one
+     *  element. Models the "wrong"-order NASA kernels (Table 6). */
+    Strided,
+    /** Random walk up/down a stack of small frames: very high
+     *  locality; models call-stack traffic. */
+    Stack,
+    /** Pointer chase over a fixed random permutation of nodes:
+     *  low spatial locality with a long reuse cycle. */
+    PointerChase,
+};
+
+const char *behaviorKindName(BehaviorKind kind);
+
+/** Declarative description of one behaviour in a profile. */
+struct BehaviorSpec
+{
+    BehaviorKind kind = BehaviorKind::Loop;
+    /** Mixture weight within its role (loads or stores). */
+    double weight = 1.0;
+    /** Footprint in bytes (Loop/Random/Stack footprint; for
+     *  PointerChase, node count * 64B node size; for Strided,
+     *  columns * stride). */
+    std::uint64_t region = 64 * 1024;
+    /** Strided only: distance between consecutive accesses. */
+    std::uint64_t stride = 0;
+    /** Access size in bytes (4 or 8 on the paper's Alphas). */
+    unsigned accessBytes = 8;
+    /**
+     * Store behaviours only: index of the load behaviour whose
+     * address arena this behaviour shares (-1 = private arena).
+     * Real programs write the arrays they read; sharing keeps the
+     * combined cache footprint honest.
+     */
+    int shareWithLoad = -1;
+};
+
+/** A live address generator instantiated from a BehaviorSpec. */
+class Behavior
+{
+  public:
+    virtual ~Behavior() = default;
+
+    /** Produce the next address of this behaviour's stream. */
+    virtual Addr next() = 0;
+
+    /** Access size for this stream. */
+    virtual unsigned accessBytes() const = 0;
+
+    /**
+     * Instantiate a behaviour.
+     * @param spec declarative parameters.
+     * @param base start of this behaviour's private address arena.
+     * @param seed deterministic seed for any internal randomness.
+     */
+    static std::unique_ptr<Behavior> make(const BehaviorSpec &spec,
+                                          Addr base,
+                                          std::uint64_t seed);
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_WORKLOADS_BEHAVIOR_HH

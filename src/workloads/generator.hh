@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SyntheticSource: turns a BenchmarkProfile into a deterministic
+ * TraceRecord stream.
+ */
+
+#ifndef WBSIM_WORKLOADS_GENERATOR_HH
+#define WBSIM_WORKLOADS_GENERATOR_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "trace/source.hh"
+#include "util/random.hh"
+#include "workloads/profile.hh"
+
+namespace wbsim
+{
+
+/** Deterministic synthetic workload generator. */
+class SyntheticSource : public TraceSource
+{
+  public:
+    /**
+     * @param profile the benchmark model (copied).
+     * @param instructions stream length.
+     * @param seed master seed; every internal stream derives from it.
+     */
+    SyntheticSource(BenchmarkProfile profile, Count instructions,
+                    std::uint64_t seed = 1);
+
+    bool next(TraceRecord &record) override;
+    void reset() override;
+    std::string name() const override { return profile_.name; }
+
+    const BenchmarkProfile &profile() const { return profile_; }
+    Count instructions() const { return limit_; }
+
+  private:
+    struct RecentStore
+    {
+        Addr addr = 0;
+        unsigned size = 8;
+    };
+
+    BenchmarkProfile profile_;
+    Count limit_;
+    std::uint64_t seed_;
+
+    Rng rng_{1};
+    std::vector<std::unique_ptr<Behavior>> load_behaviors_;
+    std::vector<std::unique_ptr<Behavior>> store_behaviors_;
+    std::vector<double> load_weights_;
+    std::vector<double> store_weights_;
+
+    Count emitted_ = 0;
+    unsigned burst_left_ = 0;
+    unsigned store_run_left_ = 0;
+    std::size_t store_run_behavior_ = 0;
+    double p_burst_start_ = 0.0;
+    double p_load_draw_ = 0.0;
+
+    /** Ring of recent stores feeding RAW loads. */
+    std::array<RecentStore, 64> recent_;
+    std::size_t recent_head_ = 0;
+    std::size_t recent_count_ = 0;
+
+    /** Instruction-address model. */
+    Addr code_base_ = 0;
+    Addr loop_base_ = 0;
+    Addr pc_ = 0;
+
+    void rebuild();
+    TraceRecord makeLoad();
+    TraceRecord makeStore();
+    Addr nextPc();
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_WORKLOADS_GENERATOR_HH

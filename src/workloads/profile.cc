@@ -1,0 +1,37 @@
+#include "workloads/profile.hh"
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+void
+BenchmarkProfile::validate() const
+{
+    if (name.empty())
+        wbsim_fatal("benchmark profile needs a name");
+    if (pctLoads < 0 || pctStores < 0 || pctLoads + pctStores > 1.0)
+        wbsim_fatal(name, ": load/store fractions must be non-negative "
+                    "and sum to at most 1");
+    if (loadBehaviors.empty() && pctLoads > 0)
+        wbsim_fatal(name, ": loads requested but no load behaviours");
+    if (storeBehaviors.empty() && pctStores > 0)
+        wbsim_fatal(name, ": stores requested but no store behaviours");
+    if (rawFraction < 0 || rawFraction > 1)
+        wbsim_fatal(name, ": rawFraction out of range");
+    if (rawDistanceMin < 1 || rawDistanceMin > rawDistanceMax)
+        wbsim_fatal(name, ": bad RAW distance range");
+    if (storeBurstContinue < 0 || storeBurstContinue >= 1)
+        wbsim_fatal(name, ": storeBurstContinue must be in [0, 1)");
+    if (storeBurstCap < 1)
+        wbsim_fatal(name, ": storeBurstCap must be at least 1");
+    if (storeRunContinue < 0 || storeRunContinue >= 1)
+        wbsim_fatal(name, ": storeRunContinue must be in [0, 1)");
+    if (storeRunCap < 1)
+        wbsim_fatal(name, ": storeRunCap must be at least 1");
+    if (barrierFraction < 0 || barrierFraction + pctLoads + pctStores
+        > 1.0)
+        wbsim_fatal(name, ": barrierFraction must fit the mix");
+}
+
+} // namespace wbsim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * BenchmarkProfile: the declarative description of one synthetic
+ * SPEC92 workload model.
+ */
+
+#ifndef WBSIM_WORKLOADS_PROFILE_HH
+#define WBSIM_WORKLOADS_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/behavior.hh"
+
+namespace wbsim
+{
+
+/**
+ * A synthetic benchmark: the instruction mix, the load and store
+ * behaviour mixtures, burst and read-after-write parameters, and
+ * (for the calibration tests) the paper's published targets.
+ */
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** @name Instruction mix (paper Table 4). */
+    /// @{
+    double pctLoads = 0.25;
+    double pctStores = 0.10;
+    /// @}
+
+    /** Load address behaviours (weights need not sum to 1). */
+    std::vector<BehaviorSpec> loadBehaviors;
+    /** Store address behaviours. */
+    std::vector<BehaviorSpec> storeBehaviors;
+
+    /**
+     * Fraction of loads that re-read a recently stored address
+     * (read-after-write). These are the loads that can raise load
+     * hazards: with write-around stores the stored block is usually
+     * absent from L1 but active in the write buffer.
+     */
+    double rawFraction = 0.0;
+    /** How far back in the recent-store ring RAW loads look. */
+    unsigned rawDistanceMin = 1;
+    unsigned rawDistanceMax = 8;
+
+    /**
+     * Store burstiness: probability that a store burst continues.
+     * Bursts model register-save/struct-init sequences and drive
+     * buffer-full behaviour. 0 = independent stores.
+     */
+    double storeBurstContinue = 0.0;
+    /** Maximum burst length. */
+    unsigned storeBurstCap = 16;
+
+    /**
+     * Store behaviour stickiness: probability that the next store
+     * draws from the same behaviour as the previous one. Runs model
+     * loops that emit stores from a single array; they are what lets
+     * coalescing survive eager retirement.
+     */
+    double storeRunContinue = 0.85;
+    unsigned storeRunCap = 32;
+
+    /**
+     * Probability that a non-memory slot issues a memory barrier
+     * (§2.2's ordering instructions; the barrier-cost ablation).
+     */
+    double barrierFraction = 0.0;
+
+    /** Instruction-stream model (real-I-cache extension): size of
+     *  the code footprint and of the typical inner loop. */
+    std::uint64_t codeFootprint = 64 * 1024;
+    std::uint64_t codeLoop = 2 * 1024;
+    /** Probability per instruction of jumping to another loop. */
+    double codeJumpProb = 0.001;
+
+    /** @name Calibration targets from the paper (fractions, not %).
+     *  Zero means "no published target". */
+    /// @{
+    double targetL1LoadHit = 0.0;  //!< Table 5
+    double targetWbMerge = 0.0;    //!< Table 5
+    double targetL2Hit128K = 0.0;  //!< Table 7
+    double targetL2Hit512K = 0.0;  //!< Table 7
+    double targetL2Hit1M = 0.0;    //!< Table 7
+    /// @}
+
+    /** fatal() on inconsistent parameters. */
+    void validate() const;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_WORKLOADS_PROFILE_HH

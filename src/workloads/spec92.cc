@@ -1,0 +1,530 @@
+#include "workloads/spec92.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+
+namespace wbsim::spec92
+{
+
+namespace
+{
+
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+BehaviorSpec
+loop(double weight, std::uint64_t region, unsigned access = 8)
+{
+    BehaviorSpec spec;
+    spec.kind = BehaviorKind::Loop;
+    spec.weight = weight;
+    spec.region = region;
+    spec.accessBytes = access;
+    return spec;
+}
+
+BehaviorSpec
+rnd(double weight, std::uint64_t region, unsigned access = 8)
+{
+    BehaviorSpec spec;
+    spec.kind = BehaviorKind::Random;
+    spec.weight = weight;
+    spec.region = region;
+    spec.accessBytes = access;
+    return spec;
+}
+
+BehaviorSpec
+strided(double weight, std::uint64_t region, std::uint64_t stride,
+        unsigned access = 8)
+{
+    BehaviorSpec spec;
+    spec.kind = BehaviorKind::Strided;
+    spec.weight = weight;
+    spec.region = region;
+    spec.stride = stride;
+    spec.accessBytes = access;
+    return spec;
+}
+
+BehaviorSpec
+stack(double weight, std::uint64_t region, unsigned access = 8)
+{
+    BehaviorSpec spec;
+    spec.kind = BehaviorKind::Stack;
+    spec.weight = weight;
+    spec.region = region;
+    spec.accessBytes = access;
+    return spec;
+}
+
+BehaviorSpec
+chase(double weight, std::uint64_t region, unsigned access = 8)
+{
+    BehaviorSpec spec;
+    spec.kind = BehaviorKind::PointerChase;
+    spec.weight = weight;
+    spec.region = region;
+    spec.accessBytes = access;
+    return spec;
+}
+
+/** Mark a store behaviour as writing the arrays load behaviour
+ *  @p load_index reads. */
+BehaviorSpec
+shared(BehaviorSpec spec, int load_index)
+{
+    spec.shareWithLoad = load_index;
+    return spec;
+}
+
+/** Fill the paper-target fields (percentages as published). */
+void
+targets(BenchmarkProfile &p, double l1, double wb, double l2a, double l2b,
+        double l2c)
+{
+    p.targetL1LoadHit = l1 / 100.0;
+    p.targetWbMerge = wb / 100.0;
+    p.targetL2Hit128K = l2a / 100.0;
+    p.targetL2Hit512K = l2b / 100.0;
+    p.targetL2Hit1M = l2c / 100.0;
+}
+
+std::map<std::string, BenchmarkProfile>
+buildProfiles()
+{
+    std::map<std::string, BenchmarkProfile> out;
+
+    // Each profile mixes archetypal behaviours so that the baseline
+    // machine reproduces the paper's published statistics: the
+    // instruction mix (Table 4), the L1 load hit rate and the write
+    // buffer merge rate (Table 5), and the L2 hit rates at
+    // 128K/512K/1M (Table 7). Weights were fitted against simulation
+    // (see examples/calibration_report.cc).
+
+    // ---------------------------------------------------- SPECint92
+    {
+        BenchmarkProfile p;
+        p.name = "espresso";
+        p.pctLoads = 0.196;
+        p.pctStores = 0.051;
+        p.loadBehaviors = {stack(0.80, 2 * kKiB),
+                           loop(0.155, 4 * kKiB, 4),
+                           rnd(0.025, 40 * kKiB, 4)};
+        p.storeBehaviors = {loop(0.58, 16 * kKiB, 4),
+                            shared(rnd(0.42, 40 * kKiB, 4), 2)};
+        p.rawFraction = 0.008;
+        p.storeBurstContinue = 0.25;
+        p.codeFootprint = 96 * kKiB;
+        targets(p, 94.73, 45.65, 99.96, 100.0, 100.0);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "compress";
+        p.pctLoads = 0.227;
+        p.pctStores = 0.086;
+        p.loadBehaviors = {stack(0.50, 2 * kKiB),
+                           loop(0.38, 4 * kKiB, 4),
+                           rnd(0.112, 88 * kKiB, 8),
+                           rnd(0.008, 256 * kKiB, 8)};
+        p.storeBehaviors = {loop(0.57, 32 * kKiB, 8),
+                            shared(rnd(0.39, 88 * kKiB, 8), 2),
+                            shared(rnd(0.04, 256 * kKiB, 8), 3)};
+        p.rawFraction = 0.02;
+        p.storeBurstContinue = 0.3;
+        targets(p, 82.52, 38.81, 92.04, 99.98, 99.98);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "uncompress";
+        p.pctLoads = 0.226;
+        p.pctStores = 0.084;
+        p.loadBehaviors = {stack(0.80, 2 * kKiB),
+                           loop(0.15, 4 * kKiB, 4),
+                           rnd(0.048, 72 * kKiB, 8),
+                           rnd(0.002, 224 * kKiB, 8)};
+        p.storeBehaviors = {loop(0.31, 32 * kKiB, 8),
+                            shared(rnd(0.69, 72 * kKiB, 8), 2)};
+        p.rawFraction = 0.015;
+        p.storeBurstContinue = 0.3;
+        targets(p, 92.10, 21.22, 98.67, 99.96, 99.96);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "sc";
+        p.pctLoads = 0.272;
+        p.pctStores = 0.114;
+        p.loadBehaviors = {stack(0.77, 2 * kKiB),
+                           loop(0.18, 4 * kKiB, 4),
+                           rnd(0.05, 72 * kKiB, 4)};
+        p.storeBehaviors = {loop(0.72, 24 * kKiB, 4),
+                            stack(0.08, 2 * kKiB),
+                            shared(rnd(0.20, 72 * kKiB, 4), 2)};
+        p.rawFraction = 0.03;
+        p.storeBurstContinue = 0.35;
+        targets(p, 91.00, 61.73, 97.87, 99.99, 99.99);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "cc1";
+        p.pctLoads = 0.202;
+        p.pctStores = 0.105;
+        p.loadBehaviors = {stack(0.82, 2 * kKiB),
+                           loop(0.15, 4 * kKiB, 4),
+                           chase(0.01, 24 * kKiB, 8),
+                           rnd(0.02, 56 * kKiB, 4)};
+        p.storeBehaviors = {loop(0.54, 24 * kKiB, 4),
+                            stack(0.12, 2 * kKiB),
+                            shared(rnd(0.34, 56 * kKiB, 4), 3)};
+        p.rawFraction = 0.03;
+        p.storeBurstContinue = 0.4;
+        p.codeFootprint = 512 * kKiB; // gcc's large text segment
+        p.codeLoop = 4 * kKiB;
+        p.codeJumpProb = 0.004;
+        targets(p, 93.33, 47.46, 99.31, 99.89, 99.98);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "li";
+        p.pctLoads = 0.284;
+        p.pctStores = 0.162;
+        p.loadBehaviors = {stack(0.79, 2 * kKiB),
+                           loop(0.16, 2 * kKiB, 4),
+                           chase(0.035, 32 * kKiB, 8),
+                           rnd(0.015, 40 * kKiB, 8)};
+        p.storeBehaviors = {loop(0.44, 16 * kKiB, 4),
+                            stack(0.18, 2 * kKiB),
+                            shared(rnd(0.38, 40 * kKiB, 8), 3)};
+        p.rawFraction = 0.035;
+        p.storeBurstContinue = 0.3;
+        targets(p, 91.96, 41.40, 99.18, 99.98, 99.98);
+        out[p.name] = p;
+    }
+
+    // ----------------------------------------------------- SPECfp92
+    {
+        BenchmarkProfile p;
+        p.name = "doduc";
+        p.pctLoads = 0.224;
+        p.pctStores = 0.068;
+        p.loadBehaviors = {stack(0.64, 2 * kKiB),
+                           loop(0.27, 4 * kKiB, 4),
+                           loop(0.06, 32 * kKiB, 8),
+                           rnd(0.03, 48 * kKiB, 8)};
+        p.storeBehaviors = {loop(0.59, 24 * kKiB, 4),
+                            shared(rnd(0.41, 48 * kKiB, 8), 3)};
+        p.rawFraction = 0.02;
+        p.storeBurstContinue = 0.35;
+        targets(p, 88.89, 46.65, 99.97, 99.85, 99.97);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "hydro2d";
+        p.pctLoads = 0.219;
+        p.pctStores = 0.087;
+        p.loadBehaviors = {stack(0.58, 2 * kKiB),
+                           loop(0.195, 4 * kKiB, 4),
+                           loop(0.15, 40 * kKiB, 8),
+                           rnd(0.067, 72 * kKiB, 8),
+                           loop(0.008, 300 * kKiB, 8)};
+        p.storeBehaviors = {shared(loop(0.63, 40 * kKiB, 8), 2),
+                            shared(rnd(0.37, 72 * kKiB, 8), 3)};
+        p.rawFraction = 0.02;
+        p.storeBurstContinue = 0.45;
+        targets(p, 84.29, 44.68, 96.64, 99.77, 99.85);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mdljsp2";
+        p.pctLoads = 0.211;
+        p.pctStores = 0.060;
+        p.loadBehaviors = {stack(0.93, 2 * kKiB),
+                           loop(0.05, 2 * kKiB, 4),
+                           rnd(0.02, 56 * kKiB, 8)};
+        p.storeBehaviors = {shared(rnd(0.89, 56 * kKiB, 4), 2),
+                            loop(0.11, 16 * kKiB, 8)};
+        p.rawFraction = 0.01;
+        p.storeBurstContinue = 0.5;
+        targets(p, 96.84, 7.41, 99.79, 100.0, 100.0);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "tomcatv";
+        p.pctLoads = 0.275;
+        p.pctStores = 0.080;
+        p.loadBehaviors = {stack(0.27, 2 * kKiB),
+                           loop(0.13, 4 * kKiB, 4),
+                           rnd(0.27, 72 * kKiB, 8),
+                           loop(0.24, 700 * kKiB, 8),
+                           loop(0.09, 8 * kMiB, 8)};
+        p.storeBehaviors = {shared(loop(0.44, 700 * kKiB, 8), 3),
+                            shared(rnd(0.56, 72 * kKiB, 8), 2)};
+        p.rawFraction = 0.015;
+        p.storeBurstContinue = 0.5;
+        targets(p, 63.93, 30.05, 75.10, 75.60, 91.39);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "fpppp";
+        p.pctLoads = 0.338;
+        p.pctStores = 0.127;
+        p.loadBehaviors = {stack(0.755, 2 * kKiB),
+                           loop(0.16, 4 * kKiB, 4),
+                           loop(0.06, 40 * kKiB, 8),
+                           rnd(0.025, 56 * kKiB, 8)};
+        p.storeBehaviors = {shared(loop(0.46, 40 * kKiB, 8), 2),
+                            stack(0.12, 2 * kKiB),
+                            shared(rnd(0.42, 56 * kKiB, 8), 3)};
+        p.rawFraction = 0.05;
+        p.storeBurstContinue = 0.45;
+        targets(p, 89.88, 35.13, 99.87, 100.0, 100.0);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "mdljdp2";
+        p.pctLoads = 0.145;
+        p.pctStores = 0.076;
+        p.loadBehaviors = {stack(0.76, 2 * kKiB),
+                           loop(0.12, 4 * kKiB, 4),
+                           rnd(0.116, 80 * kKiB, 8),
+                           rnd(0.004, 160 * kKiB, 8)};
+        p.storeBehaviors = {shared(rnd(0.88, 80 * kKiB, 8), 2),
+                            loop(0.12, 16 * kKiB, 8)};
+        p.rawFraction = 0.01;
+        p.storeBurstContinue = 0.5;
+        targets(p, 85.11, 7.79, 98.77, 99.99, 99.99);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "wave5";
+        p.pctLoads = 0.208;
+        p.pctStores = 0.139;
+        p.loadBehaviors = {stack(0.80, 2 * kKiB),
+                           loop(0.122, 4 * kKiB, 4),
+                           rnd(0.07, 80 * kKiB, 8),
+                           loop(0.008, 2 * kMiB, 8)};
+        p.storeBehaviors = {shared(loop(0.56, 80 * kKiB, 8), 2),
+                            shared(rnd(0.44, 80 * kKiB, 8), 2)};
+        p.rawFraction = 0.02;
+        p.storeBurstContinue = 0.6;
+        p.storeBurstCap = 24;
+        targets(p, 89.44, 39.32, 98.25, 99.04, 99.11);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "su2cor";
+        p.pctLoads = 0.243;
+        p.pctStores = 0.110;
+        p.loadBehaviors = {stack(0.15, 2 * kKiB),
+                           loop(0.06, 4 * kKiB, 4),
+                           loop(0.14, 48 * kKiB, 8),
+                           rnd(0.46, 64 * kKiB, 8),
+                           loop(0.13, 800 * kKiB, 8),
+                           loop(0.05, 4 * kMiB, 8)};
+        p.storeBehaviors = {shared(loop(0.32, 800 * kKiB, 8), 4),
+                            shared(rnd(0.68, 64 * kKiB, 8), 3)};
+        p.rawFraction = 0.04;
+        p.storeBurstContinue = 0.5;
+        targets(p, 45.82, 23.56, 90.32, 96.65, 98.62);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "fft";
+        p.pctLoads = 0.212;
+        p.pctStores = 0.210;
+        p.loadBehaviors = {stack(0.37, 2 * kKiB),
+                           loop(0.09, 4 * kKiB, 4),
+                           rnd(0.36, 136 * kKiB, 8),
+                           loop(0.18, 192 * kKiB, 8)};
+        p.storeBehaviors = {shared(loop(0.71, 192 * kKiB, 8), 3),
+                            shared(rnd(0.29, 136 * kKiB, 8), 2)};
+        p.rawFraction = 0.05;
+        p.storeBurstContinue = 0.45;
+        targets(p, 57.14, 50.93, 62.45, 99.79, 100.0);
+        out[p.name] = p;
+    }
+
+    // ------------------------------------------------- NASA kernels
+    {
+        // A ~832K matrix walked column-major: consecutive accesses
+        // ~1.6K apart, ~540 lines per sweep (spills the 8K L1); the
+        // sweep working set fits every L2, the whole matrix only the
+        // larger ones (Table 7). 4-byte elements give 8 sweeps per
+        // line, matching the paper\'s high L2 hit rates.
+        BenchmarkProfile p;
+        p.name = "cholsky";
+        p.pctLoads = 0.305;
+        p.pctStores = 0.128;
+        p.loadBehaviors = {stack(0.25, 2 * kKiB),
+                           loop(0.28, 4 * kKiB, 4),
+                           strided(0.47, 832 * kKiB, 1576, 4)};
+        p.storeBehaviors = {shared(strided(0.59, 832 * kKiB, 1576, 4),
+                                   2),
+                            loop(0.41, 24 * kKiB, 4)};
+        p.rawFraction = 0.005;
+        p.storeBurstContinue = 0.2;
+        targets(p, 48.77, 32.29, 87.00, 94.93, 98.40);
+        out[p.name] = p;
+    }
+    {
+        BenchmarkProfile p;
+        p.name = "gmtry";
+        p.pctLoads = 0.357;
+        p.pctStores = 0.124;
+        p.loadBehaviors = {stack(0.12, 2 * kKiB),
+                           loop(0.36, 4 * kKiB, 4),
+                           strided(0.52, 1216 * kKiB, 2312, 4)};
+        p.storeBehaviors = {shared(strided(0.855, 1216 * kKiB, 2312, 4),
+                                   2),
+                            loop(0.145, 16 * kKiB, 8)};
+        p.rawFraction = 0.005;
+        p.storeBurstContinue = 0.2;
+        targets(p, 43.23, 9.76, 88.53, 92.80, 96.09);
+        out[p.name] = p;
+    }
+
+    return out;
+}
+
+const std::map<std::string, BenchmarkProfile> &
+profileMap()
+{
+    static const std::map<std::string, BenchmarkProfile> map =
+        buildProfiles();
+    return map;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    // Figure 3's display order: SPECint92, SPECfp92, NASA kernels,
+    // each in order of stall behaviour.
+    static const std::vector<std::string> names = {
+        "espresso", "compress", "uncompress", "sc",      "cc1",
+        "li",       "doduc",    "hydro2d",    "mdljsp2", "tomcatv",
+        "fpppp",    "mdljdp2",  "wave5",      "su2cor",  "fft",
+        "cholsky",  "gmtry",
+    };
+    return names;
+}
+
+BenchmarkProfile
+profile(const std::string &name)
+{
+    const auto &map = profileMap();
+    auto it = map.find(name);
+    if (it == map.end())
+        wbsim_fatal("unknown SPEC92 benchmark '", name, "'");
+    return it->second;
+}
+
+std::vector<BenchmarkProfile>
+allProfiles()
+{
+    std::vector<BenchmarkProfile> profiles;
+    for (const std::string &name : benchmarkNames())
+        profiles.push_back(profile(name));
+    return profiles;
+}
+
+BenchmarkProfile
+transformedProfile(const std::string &name)
+{
+    // Table 6: loop interchange (gmtry) and array transposition
+    // (cholsky) turn the column-major walks into sequential ones
+    // over the same footprint.
+    BenchmarkProfile p = profile(name);
+    if (name != "gmtry" && name != "cholsky")
+        wbsim_fatal("no transformed variant of '", name, "'");
+    p.name = name + "-transformed";
+    auto sequentialise = [](std::vector<BehaviorSpec> &specs) {
+        for (BehaviorSpec &spec : specs) {
+            if (spec.kind == BehaviorKind::Strided) {
+                spec.kind = BehaviorKind::Loop;
+                spec.stride = 0;
+            }
+        }
+    };
+    sequentialise(p.loadBehaviors);
+    sequentialise(p.storeBehaviors);
+    if (name == "gmtry")
+        targets(p, 88.5, 72.2, 0, 0, 0);
+    else
+        targets(p, 82.1, 73.5, 0, 0, 0);
+    return p;
+}
+
+const std::vector<std::string> &
+lowStallNames()
+{
+    static const std::vector<std::string> names = {"ear", "ora",
+                                                   "alvinn", "eqntott"};
+    return names;
+}
+
+BenchmarkProfile
+lowStallProfile(const std::string &name)
+{
+    // §2.4: these four SPEC92 programs suffer virtually no
+    // write-buffer stalls under the baseline model. Their common
+    // traits: small working sets that live in L1 and sparse,
+    // strongly sequential store streams that coalesce completely.
+    BenchmarkProfile p;
+    p.name = name;
+    p.storeBurstContinue = 0.15;
+    p.rawFraction = 0.002;
+    if (name == "ear") {
+        // Streaming FFT filter bank over small buffers.
+        p.pctLoads = 0.24;
+        p.pctStores = 0.07;
+        p.loadBehaviors = {stack(0.82, 2 * kKiB),
+                           loop(0.18, 4 * kKiB, 4)};
+        p.storeBehaviors = {loop(1.0, 4 * kKiB, 4)};
+    } else if (name == "ora") {
+        // Ray tracing with almost no data memory traffic.
+        p.pctLoads = 0.12;
+        p.pctStores = 0.03;
+        p.loadBehaviors = {stack(0.90, 2 * kKiB),
+                           loop(0.10, 2 * kKiB, 8)};
+        p.storeBehaviors = {stack(0.6, 2 * kKiB),
+                            loop(0.4, 2 * kKiB, 8)};
+    } else if (name == "alvinn") {
+        // Neural net training: dense sequential weight sweeps.
+        p.pctLoads = 0.30;
+        p.pctStores = 0.07;
+        p.loadBehaviors = {stack(0.40, 2 * kKiB),
+                           loop(0.60, 6 * kKiB, 4)};
+        p.storeBehaviors = {loop(1.0, 6 * kKiB, 4)};
+    } else if (name == "eqntott") {
+        // Bit-vector comparisons over a compact table.
+        p.pctLoads = 0.26;
+        p.pctStores = 0.02;
+        p.loadBehaviors = {stack(0.55, 2 * kKiB),
+                           loop(0.45, 6 * kKiB, 4)};
+        p.storeBehaviors = {stack(0.5, 2 * kKiB),
+                            loop(0.5, 4 * kKiB, 4)};
+    } else {
+        wbsim_fatal("unknown low-stall benchmark '", name, "'");
+    }
+    p.validate();
+    return p;
+}
+
+} // namespace wbsim::spec92
+

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The synthetic SPEC92 benchmark models used throughout the
+ * reproduction.
+ *
+ * One profile per benchmark of the paper's Table 4, each calibrated
+ * against the published instruction mix (Table 4), L1 load hit rate
+ * and write-buffer merge rate (Table 5), and L2 hit rates (Table 7).
+ * The two NASA kernels additionally exist in "transformed" variants
+ * reproducing Table 6's loop-interchange/array-transpose versions.
+ */
+
+#ifndef WBSIM_WORKLOADS_SPEC92_HH
+#define WBSIM_WORKLOADS_SPEC92_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/profile.hh"
+
+namespace wbsim::spec92
+{
+
+/** Names of all 17 benchmarks, in the paper's display order
+ *  (SPECint92, then SPECfp92, then the NASA kernels; Figure 3). */
+const std::vector<std::string> &benchmarkNames();
+
+/** The profile for one benchmark; fatal() on unknown names. */
+BenchmarkProfile profile(const std::string &name);
+
+/** All 17 profiles, in display order. */
+std::vector<BenchmarkProfile> allProfiles();
+
+/** Transformed NASA kernels ("gmtry" or "cholsky"; Table 6). */
+BenchmarkProfile transformedProfile(const std::string &name);
+
+/**
+ * The benchmarks the paper measured but excluded as uninteresting
+ * (§2.4): ear, ora, alvinn and eqntott "suffer virtually no
+ * write-buffer stalls in the baseline model". Modelled here so the
+ * claim itself is reproducible (see
+ * tests/workloads/calibration_test.cc).
+ */
+const std::vector<std::string> &lowStallNames();
+BenchmarkProfile lowStallProfile(const std::string &name);
+
+} // namespace wbsim::spec92
+
+#endif // WBSIM_WORKLOADS_SPEC92_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the write buffer configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(WriteBufferConfig, DefaultsAreThePaperBaseline)
+{
+    WriteBufferConfig config; // Table 2
+    EXPECT_EQ(config.depth, 4u);
+    EXPECT_EQ(config.entryBytes, 32u);
+    EXPECT_EQ(config.highWaterMark, 2u);
+    EXPECT_EQ(config.hazardPolicy, LoadHazardPolicy::FlushFull);
+    EXPECT_EQ(config.retirementMode, RetirementMode::Occupancy);
+    EXPECT_TRUE(config.coalescing);
+    config.validate(); // must not die
+}
+
+TEST(WriteBufferConfig, Headroom)
+{
+    WriteBufferConfig config;
+    config.depth = 12;
+    config.highWaterMark = 8;
+    EXPECT_EQ(config.headroom(), 4u);
+    config.highWaterMark = 12;
+    EXPECT_EQ(config.headroom(), 0u);
+}
+
+TEST(WriteBufferConfig, WordsPerEntry)
+{
+    WriteBufferConfig config;
+    EXPECT_EQ(config.wordsPerEntry(), 8u); // 32B / 4B
+    config.wordBytes = 8;
+    EXPECT_EQ(config.wordsPerEntry(), 4u);
+}
+
+TEST(WriteBufferConfig, DescribeMentionsKeyParameters)
+{
+    WriteBufferConfig config;
+    config.depth = 12;
+    config.highWaterMark = 8;
+    config.hazardPolicy = LoadHazardPolicy::ReadFromWB;
+    std::string text = config.describe();
+    EXPECT_NE(text.find("12-deep"), std::string::npos);
+    EXPECT_NE(text.find("retire-at-8"), std::string::npos);
+    EXPECT_NE(text.find("read-from-WB"), std::string::npos);
+}
+
+TEST(WriteBufferConfig, DescribeVariants)
+{
+    WriteBufferConfig config;
+    config.retirementMode = RetirementMode::FixedRate;
+    config.fixedRatePeriod = 16;
+    config.coalescing = false;
+    config.ageTimeout = 64;
+    config.writePriorityThreshold = 3;
+    std::string text = config.describe();
+    EXPECT_NE(text.find("fixed-rate-16"), std::string::npos);
+    EXPECT_NE(text.find("non-coalescing"), std::string::npos);
+    EXPECT_NE(text.find("timeout-64"), std::string::npos);
+    EXPECT_NE(text.find("write-priority-at-3"), std::string::npos);
+}
+
+TEST(WriteBufferConfigDeath, ZeroDepthIsFatal)
+{
+    WriteBufferConfig config;
+    config.depth = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "depth");
+}
+
+TEST(WriteBufferConfigDeath, HighWaterMarkAboveDepthIsFatal)
+{
+    WriteBufferConfig config;
+    config.depth = 4;
+    config.highWaterMark = 5;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "retire-at-5");
+}
+
+TEST(WriteBufferConfigDeath, WordLargerThanEntryIsFatal)
+{
+    WriteBufferConfig config;
+    config.entryBytes = 8;
+    config.wordBytes = 16;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "word larger");
+}
+
+TEST(WriteBufferConfigDeath, TooManyWordsIsFatal)
+{
+    WriteBufferConfig config;
+    config.entryBytes = 256;
+    config.wordBytes = 4;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "at most 32 words");
+}
+
+TEST(WriteBufferConfigDeath, FixedRateNeedsPeriod)
+{
+    WriteBufferConfig config;
+    config.retirementMode = RetirementMode::FixedRate;
+    config.fixedRatePeriod = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "period");
+}
+
+TEST(WriteBufferConfigDeath, PriorityThresholdBounded)
+{
+    WriteBufferConfig config;
+    config.writePriorityThreshold = 9;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "threshold");
+}
+
+TEST(PolicyNames, AllNamed)
+{
+    EXPECT_STREQ(loadHazardPolicyName(LoadHazardPolicy::FlushFull),
+                 "flush-full");
+    EXPECT_STREQ(loadHazardPolicyName(LoadHazardPolicy::FlushPartial),
+                 "flush-partial");
+    EXPECT_STREQ(loadHazardPolicyName(LoadHazardPolicy::FlushItemOnly),
+                 "flush-item-only");
+    EXPECT_STREQ(loadHazardPolicyName(LoadHazardPolicy::ReadFromWB),
+                 "read-from-WB");
+    EXPECT_STREQ(retirementModeName(RetirementMode::Occupancy),
+                 "occupancy");
+    EXPECT_STREQ(retirementModeName(RetirementMode::FixedRate),
+                 "fixed-rate");
+    EXPECT_STREQ(retirementOrderName(RetirementOrder::Fifo), "fifo");
+    EXPECT_STREQ(retirementOrderName(RetirementOrder::FullestFirst),
+                 "fullest-first");
+}
+
+TEST(WriteBufferConfig, DescribeMentionsNonFifoOrder)
+{
+    WriteBufferConfig config;
+    config.retirementOrder = RetirementOrder::FullestFirst;
+    EXPECT_NE(config.describe().find("fullest-first"),
+              std::string::npos);
+    config.retirementOrder = RetirementOrder::Fifo;
+    EXPECT_EQ(config.describe().find("fifo"), std::string::npos)
+        << "the default order is not spelled out";
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Unit tests for StallStats.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stall_stats.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(StallStats, StartsZeroed)
+{
+    StallStats s;
+    EXPECT_EQ(s.totalCycles(), 0u);
+}
+
+TEST(StallStats, TotalSumsAllThreeCategories)
+{
+    StallStats s;
+    s.bufferFullCycles = 3;
+    s.l2ReadAccessCycles = 5;
+    s.loadHazardCycles = 7;
+    EXPECT_EQ(s.totalCycles(), 15u);
+}
+
+TEST(StallStats, AccumulateMergesEverything)
+{
+    StallStats a, b;
+    a.bufferFullCycles = 1;
+    a.bufferFullEvents = 1;
+    b.bufferFullCycles = 2;
+    b.l2ReadAccessCycles = 3;
+    b.l2ReadAccessEvents = 1;
+    b.loadHazardCycles = 4;
+    b.loadHazardEvents = 2;
+    a += b;
+    EXPECT_EQ(a.bufferFullCycles, 3u);
+    EXPECT_EQ(a.bufferFullEvents, 1u);
+    EXPECT_EQ(a.l2ReadAccessCycles, 3u);
+    EXPECT_EQ(a.l2ReadAccessEvents, 1u);
+    EXPECT_EQ(a.loadHazardCycles, 4u);
+    EXPECT_EQ(a.loadHazardEvents, 2u);
+    EXPECT_EQ(a.totalCycles(), 10u);
+}
+
+} // namespace
+} // namespace wbsim

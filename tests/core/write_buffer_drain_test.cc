@@ -1,0 +1,86 @@
+/**
+ * @file
+ * drainBelow() tests: UltraSPARC-style priority draining and full
+ * drains.
+ */
+
+#include "wb_test_fixture.hh"
+
+namespace wbsim::test
+{
+namespace
+{
+
+class WriteBufferDrain : public WriteBufferFixture
+{
+};
+
+TEST_F(WriteBufferDrain, DrainAllEmptiesBuffer)
+{
+    build(config(8, 8));
+    store(0x1000, 1);
+    store(0x2000, 2);
+    store(0x3000, 3);
+    Cycle done = buffer->drainBelow(1, 4);
+    // Three writes back to back from cycle 4.
+    EXPECT_EQ(done, 4 + 3 * kTransfer);
+    EXPECT_EQ(buffer->occupancy(), 0u);
+}
+
+TEST_F(WriteBufferDrain, DrainBelowThresholdStopsEarly)
+{
+    build(config(8, 8));
+    for (unsigned i = 0; i < 6; ++i)
+        store(0x1000 * (i + 1), i + 1);
+    Cycle done = buffer->drainBelow(4, 7);
+    // 6 -> 3 entries: three writes [7,13) [13,19) [19,25).
+    EXPECT_EQ(done, 25u);
+    EXPECT_EQ(buffer->occupancy(), 3u);
+}
+
+TEST_F(WriteBufferDrain, DrainOnEmptyBufferIsInstant)
+{
+    build(config(4, 2));
+    EXPECT_EQ(buffer->drainBelow(1, 10), 10u);
+}
+
+TEST_F(WriteBufferDrain, DrainAlreadyBelowThresholdIsInstant)
+{
+    build(config(8, 8));
+    store(0x1000, 1);
+    EXPECT_EQ(buffer->drainBelow(3, 5), 5u);
+    EXPECT_EQ(buffer->occupancy(), 1u);
+}
+
+TEST_F(WriteBufferDrain, DrainWaitsForUnderwayRetirement)
+{
+    build(config(4, 2));
+    store(0x1000, 1);
+    store(0x2000, 2); // retirement of 0x1000 runs [2, 8)
+    Cycle done = buffer->drainBelow(1, 4);
+    // Completes the in-flight write (8) then drains 0x2000 [8, 14).
+    EXPECT_EQ(done, 14u);
+    EXPECT_EQ(buffer->occupancy(), 0u);
+}
+
+TEST_F(WriteBufferDrain, DrainRespectsPortOccupancy)
+{
+    build(config(8, 8));
+    store(0x1000, 1);
+    port->begin(L2Txn::Read, 2, 10); // port busy [2, 12)
+    Cycle done = buffer->drainBelow(1, 4);
+    EXPECT_EQ(done, 12 + kTransfer);
+}
+
+TEST_F(WriteBufferDrain, DrainedWritesCountAsRetirements)
+{
+    build(config(8, 8));
+    store(0x1000, 1);
+    store(0x2000, 2);
+    buffer->drainBelow(1, 3);
+    EXPECT_EQ(buffer->stats().retirements, 2u);
+    EXPECT_EQ(buffer->stats().flushes, 0u);
+}
+
+} // namespace
+} // namespace wbsim::test

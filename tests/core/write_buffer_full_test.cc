@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Buffer-full stall accounting tests (paper Table 3, first row):
+ * exact cycle counts for stores that wait for a free entry.
+ */
+
+#include "wb_test_fixture.hh"
+
+namespace wbsim::test
+{
+namespace
+{
+
+class WriteBufferFull : public WriteBufferFixture
+{
+};
+
+TEST_F(WriteBufferFull, FifthStoreWaitsForRetirement)
+{
+    build(config(4, 2));
+    // Stores to distinct blocks at cycles 1..4 fill the buffer; the
+    // first retirement runs [1, 7) (triggered when occupancy hit 2
+    // at cycle... the second store at cycle 2 -> starts at 2).
+    store(0x1000, 1);
+    store(0x2000, 2);
+    store(0x3000, 3);
+    store(0x4000, 4);
+    // All four entries valid (one retiring since cycle 2, done at 8).
+    Cycle done = store(0x5000, 5);
+    EXPECT_EQ(done, 8u);
+    EXPECT_EQ(stalls.bufferFullEvents, 1u);
+    EXPECT_EQ(stalls.bufferFullCycles, 3u);
+    EXPECT_EQ(buffer->stats().allocations, 5u);
+}
+
+TEST_F(WriteBufferFull, MergePossibleEvenWhenFull)
+{
+    build(config(4, 4)); // retire only at full occupancy
+    store(0x1000, 1);
+    store(0x2000, 2);
+    store(0x3000, 3);
+    Cycle t4 = store(0x4000, 4);
+    EXPECT_EQ(t4, 4u);
+    // Buffer full and a retirement underway [4, 10); a store to an
+    // existing (non-retiring) block still merges with no stall.
+    Cycle done = store(0x2008, 5);
+    EXPECT_EQ(done, 5u);
+    EXPECT_EQ(stalls.bufferFullEvents, 0u);
+    EXPECT_EQ(buffer->stats().merges, 1u);
+}
+
+TEST_F(WriteBufferFull, BackToBackOverflowSerialises)
+{
+    build(config(2, 2)); // the paper's pathological 2-deep case
+    store(0x1000, 1);
+    store(0x2000, 2); // full; retirement [2, 8)
+    Cycle t3 = store(0x3000, 3);
+    EXPECT_EQ(t3, 8u); // waited 5
+    Cycle t4 = store(0x4000, 9);
+    // Occupancy was 2 again at cycle 8; retirement [8, 14).
+    EXPECT_EQ(t4, 14u);
+    EXPECT_EQ(stalls.bufferFullCycles, 5u + 5u);
+    EXPECT_EQ(stalls.bufferFullEvents, 2u);
+}
+
+TEST_F(WriteBufferFull, StallWaitsOutPortContention)
+{
+    build(config(2, 2));
+    // A demand read holds the port [0, 30).
+    port->begin(L2Txn::Read, 0, 30);
+    store(0x1000, 1);
+    store(0x2000, 2); // full; retirement can only start at 30
+    Cycle done = store(0x3000, 3);
+    EXPECT_EQ(done, 36u);
+    EXPECT_EQ(stalls.bufferFullCycles, 33u);
+}
+
+TEST_F(WriteBufferFull, DeepBufferAvoidsStalls)
+{
+    build(config(12, 2));
+    for (unsigned i = 0; i < 12; ++i)
+        EXPECT_EQ(store(0x1000 * (i + 1), i + 1), i + 1);
+    // After 12 rapid stores the engine has been retiring since
+    // cycle 2; occupancy never saturated.
+    EXPECT_EQ(stalls.bufferFullCycles, 0u);
+}
+
+TEST_F(WriteBufferFull, LowHeadroomRecreatesStalls)
+{
+    // The paper's §3.3 observation: retire-at-10 in a 12-deep buffer
+    // leaves too little headroom for a burst.
+    build(config(12, 10));
+    Count events_eager;
+    {
+        for (unsigned i = 0; i < 14; ++i)
+            store(0x1000 * (i + 1), 1 + i / 4);
+        events_eager = stalls.bufferFullEvents;
+    }
+    EXPECT_GT(events_eager, 0u)
+        << "a 14-store burst must overflow with headroom 2";
+}
+
+} // namespace
+} // namespace wbsim::test

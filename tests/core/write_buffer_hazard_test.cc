@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Load-hazard handling tests for all four policies of §2.2/Figure 2,
+ * with exact flush timing.
+ */
+
+#include "wb_test_fixture.hh"
+
+namespace wbsim::test
+{
+namespace
+{
+
+class WriteBufferHazard : public WriteBufferFixture
+{
+  protected:
+    /** Stage three distinct blocks A, B, C at cycles 1..3 in a deep
+     *  buffer that never retires on its own. */
+    void
+    stageABC(LoadHazardPolicy policy)
+    {
+        build(config(12, 12, policy));
+        store(kA, 1);
+        store(kB, 2);
+        store(kC, 3);
+    }
+
+    static constexpr Addr kA = 0x1000;
+    static constexpr Addr kB = 0x2000;
+    static constexpr Addr kC = 0x3000;
+};
+
+TEST_F(WriteBufferHazard, ProbeMissesUnrelatedLines)
+{
+    stageABC(LoadHazardPolicy::FlushFull);
+    buffer->advanceTo(4);
+    EXPECT_FALSE(buffer->probeLoad(0x9000, 8).blockHit);
+}
+
+TEST_F(WriteBufferHazard, ProbeHitsAnyByteOfActiveLine)
+{
+    stageABC(LoadHazardPolicy::FlushFull);
+    buffer->advanceTo(4);
+    // The store wrote kB..kB+7; the whole line is a hazard (§2.2).
+    EXPECT_TRUE(buffer->probeLoad(kB + 24, 8).blockHit);
+    EXPECT_FALSE(buffer->probeLoad(kB + 24, 8).wordHit);
+    EXPECT_TRUE(buffer->probeLoad(kB, 8).wordHit);
+}
+
+TEST_F(WriteBufferHazard, FlushFullFlushesEverything)
+{
+    stageABC(LoadHazardPolicy::FlushFull);
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kB, 8);
+    HazardResult result = buffer->handleLoadHazard(probe, kB, 8, 4);
+    EXPECT_FALSE(result.servedFromBuffer);
+    // Three flushes back to back: [4,10) [10,16) [16,22).
+    EXPECT_EQ(result.done, 22u);
+    EXPECT_EQ(buffer->occupancy(), 0u);
+    EXPECT_EQ(buffer->stats().flushes, 3u);
+    ASSERT_EQ(writes.size(), 3u);
+    EXPECT_EQ(writes[0].base, kA);
+    EXPECT_EQ(writes[1].base, kB);
+    EXPECT_EQ(writes[2].base, kC);
+}
+
+TEST_F(WriteBufferHazard, FlushPartialStopsAtHitEntry)
+{
+    stageABC(LoadHazardPolicy::FlushPartial);
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kB, 8);
+    HazardResult result = buffer->handleLoadHazard(probe, kB, 8, 4);
+    // A then B flushed: [4,10) [10,16); C remains.
+    EXPECT_EQ(result.done, 16u);
+    EXPECT_EQ(buffer->occupancy(), 1u);
+    EXPECT_TRUE(buffer->probeLoad(kC, 8).blockHit);
+    EXPECT_EQ(buffer->stats().flushes, 2u);
+}
+
+TEST_F(WriteBufferHazard, FlushPartialOnFrontEntryFlushesOne)
+{
+    stageABC(LoadHazardPolicy::FlushPartial);
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kA, 8);
+    HazardResult result = buffer->handleLoadHazard(probe, kA, 8, 4);
+    EXPECT_EQ(result.done, 10u);
+    EXPECT_EQ(buffer->occupancy(), 2u);
+}
+
+TEST_F(WriteBufferHazard, FlushItemOnlyFlushesHitEntryAlone)
+{
+    stageABC(LoadHazardPolicy::FlushItemOnly);
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kB, 8);
+    HazardResult result = buffer->handleLoadHazard(probe, kB, 8, 4);
+    EXPECT_EQ(result.done, 10u);
+    EXPECT_EQ(buffer->occupancy(), 2u);
+    EXPECT_TRUE(buffer->probeLoad(kA, 8).blockHit);
+    EXPECT_TRUE(buffer->probeLoad(kC, 8).blockHit);
+    ASSERT_EQ(writes.size(), 1u);
+    EXPECT_EQ(writes[0].base, kB);
+}
+
+TEST_F(WriteBufferHazard, ReadFromWbServesValidWord)
+{
+    stageABC(LoadHazardPolicy::ReadFromWB);
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kB, 8);
+    ASSERT_TRUE(probe.wordHit);
+    HazardResult result = buffer->handleLoadHazard(probe, kB, 8, 4);
+    EXPECT_TRUE(result.servedFromBuffer);
+    EXPECT_EQ(result.done, 4u) << "as fast as an L1 hit";
+    EXPECT_EQ(buffer->occupancy(), 3u) << "contents unchanged";
+    EXPECT_EQ(buffer->stats().wbServedLoads, 1u);
+    EXPECT_TRUE(writes.empty());
+}
+
+TEST_F(WriteBufferHazard, ReadFromWbWordMissFallsThroughToL2)
+{
+    stageABC(LoadHazardPolicy::ReadFromWB);
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kB + 16, 8); // invalid word
+    ASSERT_TRUE(probe.blockHit);
+    ASSERT_FALSE(probe.wordHit);
+    HazardResult result =
+        buffer->handleLoadHazard(probe, kB + 16, 8, 4);
+    EXPECT_FALSE(result.servedFromBuffer);
+    EXPECT_EQ(result.done, 4u) << "no flush wait; L2 read follows";
+    EXPECT_EQ(buffer->occupancy(), 3u);
+}
+
+TEST_F(WriteBufferHazard, ReadFromWbExtraCost)
+{
+    WriteBufferConfig c = config(12, 12, LoadHazardPolicy::ReadFromWB);
+    c.wbHitExtraCycles = 2; // §4.3 last bullet
+    build(c);
+    store(kA, 1);
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kA, 8);
+    HazardResult result = buffer->handleLoadHazard(probe, kA, 8, 4);
+    EXPECT_TRUE(result.servedFromBuffer);
+    EXPECT_EQ(result.done, 6u);
+}
+
+TEST_F(WriteBufferHazard, UnderwayRetirementCompletesFirst)
+{
+    build(config(4, 2, LoadHazardPolicy::FlushFull));
+    store(kA, 1);
+    store(kB, 2); // retirement of kA runs [2, 8)
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kB, 8);
+    HazardResult result = buffer->handleLoadHazard(probe, kB, 8, 4);
+    // Wait for kA's retirement (to 8), then flush kB [8, 14).
+    EXPECT_EQ(result.done, 14u);
+    EXPECT_EQ(buffer->stats().retirements, 1u);
+    EXPECT_EQ(buffer->stats().flushes, 1u);
+}
+
+TEST_F(WriteBufferHazard, HazardOnRetiringEntryJustWaits)
+{
+    build(config(4, 2, LoadHazardPolicy::FlushFull));
+    store(kA, 1);
+    store(kB, 2); // kA retiring [2, 8)
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kA, 8);
+    ASSERT_TRUE(probe.blockHit) << "retiring entry is still active";
+    HazardResult result = buffer->handleLoadHazard(probe, kA, 8, 4);
+    // kA completes at 8; flush-full then purges kB [8, 14).
+    EXPECT_EQ(result.done, 14u);
+    EXPECT_EQ(buffer->occupancy(), 0u);
+}
+
+TEST_F(WriteBufferHazard, DuplicateBlocksAllPurged)
+{
+    build(config(4, 2, LoadHazardPolicy::FlushItemOnly));
+    store(kA, 1);
+    store(kB, 2);       // kA retiring [2, 8)
+    store(kA + 8, 3);   // duplicate entry for kA's block
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kA, 8);
+    HazardResult result = buffer->handleLoadHazard(probe, kA, 8, 4);
+    // Retirement completes at 8; the duplicate then flushes [8, 14).
+    EXPECT_EQ(result.done, 14u);
+    EXPECT_FALSE(buffer->probeLoad(kA, 8).blockHit);
+    EXPECT_TRUE(buffer->probeLoad(kB, 8).blockHit) << "kB untouched";
+}
+
+TEST_F(WriteBufferHazard, HazardCountsTracked)
+{
+    stageABC(LoadHazardPolicy::FlushFull);
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(kA, 8);
+    buffer->handleLoadHazard(probe, kA, 8, 4);
+    EXPECT_EQ(buffer->stats().hazards, 1u);
+}
+
+using WriteBufferHazardDeath = WriteBufferHazard;
+
+TEST_F(WriteBufferHazardDeath, HandlingWithoutBlockHitPanics)
+{
+    stageABC(LoadHazardPolicy::FlushFull);
+    buffer->advanceTo(4);
+    LoadProbe probe = buffer->probeLoad(0x9000, 8);
+    EXPECT_DEATH(buffer->handleLoadHazard(probe, 0x9000, 8, 4),
+                 "block hit");
+}
+
+} // namespace
+} // namespace wbsim::test

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Write buffer store-path tests: coalescing, allocation, word valid
+ * bits, and the no-merge-into-retiring-entry rule (§2.2).
+ */
+
+#include "wb_test_fixture.hh"
+
+namespace wbsim::test
+{
+namespace
+{
+
+class WriteBufferStore : public WriteBufferFixture
+{
+};
+
+TEST_F(WriteBufferStore, FirstStoreAllocates)
+{
+    build(config(4, 2));
+    EXPECT_EQ(store(0x1000, 1), 1u);
+    EXPECT_EQ(buffer->occupancy(), 1u);
+    EXPECT_EQ(buffer->stats().allocations, 1u);
+    EXPECT_EQ(buffer->stats().merges, 0u);
+}
+
+TEST_F(WriteBufferStore, SameBlockMerges)
+{
+    build(config(4, 2));
+    store(0x1000, 1);
+    store(0x1008, 2);
+    store(0x1018, 3);
+    EXPECT_EQ(buffer->occupancy(), 1u);
+    EXPECT_EQ(buffer->stats().merges, 2u);
+    EXPECT_DOUBLE_EQ(buffer->stats().mergeRate(), 2.0 / 3.0);
+}
+
+TEST_F(WriteBufferStore, DifferentBlocksAllocateSeparately)
+{
+    build(config(4, 4)); // high mark: no retirement interference
+    store(0x1000, 1);
+    store(0x2000, 2);
+    store(0x3000, 3);
+    EXPECT_EQ(buffer->occupancy(), 3u);
+    EXPECT_EQ(buffer->stats().allocations, 3u);
+}
+
+TEST_F(WriteBufferStore, WordValidBitsAccumulateAcrossMerges)
+{
+    build(config(4, 4));
+    store(0x1000, 1, 8); // words 0-1 (4B words)
+    store(0x1010, 2, 4); // word 4
+    buffer->advanceTo(3);
+    // Probe word coverage: 0x1000 (8B) valid, 0x1008 (8B) invalid.
+    EXPECT_TRUE(buffer->probeLoad(0x1000, 8).wordHit);
+    EXPECT_FALSE(buffer->probeLoad(0x1008, 8).wordHit);
+    EXPECT_TRUE(buffer->probeLoad(0x1010, 4).wordHit);
+    EXPECT_FALSE(buffer->probeLoad(0x1010, 8).wordHit); // word 5 unset
+}
+
+TEST_F(WriteBufferStore, SubWordStoreValidatesContainingWord)
+{
+    build(config(4, 4));
+    store(0x1000, 1, 2); // 2-byte store marks the whole 4B word
+    EXPECT_TRUE(buffer->probeLoad(0x1000, 4).wordHit);
+}
+
+TEST_F(WriteBufferStore, NonCoalescingNeverMerges)
+{
+    WriteBufferConfig c = config(4, 4);
+    c.coalescing = false;
+    build(c);
+    store(0x1000, 1);
+    store(0x1000, 2); // identical address: still a fresh entry
+    EXPECT_EQ(buffer->occupancy(), 2u);
+    EXPECT_EQ(buffer->stats().merges, 0u);
+}
+
+TEST_F(WriteBufferStore, OneWordEntries)
+{
+    WriteBufferConfig c = config(4, 4);
+    c.entryBytes = 8;
+    c.wordBytes = 8;
+    build(c);
+    store(0x1000, 1);
+    store(0x1008, 2); // adjacent word: separate entry now
+    EXPECT_EQ(buffer->occupancy(), 2u);
+    store(0x1000, 3); // same word: merges
+    EXPECT_EQ(buffer->stats().merges, 1u);
+}
+
+TEST_F(WriteBufferStore, CannotMergeIntoRetiringEntry)
+{
+    build(config(4, 2));
+    store(0x1000, 1);
+    store(0x2000, 2); // occupancy hits the mark at cycle 2
+    // Retirement of 0x1000 begins at cycle 2 and runs to 8.
+    Cycle done = store(0x1008, 5); // same block as the retiring entry
+    EXPECT_EQ(done, 5u);
+    EXPECT_EQ(buffer->stats().merges, 0u)
+        << "a store must not merge into an entry being retired";
+    EXPECT_EQ(buffer->stats().allocations, 3u);
+}
+
+TEST_F(WriteBufferStore, CanMergeIntoOtherEntriesDuringRetirement)
+{
+    build(config(4, 2));
+    store(0x1000, 1);
+    store(0x2000, 2);
+    // 0x1000 is retiring from cycle 2; 0x2000 is untouched.
+    store(0x2008, 4);
+    EXPECT_EQ(buffer->stats().merges, 1u)
+        << "stores may update other entries while one retires (§2.2)";
+}
+
+TEST_F(WriteBufferStore, MergesIntoNewestDuplicate)
+{
+    build(config(4, 2));
+    store(0x1000, 1);
+    store(0x2000, 2);        // triggers retirement of 0x1000 at cycle 2
+    store(0x1008, 3);        // duplicate block allocated
+    store(0x1010, 4);        // must merge into the NEW duplicate
+    EXPECT_EQ(buffer->stats().merges, 1u);
+    EXPECT_EQ(buffer->stats().allocations, 3u);
+}
+
+TEST_F(WriteBufferStore, OccupancyHistogramSampled)
+{
+    build(config(4, 4));
+    store(0x1000, 1);
+    store(0x2000, 2);
+    store(0x3000, 3);
+    EXPECT_EQ(buffer->stats().occupancy.samples(), 3u);
+    // Samples taken before each store: 0, 1, 2.
+    EXPECT_DOUBLE_EQ(buffer->stats().occupancy.mean(), 1.0);
+}
+
+TEST_F(WriteBufferStore, StoreCompletionTimeEqualsNowWithoutStall)
+{
+    build(config(4, 4));
+    for (Cycle t = 1; t <= 4; ++t)
+        EXPECT_EQ(store(0x1000 * t, t), t);
+    EXPECT_EQ(stalls.bufferFullCycles, 0u);
+}
+
+using WriteBufferStoreDeath = WriteBufferStore;
+
+TEST_F(WriteBufferStoreDeath, EntryCrossingStorePanics)
+{
+    // A store that straddles two entries is a generator bug.
+    build(config(4, 4));
+    EXPECT_DEATH(store(0x101c, 1, 8), "crosses");
+}
+
+} // namespace
+} // namespace wbsim::test

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the experiment grid runner and report rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "harness/report.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+RunnerOptions
+tinyOptions(unsigned threads)
+{
+    RunnerOptions options;
+    options.instructions = 20'000;
+    options.warmup = 5'000;
+    options.threads = threads;
+    options.seed = 1;
+    return options;
+}
+
+TEST(ExperimentRunner, GridShapeMatchesInputs)
+{
+    Experiment exp = figures::figure11();
+    std::vector<BenchmarkProfile> profiles = {
+        spec92::profile("espresso"), spec92::profile("li")};
+    ExperimentResults results =
+        runExperiment(exp, profiles, tinyOptions(2));
+    ASSERT_EQ(results.size(), 2u);
+    for (const auto &row : results) {
+        ASSERT_EQ(row.size(), 3u);
+        for (const SimResults &r : row)
+            EXPECT_EQ(r.instructions, 20'000u);
+    }
+    EXPECT_EQ(results[0][0].workload, "espresso");
+    EXPECT_EQ(results[1][0].workload, "li");
+}
+
+TEST(ExperimentRunner, DeterministicAcrossThreadCounts)
+{
+    Experiment exp = figures::figure11();
+    std::vector<BenchmarkProfile> profiles = {
+        spec92::profile("compress")};
+    ExperimentResults a = runExperiment(exp, profiles, tinyOptions(1));
+    ExperimentResults b = runExperiment(exp, profiles, tinyOptions(4));
+    for (std::size_t v = 0; v < a[0].size(); ++v) {
+        EXPECT_EQ(a[0][v].cycles, b[0][v].cycles);
+        EXPECT_EQ(a[0][v].stalls.totalCycles(),
+                  b[0][v].stalls.totalCycles());
+    }
+}
+
+TEST(ExperimentRunner, WarmupExcludedFromResults)
+{
+    SimResults with = runOne(spec92::profile("espresso"),
+                             figures::baselineMachine(), 20'000, 1,
+                             20'000);
+    EXPECT_EQ(with.instructions, 20'000u);
+}
+
+TEST(Report, ContainsBenchmarkRowsAndLegend)
+{
+    Experiment exp = figures::figure11();
+    std::vector<BenchmarkProfile> profiles = {
+        spec92::profile("espresso")};
+    ExperimentResults results =
+        runExperiment(exp, profiles, tinyOptions(1));
+    std::ostringstream os;
+    printExperimentReport(os, exp, profiles, results);
+    std::string out = os.str();
+    EXPECT_NE(out.find("fig11"), std::string::npos);
+    EXPECT_NE(out.find("espresso"), std::string::npos);
+    EXPECT_NE(out.find("3-cycles"), std::string::npos);
+    EXPECT_NE(out.find("10-cycles"), std::string::npos);
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("buffer-full"), std::string::npos);
+}
+
+TEST(Report, ExtendedColumnsAndCsv)
+{
+    Experiment exp = figures::figure03();
+    std::vector<BenchmarkProfile> profiles = {
+        spec92::profile("espresso")};
+    ExperimentResults results =
+        runExperiment(exp, profiles, tinyOptions(1));
+    ReportOptions options;
+    options.extended = true;
+    options.csv = true;
+    options.barChart = false;
+    std::ostringstream os;
+    printExperimentReport(os, exp, profiles, results, options);
+    std::string out = os.str();
+    EXPECT_NE(out.find("L1hit%"), std::string::npos);
+    EXPECT_NE(out.find("-- csv --"), std::string::npos);
+    EXPECT_EQ(out.find("legend:"), std::string::npos);
+}
+
+TEST(Report, SummarizeRunMentionsEverything)
+{
+    SimResults r = runOne(spec92::profile("espresso"),
+                          figures::baselineMachine(), 20'000, 1);
+    std::string text = summarizeRun(r);
+    EXPECT_NE(text.find("espresso"), std::string::npos);
+    EXPECT_NE(text.find("CPI"), std::string::npos);
+    EXPECT_NE(text.find("T="), std::string::npos);
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the figure experiment factories: each must mirror
+ * the paper's configuration bars exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/figures.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+using namespace figures;
+
+TEST(Figures, BaselineIsTable2)
+{
+    MachineConfig machine = baselineMachine();
+    EXPECT_EQ(machine.writeBuffer.depth, 4u);
+    EXPECT_EQ(machine.writeBuffer.highWaterMark, 2u);
+    EXPECT_EQ(machine.writeBuffer.hazardPolicy,
+              LoadHazardPolicy::FlushFull);
+    EXPECT_TRUE(machine.perfectL2);
+    EXPECT_EQ(machine.l2Latency, 6u);
+}
+
+TEST(Figures, BaselinePlusIsTwelveDeep)
+{
+    MachineConfig machine = baselinePlusMachine();
+    EXPECT_EQ(machine.writeBuffer.depth, 12u);
+    EXPECT_EQ(machine.writeBuffer.highWaterMark, 2u);
+}
+
+TEST(Figures, Figure04DepthSweep)
+{
+    Experiment exp = figure04();
+    ASSERT_EQ(exp.variants.size(), 6u);
+    unsigned expected[] = {2, 4, 6, 8, 10, 12};
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(exp.variants[i].machine.writeBuffer.depth,
+                  expected[i]);
+        EXPECT_EQ(exp.variants[i].machine.writeBuffer.highWaterMark,
+                  2u);
+    }
+}
+
+TEST(Figures, Figure05RetirementSweep)
+{
+    Experiment exp = figure05();
+    ASSERT_EQ(exp.variants.size(), 5u);
+    unsigned expected[] = {2, 4, 6, 8, 10};
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(exp.variants[i].machine.writeBuffer.depth, 12u);
+        EXPECT_EQ(exp.variants[i].machine.writeBuffer.highWaterMark,
+                  expected[i]);
+    }
+}
+
+TEST(Figures, Figure06And07HazardPolicies)
+{
+    for (auto [exp, mark] : {std::pair{figure06(), 10u},
+                             std::pair{figure07(), 8u}}) {
+        ASSERT_EQ(exp.variants.size(), 5u);
+        EXPECT_EQ(exp.variants[0].label, "baseline+");
+        EXPECT_EQ(exp.variants[0].machine.writeBuffer.highWaterMark,
+                  2u);
+        EXPECT_EQ(exp.variants[1].machine.writeBuffer.hazardPolicy,
+                  LoadHazardPolicy::FlushFull);
+        EXPECT_EQ(exp.variants[4].machine.writeBuffer.hazardPolicy,
+                  LoadHazardPolicy::ReadFromWB);
+        for (std::size_t i = 1; i < 5; ++i)
+            EXPECT_EQ(
+                exp.variants[i].machine.writeBuffer.highWaterMark,
+                mark);
+    }
+}
+
+TEST(Figures, Figure08And09HeadroomFixedAtSix)
+{
+    for (auto [exp, policy] :
+         {std::pair{figure08(), LoadHazardPolicy::FlushPartial},
+          std::pair{figure09(), LoadHazardPolicy::FlushItemOnly}}) {
+        ASSERT_EQ(exp.variants.size(), 4u);
+        for (std::size_t i = 1; i < 4; ++i) {
+            const WriteBufferConfig &wb =
+                exp.variants[i].machine.writeBuffer;
+            EXPECT_EQ(wb.headroom(), 6u);
+            EXPECT_EQ(wb.hazardPolicy, policy);
+        }
+    }
+}
+
+TEST(Figures, Figure10L1Sizes)
+{
+    Experiment exp = figure10();
+    ASSERT_EQ(exp.variants.size(), 3u);
+    EXPECT_EQ(exp.variants[0].machine.l1d.sizeBytes, 8u * 1024);
+    EXPECT_EQ(exp.variants[2].machine.l1d.sizeBytes, 32u * 1024);
+}
+
+TEST(Figures, Figure11L2Latencies)
+{
+    Experiment exp = figure11();
+    ASSERT_EQ(exp.variants.size(), 3u);
+    EXPECT_EQ(exp.variants[0].machine.l2Latency, 3u);
+    EXPECT_EQ(exp.variants[1].machine.l2Latency, 6u);
+    EXPECT_EQ(exp.variants[2].machine.l2Latency, 10u);
+}
+
+TEST(Figures, Figure12L2Sizes)
+{
+    Experiment exp = figure12();
+    ASSERT_EQ(exp.variants.size(), 4u);
+    EXPECT_TRUE(exp.variants[0].machine.perfectL2);
+    EXPECT_EQ(exp.variants[1].machine.l2.sizeBytes, 1024u * 1024);
+    EXPECT_EQ(exp.variants[3].machine.l2.sizeBytes, 128u * 1024);
+    for (std::size_t i = 1; i < 4; ++i)
+        EXPECT_EQ(exp.variants[i].machine.memLatency, 25u);
+}
+
+TEST(Figures, Figure13MemoryLatencies)
+{
+    Experiment exp = figure13();
+    ASSERT_EQ(exp.variants.size(), 3u);
+    EXPECT_TRUE(exp.variants[0].machine.perfectL2);
+    EXPECT_EQ(exp.variants[1].machine.memLatency, 25u);
+    EXPECT_EQ(exp.variants[2].machine.memLatency, 50u);
+}
+
+TEST(Figures, AblationsValidate)
+{
+    for (const Experiment &exp :
+         {ablationFixedRate(), ablationAgeTimeout(),
+          ablationWritePriority(), ablationNonCoalescing(),
+          ablationWriteCache(), ablationDatapath(),
+          ablationIssueWidth(), ablationBubbles(), ablationICache(),
+          ablationWbHitCost(), ablationEntryWidth(),
+          ablationRetireOrder(), ablationWriteAllocate()}) {
+        SCOPED_TRACE(exp.id);
+        EXPECT_FALSE(exp.variants.empty());
+        for (const ConfigVariant &variant : exp.variants) {
+            SCOPED_TRACE(variant.label);
+            variant.machine.validate();
+        }
+    }
+}
+
+TEST(Figures, AblationKindsConfigured)
+{
+    Experiment wc = ablationWriteCache();
+    EXPECT_EQ(wc.variants[1].machine.writeBuffer.kind,
+              BufferKind::WriteCache);
+    Experiment nc = ablationNonCoalescing();
+    EXPECT_FALSE(nc.variants[2].machine.writeBuffer.coalescing);
+    EXPECT_EQ(nc.variants[2].machine.writeBuffer.entryBytes, 8u);
+    Experiment fr = ablationFixedRate();
+    EXPECT_EQ(fr.variants[1].machine.writeBuffer.retirementMode,
+              RetirementMode::FixedRate);
+    Experiment ic = ablationICache();
+    EXPECT_FALSE(ic.variants[1].machine.perfectICache);
+}
+
+} // namespace
+} // namespace wbsim

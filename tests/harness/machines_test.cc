@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the named real-machine presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/machines.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(Machines, Alpha21064MatchesTheManual)
+{
+    MachineConfig m = machines::alpha21064();
+    m.validate();
+    EXPECT_EQ(m.writeBuffer.depth, 4u);
+    EXPECT_EQ(m.writeBuffer.highWaterMark, 2u);
+    EXPECT_EQ(m.writeBuffer.hazardPolicy, LoadHazardPolicy::FlushFull);
+    EXPECT_EQ(m.writeBuffer.ageTimeout, 256u);
+}
+
+TEST(Machines, Alpha21164MatchesTheManual)
+{
+    MachineConfig m = machines::alpha21164();
+    m.validate();
+    EXPECT_EQ(m.writeBuffer.depth, 6u);
+    EXPECT_EQ(m.writeBuffer.hazardPolicy,
+              LoadHazardPolicy::FlushPartial);
+    EXPECT_EQ(m.writeBuffer.ageTimeout, 64u);
+}
+
+TEST(Machines, UltraSparcUsesWritePriority)
+{
+    MachineConfig m = machines::ultraSparc();
+    m.validate();
+    EXPECT_EQ(m.writeBuffer.writePriorityThreshold, 7u);
+}
+
+TEST(Machines, AllPresetsValidateAndAreDistinct)
+{
+    auto presets = machines::allMachines();
+    ASSERT_EQ(presets.size(), 4u);
+    for (const auto &preset : presets) {
+        SCOPED_TRACE(preset.name);
+        preset.machine.validate();
+    }
+    EXPECT_NE(presets[0].machine.writeBuffer.describe(),
+              presets[1].machine.writeBuffer.describe());
+}
+
+TEST(Machines, PaperRecommendationBeatsThe21064)
+{
+    // The whole point of the paper: its recommended configuration
+    // outperforms the 21064's shipping write buffer.
+    double old_total = 0.0, best_total = 0.0;
+    for (const char *benchmark : {"li", "fft", "wave5"}) {
+        old_total += runOne(spec92::profile(benchmark),
+                            machines::alpha21064(), 100'000, 1,
+                            50'000)
+                         .pctTotalStalls();
+        best_total += runOne(spec92::profile(benchmark),
+                             machines::paperRecommendation(),
+                             100'000, 1, 50'000)
+                          .pctTotalStalls();
+    }
+    EXPECT_LT(best_total, old_total);
+}
+
+TEST(Machines, The21164ImprovesOnThe21064)
+{
+    // Two more entries and flush-partial: the 21164's buffer should
+    // not be worse overall than its predecessor's.
+    double old_total = 0.0, new_total = 0.0;
+    for (const char *benchmark : {"li", "fft", "wave5", "compress"}) {
+        old_total += runOne(spec92::profile(benchmark),
+                            machines::alpha21064(), 100'000, 1,
+                            50'000)
+                         .pctTotalStalls();
+        new_total += runOne(spec92::profile(benchmark),
+                            machines::alpha21164(), 100'000, 1,
+                            50'000)
+                         .pctTotalStalls();
+    }
+    EXPECT_LT(new_total, old_total);
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for replicated (multi-seed) runs and metric summaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+RunnerOptions
+tinyOptions()
+{
+    RunnerOptions options;
+    options.instructions = 40'000;
+    options.warmup = 20'000;
+    options.threads = 2;
+    options.seed = 1;
+    return options;
+}
+
+TEST(Replication, DistinctSeedsProduceDistinctRuns)
+{
+    auto runs = runReplicated(spec92::profile("fft"),
+                              figures::baselineMachine(),
+                              tinyOptions(), 4);
+    ASSERT_EQ(runs.size(), 4u);
+    EXPECT_NE(runs[0].cycles, runs[1].cycles);
+    for (const SimResults &r : runs)
+        EXPECT_EQ(r.instructions, 40'000u);
+}
+
+TEST(Replication, ReplicasAreReproducible)
+{
+    auto a = runReplicated(spec92::profile("li"),
+                           figures::baselineMachine(), tinyOptions(),
+                           3);
+    auto b = runReplicated(spec92::profile("li"),
+                           figures::baselineMachine(), tinyOptions(),
+                           3);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(a[i].cycles, b[i].cycles);
+}
+
+TEST(Replication, SeedNoiseIsSmallRelativeToDesignSignal)
+{
+    // The std dev across seeds must be far below the effect of a
+    // major design change (depth 2 vs 12) - otherwise the figures
+    // would be unreadable noise.
+    RunnerOptions options = tinyOptions();
+    MachineConfig shallow = figures::baselineMachine();
+    shallow.writeBuffer.depth = 2;
+    auto base_runs = runReplicated(spec92::profile("li"),
+                                   figures::baselineMachine(),
+                                   options, 5);
+    auto shallow_runs = runReplicated(spec92::profile("li"), shallow,
+                                      options, 5);
+    auto metric = [](const SimResults &r) {
+        return r.pctTotalStalls();
+    };
+    MetricSummary base = summarizeMetric(base_runs, metric);
+    MetricSummary two_deep = summarizeMetric(shallow_runs, metric);
+    EXPECT_GT(two_deep.mean - base.mean, 4 * base.sd)
+        << "design signal must dominate seed noise";
+}
+
+TEST(Replication, SummaryMathChecks)
+{
+    std::vector<SimResults> runs(3);
+    runs[0].cycles = 100;
+    runs[1].cycles = 200;
+    runs[2].cycles = 300;
+    auto metric = [](const SimResults &r) { return double(r.cycles); };
+    MetricSummary s = summarizeMetric(runs, metric);
+    EXPECT_DOUBLE_EQ(s.mean, 200.0);
+    EXPECT_DOUBLE_EQ(s.sd, 100.0);
+    EXPECT_EQ(s.n, 3u);
+
+    MetricSummary empty = summarizeMetric({}, metric);
+    EXPECT_EQ(empty.n, 0u);
+    EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+
+    MetricSummary single = summarizeMetric({runs[0]}, metric);
+    EXPECT_DOUBLE_EQ(single.mean, 100.0);
+    EXPECT_DOUBLE_EQ(single.sd, 0.0);
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Cycle-conservation property tests.
+ *
+ * In the paper's machine model every execution cycle has exactly one
+ * owner: instruction issue, a demand L2 read, or one of the stall
+ * categories. With a perfect L2 (no memory), single issue, no
+ * bubbles and a perfect I-cache, the identity
+ *
+ *   cycles == instructions
+ *           + l2Latency * (l1LoadMisses - loadsServedFromWB)
+ *           + bufferFull + l2ReadAccess + loadHazard
+ *           + barrierStalls
+ *
+ * must hold *exactly* for every workload and write-buffer
+ * configuration. Any timing bug - double-charged stalls, missed
+ * waits, phantom port conflicts - breaks it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/figures.hh"
+#include "sim/simulator.hh"
+#include "workloads/generator.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+Count
+expectedCycles(const MachineConfig &machine, const SimResults &r,
+               Count barrier_stalls)
+{
+    Count demand_reads = r.l1LoadMisses - r.wbServedLoads;
+    return r.instructions + machine.l2Latency * demand_reads
+        + r.stalls.totalCycles() + barrier_stalls;
+}
+
+using AccountingParam =
+    std::tuple<std::string, LoadHazardPolicy, unsigned>;
+
+class Accounting : public ::testing::TestWithParam<AccountingParam>
+{
+};
+
+TEST_P(Accounting, EveryCycleHasExactlyOneOwner)
+{
+    auto [benchmark, policy, depth] = GetParam();
+    MachineConfig machine = figures::baselineMachine();
+    machine.writeBuffer.depth = depth;
+    machine.writeBuffer.highWaterMark = depth >= 8 ? 6 : 2;
+    machine.writeBuffer.hazardPolicy = policy;
+
+    SyntheticSource source(spec92::profile(benchmark), 60'000, 3);
+    Simulator simulator(machine);
+    TraceRecord record;
+    while (source.next(record))
+        simulator.step(record); // no final drain: exact identity
+    SimResults r = simulator.results(benchmark);
+
+    EXPECT_EQ(r.cycles,
+              expectedCycles(machine, r, r.barrierStallCycles));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Accounting,
+    ::testing::Combine(
+        ::testing::Values("li", "fft", "mdljdp2", "gmtry"),
+        ::testing::Values(LoadHazardPolicy::FlushFull,
+                          LoadHazardPolicy::FlushPartial,
+                          LoadHazardPolicy::FlushItemOnly,
+                          LoadHazardPolicy::ReadFromWB),
+        ::testing::Values(2u, 4u, 12u)),
+    [](const ::testing::TestParamInfo<AccountingParam> &info) {
+        return std::get<0>(info.param) + "_"
+            + std::to_string(static_cast<int>(std::get<1>(info.param)))
+            + "_d" + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(AccountingExtras, HoldsWithBarriers)
+{
+    MachineConfig machine = figures::baselineMachine();
+    BenchmarkProfile profile = spec92::profile("sc");
+    profile.barrierFraction = 0.01;
+    SyntheticSource source(profile, 60'000, 5);
+    Simulator simulator(machine);
+    TraceRecord record;
+    while (source.next(record))
+        simulator.step(record);
+    SimResults r = simulator.results("sc");
+    EXPECT_EQ(r.cycles,
+              expectedCycles(machine, r, r.barrierStallCycles));
+    EXPECT_GT(r.barriers, 0u);
+}
+
+TEST(AccountingExtras, HoldsWithWritePriority)
+{
+    MachineConfig machine = figures::baselineMachine();
+    machine.writeBuffer.depth = 8;
+    machine.writeBuffer.writePriorityThreshold = 5;
+    SyntheticSource source(spec92::profile("wave5"), 60'000, 7);
+    Simulator simulator(machine);
+    TraceRecord record;
+    while (source.next(record))
+        simulator.step(record);
+    SimResults r = simulator.results("wave5");
+    EXPECT_EQ(r.cycles, expectedCycles(machine, r, 0));
+}
+
+TEST(AccountingExtras, HoldsForTheWriteCache)
+{
+    MachineConfig machine = figures::baselineMachine();
+    machine.writeBuffer.kind = BufferKind::WriteCache;
+    machine.writeBuffer.depth = 8;
+    SyntheticSource source(spec92::profile("fft"), 60'000, 9);
+    Simulator simulator(machine);
+    TraceRecord record;
+    while (source.next(record))
+        simulator.step(record);
+    SimResults r = simulator.results("fft");
+    EXPECT_EQ(r.cycles, expectedCycles(machine, r, 0));
+}
+
+TEST(AccountingExtras, RealL2LowerBound)
+{
+    // With a real L2, memory time is additionally owned by demand
+    // fetches (possibly queued behind background traffic), so the
+    // perfect-L2 identity becomes a strict lower bound plus the
+    // demand-miss memory time.
+    MachineConfig machine = figures::baselineMachine();
+    machine.perfectL2 = false;
+    machine.l2.sizeBytes = 128 * 1024;
+    SyntheticSource source(spec92::profile("tomcatv"), 60'000, 11);
+    Simulator simulator(machine);
+    TraceRecord record;
+    while (source.next(record))
+        simulator.step(record);
+    SimResults r = simulator.results("tomcatv");
+    Count floor = expectedCycles(machine, r, 0)
+        + machine.memLatency * r.l2ReadMisses;
+    EXPECT_GE(r.cycles, floor);
+    // Queueing slack stays small: within 2x of the floor.
+    EXPECT_LE(r.cycles, 2 * floor);
+}
+
+TEST(AccountingExtras, IssueWidthScalesIssueCycles)
+{
+    // At width W the issue component is ceil(instructions / W).
+    MachineConfig machine = figures::baselineMachine();
+    machine.issueWidth = 4;
+    SyntheticSource source(spec92::profile("li"), 60'000, 13);
+    Simulator simulator(machine);
+    TraceRecord record;
+    while (source.next(record))
+        simulator.step(record);
+    SimResults r = simulator.results("li");
+    Count demand_reads = r.l1LoadMisses - r.wbServedLoads;
+    Count expected = r.instructions / 4
+        + machine.l2Latency * demand_reads + r.stalls.totalCycles();
+    EXPECT_EQ(r.cycles, expected);
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Strict-inclusion invariant fuzz: after every instruction on a
+ * real-L2 machine, every valid L1 line must be resident in L2. The
+ * back-invalidation path (L2 eviction -> L1 invalidate) is the only
+ * thing standing between this model and silent incoherence; fuzz it
+ * across cache geometries and workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "harness/figures.hh"
+#include "sim/simulator.hh"
+#include "workloads/generator.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+using InclusionParam =
+    std::tuple<std::string, std::uint64_t, std::uint64_t>;
+
+class InclusionFuzz : public ::testing::TestWithParam<InclusionParam>
+{
+};
+
+TEST_P(InclusionFuzz, L1IsAlwaysASubsetOfL2)
+{
+    auto [benchmark, l2_kb, l2_assoc] = GetParam();
+    MachineConfig machine = figures::baselineMachine();
+    machine.perfectL2 = false;
+    machine.l2.sizeBytes = l2_kb * 1024;
+    machine.l2.associativity = l2_assoc;
+
+    Simulator sim(machine);
+    SyntheticSource source(spec92::profile(benchmark), 20'000, 17);
+    TraceRecord rec;
+    Count checks = 0;
+    Count step_index = 0;
+    while (source.next(rec)) {
+        sim.step(rec);
+        // Full subset scans are O(L1 lines); sample every 64 steps.
+        if (++step_index % 64 != 0)
+            continue;
+        sim.l1d().tags().forEachValidLine([&](Addr block, bool dirty) {
+            EXPECT_FALSE(dirty) << "write-through L1 is never dirty";
+            EXPECT_TRUE(sim.l2().probe(block))
+                << "L1 line 0x" << std::hex << block
+                << " escaped inclusion";
+            ++checks;
+        });
+    }
+    EXPECT_GT(checks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InclusionFuzz,
+    ::testing::Values(
+        InclusionParam{"tomcatv", 16, 1},  // tiny DM L2: max pressure
+        InclusionParam{"su2cor", 32, 2},
+        InclusionParam{"fft", 64, 4},
+        InclusionParam{"li", 16, 1},
+        InclusionParam{"gmtry", 128, 1}),
+    [](const ::testing::TestParamInfo<InclusionParam> &info) {
+        return std::get<0>(info.param) + "_"
+            + std::to_string(std::get<1>(info.param)) + "k_a"
+            + std::to_string(std::get<2>(info.param));
+    });
+
+TEST(InclusionFuzz, PerfectL2TriviallyIncludes)
+{
+    MachineConfig machine = figures::baselineMachine();
+    Simulator sim(machine);
+    SyntheticSource source(spec92::profile("li"), 5'000, 1);
+    TraceRecord rec;
+    while (source.next(rec))
+        sim.step(rec);
+    EXPECT_EQ(sim.l2().tags(), nullptr);
+    sim.l1d().tags().forEachValidLine([&](Addr block, bool) {
+        EXPECT_TRUE(sim.l2().probe(block));
+    });
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * End-to-end pipeline test: a synthetic workload captured to a trace
+ * file and replayed through the simulator must reproduce the direct
+ * run bit-for-bit. This validates the whole trace toolchain as a
+ * substitute for the paper's ATOM instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "harness/figures.hh"
+#include "sim/simulator.hh"
+#include "trace/memory_trace.hh"
+#include "trace/trace_file.hh"
+#include "workloads/generator.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+SimResults
+simulate(TraceSource &source, const MachineConfig &machine)
+{
+    Simulator simulator(machine);
+    return simulator.run(source);
+}
+
+void
+expectSameResults(const SimResults &a, const SimResults &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.stalls.bufferFullCycles, b.stalls.bufferFullCycles);
+    EXPECT_EQ(a.stalls.l2ReadAccessCycles,
+              b.stalls.l2ReadAccessCycles);
+    EXPECT_EQ(a.stalls.loadHazardCycles, b.stalls.loadHazardCycles);
+    EXPECT_EQ(a.l1LoadHits, b.l1LoadHits);
+    EXPECT_EQ(a.wbMerges, b.wbMerges);
+    EXPECT_EQ(a.wbRetirements, b.wbRetirements);
+    EXPECT_EQ(a.l2ReadMisses, b.l2ReadMisses);
+}
+
+TEST(TraceReplay, FileReplayMatchesDirectSimulation)
+{
+    auto path = std::filesystem::temp_directory_path()
+        / "wbsim_replay_test.wbt";
+    const MachineConfig machine = figures::baselineMachine();
+
+    SyntheticSource direct(spec92::profile("li"), 50'000, 3);
+    SimResults direct_results = simulate(direct, machine);
+
+    SyntheticSource again(spec92::profile("li"), 50'000, 3);
+    writeTraceFile(path.string(), again, /*with_pcs=*/true);
+    TraceFileReader replay(path.string());
+    SimResults replay_results = simulate(replay, machine);
+
+    expectSameResults(direct_results, replay_results);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceReplay, MemoryTraceReplayMatches)
+{
+    const MachineConfig machine = figures::baselineMachine();
+    SyntheticSource direct(spec92::profile("fft"), 30'000, 9);
+    MemoryTrace captured = MemoryTrace::capture(direct, "fft");
+
+    direct.reset();
+    SimResults a = simulate(direct, machine);
+    SimResults b = simulate(captured, machine);
+    expectSameResults(a, b);
+}
+
+TEST(TraceReplay, RealL2ReplayMatches)
+{
+    MachineConfig machine = figures::baselineMachine();
+    machine.perfectL2 = false;
+    machine.l2.sizeBytes = 256 * 1024;
+
+    SyntheticSource direct(spec92::profile("tomcatv"), 30'000, 5);
+    MemoryTrace captured = MemoryTrace::capture(direct, "tomcatv");
+    direct.reset();
+    expectSameResults(simulate(direct, machine),
+                      simulate(captured, machine));
+}
+
+TEST(TraceReplay, SimulationIsDeterministic)
+{
+    const MachineConfig machine = figures::baselineMachine();
+    SyntheticSource a(spec92::profile("wave5"), 40'000, 11);
+    SyntheticSource b(spec92::profile("wave5"), 40'000, 11);
+    expectSameResults(simulate(a, machine), simulate(b, machine));
+}
+
+} // namespace
+} // namespace wbsim

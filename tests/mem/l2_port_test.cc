@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the L2 port busy-interval model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/l2_port.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(L2Port, StartsIdle)
+{
+    L2Port port;
+    EXPECT_EQ(port.freeAt(), 0u);
+    EXPECT_FALSE(port.busyAt(0));
+    EXPECT_FALSE(port.writeUnderwayAt(0));
+    EXPECT_EQ(port.kindAt(0), L2Txn::None);
+}
+
+TEST(L2Port, BeginOccupiesHalfOpenInterval)
+{
+    L2Port port;
+    Cycle start = port.begin(L2Txn::Read, 10, 6);
+    EXPECT_EQ(start, 10u);
+    EXPECT_FALSE(port.busyAt(9));
+    EXPECT_TRUE(port.busyAt(10));
+    EXPECT_TRUE(port.busyAt(15));
+    EXPECT_FALSE(port.busyAt(16)); // half-open: free exactly at 16
+    EXPECT_EQ(port.freeAt(), 16u);
+}
+
+TEST(L2Port, QueuedTransactionStartsAtFree)
+{
+    L2Port port;
+    port.begin(L2Txn::WriteRetire, 0, 6);
+    Cycle start = port.begin(L2Txn::Read, 2, 6);
+    EXPECT_EQ(start, 6u) << "must wait for the write to finish";
+    EXPECT_EQ(port.freeAt(), 12u);
+}
+
+TEST(L2Port, WriteUnderwayDetection)
+{
+    L2Port port;
+    port.begin(L2Txn::WriteRetire, 0, 6);
+    EXPECT_TRUE(port.writeUnderwayAt(3));
+    EXPECT_EQ(port.kindAt(3), L2Txn::WriteRetire);
+
+    port.begin(L2Txn::Read, 6, 6);
+    EXPECT_FALSE(port.writeUnderwayAt(8));
+    EXPECT_EQ(port.kindAt(8), L2Txn::Read);
+
+    port.begin(L2Txn::WriteFlush, 12, 6);
+    EXPECT_TRUE(port.writeUnderwayAt(12));
+}
+
+TEST(L2Port, StatsPerKind)
+{
+    L2Port port;
+    port.begin(L2Txn::Read, 0, 6);
+    port.begin(L2Txn::Read, 6, 6);
+    port.begin(L2Txn::WriteRetire, 12, 7);
+    EXPECT_EQ(port.transactions(L2Txn::Read), 2u);
+    EXPECT_EQ(port.busyCycles(L2Txn::Read), 12u);
+    EXPECT_EQ(port.transactions(L2Txn::WriteRetire), 1u);
+    EXPECT_EQ(port.busyCycles(L2Txn::WriteRetire), 7u);
+    EXPECT_EQ(port.transactions(L2Txn::WriteFlush), 0u);
+}
+
+TEST(L2Port, TxnNames)
+{
+    EXPECT_STREQ(l2TxnName(L2Txn::None), "idle");
+    EXPECT_STREQ(l2TxnName(L2Txn::Read), "read");
+    EXPECT_STREQ(l2TxnName(L2Txn::WriteRetire), "retire");
+    EXPECT_STREQ(l2TxnName(L2Txn::WriteFlush), "flush");
+}
+
+TEST(L2PortDeath, ZeroDurationPanics)
+{
+    L2Port port;
+    EXPECT_DEATH(port.begin(L2Txn::Read, 0, 0), "zero-length");
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for the main-memory resource.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(MainMemory, ReadTakesLatency)
+{
+    MainMemory memory(25);
+    EXPECT_EQ(memory.latency(), 25u);
+    EXPECT_EQ(memory.read(100), 125u);
+    EXPECT_EQ(memory.reads(), 1u);
+}
+
+TEST(MainMemory, BackToBackAccessesQueue)
+{
+    MainMemory memory(25);
+    EXPECT_EQ(memory.read(0), 25u);
+    EXPECT_EQ(memory.read(10), 50u) << "second access queues";
+    EXPECT_EQ(memory.read(100), 125u) << "idle gap does not queue";
+}
+
+TEST(MainMemory, WriteBacksShareTheChannel)
+{
+    MainMemory memory(10);
+    EXPECT_EQ(memory.writeBack(0), 10u);
+    EXPECT_EQ(memory.read(0), 20u) << "read queues behind write-back";
+    EXPECT_EQ(memory.writeBacks(), 1u);
+    EXPECT_EQ(memory.reads(), 1u);
+}
+
+TEST(MainMemory, ResetStatsKeepsTiming)
+{
+    MainMemory memory(10);
+    memory.read(0);
+    memory.resetStats();
+    EXPECT_EQ(memory.reads(), 0u);
+    EXPECT_EQ(memory.freeAt(), 10u) << "busy state must survive";
+}
+
+TEST(MainMemoryDeath, ZeroLatencyIsFatal)
+{
+    EXPECT_DEATH(MainMemory(0), "latency");
+}
+
+} // namespace
+} // namespace wbsim

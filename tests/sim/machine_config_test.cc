@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Unit tests for MachineConfig.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine_config.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(MachineConfig, DefaultsMatchThePaperBaseline)
+{
+    MachineConfig config; // Table 1
+    EXPECT_EQ(config.l1d.sizeBytes, 8u * 1024);
+    EXPECT_EQ(config.l1d.lineBytes, 32u);
+    EXPECT_EQ(config.l1d.associativity, 1u);
+    EXPECT_TRUE(config.perfectICache);
+    EXPECT_TRUE(config.perfectL2);
+    EXPECT_EQ(config.l2Latency, 6u);
+    EXPECT_EQ(config.memLatency, 25u);
+    EXPECT_EQ(config.issueWidth, 1u);
+    config.validate();
+}
+
+TEST(MachineConfig, TransferCyclesScaleWithDatapath)
+{
+    MachineConfig config;
+    EXPECT_EQ(config.l2TransferCycles(), 6u); // full-line datapath
+    config.l2DatapathBytes = 16;
+    EXPECT_EQ(config.l2TransferCycles(), 7u); // 2 beats
+    config.l2DatapathBytes = 8;
+    EXPECT_EQ(config.l2TransferCycles(), 9u); // 4 beats
+    config.l2Latency = 10;
+    EXPECT_EQ(config.l2TransferCycles(), 13u);
+}
+
+TEST(MachineConfig, DescribeNamesComponents)
+{
+    MachineConfig config;
+    std::string base = config.describe();
+    EXPECT_NE(base.find("L1D=8K"), std::string::npos);
+    EXPECT_NE(base.find("L2=perfect"), std::string::npos);
+    EXPECT_NE(base.find("retire-at-2"), std::string::npos);
+
+    config.perfectL2 = false;
+    config.l2.sizeBytes = 512 * 1024;
+    config.issueWidth = 4;
+    std::string real = config.describe();
+    EXPECT_NE(real.find("L2=512K"), std::string::npos);
+    EXPECT_NE(real.find("issue=4"), std::string::npos);
+}
+
+TEST(MachineConfigDeath, MismatchedL2LineIsFatal)
+{
+    MachineConfig config;
+    config.perfectL2 = false;
+    config.l2.lineBytes = 64;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "line sizes must match");
+}
+
+TEST(MachineConfigDeath, L2SmallerThanL1IsFatal)
+{
+    MachineConfig config;
+    config.perfectL2 = false;
+    config.l2.sizeBytes = 4 * 1024;
+    config.l2.associativity = 1;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "inclusion");
+}
+
+TEST(MachineConfigDeath, ZeroLatenciesAreFatal)
+{
+    MachineConfig config;
+    config.l2Latency = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "L2 latency");
+    config = MachineConfig{};
+    config.memLatency = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "memory latency");
+}
+
+TEST(MachineConfigDeath, ZeroIssueWidthIsFatal)
+{
+    MachineConfig config;
+    config.issueWidth = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "issue width");
+}
+
+TEST(MachineConfigDeath, BubbleProbabilityBounded)
+{
+    MachineConfig config;
+    config.bubbleProbability = 1.5;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "bubble");
+}
+
+} // namespace
+} // namespace wbsim

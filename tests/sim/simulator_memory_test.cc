@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Simulator tests for the real-L2 / main-memory path (§4.2): miss
+ * latencies, the free-port-during-memory-access rule, strict
+ * inclusion, and fetch-on-write retirement costs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "trace/memory_trace.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+MachineConfig
+realL2(std::uint64_t l2_kb = 64, Cycle mem = 25,
+       std::uint64_t l2_assoc = 4)
+{
+    MachineConfig config;
+    config.perfectL2 = false;
+    config.l2.sizeBytes = l2_kb * 1024;
+    config.l2.associativity = l2_assoc;
+    config.memLatency = mem;
+    return config;
+}
+
+std::unique_ptr<Simulator>
+runTrace(const MachineConfig &config,
+         const std::vector<TraceRecord> &records)
+{
+    auto sim = std::make_unique<Simulator>(config);
+    for (const TraceRecord &rec : records)
+        sim->step(rec);
+    return sim;
+}
+
+TEST(SimulatorMemory, L2MissAddsMemoryLatency)
+{
+    auto sim = runTrace(realL2(), {TraceRecord::load(0x10000)});
+    // Issue 1, L2 read [1, 7), memory [7, 32): total 1 + 6 + 25.
+    EXPECT_EQ(sim->now(), 32u);
+    EXPECT_EQ(sim->l2().readMisses(), 1u);
+    EXPECT_EQ(sim->memory().reads(), 1u);
+}
+
+TEST(SimulatorMemory, L2HitAfterFill)
+{
+    auto sim = runTrace(realL2(), {TraceRecord::load(0x10000),
+                                   TraceRecord::load(0x14000)});
+    // Second load: different L1 set? 0x14000 - 0x10000 = 16K: same
+    // L1 set (8K cache) -> L1 conflict miss, but L2 (64K) holds
+    // both... it was never loaded. It misses L2 too. Use a repeat
+    // instead: verified below.
+    EXPECT_EQ(sim->l2().readMisses(), 2u);
+}
+
+TEST(SimulatorMemory, RepeatAfterL1EvictionHitsL2)
+{
+    // A, then B aliasing A in L1 (8K apart), then A again:
+    // the third load misses L1 but hits L2.
+    auto sim = runTrace(realL2(), {TraceRecord::load(0x10000),
+                                   TraceRecord::load(0x12000),
+                                   TraceRecord::load(0x10000)});
+    EXPECT_EQ(sim->l1d().loadMisses(), 3u);
+    EXPECT_EQ(sim->l2().readMisses(), 2u);
+    EXPECT_EQ(sim->l2().readHits(), 1u);
+    // Third load: issue + 6-cycle L2 hit, no memory.
+    EXPECT_EQ(sim->memory().reads(), 2u);
+}
+
+TEST(SimulatorMemory, PortFreeDuringMemoryAccess)
+{
+    // §4.2: while main memory services an L2 miss, the L2 port is
+    // free and the write buffer may retire. Timeline: stores at 1-2;
+    // the first retirement holds the port [2, 8) and its RMW merge
+    // fetch occupies memory [8, 33). The load (issued at 3) takes a
+    // 5-cycle read-access stall, reads L2 [8, 14), misses, and its
+    // memory fetch queues behind the merge fetch: [33, 58). The
+    // lone second entry stays buffered (retire-at-2 never drains a
+    // single entry without the age-timeout extension).
+    auto sim = runTrace(realL2(), {TraceRecord::store(0x20000),
+                                   TraceRecord::store(0x30000),
+                                   TraceRecord::load(0x40000)});
+    EXPECT_EQ(sim->now(), 58u);
+    sim->buffer().advanceTo(sim->now());
+    EXPECT_EQ(sim->buffer().occupancy(), 1u);
+    EXPECT_EQ(sim->port().transactions(L2Txn::WriteRetire), 1u);
+    EXPECT_EQ(sim->stalls().l2ReadAccessCycles, 5u);
+
+    // With three stores the third entry retires on the port windows
+    // freed during the load's memory wait (§4.2's observation).
+    auto sim2 = runTrace(realL2(), {TraceRecord::store(0x20000),
+                                    TraceRecord::store(0x30000),
+                                    TraceRecord::store(0x50000),
+                                    TraceRecord::load(0x40000)});
+    sim2->buffer().advanceTo(sim2->now());
+    EXPECT_EQ(sim2->port().transactions(L2Txn::WriteRetire), 2u);
+    EXPECT_EQ(sim2->buffer().occupancy(), 1u);
+}
+
+TEST(SimulatorMemory, InclusionBackInvalidatesL1)
+{
+    // Tiny 16K direct-mapped L2 over a 2-way 8K L1: two blocks that
+    // share an L2 set but NOT an L1 set... with line 32B, L2 sets =
+    // 512, L1 sets = 128 (2-way). Addresses 16K apart share the L2
+    // set; 16K mod 4K(L1 span per way)... both land in L1 set 0 but
+    // a 2-way L1 holds them. The L2 eviction must still invalidate.
+    MachineConfig config = realL2(16, 25, 1);
+    config.l1d = CacheGeometry{8 * 1024, 32, 2};
+    auto sim = runTrace(config, {TraceRecord::load(0x10000),
+                                 TraceRecord::load(0x14000),
+                                 TraceRecord::load(0x10000)});
+    // Load 2 evicts block 1 from L2 -> back-invalidates L1, so load
+    // 3 misses L1 despite the 2-way L1 having room for both.
+    EXPECT_EQ(sim->l1d().loadMisses(), 3u);
+    EXPECT_EQ(sim->memory().reads(), 3u);
+}
+
+TEST(SimulatorMemory, FullLineRetirementAvoidsFetchOnWrite)
+{
+    MachineConfig config = realL2();
+    config.writeBuffer.depth = 8;
+    std::vector<TraceRecord> records;
+    // Fill one full 32B line with four 8B stores, then trigger
+    // retirement with a second block.
+    for (Addr off = 0; off < 32; off += 8)
+        records.push_back(TraceRecord::store(0x20000 + off));
+    records.push_back(TraceRecord::store(0x30000));
+    auto sim = runTrace(config, records);
+    sim->buffer().advanceTo(1000);
+    EXPECT_EQ(sim->l2().writeMisses(), 1u);
+    EXPECT_EQ(sim->memory().reads(), 0u)
+        << "a full-line write allocates without a memory fetch";
+}
+
+TEST(SimulatorMemory, PartialRetirementFetchesOnWrite)
+{
+    MachineConfig config = realL2();
+    auto sim = runTrace(config, {TraceRecord::store(0x20000),
+                                 TraceRecord::store(0x30000)});
+    sim->buffer().advanceTo(1000);
+    EXPECT_GE(sim->l2().writeMisses(), 1u);
+    EXPECT_GE(sim->memory().reads(), 1u)
+        << "a partial-line write miss merges from memory";
+}
+
+TEST(SimulatorMemory, DirtyL2EvictionWritesBack)
+{
+    // Direct-mapped 16K L2: write-allocate a block, then evict it
+    // with a conflicting read.
+    MachineConfig config = realL2(16, 25, 1);
+    config.writeBuffer.depth = 8;
+    std::vector<TraceRecord> records;
+    for (Addr off = 0; off < 32; off += 8)
+        records.push_back(TraceRecord::store(0x20000 + off));
+    records.push_back(TraceRecord::store(0x50000)); // trigger retire
+    for (int i = 0; i < 10; ++i)
+        records.push_back(TraceRecord::nonMem());
+    records.push_back(TraceRecord::load(0x24000)); // evicts 0x20000
+    auto sim = runTrace(config, records);
+    EXPECT_GE(sim->memory().writeBacks(), 1u);
+}
+
+TEST(SimulatorMemory, MemoryLatencyScalesMissCost)
+{
+    auto fast = runTrace(realL2(64, 25),
+                         {TraceRecord::load(0x10000)});
+    auto slow = runTrace(realL2(64, 50),
+                         {TraceRecord::load(0x10000)});
+    EXPECT_EQ(fast->now(), 32u);
+    EXPECT_EQ(slow->now(), 57u);
+}
+
+} // namespace
+} // namespace wbsim

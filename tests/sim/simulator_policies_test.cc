@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Simulator-level tests for the alternative retirement policies and
+ * buffer organisations: fixed-rate, age-timeout, retirement order,
+ * and the write cache, each driven end-to-end through the machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "trace/memory_trace.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+std::unique_ptr<Simulator>
+runTrace(const MachineConfig &config,
+         const std::vector<TraceRecord> &records)
+{
+    auto sim = std::make_unique<Simulator>(config);
+    for (const TraceRecord &rec : records)
+        sim->step(rec);
+    return sim;
+}
+
+TEST(SimulatorPolicies, FixedRateRetiresOnSchedule)
+{
+    MachineConfig config;
+    config.writeBuffer.retirementMode = RetirementMode::FixedRate;
+    config.writeBuffer.fixedRatePeriod = 10;
+    std::vector<TraceRecord> records = {TraceRecord::store(0x1000)};
+    for (int i = 0; i < 30; ++i)
+        records.push_back(TraceRecord::nonMem());
+    auto sim = runTrace(config, records);
+    sim->buffer().advanceTo(sim->now());
+    // Store at cycle 1; the first attempt at cycle 10 retires it.
+    EXPECT_EQ(sim->buffer().occupancy(), 0u);
+    EXPECT_EQ(sim->buffer().stats().retirements, 1u);
+}
+
+TEST(SimulatorPolicies, FixedRateTooSlowOverflows)
+{
+    MachineConfig config;
+    config.writeBuffer.retirementMode = RetirementMode::FixedRate;
+    config.writeBuffer.fixedRatePeriod = 100;
+    std::vector<TraceRecord> records;
+    for (Addr a = 1; a <= 6; ++a)
+        records.push_back(TraceRecord::store(a * 0x1000));
+    auto sim = runTrace(config, records);
+    EXPECT_GT(sim->stalls().bufferFullCycles, 50u)
+        << "Jouppi's failure mode: slow fixed-rate drains overflow";
+}
+
+TEST(SimulatorPolicies, AgeTimeoutDrainsLoneEntries)
+{
+    MachineConfig config;
+    config.writeBuffer.ageTimeout = 64; // the 21164's value
+    std::vector<TraceRecord> records = {TraceRecord::store(0x1000)};
+    for (int i = 0; i < 100; ++i)
+        records.push_back(TraceRecord::nonMem());
+    auto sim = runTrace(config, records);
+    sim->buffer().advanceTo(sim->now());
+    EXPECT_EQ(sim->buffer().occupancy(), 0u)
+        << "a lone entry must retire after the timeout";
+    // Without the timeout the entry would linger forever.
+    MachineConfig plain;
+    auto sim2 = runTrace(plain, records);
+    sim2->buffer().advanceTo(sim2->now());
+    EXPECT_EQ(sim2->buffer().occupancy(), 1u);
+}
+
+TEST(SimulatorPolicies, WriteCacheEndToEndTiming)
+{
+    MachineConfig config;
+    config.writeBuffer.kind = BufferKind::WriteCache;
+    config.writeBuffer.depth = 2;
+    // Three distinct-block stores: the third evicts the LRU block
+    // with no stall; a fourth store must wait for the eviction
+    // register ([3, 9)).
+    auto sim = runTrace(config, {TraceRecord::store(0x1000),
+                                 TraceRecord::store(0x2000),
+                                 TraceRecord::store(0x3000),
+                                 TraceRecord::store(0x4000)});
+    EXPECT_EQ(sim->now(), 9u);
+    EXPECT_EQ(sim->stalls().bufferFullCycles, 5u);
+    EXPECT_EQ(sim->buffer().stats().retirements, 2u);
+}
+
+TEST(SimulatorPolicies, WriteCacheKeepsHotBlocksUnwritten)
+{
+    MachineConfig config;
+    config.writeBuffer.kind = BufferKind::WriteCache;
+    config.writeBuffer.depth = 4;
+    std::vector<TraceRecord> records;
+    // Hammer the same block; a FIFO buffer would retire it over and
+    // over (occupancy never reaches 2, so actually neither does the
+    // baseline - use two alternating blocks to force the contrast).
+    for (int i = 0; i < 40; ++i) {
+        records.push_back(TraceRecord::store(0x1000 + (i % 2) * 8));
+        records.push_back(TraceRecord::store(0x2000 + (i % 2) * 8));
+    }
+    auto sim = runTrace(config, records);
+    sim->buffer().advanceTo(sim->now());
+    EXPECT_EQ(sim->buffer().stats().retirements, 0u)
+        << "a write cache never writes blocks it can keep";
+    MachineConfig fifo;
+    auto sim2 = runTrace(fifo, records);
+    sim2->buffer().advanceTo(sim2->now());
+    EXPECT_GT(sim2->buffer().stats().retirements, 10u)
+        << "retire-at-2 streams the same blocks to L2 repeatedly";
+}
+
+TEST(SimulatorPolicies, RetirementOrderEndToEnd)
+{
+    for (RetirementOrder order :
+         {RetirementOrder::Fifo, RetirementOrder::FullestFirst}) {
+        MachineConfig config;
+        config.writeBuffer.depth = 8;
+        config.writeBuffer.highWaterMark = 8;
+        config.writeBuffer.retirementOrder = order;
+        // Fill one block densely, others sparsely, then overflow.
+        std::vector<TraceRecord> records;
+        for (Addr off = 0; off < 32; off += 8)
+            records.push_back(TraceRecord::store(0x1000 + off));
+        for (Addr a = 2; a <= 8; ++a)
+            records.push_back(TraceRecord::store(a * 0x1000));
+        records.push_back(TraceRecord::store(0x9000)); // overflow
+        auto sim = runTrace(config, records);
+        ASSERT_EQ(sim->buffer().stats().retirements, 1u);
+        if (order == RetirementOrder::FullestFirst) {
+            EXPECT_EQ(sim->buffer().stats().wordsWritten, 8u)
+                << "the full line goes first";
+        } else {
+            EXPECT_EQ(sim->buffer().stats().wordsWritten, 8u)
+                << "FIFO's oldest entry here is also the full one";
+        }
+    }
+}
+
+TEST(SimulatorPolicies, FullestFirstPrefersDenseEntryOverOlderSparse)
+{
+    MachineConfig config;
+    config.writeBuffer.depth = 8;
+    config.writeBuffer.highWaterMark = 8;
+    config.writeBuffer.retirementOrder = RetirementOrder::FullestFirst;
+    std::vector<TraceRecord> records;
+    records.push_back(TraceRecord::store(0x1000)); // sparse, oldest
+    for (Addr off = 0; off < 32; off += 8)
+        records.push_back(TraceRecord::store(0x2000 + off)); // dense
+    for (Addr a = 3; a <= 8; ++a)
+        records.push_back(TraceRecord::store(a * 0x1000));
+    records.push_back(TraceRecord::store(0x9000)); // overflow
+    auto sim = runTrace(config, records);
+    ASSERT_EQ(sim->buffer().stats().retirements, 1u);
+    EXPECT_EQ(sim->buffer().stats().wordsWritten, 8u);
+    // The sparse oldest entry survived.
+    EXPECT_TRUE(sim->buffer().probeLoad(0x1000, 8).blockHit);
+    EXPECT_FALSE(sim->buffer().probeLoad(0x2000, 8).blockHit);
+}
+
+} // namespace
+} // namespace wbsim

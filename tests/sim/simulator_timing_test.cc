@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Cycle-exact timing tests for the Simulator against hand-computed
+ * timelines of the paper's machine model (Table 1): 1-cycle
+ * instructions, 1-cycle L1 hits, 7-cycle L1 load misses, 6-cycle L2
+ * transfers, and the three stall categories of Table 3.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "trace/memory_trace.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+MachineConfig
+baseline()
+{
+    return MachineConfig{}; // the paper's defaults
+}
+
+/** Run records through a fresh simulator; return it for inspection. */
+std::unique_ptr<Simulator>
+runTrace(const MachineConfig &config,
+         const std::vector<TraceRecord> &records, bool drain = false)
+{
+    auto sim = std::make_unique<Simulator>(config);
+    for (const TraceRecord &rec : records)
+        sim->step(rec);
+    if (drain)
+        sim->drain();
+    return sim;
+}
+
+TEST(SimulatorTiming, NonMemTakesOneCycle)
+{
+    auto sim = runTrace(baseline(), {TraceRecord::nonMem(),
+                                     TraceRecord::nonMem(),
+                                     TraceRecord::nonMem()});
+    EXPECT_EQ(sim->now(), 3u);
+    EXPECT_EQ(sim->instructions(), 3u);
+}
+
+TEST(SimulatorTiming, LoadMissTakesSevenCycles)
+{
+    // Table 1: 1 + 6 cycles for an L1 load miss.
+    auto sim = runTrace(baseline(), {TraceRecord::load(0x1000)});
+    EXPECT_EQ(sim->now(), 7u);
+}
+
+TEST(SimulatorTiming, LoadHitTakesOneCycle)
+{
+    auto sim = runTrace(baseline(), {TraceRecord::load(0x1000),
+                                     TraceRecord::load(0x1008)});
+    // Miss to 7, then a 1-cycle hit on the filled line.
+    EXPECT_EQ(sim->now(), 8u);
+}
+
+TEST(SimulatorTiming, StoreTakesOneCycleWithoutOverflow)
+{
+    auto sim = runTrace(baseline(), {TraceRecord::store(0x1000),
+                                     TraceRecord::store(0x2000),
+                                     TraceRecord::store(0x3000)});
+    EXPECT_EQ(sim->now(), 3u);
+    EXPECT_EQ(sim->stalls().totalCycles(), 0u);
+}
+
+TEST(SimulatorTiming, BufferFullStallExactCycles)
+{
+    // Five distinct-block stores into the 4-deep baseline buffer:
+    // retirement of the first entry runs [2, 8), so the fifth store
+    // (issued at cycle 5) waits 3 cycles.
+    std::vector<TraceRecord> records;
+    for (Addr a = 1; a <= 5; ++a)
+        records.push_back(TraceRecord::store(a * 0x1000));
+    auto sim = runTrace(baseline(), records);
+    EXPECT_EQ(sim->now(), 8u);
+    EXPECT_EQ(sim->stalls().bufferFullCycles, 3u);
+    EXPECT_EQ(sim->stalls().bufferFullEvents, 1u);
+    EXPECT_EQ(sim->stalls().l2ReadAccessCycles, 0u);
+}
+
+TEST(SimulatorTiming, L2ReadAccessStallExactCycles)
+{
+    // Two stores trigger a retirement [2, 8); a load miss issued at
+    // cycle 3 waits 5 cycles for the port, then reads 6.
+    auto sim = runTrace(baseline(), {TraceRecord::store(0x1000),
+                                     TraceRecord::store(0x2000),
+                                     TraceRecord::load(0x9000)});
+    EXPECT_EQ(sim->stalls().l2ReadAccessCycles, 5u);
+    EXPECT_EQ(sim->stalls().l2ReadAccessEvents, 1u);
+    // Load: issue at 3, wait to 8, read to 14.
+    EXPECT_EQ(sim->now(), 14u);
+}
+
+TEST(SimulatorTiming, LoadHazardFlushFullExactCycles)
+{
+    // One store to block B (not allocated in L1: write-around), then
+    // a load of B. Flush-full purges the single entry [2, 8), the
+    // load then reads L2 [8, 14).
+    auto sim = runTrace(baseline(), {TraceRecord::store(0x1000),
+                                     TraceRecord::load(0x1000)});
+    EXPECT_EQ(sim->stalls().loadHazardCycles, 6u);
+    EXPECT_EQ(sim->stalls().loadHazardEvents, 1u);
+    EXPECT_EQ(sim->now(), 14u);
+}
+
+TEST(SimulatorTiming, ReadFromWbHitIsFree)
+{
+    MachineConfig config = baseline();
+    config.writeBuffer.hazardPolicy = LoadHazardPolicy::ReadFromWB;
+    auto sim = runTrace(config, {TraceRecord::store(0x1000),
+                                 TraceRecord::load(0x1000)});
+    // Store at 1, load served from the buffer at 2: 1 cycle, like an
+    // L1 hit (§2.2).
+    EXPECT_EQ(sim->now(), 2u);
+    EXPECT_EQ(sim->stalls().totalCycles(), 0u);
+    // No L1 fill happened: a repeat load still misses L1.
+    EXPECT_EQ(sim->l1d().loadMisses(), 1u);
+}
+
+TEST(SimulatorTiming, ReadFromWbWordMissChargesL2Access)
+{
+    MachineConfig config = baseline();
+    config.writeBuffer.hazardPolicy = LoadHazardPolicy::ReadFromWB;
+    // Store writes bytes [0x1000, 0x1008); load needs 0x1010.
+    auto sim = runTrace(config, {TraceRecord::store(0x1000),
+                                 TraceRecord::load(0x1010)});
+    // Issue at 2 + 6-cycle L2 read; the merge is free (§2.2).
+    EXPECT_EQ(sim->now(), 8u);
+    EXPECT_EQ(sim->stalls().loadHazardCycles, 0u);
+    // The buffer entry is undisturbed.
+    EXPECT_EQ(sim->buffer().occupancy(), 1u);
+}
+
+TEST(SimulatorTiming, ReadFromWbExtraHitCost)
+{
+    MachineConfig config = baseline();
+    config.writeBuffer.hazardPolicy = LoadHazardPolicy::ReadFromWB;
+    config.writeBuffer.wbHitExtraCycles = 2; // §4.3 last bullet
+    auto sim = runTrace(config, {TraceRecord::store(0x1000),
+                                 TraceRecord::load(0x1000)});
+    EXPECT_EQ(sim->now(), 4u);
+    EXPECT_EQ(sim->stalls().loadHazardCycles, 2u);
+}
+
+TEST(SimulatorTiming, FlushPartialSparesYoungerEntries)
+{
+    MachineConfig config = baseline();
+    config.writeBuffer.depth = 12;
+    config.writeBuffer.highWaterMark = 12; // never retire on its own
+    config.writeBuffer.hazardPolicy = LoadHazardPolicy::FlushPartial;
+    auto sim = runTrace(config, {TraceRecord::store(0x1000),
+                                 TraceRecord::store(0x2000),
+                                 TraceRecord::store(0x3000),
+                                 TraceRecord::load(0x2000)});
+    // Flush 0x1000 [4,10) and 0x2000 [10,16): 12 hazard cycles; the
+    // L2 read then runs [16, 22).
+    EXPECT_EQ(sim->stalls().loadHazardCycles, 12u);
+    EXPECT_EQ(sim->now(), 22u);
+    EXPECT_EQ(sim->buffer().occupancy(), 1u);
+}
+
+TEST(SimulatorTiming, FlushItemOnlySparesEverythingElse)
+{
+    MachineConfig config = baseline();
+    config.writeBuffer.depth = 12;
+    config.writeBuffer.highWaterMark = 12;
+    config.writeBuffer.hazardPolicy = LoadHazardPolicy::FlushItemOnly;
+    auto sim = runTrace(config, {TraceRecord::store(0x1000),
+                                 TraceRecord::store(0x2000),
+                                 TraceRecord::store(0x3000),
+                                 TraceRecord::load(0x2000)});
+    EXPECT_EQ(sim->stalls().loadHazardCycles, 6u);
+    EXPECT_EQ(sim->now(), 16u);
+    EXPECT_EQ(sim->buffer().occupancy(), 2u);
+}
+
+TEST(SimulatorTiming, HazardStallExcludesSubsequentRead)
+{
+    // Table 3: the L2 read after hazard handling is charged to the
+    // miss, not the hazard.
+    auto sim = runTrace(baseline(), {TraceRecord::store(0x1000),
+                                     TraceRecord::load(0x1000)});
+    Count hazard = sim->stalls().loadHazardCycles;
+    EXPECT_EQ(hazard, 6u) << "only the flush time counts";
+}
+
+TEST(SimulatorTiming, DrainFlushesRemainingEntries)
+{
+    auto sim = runTrace(baseline(), {TraceRecord::store(0x1000)}, true);
+    EXPECT_EQ(sim->buffer().occupancy(), 0u);
+    // Store at 1, drain write [1, 7).
+    EXPECT_EQ(sim->now(), 7u);
+}
+
+TEST(SimulatorTiming, RetirementProceedsDuringQuietCycles)
+{
+    std::vector<TraceRecord> records = {TraceRecord::store(0x1000),
+                                        TraceRecord::store(0x2000)};
+    for (int i = 0; i < 20; ++i)
+        records.push_back(TraceRecord::nonMem());
+    auto sim = runTrace(baseline(), records);
+    sim->buffer().advanceTo(sim->now());
+    // Retirement [2, 8) completed long ago; occupancy is 1 (< mark).
+    EXPECT_EQ(sim->buffer().occupancy(), 1u);
+    EXPECT_EQ(sim->buffer().stats().retirements, 1u);
+}
+
+TEST(SimulatorTiming, WritePriorityThresholdDrainsBeforeRead)
+{
+    MachineConfig config = baseline();
+    config.writeBuffer.depth = 4;
+    config.writeBuffer.writePriorityThreshold = 3;
+    auto sim = runTrace(config, {TraceRecord::store(0x1000),
+                                 TraceRecord::store(0x2000),
+                                 TraceRecord::store(0x3000),
+                                 TraceRecord::load(0x9000)});
+    // Stores at 1,2,3; retirement of 0x1000 [2,8). At the load
+    // (cycle 4) occupancy is 3 >= threshold: drain until below 3,
+    // i.e. complete the in-flight write (8). Then read [8, 14).
+    EXPECT_EQ(sim->now(), 14u);
+    EXPECT_EQ(sim->stalls().l2ReadAccessCycles, 4u);
+}
+
+TEST(SimulatorTiming, StallPercentagesConsistent)
+{
+    std::vector<TraceRecord> records;
+    for (Addr a = 1; a <= 5; ++a)
+        records.push_back(TraceRecord::store(a * 0x1000));
+    auto sim = runTrace(baseline(), records, true);
+    SimResults results = sim->results("t");
+    EXPECT_EQ(results.cycles, sim->now());
+    EXPECT_NEAR(results.pctBufferFull(),
+                100.0 * 3.0 / double(results.cycles), 1e-9);
+    EXPECT_NEAR(results.pctTotalStalls(),
+                results.pctBufferFull() + results.pctL2ReadAccess()
+                    + results.pctLoadHazard(),
+                1e-9);
+}
+
+} // namespace
+} // namespace wbsim

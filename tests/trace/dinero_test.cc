@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the Dinero din-format reader/writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "trace/dinero.hh"
+#include "trace/memory_trace.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+class DineroTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = std::filesystem::temp_directory_path()
+            / ("wbsim_din_" + std::to_string(::getpid()) + "_"
+               + std::to_string(counter_++) + ".din");
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+    }
+
+    void
+    writeText(const std::string &text)
+    {
+        std::ofstream out(path_);
+        out << text;
+    }
+
+    std::filesystem::path path_;
+    static int counter_;
+};
+
+int DineroTest::counter_ = 0;
+
+TEST(DineroParse, Labels)
+{
+    TraceRecord rec;
+    ASSERT_TRUE(parseDineroLine("0 1f00", 8, rec));
+    EXPECT_EQ(rec, TraceRecord::load(0x1f00, 8));
+    ASSERT_TRUE(parseDineroLine("1 2000", 8, rec));
+    EXPECT_EQ(rec, TraceRecord::store(0x2000, 8));
+    ASSERT_TRUE(parseDineroLine("2 4000", 8, rec));
+    EXPECT_EQ(rec.op, Op::NonMem);
+    EXPECT_EQ(rec.pc, 0x4000u);
+}
+
+TEST(DineroParse, WhitespaceAndComments)
+{
+    TraceRecord rec;
+    EXPECT_FALSE(parseDineroLine("", 8, rec));
+    EXPECT_FALSE(parseDineroLine("   \t", 8, rec));
+    EXPECT_FALSE(parseDineroLine("# comment", 8, rec));
+    EXPECT_FALSE(parseDineroLine("; also a comment", 8, rec));
+    EXPECT_TRUE(parseDineroLine("  0   abc ", 4, rec));
+    EXPECT_EQ(rec, TraceRecord::load(0xabc, 4));
+}
+
+TEST(DineroParseDeath, MalformedLinesAreFatal)
+{
+    TraceRecord rec;
+    EXPECT_EXIT(parseDineroLine("7 1000", 8, rec),
+                ::testing::ExitedWithCode(1), "unknown label");
+    EXPECT_EXIT(parseDineroLine("0", 8, rec),
+                ::testing::ExitedWithCode(1), "missing address");
+    EXPECT_EXIT(parseDineroLine("0 zzz", 8, rec),
+                ::testing::ExitedWithCode(1), "malformed address");
+}
+
+TEST_F(DineroTest, ReadsAFile)
+{
+    writeText("# tiny trace\n0 100\n1 108\n2 4000\n\n0 110\n");
+    DineroReader reader(path_.string());
+    TraceRecord rec;
+    std::vector<TraceRecord> records;
+    while (reader.next(rec))
+        records.push_back(rec);
+    ASSERT_EQ(records.size(), 4u);
+    EXPECT_TRUE(records[0].isLoad());
+    EXPECT_TRUE(records[1].isStore());
+    EXPECT_EQ(records[2].op, Op::NonMem);
+    EXPECT_EQ(reader.skippedLines(), 2u);
+}
+
+TEST_F(DineroTest, ResetRestarts)
+{
+    writeText("0 100\n1 200\n");
+    DineroReader reader(path_.string());
+    TraceRecord rec;
+    while (reader.next(rec)) {
+    }
+    reader.reset();
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.addr, 0x100u);
+}
+
+TEST_F(DineroTest, RoundTripThroughWriter)
+{
+    MemoryTrace trace({TraceRecord::load(0x100, 8),
+                       TraceRecord::store(0x208, 8),
+                       TraceRecord::nonMem(0x4000),
+                       TraceRecord::barrier(), // dropped by format
+                       TraceRecord::load(0x300, 8)},
+                      "din-roundtrip");
+    Count written = writeDineroFile(path_.string(), trace);
+    EXPECT_EQ(written, 4u) << "the barrier is inexpressible";
+
+    DineroReader reader(path_.string());
+    TraceRecord rec;
+    std::vector<TraceRecord> back;
+    while (reader.next(rec))
+        back.push_back(rec);
+    ASSERT_EQ(back.size(), 4u);
+    EXPECT_EQ(back[0].addr, 0x100u);
+    EXPECT_EQ(back[1].addr, 0x208u);
+    EXPECT_EQ(back[2].pc, 0x4000u);
+    EXPECT_EQ(back[3].addr, 0x300u);
+}
+
+TEST_F(DineroTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(DineroReader("/no/such/file.din"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(DineroTest, CustomAccessSize)
+{
+    writeText("0 100\n");
+    DineroReader reader(path_.string(), 4);
+    TraceRecord rec;
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.size, 4u);
+}
+
+} // namespace
+} // namespace wbsim

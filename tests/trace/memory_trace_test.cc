@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for MemoryTrace and the source adapters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/memory_trace.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+MemoryTrace
+sampleTrace(std::size_t n)
+{
+    MemoryTrace trace({}, "sample");
+    for (std::size_t i = 0; i < n; ++i)
+        trace.append(TraceRecord::load(i * 8));
+    return trace;
+}
+
+TEST(MemoryTrace, IterationAndReset)
+{
+    MemoryTrace trace = sampleTrace(3);
+    TraceRecord rec;
+    std::size_t count = 0;
+    while (trace.next(rec)) {
+        EXPECT_EQ(rec.addr, count * 8);
+        ++count;
+    }
+    EXPECT_EQ(count, 3u);
+    EXPECT_FALSE(trace.next(rec));
+
+    trace.reset();
+    EXPECT_TRUE(trace.next(rec));
+    EXPECT_EQ(rec.addr, 0u);
+}
+
+TEST(MemoryTrace, AppendWhileReading)
+{
+    MemoryTrace trace = sampleTrace(1);
+    TraceRecord rec;
+    EXPECT_TRUE(trace.next(rec));
+    trace.append(TraceRecord::store(0x99, 8));
+    EXPECT_TRUE(trace.next(rec));
+    EXPECT_TRUE(rec.isStore());
+}
+
+TEST(MemoryTrace, CaptureDrainsSource)
+{
+    MemoryTrace inner = sampleTrace(5);
+    MemoryTrace captured = MemoryTrace::capture(inner, "copy");
+    EXPECT_EQ(captured.size(), 5u);
+    EXPECT_EQ(captured.name(), "copy");
+    EXPECT_EQ(captured.at(4).addr, 32u);
+}
+
+TEST(TruncatedSource, StopsAtLimit)
+{
+    MemoryTrace trace = sampleTrace(10);
+    TruncatedSource truncated(trace, 4);
+    TraceRecord rec;
+    std::size_t count = 0;
+    while (truncated.next(rec))
+        ++count;
+    EXPECT_EQ(count, 4u);
+}
+
+TEST(TruncatedSource, LimitBeyondSource)
+{
+    MemoryTrace trace = sampleTrace(2);
+    TruncatedSource truncated(trace, 100);
+    TraceRecord rec;
+    std::size_t count = 0;
+    while (truncated.next(rec))
+        ++count;
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(TruncatedSource, ResetRestartsBoth)
+{
+    MemoryTrace trace = sampleTrace(10);
+    TruncatedSource truncated(trace, 3);
+    TraceRecord rec;
+    while (truncated.next(rec)) {
+    }
+    truncated.reset();
+    EXPECT_TRUE(truncated.next(rec));
+    EXPECT_EQ(rec.addr, 0u);
+}
+
+TEST(ConcatSource, ChainsInOrder)
+{
+    MemoryTrace a({TraceRecord::load(1 * 8), TraceRecord::load(2 * 8)});
+    MemoryTrace b({TraceRecord::load(3 * 8)});
+    ConcatSource concat({&a, &b});
+    TraceRecord rec;
+    std::vector<Addr> addrs;
+    while (concat.next(rec))
+        addrs.push_back(rec.addr);
+    EXPECT_EQ(addrs, (std::vector<Addr>{8, 16, 24}));
+}
+
+TEST(ConcatSource, ResetRestartsAllParts)
+{
+    MemoryTrace a({TraceRecord::load(8)});
+    MemoryTrace b({TraceRecord::load(16)});
+    ConcatSource concat({&a, &b});
+    TraceRecord rec;
+    while (concat.next(rec)) {
+    }
+    concat.reset();
+    std::size_t count = 0;
+    while (concat.next(rec))
+        ++count;
+    EXPECT_EQ(count, 2u);
+}
+
+TEST(ConcatSource, EmptyPartsSkipped)
+{
+    MemoryTrace a;
+    MemoryTrace b({TraceRecord::load(8)});
+    MemoryTrace c;
+    ConcatSource concat({&a, &b, &c});
+    TraceRecord rec;
+    EXPECT_TRUE(concat.next(rec));
+    EXPECT_FALSE(concat.next(rec));
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Unit tests for TraceRecord.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/record.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(TraceRecord, Factories)
+{
+    TraceRecord n = TraceRecord::nonMem(0x100);
+    EXPECT_EQ(n.op, Op::NonMem);
+    EXPECT_FALSE(n.isMem());
+    EXPECT_EQ(n.pc, 0x100u);
+
+    TraceRecord l = TraceRecord::load(0x2000, 4, 0x104);
+    EXPECT_TRUE(l.isLoad());
+    EXPECT_TRUE(l.isMem());
+    EXPECT_EQ(l.addr, 0x2000u);
+    EXPECT_EQ(l.size, 4u);
+
+    TraceRecord s = TraceRecord::store(0x3000);
+    EXPECT_TRUE(s.isStore());
+    EXPECT_EQ(s.size, 8u); // default word size
+}
+
+TEST(TraceRecord, Equality)
+{
+    EXPECT_EQ(TraceRecord::load(0x10, 8), TraceRecord::load(0x10, 8));
+    EXPECT_NE(TraceRecord::load(0x10, 8), TraceRecord::store(0x10, 8));
+    EXPECT_NE(TraceRecord::load(0x10, 8), TraceRecord::load(0x18, 8));
+}
+
+TEST(TraceRecord, OpNames)
+{
+    EXPECT_STREQ(opName(Op::NonMem), "nonmem");
+    EXPECT_STREQ(opName(Op::Load), "load");
+    EXPECT_STREQ(opName(Op::Store), "store");
+    EXPECT_STREQ(opName(Op::Barrier), "barrier");
+}
+
+TEST(TraceRecord, BarrierFactory)
+{
+    TraceRecord b = TraceRecord::barrier(0x44);
+    EXPECT_EQ(b.op, Op::Barrier);
+    EXPECT_FALSE(b.isMem());
+    EXPECT_EQ(b.pc, 0x44u);
+}
+
+TEST(TraceRecord, ToStringIncludesAddress)
+{
+    std::string s = toString(TraceRecord::store(0x1000, 8));
+    EXPECT_NE(s.find("store"), std::string::npos);
+    EXPECT_NE(s.find("1000"), std::string::npos);
+    EXPECT_NE(s.find("8B"), std::string::npos);
+    EXPECT_EQ(toString(TraceRecord::nonMem()), "nonmem");
+}
+
+} // namespace
+} // namespace wbsim

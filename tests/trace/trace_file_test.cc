@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Round-trip and robustness tests for the binary trace file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/memory_trace.hh"
+#include "trace/trace_file.hh"
+#include "util/random.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = std::filesystem::temp_directory_path()
+            / ("wbsim_trace_test_"
+               + std::to_string(::getpid()) + "_"
+               + std::to_string(counter_++) + ".wbt");
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        std::filesystem::remove(path_, ec);
+    }
+
+    std::filesystem::path path_;
+    static int counter_;
+};
+
+int TraceFileTest::counter_ = 0;
+
+std::vector<TraceRecord>
+randomRecords(std::size_t n, bool with_pcs, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<TraceRecord> records;
+    Addr pc = 0x1000;
+    for (std::size_t i = 0; i < n; ++i) {
+        TraceRecord rec;
+        switch (rng.nextBelow(3)) {
+          case 0:
+            rec = TraceRecord::nonMem();
+            break;
+          case 1:
+            rec = TraceRecord::load(rng.nextBelow(1 << 24) * 8,
+                                    rng.nextBool(0.5) ? 4 : 8);
+            break;
+          default:
+            rec = TraceRecord::store(rng.nextBelow(1 << 24) * 8, 8);
+            break;
+        }
+        if (with_pcs) {
+            pc += 4;
+            rec.pc = pc;
+        }
+        records.push_back(rec);
+    }
+    return records;
+}
+
+TEST_F(TraceFileTest, RoundTripSmall)
+{
+    MemoryTrace trace({TraceRecord::load(0x100, 8),
+                       TraceRecord::store(0x108, 4),
+                       TraceRecord::nonMem()},
+                      "small");
+    Count written = writeTraceFile(path_.string(), trace);
+    EXPECT_EQ(written, 3u);
+
+    TraceFileReader reader(path_.string());
+    EXPECT_EQ(reader.header().count, 3u);
+    EXPECT_EQ(reader.header().name, "small");
+    EXPECT_FALSE(reader.header().hasPcs);
+
+    auto records = readTraceFile(path_.string());
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0], TraceRecord::load(0x100, 8));
+    EXPECT_EQ(records[1], TraceRecord::store(0x108, 4));
+    EXPECT_EQ(records[2].op, Op::NonMem);
+}
+
+/** Round-trip property across sizes and PC modes. */
+class TraceFileRoundTrip
+    : public TraceFileTest,
+      public ::testing::WithParamInterface<std::tuple<int, bool>>
+{
+};
+
+TEST_P(TraceFileRoundTrip, PreservesEveryRecord)
+{
+    auto [count, with_pcs] = GetParam();
+    auto records =
+        randomRecords(static_cast<std::size_t>(count), with_pcs, count);
+    MemoryTrace trace(records, "prop");
+    writeTraceFile(path_.string(), trace, with_pcs);
+
+    auto back = readTraceFile(path_.string());
+    ASSERT_EQ(back.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(back[i].op, records[i].op) << "record " << i;
+        EXPECT_EQ(back[i].addr, records[i].addr) << "record " << i;
+        EXPECT_EQ(back[i].size, records[i].size) << "record " << i;
+        if (with_pcs) {
+            EXPECT_EQ(back[i].pc, records[i].pc) << "record " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TraceFileRoundTrip,
+    ::testing::Combine(::testing::Values(0, 1, 7, 256, 5000),
+                       ::testing::Bool()));
+
+TEST_F(TraceFileTest, BarriersRoundTrip)
+{
+    MemoryTrace trace({TraceRecord::store(0x40, 8),
+                       TraceRecord::barrier(),
+                       TraceRecord::load(0x40, 8)},
+                      "barriers");
+    writeTraceFile(path_.string(), trace);
+    auto back = readTraceFile(path_.string());
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back[1].op, Op::Barrier);
+    EXPECT_FALSE(back[1].isMem());
+}
+
+TEST_F(TraceFileTest, ReaderReset)
+{
+    MemoryTrace trace(randomRecords(50, false, 9), "reset");
+    writeTraceFile(path_.string(), trace);
+
+    TraceFileReader reader(path_.string());
+    TraceRecord first;
+    ASSERT_TRUE(reader.next(first));
+    TraceRecord rec;
+    while (reader.next(rec)) {
+    }
+    reader.reset();
+    TraceRecord again;
+    ASSERT_TRUE(reader.next(again));
+    EXPECT_EQ(again, first);
+}
+
+TEST_F(TraceFileTest, SequentialTraceCompressesWell)
+{
+    MemoryTrace trace({}, "seq");
+    for (Addr a = 0; a < 8 * 10000; a += 8)
+        trace.append(TraceRecord::store(a, 8));
+    writeTraceFile(path_.string(), trace);
+    auto bytes = std::filesystem::file_size(path_);
+    // Delta encoding: ~2 bytes per record plus header.
+    EXPECT_LT(bytes, 10000u * 3);
+}
+
+TEST_F(TraceFileTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceFileReader("/nonexistent/nope.wbt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(TraceFileTest, BadMagicIsFatal)
+{
+    std::ofstream out(path_, std::ios::binary);
+    out << "NOTATRACEFILE----";
+    out.close();
+    EXPECT_EXIT(TraceFileReader(path_.string()),
+                ::testing::ExitedWithCode(1), "not a wbsim trace");
+}
+
+TEST_F(TraceFileTest, TruncatedBodyIsFatal)
+{
+    MemoryTrace trace(randomRecords(100, false, 3), "trunc");
+    writeTraceFile(path_.string(), trace);
+    auto size = std::filesystem::file_size(path_);
+    std::filesystem::resize_file(path_, size - 20);
+
+    EXPECT_EXIT(
+        [&] {
+            TraceFileReader reader(path_.string());
+            TraceRecord rec;
+            while (reader.next(rec)) {
+            }
+        }(),
+        ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the stacked text bar chart.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/barchart.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(BarChart, RendersLegendAndBars)
+{
+    BarChart chart({"first", "second"}, 20);
+    chart.beginGroup("grp");
+    chart.addBar({"bar1", {1.0, 1.0}});
+    std::ostringstream os;
+    chart.render(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("legend:"), std::string::npos);
+    EXPECT_NE(out.find("first"), std::string::npos);
+    EXPECT_NE(out.find("grp"), std::string::npos);
+    EXPECT_NE(out.find("bar1"), std::string::npos);
+}
+
+TEST(BarChart, LargestBarSpansFullWidth)
+{
+    BarChart chart({"s"}, 20);
+    chart.beginGroup("");
+    chart.addBar({"big", {10.0}});
+    chart.addBar({"half", {5.0}});
+    std::ostringstream os;
+    chart.render(os);
+    std::string out = os.str();
+    // big: 20 glyphs; half: 10 glyphs.
+    EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+    EXPECT_EQ(out.find(std::string(21, '#')), std::string::npos);
+}
+
+TEST(BarChart, StackedSegmentsUseDistinctGlyphs)
+{
+    BarChart chart({"a", "b"}, 20);
+    chart.beginGroup("");
+    chart.addBar({"bar", {5.0, 5.0}});
+    std::ostringstream os;
+    chart.render(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("##########oooooooooo"), std::string::npos);
+}
+
+TEST(BarChart, ZeroBarsRenderEmpty)
+{
+    BarChart chart({"a"}, 20);
+    chart.beginGroup("g");
+    chart.addBar({"zero", {0.0}});
+    std::ostringstream os;
+    chart.render(os);
+    EXPECT_NE(os.str().find("zero"), std::string::npos);
+}
+
+TEST(BarChart, ScaleMaxOverrides)
+{
+    BarChart chart({"a"}, 20);
+    chart.setScaleMax(20.0);
+    chart.beginGroup("");
+    chart.addBar({"bar", {10.0}});
+    std::ostringstream os;
+    chart.render(os);
+    // 10 of 20 -> half width.
+    EXPECT_NE(os.str().find(std::string(10, '#')), std::string::npos);
+    EXPECT_EQ(os.str().find(std::string(11, '#')), std::string::npos);
+}
+
+TEST(BarChartDeath, SegmentCountMismatchPanics)
+{
+    BarChart chart({"a", "b"}, 20);
+    chart.beginGroup("");
+    EXPECT_DEATH(chart.addBar({"bad", {1.0}}), "segment");
+}
+
+TEST(BarChartDeath, AddBarWithoutGroupPanics)
+{
+    BarChart chart({"a"}, 20);
+    EXPECT_DEATH(chart.addBar({"bad", {1.0}}), "beginGroup");
+}
+
+} // namespace
+} // namespace wbsim

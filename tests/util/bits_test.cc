@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for util/bits.hh.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(Bits, IsPowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 63));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 63) + 1));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+    EXPECT_EQ(floorLog2(~std::uint64_t{0}), 63u);
+}
+
+TEST(Bits, ExactLog2)
+{
+    EXPECT_EQ(exactLog2(1), 0u);
+    EXPECT_EQ(exactLog2(32), 5u);
+    EXPECT_EQ(exactLog2(1ull << 40), 40u);
+}
+
+TEST(BitsDeath, ExactLog2NonPowerPanics)
+{
+    EXPECT_DEATH(exactLog2(12), "exactLog2");
+}
+
+TEST(Bits, AlignDown)
+{
+    EXPECT_EQ(alignDown(0, 32), 0u);
+    EXPECT_EQ(alignDown(31, 32), 0u);
+    EXPECT_EQ(alignDown(32, 32), 32u);
+    EXPECT_EQ(alignDown(0xdeadbeef, 64), 0xdeadbec0u);
+}
+
+TEST(Bits, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 32), 0u);
+    EXPECT_EQ(alignUp(1, 32), 32u);
+    EXPECT_EQ(alignUp(32, 32), 32u);
+    EXPECT_EQ(alignUp(33, 32), 64u);
+}
+
+TEST(Bits, IsAligned)
+{
+    EXPECT_TRUE(isAligned(0, 8));
+    EXPECT_TRUE(isAligned(64, 8));
+    EXPECT_FALSE(isAligned(4, 8));
+}
+
+TEST(Bits, BitsOf)
+{
+    EXPECT_EQ(bitsOf(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bitsOf(0xff00, 0, 8), 0u);
+    EXPECT_EQ(bitsOf(~std::uint64_t{0}, 0, 64), ~std::uint64_t{0});
+}
+
+TEST(Bits, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 4), 0u);
+    EXPECT_EQ(divCeil(1, 4), 1u);
+    EXPECT_EQ(divCeil(4, 4), 1u);
+    EXPECT_EQ(divCeil(5, 4), 2u);
+}
+
+/** Property sweep: alignDown/alignUp bracket the address. */
+class AlignProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AlignProperty, DownUpBracket)
+{
+    std::uint64_t align = GetParam();
+    for (Addr addr : {Addr{0}, Addr{1}, Addr{31}, Addr{32}, Addr{4095},
+                      Addr{0x12345678}, Addr{0xffffffffffff}}) {
+        Addr down = alignDown(addr, align);
+        Addr up = alignUp(addr, align);
+        EXPECT_LE(down, addr);
+        EXPECT_GE(up, addr);
+        EXPECT_LT(addr - down, align);
+        EXPECT_TRUE(isAligned(down, align));
+        EXPECT_TRUE(isAligned(up, align));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignProperty,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 4096));
+
+} // namespace
+} // namespace wbsim

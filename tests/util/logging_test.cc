@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit tests for logging, fatal and panic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(Logging, ConcatFoldsArguments)
+{
+    EXPECT_EQ(detail::concat("a", 1, "-", 2.5), "a1-2.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(before);
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(wbsim_fatal("bad config ", 42),
+                ::testing::ExitedWithCode(1), "bad config 42");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(wbsim_panic("internal bug"), "internal bug");
+}
+
+TEST(LoggingDeath, AssertPassesQuietly)
+{
+    wbsim_assert(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, AssertFailureAborts)
+{
+    EXPECT_DEATH(wbsim_assert(false, "should fire"), "should fire");
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unit tests for the CLI option parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/options.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+Options
+makeParsed(std::vector<const char *> argv)
+{
+    Options options;
+    options.declare("count", "a number", "5");
+    options.declare("name", "a string", "default");
+    options.declare("rate", "a double", "0.5");
+    options.declare("verbose", "a flag", "", true);
+    options.parse(static_cast<int>(argv.size()), argv.data());
+    return options;
+}
+
+TEST(Options, DefaultsApply)
+{
+    Options o = makeParsed({"prog"});
+    EXPECT_EQ(o.getInt("count"), 5);
+    EXPECT_EQ(o.get("name"), "default");
+    EXPECT_FALSE(o.getFlag("verbose"));
+    EXPECT_FALSE(o.has("count"));
+}
+
+TEST(Options, EqualsForm)
+{
+    Options o = makeParsed({"prog", "--count=9", "--name=xyz"});
+    EXPECT_EQ(o.getInt("count"), 9);
+    EXPECT_EQ(o.get("name"), "xyz");
+    EXPECT_TRUE(o.has("count"));
+}
+
+TEST(Options, SeparateValueForm)
+{
+    Options o = makeParsed({"prog", "--count", "12"});
+    EXPECT_EQ(o.getInt("count"), 12);
+}
+
+TEST(Options, FlagForm)
+{
+    Options o = makeParsed({"prog", "--verbose"});
+    EXPECT_TRUE(o.getFlag("verbose"));
+}
+
+TEST(Options, Positionals)
+{
+    Options o = makeParsed({"prog", "one", "--count=3", "two"});
+    ASSERT_EQ(o.positionals().size(), 2u);
+    EXPECT_EQ(o.positionals()[0], "one");
+    EXPECT_EQ(o.positionals()[1], "two");
+}
+
+TEST(Options, DoubleParsing)
+{
+    Options o = makeParsed({"prog", "--rate=0.25"});
+    EXPECT_DOUBLE_EQ(o.getDouble("rate"), 0.25);
+}
+
+TEST(Options, NegativeIntAndUnsigned)
+{
+    Options o = makeParsed({"prog", "--count=-3"});
+    EXPECT_EQ(o.getInt("count"), -3);
+    EXPECT_EXIT(o.getUint("count"), ::testing::ExitedWithCode(1),
+                "non-negative");
+}
+
+TEST(Options, UsageListsDeclarations)
+{
+    Options o = makeParsed({"prog"});
+    std::string usage = o.usage();
+    EXPECT_NE(usage.find("--count"), std::string::npos);
+    EXPECT_NE(usage.find("a number"), std::string::npos);
+}
+
+TEST(OptionsDeath, UnknownOptionIsFatal)
+{
+    EXPECT_EXIT(makeParsed({"prog", "--bogus=1"}),
+                ::testing::ExitedWithCode(1), "unknown option");
+}
+
+TEST(OptionsDeath, MissingValueIsFatal)
+{
+    EXPECT_EXIT(makeParsed({"prog", "--count"}),
+                ::testing::ExitedWithCode(1), "needs a value");
+}
+
+TEST(OptionsDeath, FlagWithValueIsFatal)
+{
+    EXPECT_EXIT(makeParsed({"prog", "--verbose=1"}),
+                ::testing::ExitedWithCode(1), "takes no value");
+}
+
+TEST(OptionsDeath, MalformedIntIsFatal)
+{
+    EXPECT_EXIT(
+        [] {
+            Options o = makeParsed({"prog", "--count=abc"});
+            o.getInt("count");
+        }(),
+        ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+TEST(EnvUint, FallsBackWhenUnset)
+{
+    unsetenv("WBSIM_TEST_ENV");
+    EXPECT_EQ(envUint("WBSIM_TEST_ENV", 7), 7u);
+}
+
+TEST(EnvUint, ReadsValue)
+{
+    setenv("WBSIM_TEST_ENV", "123", 1);
+    EXPECT_EQ(envUint("WBSIM_TEST_ENV", 7), 123u);
+    unsetenv("WBSIM_TEST_ENV");
+}
+
+TEST(EnvUint, MalformedFallsBack)
+{
+    setenv("WBSIM_TEST_ENV", "12x", 1);
+    EXPECT_EQ(envUint("WBSIM_TEST_ENV", 7), 7u);
+    unsetenv("WBSIM_TEST_ENV");
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/random.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NearbySeedsIndependent)
+{
+    // splitmix64 seed expansion should decorrelate adjacent seeds.
+    Rng a(100), b(101);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000000007ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t v = rng.nextRange(10, 12);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 12u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u); // all values reachable
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, NextBoolExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, NextBoolRoughlyFair)
+{
+    Rng rng(15);
+    int trues = 0;
+    for (int i = 0; i < 10000; ++i)
+        trues += rng.nextBool(0.5);
+    EXPECT_NEAR(trues, 5000, 300);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights)
+{
+    Rng rng(17);
+    std::vector<double> weights = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(rng.nextWeighted(weights), 1u);
+}
+
+TEST(Rng, WeightedProportions)
+{
+    Rng rng(19);
+    std::vector<double> weights = {1.0, 3.0};
+    int counts[2] = {0, 0};
+    for (int i = 0; i < 10000; ++i)
+        ++counts[rng.nextWeighted(weights)];
+    EXPECT_NEAR(counts[1], 7500, 400);
+}
+
+TEST(Rng, WeightedAllZeroReturnsFirst)
+{
+    Rng rng(21);
+    std::vector<double> weights = {0.0, 0.0};
+    EXPECT_EQ(rng.nextWeighted(weights), 0u);
+}
+
+TEST(Rng, BurstBounds)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        unsigned len = rng.nextBurst(0.7, 8);
+        EXPECT_GE(len, 1u);
+        EXPECT_LE(len, 8u);
+    }
+}
+
+TEST(Rng, BurstZeroProbAlwaysOne)
+{
+    Rng rng(25);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.nextBurst(0.0, 8), 1u);
+}
+
+TEST(Rng, BurstMeanMatchesGeometric)
+{
+    Rng rng(27);
+    double total = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        total += rng.nextBurst(0.5, 64);
+    // E[1 + Geom(0.5)] ~= 2 with a generous cap.
+    EXPECT_NEAR(total / n, 2.0, 0.1);
+}
+
+TEST(SplitMix, HashCombineSpreads)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t a = 0; a < 50; ++a)
+        for (std::uint64_t b = 0; b < 50; ++b)
+            seen.insert(hashCombine(a, b));
+    EXPECT_EQ(seen.size(), 2500u);
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/stats.hh"
+
+namespace wbsim::stats
+{
+namespace
+{
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    ++c;
+    c += 10;
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Ratio, HandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(percent(5, 0), 0.0);
+}
+
+TEST(Ratio, ComputesFractions)
+{
+    EXPECT_DOUBLE_EQ(ratio(1, 4), 0.25);
+    EXPECT_DOUBLE_EQ(percent(1, 4), 25.0);
+}
+
+TEST(Histogram, EmptyState)
+{
+    Histogram h(8);
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4); // buckets 0..3 plus overflow
+    h.sample(0);
+    h.sample(3);
+    h.sample(4);   // overflow
+    h.sample(100); // overflow
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(4), 2u); // overflow slot
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 100u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(8);
+    h.sample(2, 5);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    h.sample(4, 5);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(Histogram, ZeroCountSampleIgnored)
+{
+    Histogram h(8);
+    h.sample(3, 0);
+    EXPECT_EQ(h.samples(), 0u);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(8);
+    h.sample(7);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucket(7), 0u);
+}
+
+TEST(Histogram, SummaryMentionsStats)
+{
+    Histogram h(8);
+    h.sample(1);
+    h.sample(3);
+    std::string s = h.summary();
+    EXPECT_NE(s.find("n=2"), std::string::npos);
+    EXPECT_NE(s.find("min=1"), std::string::npos);
+    EXPECT_NE(s.find("max=3"), std::string::npos);
+}
+
+TEST(StatSet, DumpsSortedNamedValues)
+{
+    Count raw = 42;
+    Counter counter;
+    ++counter;
+    double d = 2.5;
+    StatSet set;
+    set.addScalar("zulu", &raw);
+    set.addScalar("alpha", &counter);
+    set.addDouble("mid", &d);
+    std::ostringstream os;
+    set.dump(os, "pfx.");
+    EXPECT_EQ(os.str(), "pfx.zulu 42\npfx.alpha 1\npfx.mid 2.5\n");
+}
+
+} // namespace
+} // namespace wbsim::stats

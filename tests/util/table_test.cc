@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the text table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable table;
+    table.setHeader({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"beta", "22"});
+    std::ostringstream os;
+    table.render(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, NumericCellsRightAligned)
+{
+    TextTable table;
+    table.setHeader({"col"});
+    table.addRow({"12345"});
+    table.addRow({"7"});
+    std::ostringstream os;
+    table.render(os);
+    // The short numeric cell should be padded on the left.
+    EXPECT_NE(os.str().find("|     7 |"), std::string::npos);
+}
+
+TEST(TextTable, TextCellsLeftAligned)
+{
+    TextTable table;
+    table.setHeader({"col"});
+    table.addRow({"abcde"});
+    table.addRow({"x"});
+    std::ostringstream os;
+    table.render(os);
+    EXPECT_NE(os.str().find("| x     |"), std::string::npos);
+}
+
+TEST(TextTable, SeparatorDoesNotCountAsRow)
+{
+    TextTable table;
+    table.setHeader({"a"});
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable table;
+    table.setHeader({"a", "b"});
+    table.addRow({"1", "2"});
+    table.addSeparator();
+    table.addRow({"3", "4"});
+    std::ostringstream os;
+    table.renderCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+}
+
+TEST(TextTableDeath, MismatchedRowWidthPanics)
+{
+    TextTable table;
+    table.setHeader({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "width");
+}
+
+TEST(FormatDouble, RoundsToDecimals)
+{
+    EXPECT_EQ(formatDouble(1.2345, 2), "1.23");
+    EXPECT_EQ(formatDouble(1.235, 2), "1.24");
+    EXPECT_EQ(formatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatPercent, DefaultTwoDecimals)
+{
+    EXPECT_EQ(formatPercent(12.3456), "12.35");
+}
+
+} // namespace
+} // namespace wbsim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Unit tests for parallelFor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(ParallelFor, VisitsEveryIndexOnce)
+{
+    std::vector<std::atomic<int>> visits(100);
+    parallelFor(100, 4, [&](std::size_t i) { ++visits[i]; });
+    for (const auto &v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoOp)
+{
+    bool called = false;
+    parallelFor(0, 4, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline)
+{
+    std::vector<std::size_t> order;
+    parallelFor(5, 1, [&](std::size_t i) { order.push_back(i); });
+    std::vector<std::size_t> expect = {0, 1, 2, 3, 4};
+    EXPECT_EQ(order, expect);
+}
+
+TEST(ParallelFor, MoreThreadsThanWork)
+{
+    std::atomic<int> sum{0};
+    parallelFor(3, 16, [&](std::size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 3);
+}
+
+TEST(ParallelFor, ResultsIndependentOfThreadCount)
+{
+    auto run = [](unsigned threads) {
+        std::vector<std::uint64_t> out(64);
+        parallelFor(64, threads, [&](std::size_t i) {
+            out[i] = i * i + 1;
+        });
+        return out;
+    };
+    EXPECT_EQ(run(1), run(4));
+    EXPECT_EQ(run(1), run(16));
+}
+
+TEST(DefaultThreads, RespectsEnvOverride)
+{
+    setenv("WBSIM_THREADS", "3", 1);
+    EXPECT_EQ(defaultThreads(), 3u);
+    unsetenv("WBSIM_THREADS");
+    EXPECT_GE(defaultThreads(), 1u);
+}
+
+} // namespace
+} // namespace wbsim

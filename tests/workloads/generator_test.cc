@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Unit tests for the SyntheticSource workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workloads/generator.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+BenchmarkProfile
+simpleProfile()
+{
+    BenchmarkProfile p;
+    p.name = "test-profile";
+    p.pctLoads = 0.3;
+    p.pctStores = 0.1;
+    BehaviorSpec loop;
+    loop.kind = BehaviorKind::Loop;
+    loop.region = 4096;
+    p.loadBehaviors = {loop};
+    p.storeBehaviors = {loop};
+    return p;
+}
+
+TEST(SyntheticSource, ProducesExactlyLimitRecords)
+{
+    SyntheticSource source(simpleProfile(), 1000, 1);
+    TraceRecord rec;
+    Count count = 0;
+    while (source.next(rec))
+        ++count;
+    EXPECT_EQ(count, 1000u);
+    EXPECT_FALSE(source.next(rec));
+}
+
+TEST(SyntheticSource, MixMatchesProfile)
+{
+    SyntheticSource source(simpleProfile(), 200000, 1);
+    TraceRecord rec;
+    Count loads = 0, stores = 0, total = 0;
+    while (source.next(rec)) {
+        ++total;
+        loads += rec.isLoad();
+        stores += rec.isStore();
+    }
+    EXPECT_NEAR(double(loads) / double(total), 0.3, 0.01);
+    EXPECT_NEAR(double(stores) / double(total), 0.1, 0.01);
+}
+
+TEST(SyntheticSource, MixHoldsWithBursts)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.storeBurstContinue = 0.6;
+    SyntheticSource source(p, 300000, 1);
+    TraceRecord rec;
+    Count loads = 0, stores = 0, total = 0;
+    while (source.next(rec)) {
+        ++total;
+        loads += rec.isLoad();
+        stores += rec.isStore();
+    }
+    EXPECT_NEAR(double(stores) / double(total), 0.1, 0.01)
+        << "bursting must not inflate the store fraction";
+    EXPECT_NEAR(double(loads) / double(total), 0.3, 0.01)
+        << "nor deflate the load fraction";
+}
+
+TEST(SyntheticSource, BurstsGroupStores)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.storeBurstContinue = 0.8;
+    SyntheticSource source(p, 100000, 1);
+    TraceRecord rec, prev = TraceRecord::nonMem();
+    Count store_after_store = 0, stores = 0;
+    while (source.next(rec)) {
+        if (rec.isStore()) {
+            ++stores;
+            if (prev.isStore())
+                ++store_after_store;
+        }
+        prev = rec;
+    }
+    // With mean burst ~5 the store->store transition rate is much
+    // higher than the i.i.d. 10%.
+    EXPECT_GT(double(store_after_store) / double(stores), 0.5);
+}
+
+TEST(SyntheticSource, ResetReproducesIdenticalStream)
+{
+    SyntheticSource source(spec92::profile("compress"), 5000, 7);
+    std::vector<TraceRecord> first;
+    TraceRecord rec;
+    while (source.next(rec))
+        first.push_back(rec);
+    source.reset();
+    for (const TraceRecord &expect : first) {
+        ASSERT_TRUE(source.next(rec));
+        EXPECT_EQ(rec, expect);
+    }
+}
+
+TEST(SyntheticSource, SeedsChangeTheStream)
+{
+    SyntheticSource a(spec92::profile("compress"), 1000, 1);
+    SyntheticSource b(spec92::profile("compress"), 1000, 2);
+    TraceRecord ra, rb;
+    int diff = 0;
+    while (a.next(ra) && b.next(rb))
+        diff += !(ra == rb);
+    EXPECT_GT(diff, 100);
+}
+
+TEST(SyntheticSource, RawLoadsRevisitRecentStores)
+{
+    BenchmarkProfile p = simpleProfile();
+    // Make stores scattered so RAW hits are unmistakable.
+    p.storeBehaviors[0].kind = BehaviorKind::Random;
+    p.storeBehaviors[0].region = 1 << 20;
+    p.rawFraction = 0.5;
+    SyntheticSource source(p, 50000, 3);
+    TraceRecord rec;
+    std::vector<Addr> recent;
+    Count raw_hits = 0, loads = 0;
+    while (source.next(rec)) {
+        if (rec.isStore()) {
+            recent.push_back(rec.addr);
+        } else if (rec.isLoad()) {
+            ++loads;
+            for (std::size_t i = recent.size() > 64
+                     ? recent.size() - 64 : 0;
+                 i < recent.size(); ++i) {
+                if (recent[i] == rec.addr) {
+                    ++raw_hits;
+                    break;
+                }
+            }
+        }
+    }
+    EXPECT_GT(double(raw_hits) / double(loads), 0.35);
+}
+
+TEST(SyntheticSource, PcsFormLoops)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.codeLoop = 256;
+    p.codeJumpProb = 0.0;
+    SyntheticSource source(p, 1000, 1);
+    TraceRecord rec;
+    std::set<Addr> pcs;
+    while (source.next(rec)) {
+        EXPECT_EQ(rec.pc % 4, 0u);
+        pcs.insert(rec.pc);
+    }
+    EXPECT_EQ(pcs.size(), 64u) << "a 256B loop holds 64 instructions";
+}
+
+TEST(SyntheticSource, SharedArenasOverlap)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.loadBehaviors[0].kind = BehaviorKind::Random;
+    p.loadBehaviors[0].region = 4096;
+    p.storeBehaviors[0].kind = BehaviorKind::Random;
+    p.storeBehaviors[0].region = 4096;
+    p.storeBehaviors[0].shareWithLoad = 0;
+    SyntheticSource source(p, 50000, 1);
+    TraceRecord rec;
+    Addr load_min = ~Addr{0}, store_min = ~Addr{0};
+    while (source.next(rec)) {
+        if (rec.isLoad())
+            load_min = std::min(load_min, rec.addr);
+        else if (rec.isStore())
+            store_min = std::min(store_min, rec.addr);
+    }
+    EXPECT_EQ(load_min / 4096, store_min / 4096)
+        << "shared store behaviour must use the load arena";
+}
+
+TEST(SyntheticSource, PrivateArenasDisjoint)
+{
+    SyntheticSource source(simpleProfile(), 20000, 1);
+    TraceRecord rec;
+    std::set<Addr> load_arenas, store_arenas;
+    while (source.next(rec)) {
+        if (rec.isLoad())
+            load_arenas.insert(rec.addr >> 33);
+        else if (rec.isStore())
+            store_arenas.insert(rec.addr >> 33);
+    }
+    for (Addr arena : load_arenas)
+        EXPECT_EQ(store_arenas.count(arena), 0u);
+}
+
+TEST(SyntheticSource, BarrierFractionEmitsBarriers)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.barrierFraction = 0.05;
+    SyntheticSource source(p, 100000, 1);
+    TraceRecord rec;
+    Count barriers = 0;
+    while (source.next(rec))
+        barriers += rec.op == Op::Barrier;
+    // ~5% of the ~60% non-memory slots.
+    EXPECT_NEAR(double(barriers) / 100000.0, 0.03, 0.01);
+}
+
+TEST(SyntheticSourceDeath, OverfullMixIsFatal)
+{
+    BenchmarkProfile p = simpleProfile();
+    p.pctLoads = 0.7;
+    p.pctStores = 0.4;
+    EXPECT_EXIT(SyntheticSource(p, 10, 1),
+                ::testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace wbsim

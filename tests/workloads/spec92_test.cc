@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the SPEC92 profile catalogue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/spec92.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(Spec92, SeventeenBenchmarksInPaperOrder)
+{
+    const auto &names = spec92::benchmarkNames();
+    ASSERT_EQ(names.size(), 17u);
+    EXPECT_EQ(names.front(), "espresso");
+    EXPECT_EQ(names.back(), "gmtry");
+    // Paper groups: ints first, NASA kernels last.
+    EXPECT_EQ(names[15], "cholsky");
+}
+
+TEST(Spec92, AllProfilesValidate)
+{
+    for (const BenchmarkProfile &p : spec92::allProfiles()) {
+        SCOPED_TRACE(p.name);
+        p.validate();
+        EXPECT_GT(p.targetL1LoadHit, 0.0);
+        EXPECT_GT(p.targetWbMerge, 0.0);
+        EXPECT_GT(p.targetL2Hit128K, 0.0);
+    }
+}
+
+TEST(Spec92, InstructionMixesMatchTable4)
+{
+    // Spot checks straight from the paper's Table 4.
+    EXPECT_NEAR(spec92::profile("cc1").pctLoads, 0.202, 1e-9);
+    EXPECT_NEAR(spec92::profile("cc1").pctStores, 0.105, 1e-9);
+    EXPECT_NEAR(spec92::profile("fft").pctStores, 0.210, 1e-9);
+    EXPECT_NEAR(spec92::profile("gmtry").pctLoads, 0.357, 1e-9);
+    EXPECT_NEAR(spec92::profile("li").pctStores, 0.162, 1e-9);
+}
+
+TEST(Spec92, TargetsMatchTable5)
+{
+    EXPECT_NEAR(spec92::profile("sc").targetWbMerge, 0.6173, 1e-9);
+    EXPECT_NEAR(spec92::profile("mdljsp2").targetWbMerge, 0.0741,
+                1e-9);
+    EXPECT_NEAR(spec92::profile("cholsky").targetL1LoadHit, 0.4877,
+                1e-9);
+}
+
+TEST(Spec92, UnknownBenchmarkIsFatal)
+{
+    EXPECT_EXIT(spec92::profile("nonesuch"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(Spec92, TransformedKernelsSequentialise)
+{
+    for (const char *name : {"gmtry", "cholsky"}) {
+        SCOPED_TRACE(name);
+        BenchmarkProfile p = spec92::transformedProfile(name);
+        p.validate();
+        EXPECT_EQ(p.name, std::string(name) + "-transformed");
+        for (const BehaviorSpec &spec : p.loadBehaviors)
+            EXPECT_NE(spec.kind, BehaviorKind::Strided);
+        for (const BehaviorSpec &spec : p.storeBehaviors)
+            EXPECT_NE(spec.kind, BehaviorKind::Strided);
+    }
+}
+
+TEST(Spec92, TransformedKeepsMixAndFootprint)
+{
+    BenchmarkProfile before = spec92::profile("gmtry");
+    BenchmarkProfile after = spec92::transformedProfile("gmtry");
+    EXPECT_DOUBLE_EQ(before.pctLoads, after.pctLoads);
+    EXPECT_DOUBLE_EQ(before.pctStores, after.pctStores);
+    // Same footprint: the transformation reorders the traversal.
+    ASSERT_EQ(before.loadBehaviors.size(), after.loadBehaviors.size());
+    for (std::size_t i = 0; i < before.loadBehaviors.size(); ++i)
+        EXPECT_EQ(before.loadBehaviors[i].region,
+                  after.loadBehaviors[i].region);
+}
+
+TEST(Spec92, TransformedOnlyForNasaKernels)
+{
+    EXPECT_EXIT(spec92::transformedProfile("cc1"),
+                ::testing::ExitedWithCode(1), "no transformed");
+}
+
+TEST(Spec92, NasaKernelsAreStrided)
+{
+    for (const char *name : {"gmtry", "cholsky"}) {
+        BenchmarkProfile p = spec92::profile(name);
+        bool has_strided = false;
+        for (const BehaviorSpec &spec : p.loadBehaviors)
+            has_strided |= spec.kind == BehaviorKind::Strided;
+        EXPECT_TRUE(has_strided) << name;
+    }
+}
+
+TEST(Spec92, LowStallCatalogue)
+{
+    ASSERT_EQ(spec92::lowStallNames().size(), 4u);
+    for (const std::string &name : spec92::lowStallNames()) {
+        SCOPED_TRACE(name);
+        BenchmarkProfile p = spec92::lowStallProfile(name);
+        EXPECT_EQ(p.name, name);
+        p.validate();
+    }
+    EXPECT_EXIT(spec92::lowStallProfile("spice"),
+                ::testing::ExitedWithCode(1), "unknown");
+}
+
+TEST(Spec92, SharedStoreArenasInRange)
+{
+    for (const BenchmarkProfile &p : spec92::allProfiles()) {
+        SCOPED_TRACE(p.name);
+        for (const BehaviorSpec &spec : p.storeBehaviors) {
+            if (spec.shareWithLoad >= 0) {
+                EXPECT_LT(static_cast<std::size_t>(spec.shareWithLoad),
+                          p.loadBehaviors.size());
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace wbsim
