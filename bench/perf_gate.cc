@@ -1,0 +1,272 @@
+/**
+ * @file
+ * The performance-regression gate: times the write-buffer hot paths
+ * (store merge/scatter, load probe) at the paper's deepest
+ * configuration, end-to-end simulator throughput, and a Figure 3
+ * replay, then emits `BENCH_core.json` so every PR records a perf
+ * trajectory (see EXPERIMENTS.md "Performance tracking").
+ *
+ * Unlike the Google-benchmark micros this binary owns its output
+ * format: a small, stable JSON file that CI uploads as an artifact
+ * and humans diff across commits. Environment knobs:
+ *
+ *   WBSIM_PERF_SMOKE=1   short run (CI smoke; numbers still emitted)
+ *   WBSIM_PERF_OUT=path  output file (default BENCH_core.json)
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/write_buffer.hh"
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "mem/l2_port.hh"
+#include "sim/simulator.hh"
+#include "util/options.hh"
+#include "workloads/generator.hh"
+#include "workloads/spec92.hh"
+
+namespace
+{
+
+using namespace wbsim;
+
+/** One emitted measurement. */
+struct GateResult
+{
+    std::string name;
+    double opsPerSec = 0.0;     //!< primary rate (ops, instr, ...)
+    std::uint64_t iterations = 0;
+    double seconds = 0.0;
+    /** Simulated cycles per wall-clock second (sim benches only). */
+    double cyclesPerSec = 0.0;
+};
+
+double
+now()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Time @p body(iterations), doubling the iteration count until the
+ * run lasts at least @p min_seconds, and record the final rate.
+ */
+template <typename Body>
+GateResult
+timeLoop(const std::string &name, double min_seconds, Body &&body)
+{
+    std::uint64_t iterations = 1024;
+    for (;;) {
+        double start = now();
+        body(iterations);
+        double elapsed = now() - start;
+        if (elapsed >= min_seconds || iterations >= (1ull << 34)) {
+            GateResult r;
+            r.name = name;
+            r.iterations = iterations;
+            r.seconds = elapsed;
+            r.opsPerSec = elapsed > 0.0
+                ? static_cast<double>(iterations) / elapsed
+                : 0.0;
+            return r;
+        }
+        // Aim straight for the target with one final doubling pass.
+        iterations *= 2;
+        if (elapsed > 0.0) {
+            auto needed = static_cast<std::uint64_t>(
+                1.3 * min_seconds / elapsed
+                * static_cast<double>(iterations / 2));
+            iterations = std::max(iterations, needed);
+        }
+    }
+}
+
+WriteBufferConfig
+gateConfig(unsigned depth)
+{
+    WriteBufferConfig config;
+    config.depth = depth;
+    config.highWaterMark = 2;
+    return config;
+}
+
+/** Sequential stores that coalesce heavily (BM_StoreMerge-class):
+ *  the word-sized stride puts eight consecutive stores in each
+ *  32-byte entry, so seven of eight take the merge path. */
+GateResult
+storeMergeDepth12(double min_seconds)
+{
+    return timeLoop("wb_store_merge_d12", min_seconds,
+                    [](std::uint64_t iterations) {
+        L2Port port;
+        WriteBuffer buffer(gateConfig(12), port,
+                           [](Addr, unsigned, unsigned, Cycle) {
+                               return Cycle{6};
+                           });
+        StallStats stalls;
+        Cycle t = 0;
+        for (std::uint64_t i = 0; i < iterations; ++i) {
+            t += 4;
+            Addr addr = t % (1 << 20);
+            buffer.store(addr, 4, t, stalls);
+        }
+    });
+}
+
+/** Random store addresses: allocate-heavy (BM_StoreScatter-class). */
+GateResult
+storeScatterDepth12(double min_seconds)
+{
+    return timeLoop("wb_store_scatter_d12", min_seconds,
+                    [](std::uint64_t iterations) {
+        L2Port port;
+        WriteBuffer buffer(gateConfig(12), port,
+                           [](Addr, unsigned, unsigned, Cycle) {
+                               return Cycle{6};
+                           });
+        StallStats stalls;
+        Cycle t = 0;
+        std::uint64_t x = 0x123456789ull;
+        for (std::uint64_t i = 0; i < iterations; ++i) {
+            t += 16;
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            Addr addr = ((x >> 20) % (1 << 24)) & ~Addr{7};
+            buffer.store(addr, 8, t, stalls);
+        }
+    });
+}
+
+/** Load probes against a part-full 12-deep buffer
+ *  (BM_ProbeLoad-class; most probes miss, the hot no-hazard path). */
+GateResult
+probeLoadDepth12(double min_seconds)
+{
+    L2Port port;
+    WriteBuffer buffer(gateConfig(12), port,
+                       [](Addr, unsigned, unsigned, Cycle) {
+                           return Cycle{6};
+                       });
+    StallStats stalls;
+    for (unsigned i = 0; i < 10; ++i)
+        buffer.store(i * 64, 8, i, stalls);
+    return timeLoop("wb_probe_load_d12", min_seconds,
+                    [&](std::uint64_t iterations) {
+        Addr addr = 0;
+        unsigned hits = 0;
+        for (std::uint64_t i = 0; i < iterations; ++i) {
+            addr = (addr + 32) % 4096;
+            hits += buffer.probeLoad(addr, 8).blockHit ? 1 : 0;
+        }
+        if (hits == ~0u) // defeat dead-code elimination
+            std::cerr << "";
+    });
+}
+
+/** End-to-end simulator throughput (micro_simulator-class). */
+GateResult
+simulatorBaseline(Count instructions)
+{
+    auto profile = spec92::profile("compress");
+    double start = now();
+    SyntheticSource source(profile, instructions, 1);
+    Simulator simulator(figures::baselineMachine());
+    SimResults results = simulator.run(source);
+    double elapsed = now() - start;
+    GateResult r;
+    r.name = "sim_baseline";
+    r.iterations = instructions;
+    r.seconds = elapsed;
+    r.opsPerSec = static_cast<double>(instructions) / elapsed;
+    r.cyclesPerSec = static_cast<double>(results.cycles) / elapsed;
+    return r;
+}
+
+/** Figure 3 replay: the full benchmark grid at reduced length. */
+GateResult
+fig03Replay(Count instructions)
+{
+    Experiment experiment = figures::figure03();
+    auto profiles = spec92::allProfiles();
+    RunnerOptions options;
+    options.instructions = instructions;
+    options.warmup = instructions / 10;
+    options.threads = 1; // timing must not depend on core count
+    options.seed = 1;
+    double start = now();
+    ExperimentResults results =
+        runExperiment(experiment, profiles, options);
+    double elapsed = now() - start;
+    Count cycles = 0, instr = 0;
+    for (const auto &row : results) {
+        for (const SimResults &cell : row) {
+            cycles += cell.cycles;
+            instr += cell.instructions;
+        }
+    }
+    GateResult r;
+    r.name = "fig03_replay";
+    r.iterations = instr;
+    r.seconds = elapsed;
+    r.opsPerSec = static_cast<double>(instr) / elapsed;
+    r.cyclesPerSec = static_cast<double>(cycles) / elapsed;
+    return r;
+}
+
+void
+writeJson(std::ostream &os, const std::vector<GateResult> &results,
+          bool smoke)
+{
+    os << "{\n"
+       << "  \"schema\": \"wbsim-perf-gate-v1\",\n"
+       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+       << "  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const GateResult &r = results[i];
+        os << "    {\"name\": \"" << r.name << "\""
+           << ", \"ops_per_sec\": " << r.opsPerSec
+           << ", \"iterations\": " << r.iterations
+           << ", \"seconds\": " << r.seconds;
+        if (r.cyclesPerSec > 0.0)
+            os << ", \"sim_cycles_per_sec\": " << r.cyclesPerSec;
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    bool smoke = envUint("WBSIM_PERF_SMOKE", 0) != 0;
+    double min_seconds = smoke ? 0.02 : 0.5;
+    Count sim_instructions = smoke ? 20'000 : 400'000;
+    Count fig_instructions = smoke ? 5'000 : 50'000;
+
+    std::vector<GateResult> results;
+    results.push_back(storeMergeDepth12(min_seconds));
+    results.push_back(storeScatterDepth12(min_seconds));
+    results.push_back(probeLoadDepth12(min_seconds));
+    results.push_back(simulatorBaseline(sim_instructions));
+    results.push_back(fig03Replay(fig_instructions));
+
+    const char *env_out = std::getenv("WBSIM_PERF_OUT");
+    std::string path = env_out ? env_out : "BENCH_core.json";
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "perf_gate: cannot write " << path << "\n";
+        return 1;
+    }
+    writeJson(file, results, smoke);
+    writeJson(std::cout, results, smoke);
+    std::cout << "perf_gate: wrote " << path << "\n";
+    return 0;
+}

@@ -103,6 +103,18 @@ struct WriteBufferConfig
      *  read-from-WB (0 = as fast as an L1 hit; §4.3 last bullet). */
     Cycle wbHitExtraCycles = 0;
 
+    /** Serve hot-path queries (occupancy, merge target, load probe,
+     *  retirement victim) from the legacy O(depth) scans instead of
+     *  the incremental indexes. Simulation results are identical by
+     *  construction; the toggle exists so the equivalence fuzzers can
+     *  prove it (DESIGN.md "Performance"). */
+    bool naiveScan = false;
+
+    /** Cross-check every indexed answer against the naive scan and
+     *  verify index integrity after each mutation. Forced on in
+     *  debug (!NDEBUG) builds; tests and fuzzers set it explicitly. */
+    bool crossCheck = false;
+
     /** Headroom = depth - highWaterMark, the quantity §3.3 shows
      *  matters more than depth. */
     unsigned headroom() const;

@@ -104,6 +104,13 @@ class StoreBuffer
     virtual unsigned occupancy() const = 0;
 
     /**
+     * True when the buffer holds nothing and no write is in flight,
+     * i.e. advanceTo would do no retirement work. Lets callers skip
+     * the engine entirely on the (common) empty-buffer fast path.
+     */
+    virtual bool quiescent() const { return occupancy() == 0; }
+
+    /**
      * Retire entries until occupancy < @p target (UltraSPARC-style
      * priority inversion, memory-barrier draining, end of run).
      * @return cycle when done.

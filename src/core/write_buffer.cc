@@ -2,28 +2,171 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
 
 #include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace wbsim
 {
+namespace
+{
+
+/** Cross-checking defaults on in debug builds (DESIGN.md). */
+constexpr bool kDebugBuild =
+#ifdef NDEBUG
+    false;
+#else
+    true;
+#endif
+
+} // namespace
 
 WriteBuffer::WriteBuffer(const WriteBufferConfig &config, L2Port &port,
                          L2WriteHook hook, unsigned line_bytes)
     : config_(config), port_(port), hook_(std::move(hook)),
       line_bytes_(line_bytes),
-      next_fixed_attempt_(config.fixedRatePeriod)
+      word_shift_(exactLog2(std::max(config.wordBytes, 1u))),
+      line_is_base_(config.entryBytes == line_bytes),
+      next_fixed_attempt_(config.fixedRatePeriod),
+      base_map_(std::max<std::size_t>(config.depth, 1)),
+      line_map_(std::max<std::size_t>(
+          std::size_t{config.depth}
+              * std::max<std::size_t>(
+                    config.entryBytes / std::max(line_bytes, 1u), 1),
+          1)),
+      naive_scan_(config.naiveScan),
+      cross_check_(config.crossCheck || kDebugBuild)
 {
     config_.validate();
     wbsim_assert(config_.kind == BufferKind::WriteBuffer,
                  "WriteBuffer built from a write-cache config");
     wbsim_assert(hook_ != nullptr, "write buffer needs an L2 write hook");
     entries_.resize(config_.depth);
+    free_stack_.reserve(config_.depth);
+    for (unsigned i = config_.depth; i > 0; --i)
+        free_stack_.push_back(static_cast<int>(i - 1));
+}
+
+template <typename Fn>
+void
+WriteBuffer::forEachLine(Addr base, Fn &&fn) const
+{
+    Addr first = alignDown(base, line_bytes_);
+    Addr last = alignDown(base + config_.entryBytes - 1, line_bytes_);
+    for (Addr line = first;; line += line_bytes_) {
+        fn(line);
+        if (line >= last)
+            break;
+    }
+}
+
+void
+WriteBuffer::considerFullest(int index)
+{
+    if (config_.retirementOrder != RetirementOrder::FullestFirst)
+        return;
+    if (fullest_ < 0) {
+        fullest_ = index;
+        return;
+    }
+    const Entry &entry = entries_[static_cast<std::size_t>(index)];
+    const Entry &best = entries_[static_cast<std::size_t>(fullest_)];
+    if (entry.validWords > best.validWords
+        || (entry.validWords == best.validWords && entry.seq < best.seq))
+        fullest_ = index;
+}
+
+void
+WriteBuffer::attachEntry(std::size_t index)
+{
+    Entry &entry = entries_[index];
+    wbsim_assert(entry.valid, "attaching an invalid entry");
+    ++valid_count_;
+    entry.validWords =
+        static_cast<std::uint8_t>(popcount32(entry.validMask));
+
+    entry.fifoPrev = fifo_tail_;
+    entry.fifoNext = -1;
+    if (fifo_tail_ >= 0)
+        entries_[static_cast<std::size_t>(fifo_tail_)].fifoNext =
+            static_cast<int>(index);
+    else
+        fifo_head_ = static_cast<int>(index);
+    fifo_tail_ = static_cast<int>(index);
+
+    bool inserted = false;
+    int &head = base_map_.insertOrFind(entry.base, inserted);
+    entry.baseNext = inserted ? -1 : head;
+    entry.basePrev = -1;
+    if (entry.baseNext >= 0)
+        entries_[static_cast<std::size_t>(entry.baseNext)].basePrev =
+            static_cast<int>(index);
+    head = static_cast<int>(index);
+
+    if (!line_is_base_)
+        forEachLine(entry.base, [&](Addr line) { ++line_map_[line]; });
+
+    considerFullest(static_cast<int>(index));
+}
+
+void
+WriteBuffer::detachEntry(std::size_t index)
+{
+    Entry &entry = entries_[index];
+    wbsim_assert(entry.valid, "detaching an invalid entry");
+    --valid_count_;
+
+    if (entry.fifoPrev >= 0)
+        entries_[static_cast<std::size_t>(entry.fifoPrev)].fifoNext =
+            entry.fifoNext;
+    else
+        fifo_head_ = entry.fifoNext;
+    if (entry.fifoNext >= 0)
+        entries_[static_cast<std::size_t>(entry.fifoNext)].fifoPrev =
+            entry.fifoPrev;
+    else
+        fifo_tail_ = entry.fifoPrev;
+
+    if (entry.basePrev >= 0) {
+        entries_[static_cast<std::size_t>(entry.basePrev)].baseNext =
+            entry.baseNext;
+    } else if (entry.baseNext >= 0) {
+        base_map_[entry.base] = entry.baseNext;
+    } else {
+        base_map_.erase(entry.base);
+    }
+    if (entry.baseNext >= 0)
+        entries_[static_cast<std::size_t>(entry.baseNext)].basePrev =
+            entry.basePrev;
+
+    if (!line_is_base_) {
+        forEachLine(entry.base, [&](Addr line) {
+            int *count = line_map_.find(line);
+            wbsim_assert(count != nullptr && *count > 0,
+                         "line resident count underflow");
+            if (--*count == 0)
+                line_map_.erase(line);
+        });
+    }
+
+    entry.valid = false;
+    entry.validMask = 0;
+    entry.validWords = 0;
+    entry.fifoPrev = entry.fifoNext = -1;
+    entry.basePrev = entry.baseNext = -1;
+    free_stack_.push_back(static_cast<int>(index));
+
+    if (config_.retirementOrder == RetirementOrder::FullestFirst
+        && fullest_ == static_cast<int>(index)) {
+        // The cached victim left; recompute. This scan is amortised
+        // against the L2 write that evicted the entry.
+        fullest_ = naiveRetirementVictim();
+    }
 }
 
 unsigned
-WriteBuffer::countValid() const
+WriteBuffer::naiveCountValid() const
 {
     unsigned n = 0;
     for (const Entry &entry : entries_)
@@ -33,13 +176,17 @@ WriteBuffer::countValid() const
 }
 
 unsigned
-WriteBuffer::occupancy() const
+WriteBuffer::occupancySlow() const
 {
-    return countValid();
+    unsigned naive = naiveCountValid();
+    if (cross_check_)
+        wbsim_assert(naive == valid_count_,
+                     "occupancy counter diverged from the scan");
+    return naive_scan_ ? naive : valid_count_;
 }
 
 int
-WriteBuffer::findMergeTarget(Addr base) const
+WriteBuffer::naiveFindMergeTarget(Addr base) const
 {
     int best = -1;
     std::uint64_t best_seq = 0;
@@ -58,16 +205,17 @@ WriteBuffer::findMergeTarget(Addr base) const
 }
 
 int
-WriteBuffer::findFreeEntry() const
+WriteBuffer::findMergeTargetSlow(Addr base) const
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i)
-        if (!entries_[i].valid)
-            return static_cast<int>(i);
-    return -1;
+    int naive = naiveFindMergeTarget(base);
+    if (cross_check_)
+        wbsim_assert(indexedMergeTarget(base) == naive,
+                     "merge-target index diverged from the scan");
+    return naive_scan_ ? naive : indexedMergeTarget(base);
 }
 
 int
-WriteBuffer::oldestEntry() const
+WriteBuffer::naiveOldestEntry() const
 {
     int best = -1;
     std::uint64_t best_seq = ~std::uint64_t{0};
@@ -82,10 +230,24 @@ WriteBuffer::oldestEntry() const
 }
 
 int
-WriteBuffer::retirementVictim() const
+WriteBuffer::oldestEntry() const
+{
+    if (naive_scan_ || cross_check_) {
+        int naive = naiveOldestEntry();
+        if (cross_check_)
+            wbsim_assert(naive == fifo_head_,
+                         "FIFO head diverged from the scan");
+        if (naive_scan_)
+            return naive;
+    }
+    return fifo_head_;
+}
+
+int
+WriteBuffer::naiveRetirementVictim() const
 {
     if (config_.retirementOrder == RetirementOrder::Fifo)
-        return oldestEntry();
+        return naiveOldestEntry();
     // Fullest-first: most valid words wins, oldest breaks ties.
     int best = -1;
     int best_words = -1;
@@ -105,28 +267,33 @@ WriteBuffer::retirementVictim() const
     return best;
 }
 
-std::uint32_t
-WriteBuffer::wordMask(Addr addr, unsigned size) const
+int
+WriteBuffer::indexedRetirementVictim() const
 {
-    const unsigned entry_bytes = config_.entryBytes;
-    const unsigned word_bytes = config_.wordBytes;
-    Addr offset = addr & (entry_bytes - 1);
-    wbsim_assert(offset + size <= entry_bytes,
-                 "access crosses a write-buffer entry boundary");
-    unsigned first = static_cast<unsigned>(offset / word_bytes);
-    unsigned last = static_cast<unsigned>((offset + size - 1) / word_bytes);
-    std::uint32_t mask = 0;
-    for (unsigned w = first; w <= last; ++w)
-        mask |= (1u << w);
-    return mask;
+    return config_.retirementOrder == RetirementOrder::Fifo
+        ? fifo_head_
+        : fullest_;
+}
+
+int
+WriteBuffer::retirementVictim() const
+{
+    if (naive_scan_ || cross_check_) {
+        int naive = naiveRetirementVictim();
+        if (cross_check_)
+            wbsim_assert(indexedRetirementVictim() == naive,
+                         "retirement victim diverged from the scan");
+        if (naive_scan_)
+            return naive;
+    }
+    return indexedRetirementVictim();
 }
 
 void
 WriteBuffer::noteOccupancyChange(Cycle at)
 {
-    unsigned occ = countValid();
     bool condition = config_.retirementMode == RetirementMode::Occupancy
-        && occ >= config_.highWaterMark;
+        && valid_count_ >= config_.highWaterMark;
     if (condition) {
         if (occupancy_since_ == kNoCycle)
             occupancy_since_ = at;
@@ -138,13 +305,12 @@ WriteBuffer::noteOccupancyChange(Cycle at)
 Cycle
 WriteBuffer::nextTrigger() const
 {
-    unsigned occ = countValid();
-    if (occ == 0)
+    if (valid_count_ == 0)
         return kNoCycle;
     if (config_.retirementMode == RetirementMode::FixedRate)
         return next_fixed_attempt_;
     Cycle trigger = kNoCycle;
-    if (occ >= config_.highWaterMark) {
+    if (valid_count_ >= config_.highWaterMark) {
         wbsim_assert(occupancy_since_ != kNoCycle,
                      "occupancy condition holds but no timestamp");
         trigger = occupancy_since_;
@@ -166,8 +332,7 @@ WriteBuffer::startRetirement(std::size_t index, Cycle start, L2Txn kind)
     Entry &entry = entries_[index];
     wbsim_assert(entry.valid, "retiring an invalid entry");
     wbsim_assert(!retire_in_flight_, "overlapping retirements");
-    auto valid_words =
-        static_cast<unsigned>(std::popcount(entry.validMask));
+    unsigned valid_words = entry.validWords;
     Cycle duration = hook_(entry.base, valid_words,
                            config_.wordsPerEntry(), start);
     wbsim_assert(duration > 0, "L2 write hook returned zero duration");
@@ -188,8 +353,7 @@ WriteBuffer::completeRetirement()
 {
     wbsim_assert(retire_in_flight_, "completing a retirement that "
                  "never started");
-    entries_[retiring_index_].valid = false;
-    entries_[retiring_index_].validMask = 0;
+    detachEntry(retiring_index_);
     retire_in_flight_ = false;
     noteOccupancyChange(retire_done_);
 }
@@ -199,14 +363,12 @@ WriteBuffer::writeEntryNow(std::size_t index, Cycle earliest, L2Txn kind)
 {
     Entry &entry = entries_[index];
     wbsim_assert(entry.valid, "flushing an invalid entry");
-    auto valid_words =
-        static_cast<unsigned>(std::popcount(entry.validMask));
+    unsigned valid_words = entry.validWords;
     Cycle start = std::max(earliest, port_.freeAt());
     Cycle duration = hook_(entry.base, valid_words,
                            config_.wordsPerEntry(), start);
     port_.begin(kind, start, duration);
-    entry.valid = false;
-    entry.validMask = 0;
+    detachEntry(index);
     stats_.wordsWritten += valid_words;
     ++stats_.entriesWritten;
     if (kind == L2Txn::WriteFlush)
@@ -218,14 +380,8 @@ WriteBuffer::writeEntryNow(std::size_t index, Cycle earliest, L2Txn kind)
 }
 
 void
-WriteBuffer::advanceTo(Cycle now)
+WriteBuffer::advanceToSlow(Cycle now)
 {
-    // Fixed-rate attempts tick past an empty buffer without effect.
-    if (config_.retirementMode == RetirementMode::FixedRate
-        && countValid() == 0) {
-        while (next_fixed_attempt_ < now)
-            next_fixed_attempt_ += config_.fixedRatePeriod;
-    }
     for (;;) {
         if (retire_in_flight_) {
             if (retire_done_ <= now) {
@@ -245,7 +401,19 @@ WriteBuffer::advanceTo(Cycle now)
         startRetirement(static_cast<std::size_t>(victim), start,
                         L2Txn::WriteRetire);
     }
+    // Fixed-rate attempts tick past an empty buffer without effect.
+    // This must run after the loop, not before it: when the last
+    // entry retires inside the loop the attempt clock would be left
+    // in the past and the next stores would see a causally-impossible
+    // burst of stale retirement attempts.
+    if (config_.retirementMode == RetirementMode::FixedRate
+        && valid_count_ == 0) {
+        while (next_fixed_attempt_ < now)
+            next_fixed_attempt_ += config_.fixedRatePeriod;
+    }
     engine_now_ = std::max(engine_now_, now);
+    if (cross_check_)
+        verifyIndexIntegrity();
 }
 
 Cycle
@@ -253,22 +421,23 @@ WriteBuffer::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
 {
     advanceTo(now);
     ++stats_.stores;
-    stats_.occupancy.sample(countValid());
+    stats_.occupancy.sample(occupancy());
 
     Addr base = alignDown(addr, config_.entryBytes);
     std::uint32_t mask = wordMask(addr, size);
 
     if (config_.coalescing) {
         if (int target = findMergeTarget(base); target >= 0) {
-            entries_[static_cast<std::size_t>(target)].validMask |= mask;
+            mergeInto(static_cast<std::size_t>(target), mask);
             ++stats_.merges;
+            if (cross_check_)
+                verifyIndexIntegrity();
             return now;
         }
     }
 
     Cycle t = now;
-    int free = findFreeEntry();
-    if (free < 0) {
+    if (free_stack_.empty()) {
         // Buffer-full stall: wait for the next entry to free.
         ++stalls.bufferFullEvents;
         if (!retire_in_flight_) {
@@ -284,23 +453,28 @@ WriteBuffer::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
         completeRetirement();
         stalls.bufferFullCycles += t - now;
         engine_now_ = std::max(engine_now_, t);
-        free = findFreeEntry();
-        wbsim_assert(free >= 0, "no free entry after a retirement");
+        wbsim_assert(!free_stack_.empty(),
+                     "no free entry after a retirement");
     }
 
-    Entry &entry = entries_[static_cast<std::size_t>(free)];
+    auto free = static_cast<std::size_t>(free_stack_.back());
+    free_stack_.pop_back();
+    Entry &entry = entries_[free];
     entry.base = base;
     entry.validMask = mask;
     entry.valid = true;
     entry.seq = next_seq_++;
     entry.allocCycle = t;
+    attachEntry(free);
     ++stats_.allocations;
     noteOccupancyChange(t);
+    if (cross_check_)
+        verifyIndexIntegrity();
     return t;
 }
 
 LoadProbe
-WriteBuffer::probeLoad(Addr addr, unsigned size) const
+WriteBuffer::naiveProbeLoad(Addr addr, unsigned size) const
 {
     LoadProbe probe;
     Addr line_base = alignDown(addr, line_bytes_);
@@ -321,6 +495,38 @@ WriteBuffer::probeLoad(Addr addr, unsigned size) const
     }
     probe.wordHit = probe.blockHit && (found & needed) == needed;
     return probe;
+}
+
+LoadProbe
+WriteBuffer::indexedProbeLoad(Addr addr, unsigned size) const
+{
+    // The common case is a load miss with no overlapping entry: one
+    // residency lookup answers it. Hazards (rare, and followed by
+    // flush work) fall back to the full scan.
+    Addr line = alignDown(addr, line_bytes_);
+    const int *hit =
+        line_is_base_ ? base_map_.find(line) : line_map_.find(line);
+    if (hit == nullptr)
+        return LoadProbe{};
+    return naiveProbeLoad(addr, size);
+}
+
+LoadProbe
+WriteBuffer::probeLoad(Addr addr, unsigned size) const
+{
+    if (naive_scan_ || cross_check_) {
+        LoadProbe naive = naiveProbeLoad(addr, size);
+        if (cross_check_) {
+            LoadProbe fast = indexedProbeLoad(addr, size);
+            wbsim_assert(fast.blockHit == naive.blockHit
+                         && fast.wordHit == naive.wordHit
+                         && fast.hitSeq == naive.hitSeq,
+                         "load probe diverged from the scan");
+        }
+        if (naive_scan_)
+            return naive;
+    }
+    return indexedProbeLoad(addr, size);
 }
 
 HazardResult
@@ -358,6 +564,8 @@ WriteBuffer::handleLoadHazard(const LoadProbe &probe, Addr addr,
                               L2Txn::WriteFlush);
         }
         engine_now_ = std::max(engine_now_, t);
+        if (cross_check_)
+            verifyIndexIntegrity();
         return {t, false};
     }
 
@@ -409,6 +617,8 @@ WriteBuffer::handleLoadHazard(const LoadProbe &probe, Addr addr,
         }
     }
     engine_now_ = std::max(engine_now_, t);
+    if (cross_check_)
+        verifyIndexIntegrity();
     return {t, false};
 }
 
@@ -417,7 +627,7 @@ WriteBuffer::drainBelow(unsigned target, Cycle now)
 {
     advanceTo(now);
     Cycle t = now;
-    while (countValid() >= target) {
+    while (valid_count_ >= target) {
         if (retire_in_flight_) {
             t = std::max(t, retire_done_);
             completeRetirement();
@@ -430,7 +640,102 @@ WriteBuffer::drainBelow(unsigned target, Cycle now)
                           L2Txn::WriteRetire);
     }
     engine_now_ = std::max(engine_now_, t);
+    if (cross_check_)
+        verifyIndexIntegrity();
     return t;
+}
+
+void
+WriteBuffer::verifyIndexIntegrity() const
+{
+    // Occupancy counter and free stack.
+    unsigned valid = naiveCountValid();
+    wbsim_assert(valid_count_ == valid, "occupancy counter diverged");
+    wbsim_assert(free_stack_.size() == entries_.size() - valid,
+                 "free stack size diverged");
+    std::vector<char> stacked(entries_.size(), 0);
+    for (int slot : free_stack_) {
+        auto index = static_cast<std::size_t>(slot);
+        wbsim_assert(index < entries_.size(), "free stack slot range");
+        wbsim_assert(!entries_[index].valid, "valid entry on free stack");
+        wbsim_assert(!stacked[index], "duplicate slot on free stack");
+        stacked[index] = 1;
+    }
+
+    // Cached popcounts.
+    for (const Entry &entry : entries_) {
+        wbsim_assert(entry.validWords
+                         == (entry.valid
+                                 ? std::popcount(entry.validMask)
+                                 : 0),
+                     "cached popcount diverged");
+    }
+
+    // FIFO list covers every valid entry in ascending seq order.
+    unsigned walked = 0;
+    std::uint64_t last_seq = 0;
+    int prev = -1;
+    for (int i = fifo_head_; i >= 0;
+         i = entries_[static_cast<std::size_t>(i)].fifoNext) {
+        const Entry &entry = entries_[static_cast<std::size_t>(i)];
+        wbsim_assert(entry.valid, "invalid entry on the FIFO list");
+        wbsim_assert(entry.seq > last_seq, "FIFO list out of order");
+        wbsim_assert(entry.fifoPrev == prev, "FIFO back-link broken");
+        last_seq = entry.seq;
+        prev = i;
+        ++walked;
+    }
+    wbsim_assert(prev == fifo_tail_, "FIFO tail diverged");
+    wbsim_assert(walked == valid, "FIFO list misses entries");
+
+    // Base chains cover every valid entry, newest first.
+    unsigned chained = 0;
+    base_map_.forEach([&](Addr key, int head) {
+        int back = -1;
+        std::uint64_t down_seq = ~std::uint64_t{0};
+        for (int i = head; i >= 0;
+             i = entries_[static_cast<std::size_t>(i)].baseNext) {
+            const Entry &entry = entries_[static_cast<std::size_t>(i)];
+            wbsim_assert(entry.valid, "invalid entry on a base chain");
+            wbsim_assert(entry.base == key, "entry on the wrong chain");
+            wbsim_assert(entry.seq < down_seq,
+                         "base chain not newest-first");
+            wbsim_assert(entry.basePrev == back,
+                         "base chain back-link broken");
+            down_seq = entry.seq;
+            back = i;
+            ++chained;
+        }
+        wbsim_assert(back >= 0, "empty base chain left in the map");
+    });
+    wbsim_assert(chained == valid, "base chains miss entries");
+
+    // Per-line resident counts (base_map_ serves this role when
+    // entries and lines coincide, and line_map_ must stay empty).
+    if (line_is_base_) {
+        wbsim_assert(line_map_.size() == 0,
+                     "line map populated in line==entry geometry");
+    } else {
+        std::map<Addr, int> recount;
+        for (const Entry &entry : entries_) {
+            if (!entry.valid)
+                continue;
+            forEachLine(entry.base, [&](Addr line) { ++recount[line]; });
+        }
+        std::size_t lines = 0;
+        line_map_.forEach([&](Addr key, int count) {
+            auto it = recount.find(key);
+            wbsim_assert(it != recount.end() && it->second == count,
+                         "line resident count diverged");
+            ++lines;
+        });
+        wbsim_assert(lines == recount.size(), "line map misses lines");
+    }
+
+    // Cached fullest-first victim.
+    if (config_.retirementOrder == RetirementOrder::FullestFirst)
+        wbsim_assert(fullest_ == naiveRetirementVictim(),
+                     "fullest-victim cache diverged");
 }
 
 } // namespace wbsim

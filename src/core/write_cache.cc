@@ -1,28 +1,188 @@
 #include "core/write_cache.hh"
 
 #include <algorithm>
-#include <bit>
+#include <map>
 
 #include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace wbsim
 {
+namespace
+{
+
+/** Cross-checking defaults on in debug builds (DESIGN.md). */
+constexpr bool kDebugBuild =
+#ifdef NDEBUG
+    false;
+#else
+    true;
+#endif
+
+} // namespace
 
 WriteCache::WriteCache(const WriteBufferConfig &config, L2Port &port,
                        L2WriteHook hook, unsigned line_bytes)
     : config_(config), port_(port), hook_(std::move(hook)),
-      line_bytes_(line_bytes)
+      line_bytes_(line_bytes),
+      word_shift_(exactLog2(std::max(config.wordBytes, 1u))),
+      line_is_base_(config.entryBytes == line_bytes),
+      base_map_(std::max<std::size_t>(config.depth, 1)),
+      line_map_(std::max<std::size_t>(
+          std::size_t{config.depth}
+              * std::max<std::size_t>(
+                    config.entryBytes / std::max(line_bytes, 1u), 1),
+          1)),
+      naive_scan_(config.naiveScan),
+      cross_check_(config.crossCheck || kDebugBuild)
 {
     config_.validate();
     wbsim_assert(config_.kind == BufferKind::WriteCache,
                  "WriteCache built from a write-buffer config");
     wbsim_assert(hook_ != nullptr, "write cache needs an L2 write hook");
     entries_.resize(config_.depth);
+    free_stack_.reserve(config_.depth);
+    for (unsigned i = config_.depth; i > 0; --i)
+        free_stack_.push_back(static_cast<int>(i - 1));
+}
+
+template <typename Fn>
+void
+WriteCache::forEachLine(Addr base, Fn &&fn) const
+{
+    Addr first = alignDown(base, line_bytes_);
+    Addr last = alignDown(base + config_.entryBytes - 1, line_bytes_);
+    for (Addr line = first;; line += line_bytes_) {
+        fn(line);
+        if (line >= last)
+            break;
+    }
+}
+
+void
+WriteCache::attachEntry(std::size_t index)
+{
+    Entry &entry = entries_[index];
+    wbsim_assert(entry.valid, "attaching an invalid entry");
+    ++valid_count_;
+    entry.validWords =
+        static_cast<std::uint8_t>(popcount32(entry.validMask));
+
+    entry.lruPrev = lru_tail_;
+    entry.lruNext = -1;
+    if (lru_tail_ >= 0)
+        entries_[static_cast<std::size_t>(lru_tail_)].lruNext =
+            static_cast<int>(index);
+    else
+        lru_head_ = static_cast<int>(index);
+    lru_tail_ = static_cast<int>(index);
+
+    bool inserted = false;
+    int &head = base_map_.insertOrFind(entry.base, inserted);
+    entry.baseNext = inserted ? -1 : head;
+    entry.basePrev = -1;
+    if (entry.baseNext >= 0)
+        entries_[static_cast<std::size_t>(entry.baseNext)].basePrev =
+            static_cast<int>(index);
+    head = static_cast<int>(index);
+
+    if (!line_is_base_)
+        forEachLine(entry.base, [&](Addr line) { ++line_map_[line]; });
+}
+
+void
+WriteCache::detachEntry(std::size_t index)
+{
+    Entry &entry = entries_[index];
+    wbsim_assert(entry.valid, "detaching an invalid entry");
+    --valid_count_;
+
+    if (entry.lruPrev >= 0)
+        entries_[static_cast<std::size_t>(entry.lruPrev)].lruNext =
+            entry.lruNext;
+    else
+        lru_head_ = entry.lruNext;
+    if (entry.lruNext >= 0)
+        entries_[static_cast<std::size_t>(entry.lruNext)].lruPrev =
+            entry.lruPrev;
+    else
+        lru_tail_ = entry.lruPrev;
+
+    if (entry.basePrev >= 0) {
+        entries_[static_cast<std::size_t>(entry.basePrev)].baseNext =
+            entry.baseNext;
+    } else if (entry.baseNext >= 0) {
+        base_map_[entry.base] = entry.baseNext;
+    } else {
+        base_map_.erase(entry.base);
+    }
+    if (entry.baseNext >= 0)
+        entries_[static_cast<std::size_t>(entry.baseNext)].basePrev =
+            entry.basePrev;
+
+    if (!line_is_base_) {
+        forEachLine(entry.base, [&](Addr line) {
+            int *count = line_map_.find(line);
+            wbsim_assert(count != nullptr && *count > 0,
+                         "line resident count underflow");
+            if (--*count == 0)
+                line_map_.erase(line);
+        });
+    }
+
+    entry.valid = false;
+    entry.validMask = 0;
+    entry.validWords = 0;
+    entry.lruPrev = entry.lruNext = -1;
+    entry.basePrev = entry.baseNext = -1;
+    free_stack_.push_back(static_cast<int>(index));
+}
+
+void
+WriteCache::touch(std::size_t index)
+{
+    entries_[index].lastUse = ++use_clock_;
+    if (lru_tail_ == static_cast<int>(index))
+        return;
+    Entry &entry = entries_[index];
+    // Unlink (the entry is not the tail, so lruNext >= 0)...
+    if (entry.lruPrev >= 0)
+        entries_[static_cast<std::size_t>(entry.lruPrev)].lruNext =
+            entry.lruNext;
+    else
+        lru_head_ = entry.lruNext;
+    entries_[static_cast<std::size_t>(entry.lruNext)].lruPrev =
+        entry.lruPrev;
+    // ...and relink at the MRU end.
+    entry.lruPrev = lru_tail_;
+    entry.lruNext = -1;
+    entries_[static_cast<std::size_t>(lru_tail_)].lruNext =
+        static_cast<int>(index);
+    lru_tail_ = static_cast<int>(index);
+}
+
+unsigned
+WriteCache::naiveCountValid() const
+{
+    unsigned n = 0;
+    for (const Entry &entry : entries_)
+        if (entry.valid)
+            ++n;
+    return n;
+}
+
+unsigned
+WriteCache::occupancySlow() const
+{
+    unsigned naive = naiveCountValid();
+    if (cross_check_)
+        wbsim_assert(naive == valid_count_,
+                     "occupancy counter diverged from the scan");
+    return naive_scan_ ? naive : valid_count_;
 }
 
 int
-WriteCache::findEntry(Addr base) const
+WriteCache::naiveFindEntry(Addr base) const
 {
     for (std::size_t i = 0; i < entries_.size(); ++i)
         if (entries_[i].valid && entries_[i].base == base)
@@ -31,16 +191,20 @@ WriteCache::findEntry(Addr base) const
 }
 
 int
-WriteCache::findFree() const
+WriteCache::findEntrySlow(Addr base) const
 {
-    for (std::size_t i = 0; i < entries_.size(); ++i)
-        if (!entries_[i].valid)
-            return static_cast<int>(i);
-    return -1;
+    int naive = naiveFindEntry(base);
+    if (cross_check_) {
+        // Blocks are unique under coalescing (the only caller), so
+        // the newest-first chain head is the same entry.
+        wbsim_assert(indexedFindEntry(base) == naive,
+                     "write-cache base index diverged from the scan");
+    }
+    return naive_scan_ ? naive : indexedFindEntry(base);
 }
 
 int
-WriteCache::lruEntry() const
+WriteCache::naiveLruEntry() const
 {
     int best = -1;
     std::uint64_t best_use = ~std::uint64_t{0};
@@ -53,20 +217,18 @@ WriteCache::lruEntry() const
     return best;
 }
 
-std::uint32_t
-WriteCache::wordMask(Addr addr, unsigned size) const
+int
+WriteCache::lruEntry() const
 {
-    const unsigned entry_bytes = config_.entryBytes;
-    const unsigned word_bytes = config_.wordBytes;
-    Addr offset = addr & (entry_bytes - 1);
-    wbsim_assert(offset + size <= entry_bytes,
-                 "access crosses a write-cache entry boundary");
-    unsigned first = static_cast<unsigned>(offset / word_bytes);
-    unsigned last = static_cast<unsigned>((offset + size - 1) / word_bytes);
-    std::uint32_t mask = 0;
-    for (unsigned w = first; w <= last; ++w)
-        mask |= (1u << w);
-    return mask;
+    if (naive_scan_ || cross_check_) {
+        int naive = naiveLruEntry();
+        if (cross_check_)
+            wbsim_assert(lru_head_ == naive,
+                         "LRU list head diverged from the scan");
+        if (naive_scan_)
+            return naive;
+    }
+    return lru_head_;
 }
 
 Cycle
@@ -74,14 +236,12 @@ WriteCache::writeOut(std::size_t index, Cycle earliest, L2Txn kind)
 {
     Entry &entry = entries_[index];
     wbsim_assert(entry.valid, "writing out an invalid write-cache entry");
-    auto valid_words =
-        static_cast<unsigned>(std::popcount(entry.validMask));
+    unsigned valid_words = entry.validWords;
     Cycle start = std::max(earliest, port_.freeAt());
     Cycle duration = hook_(entry.base, valid_words,
                            config_.wordsPerEntry(), start);
     port_.begin(kind, start, duration);
-    entry.valid = false;
-    entry.validMask = 0;
+    detachEntry(index);
     stats_.wordsWritten += valid_words;
     ++stats_.entriesWritten;
     if (kind == L2Txn::WriteFlush)
@@ -100,16 +260,6 @@ WriteCache::advanceTo(Cycle now)
     (void)now;
 }
 
-unsigned
-WriteCache::occupancy() const
-{
-    unsigned n = 0;
-    for (const Entry &entry : entries_)
-        if (entry.valid)
-            ++n;
-    return n;
-}
-
 Cycle
 WriteCache::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
 {
@@ -122,16 +272,20 @@ WriteCache::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
     if (config_.coalescing) {
         if (int hit = findEntry(base); hit >= 0) {
             auto index = static_cast<std::size_t>(hit);
-            entries_[index].validMask |= mask;
-            entries_[index].lastUse = ++use_clock_;
+            Entry &entry = entries_[index];
+            entry.validMask |= mask;
+            entry.validWords = static_cast<std::uint8_t>(
+                popcount32(entry.validMask));
+            touch(index);
             ++stats_.merges;
+            if (cross_check_)
+                verifyIndexIntegrity();
             return now;
         }
     }
 
     Cycle t = now;
-    int slot = findFree();
-    if (slot < 0) {
+    if (free_stack_.empty()) {
         // Must evict the LRU block. The eviction register holds one
         // outgoing block; if it is still draining we stall.
         if (evict_done_ > t) {
@@ -145,8 +299,7 @@ WriteCache::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
         // The victim's data moves to the eviction register and the
         // slot is reused immediately; the write itself drains in the
         // background.
-        auto valid_words = static_cast<unsigned>(
-            std::popcount(entries_[index].validMask));
+        unsigned valid_words = entries_[index].validWords;
         Cycle start = std::max(t, port_.freeAt());
         Cycle duration = hook_(entries_[index].base, valid_words,
                                config_.wordsPerEntry(), start);
@@ -155,23 +308,26 @@ WriteCache::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
         stats_.wordsWritten += valid_words;
         ++stats_.entriesWritten;
         ++stats_.retirements;
-        entries_[index].valid = false;
-        entries_[index].validMask = 0;
-        slot = victim;
+        detachEntry(index);
     }
 
-    Entry &entry = entries_[static_cast<std::size_t>(slot)];
+    auto slot = static_cast<std::size_t>(free_stack_.back());
+    free_stack_.pop_back();
+    Entry &entry = entries_[slot];
     entry.base = base;
     entry.validMask = mask;
     entry.valid = true;
     entry.lastUse = ++use_clock_;
     entry.seq = next_seq_++;
+    attachEntry(slot);
     ++stats_.allocations;
+    if (cross_check_)
+        verifyIndexIntegrity();
     return t;
 }
 
 LoadProbe
-WriteCache::probeLoad(Addr addr, unsigned size) const
+WriteCache::naiveProbeLoad(Addr addr, unsigned size) const
 {
     LoadProbe probe;
     Addr line_base = alignDown(addr, line_bytes_);
@@ -192,6 +348,38 @@ WriteCache::probeLoad(Addr addr, unsigned size) const
     }
     probe.wordHit = probe.blockHit && (found & needed) == needed;
     return probe;
+}
+
+LoadProbe
+WriteCache::indexedProbeLoad(Addr addr, unsigned size) const
+{
+    // The common case is a load miss with no overlapping entry: one
+    // residency lookup answers it. Hazards (rare, and followed by
+    // flush work) fall back to the full scan.
+    Addr line = alignDown(addr, line_bytes_);
+    const int *hit =
+        line_is_base_ ? base_map_.find(line) : line_map_.find(line);
+    if (hit == nullptr)
+        return LoadProbe{};
+    return naiveProbeLoad(addr, size);
+}
+
+LoadProbe
+WriteCache::probeLoad(Addr addr, unsigned size) const
+{
+    if (naive_scan_ || cross_check_) {
+        LoadProbe naive = naiveProbeLoad(addr, size);
+        if (cross_check_) {
+            LoadProbe fast = indexedProbeLoad(addr, size);
+            wbsim_assert(fast.blockHit == naive.blockHit
+                         && fast.wordHit == naive.wordHit
+                         && fast.hitSeq == naive.hitSeq,
+                         "load probe diverged from the scan");
+        }
+        if (naive_scan_)
+            return naive;
+    }
+    return indexedProbeLoad(addr, size);
 }
 
 HazardResult
@@ -237,6 +425,8 @@ WriteCache::handleLoadHazard(const LoadProbe &probe, Addr addr,
       case LoadHazardPolicy::ReadFromWB:
         wbsim_panic("unreachable hazard policy");
     }
+    if (cross_check_)
+        verifyIndexIntegrity();
     return {t, false};
 }
 
@@ -244,14 +434,104 @@ Cycle
 WriteCache::drainBelow(unsigned target, Cycle now)
 {
     Cycle t = std::max(now, evict_done_);
-    while (occupancy() >= target) {
+    while (valid_count_ >= target) {
         int victim = lruEntry();
         if (victim < 0)
             break;
         t = writeOut(static_cast<std::size_t>(victim), t,
                      L2Txn::WriteRetire);
     }
+    if (cross_check_)
+        verifyIndexIntegrity();
     return t;
+}
+
+void
+WriteCache::verifyIndexIntegrity() const
+{
+    // Occupancy counter and free stack.
+    unsigned valid = naiveCountValid();
+    wbsim_assert(valid_count_ == valid, "occupancy counter diverged");
+    wbsim_assert(free_stack_.size() == entries_.size() - valid,
+                 "free stack size diverged");
+    std::vector<char> stacked(entries_.size(), 0);
+    for (int slot : free_stack_) {
+        auto index = static_cast<std::size_t>(slot);
+        wbsim_assert(index < entries_.size(), "free stack slot range");
+        wbsim_assert(!entries_[index].valid, "valid entry on free stack");
+        wbsim_assert(!stacked[index], "duplicate slot on free stack");
+        stacked[index] = 1;
+    }
+
+    // Cached popcounts.
+    for (const Entry &entry : entries_) {
+        wbsim_assert(entry.validWords
+                         == (entry.valid
+                                 ? popcount32(entry.validMask)
+                                 : 0u),
+                     "cached popcount diverged");
+    }
+
+    // LRU list covers every valid entry in ascending lastUse order.
+    unsigned walked = 0;
+    std::uint64_t last_use = 0;
+    int prev = -1;
+    for (int i = lru_head_; i >= 0;
+         i = entries_[static_cast<std::size_t>(i)].lruNext) {
+        const Entry &entry = entries_[static_cast<std::size_t>(i)];
+        wbsim_assert(entry.valid, "invalid entry on the LRU list");
+        wbsim_assert(entry.lastUse > last_use, "LRU list out of order");
+        wbsim_assert(entry.lruPrev == prev, "LRU back-link broken");
+        last_use = entry.lastUse;
+        prev = i;
+        ++walked;
+    }
+    wbsim_assert(prev == lru_tail_, "LRU tail diverged");
+    wbsim_assert(walked == valid, "LRU list misses entries");
+
+    // Base chains cover every valid entry, newest first.
+    unsigned chained = 0;
+    base_map_.forEach([&](Addr key, int head) {
+        int back = -1;
+        std::uint64_t down_seq = ~std::uint64_t{0};
+        for (int i = head; i >= 0;
+             i = entries_[static_cast<std::size_t>(i)].baseNext) {
+            const Entry &entry = entries_[static_cast<std::size_t>(i)];
+            wbsim_assert(entry.valid, "invalid entry on a base chain");
+            wbsim_assert(entry.base == key, "entry on the wrong chain");
+            wbsim_assert(entry.seq < down_seq,
+                         "base chain not newest-first");
+            wbsim_assert(entry.basePrev == back,
+                         "base chain back-link broken");
+            down_seq = entry.seq;
+            back = i;
+            ++chained;
+        }
+        wbsim_assert(back >= 0, "empty base chain left in the map");
+    });
+    wbsim_assert(chained == valid, "base chains miss entries");
+
+    // Per-line resident counts (base_map_ serves this role when
+    // entries and lines coincide, and line_map_ must stay empty).
+    if (line_is_base_) {
+        wbsim_assert(line_map_.size() == 0,
+                     "line map populated in line==entry geometry");
+    } else {
+        std::map<Addr, int> recount;
+        for (const Entry &entry : entries_) {
+            if (!entry.valid)
+                continue;
+            forEachLine(entry.base, [&](Addr line) { ++recount[line]; });
+        }
+        std::size_t lines = 0;
+        line_map_.forEach([&](Addr key, int count) {
+            auto it = recount.find(key);
+            wbsim_assert(it != recount.end() && it->second == count,
+                         "line resident count diverged");
+            ++lines;
+        });
+        wbsim_assert(lines == recount.size(), "line map misses lines");
+    }
 }
 
 } // namespace wbsim

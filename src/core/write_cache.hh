@@ -11,6 +11,12 @@
  * a buffer-full stall.
  *
  * FlushPartial has no FIFO meaning here and behaves as FlushFull.
+ *
+ * Like the write buffer, hot-path queries are answered from
+ * incrementally-maintained indexes (occupancy counter, free-entry
+ * stack, base-address map, intrusive LRU list, per-line residency)
+ * instead of O(depth) rescans, with the legacy scans kept as a
+ * cross-checked reference implementation (DESIGN.md "Performance").
  */
 
 #ifndef WBSIM_CORE_WRITE_CACHE_HH
@@ -22,12 +28,13 @@
 #include "core/store_buffer.hh"
 #include "core/write_buffer.hh" // for L2WriteHook
 #include "mem/l2_port.hh"
+#include "util/addr_map.hh"
 
 namespace wbsim
 {
 
 /** Fully-associative, LRU, retire-on-evict store buffer. */
-class WriteCache : public StoreBuffer
+class WriteCache final : public StoreBuffer
 {
   public:
     WriteCache(const WriteBufferConfig &config, L2Port &port,
@@ -39,12 +46,29 @@ class WriteCache : public StoreBuffer
     LoadProbe probeLoad(Addr addr, unsigned size) const override;
     HazardResult handleLoadHazard(const LoadProbe &probe, Addr addr,
                                   unsigned size, Cycle now) override;
-    unsigned occupancy() const override;
+
+    unsigned
+    occupancy() const override
+    {
+        if (naive_scan_ || cross_check_)
+            return occupancySlow();
+        return valid_count_;
+    }
+
+    bool quiescent() const override { return valid_count_ == 0; }
     Cycle drainBelow(unsigned target, Cycle now) override;
 
     const WriteBufferConfig &config() const override { return config_; }
     const StoreBufferStats &stats() const override { return stats_; }
     void resetStats() override { stats_.reset(); }
+
+    /**
+     * Panic unless every incremental index agrees with a from-scratch
+     * recomputation over the entry array. Runs automatically after
+     * each mutation when cross-checking is enabled; exposed so the
+     * fuzzers can call it at arbitrary points.
+     */
+    void verifyIndexIntegrity() const;
 
   private:
     struct Entry
@@ -54,12 +78,28 @@ class WriteCache : public StoreBuffer
         bool valid = false;
         std::uint64_t lastUse = 0;
         std::uint64_t seq = 0;
+        std::uint8_t validWords = 0; //!< cached popcount(validMask)
+        /** @name LRU list (head = least recent, tail = most). */
+        /// @{
+        int lruPrev = -1;
+        int lruNext = -1;
+        /// @}
+        /** @name Same-base chain hanging off base_map_ (newest
+         *  first; duplicates only under non-coalescing mode). */
+        /// @{
+        int basePrev = -1;
+        int baseNext = -1;
+        /// @}
     };
 
     WriteBufferConfig config_;
     L2Port &port_;
     L2WriteHook hook_;
     unsigned line_bytes_;
+    unsigned word_shift_; //!< log2(wordBytes): wordMask avoids division
+    /** entryBytes == line_bytes: base_map_ doubles as the line
+     *  residency index and line_map_ stays empty. */
+    bool line_is_base_;
 
     std::vector<Entry> entries_;
     std::uint64_t use_clock_ = 0;
@@ -67,12 +107,78 @@ class WriteCache : public StoreBuffer
     /** Completion cycle of the eviction write in flight (0 = idle). */
     Cycle evict_done_ = 0;
 
+    /** @name Incremental indexes over entries_. */
+    /// @{
+    unsigned valid_count_ = 0;    //!< number of valid entries
+    std::vector<int> free_stack_; //!< invalid entry slots
+    int lru_head_ = -1;           //!< least recently used valid entry
+    int lru_tail_ = -1;           //!< most recently used valid entry
+    AddrMap<int> base_map_;       //!< entry base -> chain head
+    AddrMap<int> line_map_;       //!< L1 line base -> resident count
+    /// @}
+
+    bool naive_scan_ = false;
+    bool cross_check_ = false;
+
     StoreBufferStats stats_;
 
-    int findEntry(Addr base) const;
-    int findFree() const;
+    /** @name Legacy O(depth) reference scans. */
+    /// @{
+    unsigned naiveCountValid() const;
+    int naiveFindEntry(Addr base) const;
+    int naiveLruEntry() const;
+    LoadProbe naiveProbeLoad(Addr addr, unsigned size) const;
+    /// @}
+
+    /** @name Indexed O(1) answers. */
+    /// @{
+    int
+    indexedFindEntry(Addr base) const
+    {
+        const int *head = base_map_.find(base);
+        return head ? *head : -1;
+    }
+
+    LoadProbe indexedProbeLoad(Addr addr, unsigned size) const;
+    /// @}
+
+    /** occupancy() when scan-serving or cross-checking is on. */
+    unsigned occupancySlow() const;
+    /** findEntry() when scan-serving or cross-checking is on. */
+    int findEntrySlow(Addr base) const;
+
+    /** Register a just-filled entry with every index. */
+    void attachEntry(std::size_t index);
+    /** Invalidate an entry and remove it from every index. */
+    void detachEntry(std::size_t index);
+    /** Move an entry to the MRU end of the LRU list. */
+    void touch(std::size_t index);
+    /** Visit the base of every L1 line the entry at @p base covers. */
+    template <typename Fn> void forEachLine(Addr base, Fn &&fn) const;
+
+    int
+    findEntry(Addr base) const
+    {
+        if (naive_scan_ || cross_check_)
+            return findEntrySlow(base);
+        return indexedFindEntry(base);
+    }
+
+    /** LRU victim for eviction (Table 2's replacement row). */
     int lruEntry() const;
-    std::uint32_t wordMask(Addr addr, unsigned size) const;
+
+    std::uint32_t
+    wordMask(Addr addr, unsigned size) const
+    {
+        Addr offset = addr & (config_.entryBytes - 1);
+        wbsim_assert(offset + size <= config_.entryBytes,
+                     "access crosses a write-cache entry boundary");
+        unsigned first = static_cast<unsigned>(offset >> word_shift_);
+        unsigned last =
+            static_cast<unsigned>((offset + size - 1) >> word_shift_);
+        return static_cast<std::uint32_t>((std::uint64_t{2} << last)
+                                          - (std::uint64_t{1} << first));
+    }
 
     /** Write entry @p index to L2 no earlier than @p earliest and
      *  free it synchronously. @return completion cycle. */

@@ -88,7 +88,8 @@ Simulator::fetch(Addr pc)
         return;
     ++ifetch_misses_;
     note(SimEventKind::IFetchMiss, pc);
-    buffer_->advanceTo(cycle_);
+    if (!buffer_->quiescent())
+        buffer_->advanceTo(cycle_);
     // An I-fetch miss reads L2 like a data miss; waiting on a write
     // is the §4.3 "L2-I-fetch stall" category, tracked separately
     // from the paper's three data-side categories.
@@ -141,10 +142,14 @@ Simulator::doStore(Addr addr, unsigned size)
         // its words for free, exactly as a read-from-WB word-miss
         // fill does (§2.2); no flush is needed.
         ++store_fetches_;
-        buffer_->advanceTo(cycle_);
-        Count wait_cycles = 0, wait_events = 0;
-        Cycle done = l2DemandRead(addr, cycle_, wait_cycles,
-                                  wait_events);
+        if (!buffer_->quiescent())
+            buffer_->advanceTo(cycle_);
+        // The fetch is a demand read: waiting behind an underway
+        // write is an L2-read-access stall (Table 3), exactly as on
+        // the load-miss path.
+        Cycle done = l2DemandRead(addr, cycle_,
+                                  stalls_.l2ReadAccessCycles,
+                                  stalls_.l2ReadAccessEvents);
         store_fetch_cycles_ += done - cycle_;
         cycle_ = done;
         l1d_.fill(addr);
@@ -168,7 +173,8 @@ Simulator::doLoad(Addr addr, unsigned size)
     }
     note(SimEventKind::LoadMiss, addr);
 
-    buffer_->advanceTo(cycle_);
+    if (!buffer_->quiescent())
+        buffer_->advanceTo(cycle_);
 
     // UltraSPARC-style priority inversion: above the threshold the
     // buffer drains below it before the read may proceed.
@@ -236,7 +242,8 @@ Simulator::step(const TraceRecord &record)
 void
 Simulator::drain()
 {
-    buffer_->advanceTo(cycle_);
+    if (!buffer_->quiescent())
+        buffer_->advanceTo(cycle_);
     cycle_ = std::max(cycle_, buffer_->drainBelow(1, cycle_));
 }
 

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * A small open-addressing hash map from addresses to POD values,
+ * built for the write-buffer hot paths: the resident population is
+ * bounded (a handful of buffer entries), lookups happen on every
+ * simulated store and load miss, and `std::unordered_map`'s
+ * per-node allocation and pointer chasing would eat most of the win
+ * from indexing in the first place.
+ *
+ * Flat storage, linear probing, multiplicative hashing, tombstone
+ * deletion with an amortised rebuild once tombstones accumulate.
+ * Capacity is fixed at construction from the maximum live key count
+ * (load factor <= 1/4), so inserts never allocate.
+ */
+
+#ifndef WBSIM_UTIL_ADDR_MAP_HH
+#define WBSIM_UTIL_ADDR_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+#include "util/types.hh"
+
+namespace wbsim
+{
+
+/** Fixed-capacity flat hash map keyed by Addr. */
+template <typename Value>
+class AddrMap
+{
+  public:
+    /** @param max_live most keys ever resident at once (> 0). */
+    explicit AddrMap(std::size_t max_live)
+    {
+        wbsim_assert(max_live > 0, "AddrMap needs a positive capacity");
+        std::size_t size = 16;
+        while (size < max_live * 4)
+            size *= 2;
+        slots_.resize(size);
+        scratch_.resize(size);
+        shift_ = 64u - exactLog2(size);
+        max_live_ = max_live;
+    }
+
+    /** Pointer to the value for @p key, or nullptr. */
+    Value *
+    find(Addr key)
+    {
+        std::size_t i = bucket(key);
+        for (;;) {
+            Slot &slot = slots_[i];
+            if (slot.state == State::Empty)
+                return nullptr;
+            if (slot.state == State::Full && slot.key == key)
+                return &slot.value;
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+    const Value *
+    find(Addr key) const
+    {
+        return const_cast<AddrMap *>(this)->find(key);
+    }
+
+    /**
+     * Value for @p key, default-constructing it if absent.
+     * The live-key bound from construction must not be exceeded.
+     */
+    Value &
+    operator[](Addr key)
+    {
+        bool inserted = false;
+        return insertOrFind(key, inserted);
+    }
+
+    /**
+     * Single-probe combination of find and insert: returns the slot
+     * for @p key, default-constructing it and setting @p inserted
+     * when the key was absent. Saves the double probe of a find
+     * followed by operator[] on the hot allocation path.
+     */
+    Value &
+    insertOrFind(Addr key, bool &inserted)
+    {
+        if (used_ + tombstones_ > slots_.size() / 2)
+            rebuild();
+        std::size_t i = bucket(key);
+        std::size_t grave = slots_.size(); // first tombstone seen
+        for (;;) {
+            Slot &slot = slots_[i];
+            if (slot.state == State::Full && slot.key == key) {
+                inserted = false;
+                return slot.value;
+            }
+            if (slot.state == State::Empty) {
+                wbsim_assert(used_ < max_live_,
+                             "AddrMap live-key bound exceeded");
+                Slot &home = grave < slots_.size() ? claimGrave(grave)
+                                                   : slot;
+                home.state = State::Full;
+                home.key = key;
+                home.value = Value{};
+                ++used_;
+                inserted = true;
+                return home.value;
+            }
+            if (slot.state == State::Tombstone && grave == slots_.size())
+                grave = i;
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+    /** Remove @p key; it must be present. */
+    void
+    erase(Addr key)
+    {
+        std::size_t i = bucket(key);
+        for (;;) {
+            Slot &slot = slots_[i];
+            wbsim_assert(slot.state != State::Empty,
+                         "AddrMap::erase of a missing key");
+            if (slot.state == State::Full && slot.key == key) {
+                slot.state = State::Tombstone;
+                --used_;
+                ++tombstones_;
+                return;
+            }
+            i = (i + 1) & (slots_.size() - 1);
+        }
+    }
+
+    std::size_t size() const { return used_; }
+
+    void
+    clear()
+    {
+        for (Slot &slot : slots_)
+            slot.state = State::Empty;
+        used_ = 0;
+        tombstones_ = 0;
+    }
+
+    /** Visit every live (key, value) pair. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &slot : slots_)
+            if (slot.state == State::Full)
+                fn(slot.key, slot.value);
+    }
+
+  private:
+    enum class State : std::uint8_t { Empty, Tombstone, Full };
+
+    struct Slot
+    {
+        Addr key = 0;
+        Value value{};
+        State state = State::Empty;
+    };
+
+    std::size_t
+    bucket(Addr key) const
+    {
+        return static_cast<std::size_t>(
+            (key * 0x9E3779B97F4A7C15ull) >> shift_);
+    }
+
+    /** Reinsert live slots to shed accumulated tombstones. Uses a
+     *  preallocated scratch vector: churn-heavy access patterns hit
+     *  this every few dozen mutations, so it must not allocate. */
+    void
+    rebuild()
+    {
+        slots_.swap(scratch_);
+        for (Slot &slot : slots_)
+            slot.state = State::Empty;
+        used_ = 0;
+        tombstones_ = 0;
+        for (const Slot &slot : scratch_)
+            if (slot.state == State::Full)
+                (*this)[slot.key] = slot.value;
+    }
+
+    /** Reuse the tombstone at @p index for a fresh insertion. */
+    Slot &
+    claimGrave(std::size_t index)
+    {
+        --tombstones_;
+        return slots_[index];
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<Slot> scratch_; //!< rebuild() staging, same size
+    unsigned shift_ = 0;
+    std::size_t used_ = 0;
+    std::size_t tombstones_ = 0;
+    std::size_t max_live_ = 0;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_UTIL_ADDR_MAP_HH

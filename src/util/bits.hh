@@ -67,6 +67,21 @@ bitsOf(std::uint64_t value, unsigned first, unsigned count)
                                                 - 1));
 }
 
+/**
+ * Population count that always inlines. std::popcount lowers to a
+ * libgcc call (__popcountdi2) under the portable baseline ISA, which
+ * is too slow for the write buffer's per-store valid-mask updates;
+ * this SWAR version compiles to a dozen cheap ALU ops everywhere.
+ */
+constexpr unsigned
+popcount32(std::uint32_t v)
+{
+    v = v - ((v >> 1) & 0x55555555u);
+    v = (v & 0x33333333u) + ((v >> 2) & 0x33333333u);
+    v = (v + (v >> 4)) & 0x0F0F0F0Fu;
+    return (v * 0x01010101u) >> 24;
+}
+
 /** Ceiling division for unsigned integers. */
 constexpr std::uint64_t
 divCeil(std::uint64_t a, std::uint64_t b)

@@ -30,12 +30,6 @@ Histogram::Histogram(std::size_t buckets)
 }
 
 void
-Histogram::sample(std::uint64_t value)
-{
-    sample(value, 1);
-}
-
-void
 Histogram::sample(std::uint64_t value, Count count)
 {
     if (count == 0)

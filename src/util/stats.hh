@@ -11,6 +11,7 @@
 #ifndef WBSIM_UTIL_STATS_HH
 #define WBSIM_UTIL_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -55,8 +56,19 @@ class Histogram
     /** @param buckets number of unit-width buckets before overflow. */
     explicit Histogram(std::size_t buckets = 64);
 
-    /** Record one sample of @p value. */
-    void sample(std::uint64_t value);
+    /** Record one sample of @p value. Inline: this sits on the
+     *  write buffer's per-store path. */
+    void
+    sample(std::uint64_t value)
+    {
+        std::size_t idx =
+            std::min<std::uint64_t>(value, counts_.size() - 1);
+        ++counts_[idx];
+        ++samples_;
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+        sum_ += static_cast<double>(value);
+    }
 
     /** Record @p count samples of @p value. */
     void sample(std::uint64_t value, Count count);

@@ -174,6 +174,29 @@ TEST_F(WriteBufferRetire, FixedRateSkipsEmptyAttempts)
         << "next attempt after the store is cycle 100";
 }
 
+TEST_F(WriteBufferRetire, FixedRateAttemptClockNotStaleAfterEmptying)
+{
+    WriteBufferConfig c = config(8, 2);
+    c.retirementMode = RetirementMode::FixedRate;
+    c.fixedRatePeriod = 10;
+    build(c);
+    store(0x1000, 1);
+    store(0x2000, 2);
+    // This store's own advanceTo drains both entries (attempts at 10
+    // and 20) before buffering the new write at cycle 1005.
+    store(0x3000, 1005);
+    buffer->advanceTo(2000);
+    ASSERT_EQ(writes.size(), 3u);
+    EXPECT_EQ(writes[0].start, 10u);
+    EXPECT_EQ(writes[1].start, 20u);
+    // Regression: the attempt clock used to be left at 30 when the
+    // drain emptied the buffer mid-call, retiring the third write at
+    // cycle 30 -- before the store that produced it. The attempt
+    // grid ticks on past the empty buffer, so the first eligible
+    // attempt is 1010.
+    EXPECT_EQ(writes[2].start, 1010u);
+}
+
 TEST_F(WriteBufferRetire, AgeTimeoutRetiresLoneEntry)
 {
     WriteBufferConfig c = config(4, 2);

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the flat open-addressing AddrMap backing the
+ * store-buffer indexes: basic find/insert/erase semantics, the
+ * single-probe insertOrFind, tombstone recycling and the amortised
+ * rebuild, plus a randomized comparison against std::map.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/addr_map.hh"
+#include "util/random.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+TEST(AddrMap, FindOnEmptyMapReturnsNull)
+{
+    AddrMap<int> map(4);
+    EXPECT_EQ(map.find(0x1000), nullptr);
+    EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(AddrMap, SubscriptInsertsDefaultAndFinds)
+{
+    AddrMap<int> map(4);
+    map[0x1000] = 7;
+    map[0x2000] = 9;
+    ASSERT_NE(map.find(0x1000), nullptr);
+    EXPECT_EQ(*map.find(0x1000), 7);
+    ASSERT_NE(map.find(0x2000), nullptr);
+    EXPECT_EQ(*map.find(0x2000), 9);
+    EXPECT_EQ(map.find(0x3000), nullptr);
+    EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(AddrMap, InsertOrFindReportsInsertionExactlyOnce)
+{
+    AddrMap<int> map(4);
+    bool inserted = false;
+    int &slot = map.insertOrFind(0x40, inserted);
+    EXPECT_TRUE(inserted) << "first touch default-constructs";
+    EXPECT_EQ(slot, 0);
+    slot = 5;
+    inserted = true;
+    int &again = map.insertOrFind(0x40, inserted);
+    EXPECT_FALSE(inserted) << "second touch finds the live slot";
+    EXPECT_EQ(again, 5);
+    EXPECT_EQ(&again, &slot);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(AddrMap, EraseRemovesOnlyTheNamedKey)
+{
+    AddrMap<int> map(4);
+    map[0x1000] = 1;
+    map[0x2000] = 2;
+    map.erase(0x1000);
+    EXPECT_EQ(map.find(0x1000), nullptr);
+    ASSERT_NE(map.find(0x2000), nullptr);
+    EXPECT_EQ(*map.find(0x2000), 2);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(AddrMap, TombstoneDoesNotBreakProbeChains)
+{
+    // Keys that collide into a probe chain must stay reachable after
+    // an earlier chain member is erased (tombstone, not empty).
+    AddrMap<int> map(8);
+    // A batch of keys is certain to produce at least one collision
+    // chain in a 32-slot table; exercise erase on every other one.
+    for (Addr key = 0; key < 8; ++key)
+        map[key * 0x1000] = static_cast<int>(key);
+    for (Addr key = 0; key < 8; key += 2)
+        map.erase(key * 0x1000);
+    for (Addr key = 1; key < 8; key += 2) {
+        ASSERT_NE(map.find(key * 0x1000), nullptr) << key;
+        EXPECT_EQ(*map.find(key * 0x1000), static_cast<int>(key));
+    }
+    for (Addr key = 0; key < 8; key += 2)
+        EXPECT_EQ(map.find(key * 0x1000), nullptr) << key;
+}
+
+TEST(AddrMap, ReinsertionRecyclesTombstones)
+{
+    AddrMap<int> map(2);
+    for (int round = 0; round < 1000; ++round) {
+        Addr key = static_cast<Addr>(round) * 64;
+        map[key] = round;
+        ASSERT_EQ(map.size(), 1u);
+        ASSERT_NE(map.find(key), nullptr);
+        EXPECT_EQ(*map.find(key), round);
+        map.erase(key);
+    }
+    EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(AddrMap, ClearEmptiesTheMap)
+{
+    AddrMap<int> map(4);
+    map[0x10] = 1;
+    map[0x20] = 2;
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(0x10), nullptr);
+    map[0x10] = 3; // usable again after clear
+    EXPECT_EQ(*map.find(0x10), 3);
+}
+
+TEST(AddrMap, ForEachVisitsEveryLivePair)
+{
+    AddrMap<int> map(8);
+    std::map<Addr, int> expected;
+    for (Addr key = 1; key <= 6; ++key) {
+        map[key * 0x40] = static_cast<int>(key);
+        expected[key * 0x40] = static_cast<int>(key);
+    }
+    map.erase(0x40 * 3);
+    expected.erase(0x40 * 3);
+
+    std::map<Addr, int> seen;
+    map.forEach([&](Addr key, int value) { seen[key] = value; });
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(AddrMap, ChurnMatchesReferenceMap)
+{
+    // Heavy insert/erase churn forces many rebuild() cycles; the
+    // map must agree with std::map at every step.
+    AddrMap<int> map(16);
+    std::map<Addr, int> reference;
+    Rng rng(12345);
+    for (int step = 0; step < 20000; ++step) {
+        Addr key = rng.nextBelow(64) * 32; // small space: collisions
+        if (reference.size() < 16 && rng.nextBool(0.55)) {
+            int value = static_cast<int>(step);
+            map[key] = value;
+            reference[key] = value;
+        } else if (!reference.empty()) {
+            // Erase a key known to be present.
+            auto it = reference.begin();
+            std::advance(it,
+                         static_cast<long>(
+                             rng.nextBelow(reference.size())));
+            map.erase(it->first);
+            reference.erase(it);
+        }
+        ASSERT_EQ(map.size(), reference.size());
+        for (const auto &[ref_key, ref_value] : reference) {
+            const int *found = map.find(ref_key);
+            ASSERT_NE(found, nullptr);
+            ASSERT_EQ(*found, ref_value);
+        }
+    }
+}
+
+} // namespace
+} // namespace wbsim
