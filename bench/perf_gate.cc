@@ -14,6 +14,7 @@
  *   WBSIM_PERF_OUT=path  output file (default BENCH_core.json)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
@@ -26,6 +27,7 @@
 #include "harness/figures.hh"
 #include "mem/l2_port.hh"
 #include "sim/simulator.hh"
+#include "trace/materialized_trace.hh"
 #include "util/options.hh"
 #include "workloads/generator.hh"
 #include "workloads/spec92.hh"
@@ -220,6 +222,85 @@ fig03Replay(Count instructions)
     return r;
 }
 
+/** Records/second decoding a materialized trace through the batched
+ *  cursor — the per-variant replay cost that replaces per-variant
+ *  generation in the grid. */
+GateResult
+traceReplay(double min_seconds)
+{
+    auto profile = spec92::profile("compress");
+    SyntheticSource source(profile, 200'000, 1);
+    MaterializedTrace trace = MaterializedTrace::build(source);
+    return timeLoop("trace_replay", min_seconds,
+                    [&](std::uint64_t iterations) {
+        MaterializedCursor cursor(trace);
+        TraceRecord batch[256];
+        Addr sink = 0;
+        std::uint64_t left = iterations;
+        while (left > 0) {
+            std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(left, 256));
+            std::size_t got = cursor.nextBatch(batch, want);
+            if (got == 0) {
+                cursor.reset();
+                continue;
+            }
+            sink += batch[got - 1].addr;
+            left -= got;
+        }
+        if (sink == ~Addr{0}) // defeat dead-code elimination
+            std::cerr << "";
+    });
+}
+
+/**
+ * The Figure 4 grid (all benchmarks x buffer depths), run as a
+ * session runs it: the same sweep repeated in one process (figure
+ * re-renders, report iterations, cross-figure shared cells). One
+ * untimed priming pass in both modes, then timed passes measure the
+ * steady-state sweep cost. With the caches off every pass
+ * regenerates every trace and re-simulates every warmup; with them
+ * on, repeats replay materialized traces and fork measured runs off
+ * warm-state checkpoints.
+ */
+GateResult
+gridFig04(const std::string &name, bool cached, Count instructions,
+          int passes)
+{
+    Experiment experiment = figures::figure04();
+    auto profiles = spec92::allProfiles();
+    RunnerOptions options;
+    options.instructions = instructions;
+    options.warmup = instructions / 2;
+    options.threads = 1; // timing must not depend on core count
+    options.seed = 1;
+    options.materialize = cached;
+    options.checkpoints = cached;
+    clearGridCaches();
+    runExperiment(experiment, profiles, options); // prime
+    double start = now();
+    Count cycles = 0, instr = 0;
+    for (int pass = 0; pass < passes; ++pass) {
+        ExperimentResults results =
+            runExperiment(experiment, profiles, options);
+        for (const auto &row : results) {
+            for (const SimResults &cell : row) {
+                cycles += cell.cycles;
+                instr += cell.instructions;
+            }
+        }
+    }
+    double elapsed = now() - start;
+    clearGridCaches();
+    GateResult r;
+    r.name = name;
+    r.iterations = instr;
+    r.seconds = elapsed;
+    r.opsPerSec = static_cast<double>(instr) / elapsed;
+    r.cyclesPerSec = static_cast<double>(cycles) / elapsed;
+    return r;
+}
+
 void
 writeJson(std::ostream &os, const std::vector<GateResult> &results,
           bool smoke)
@@ -251,12 +332,26 @@ main()
     Count sim_instructions = smoke ? 20'000 : 400'000;
     Count fig_instructions = smoke ? 5'000 : 50'000;
 
+    Count grid_instructions = smoke ? 4'000 : 40'000;
+    int grid_passes = smoke ? 2 : 3;
+
     std::vector<GateResult> results;
     results.push_back(storeMergeDepth12(min_seconds));
     results.push_back(storeScatterDepth12(min_seconds));
     results.push_back(probeLoadDepth12(min_seconds));
     results.push_back(simulatorBaseline(sim_instructions));
     results.push_back(fig03Replay(fig_instructions));
+    results.push_back(traceReplay(min_seconds));
+    results.push_back(gridFig04("grid_fig04_nocache", false,
+                                grid_instructions, grid_passes));
+    results.push_back(gridFig04("grid_fig04_cached", true,
+                                grid_instructions, grid_passes));
+    {
+        const GateResult &nocache = results[results.size() - 2];
+        const GateResult &cached = results.back();
+        std::cout << "perf_gate: grid_fig04 cached speedup = "
+                  << cached.opsPerSec / nocache.opsPerSec << "x\n";
+    }
 
     const char *env_out = std::getenv("WBSIM_PERF_OUT");
     std::string path = env_out ? env_out : "BENCH_core.json";

@@ -35,6 +35,10 @@ struct StallStats
     }
 
     StallStats &operator+=(const StallStats &other);
+
+    /** Exact equality (the checkpoint cross-check compares runs
+     *  bit for bit). */
+    bool operator==(const StallStats &other) const = default;
 };
 
 } // namespace wbsim

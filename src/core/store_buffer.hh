@@ -15,6 +15,8 @@
 #define WBSIM_CORE_STORE_BUFFER_HH
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 
 #include "core/config.hh"
 #include "core/stall_stats.hh"
@@ -23,6 +25,22 @@
 
 namespace wbsim
 {
+
+class L2Port;
+
+/**
+ * Performs the functional L2 write for one buffer entry and returns
+ * how long the L2 port is held.
+ *
+ * @param base entry base address.
+ * @param valid_words number of valid words in the entry.
+ * @param total_words entry capacity in words.
+ * @param start cycle at which the transfer begins.
+ * @return port occupancy in cycles (>= 1).
+ */
+using L2WriteHook = std::function<Cycle(Addr base, unsigned valid_words,
+                                        unsigned total_words,
+                                        Cycle start)>;
 
 /** Statistics common to all store-buffer organisations. */
 struct StoreBufferStats
@@ -122,6 +140,16 @@ class StoreBuffer
 
     /** Reset statistics; buffered contents are retained. */
     virtual void resetStats() = 0;
+
+    /**
+     * Deep-copy this buffer — contents, in-flight retirement,
+     * trigger state, statistics — rebound to @p port and @p hook
+     * (the copy cannot share the source's references: a restored
+     * simulator owns its own port and write callback). Used by
+     * Simulator::snapshot()/restore() to capture warm state.
+     */
+    virtual std::unique_ptr<StoreBuffer>
+    cloneRebound(L2Port &port, L2WriteHook hook) const = 0;
 };
 
 } // namespace wbsim

@@ -48,6 +48,26 @@ WriteBuffer::WriteBuffer(const WriteBufferConfig &config, L2Port &port,
         free_stack_.push_back(static_cast<int>(i - 1));
 }
 
+WriteBuffer::WriteBuffer(const WriteBuffer &other, L2Port &port,
+                         L2WriteHook hook)
+    : config_(other.config_), port_(port), hook_(std::move(hook)),
+      line_bytes_(other.line_bytes_), word_shift_(other.word_shift_),
+      line_is_base_(other.line_is_base_), entries_(other.entries_),
+      next_seq_(other.next_seq_), engine_now_(other.engine_now_),
+      retire_in_flight_(other.retire_in_flight_),
+      retiring_index_(other.retiring_index_),
+      retire_done_(other.retire_done_),
+      occupancy_since_(other.occupancy_since_),
+      next_fixed_attempt_(other.next_fixed_attempt_),
+      valid_count_(other.valid_count_), free_stack_(other.free_stack_),
+      fifo_head_(other.fifo_head_), fifo_tail_(other.fifo_tail_),
+      base_map_(other.base_map_), line_map_(other.line_map_),
+      fullest_(other.fullest_), naive_scan_(other.naive_scan_),
+      cross_check_(other.cross_check_), stats_(other.stats_)
+{
+    wbsim_assert(hook_ != nullptr, "write buffer needs an L2 write hook");
+}
+
 template <typename Fn>
 void
 WriteBuffer::forEachLine(Addr base, Fn &&fn) const

@@ -32,20 +32,6 @@
 namespace wbsim
 {
 
-/**
- * Performs the functional L2 write for one buffer entry and returns
- * how long the L2 port is held.
- *
- * @param base entry base address.
- * @param valid_words number of valid words in the entry.
- * @param total_words entry capacity in words.
- * @param start cycle at which the transfer begins.
- * @return port occupancy in cycles (>= 1).
- */
-using L2WriteHook = std::function<Cycle(Addr base, unsigned valid_words,
-                                        unsigned total_words,
-                                        Cycle start)>;
-
 /** The coalescing FIFO write buffer. */
 class WriteBuffer final : public StoreBuffer
 {
@@ -99,6 +85,13 @@ class WriteBuffer final : public StoreBuffer
     const StoreBufferStats &stats() const override { return stats_; }
     void resetStats() override { stats_.reset(); }
 
+    std::unique_ptr<StoreBuffer>
+    cloneRebound(L2Port &port, L2WriteHook hook) const override
+    {
+        return std::unique_ptr<StoreBuffer>(
+            new WriteBuffer(*this, port, std::move(hook)));
+    }
+
     /** True if a retirement is in flight (for tests). */
     bool retirementUnderway() const { return retire_in_flight_; }
 
@@ -114,6 +107,10 @@ class WriteBuffer final : public StoreBuffer
     void verifyIndexIntegrity() const;
 
   private:
+    /** cloneRebound's copy: everything but the references. */
+    WriteBuffer(const WriteBuffer &other, L2Port &port,
+                L2WriteHook hook);
+
     struct Entry
     {
         Addr base = 0;

@@ -46,6 +46,22 @@ WriteCache::WriteCache(const WriteBufferConfig &config, L2Port &port,
         free_stack_.push_back(static_cast<int>(i - 1));
 }
 
+WriteCache::WriteCache(const WriteCache &other, L2Port &port,
+                       L2WriteHook hook)
+    : config_(other.config_), port_(port), hook_(std::move(hook)),
+      line_bytes_(other.line_bytes_), word_shift_(other.word_shift_),
+      line_is_base_(other.line_is_base_), entries_(other.entries_),
+      use_clock_(other.use_clock_), next_seq_(other.next_seq_),
+      evict_done_(other.evict_done_),
+      valid_count_(other.valid_count_), free_stack_(other.free_stack_),
+      lru_head_(other.lru_head_), lru_tail_(other.lru_tail_),
+      base_map_(other.base_map_), line_map_(other.line_map_),
+      naive_scan_(other.naive_scan_), cross_check_(other.cross_check_),
+      stats_(other.stats_)
+{
+    wbsim_assert(hook_ != nullptr, "write cache needs an L2 write hook");
+}
+
 template <typename Fn>
 void
 WriteCache::forEachLine(Addr base, Fn &&fn) const

@@ -62,6 +62,13 @@ class WriteCache final : public StoreBuffer
     const StoreBufferStats &stats() const override { return stats_; }
     void resetStats() override { stats_.reset(); }
 
+    std::unique_ptr<StoreBuffer>
+    cloneRebound(L2Port &port, L2WriteHook hook) const override
+    {
+        return std::unique_ptr<StoreBuffer>(
+            new WriteCache(*this, port, std::move(hook)));
+    }
+
     /**
      * Panic unless every incremental index agrees with a from-scratch
      * recomputation over the entry array. Runs automatically after
@@ -71,6 +78,9 @@ class WriteCache final : public StoreBuffer
     void verifyIndexIntegrity() const;
 
   private:
+    /** cloneRebound's copy: everything but the references. */
+    WriteCache(const WriteCache &other, L2Port &port, L2WriteHook hook);
+
     struct Entry
     {
         Addr base = 0;

@@ -1,14 +1,139 @@
 #include "harness/experiment.hh"
 
 #include <cmath>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
 
 #include "sim/simulator.hh"
+#include "trace/materialized_trace.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
 #include "util/thread_pool.hh"
 #include "workloads/generator.hh"
 
 namespace wbsim
 {
+
+namespace
+{
+
+#ifdef NDEBUG
+constexpr bool kDebugBuild = false;
+#else
+constexpr bool kDebugBuild = true;
+#endif
+
+/**
+ * The process-wide grid caches: materialized traces keyed by
+ * (benchmark, seed, length) and warm-state checkpoints keyed by
+ * (benchmark, seed, warmup, machine state fingerprint). Both are
+ * build-once: the first worker to ask for a key builds the value
+ * while later askers block on a shared_future, so concurrent grid
+ * cells never duplicate work.
+ */
+class GridCache
+{
+  public:
+    using TracePtr = std::shared_ptr<const MaterializedTrace>;
+    using SnapPtr = std::shared_ptr<const SimSnapshot>;
+
+    TracePtr trace(const BenchmarkProfile &profile, std::uint64_t seed,
+                   Count length)
+    {
+        std::ostringstream key;
+        key << profile.name << '#' << seed << '#' << length;
+        return dedupe(traces_, key.str(), stats_.traceBuilds,
+                      stats_.traceHits, [&]() {
+                          SyntheticSource source(profile, length, seed);
+                          return std::make_shared<
+                              const MaterializedTrace>(
+                              MaterializedTrace::build(source));
+                      });
+    }
+
+    SnapPtr checkpoint(const BenchmarkProfile &profile,
+                       const MachineConfig &machine, std::uint64_t seed,
+                       Count warmup, const MaterializedTrace &trace)
+    {
+        std::ostringstream key;
+        key << profile.name << '#' << seed << '#' << warmup << '#'
+            << machine.stateFingerprint();
+        return dedupe(snapshots_, key.str(), stats_.checkpointBuilds,
+                      stats_.checkpointHits, [&]() {
+                          Simulator simulator(machine);
+                          MaterializedCursor cursor(trace);
+                          Count done =
+                              simulator.consume(cursor, warmup);
+                          wbsim_assert(done == warmup,
+                                       "trace shorter than warmup");
+                          simulator.resetStats();
+                          return std::make_shared<const SimSnapshot>(
+                              simulator.snapshot());
+                      });
+    }
+
+    GridCacheStats stats()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+    void clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        traces_.clear();
+        snapshots_.clear();
+        stats_ = GridCacheStats{};
+    }
+
+  private:
+    template <typename Ptr, typename Build>
+    Ptr dedupe(std::unordered_map<std::string, std::shared_future<Ptr>>
+                   &map,
+               const std::string &key, std::size_t &builds,
+               std::size_t &hits, Build build)
+    {
+        std::promise<Ptr> promise;
+        std::shared_future<Ptr> future;
+        bool is_builder = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = map.find(key);
+            if (it == map.end()) {
+                future = promise.get_future().share();
+                map.emplace(key, future);
+                is_builder = true;
+                ++builds;
+            } else {
+                future = it->second;
+                ++hits;
+            }
+        }
+        if (is_builder)
+            promise.set_value(build());
+        return future.get();
+    }
+
+    std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_future<TracePtr>>
+        traces_;
+    std::unordered_map<std::string, std::shared_future<SnapPtr>>
+        snapshots_;
+    GridCacheStats stats_;
+};
+
+GridCache &
+gridCache()
+{
+    static GridCache cache;
+    return cache;
+}
+
+} // namespace
 
 RunnerOptions
 RunnerOptions::fromEnvironment()
@@ -19,6 +144,8 @@ RunnerOptions::fromEnvironment()
         envUint("WBSIM_WARMUP", options.instructions / 2);
     options.threads = defaultThreads();
     options.seed = envUint("WBSIM_SEED", 1);
+    options.materialize = envUint("WBSIM_MATERIALIZE", 1) != 0;
+    options.checkpoints = envUint("WBSIM_CHECKPOINTS", 1) != 0;
     return options;
 }
 
@@ -29,15 +156,64 @@ runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
     SyntheticSource source(profile, instructions + warmup, seed);
     Simulator simulator(machine);
     if (warmup > 0) {
-        TraceRecord record;
-        Count done = 0;
-        while (done < warmup && source.next(record)) {
-            simulator.step(record);
-            ++done;
-        }
+        simulator.consume(source, warmup);
         simulator.resetStats();
     }
     return simulator.run(source);
+}
+
+SimResults
+runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
+       const RunnerOptions &options, std::uint64_t seed)
+{
+    if (!options.materialize && !options.checkpoints)
+        return runOne(profile, machine, options.instructions, seed,
+                      options.warmup);
+
+    GridCache &cache = gridCache();
+    Count length = options.instructions + options.warmup;
+    GridCache::TracePtr trace = cache.trace(profile, seed, length);
+    MaterializedCursor cursor(*trace);
+    Simulator simulator(machine);
+    if (options.warmup > 0) {
+        if (options.checkpoints) {
+            GridCache::SnapPtr snap = cache.checkpoint(
+                profile, machine, seed, options.warmup, *trace);
+            simulator.restore(*snap);
+            cursor.seek(options.warmup);
+        } else {
+            simulator.consume(cursor, options.warmup);
+            simulator.resetStats();
+        }
+    }
+    SimResults result = simulator.run(cursor);
+
+    if constexpr (kDebugBuild) {
+        // Debug builds shadow every cached cell with the uncached
+        // reference path: materialization and checkpoint-resume must
+        // never change a single bit of any result.
+        SimResults reference = runOne(profile, machine,
+                                      options.instructions, seed,
+                                      options.warmup);
+        wbsim_assert(result == reference,
+                     "cached grid cell diverged from the uncached "
+                     "reference run (workload ",
+                     profile.name, ", machine ", machine.describe(),
+                     ")");
+    }
+    return result;
+}
+
+GridCacheStats
+gridCacheStats()
+{
+    return gridCache().stats();
+}
+
+void
+clearGridCaches()
+{
+    gridCache().clear();
 }
 
 ExperimentResults
@@ -56,8 +232,7 @@ runExperiment(const Experiment &experiment,
                     results[b][v] =
                         runOne(profiles[b],
                                experiment.variants[v].machine,
-                               options.instructions, options.seed,
-                               options.warmup);
+                               options, options.seed);
                 });
     return results;
 }
@@ -69,8 +244,7 @@ runReplicated(const BenchmarkProfile &profile,
 {
     std::vector<SimResults> runs(replicas);
     parallelFor(replicas, options.threads, [&](std::size_t i) {
-        runs[i] = runOne(profile, machine, options.instructions,
-                         options.seed + i, options.warmup);
+        runs[i] = runOne(profile, machine, options, options.seed + i);
     });
     return runs;
 }

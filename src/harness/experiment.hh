@@ -7,6 +7,7 @@
 #ifndef WBSIM_HARNESS_EXPERIMENT_HH
 #define WBSIM_HARNESS_EXPERIMENT_HH
 
+#include <cstddef>
 #include <functional>
 #include <string>
 #include <vector>
@@ -55,15 +56,51 @@ struct RunnerOptions
     unsigned threads = 0;
     /** Workload generator seed. */
     std::uint64_t seed = 1;
+    /** Materialize each (benchmark, seed, length) trace once and
+     *  replay it for every variant, instead of regenerating it per
+     *  cell; WBSIM_MATERIALIZE=0 disables. */
+    bool materialize = true;
+    /** Reuse warm-state checkpoints between cells with identical
+     *  (benchmark, seed, warmup, machine fingerprint); implies
+     *  materialize. WBSIM_CHECKPOINTS=0 disables. */
+    bool checkpoints = true;
 
     /** Resolve env overrides and defaults. */
     static RunnerOptions fromEnvironment();
 };
 
-/** Run one benchmark on one machine. */
+/** Run one benchmark on one machine (uncached reference path: the
+ *  trace is generated in place and warmup is always simulated). */
 SimResults runOne(const BenchmarkProfile &profile,
                   const MachineConfig &machine, Count instructions,
                   std::uint64_t seed = 1, Count warmup = 0);
+
+/**
+ * Run one benchmark on one machine through the process-wide grid
+ * caches, honouring @p options.materialize / @p options.checkpoints.
+ * Bit-identical to the uncached runOne (debug builds verify this on
+ * every cached call). @p seed overrides options.seed so replicated
+ * runs can share the cache.
+ */
+SimResults runOne(const BenchmarkProfile &profile,
+                  const MachineConfig &machine,
+                  const RunnerOptions &options, std::uint64_t seed);
+
+/** Hit/build counters for the process-wide grid caches. */
+struct GridCacheStats
+{
+    std::size_t traceBuilds = 0;
+    std::size_t traceHits = 0;
+    std::size_t checkpointBuilds = 0;
+    std::size_t checkpointHits = 0;
+};
+
+/** Snapshot the grid-cache counters (tests and benchmarks). */
+GridCacheStats gridCacheStats();
+
+/** Drop all cached traces and checkpoints and zero the counters.
+ *  Callers must not race this with an in-flight runExperiment. */
+void clearGridCaches();
 
 /** Run the full benchmark x variant grid, in parallel. */
 ExperimentResults runExperiment(const Experiment &experiment,

@@ -1,12 +1,61 @@
 #include "sim/machine_config.hh"
 
+#include <bit>
 #include <sstream>
 
 #include "util/bits.hh"
 #include "util/logging.hh"
+#include "util/random.hh"
 
 namespace wbsim
 {
+
+namespace
+{
+
+std::uint64_t
+hashGeometry(std::uint64_t h, const CacheGeometry &g)
+{
+    h = hashCombine(h, g.sizeBytes);
+    h = hashCombine(h, g.lineBytes);
+    return hashCombine(h, g.associativity);
+}
+
+} // namespace
+
+std::uint64_t
+MachineConfig::stateFingerprint() const
+{
+    std::uint64_t h = 0x77b51aceull; // domain tag
+    h = hashGeometry(h, l1d);
+    h = hashCombine(h, perfectICache ? 1 : 0);
+    h = hashGeometry(h, l1i);
+    h = hashCombine(h, perfectL2 ? 1 : 0);
+    h = hashGeometry(h, l2);
+    h = hashCombine(h, l2Latency);
+    h = hashCombine(h, memLatency);
+    h = hashCombine(h, l2DatapathBytes);
+    h = hashCombine(h, issueWidth);
+    h = hashCombine(h, std::bit_cast<std::uint64_t>(bubbleProbability));
+    h = hashCombine(h, l1WriteAllocate ? 1 : 0);
+    const WriteBufferConfig &wb = writeBuffer;
+    h = hashCombine(h, static_cast<std::uint64_t>(wb.kind));
+    h = hashCombine(h, wb.depth);
+    h = hashCombine(h, wb.entryBytes);
+    h = hashCombine(h, wb.wordBytes);
+    h = hashCombine(h, wb.coalescing ? 1 : 0);
+    h = hashCombine(h, static_cast<std::uint64_t>(wb.retirementMode));
+    h = hashCombine(h, static_cast<std::uint64_t>(wb.retirementOrder));
+    h = hashCombine(h, wb.highWaterMark);
+    h = hashCombine(h, wb.fixedRatePeriod);
+    h = hashCombine(h, wb.ageTimeout);
+    h = hashCombine(h, static_cast<std::uint64_t>(wb.hazardPolicy));
+    h = hashCombine(h, wb.writePriorityThreshold);
+    h = hashCombine(h, wb.wbHitExtraCycles);
+    h = hashCombine(h, wb.naiveScan ? 1 : 0);
+    h = hashCombine(h, wb.crossCheck ? 1 : 0);
+    return h;
+}
 
 Cycle
 MachineConfig::l2TransferCycles() const

@@ -67,6 +67,17 @@ struct MachineConfig
     /** Cycles one L2 transfer occupies the port. */
     Cycle l2TransferCycles() const;
 
+    /**
+     * Hash of every field. In this simulator timing feeds back into
+     * functional state (retirement timing decides coalescing, which
+     * decides the L2 write stream), so *every* field can affect the
+     * machine state reached after a warmup prefix; the grid runner
+     * therefore keys warm-state checkpoint reuse on this full
+     * fingerprint, and Simulator::restore() uses it as a
+     * compatibility check.
+     */
+    std::uint64_t stateFingerprint() const;
+
     /** fatal() on inconsistent parameters. */
     void validate() const;
 

@@ -98,6 +98,11 @@ struct SimResults
     /** Dump every statistic as "prefix.name value" lines (the
      *  machine-readable companion to the report tables). */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Exact field-by-field equality, doubles included: a run
+     *  resumed from a warm-state checkpoint must reproduce the
+     *  from-scratch run bit for bit, not approximately. */
+    bool operator==(const SimResults &other) const = default;
 };
 
 } // namespace wbsim

@@ -20,18 +20,86 @@ Simulator::Simulator(const MachineConfig &config)
       memory_(config.memLatency)
 {
     config_.validate();
-    L2WriteHook hook = [this](Addr base, unsigned valid_words,
-                              unsigned total_words, Cycle start) {
-        return l2Write(base, valid_words, total_words, start);
-    };
     auto line = static_cast<unsigned>(config_.l1d.lineBytes);
     if (config_.writeBuffer.kind == BufferKind::WriteCache) {
         buffer_ = std::make_unique<WriteCache>(config_.writeBuffer,
-                                               port_, hook, line);
+                                               port_, makeL2WriteHook(),
+                                               line);
     } else {
         buffer_ = std::make_unique<WriteBuffer>(config_.writeBuffer,
-                                                port_, hook, line);
+                                                port_, makeL2WriteHook(),
+                                                line);
     }
+}
+
+L2WriteHook
+Simulator::makeL2WriteHook()
+{
+    return [this](Addr base, unsigned valid_words, unsigned total_words,
+                  Cycle start) {
+        return l2Write(base, valid_words, total_words, start);
+    };
+}
+
+SimSnapshot
+Simulator::snapshot() const
+{
+    SimSnapshot snap{config_.stateFingerprint(),
+                     l1d_,
+                     l1i_,
+                     l2_,
+                     memory_,
+                     std::make_unique<L2Port>(port_),
+                     nullptr,
+                     cycle_,
+                     cycle_base_,
+                     instructions_,
+                     loads_,
+                     stores_,
+                     issue_slot_,
+                     bubble_rng_,
+                     stalls_,
+                     ifetch_misses_,
+                     l2_ifetch_stall_cycles_,
+                     barriers_,
+                     barrier_stall_cycles_,
+                     store_fetches_,
+                     store_fetch_cycles_};
+    // The stored clone is a state carrier only; it must never run,
+    // so its write hook traps.
+    snap.buffer = buffer_->cloneRebound(
+        *snap.port, [](Addr, unsigned, unsigned, Cycle) -> Cycle {
+            wbsim_panic("a snapshot's buffer clone performed an L2 "
+                        "write; snapshots must not be advanced");
+        });
+    return snap;
+}
+
+void
+Simulator::restore(const SimSnapshot &snap)
+{
+    wbsim_assert(snap.configFingerprint == config_.stateFingerprint(),
+                 "snapshot restored into a different machine config");
+    l1d_ = snap.l1d;
+    l1i_ = snap.l1i;
+    l2_ = snap.l2;
+    memory_ = snap.memory;
+    port_ = *snap.port;
+    buffer_ = snap.buffer->cloneRebound(port_, makeL2WriteHook());
+    cycle_ = snap.cycle;
+    cycle_base_ = snap.cycleBase;
+    instructions_ = snap.instructions;
+    loads_ = snap.loads;
+    stores_ = snap.stores;
+    issue_slot_ = snap.issueSlot;
+    bubble_rng_ = snap.bubbleRng;
+    stalls_ = snap.stalls;
+    ifetch_misses_ = snap.ifetchMisses;
+    l2_ifetch_stall_cycles_ = snap.l2IFetchStallCycles;
+    barriers_ = snap.barriers;
+    barrier_stall_cycles_ = snap.barrierStallCycles;
+    store_fetches_ = snap.storeFetches;
+    store_fetch_cycles_ = snap.storeFetchCycles;
 }
 
 Cycle
@@ -308,16 +376,53 @@ Simulator::results(const std::string &workload) const
     return r;
 }
 
+namespace
+{
+
+/// Records pulled from a TraceSource per batch refill.
+constexpr std::size_t kFeedBatch = 256;
+
+} // namespace
+
 SimResults
 Simulator::run(TraceSource &source, Count max_instructions)
 {
-    TraceRecord record;
-    while ((max_instructions == 0 || instructions_ < max_instructions)
-           && source.next(record)) {
-        step(record);
+    TraceRecord batch[kFeedBatch];
+    for (;;) {
+        std::size_t want = kFeedBatch;
+        if (max_instructions != 0) {
+            Count left = max_instructions - instructions_;
+            if (left == 0)
+                break;
+            want = std::min<Count>(left, kFeedBatch);
+        }
+        std::size_t got = source.nextBatch(batch, want);
+        for (std::size_t i = 0; i < got; ++i)
+            step(batch[i]);
+        if (got < want)
+            break;
     }
     drain();
     return results(source.name());
+}
+
+Count
+Simulator::consume(TraceSource &source, Count count)
+{
+    TraceRecord batch[kFeedBatch];
+    Count done = 0;
+    while (done < count) {
+        std::size_t want =
+            static_cast<std::size_t>(std::min<Count>(count - done,
+                                                     kFeedBatch));
+        std::size_t got = source.nextBatch(batch, want);
+        for (std::size_t i = 0; i < got; ++i)
+            step(batch[i]);
+        done += got;
+        if (got < want)
+            break;
+    }
+    return done;
 }
 
 } // namespace wbsim

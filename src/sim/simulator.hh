@@ -28,6 +28,44 @@
 namespace wbsim
 {
 
+/**
+ * A bit-exact capture of one Simulator's complete mutable state:
+ * tag stores, write-buffer contents and in-flight transactions, the
+ * busy intervals of the L2 port and memory channel, clocks, RNG
+ * streams, and every statistic. Produced by Simulator::snapshot();
+ * Simulator::restore() replays it into any simulator built from the
+ * same MachineConfig, any number of times (the grid runner forks
+ * many measured runs off one warm image).
+ *
+ * Move-only. The embedded buffer clone is bound to the snapshot's
+ * own port copy and is never advanced; it exists purely as a state
+ * carrier for the next cloneRebound().
+ */
+struct SimSnapshot
+{
+    std::uint64_t configFingerprint = 0;
+    L1DataCache l1d;
+    L1ICache l1i;
+    L2Cache l2;
+    MainMemory memory;
+    std::unique_ptr<L2Port> port;
+    std::unique_ptr<StoreBuffer> buffer;
+    Cycle cycle = 0;
+    Cycle cycleBase = 0;
+    Count instructions = 0;
+    Count loads = 0;
+    Count stores = 0;
+    unsigned issueSlot = 0;
+    Rng bubbleRng{0};
+    StallStats stalls;
+    Count ifetchMisses = 0;
+    Count l2IFetchStallCycles = 0;
+    Count barriers = 0;
+    Count barrierStallCycles = 0;
+    Count storeFetches = 0;
+    Count storeFetchCycles = 0;
+};
+
 /** One simulated machine; run one trace through it. */
 class Simulator
 {
@@ -37,12 +75,36 @@ class Simulator
     /**
      * Consume @p source to exhaustion (or @p max_instructions) and
      * return the aggregated results. The write buffer is drained at
-     * the end so all traffic is accounted.
+     * the end so all traffic is accounted. Records are pulled in
+     * flat batches (TraceSource::nextBatch), so the per-record feed
+     * cost is a copy/decode rather than a virtual call.
      */
     SimResults run(TraceSource &source, Count max_instructions = 0);
 
+    /**
+     * Execute exactly @p count records (fewer only if the source
+     * ends), batched like run() but without draining or producing
+     * results — the warmup half of a measured run.
+     * @return records consumed.
+     */
+    Count consume(TraceSource &source, Count count);
+
     /** Execute a single record (exposed for fine-grained tests). */
     void step(const TraceRecord &record);
+
+    /**
+     * Capture all mutable state (see SimSnapshot). Typically taken
+     * right after warmup + resetStats(), so restored runs begin at
+     * the measurement boundary.
+     */
+    SimSnapshot snapshot() const;
+
+    /**
+     * Adopt the state in @p snap, which must come from a simulator
+     * with an identical MachineConfig (checked by fingerprint). The
+     * attached event log, if any, is kept.
+     */
+    void restore(const SimSnapshot &snap);
 
     /** @name Introspection for tests. */
     /// @{
@@ -103,6 +165,9 @@ class Simulator
     Count store_fetches_ = 0;
     Count store_fetch_cycles_ = 0;
     EventLog *event_log_ = nullptr;
+
+    /** The L2 write callback handed to store-buffer instances. */
+    L2WriteHook makeL2WriteHook();
 
     /** Record an event if a log is attached. */
     void note(SimEventKind kind, Addr addr = 0, Count a = 0,

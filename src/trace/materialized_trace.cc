@@ -1,0 +1,238 @@
+#include "trace/materialized_trace.hh"
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace wbsim
+{
+
+namespace
+{
+
+/** Header-byte layout: op | size class | field-presence flags. */
+constexpr std::uint8_t kOpMask = 0x03;
+constexpr unsigned kSizeShift = 2;
+constexpr std::uint8_t kSizeMask = 0x03;
+constexpr std::uint8_t kSizeZero = 0;     //!< size == 0
+constexpr std::uint8_t kSizeFour = 1;     //!< size == 4
+constexpr std::uint8_t kSizeEight = 2;    //!< size == 8
+constexpr std::uint8_t kSizeExplicit = 3; //!< size byte follows
+constexpr std::uint8_t kHasAddr = 0x10;   //!< addr varint follows
+constexpr std::uint8_t kPcPlus4 = 0x20;   //!< pc advances by 4, no field
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1)
+        ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1)
+        ^ -static_cast<std::int64_t>(v & 1);
+}
+
+void
+putVarint(std::vector<std::uint8_t> &bytes, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        bytes.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    bytes.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+getVarint(const std::uint8_t *bytes, std::size_t &offset)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (;;) {
+        std::uint8_t b = bytes[offset++];
+        v |= std::uint64_t{b & 0x7f} << shift;
+        if ((b & 0x80) == 0)
+            return v;
+        shift += 7;
+    }
+}
+
+/**
+ * Decode one record given explicit decoder state. Shared by the
+ * scalar and batched paths; the batched path passes locals so the
+ * compiler can keep the state in registers across the whole batch
+ * (writes through the output pointer may alias the cursor, so member
+ * state would be reloaded every record).
+ */
+inline void
+decodeRecord(const std::uint8_t *bytes, std::size_t &offset,
+             Addr &last_addr, Addr &last_pc, TraceRecord &record)
+{
+    std::uint8_t header = bytes[offset++];
+
+    record.op = static_cast<Op>(header & kOpMask);
+    switch ((header >> kSizeShift) & kSizeMask) {
+      case kSizeZero: record.size = 0; break;
+      case kSizeFour: record.size = 4; break;
+      case kSizeEight: record.size = 8; break;
+      default: record.size = bytes[offset++]; break;
+    }
+
+    if (header & kHasAddr) {
+        last_addr += static_cast<Addr>(
+            unzigzag(getVarint(bytes, offset)));
+        record.addr = last_addr;
+    } else {
+        record.addr = record.isMem() ? last_addr : 0;
+    }
+
+    if (header & kPcPlus4)
+        last_pc += 4;
+    else
+        last_pc += static_cast<Addr>(
+            unzigzag(getVarint(bytes, offset)));
+    record.pc = last_pc;
+}
+
+} // namespace
+
+MaterializedTrace
+MaterializedTrace::build(TraceSource &source, Count limit)
+{
+    MaterializedTrace trace;
+    trace.name_ = source.name();
+    TraceRecord record;
+    while ((limit == 0 || trace.size_ < limit) && source.next(record))
+        trace.append(record);
+    trace.bytes_.shrink_to_fit();
+    return trace;
+}
+
+void
+MaterializedTrace::append(const TraceRecord &record)
+{
+    if (size_ % kSyncInterval == 0)
+        syncs_.push_back(Sync{bytes_.size(), enc_last_addr_,
+                              enc_last_pc_});
+
+    std::uint8_t header = static_cast<std::uint8_t>(record.op) & kOpMask;
+
+    std::uint8_t size_code;
+    switch (record.size) {
+      case 0: size_code = kSizeZero; break;
+      case 4: size_code = kSizeFour; break;
+      case 8: size_code = kSizeEight; break;
+      default: size_code = kSizeExplicit; break;
+    }
+    header |= static_cast<std::uint8_t>(size_code << kSizeShift);
+
+    // Absent addr field decodes to the previous address for memory
+    // ops (RAW reuse) and to zero otherwise, so only deviations from
+    // those defaults cost bytes.
+    bool has_addr = record.isMem() ? record.addr != enc_last_addr_
+                                   : record.addr != 0;
+    if (has_addr)
+        header |= kHasAddr;
+
+    bool pc_plus4 = record.pc == enc_last_pc_ + 4;
+    if (pc_plus4)
+        header |= kPcPlus4;
+
+    bytes_.push_back(header);
+    if (size_code == kSizeExplicit)
+        bytes_.push_back(record.size);
+    if (has_addr) {
+        putVarint(bytes_,
+                  zigzag(static_cast<std::int64_t>(
+                      record.addr - enc_last_addr_)));
+        enc_last_addr_ = record.addr;
+    }
+    if (!pc_plus4)
+        putVarint(bytes_,
+                  zigzag(static_cast<std::int64_t>(record.pc
+                                                   - enc_last_pc_)));
+    enc_last_pc_ = record.pc;
+
+    fingerprint_ = hashCombine(
+        fingerprint_,
+        static_cast<std::uint64_t>(record.op)
+            | (std::uint64_t{record.size} << 8));
+    fingerprint_ = hashCombine(fingerprint_, record.addr);
+    fingerprint_ = hashCombine(fingerprint_, record.pc);
+    ++size_;
+}
+
+MaterializedCursor::MaterializedCursor(const MaterializedTrace &trace)
+    : trace_(&trace)
+{
+}
+
+void
+MaterializedCursor::reset()
+{
+    offset_ = 0;
+    index_ = 0;
+    last_addr_ = 0;
+    last_pc_ = 0;
+}
+
+void
+MaterializedCursor::decodeOne(TraceRecord &record)
+{
+    decodeRecord(trace_->bytes_.data(), offset_, last_addr_, last_pc_,
+                 record);
+    ++index_;
+}
+
+bool
+MaterializedCursor::next(TraceRecord &record)
+{
+    if (index_ >= trace_->size_)
+        return false;
+    decodeOne(record);
+    return true;
+}
+
+std::size_t
+MaterializedCursor::nextBatch(TraceRecord *out, std::size_t max)
+{
+    Count left = trace_->size_ - index_;
+    std::size_t n = left < max ? static_cast<std::size_t>(left) : max;
+    const std::uint8_t *bytes = trace_->bytes_.data();
+    std::size_t offset = offset_;
+    Addr last_addr = last_addr_;
+    Addr last_pc = last_pc_;
+    for (std::size_t i = 0; i < n; ++i)
+        decodeRecord(bytes, offset, last_addr, last_pc, out[i]);
+    offset_ = offset;
+    last_addr_ = last_addr;
+    last_pc_ = last_pc;
+    index_ += n;
+    return n;
+}
+
+void
+MaterializedCursor::seek(Count index)
+{
+    if (index > trace_->size_)
+        index = trace_->size_;
+    Count sync = index / MaterializedTrace::kSyncInterval;
+    if (sync >= trace_->syncs_.size())
+        sync = trace_->syncs_.empty() ? 0 : trace_->syncs_.size() - 1;
+    if (trace_->syncs_.empty()) {
+        reset();
+        return;
+    }
+    const MaterializedTrace::Sync &s =
+        trace_->syncs_[static_cast<std::size_t>(sync)];
+    offset_ = s.byteOffset;
+    index_ = sync * MaterializedTrace::kSyncInterval;
+    last_addr_ = s.lastAddr;
+    last_pc_ = s.lastPc;
+    TraceRecord scratch;
+    while (index_ < index)
+        decodeOne(scratch);
+}
+
+} // namespace wbsim

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * A materialized trace: one immutable, compactly-encoded copy of a
+ * record stream, replayable by any number of cheap cursors.
+ *
+ * The experiment grid runs every benchmark against many machine
+ * variants. Regenerating the synthetic stream per variant makes the
+ * generator — several RNG draws, a weighted behaviour pick and a PC
+ * model per record — the dominant sweep cost. Materializing the
+ * stream once per (profile, seed, length) and replaying it V times
+ * turns that per-variant cost into a per-benchmark one.
+ *
+ * Storage is structure-of-arrays in spirit but byte-packed in
+ * practice: one header byte per record (op, size class, delta flags)
+ * followed by zigzag-varint address/PC deltas. Typical synthetic
+ * streams encode in 2-4 bytes per record versus the 24-byte
+ * TraceRecord, so whole-figure trace sets stay cache- and
+ * memory-friendly. Periodic sync points make seek() cheap, which is
+ * what lets warm-state checkpoint forks resume mid-stream without
+ * decoding the warmup prefix.
+ */
+
+#ifndef WBSIM_TRACE_MATERIALIZED_TRACE_HH
+#define WBSIM_TRACE_MATERIALIZED_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/source.hh"
+
+namespace wbsim
+{
+
+/** An immutable, delta-encoded record stream. */
+class MaterializedTrace
+{
+  public:
+    MaterializedTrace() = default;
+
+    /**
+     * Drain @p source (up to @p limit records; 0 = to exhaustion)
+     * into a materialized trace named after the source.
+     */
+    static MaterializedTrace build(TraceSource &source, Count limit = 0);
+
+    /** Number of records. */
+    Count size() const { return size_; }
+
+    /** Encoded bytes (for footprint reporting and tests). */
+    std::size_t encodedBytes() const { return bytes_.size(); }
+
+    /** Identity inherited from the source (reports key off it). */
+    const std::string &name() const { return name_; }
+
+    /** Content hash: two traces with equal fingerprints and sizes
+     *  replay identically (used by cache cross-checks and tests). */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+  private:
+    friend class MaterializedCursor;
+
+    /** Records between seekable sync points (power of two). */
+    static constexpr Count kSyncInterval = 4096;
+
+    /** Decoder state immediately before record kSyncInterval * i. */
+    struct Sync
+    {
+        std::size_t byteOffset = 0;
+        Addr lastAddr = 0;
+        Addr lastPc = 0;
+    };
+
+    void append(const TraceRecord &record);
+
+    std::vector<std::uint8_t> bytes_;
+    std::vector<Sync> syncs_;
+    Count size_ = 0;
+    std::uint64_t fingerprint_ = 0;
+    std::string name_ = "materialized";
+
+    /** @name Encoder state (meaningful only during build()). */
+    /// @{
+    Addr enc_last_addr_ = 0;
+    Addr enc_last_pc_ = 0;
+    /// @}
+};
+
+/**
+ * A read cursor over a MaterializedTrace. Non-virtual decode loop in
+ * nextBatch(); the trace itself is shared and never mutated, so any
+ * number of cursors (one per grid cell, across threads) may replay
+ * it concurrently.
+ */
+class MaterializedCursor final : public TraceSource
+{
+  public:
+    /** @param trace the trace to replay; caller keeps it alive. */
+    explicit MaterializedCursor(const MaterializedTrace &trace);
+
+    bool next(TraceRecord &record) override;
+    std::size_t nextBatch(TraceRecord *out, std::size_t max) override;
+    void reset() override;
+    std::string name() const override { return trace_->name(); }
+
+    /** Jump so the next record returned is record @p index. */
+    void seek(Count index);
+
+    /** Index of the next record to be returned. */
+    Count position() const { return index_; }
+
+  private:
+    const MaterializedTrace *trace_;
+    std::size_t offset_ = 0; //!< byte offset into trace_->bytes_
+    Count index_ = 0;
+    Addr last_addr_ = 0;
+    Addr last_pc_ = 0;
+
+    void decodeOne(TraceRecord &record);
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_TRACE_MATERIALIZED_TRACE_HH

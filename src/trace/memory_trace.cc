@@ -1,5 +1,7 @@
 #include "trace/memory_trace.hh"
 
+#include <algorithm>
+
 namespace wbsim
 {
 
@@ -31,6 +33,17 @@ MemoryTrace::next(TraceRecord &record)
         return false;
     record = records_[cursor_++];
     return true;
+}
+
+std::size_t
+MemoryTrace::nextBatch(TraceRecord *out, std::size_t max)
+{
+    std::size_t n = std::min(max, records_.size() - cursor_);
+    std::copy_n(records_.begin()
+                    + static_cast<std::ptrdiff_t>(cursor_),
+                n, out);
+    cursor_ += n;
+    return n;
 }
 
 TruncatedSource::TruncatedSource(TraceSource &inner, Count limit)

@@ -36,6 +36,7 @@ class MemoryTrace : public TraceSource
     const std::vector<TraceRecord> &records() const { return records_; }
 
     bool next(TraceRecord &record) override;
+    std::size_t nextBatch(TraceRecord *out, std::size_t max) override;
     void reset() override { cursor_ = 0; }
     std::string name() const override { return name_; }
 

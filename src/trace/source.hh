@@ -10,6 +10,7 @@
 #ifndef WBSIM_TRACE_SOURCE_HH
 #define WBSIM_TRACE_SOURCE_HH
 
+#include <cstddef>
 #include <string>
 
 #include "trace/record.hh"
@@ -28,6 +29,23 @@ class TraceSource
      * @return false at end of stream (record untouched).
      */
     virtual bool next(TraceRecord &record) = 0;
+
+    /**
+     * Fetch up to @p max records into @p out. The simulator's run
+     * loop consumes batches so the per-record cost of a source is a
+     * flat copy/decode, not a virtual call; sources with cheap bulk
+     * access (in-memory and materialized traces) override this.
+     * @return number of records delivered; < max only at end of
+     *         stream.
+     */
+    virtual std::size_t
+    nextBatch(TraceRecord *out, std::size_t max)
+    {
+        std::size_t n = 0;
+        while (n < max && next(out[n]))
+            ++n;
+        return n;
+    }
 
     /** Rewind to the beginning of the stream. */
     virtual void reset() = 0;

@@ -1,6 +1,8 @@
 #include "util/thread_pool.hh"
 
 #include <algorithm>
+#include <exception>
+#include <mutex>
 
 #include "util/options.hh"
 
@@ -21,6 +23,8 @@ parallelFor(std::size_t count, unsigned threads,
 
     threads = std::min<std::size_t>(threads, count);
     std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) {
@@ -29,12 +33,25 @@ parallelFor(std::size_t count, unsigned threads,
                 std::size_t i = next.fetch_add(1);
                 if (i >= count)
                     return;
-                body(i);
+                try {
+                    body(i);
+                } catch (...) {
+                    {
+                        std::lock_guard<std::mutex> lock(error_mutex);
+                        if (!error)
+                            error = std::current_exception();
+                    }
+                    // Stop handing out iterations; peers drain out.
+                    next.store(count);
+                    return;
+                }
             }
         });
     }
     for (auto &worker : workers)
         worker.join();
+    if (error)
+        std::rethrow_exception(error);
 }
 
 unsigned

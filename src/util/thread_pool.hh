@@ -25,8 +25,10 @@ namespace wbsim
  * workers. Blocks until all iterations finish. With threads <= 1 the
  * loop runs inline (useful for debugging).
  *
- * Exceptions escaping @p body terminate the process (the simulator
- * reports errors via fatal()/panic() instead).
+ * If @p body throws, the first exception (in completion order) is
+ * captured, remaining iterations are abandoned as workers notice,
+ * and the exception is rethrown on the calling thread after all
+ * workers have joined. Later exceptions are discarded.
  */
 void parallelFor(std::size_t count, unsigned threads,
                  const std::function<void(std::size_t)> &body);

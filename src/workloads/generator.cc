@@ -1,5 +1,6 @@
 #include "workloads/generator.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.hh"
@@ -186,6 +187,23 @@ SyntheticSource::next(TraceRecord &record)
 {
     if (emitted_ >= limit_)
         return false;
+    emit(record);
+    return true;
+}
+
+std::size_t
+SyntheticSource::nextBatch(TraceRecord *out, std::size_t max)
+{
+    Count left = limit_ - std::min(emitted_, limit_);
+    std::size_t n = left < max ? static_cast<std::size_t>(left) : max;
+    for (std::size_t i = 0; i < n; ++i)
+        emit(out[i]);
+    return n;
+}
+
+void
+SyntheticSource::emit(TraceRecord &record)
+{
     ++emitted_;
 
     if (burst_left_ > 0) {
@@ -210,7 +228,6 @@ SyntheticSource::next(TraceRecord &record)
         }
     }
     record.pc = nextPc();
-    return true;
 }
 
 } // namespace wbsim

@@ -31,6 +31,7 @@ class SyntheticSource : public TraceSource
                     std::uint64_t seed = 1);
 
     bool next(TraceRecord &record) override;
+    std::size_t nextBatch(TraceRecord *out, std::size_t max) override;
     void reset() override;
     std::string name() const override { return profile_.name; }
 
@@ -72,6 +73,8 @@ class SyntheticSource : public TraceSource
     Addr pc_ = 0;
 
     void rebuild();
+    /** next() minus the end-of-stream check (batch inner loop). */
+    void emit(TraceRecord &record);
     TraceRecord makeLoad();
     TraceRecord makeStore();
     Addr nextPc();

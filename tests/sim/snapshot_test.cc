@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for Simulator::snapshot()/restore(): a run forked from a
+ * warm-state snapshot must be bit-for-bit identical to the run that
+ * simply kept going, however many times the snapshot is reused.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "trace/materialized_trace.hh"
+#include "workloads/generator.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+constexpr Count kWarmup = 6'000;
+constexpr Count kMeasured = 12'000;
+
+MaterializedTrace
+makeTrace(const char *benchmark, std::uint64_t seed)
+{
+    BenchmarkProfile profile = spec92::profile(benchmark);
+    SyntheticSource source(profile, kWarmup + kMeasured, seed);
+    return MaterializedTrace::build(source);
+}
+
+MachineConfig
+realisticConfig()
+{
+    MachineConfig config;
+    config.perfectL2 = false;
+    config.writeBuffer.depth = 4;
+    return config;
+}
+
+TEST(SimSnapshot, ForkedRunMatchesContinuedRunBitForBit)
+{
+    MaterializedTrace trace = makeTrace("espresso", 5);
+    MachineConfig config = realisticConfig();
+
+    // The continued run: warm up, reset, snapshot, keep going.
+    Simulator continued(config);
+    MaterializedCursor warm(trace);
+    ASSERT_EQ(continued.consume(warm, kWarmup), kWarmup);
+    continued.resetStats();
+    SimSnapshot snap = continued.snapshot();
+    SimResults kept = continued.run(warm);
+
+    // The forked run: a fresh simulator adopts the snapshot and
+    // replays the same suffix.
+    Simulator forked(config);
+    forked.restore(snap);
+    MaterializedCursor suffix(trace);
+    suffix.seek(kWarmup);
+    SimResults resumed = forked.run(suffix);
+
+    EXPECT_EQ(resumed, kept);
+}
+
+TEST(SimSnapshot, SnapshotSurvivesRepeatedRestores)
+{
+    MaterializedTrace trace = makeTrace("li", 9);
+    MachineConfig config = realisticConfig();
+
+    Simulator warmer(config);
+    MaterializedCursor warm(trace);
+    ASSERT_EQ(warmer.consume(warm, kWarmup), kWarmup);
+    warmer.resetStats();
+    SimSnapshot snap = warmer.snapshot();
+
+    SimResults first;
+    for (int round = 0; round < 3; ++round) {
+        Simulator sim(config);
+        sim.restore(snap);
+        MaterializedCursor suffix(trace);
+        suffix.seek(kWarmup);
+        SimResults result = sim.run(suffix);
+        if (round == 0)
+            first = result;
+        else
+            EXPECT_EQ(result, first) << "round " << round;
+    }
+}
+
+TEST(SimSnapshot, RestoreAdoptsClocksAndCounters)
+{
+    MaterializedTrace trace = makeTrace("compress", 2);
+    MachineConfig config; // default machine
+
+    Simulator warmer(config);
+    MaterializedCursor warm(trace);
+    ASSERT_EQ(warmer.consume(warm, kWarmup), kWarmup);
+    EXPECT_EQ(warmer.instructions(), kWarmup);
+    warmer.resetStats(); // zeroes counters, keeps the warm clock
+    SimSnapshot snap = warmer.snapshot();
+    EXPECT_EQ(snap.instructions, 0u);
+    EXPECT_EQ(snap.cycle, warmer.now());
+    EXPECT_GT(snap.cycle, 0u);
+
+    Simulator fresh(config);
+    fresh.restore(snap);
+    EXPECT_EQ(fresh.now(), warmer.now());
+    EXPECT_EQ(fresh.instructions(), 0u);
+}
+
+TEST(SimSnapshotDeathTest, RestoreRejectsMismatchedConfig)
+{
+    MaterializedTrace trace = makeTrace("li", 1);
+    MachineConfig config = realisticConfig();
+    Simulator warmer(config);
+    MaterializedCursor warm(trace);
+    warmer.consume(warm, 1'000);
+    SimSnapshot snap = warmer.snapshot();
+
+    MachineConfig other = config;
+    other.writeBuffer.depth = 8;
+    Simulator victim(other);
+    EXPECT_DEATH(victim.restore(snap), "different machine config");
+}
+
+} // namespace
+} // namespace wbsim

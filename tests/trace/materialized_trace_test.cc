@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for MaterializedTrace / MaterializedCursor: the encoded
+ * replay must be record-for-record identical to the source stream,
+ * and seek() must land exactly where sequential decode would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/materialized_trace.hh"
+#include "workloads/generator.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+std::vector<TraceRecord>
+drain(TraceSource &source)
+{
+    std::vector<TraceRecord> records;
+    TraceRecord record;
+    while (source.next(record))
+        records.push_back(record);
+    return records;
+}
+
+TEST(MaterializedTrace, RoundTripsSyntheticStreamExactly)
+{
+    BenchmarkProfile profile = spec92::profile("espresso");
+    SyntheticSource reference(profile, 20'000, 7);
+    std::vector<TraceRecord> expected = drain(reference);
+
+    SyntheticSource again(profile, 20'000, 7);
+    MaterializedTrace trace = MaterializedTrace::build(again);
+    ASSERT_EQ(trace.size(), expected.size());
+    EXPECT_EQ(trace.name(), again.name());
+
+    MaterializedCursor cursor(trace);
+    std::vector<TraceRecord> replayed = drain(cursor);
+    ASSERT_EQ(replayed.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        ASSERT_EQ(replayed[i], expected[i]) << "record " << i;
+}
+
+TEST(MaterializedTrace, EncodingIsCompact)
+{
+    BenchmarkProfile profile = spec92::profile("li");
+    SyntheticSource source(profile, 50'000, 1);
+    MaterializedTrace trace = MaterializedTrace::build(source);
+    // The whole point: well under sizeof(TraceRecord) per record.
+    EXPECT_LT(trace.encodedBytes(),
+              trace.size() * sizeof(TraceRecord) / 2);
+}
+
+TEST(MaterializedTrace, FingerprintIdentifiesContent)
+{
+    BenchmarkProfile profile = spec92::profile("tomcatv");
+    SyntheticSource a1(profile, 10'000, 3);
+    SyntheticSource a2(profile, 10'000, 3);
+    SyntheticSource b(profile, 10'000, 4);
+    MaterializedTrace ta1 = MaterializedTrace::build(a1);
+    MaterializedTrace ta2 = MaterializedTrace::build(a2);
+    MaterializedTrace tb = MaterializedTrace::build(b);
+    EXPECT_EQ(ta1.fingerprint(), ta2.fingerprint());
+    EXPECT_NE(ta1.fingerprint(), tb.fingerprint());
+}
+
+TEST(MaterializedTrace, BuildHonoursLimit)
+{
+    BenchmarkProfile profile = spec92::profile("compress");
+    SyntheticSource source(profile, 10'000, 1);
+    MaterializedTrace trace = MaterializedTrace::build(source, 1'234);
+    EXPECT_EQ(trace.size(), 1'234u);
+}
+
+TEST(MaterializedCursor, SeekMatchesSequentialDecode)
+{
+    BenchmarkProfile profile = spec92::profile("sc");
+    SyntheticSource source(profile, 20'000, 11);
+    MaterializedTrace trace = MaterializedTrace::build(source);
+
+    MaterializedCursor sequential(trace);
+    std::vector<TraceRecord> all = drain(sequential);
+
+    // Probe positions straddling sync intervals (4096-record blocks)
+    // plus both ends.
+    const Count probes[] = {0,    1,    4'095, 4'096, 4'097,
+                            8'000, 12'288, 19'999};
+    for (Count p : probes) {
+        MaterializedCursor cursor(trace);
+        cursor.seek(p);
+        EXPECT_EQ(cursor.position(), p);
+        TraceRecord record;
+        ASSERT_TRUE(cursor.next(record)) << "position " << p;
+        EXPECT_EQ(record, all[p]) << "position " << p;
+    }
+
+    // Seeking to the end yields an exhausted cursor.
+    MaterializedCursor end(trace);
+    end.seek(trace.size());
+    TraceRecord record;
+    EXPECT_FALSE(end.next(record));
+}
+
+TEST(MaterializedCursor, NextBatchMatchesNext)
+{
+    BenchmarkProfile profile = spec92::profile("fft");
+    SyntheticSource source(profile, 5'000, 2);
+    MaterializedTrace trace = MaterializedTrace::build(source);
+
+    MaterializedCursor one(trace);
+    std::vector<TraceRecord> singles = drain(one);
+
+    MaterializedCursor batched(trace);
+    std::vector<TraceRecord> batches;
+    TraceRecord buffer[192]; // deliberately not a divisor of 5000
+    for (;;) {
+        std::size_t got = batched.nextBatch(buffer, 192);
+        batches.insert(batches.end(), buffer, buffer + got);
+        if (got < 192)
+            break;
+    }
+    ASSERT_EQ(batches.size(), singles.size());
+    for (std::size_t i = 0; i < singles.size(); ++i)
+        ASSERT_EQ(batches[i], singles[i]) << "record " << i;
+}
+
+TEST(MaterializedCursor, ResetRestartsFromRecordZero)
+{
+    BenchmarkProfile profile = spec92::profile("li");
+    SyntheticSource source(profile, 1'000, 1);
+    MaterializedTrace trace = MaterializedTrace::build(source);
+
+    MaterializedCursor cursor(trace);
+    TraceRecord first;
+    ASSERT_TRUE(cursor.next(first));
+    TraceRecord record;
+    while (cursor.next(record)) {
+    }
+    cursor.reset();
+    EXPECT_EQ(cursor.position(), 0u);
+    TraceRecord again;
+    ASSERT_TRUE(cursor.next(again));
+    EXPECT_EQ(again, first);
+}
+
+} // namespace
+} // namespace wbsim

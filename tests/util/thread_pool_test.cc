@@ -7,6 +7,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "util/thread_pool.hh"
@@ -59,6 +61,48 @@ TEST(ParallelFor, ResultsIndependentOfThreadCount)
     };
     EXPECT_EQ(run(1), run(4));
     EXPECT_EQ(run(1), run(16));
+}
+
+TEST(ParallelFor, WorkerExceptionRethrownOnCaller)
+{
+    EXPECT_THROW(
+        parallelFor(64, 4,
+                    [&](std::size_t i) {
+                        if (i == 17)
+                            throw std::runtime_error("iteration 17");
+                    }),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, FirstExceptionWinsAndStopsScheduling)
+{
+    std::atomic<std::size_t> started{0};
+    std::string what;
+    try {
+        parallelFor(10'000, 4, [&](std::size_t i) {
+            ++started;
+            if (i < 4) // every early iteration throws
+                throw std::runtime_error("iteration "
+                                         + std::to_string(i));
+        });
+        FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error &error) {
+        what = error.what();
+    }
+    // Exactly one of the worker exceptions surfaces...
+    EXPECT_EQ(what.rfind("iteration ", 0), 0u) << what;
+    // ...and the pool abandoned the remaining iterations rather
+    // than running all 10'000.
+    EXPECT_LT(started.load(), 10'000u);
+}
+
+TEST(ParallelFor, InlinePathPropagatesExceptions)
+{
+    EXPECT_THROW(parallelFor(3, 1,
+                             [](std::size_t) {
+                                 throw std::runtime_error("inline");
+                             }),
+                 std::runtime_error);
 }
 
 TEST(DefaultThreads, RespectsEnvOverride)
