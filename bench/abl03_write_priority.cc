@@ -8,8 +8,8 @@
 #include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return wbsim::bench::runFigure(
-        wbsim::figures::ablationWritePriority(), true);
+        wbsim::figures::ablationWritePriority(), argc, argv, true);
 }

@@ -8,8 +8,8 @@
 #include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return wbsim::bench::runFigure(
-        wbsim::figures::ablationNonCoalescing(), true);
+        wbsim::figures::ablationNonCoalescing(), argc, argv, true);
 }

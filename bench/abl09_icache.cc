@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "figure_bench.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "util/table.hh"
@@ -16,8 +17,9 @@
 using namespace wbsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options cli = bench::parseArtifactFlags(argc, argv);
     RunnerOptions options = RunnerOptions::fromEnvironment();
     Experiment exp = figures::ablationICache();
     auto profiles = spec92::allProfiles();
@@ -48,5 +50,15 @@ main()
     }
     table.render(std::cout);
     std::cout << "(instructions=" << options.instructions << ")\n";
+
+    std::vector<std::string> names;
+    for (const BenchmarkProfile &p : profiles)
+        names.push_back(p.name);
+    std::vector<std::string> variants;
+    for (const ConfigVariant &v : exp.variants)
+        variants.push_back(v.label);
+    bench::writeGridArtifacts(cli, exp.id, exp.title, names, variants,
+                              results, exp.variants[0].machine,
+                              options);
     return 0;
 }

@@ -8,7 +8,8 @@
 #include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return wbsim::bench::runFigure(wbsim::figures::ablationWbHitCost(), true);
+    return wbsim::bench::runFigure(wbsim::figures::ablationWbHitCost(),
+                                   argc, argv, true);
 }

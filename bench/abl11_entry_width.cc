@@ -10,8 +10,8 @@
 #include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return wbsim::bench::runFigure(wbsim::figures::ablationEntryWidth(),
-                                   true);
+                                   argc, argv, true);
 }

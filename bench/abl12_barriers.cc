@@ -10,6 +10,7 @@
 
 #include <iostream>
 
+#include "figure_bench.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "util/table.hh"
@@ -19,8 +20,9 @@
 using namespace wbsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options cli = bench::parseArtifactFlags(argc, argv);
     RunnerOptions options = RunnerOptions::fromEnvironment();
 
     const double fractions[] = {0.0, 0.0005, 0.005, 0.02};
@@ -77,6 +79,22 @@ main()
             table.addSeparator();
     }
     table.render(std::cout);
+
+    std::vector<std::string> names;
+    ExperimentResults grid;
+    for (std::size_t b = 0; b < 4; ++b) {
+        for (std::size_t f = 0; f < 4; ++f) {
+            names.push_back(std::string(benchmarks[b]) + "@"
+                            + formatDouble(fractions[f], 4));
+            grid.push_back({cells[b * 8 + f * 2].results,
+                            cells[b * 8 + f * 2 + 1].results});
+        }
+    }
+    bench::writeGridArtifacts(cli, "abl12",
+                              "Memory-barrier cost (buffer drains)",
+                              names,
+                              {machine_names[0], machine_names[1]},
+                              grid, machines[0], options);
     std::cout << "(lazier retirement holds more dirty entries, so "
                  "each barrier costs more)\n";
     return 0;

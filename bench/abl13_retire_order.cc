@@ -9,8 +9,8 @@
 #include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     return wbsim::bench::runFigure(wbsim::figures::ablationRetireOrder(),
-                                   true);
+                                   argc, argv, true);
 }

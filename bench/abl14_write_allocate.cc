@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "figure_bench.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "util/table.hh"
@@ -17,8 +18,9 @@
 using namespace wbsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options cli = bench::parseArtifactFlags(argc, argv);
     RunnerOptions options = RunnerOptions::fromEnvironment();
     Experiment exp = figures::ablationWriteAllocate();
     auto profiles = spec92::allProfiles();
@@ -49,6 +51,16 @@ main()
             table.addSeparator();
     }
     table.render(std::cout);
+
+    std::vector<std::string> names;
+    for (const BenchmarkProfile &p : profiles)
+        names.push_back(p.name);
+    std::vector<std::string> variants;
+    for (const ConfigVariant &v : exp.variants)
+        variants.push_back(v.label);
+    bench::writeGridArtifacts(cli, exp.id, exp.title, names, variants,
+                              results, exp.variants[0].machine,
+                              options);
     std::cout << "(write-allocate trades write-buffer stalls for "
                  "store-miss fetches; the paper's write-around "
                  "machine avoids them by design)\n";

@@ -7,7 +7,7 @@
 #include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return wbsim::bench::runFigure(wbsim::figures::figure04());
+    return wbsim::bench::runFigure(wbsim::figures::figure04(), argc, argv);
 }

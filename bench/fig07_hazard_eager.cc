@@ -7,7 +7,7 @@
 #include "harness/figures.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return wbsim::bench::runFigure(wbsim::figures::figure07());
+    return wbsim::bench::runFigure(wbsim::figures::figure07(), argc, argv);
 }

@@ -3,38 +3,228 @@
  * Shared main() body for the per-figure reproduction binaries.
  *
  * Every binary runs standalone with no arguments; WBSIM_INSTRUCTIONS,
- * WBSIM_WARMUP, WBSIM_THREADS and WBSIM_SEED scale the runs.
+ * WBSIM_WARMUP, WBSIM_THREADS and WBSIM_SEED scale the runs. Beyond
+ * the text report, each binary can emit machine-readable artifacts:
+ * --json/--csv write the whole grid, --trace-out re-runs the first
+ * grid cell with observability attached and writes a Chrome
+ * trace_event document, and WBSIM_OBS=<dir> emits all three under
+ * that directory without any flags.
  */
 
 #ifndef WBSIM_BENCH_FIGURE_BENCH_HH
 #define WBSIM_BENCH_FIGURE_BENCH_HH
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "obs/export.hh"
+#include "obs/hooks.hh"
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
+#include "obs/trace_event.hh"
+#include "sim/event_log.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
 #include "workloads/spec92.hh"
 
 namespace wbsim::bench
 {
 
+/** Run @p fn against @p path ("-" = stdout), announcing the file. */
+template <typename Fn>
+void
+writeArtifact(const std::string &path, const char *what, Fn &&fn)
+{
+    if (path == "-") {
+        fn(std::cout);
+        return;
+    }
+    std::ofstream os(path);
+    if (!os)
+        wbsim_fatal("cannot open '", path, "' for writing");
+    fn(os);
+    // Announce on stderr: stdout may be carrying another artifact.
+    std::cerr << "wrote " << what << " to " << path << "\n";
+}
+
+/**
+ * Re-run the experiment's first (benchmark, variant) cell with a
+ * full observability sink attached and write the resulting Chrome
+ * trace_event document. Runs uncached and single-threaded, so the
+ * event log and timeline describe exactly one simulation.
+ */
+inline void
+writeFigureTrace(const Experiment &experiment,
+                 const std::vector<BenchmarkProfile> &profiles,
+                 const RunnerOptions &options, std::ostream &os)
+{
+    wbsim_assert(!experiment.variants.empty() && !profiles.empty(),
+                 "trace export needs at least one grid cell");
+    const ConfigVariant &variant = experiment.variants.front();
+    const BenchmarkProfile &profile = profiles.front();
+
+    EventLog log(1 << 16);
+    obs::Timeline timeline;
+    obs::MetricsRegistry metrics;
+    obs::ObsSink sink{&metrics, &timeline, &log};
+    runOne(profile, variant.machine, options.instructions,
+           options.seed, options.warmup, sink);
+
+    obs::Provenance provenance;
+    provenance.machineFingerprint = variant.machine.stateFingerprint();
+    provenance.machine = variant.machine.describe();
+    provenance.seed = options.seed;
+    provenance.instructions = options.instructions;
+    provenance.warmup = options.warmup;
+    obs::writeTraceEventJson(os, &log, &timeline, provenance);
+}
+
+/** Declare and parse the artifact flags shared by the table-style
+ *  binaries (the runFigure path declares its own, plus --trace-out). */
+inline Options
+parseArtifactFlags(int argc, const char *const *argv)
+{
+    Options cli;
+    cli.declare("json", "write the result grid as JSON to FILE "
+                "('-' for stdout)");
+    cli.declare("csv", "write the result grid as CSV to FILE "
+                "('-' for stdout)");
+    cli.declare("help", "print this help", "", true);
+    cli.parse(argc, argv);
+    if (cli.getFlag("help")) {
+        std::cout << cli.usage();
+        std::exit(0);
+    }
+    return cli;
+}
+
+/**
+ * Emit the grid artifacts requested via --json/--csv (or implied by
+ * WBSIM_OBS=<dir>) for a grid labelled by @p benchmarks x
+ * @p variants. @p machine stamps the provenance fingerprint.
+ */
+inline void
+writeGridArtifacts(const Options &cli, const std::string &id,
+                   const std::string &title,
+                   const std::vector<std::string> &benchmarks,
+                   const std::vector<std::string> &variants,
+                   const ExperimentResults &results,
+                   const MachineConfig &machine,
+                   const RunnerOptions &options)
+{
+    std::string json_path = cli.get("json");
+    std::string csv_path = cli.get("csv");
+    if (const char *dir = std::getenv("WBSIM_OBS");
+        dir != nullptr && *dir != '\0') {
+        std::string prefix = std::string(dir) + "/" + id;
+        if (json_path.empty())
+            json_path = prefix + ".json";
+        if (csv_path.empty())
+            csv_path = prefix + ".csv";
+    }
+    if (!json_path.empty()) {
+        obs::Provenance provenance;
+        provenance.machineFingerprint = machine.stateFingerprint();
+        provenance.machine = machine.describe();
+        provenance.seed = options.seed;
+        provenance.instructions = options.instructions;
+        provenance.warmup = options.warmup;
+        writeArtifact(json_path, "grid JSON", [&](std::ostream &os) {
+            obs::writeGridJson(os, id, title, benchmarks, variants,
+                               results, provenance);
+        });
+    }
+    if (!csv_path.empty()) {
+        writeArtifact(csv_path, "grid CSV", [&](std::ostream &os) {
+            obs::writeGridCsv(os, benchmarks, variants, results);
+        });
+    }
+}
+
 /** Run one figure experiment over all benchmarks and report it. */
 inline int
-runFigure(const Experiment &experiment, bool extended = false)
+runFigure(const Experiment &experiment, int argc,
+          const char *const *argv, bool extended = false)
 {
+    Options cli;
+    cli.declare("json", "write the result grid as JSON to FILE "
+                "('-' for stdout)");
+    cli.declare("csv", "write the result grid as CSV to FILE "
+                "('-' for stdout)");
+    cli.declare("trace-out", "re-run the first benchmark on the first "
+                "variant with observability attached and write Chrome "
+                "trace_event JSON to FILE ('-' for stdout)");
+    cli.declare("help", "print this help", "", true);
+    cli.parse(argc, argv);
+    if (cli.getFlag("help")) {
+        std::cout << cli.usage();
+        return 0;
+    }
+
+    std::string json_path = cli.get("json");
+    std::string csv_path = cli.get("csv");
+    std::string trace_path = cli.get("trace-out");
+    if (const char *dir = std::getenv("WBSIM_OBS");
+        dir != nullptr && *dir != '\0') {
+        std::string prefix = std::string(dir) + "/" + experiment.id;
+        if (json_path.empty())
+            json_path = prefix + ".json";
+        if (csv_path.empty())
+            csv_path = prefix + ".csv";
+        if (trace_path.empty())
+            trace_path = prefix + ".trace.json";
+    }
+    // An artifact on stdout replaces the text report: "--json=- |
+    // jq" must see one clean JSON document, nothing else.
+    bool stdout_artifact = json_path == "-" || csv_path == "-"
+        || trace_path == "-";
+
     RunnerOptions options = RunnerOptions::fromEnvironment();
     auto profiles = spec92::allProfiles();
     ExperimentResults results =
         runExperiment(experiment, profiles, options);
-    ReportOptions report;
-    report.extended = extended;
-    report.csv = envUint("WBSIM_CSV", 0) != 0;
-    printExperimentReport(std::cout, experiment, profiles, results,
-                          report);
-    std::cout << "(instructions=" << options.instructions << " warmup="
-              << options.warmup << " seed=" << options.seed << ")\n";
+    if (!stdout_artifact) {
+        ReportOptions report;
+        report.extended = extended;
+        report.csv = envUint("WBSIM_CSV", 0) != 0;
+        printExperimentReport(std::cout, experiment, profiles,
+                              results, report);
+        std::cout << "(instructions=" << options.instructions
+                  << " warmup=" << options.warmup << " seed="
+                  << options.seed << ")\n";
+    }
+
+    if (!json_path.empty()) {
+        writeArtifact(json_path, "grid JSON", [&](std::ostream &os) {
+            writeExperimentJson(os, experiment, profiles, results,
+                                options);
+        });
+    }
+    if (!csv_path.empty()) {
+        writeArtifact(csv_path, "grid CSV", [&](std::ostream &os) {
+            writeExperimentCsv(os, experiment, profiles, results);
+        });
+    }
+    if (!trace_path.empty()) {
+        writeArtifact(trace_path, "trace_event JSON",
+                      [&](std::ostream &os) {
+                          writeFigureTrace(experiment, profiles,
+                                           options, os);
+                      });
+    }
     return 0;
+}
+
+/** Entry point for binaries that pre-date the artifact flags. */
+inline int
+runFigure(const Experiment &experiment, bool extended = false)
+{
+    const char *argv[] = {"figure", nullptr};
+    return runFigure(experiment, 1, argv, extended);
 }
 
 } // namespace wbsim::bench

@@ -26,6 +26,11 @@
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "mem/l2_port.hh"
+#include "obs/export.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
+#include "sim/event_log.hh"
 #include "sim/simulator.hh"
 #include "trace/materialized_trace.hh"
 #include "util/options.hh"
@@ -191,6 +196,34 @@ simulatorBaseline(Count instructions)
     return r;
 }
 
+/**
+ * The same end-to-end run with every observability sink attached
+ * (metrics registry, timeline, event log). Comparing its rate against
+ * sim_baseline puts a number on the always-on instrumentation
+ * overhead; the gate thresholds treat both alike.
+ */
+GateResult
+simulatorObserved(Count instructions)
+{
+    auto profile = spec92::profile("compress");
+    obs::MetricsRegistry metrics;
+    obs::Timeline timeline;
+    EventLog log;
+    double start = now();
+    SyntheticSource source(profile, instructions, 1);
+    Simulator simulator(figures::baselineMachine());
+    simulator.attachObs(obs::ObsSink{&metrics, &timeline, &log});
+    SimResults results = simulator.run(source);
+    double elapsed = now() - start;
+    GateResult r;
+    r.name = "sim_baseline_obs";
+    r.iterations = instructions;
+    r.seconds = elapsed;
+    r.opsPerSec = static_cast<double>(instructions) / elapsed;
+    r.cyclesPerSec = static_cast<double>(results.cycles) / elapsed;
+    return r;
+}
+
 /** Figure 3 replay: the full benchmark grid at reduced length. */
 GateResult
 fig03Replay(Count instructions)
@@ -305,21 +338,26 @@ void
 writeJson(std::ostream &os, const std::vector<GateResult> &results,
           bool smoke)
 {
-    os << "{\n"
-       << "  \"schema\": \"wbsim-perf-gate-v1\",\n"
-       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
-       << "  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const GateResult &r = results[i];
-        os << "    {\"name\": \"" << r.name << "\""
-           << ", \"ops_per_sec\": " << r.opsPerSec
-           << ", \"iterations\": " << r.iterations
-           << ", \"seconds\": " << r.seconds;
+    obs::JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", "wbsim-perf-gate-v1");
+    json.field("mode", smoke ? "smoke" : "full");
+    json.field("build_flags", obs::Provenance::defaultBuildFlags());
+    json.key("results");
+    json.beginArray();
+    for (const GateResult &r : results) {
+        json.beginObject();
+        json.field("name", r.name);
+        json.field("ops_per_sec", r.opsPerSec);
+        json.field("iterations", r.iterations);
+        json.field("seconds", r.seconds);
         if (r.cyclesPerSec > 0.0)
-            os << ", \"sim_cycles_per_sec\": " << r.cyclesPerSec;
-        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+            json.field("sim_cycles_per_sec", r.cyclesPerSec);
+        json.endObject();
     }
-    os << "  ]\n}\n";
+    json.endArray();
+    json.endObject();
+    os << "\n";
 }
 
 } // namespace
@@ -340,6 +378,13 @@ main()
     results.push_back(storeScatterDepth12(min_seconds));
     results.push_back(probeLoadDepth12(min_seconds));
     results.push_back(simulatorBaseline(sim_instructions));
+    results.push_back(simulatorObserved(sim_instructions));
+    {
+        const GateResult &plain = results[results.size() - 2];
+        const GateResult &observed = results.back();
+        std::cout << "perf_gate: sim_baseline_obs overhead = "
+                  << plain.opsPerSec / observed.opsPerSec << "x\n";
+    }
     results.push_back(fig03Replay(fig_instructions));
     results.push_back(traceReplay(min_seconds));
     results.push_back(gridFig04("grid_fig04_nocache", false,

@@ -7,6 +7,7 @@
 
 #include <iostream>
 
+#include "figure_bench.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "util/table.hh"
@@ -16,8 +17,9 @@
 using namespace wbsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options cli = bench::parseArtifactFlags(argc, argv);
     RunnerOptions options = RunnerOptions::fromEnvironment();
     auto profiles = spec92::allProfiles();
     std::vector<SimResults> results(profiles.size());
@@ -43,5 +45,16 @@ main()
         });
     }
     table.render(std::cout);
+
+    std::vector<std::string> names;
+    ExperimentResults grid;
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        names.push_back(profiles[b].name);
+        grid.push_back({results[b]});
+    }
+    bench::writeGridArtifacts(cli, "tab05",
+                              "L1 and write-buffer hit rates (Table 5)",
+                              names, {"baseline"}, grid,
+                              figures::baselineMachine(), options);
     return 0;
 }

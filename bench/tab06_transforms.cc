@@ -8,6 +8,7 @@
 
 #include <iostream>
 
+#include "figure_bench.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "util/table.hh"
@@ -17,8 +18,9 @@
 using namespace wbsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options cli = bench::parseArtifactFlags(argc, argv);
     RunnerOptions options = RunnerOptions::fromEnvironment();
     std::vector<BenchmarkProfile> profiles = {
         spec92::profile("gmtry"),
@@ -50,5 +52,17 @@ main()
         });
     }
     table.render(std::cout);
+
+    std::vector<std::string> names;
+    ExperimentResults grid;
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        names.push_back(profiles[b].name);
+        grid.push_back({results[b]});
+    }
+    bench::writeGridArtifacts(cli, "tab06",
+                              "NASA kernels before/after traversal "
+                              "transformations (Table 6)",
+                              names, {"baseline"}, grid,
+                              figures::baselineMachine(), options);
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "figure_bench.hh"
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "util/table.hh"
@@ -17,8 +18,9 @@
 using namespace wbsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    Options cli = bench::parseArtifactFlags(argc, argv);
     RunnerOptions options = RunnerOptions::fromEnvironment();
     // Steady-state hit rates for the big-footprint models (tomcatv's
     // 700K arrays in a 1M L2) need a long warmup before measuring.
@@ -65,5 +67,14 @@ main()
         });
     }
     table.render(std::cout);
+
+    std::vector<std::string> names;
+    for (const BenchmarkProfile &p : profiles)
+        names.push_back(p.name);
+    bench::writeGridArtifacts(cli, "tab07",
+                              "L1 and L2 hit rates, real L2 caches "
+                              "(Table 7)",
+                              names, {"l2-128k", "l2-512k", "l2-1m"},
+                              results, machines[0], options);
     return 0;
 }

@@ -6,13 +6,21 @@
  * write-buffer-induced stall categories.
  *
  * Usage: quickstart [--benchmark=li] [--instructions=1000000]
+ *                   [--json=FILE] [--trace-out=FILE]
  */
 
+#include <fstream>
 #include <iostream>
 
 #include "harness/experiment.hh"
 #include "harness/figures.hh"
 #include "harness/report.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
+#include "obs/trace_event.hh"
+#include "sim/event_log.hh"
+#include "util/logging.hh"
 #include "util/options.hh"
 #include "util/table.hh"
 #include "workloads/spec92.hh"
@@ -27,6 +35,10 @@ main(int argc, char **argv)
     options.declare("instructions", "instructions to simulate",
                     "1000000");
     options.declare("seed", "workload seed", "1");
+    options.declare("json", "write the recommended run's SimResults "
+                    "as JSON to FILE ('-' for stdout)");
+    options.declare("trace-out", "write a Chrome trace_event JSON of "
+                    "the recommended run to FILE ('-' for stdout)");
     options.parse(argc, argv);
 
     const std::string benchmark = options.get("benchmark");
@@ -48,10 +60,14 @@ main(int argc, char **argv)
     recommended.writeBuffer.hazardPolicy = LoadHazardPolicy::ReadFromWB;
 
     BenchmarkProfile profile = spec92::profile(benchmark);
+    EventLog log(1 << 16);
+    obs::Timeline timeline;
+    obs::MetricsRegistry metrics;
+    obs::ObsSink sink{&metrics, &timeline, &log};
     SimResults base =
         runOne(profile, baseline, instructions, seed, warmup);
-    SimResults best =
-        runOne(profile, recommended, instructions, seed, warmup);
+    SimResults best = runOne(profile, recommended, instructions, seed,
+                             warmup, sink);
 
     std::cout << "workload: " << benchmark << " ("
               << formatPercent(100 * profile.pctLoads, 1) << "% loads, "
@@ -89,5 +105,33 @@ main(int argc, char **argv)
     double speedup = double(base.cycles) / double(best.cycles);
     std::cout << "\nspeedup from the recommended write buffer: "
               << formatDouble(speedup, 4) << "x\n";
+
+    obs::Provenance provenance;
+    provenance.machineFingerprint = recommended.stateFingerprint();
+    provenance.machine = recommended.describe();
+    provenance.seed = seed;
+    provenance.instructions = instructions;
+    provenance.warmup = warmup;
+    auto emit = [](const std::string &path, auto &&fn) {
+        if (path == "-") {
+            fn(std::cout);
+            return;
+        }
+        std::ofstream os(path);
+        if (!os)
+            wbsim_fatal("cannot open '", path, "' for writing");
+        fn(os);
+        std::cerr << "wrote " << path << "\n";
+    };
+    if (options.has("json")) {
+        emit(options.get("json"), [&](std::ostream &os) {
+            obs::writeSimResultsJson(os, best, provenance);
+        });
+    }
+    if (options.has("trace-out")) {
+        emit(options.get("trace-out"), [&](std::ostream &os) {
+            obs::writeTraceEventJson(os, &log, &timeline, provenance);
+        });
+    }
     return 0;
 }

@@ -28,6 +28,11 @@ namespace wbsim
 
 class L2Port;
 
+namespace obs
+{
+class MetricsRegistry;
+} // namespace obs
+
 /**
  * Performs the functional L2 write for one buffer entry and returns
  * how long the L2 port is held.
@@ -140,6 +145,17 @@ class StoreBuffer
 
     /** Reset statistics; buffered contents are retained. */
     virtual void resetStats() = 0;
+
+    /**
+     * Publish occupancy and retirement metrics into @p metrics
+     * (nullptr detaches). Registration is idempotent by name, so
+     * re-attaching after Simulator::restore() is safe. Clones made
+     * by cloneRebound() start detached.
+     */
+    virtual void attachMetrics(obs::MetricsRegistry *metrics)
+    {
+        (void)metrics;
+    }
 
     /**
      * Deep-copy this buffer — contents, in-flight retirement,

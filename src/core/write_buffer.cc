@@ -128,6 +128,8 @@ WriteBuffer::attachEntry(std::size_t index)
         forEachLine(entry.base, [&](Addr line) { ++line_map_[line]; });
 
     considerFullest(static_cast<int>(index));
+    if (metrics_ != nullptr)
+        metrics_->set(m_occupancy_, valid_count_);
 }
 
 void
@@ -183,6 +185,9 @@ WriteBuffer::detachEntry(std::size_t index)
         // against the L2 write that evicted the entry.
         fullest_ = naiveRetirementVictim();
     }
+
+    if (metrics_ != nullptr)
+        metrics_->set(m_occupancy_, valid_count_);
 }
 
 unsigned
@@ -364,6 +369,8 @@ WriteBuffer::startRetirement(std::size_t index, Cycle start, L2Txn kind)
     stats_.wordsWritten += valid_words;
     ++stats_.entriesWritten;
     ++stats_.retirements;
+    if (metrics_ != nullptr)
+        metrics_->sample(m_retire_words_, valid_words);
     if (config_.retirementMode == RetirementMode::FixedRate)
         next_fixed_attempt_ = start + config_.fixedRatePeriod;
 }
@@ -395,6 +402,8 @@ WriteBuffer::writeEntryNow(std::size_t index, Cycle earliest, L2Txn kind)
         ++stats_.flushes;
     else
         ++stats_.retirements;
+    if (metrics_ != nullptr)
+        metrics_->sample(m_retire_words_, valid_words);
     noteOccupancyChange(start + duration);
     return start + duration;
 }
@@ -442,6 +451,8 @@ WriteBuffer::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
     advanceTo(now);
     ++stats_.stores;
     stats_.occupancy.sample(occupancy());
+    if (metrics_ != nullptr)
+        metrics_->sample(m_occupancy_at_store_, valid_count_);
 
     Addr base = alignDown(addr, config_.entryBytes);
     std::uint32_t mask = wordMask(addr, size);
@@ -756,6 +767,20 @@ WriteBuffer::verifyIndexIntegrity() const
     if (config_.retirementOrder == RetirementOrder::FullestFirst)
         wbsim_assert(fullest_ == naiveRetirementVictim(),
                      "fullest-victim cache diverged");
+}
+
+void
+WriteBuffer::attachMetrics(obs::MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    if (metrics_ == nullptr)
+        return;
+    m_occupancy_ = metrics_->gauge("wb.occupancy");
+    m_occupancy_at_store_ =
+        metrics_->histogram("wb.occupancy_at_store", config_.depth + 1);
+    m_retire_words_ =
+        metrics_->histogram("wb.retire_words", config_.wordsPerEntry() + 1);
+    metrics_->set(m_occupancy_, valid_count_);
 }
 
 } // namespace wbsim

@@ -84,6 +84,7 @@ class WriteBuffer final : public StoreBuffer
     const WriteBufferConfig &config() const override { return config_; }
     const StoreBufferStats &stats() const override { return stats_; }
     void resetStats() override { stats_.reset(); }
+    void attachMetrics(obs::MetricsRegistry *metrics) override;
 
     std::unique_ptr<StoreBuffer>
     cloneRebound(L2Port &port, L2WriteHook hook) const override
@@ -173,6 +174,15 @@ class WriteBuffer final : public StoreBuffer
     bool cross_check_ = false;
 
     StoreBufferStats stats_;
+
+    /** @name Optional always-on observability hooks (no-ops when
+     *  detached; cloneRebound copies start detached). */
+    /// @{
+    obs::MetricsRegistry *metrics_ = nullptr;
+    obs::MetricId m_occupancy_ = 0;
+    obs::MetricId m_occupancy_at_store_ = 0;
+    obs::MetricId m_retire_words_ = 0;
+    /// @}
 
     /** @name Legacy O(depth) reference scans. */
     /// @{

@@ -104,6 +104,9 @@ WriteCache::attachEntry(std::size_t index)
 
     if (!line_is_base_)
         forEachLine(entry.base, [&](Addr line) { ++line_map_[line]; });
+
+    if (metrics_ != nullptr)
+        metrics_->set(m_occupancy_, valid_count_);
 }
 
 void
@@ -152,6 +155,9 @@ WriteCache::detachEntry(std::size_t index)
     entry.lruPrev = entry.lruNext = -1;
     entry.basePrev = entry.baseNext = -1;
     free_stack_.push_back(static_cast<int>(index));
+
+    if (metrics_ != nullptr)
+        metrics_->set(m_occupancy_, valid_count_);
 }
 
 void
@@ -264,6 +270,8 @@ WriteCache::writeOut(std::size_t index, Cycle earliest, L2Txn kind)
         ++stats_.flushes;
     else
         ++stats_.retirements;
+    if (metrics_ != nullptr)
+        metrics_->sample(m_retire_words_, valid_words);
     return start + duration;
 }
 
@@ -281,6 +289,8 @@ WriteCache::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
 {
     ++stats_.stores;
     stats_.occupancy.sample(occupancy());
+    if (metrics_ != nullptr)
+        metrics_->sample(m_occupancy_at_store_, valid_count_);
 
     Addr base = alignDown(addr, config_.entryBytes);
     std::uint32_t mask = wordMask(addr, size);
@@ -548,6 +558,20 @@ WriteCache::verifyIndexIntegrity() const
         });
         wbsim_assert(lines == recount.size(), "line map misses lines");
     }
+}
+
+void
+WriteCache::attachMetrics(obs::MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    if (metrics_ == nullptr)
+        return;
+    m_occupancy_ = metrics_->gauge("wb.occupancy");
+    m_occupancy_at_store_ =
+        metrics_->histogram("wb.occupancy_at_store", config_.depth + 1);
+    m_retire_words_ =
+        metrics_->histogram("wb.retire_words", config_.wordsPerEntry() + 1);
+    metrics_->set(m_occupancy_, valid_count_);
 }
 
 } // namespace wbsim

@@ -151,7 +151,8 @@ RunnerOptions::fromEnvironment()
 
 SimResults
 runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
-       Count instructions, std::uint64_t seed, Count warmup)
+       Count instructions, std::uint64_t seed, Count warmup,
+       const obs::ObsSink &obs)
 {
     SyntheticSource source(profile, instructions + warmup, seed);
     Simulator simulator(machine);
@@ -159,6 +160,8 @@ runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
         simulator.consume(source, warmup);
         simulator.resetStats();
     }
+    if (obs.attached())
+        simulator.attachObs(obs);
     return simulator.run(source);
 }
 
@@ -168,7 +171,7 @@ runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
 {
     if (!options.materialize && !options.checkpoints)
         return runOne(profile, machine, options.instructions, seed,
-                      options.warmup);
+                      options.warmup, options.obs);
 
     GridCache &cache = gridCache();
     Count length = options.instructions + options.warmup;
@@ -186,6 +189,8 @@ runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
             simulator.resetStats();
         }
     }
+    if (options.obs.attached())
+        simulator.attachObs(options.obs);
     SimResults result = simulator.run(cursor);
 
     if constexpr (kDebugBuild) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hooks.hh"
 #include "sim/machine_config.hh"
 #include "sim/results.hh"
 #include "workloads/profile.hh"
@@ -64,16 +65,23 @@ struct RunnerOptions
      *  (benchmark, seed, warmup, machine fingerprint); implies
      *  materialize. WBSIM_CHECKPOINTS=0 disables. */
     bool checkpoints = true;
+    /** Observability sinks attached to every measured simulation
+     *  (after warmup, so metrics cover the measured region only).
+     *  The sinks are not synchronised: leave detached (the default)
+     *  for parallel grids, or run with threads = 1. */
+    obs::ObsSink obs{};
 
     /** Resolve env overrides and defaults. */
     static RunnerOptions fromEnvironment();
 };
 
 /** Run one benchmark on one machine (uncached reference path: the
- *  trace is generated in place and warmup is always simulated). */
+ *  trace is generated in place and warmup is always simulated).
+ *  @p obs sinks, if any, attach after warmup. */
 SimResults runOne(const BenchmarkProfile &profile,
                   const MachineConfig &machine, Count instructions,
-                  std::uint64_t seed = 1, Count warmup = 0);
+                  std::uint64_t seed = 1, Count warmup = 0,
+                  const obs::ObsSink &obs = {});
 
 /**
  * Run one benchmark on one machine through the process-wide grid

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/export.hh"
 #include "util/barchart.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
@@ -100,6 +101,60 @@ summarizeRun(const SimResults &results)
        << "% L=" << formatPercent(results.pctLoadHazard())
        << "% T=" << formatPercent(results.pctTotalStalls()) << "%";
     return os.str();
+}
+
+namespace
+{
+
+std::vector<std::string>
+benchmarkLabels(const std::vector<BenchmarkProfile> &profiles)
+{
+    std::vector<std::string> labels;
+    labels.reserve(profiles.size());
+    for (const BenchmarkProfile &profile : profiles)
+        labels.push_back(profile.name);
+    return labels;
+}
+
+std::vector<std::string>
+variantLabels(const Experiment &experiment)
+{
+    std::vector<std::string> labels;
+    labels.reserve(experiment.variants.size());
+    for (const ConfigVariant &variant : experiment.variants)
+        labels.push_back(variant.label);
+    return labels;
+}
+
+} // namespace
+
+void
+writeExperimentJson(std::ostream &os, const Experiment &experiment,
+                    const std::vector<BenchmarkProfile> &profiles,
+                    const ExperimentResults &results,
+                    const RunnerOptions &options)
+{
+    obs::Provenance provenance;
+    if (!experiment.variants.empty()) {
+        const MachineConfig &machine = experiment.variants[0].machine;
+        provenance.machineFingerprint = machine.stateFingerprint();
+        provenance.machine = machine.describe();
+    }
+    provenance.seed = options.seed;
+    provenance.instructions = options.instructions;
+    provenance.warmup = options.warmup;
+    obs::writeGridJson(os, experiment.id, experiment.title,
+                       benchmarkLabels(profiles),
+                       variantLabels(experiment), results, provenance);
+}
+
+void
+writeExperimentCsv(std::ostream &os, const Experiment &experiment,
+                   const std::vector<BenchmarkProfile> &profiles,
+                   const ExperimentResults &results)
+{
+    obs::writeGridCsv(os, benchmarkLabels(profiles),
+                      variantLabels(experiment), results);
 }
 
 } // namespace wbsim

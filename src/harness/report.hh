@@ -38,6 +38,23 @@ void printExperimentReport(std::ostream &os, const Experiment &experiment,
 /** One-line summary of a single run (for examples and debugging). */
 std::string summarizeRun(const SimResults &results);
 
+/**
+ * The whole grid as a machine-readable JSON artifact (schema
+ * wbsim-experiment-grid-v1), labelled from @p profiles and the
+ * experiment's variants. @p options stamps the provenance header
+ * (seed, instruction counts); the first variant's machine provides
+ * the configuration fingerprint.
+ */
+void writeExperimentJson(std::ostream &os, const Experiment &experiment,
+                         const std::vector<BenchmarkProfile> &profiles,
+                         const ExperimentResults &results,
+                         const RunnerOptions &options);
+
+/** The whole grid as CSV: benchmark,variant + SimResults columns. */
+void writeExperimentCsv(std::ostream &os, const Experiment &experiment,
+                        const std::vector<BenchmarkProfile> &profiles,
+                        const ExperimentResults &results);
+
 } // namespace wbsim
 
 #endif // WBSIM_HARNESS_REPORT_HH

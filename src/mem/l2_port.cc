@@ -49,7 +49,26 @@ L2Port::begin(L2Txn kind, Cycle earliest, Cycle duration)
     auto idx = static_cast<std::size_t>(kind);
     busy_cycles_[idx] += duration;
     ++transactions_[idx];
+    if (metrics_ != nullptr) {
+        metrics_->add(txn_metric_[idx]);
+        metrics_->add(busy_metric_, duration);
+    }
     return start;
+}
+
+void
+L2Port::attachMetrics(obs::MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    if (metrics_ == nullptr)
+        return;
+    txn_metric_[static_cast<std::size_t>(L2Txn::Read)] =
+        metrics_->counter("l2_port.reads");
+    txn_metric_[static_cast<std::size_t>(L2Txn::WriteRetire)] =
+        metrics_->counter("l2_port.retires");
+    txn_metric_[static_cast<std::size_t>(L2Txn::WriteFlush)] =
+        metrics_->counter("l2_port.flushes");
+    busy_metric_ = metrics_->counter("l2_port.busy_cycles");
 }
 
 Count

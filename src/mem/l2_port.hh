@@ -13,6 +13,7 @@
 #ifndef WBSIM_MEM_L2_PORT_HH
 #define WBSIM_MEM_L2_PORT_HH
 
+#include "obs/metrics.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 
@@ -63,12 +64,24 @@ class L2Port
     Count transactions(L2Txn kind) const;
     /// @}
 
+    /**
+     * Publish per-transaction counters into @p metrics (nullptr
+     * detaches). Copies of this port (snapshots) carry the pointer
+     * but never begin transactions; Simulator::restore() re-attaches
+     * explicitly.
+     */
+    void attachMetrics(obs::MetricsRegistry *metrics);
+
   private:
     Cycle busy_from_ = 0;
     Cycle free_at_ = 0;
     L2Txn current_ = L2Txn::None;
     Count busy_cycles_[4] = {};
     Count transactions_[4] = {};
+
+    obs::MetricsRegistry *metrics_ = nullptr;
+    obs::MetricId txn_metric_[4] = {};
+    obs::MetricId busy_metric_ = 0;
 };
 
 } // namespace wbsim

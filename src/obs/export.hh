@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Machine-readable run artifacts: JSON and CSV emitters for
+ * SimResults, MetricsRegistry contents, and whole experiment grids,
+ * each stamped with a provenance header so an artifact is traceable
+ * to the exact machine configuration, seed, and build that produced
+ * it. parseSimResultsJson() round-trips the JSON artifact back into
+ * a SimResults, field-for-field.
+ */
+
+#ifndef WBSIM_OBS_EXPORT_HH
+#define WBSIM_OBS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "sim/results.hh"
+#include "util/types.hh"
+
+namespace wbsim::obs
+{
+
+/**
+ * Where an artifact came from: enough to reproduce the run. Stamped
+ * into every JSON export under the "provenance" key.
+ */
+struct Provenance
+{
+    /** MachineConfig::stateFingerprint() of the simulated machine. */
+    std::uint64_t machineFingerprint = 0;
+    /** MachineConfig::describe() of the simulated machine. */
+    std::string machine;
+    /** Workload generator seed. */
+    std::uint64_t seed = 0;
+    /** Measured instructions. */
+    Count instructions = 0;
+    /** Warmup instructions before the measurement window. */
+    Count warmup = 0;
+    /** Compiler and assertion mode; defaults to this build's. */
+    std::string buildFlags = defaultBuildFlags();
+
+    /** "gcc 13.2.0 release" / "... debug-assertions" for this build. */
+    static std::string defaultBuildFlags();
+};
+
+/** Emit the "provenance" member into an open JSON object. */
+void writeProvenance(JsonWriter &json, const Provenance &provenance);
+
+/** @name SimResults artifacts. */
+/// @{
+/** One run as a JSON document (schema wbsim-sim-results-v1). */
+void writeSimResultsJson(std::ostream &os, const SimResults &results,
+                         const Provenance &provenance);
+
+/**
+ * Re-parse a writeSimResultsJson() document. Every stored field is
+ * restored exactly (doubles included); derived fields (rates, stall
+ * percentages) are re-derived. fatal() on malformed input.
+ */
+SimResults parseSimResultsJson(const std::string &text);
+
+/** The CSV column header shared by all SimResults CSV emitters. */
+std::string simResultsCsvHeader();
+
+/** One SimResults as a CSV row matching simResultsCsvHeader(). */
+void writeSimResultsCsvRow(std::ostream &os, const SimResults &results);
+
+/** Header plus one row per run. */
+void writeSimResultsCsv(std::ostream &os,
+                        const std::vector<SimResults> &runs);
+/// @}
+
+/** @name Experiment-grid artifacts (results[benchmark][variant]). */
+/// @{
+/** A whole grid as JSON (schema wbsim-experiment-grid-v1). */
+void writeGridJson(std::ostream &os, const std::string &id,
+                   const std::string &title,
+                   const std::vector<std::string> &benchmarks,
+                   const std::vector<std::string> &variants,
+                   const std::vector<std::vector<SimResults>> &results,
+                   const Provenance &provenance);
+
+/** A whole grid as CSV: benchmark,variant + the SimResults columns. */
+void writeGridCsv(std::ostream &os,
+                  const std::vector<std::string> &benchmarks,
+                  const std::vector<std::string> &variants,
+                  const std::vector<std::vector<SimResults>> &results);
+/// @}
+
+/** @name MetricsRegistry artifacts. */
+/// @{
+/**
+ * Registry contents as JSON (schema wbsim-metrics-v1): counters and
+ * gauges as scalars, histograms with mean/min/max/p50/p95/p99 and
+ * raw bucket counts.
+ */
+void writeMetricsJson(std::ostream &os, const MetricsRegistry &registry,
+                      const Provenance &provenance);
+
+/** Registry contents as CSV (name, kind, n, value/mean, quantiles). */
+void writeMetricsCsv(std::ostream &os,
+                     const MetricsRegistry &registry);
+/// @}
+
+} // namespace wbsim::obs
+
+#endif // WBSIM_OBS_EXPORT_HH

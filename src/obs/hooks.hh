@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ObsSink: the bundle of observability sinks a caller attaches to a
+ * Simulator (and, through harness RunnerOptions, to grid runs).
+ *
+ * Every member is optional; a default-constructed sink attaches
+ * nothing and the instrumented code paths stay no-ops. The struct
+ * holds raw non-owning pointers so it can be passed by value and
+ * embedded in options structs; the caller owns the sinks and must
+ * keep them alive for the duration of the run.
+ */
+
+#ifndef WBSIM_OBS_HOOKS_HH
+#define WBSIM_OBS_HOOKS_HH
+
+namespace wbsim
+{
+class EventLog;
+}
+
+namespace wbsim::obs
+{
+
+class MetricsRegistry;
+class Timeline;
+
+/** Optional observability sinks for one run. */
+struct ObsSink
+{
+    /** Named counters/gauges/histograms (occupancy, stall-duration
+     *  distributions, retirement bursts). */
+    MetricsRegistry *metrics = nullptr;
+
+    /** Stall-density series over cycle epochs. */
+    Timeline *timeline = nullptr;
+
+    /** Debug ring of recent events (feeds the trace_event export). */
+    EventLog *eventLog = nullptr;
+
+    bool
+    attached() const
+    {
+        return metrics != nullptr || timeline != nullptr
+            || eventLog != nullptr;
+    }
+};
+
+} // namespace wbsim::obs
+
+#endif // WBSIM_OBS_HOOKS_HH

@@ -1,0 +1,496 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace wbsim::obs
+{
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{
+}
+
+void
+JsonWriter::indentLine()
+{
+    if (indent_ <= 0)
+        return;
+    os_ << "\n";
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        for (int s = 0; s < indent_; ++s)
+            os_ << ' ';
+}
+
+void
+JsonWriter::separate()
+{
+    if (counts_.empty())
+        return; // root value
+    if (counts_.back() > 0)
+        os_ << ",";
+    ++counts_.back();
+    indentLine();
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    if (after_key_)
+        after_key_ = false;
+    else
+        separate();
+    os_ << "{";
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    wbsim_assert(!counts_.empty(), "endObject with nothing open");
+    bool had_members = counts_.back() > 0;
+    counts_.pop_back();
+    if (had_members)
+        indentLine();
+    os_ << "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    if (after_key_)
+        after_key_ = false;
+    else
+        separate();
+    os_ << "[";
+    counts_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    wbsim_assert(!counts_.empty(), "endArray with nothing open");
+    bool had_members = counts_.back() > 0;
+    counts_.pop_back();
+    if (had_members)
+        indentLine();
+    os_ << "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    wbsim_assert(!after_key_, "two keys in a row");
+    separate();
+    os_ << '"' << jsonEscape(name) << "\": ";
+    after_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    if (after_key_)
+        after_key_ = false;
+    else
+        separate();
+    os_ << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    if (after_key_)
+        after_key_ = false;
+    else
+        separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    if (after_key_)
+        after_key_ = false;
+    else
+        separate();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (after_key_)
+        after_key_ = false;
+    else
+        separate();
+    // max_digits10 guarantees the textual form re-parses to the
+    // identical double (the round-trip tests rely on this).
+    std::ostringstream tmp;
+    tmp << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << v;
+    os_ << tmp.str();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    if (after_key_)
+        after_key_ = false;
+    else
+        separate();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+JsonValue::boolean() const
+{
+    wbsim_assert(kind_ == Kind::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::number() const
+{
+    wbsim_assert(kind_ == Kind::Number, "JSON value is not a number");
+    return num_;
+}
+
+std::uint64_t
+JsonValue::uint() const
+{
+    wbsim_assert(kind_ == Kind::Number && integral_,
+                 "JSON value is not an integral number");
+    return uint_;
+}
+
+const std::string &
+JsonValue::string() const
+{
+    wbsim_assert(kind_ == Kind::String, "JSON value is not a string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    wbsim_assert(kind_ == Kind::Array, "JSON value is not an array");
+    return arr_;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &name) const
+{
+    wbsim_assert(kind_ == Kind::Object, "JSON value is not an object");
+    auto it = obj_.find(name);
+    if (it == obj_.end())
+        wbsim_fatal("JSON object has no member '", name, "'");
+    return it->second;
+}
+
+bool
+JsonValue::has(const std::string &name) const
+{
+    return kind_ == Kind::Object && obj_.count(name) > 0;
+}
+
+/** Recursive-descent parser over an in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text)
+        : text_(text)
+    {
+    }
+
+    JsonValue
+    document()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            wbsim_fatal("trailing garbage after JSON document at byte ",
+                        pos_);
+        return v;
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size()
+               && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            wbsim_fatal("unexpected end of JSON document");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            wbsim_fatal("expected '", std::string(1, c),
+                        "' at byte ", pos_, " of JSON document");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"': {
+            JsonValue v;
+            v.kind_ = JsonValue::Kind::String;
+            v.str_ = parseString();
+            return v;
+          }
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            literal("null");
+            return JsonValue{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    void
+    literal(const char *word)
+    {
+        skipSpace();
+        for (const char *p = word; *p; ++p, ++pos_)
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                wbsim_fatal("malformed JSON literal at byte ", pos_);
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Bool;
+        if (peek() == 't') {
+            literal("true");
+            v.bool_ = true;
+        } else {
+            literal("false");
+            v.bool_ = false;
+        }
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out += e;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    wbsim_fatal("truncated \\u escape in JSON string");
+                unsigned code = static_cast<unsigned>(std::strtoul(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16));
+                pos_ += 4;
+                // Exporter only emits \u for control characters.
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                wbsim_fatal("unsupported JSON escape '\\",
+                            std::string(1, e), "'");
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipSpace();
+        std::size_t start = pos_;
+        bool integral = true;
+        if (pos_ < text_.size()
+            && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' || c == '-'
+                       || c == '+') {
+                integral = false;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            wbsim_fatal("malformed JSON number at byte ", pos_);
+        std::string text = text_.substr(start, pos_ - start);
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        v.num_ = std::strtod(text.c_str(), nullptr);
+        v.integral_ = integral && text[0] != '-';
+        if (v.integral_)
+            v.uint_ = std::strtoull(text.c_str(), nullptr, 10);
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Array;
+        if (consume(']'))
+            return v;
+        for (;;) {
+            v.arr_.push_back(parseValue());
+            if (consume(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Object;
+        if (consume('}'))
+            return v;
+        for (;;) {
+            std::string name = parseString();
+            expect(':');
+            v.obj_.emplace(std::move(name), parseValue());
+            if (consume('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).document();
+}
+
+} // namespace wbsim::obs

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Minimal JSON support for the run artifacts: a streaming writer
+ * with automatic comma/indent management, and a small recursive-
+ * descent parser used by the round-trip tests and artifact tooling.
+ *
+ * Scope is deliberately tiny — just what the exporters need. Doubles
+ * are emitted with max_digits10 precision so every value re-parses
+ * to the identical bit pattern (the round-trip tests compare
+ * SimResults field-for-field with exact equality).
+ */
+
+#ifndef WBSIM_OBS_JSON_HH
+#define WBSIM_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wbsim::obs
+{
+
+/** Streaming JSON writer; nesting and commas are managed for you. */
+class JsonWriter
+{
+  public:
+    /** @param indent spaces per nesting level (0 = compact). */
+    explicit JsonWriter(std::ostream &os, int indent = 2);
+
+    /** @name Structure. Objects/arrays nest; key() precedes any
+     *  value or container opened inside an object. */
+    /// @{
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    JsonWriter &key(const std::string &name);
+    /// @}
+
+    /** @name Values. */
+    /// @{
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(unsigned v);
+    JsonWriter &value(int v);
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    /// @}
+
+    /** key(name) + value(v). */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+  private:
+    /** Comma/newline/indent before a value or key at this position. */
+    void separate();
+    void indentLine();
+
+    std::ostream &os_;
+    int indent_;
+    /** One frame per open container: counts emitted members. */
+    std::vector<std::size_t> counts_;
+    bool after_key_ = false;
+};
+
+/** Escape @p s per JSON string rules (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+/** A parsed JSON value (tree form; fine for artifact-sized files). */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+
+    /** @name Typed accessors; fatal() on kind mismatch. */
+    /// @{
+    bool boolean() const;
+    double number() const;
+    /** The number as uint64 (exact when the text was integral). */
+    std::uint64_t uint() const;
+    const std::string &string() const;
+    const std::vector<JsonValue> &array() const;
+    /// @}
+
+    /** Object member @p name; fatal() if absent or not an object. */
+    const JsonValue &at(const std::string &name) const;
+    /** True if this is an object with a member @p name. */
+    bool has(const std::string &name) const;
+
+    /**
+     * Parse @p text as one JSON document. fatal() on malformed
+     * input — artifacts are machine-written, so damage is a bug.
+     */
+    static JsonValue parse(const std::string &text);
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::uint64_t uint_ = 0;
+    bool integral_ = false;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+} // namespace wbsim::obs
+
+#endif // WBSIM_OBS_JSON_HH

@@ -1,0 +1,153 @@
+#include "obs/metrics.hh"
+
+#include "util/logging.hh"
+
+namespace wbsim::obs
+{
+
+const char *
+metricKindName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Counter:
+        return "counter";
+      case MetricKind::Gauge:
+        return "gauge";
+      case MetricKind::Histogram:
+        return "histogram";
+    }
+    return "?";
+}
+
+int
+MetricsRegistry::find(const std::string &name) const
+{
+    for (std::size_t i = 0; i < metrics_.size(); ++i)
+        if (metrics_[i].name == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+MetricId
+MetricsRegistry::counter(const std::string &name)
+{
+    if (int i = find(name); i >= 0) {
+        const Meta &meta = metrics_[static_cast<std::size_t>(i)];
+        wbsim_assert(meta.kind == MetricKind::Counter,
+                     "metric '", name, "' re-registered as a counter");
+        return meta.slot;
+    }
+    auto slot = static_cast<MetricId>(counters_.size());
+    counters_.push_back(0);
+    metrics_.push_back({name, MetricKind::Counter, slot});
+    return slot;
+}
+
+MetricId
+MetricsRegistry::gauge(const std::string &name)
+{
+    if (int i = find(name); i >= 0) {
+        const Meta &meta = metrics_[static_cast<std::size_t>(i)];
+        wbsim_assert(meta.kind == MetricKind::Gauge,
+                     "metric '", name, "' re-registered as a gauge");
+        return meta.slot;
+    }
+    auto slot = static_cast<MetricId>(gauges_.size());
+    gauges_.push_back(0);
+    metrics_.push_back({name, MetricKind::Gauge, slot});
+    return slot;
+}
+
+MetricId
+MetricsRegistry::histogram(const std::string &name, std::size_t buckets,
+                           std::uint64_t bucket_width)
+{
+    if (int i = find(name); i >= 0) {
+        const Meta &meta = metrics_[static_cast<std::size_t>(i)];
+        wbsim_assert(meta.kind == MetricKind::Histogram,
+                     "metric '", name,
+                     "' re-registered as a histogram");
+        const stats::Histogram &h = histograms_[meta.slot];
+        wbsim_assert(h.buckets() == buckets
+                         && h.bucketWidth() == bucket_width,
+                     "histogram '", name,
+                     "' re-registered with a different geometry");
+        return meta.slot;
+    }
+    auto slot = static_cast<MetricId>(histograms_.size());
+    histograms_.emplace_back(buckets, bucket_width);
+    metrics_.push_back({name, MetricKind::Histogram, slot});
+    return slot;
+}
+
+const std::string &
+MetricsRegistry::name(std::size_t i) const
+{
+    wbsim_assert(i < metrics_.size(), "metric index out of range");
+    return metrics_[i].name;
+}
+
+MetricKind
+MetricsRegistry::kind(std::size_t i) const
+{
+    wbsim_assert(i < metrics_.size(), "metric index out of range");
+    return metrics_[i].kind;
+}
+
+Count
+MetricsRegistry::counterValue(std::size_t i) const
+{
+    wbsim_assert(i < metrics_.size()
+                     && metrics_[i].kind == MetricKind::Counter,
+                 "not a counter");
+    return counters_[metrics_[i].slot];
+}
+
+std::int64_t
+MetricsRegistry::gaugeValue(std::size_t i) const
+{
+    wbsim_assert(i < metrics_.size()
+                     && metrics_[i].kind == MetricKind::Gauge,
+                 "not a gauge");
+    return gauges_[metrics_[i].slot];
+}
+
+const stats::Histogram &
+MetricsRegistry::histogramValue(std::size_t i) const
+{
+    wbsim_assert(i < metrics_.size()
+                     && metrics_[i].kind == MetricKind::Histogram,
+                 "not a histogram");
+    return histograms_[metrics_[i].slot];
+}
+
+void
+MetricsRegistry::merge(const MetricsRegistry &other)
+{
+    wbsim_assert(metrics_.size() == other.metrics_.size(),
+                 "merging registries with different metric sets");
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        wbsim_assert(metrics_[i].name == other.metrics_[i].name
+                         && metrics_[i].kind == other.metrics_[i].kind,
+                     "merging registries with different metric sets");
+    }
+    for (std::size_t i = 0; i < counters_.size(); ++i)
+        counters_[i] += other.counters_[i];
+    for (std::size_t i = 0; i < gauges_.size(); ++i)
+        gauges_[i] = std::max(gauges_[i], other.gauges_[i]);
+    for (std::size_t i = 0; i < histograms_.size(); ++i)
+        histograms_[i].merge(other.histograms_[i]);
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (Count &c : counters_)
+        c = 0;
+    for (std::int64_t &g : gauges_)
+        g = 0;
+    for (stats::Histogram &h : histograms_)
+        h.reset();
+}
+
+} // namespace wbsim::obs

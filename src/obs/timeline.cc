@@ -1,0 +1,113 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace wbsim::obs
+{
+
+const char *
+channelName(Channel channel)
+{
+    switch (channel) {
+      case Channel::BufferFullStall:
+        return "buffer_full_stall";
+      case Channel::ReadAccessStall:
+        return "read_access_stall";
+      case Channel::HazardStall:
+        return "hazard_stall";
+      case Channel::IFetchStall:
+        return "ifetch_stall";
+      case Channel::BarrierStall:
+        return "barrier_stall";
+      case Channel::WbWords:
+        return "wb_words";
+      case Channel::Stores:
+        return "stores";
+      case Channel::OccupancySum:
+        return "occupancy_sum";
+    }
+    return "?";
+}
+
+Timeline::Timeline(Cycle epoch_cycles, std::size_t max_epochs)
+    : epoch_cycles_(epoch_cycles), max_epochs_(max_epochs),
+      bins_(max_epochs * kChannels, 0)
+{
+    wbsim_assert(epoch_cycles > 0, "timeline epochs need a width");
+    wbsim_assert(max_epochs >= 2, "timeline needs at least 2 epochs");
+}
+
+std::size_t
+Timeline::epochOf(Cycle cycle)
+{
+    if (!started_) {
+        started_ = true;
+        origin_ = cycle;
+    }
+    // Events arrive in nondecreasing cycle order from one simulator,
+    // but a shared timeline may see slightly older cycles from the
+    // buffer's retirement replay; clamp those into epoch 0 territory.
+    Cycle offset = cycle >= origin_ ? cycle - origin_ : 0;
+    std::size_t epoch =
+        static_cast<std::size_t>(offset / epoch_cycles_);
+    while (epoch >= max_epochs_) {
+        fold();
+        epoch = static_cast<std::size_t>(offset / epoch_cycles_);
+    }
+    used_ = std::max(used_, epoch + 1);
+    return epoch;
+}
+
+void
+Timeline::fold()
+{
+    for (std::size_t e = 0; 2 * e + 1 < max_epochs_; ++e) {
+        for (std::size_t c = 0; c < kChannels; ++c) {
+            bins_[e * kChannels + c] =
+                bins_[2 * e * kChannels + c]
+                + bins_[(2 * e + 1) * kChannels + c];
+        }
+    }
+    // An odd tail bin carries over unpaired.
+    if (max_epochs_ % 2 == 1) {
+        std::size_t last = max_epochs_ - 1;
+        for (std::size_t c = 0; c < kChannels; ++c)
+            bins_[(last / 2) * kChannels + c] +=
+                bins_[last * kChannels + c];
+    }
+    std::size_t live = (max_epochs_ + 1) / 2;
+    std::fill(bins_.begin()
+                  + static_cast<std::ptrdiff_t>(live * kChannels),
+              bins_.end(), 0);
+    epoch_cycles_ *= 2;
+    used_ = (used_ + 1) / 2;
+}
+
+Count
+Timeline::value(std::size_t epoch, Channel channel) const
+{
+    wbsim_assert(epoch < used_, "timeline epoch out of range");
+    return bins_[epoch * kChannels + static_cast<std::size_t>(channel)];
+}
+
+Count
+Timeline::total(Channel channel) const
+{
+    Count sum = 0;
+    for (std::size_t e = 0; e < used_; ++e)
+        sum += bins_[e * kChannels + static_cast<std::size_t>(channel)];
+    return sum;
+}
+
+void
+Timeline::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    started_ = false;
+    origin_ = 0;
+    used_ = 0;
+}
+
+} // namespace wbsim::obs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Timeline: bounded cycle-attribution series for stall clustering.
+ *
+ * End-of-run aggregates (SimResults) answer "how much time did each
+ * stall class cost" but not "when" — the clustering that aggregates
+ * hide is exactly what LSM-stability and write-latency studies chase
+ * with phase timelines. The Timeline aggregates per-channel cycle
+ * counts into fixed-width cycle epochs; whenever the run outgrows
+ * the epoch array the epoch width doubles and adjacent bins fold
+ * together, so a billion-cycle run still yields at most `maxEpochs`
+ * plottable points per channel with no allocation after the first
+ * resize (DESIGN.md §8).
+ */
+
+#ifndef WBSIM_OBS_TIMELINE_HH
+#define WBSIM_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace wbsim::obs
+{
+
+/** What a timeline bin accumulates. One slot per channel per epoch. */
+enum class Channel : std::uint8_t
+{
+    BufferFullStall, //!< buffer-full stall cycles (Table 3 "F")
+    ReadAccessStall, //!< L2-read-access stall cycles (Table 3 "R")
+    HazardStall,     //!< load-hazard stall cycles (Table 3 "L")
+    IFetchStall,     //!< §4.3 L2-I-fetch stall cycles
+    BarrierStall,    //!< barrier-drain stall cycles
+    WbWords,         //!< words retired/flushed to L2
+    Stores,          //!< stores presented to the buffer
+    OccupancySum,    //!< sum of occupancy sampled at each store
+};
+
+/** Number of Channel values (array extent). */
+constexpr std::size_t kChannels = 8;
+
+/** Printable name for a Channel. */
+const char *channelName(Channel channel);
+
+/** Fixed-epoch, bounded, per-channel cycle-attribution series. */
+class Timeline
+{
+  public:
+    /**
+     * @param epoch_cycles initial epoch width in cycles.
+     * @param max_epochs bound on the series length; outgrowing it
+     *        doubles the epoch width and folds bins pairwise.
+     */
+    explicit Timeline(Cycle epoch_cycles = 10'000,
+                      std::size_t max_epochs = 1024);
+
+    /** Accumulate @p value into @p channel's bin for @p cycle. The
+     *  first call pins the timeline origin to that cycle. */
+    void
+    add(Channel channel, Cycle cycle, Count value)
+    {
+        if (value == 0)
+            return;
+        std::size_t epoch = epochOf(cycle);
+        bins_[epoch * kChannels + static_cast<std::size_t>(channel)] +=
+            value;
+    }
+
+    /** @name Read-side accessors (export and tests). */
+    /// @{
+    /** Epochs with at least one recorded cycle before or at them. */
+    std::size_t epochs() const { return used_; }
+    /** Current epoch width (grows by doubling). */
+    Cycle epochCycles() const { return epoch_cycles_; }
+    /** Cycle of the first event (epoch 0 starts here). */
+    Cycle origin() const { return origin_; }
+    /** Accumulated value for (@p epoch, @p channel). */
+    Count value(std::size_t epoch, Channel channel) const;
+    /** Total across all epochs for @p channel. */
+    Count total(Channel channel) const;
+    /// @}
+
+    void reset();
+
+  private:
+    /** Bin index for @p cycle, folding the series if it overflows. */
+    std::size_t epochOf(Cycle cycle);
+
+    /** Halve the resolution: double the width, fold bins pairwise. */
+    void fold();
+
+    Cycle epoch_cycles_;
+    std::size_t max_epochs_;
+    Cycle origin_ = 0;
+    bool started_ = false;
+    std::size_t used_ = 0;
+    std::vector<Count> bins_; //!< [epoch][channel], flat
+};
+
+} // namespace wbsim::obs
+
+#endif // WBSIM_OBS_TIMELINE_HH

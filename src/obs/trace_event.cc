@@ -1,0 +1,243 @@
+#include "obs/trace_event.hh"
+
+#include <sstream>
+
+#include "obs/timeline.hh"
+#include "sim/event_log.hh"
+
+namespace wbsim::obs
+{
+
+namespace
+{
+
+/** Track (tid) layout; one lane per event family in the viewer. */
+enum Track : int
+{
+    kTrackCpu = 0,        //!< loads/stores/ifetch instants
+    kTrackBufferFull = 1, //!< buffer-full stall slices
+    kTrackReadAccess = 2, //!< L2-read-access stall slices
+    kTrackHazard = 3,     //!< load-hazard stall slices
+    kTrackBarrier = 4,    //!< barrier-drain stall slices
+    kTrackWbWrites = 5,   //!< write-buffer L2 transfer instants
+};
+
+const char *
+trackName(int tid)
+{
+    switch (tid) {
+      case kTrackCpu:
+        return "cpu accesses";
+      case kTrackBufferFull:
+        return "stall: buffer-full";
+      case kTrackReadAccess:
+        return "stall: read-access";
+      case kTrackHazard:
+        return "stall: load-hazard";
+      case kTrackBarrier:
+        return "stall: barrier";
+      case kTrackWbWrites:
+        return "wb writes";
+    }
+    return "?";
+}
+
+std::string
+hexAddr(Addr addr)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+/** Common prefix of every event object. */
+void
+eventHead(JsonWriter &json, const char *name, const char *ph,
+          Cycle ts, int tid)
+{
+    json.beginObject();
+    json.field("name", name);
+    json.field("ph", ph);
+    json.field("ts", static_cast<std::uint64_t>(ts));
+    json.field("pid", 0);
+    json.field("tid", tid);
+}
+
+/** One X slice with a duration and an optional served flag. */
+void
+slice(JsonWriter &json, const char *name, int tid,
+      const SimEventRecord &e)
+{
+    eventHead(json, name, "X", e.cycle, tid);
+    json.field("dur", e.a);
+    json.key("args").beginObject();
+    if (e.addr)
+        json.field("addr", hexAddr(e.addr));
+    json.field("cycles", e.a);
+    json.endObject();
+    json.endObject();
+}
+
+/** One instant event with the address in args. */
+void
+instant(JsonWriter &json, const char *name, int tid,
+        const SimEventRecord &e)
+{
+    eventHead(json, name, "i", e.cycle, tid);
+    json.field("s", "t"); // thread-scoped instant
+    json.key("args").beginObject();
+    if (e.addr)
+        json.field("addr", hexAddr(e.addr));
+    if (e.a)
+        json.field("a", e.a);
+    json.endObject();
+    json.endObject();
+}
+
+void
+writeLogEvents(JsonWriter &json, const EventLog &log)
+{
+    log.forEach([&](const SimEventRecord &e) {
+        switch (e.kind) {
+          case SimEventKind::BufferFullStall:
+            slice(json, "buffer-full", kTrackBufferFull, e);
+            break;
+          case SimEventKind::ReadAccessStall:
+            slice(json, "read-access", kTrackReadAccess, e);
+            break;
+          case SimEventKind::Hazard:
+            eventHead(json, "hazard", "X", e.cycle, kTrackHazard);
+            json.field("dur", e.a);
+            json.key("args").beginObject();
+            json.field("addr", hexAddr(e.addr));
+            json.field("served_from_wb", e.b != 0);
+            json.endObject();
+            json.endObject();
+            break;
+          case SimEventKind::Barrier:
+            slice(json, "barrier", kTrackBarrier, e);
+            break;
+          case SimEventKind::WbWrite:
+            eventHead(json, "wb-write", "i", e.cycle, kTrackWbWrites);
+            json.field("s", "t");
+            json.key("args").beginObject();
+            json.field("addr", hexAddr(e.addr));
+            json.field("words", e.a);
+            json.endObject();
+            json.endObject();
+            break;
+          case SimEventKind::LoadHit:
+            instant(json, "load-hit", kTrackCpu, e);
+            break;
+          case SimEventKind::LoadMiss:
+            instant(json, "load-miss", kTrackCpu, e);
+            break;
+          case SimEventKind::Store:
+            instant(json, "store", kTrackCpu, e);
+            break;
+          case SimEventKind::IFetchMiss:
+            instant(json, "ifetch-miss", kTrackCpu, e);
+            break;
+        }
+    });
+}
+
+void
+writeTimelineCounters(JsonWriter &json, const Timeline &timeline)
+{
+    for (std::size_t e = 0; e < timeline.epochs(); ++e) {
+        Cycle ts = timeline.origin()
+            + static_cast<Cycle>(e) * timeline.epochCycles();
+        eventHead(json, "stall cycles / epoch", "C", ts, 0);
+        json.key("args").beginObject();
+        json.field("buffer_full",
+                   timeline.value(e, Channel::BufferFullStall));
+        json.field("read_access",
+                   timeline.value(e, Channel::ReadAccessStall));
+        json.field("load_hazard",
+                   timeline.value(e, Channel::HazardStall));
+        json.field("ifetch", timeline.value(e, Channel::IFetchStall));
+        json.field("barrier",
+                   timeline.value(e, Channel::BarrierStall));
+        json.endObject();
+        json.endObject();
+
+        eventHead(json, "wb traffic / epoch", "C", ts, 0);
+        json.key("args").beginObject();
+        json.field("words", timeline.value(e, Channel::WbWords));
+        json.endObject();
+        json.endObject();
+
+        Count stores = timeline.value(e, Channel::Stores);
+        Count occ_sum = timeline.value(e, Channel::OccupancySum);
+        eventHead(json, "mean wb occupancy", "C", ts, 0);
+        json.key("args").beginObject();
+        json.field("occupancy",
+                   stores == 0 ? 0.0
+                               : static_cast<double>(occ_sum)
+                           / static_cast<double>(stores));
+        json.endObject();
+        json.endObject();
+    }
+}
+
+} // namespace
+
+void
+writeTraceEventJson(std::ostream &os, const EventLog *log,
+                    const Timeline *timeline,
+                    const Provenance &provenance)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("traceEvents").beginArray();
+
+    // Metadata: name the process and each track.
+    json.beginObject();
+    json.field("name", "process_name");
+    json.field("ph", "M");
+    json.field("pid", 0);
+    json.key("args").beginObject();
+    json.field("name", "wbsim");
+    json.endObject();
+    json.endObject();
+    for (int tid = kTrackCpu; tid <= kTrackWbWrites; ++tid) {
+        json.beginObject();
+        json.field("name", "thread_name");
+        json.field("ph", "M");
+        json.field("pid", 0);
+        json.field("tid", tid);
+        json.key("args").beginObject();
+        json.field("name", trackName(tid));
+        json.endObject();
+        json.endObject();
+    }
+
+    if (log != nullptr)
+        writeLogEvents(json, *log);
+    if (timeline != nullptr)
+        writeTimelineCounters(json, *timeline);
+    json.endArray();
+
+    json.field("displayTimeUnit", "ms");
+    json.key("otherData").beginObject();
+    json.field("schema", "wbsim-trace-event-v1");
+    json.field("one_microsecond_is", "one simulated cycle");
+    if (log != nullptr) {
+        json.field("events_recorded", log->recorded());
+        json.field("events_dropped", log->dropped());
+    }
+    if (timeline != nullptr) {
+        json.field("timeline_epoch_cycles",
+                   static_cast<std::uint64_t>(
+                       timeline->epochCycles()));
+        json.field("timeline_origin",
+                   static_cast<std::uint64_t>(timeline->origin()));
+    }
+    json.endObject();
+    writeProvenance(json, provenance);
+    json.endObject();
+    os << "\n";
+}
+
+} // namespace wbsim::obs

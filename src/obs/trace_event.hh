@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Chrome trace_event exporter: turns the EventLog ring and the
+ * Timeline into a JSON document loadable in Perfetto or
+ * chrome://tracing.
+ *
+ * Mapping (one simulated cycle = one trace microsecond):
+ *  - stall events (buffer-full, read-access, hazard, barrier) become
+ *    complete ("X") slices with their stall duration, on a track per
+ *    stall class;
+ *  - write-buffer L2 writes and cache misses become instant ("i")
+ *    events with their payload in args;
+ *  - the Timeline becomes counter ("C") series, one point per epoch,
+ *    so the stall-density series plots directly under the slices.
+ */
+
+#ifndef WBSIM_OBS_TRACE_EVENT_HH
+#define WBSIM_OBS_TRACE_EVENT_HH
+
+#include <ostream>
+
+#include "obs/export.hh"
+
+namespace wbsim
+{
+class EventLog;
+}
+
+namespace wbsim::obs
+{
+
+class Timeline;
+
+/**
+ * Write one trace_event JSON document from @p log and/or
+ * @p timeline (either may be null; an empty trace is still valid).
+ */
+void writeTraceEventJson(std::ostream &os, const EventLog *log,
+                         const Timeline *timeline,
+                         const Provenance &provenance);
+
+} // namespace wbsim::obs
+
+#endif // WBSIM_OBS_TRACE_EVENT_HH

@@ -77,6 +77,31 @@ class EventLog
     /** Retained events matching @p kind, oldest first. */
     std::vector<SimEventRecord> ofKind(SimEventKind kind) const;
 
+    /**
+     * Visit every retained event, oldest first, without copying the
+     * ring (the exporters walk thousands of events; ofKind's
+     * per-call vector is for small debug queries only).
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < count_; ++i)
+            fn(at(i));
+    }
+
+    /** Visit every retained event of @p kind, oldest first. */
+    template <typename Fn>
+    void
+    forEach(SimEventKind kind, Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < count_; ++i) {
+            const SimEventRecord &event = at(i);
+            if (event.kind == kind)
+                fn(event);
+        }
+    }
+
     /** Write one formatted line per retained event. */
     void dump(std::ostream &os) const;
 

@@ -6,6 +6,7 @@
 
 #include "util/bits.hh"
 #include "core/write_cache.hh"
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace wbsim
@@ -30,6 +31,28 @@ Simulator::Simulator(const MachineConfig &config)
                                                 port_, makeL2WriteHook(),
                                                 line);
     }
+}
+
+void
+Simulator::attachObs(const obs::ObsSink &sink)
+{
+    event_log_ = sink.eventLog;
+    timeline_ = sink.timeline;
+    metrics_ = sink.metrics;
+    if (metrics_ != nullptr) {
+        // Stall durations cluster near the L2/memory latencies;
+        // 4-cycle buckets over 0..255 resolve them and the overflow
+        // bucket absorbs long barrier-style drains.
+        m_stall_full_ = metrics_->histogram("sim.stall.buffer_full",
+                                            64, 4);
+        m_stall_read_ = metrics_->histogram("sim.stall.read_access",
+                                            64, 4);
+        m_stall_hazard_ = metrics_->histogram("sim.stall.hazard", 64, 4);
+        m_stall_barrier_ = metrics_->histogram("sim.stall.barrier",
+                                               64, 4);
+    }
+    buffer_->attachMetrics(metrics_);
+    port_.attachMetrics(metrics_);
 }
 
 L2WriteHook
@@ -100,6 +123,11 @@ Simulator::restore(const SimSnapshot &snap)
     barrier_stall_cycles_ = snap.barrierStallCycles;
     store_fetches_ = snap.storeFetches;
     store_fetch_cycles_ = snap.storeFetchCycles;
+    // The copied port carries the snapshot creator's metrics pointer
+    // and the buffer clone starts detached; re-attach both to this
+    // simulator's sink (idempotent; nullptr detaches).
+    port_.attachMetrics(metrics_);
+    buffer_->attachMetrics(metrics_);
 }
 
 Cycle
@@ -133,6 +161,8 @@ Simulator::l2Write(Addr base, unsigned valid_words, unsigned total_words,
     if (event_log_)
         event_log_->record(start, SimEventKind::WbWrite, base,
                            valid_words);
+    if (timeline_ != nullptr)
+        timeline_->add(obs::Channel::WbWords, start, valid_words);
     return duration;
 }
 
@@ -163,13 +193,13 @@ Simulator::fetch(Addr pc)
     // from the paper's three data-side categories.
     Count events_unused = 0;
     cycle_ = l2DemandRead(pc, cycle_, l2_ifetch_stall_cycles_,
-                          events_unused);
+                          events_unused, obs::Channel::IFetchStall);
     l1i_.fill(pc);
 }
 
 Cycle
 Simulator::l2DemandRead(Addr addr, Cycle earliest, Count &stall_cycles,
-                        Count &stall_events)
+                        Count &stall_events, obs::Channel channel)
 {
     Cycle t = earliest;
     if (port_.busyAt(t)) {
@@ -178,9 +208,14 @@ Simulator::l2DemandRead(Addr addr, Cycle earliest, Count &stall_cycles,
         // a write-buffer transaction: an L2-read-access stall.
         wbsim_assert(port_.writeUnderwayAt(t),
                      "demand read blocked by another read");
-        stall_cycles += port_.freeAt() - t;
+        Cycle wait = port_.freeAt() - t;
+        stall_cycles += wait;
         ++stall_events;
-        note(SimEventKind::ReadAccessStall, addr, port_.freeAt() - t);
+        note(SimEventKind::ReadAccessStall, addr, wait);
+        if (metrics_ != nullptr)
+            metrics_->sample(m_stall_read_, wait);
+        if (timeline_ != nullptr)
+            timeline_->add(channel, t, wait);
         t = port_.freeAt();
     }
     Cycle start = port_.begin(L2Txn::Read, t, config_.l2Latency);
@@ -225,9 +260,19 @@ Simulator::doStore(Addr addr, unsigned size)
     note(SimEventKind::Store, addr);
     Count full_before = stalls_.bufferFullCycles;
     cycle_ = buffer_->store(addr, size, cycle_, stalls_);
-    if (stalls_.bufferFullCycles != full_before) {
-        note(SimEventKind::BufferFullStall, addr,
-             stalls_.bufferFullCycles - full_before);
+    Count full_delta = stalls_.bufferFullCycles - full_before;
+    if (full_delta != 0) {
+        note(SimEventKind::BufferFullStall, addr, full_delta);
+        if (metrics_ != nullptr)
+            metrics_->sample(m_stall_full_, full_delta);
+        if (timeline_ != nullptr)
+            timeline_->add(obs::Channel::BufferFullStall, cycle_,
+                           full_delta);
+    }
+    if (timeline_ != nullptr) {
+        timeline_->add(obs::Channel::Stores, cycle_, 1);
+        timeline_->add(obs::Channel::OccupancySum, cycle_,
+                       buffer_->occupancy());
     }
 }
 
@@ -250,8 +295,14 @@ Simulator::doLoad(Addr addr, unsigned size)
     if (threshold != 0 && buffer_->occupancy() >= threshold) {
         Cycle t = buffer_->drainBelow(threshold, cycle_);
         if (t > cycle_) {
-            stalls_.l2ReadAccessCycles += t - cycle_;
+            Cycle wait = t - cycle_;
+            stalls_.l2ReadAccessCycles += wait;
             ++stalls_.l2ReadAccessEvents;
+            if (metrics_ != nullptr)
+                metrics_->sample(m_stall_read_, wait);
+            if (timeline_ != nullptr)
+                timeline_->add(obs::Channel::ReadAccessStall, cycle_,
+                               wait);
             cycle_ = t;
         }
     }
@@ -263,8 +314,13 @@ Simulator::doLoad(Addr addr, unsigned size)
         note(SimEventKind::Hazard, addr, hazard.done - cycle_,
              hazard.servedFromBuffer ? 1 : 0);
         if (hazard.done > cycle_) {
-            stalls_.loadHazardCycles += hazard.done - cycle_;
+            Cycle wait = hazard.done - cycle_;
+            stalls_.loadHazardCycles += wait;
             ++stalls_.loadHazardEvents;
+            if (metrics_ != nullptr)
+                metrics_->sample(m_stall_hazard_, wait);
+            if (timeline_ != nullptr)
+                timeline_->add(obs::Channel::HazardStall, cycle_, wait);
         }
         cycle_ = hazard.done;
         if (hazard.servedFromBuffer)
@@ -299,7 +355,12 @@ Simulator::step(const TraceRecord &record)
         Cycle done = buffer_->drainBelow(1, cycle_);
         note(SimEventKind::Barrier, 0, done - cycle_);
         if (done > cycle_) {
-            barrier_stall_cycles_ += done - cycle_;
+            Cycle wait = done - cycle_;
+            barrier_stall_cycles_ += wait;
+            if (metrics_ != nullptr)
+                metrics_->sample(m_stall_barrier_, wait);
+            if (timeline_ != nullptr)
+                timeline_->add(obs::Channel::BarrierStall, cycle_, wait);
             cycle_ = done;
         }
         break;

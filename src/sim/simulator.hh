@@ -19,6 +19,8 @@
 #include "mem/l2_cache.hh"
 #include "mem/l2_port.hh"
 #include "mem/main_memory.hh"
+#include "obs/hooks.hh"
+#include "obs/timeline.hh"
 #include "sim/event_log.hh"
 #include "sim/machine_config.hh"
 #include "sim/results.hh"
@@ -129,6 +131,16 @@ class Simulator
     void attachEventLog(EventLog *log) { event_log_ = log; }
 
     /**
+     * Attach an observability sink: any combination of a metrics
+     * registry, a cycle-attribution timeline, and an event log (all
+     * optional, caller-owned). Null members detach the corresponding
+     * channel; a default-constructed sink detaches everything and
+     * every publish site reverts to a no-op. Survives restore():
+     * the restored port and buffer are re-attached automatically.
+     */
+    void attachObs(const obs::ObsSink &sink);
+
+    /**
      * Zero all statistics while keeping cache and buffer contents:
      * call after a warmup period so steady-state behaviour is
      * measured without compulsory-miss pollution.
@@ -166,6 +178,16 @@ class Simulator
     Count store_fetch_cycles_ = 0;
     EventLog *event_log_ = nullptr;
 
+    /** @name Observability sinks (null = detached = no-op). */
+    /// @{
+    obs::MetricsRegistry *metrics_ = nullptr;
+    obs::Timeline *timeline_ = nullptr;
+    obs::MetricId m_stall_full_ = 0;   //!< buffer-full stall durations
+    obs::MetricId m_stall_read_ = 0;   //!< read-access wait durations
+    obs::MetricId m_stall_hazard_ = 0; //!< hazard-resolution latencies
+    obs::MetricId m_stall_barrier_ = 0; //!< barrier-drain durations
+    /// @}
+
     /** The L2 write callback handed to store-buffer instances. */
     L2WriteHook makeL2WriteHook();
 
@@ -191,9 +213,12 @@ class Simulator
     void doStore(Addr addr, unsigned size);
 
     /** Perform a demand L2 read at @p earliest, charging port waits
-     *  to the given stall counters. @return data-ready cycle. */
+     *  to the given stall counters and attributing any wait to
+     *  @p channel on the timeline. @return data-ready cycle. */
     Cycle l2DemandRead(Addr addr, Cycle earliest, Count &stall_cycles,
-                       Count &stall_events);
+                       Count &stall_events,
+                       obs::Channel channel
+                       = obs::Channel::ReadAccessStall);
 };
 
 } // namespace wbsim

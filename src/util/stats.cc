@@ -23,10 +23,11 @@ percent(Count numerator, Count denominator)
     return 100.0 * ratio(numerator, denominator);
 }
 
-Histogram::Histogram(std::size_t buckets)
-    : counts_(buckets + 1, 0)
+Histogram::Histogram(std::size_t buckets, std::uint64_t bucket_width)
+    : counts_(buckets + 1, 0), width_(bucket_width)
 {
     wbsim_assert(buckets > 0, "histogram needs at least one bucket");
+    wbsim_assert(bucket_width > 0, "histogram bucket width must be > 0");
 }
 
 void
@@ -34,12 +35,57 @@ Histogram::sample(std::uint64_t value, Count count)
 {
     if (count == 0)
         return;
-    std::size_t idx = std::min<std::uint64_t>(value, counts_.size() - 1);
+    std::uint64_t scaled = width_ == 1 ? value : value / width_;
+    std::size_t idx =
+        std::min<std::uint64_t>(scaled, counts_.size() - 1);
     counts_[idx] += count;
     samples_ += count;
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
     sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (samples_ == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // The sample with (0-based) rank floor(q * (n - 1)).
+    Count target = static_cast<Count>(
+        q * static_cast<double>(samples_ - 1));
+    Count before = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        Count c = counts_[i];
+        if (c == 0 || before + c <= target) {
+            before += c;
+            continue;
+        }
+        if (i == counts_.size() - 1)
+            return static_cast<double>(max_); // overflow bucket
+        // Interpolate linearly inside [i, i+1) * width.
+        double frac = (static_cast<double>(target - before) + 0.5)
+            / static_cast<double>(c);
+        double value = (static_cast<double>(i) + frac)
+            * static_cast<double>(width_);
+        value = std::max(value, static_cast<double>(min_));
+        return std::min(value, static_cast<double>(max_));
+    }
+    return static_cast<double>(max_);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    wbsim_assert(counts_.size() == other.counts_.size()
+                     && width_ == other.width_,
+                 "merging histograms with different geometries");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    samples_ += other.samples_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
 }
 
 std::uint64_t

@@ -46,23 +46,28 @@ double ratio(Count numerator, Count denominator);
 double percent(Count numerator, Count denominator);
 
 /**
- * A histogram over a fixed integer range [0, buckets); values beyond
- * the top bucket accumulate in an overflow bucket. Tracks min, max,
- * mean, and per-bucket counts.
+ * A histogram over a fixed integer range [0, buckets * bucketWidth);
+ * values beyond the top bucket accumulate in an overflow bucket.
+ * Tracks min, max, mean, and per-bucket counts.
  */
 class Histogram
 {
   public:
-    /** @param buckets number of unit-width buckets before overflow. */
-    explicit Histogram(std::size_t buckets = 64);
+    /**
+     * @param buckets number of fixed-width buckets before overflow.
+     * @param bucket_width values per bucket (1 = unit-width).
+     */
+    explicit Histogram(std::size_t buckets = 64,
+                       std::uint64_t bucket_width = 1);
 
     /** Record one sample of @p value. Inline: this sits on the
      *  write buffer's per-store path. */
     void
     sample(std::uint64_t value)
     {
+        std::uint64_t scaled = width_ == 1 ? value : value / width_;
         std::size_t idx =
-            std::min<std::uint64_t>(value, counts_.size() - 1);
+            std::min<std::uint64_t>(scaled, counts_.size() - 1);
         ++counts_[idx];
         ++samples_;
         min_ = std::min(min_, value);
@@ -78,9 +83,26 @@ class Histogram
     std::uint64_t maxValue() const { return max_; }
     double mean() const;
 
+    /**
+     * The @p q-quantile (q in [0, 1]), linearly interpolated inside
+     * the containing bucket and clamped to [minValue, maxValue].
+     * Samples in the overflow bucket are treated as sitting at the
+     * observed maximum. 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /**
+     * Fold @p other into this histogram. Both must share the same
+     * geometry (bucket count and width). Merging is associative and
+     * commutative, so per-thread histograms from a sharded grid can
+     * be combined in any order with a deterministic result.
+     */
+    void merge(const Histogram &other);
+
     /** Count in bucket @p i (i == buckets() means overflow). */
     Count bucket(std::size_t i) const;
     std::size_t buckets() const { return counts_.size() - 1; }
+    std::uint64_t bucketWidth() const { return width_; }
 
     void reset();
 
@@ -89,6 +111,7 @@ class Histogram
 
   private:
     std::vector<Count> counts_; // last slot is overflow
+    std::uint64_t width_ = 1;
     Count samples_ = 0;
     std::uint64_t min_ = ~std::uint64_t{0};
     std::uint64_t max_ = 0;

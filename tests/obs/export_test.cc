@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the artifact emitters: the SimResults JSON round-trip
+ * (field-for-field, doubles included), the grid JSON/CSV shape, the
+ * metrics export, and the provenance stamp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "obs/export.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim::obs
+{
+namespace
+{
+
+/** A SimResults with every stored field nonzero and awkward. */
+SimResults
+fabricatedResults()
+{
+    SimResults r;
+    r.workload = "espresso";
+    r.machine = "wb4,retire@2 \"quoted\"";
+    r.instructions = 1'000'000;
+    r.cycles = 1'234'567;
+    r.loads = 180'000;
+    r.stores = 120'001;
+    r.stalls.bufferFullCycles = 31'337;
+    r.stalls.bufferFullEvents = 411;
+    r.stalls.l2ReadAccessCycles = 77'777;
+    r.stalls.l2ReadAccessEvents = 1'301;
+    r.stalls.loadHazardCycles = 997;
+    r.stalls.loadHazardEvents = 41;
+    r.l1LoadHits = 170'500;
+    r.l1LoadMisses = 9'500;
+    r.l1StoreHits = 100'000;
+    r.l1StoreMisses = 20'001;
+    r.wbMerges = 55'000;
+    r.wbAllocations = 65'001;
+    r.wbRetirements = 64'000;
+    r.wbFlushes = 901;
+    r.wbHazards = 41;
+    r.wbServedLoads = 17;
+    r.wbWordsWritten = 230'017;
+    r.wbEntriesWritten = 64'901;
+    r.wbMeanOccupancy = 2.718281828459045;
+    r.l2ReadHits = 8'000;
+    r.l2ReadMisses = 1'500;
+    r.l2WriteHits = 60'000;
+    r.l2WriteMisses = 4'901;
+    r.memReads = 1'500;
+    r.memWriteBacks = 203;
+    r.ifetchMisses = 77;
+    r.l2IFetchStallCycles = 462;
+    r.barriers = 5;
+    r.barrierStallCycles = 93;
+    r.storeFetches = 11;
+    r.storeFetchCycles = 66;
+    return r;
+}
+
+Provenance
+fabricatedProvenance()
+{
+    Provenance p;
+    p.machineFingerprint = 0xDEADBEEFCAFEF00Dull;
+    p.machine = "test machine";
+    p.seed = 42;
+    p.instructions = 1'000'000;
+    p.warmup = 500'000;
+    return p;
+}
+
+TEST(SimResultsJson, RoundTripsFieldForField)
+{
+    SimResults original = fabricatedResults();
+    std::ostringstream os;
+    writeSimResultsJson(os, original, fabricatedProvenance());
+    SimResults back = parseSimResultsJson(os.str());
+    EXPECT_EQ(back, original);
+}
+
+TEST(SimResultsJson, RealRunRoundTrips)
+{
+    SimResults r = runOne(spec92::profile("compress"),
+                          figures::baselineMachine(), 20'000, 1,
+                          5'000);
+    std::ostringstream os;
+    writeSimResultsJson(os, r, fabricatedProvenance());
+    EXPECT_EQ(parseSimResultsJson(os.str()), r);
+}
+
+TEST(SimResultsJson, StallPercentagesMatchReportExactly)
+{
+    // The JSON artifact must be plottable without recomputation: the
+    // derived percentages in the document are the same doubles the
+    // text report renders, to the last bit.
+    SimResults r = runOne(spec92::profile("li"),
+                          figures::baselineMachine(), 20'000, 1,
+                          5'000);
+    std::ostringstream os;
+    writeSimResultsJson(os, r, fabricatedProvenance());
+    JsonValue doc = JsonValue::parse(os.str());
+    const JsonValue &pct = doc.at("stalls").at("pct");
+    EXPECT_EQ(pct.at("buffer_full").number(), r.pctBufferFull());
+    EXPECT_EQ(pct.at("read_access").number(), r.pctL2ReadAccess());
+    EXPECT_EQ(pct.at("load_hazard").number(), r.pctLoadHazard());
+    EXPECT_EQ(pct.at("total").number(), r.pctTotalStalls());
+}
+
+TEST(SimResultsJson, CarriesProvenance)
+{
+    std::ostringstream os;
+    writeSimResultsJson(os, fabricatedResults(),
+                        fabricatedProvenance());
+    JsonValue doc = JsonValue::parse(os.str());
+    EXPECT_EQ(doc.at("schema").string(), "wbsim-sim-results-v1");
+    const JsonValue &p = doc.at("provenance");
+    EXPECT_EQ(p.at("machine_fingerprint").uint(),
+              0xDEADBEEFCAFEF00Dull);
+    EXPECT_EQ(p.at("seed").uint(), 42u);
+    EXPECT_EQ(p.at("instructions").uint(), 1'000'000u);
+    EXPECT_EQ(p.at("warmup").uint(), 500'000u);
+    EXPECT_FALSE(p.at("build_flags").string().empty());
+}
+
+TEST(SimResultsCsv, HeaderMatchesRowArity)
+{
+    std::ostringstream os;
+    writeSimResultsCsv(os, {fabricatedResults()});
+    std::istringstream is(os.str());
+    std::string header;
+    std::string row;
+    ASSERT_TRUE(std::getline(is, header));
+    ASSERT_TRUE(std::getline(is, row));
+    EXPECT_EQ(header, simResultsCsvHeader());
+    // The machine string contains a quoted comma-free field; count
+    // raw commas in the header only (no quoting there).
+    auto commas = [](const std::string &s) {
+        std::size_t n = 0;
+        bool quoted = false;
+        for (char c : s) {
+            if (c == '"')
+                quoted = !quoted;
+            else if (c == ',' && !quoted)
+                ++n;
+        }
+        return n;
+    };
+    EXPECT_EQ(commas(row), commas(header));
+}
+
+TEST(GridJson, CellsCoverTheWholeGrid)
+{
+    SimResults r = fabricatedResults();
+    std::vector<std::vector<SimResults>> grid = {{r, r}, {r, r},
+                                                 {r, r}};
+    std::ostringstream os;
+    writeGridJson(os, "figX", "a title", {"a", "b", "c"},
+                  {"v0", "v1"}, grid, fabricatedProvenance());
+    JsonValue doc = JsonValue::parse(os.str());
+    EXPECT_EQ(doc.at("schema").string(), "wbsim-experiment-grid-v1");
+    EXPECT_EQ(doc.at("id").string(), "figX");
+    EXPECT_EQ(doc.at("benchmarks").array().size(), 3u);
+    EXPECT_EQ(doc.at("variants").array().size(), 2u);
+    const auto &cells = doc.at("cells").array();
+    ASSERT_EQ(cells.size(), 6u);
+    EXPECT_EQ(cells[0].at("benchmark").string(), "a");
+    EXPECT_EQ(cells[0].at("variant").string(), "v0");
+    EXPECT_EQ(cells[5].at("benchmark").string(), "c");
+    EXPECT_EQ(cells[5].at("variant").string(), "v1");
+    EXPECT_EQ(cells[0].at("pct_total").number(), r.pctTotalStalls());
+}
+
+TEST(GridCsv, OneRowPerCellWithLabels)
+{
+    SimResults r = fabricatedResults();
+    std::vector<std::vector<SimResults>> grid = {{r}, {r}};
+    std::ostringstream os;
+    writeGridCsv(os, {"x", "y"}, {"only"}, grid);
+    std::istringstream is(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line.rfind("benchmark,variant,", 0), 0u);
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line.rfind("x,only,", 0), 0u);
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line.rfind("y,only,", 0), 0u);
+    EXPECT_FALSE(std::getline(is, line));
+}
+
+TEST(MetricsJson, EmitsEveryKind)
+{
+    MetricsRegistry registry;
+    registry.add(registry.counter("c"), 5);
+    registry.set(registry.gauge("g"), -3);
+    MetricId h = registry.histogram("h", 4, 2);
+    registry.sample(h, 1);
+    registry.sample(h, 3);
+    registry.sample(h, 5);
+
+    std::ostringstream os;
+    writeMetricsJson(os, registry, fabricatedProvenance());
+    JsonValue doc = JsonValue::parse(os.str());
+    EXPECT_EQ(doc.at("schema").string(), "wbsim-metrics-v1");
+    const auto &metrics = doc.at("metrics").array();
+    ASSERT_EQ(metrics.size(), 3u);
+    EXPECT_EQ(metrics[0].at("kind").string(), "counter");
+    EXPECT_EQ(metrics[0].at("value").uint(), 5u);
+    EXPECT_EQ(metrics[1].at("kind").string(), "gauge");
+    EXPECT_EQ(metrics[1].at("value").number(), -3.0);
+    EXPECT_EQ(metrics[2].at("kind").string(), "histogram");
+    EXPECT_EQ(metrics[2].at("n").uint(), 3u);
+    EXPECT_EQ(metrics[2].at("max").uint(), 5u);
+    EXPECT_EQ(metrics[2].at("bucket_width").uint(), 2u);
+    // buckets 0..3 plus overflow = 5 entries.
+    EXPECT_EQ(metrics[2].at("buckets").array().size(), 5u);
+}
+
+TEST(MetricsCsv, OneLinePerMetric)
+{
+    MetricsRegistry registry;
+    registry.add(registry.counter("c"), 2);
+    registry.sample(registry.histogram("h", 4), 3);
+    std::ostringstream os;
+    writeMetricsCsv(os, registry);
+    std::istringstream is(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line, "name,kind,n,value,mean,min,max,p50,p95,p99");
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line.rfind("c,counter,", 0), 0u);
+    ASSERT_TRUE(std::getline(is, line));
+    EXPECT_EQ(line.rfind("h,histogram,1,", 0), 0u);
+}
+
+} // namespace
+} // namespace wbsim::obs

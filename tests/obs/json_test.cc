@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the streaming JSON writer and the small parser:
+ * structure management, escaping, and exact double round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace wbsim::obs
+{
+namespace
+{
+
+TEST(JsonWriter, CompactObjectWithCommas)
+{
+    std::ostringstream os;
+    JsonWriter json(os, 0);
+    json.beginObject();
+    json.field("a", 1);
+    json.field("b", "two");
+    json.field("c", true);
+    json.endObject();
+    EXPECT_EQ(os.str(), "{\"a\": 1,\"b\": \"two\",\"c\": true}");
+}
+
+TEST(JsonWriter, NestedContainers)
+{
+    std::ostringstream os;
+    JsonWriter json(os, 0);
+    json.beginObject();
+    json.key("rows").beginArray();
+    json.value(1).value(2);
+    json.beginObject();
+    json.field("x", 3);
+    json.endObject();
+    json.endArray();
+    json.endObject();
+    EXPECT_EQ(os.str(), "{\"rows\": [1,2,{\"x\": 3}]}");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    EXPECT_EQ(jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    std::ostringstream os;
+    JsonWriter json(os, 0);
+    json.beginObject();
+    json.field("tab\there", "quote\"inside");
+    json.endObject();
+    EXPECT_EQ(os.str(), "{\"tab\\there\": \"quote\\\"inside\"}");
+}
+
+TEST(JsonWriter, IndentedOutputParses)
+{
+    std::ostringstream os;
+    JsonWriter json(os, 2);
+    json.beginObject();
+    json.field("n", std::uint64_t{42});
+    json.key("list").beginArray();
+    json.value("x");
+    json.endArray();
+    json.endObject();
+    JsonValue doc = JsonValue::parse(os.str());
+    EXPECT_EQ(doc.at("n").uint(), 42u);
+    EXPECT_EQ(doc.at("list").array()[0].string(), "x");
+}
+
+TEST(JsonValue, ParsesScalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").boolean());
+    EXPECT_FALSE(JsonValue::parse("false").boolean());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e2").number(), -250.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\\u0041\"").string(), "hiA");
+}
+
+TEST(JsonValue, LargeUintsAreExact)
+{
+    // stateFingerprint() is a full 64-bit value; doubles would
+    // truncate it, the integral path must not.
+    std::uint64_t big = 0xFEDCBA9876543210ull;
+    std::ostringstream os;
+    JsonWriter json(os, 0);
+    json.beginObject();
+    json.field("fp", big);
+    json.endObject();
+    EXPECT_EQ(JsonValue::parse(os.str()).at("fp").uint(), big);
+}
+
+TEST(JsonValue, DoublesRoundTripBitForBit)
+{
+    for (double v : {0.0, 1.0 / 3.0, 98.76543210123456, 1e-17,
+                     6.103515625e-05}) {
+        std::ostringstream os;
+        JsonWriter json(os, 0);
+        json.beginObject();
+        json.field("v", v);
+        json.endObject();
+        double back = JsonValue::parse(os.str()).at("v").number();
+        EXPECT_EQ(back, v) << os.str();
+    }
+}
+
+TEST(JsonValue, ObjectAccessors)
+{
+    JsonValue doc = JsonValue::parse(
+        "{\"a\": {\"b\": [1, 2, 3]}, \"c\": \"s\"}");
+    EXPECT_TRUE(doc.has("a"));
+    EXPECT_FALSE(doc.has("missing"));
+    EXPECT_EQ(doc.at("a").at("b").array().size(), 3u);
+    EXPECT_EQ(doc.at("a").at("b").array()[2].uint(), 3u);
+    EXPECT_EQ(doc.at("c").string(), "s");
+}
+
+TEST(JsonValue, WhitespaceTolerant)
+{
+    JsonValue doc = JsonValue::parse("  {\n\t\"k\" :\r [ ] }  ");
+    EXPECT_TRUE(doc.at("k").array().empty());
+}
+
+} // namespace
+} // namespace wbsim::obs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the MetricsRegistry: registration, publishing,
+ * idempotent re-registration, merge, and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+
+namespace wbsim::obs
+{
+namespace
+{
+
+TEST(MetricsRegistry, CounterRegistersAndAccumulates)
+{
+    MetricsRegistry registry;
+    MetricId id = registry.counter("l2_port.reads");
+    registry.add(id);
+    registry.add(id, 4);
+    ASSERT_EQ(registry.size(), 1u);
+    EXPECT_EQ(registry.name(0), "l2_port.reads");
+    EXPECT_EQ(registry.kind(0), MetricKind::Counter);
+    EXPECT_EQ(registry.counterValue(0), 5u);
+}
+
+TEST(MetricsRegistry, GaugeHoldsLastValue)
+{
+    MetricsRegistry registry;
+    MetricId id = registry.gauge("wb.occupancy");
+    registry.set(id, 3);
+    registry.set(id, 1);
+    EXPECT_EQ(registry.kind(0), MetricKind::Gauge);
+    EXPECT_EQ(registry.gaugeValue(0), 1);
+}
+
+TEST(MetricsRegistry, HistogramSamples)
+{
+    MetricsRegistry registry;
+    MetricId id = registry.histogram("sim.stall.hazard", 8, 2);
+    registry.sample(id, 0);
+    registry.sample(id, 5);
+    registry.sample(id, 100); // overflow bucket
+    const stats::Histogram &h = registry.histogramValue(0);
+    EXPECT_EQ(h.samples(), 3u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 100u);
+    EXPECT_EQ(h.bucketWidth(), 2u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName)
+{
+    MetricsRegistry registry;
+    MetricId a = registry.counter("x");
+    MetricId b = registry.counter("x");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(registry.size(), 1u);
+
+    // Re-attach after a snapshot restore re-registers the same
+    // histogram; the existing handle must come back.
+    MetricId h1 = registry.histogram("h", 16, 4);
+    MetricId h2 = registry.histogram("h", 16, 4);
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, DistinctKindsGetDistinctSlots)
+{
+    MetricsRegistry registry;
+    MetricId c = registry.counter("a.count");
+    MetricId g = registry.gauge("a.level");
+    MetricId h = registry.histogram("a.dist", 4);
+    registry.add(c, 7);
+    registry.set(g, -2);
+    registry.sample(h, 1);
+    EXPECT_EQ(registry.counterValue(0), 7u);
+    EXPECT_EQ(registry.gaugeValue(1), -2);
+    EXPECT_EQ(registry.histogramValue(2).samples(), 1u);
+}
+
+TEST(MetricsRegistry, MergeCombinesShards)
+{
+    MetricsRegistry a;
+    MetricsRegistry b;
+    for (MetricsRegistry *r : {&a, &b}) {
+        r->counter("events");
+        r->gauge("level");
+        r->histogram("lat", 8);
+    }
+    a.add(a.counter("events"), 10);
+    b.add(b.counter("events"), 5);
+    a.set(a.gauge("level"), 3);
+    b.set(b.gauge("level"), 9);
+    a.sample(a.histogram("lat", 8), 2);
+    b.sample(b.histogram("lat", 8), 6);
+
+    a.merge(b);
+    EXPECT_EQ(a.counterValue(0), 15u);
+    EXPECT_EQ(a.gaugeValue(1), 9); // larger value wins
+    EXPECT_EQ(a.histogramValue(2).samples(), 2u);
+    EXPECT_EQ(a.histogramValue(2).maxValue(), 6u);
+}
+
+TEST(MetricsRegistry, ResetKeepsRegistrations)
+{
+    MetricsRegistry registry;
+    MetricId c = registry.counter("c");
+    MetricId h = registry.histogram("h", 4);
+    registry.add(c, 3);
+    registry.sample(h, 2);
+    registry.reset();
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.counterValue(0), 0u);
+    EXPECT_EQ(registry.histogramValue(1).samples(), 0u);
+    // Handles stay valid after reset.
+    registry.add(c);
+    EXPECT_EQ(registry.counterValue(0), 1u);
+}
+
+TEST(MetricsRegistry, KindNames)
+{
+    EXPECT_STREQ(metricKindName(MetricKind::Counter), "counter");
+    EXPECT_STREQ(metricKindName(MetricKind::Gauge), "gauge");
+    EXPECT_STREQ(metricKindName(MetricKind::Histogram), "histogram");
+}
+
+} // namespace
+} // namespace wbsim::obs

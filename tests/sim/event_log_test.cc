@@ -128,6 +128,48 @@ TEST(EventLogSim, DetachedLogCostsNothing)
         << "logging must not perturb timing";
 }
 
+TEST(EventLog, ForEachVisitsEveryEventInOrder)
+{
+    EventLog log(16);
+    log.record(1, SimEventKind::Store, 0x10);
+    log.record(2, SimEventKind::LoadMiss, 0x20);
+    log.record(3, SimEventKind::Store, 0x30);
+    std::vector<Cycle> cycles;
+    log.forEach([&](const SimEventRecord &e) {
+        cycles.push_back(e.cycle);
+    });
+    EXPECT_EQ(cycles, (std::vector<Cycle>{1, 2, 3}));
+}
+
+TEST(EventLog, ForEachByKindFiltersWithoutAllocating)
+{
+    EventLog log(16);
+    log.record(1, SimEventKind::Store, 0x10);
+    log.record(2, SimEventKind::LoadMiss, 0x20);
+    log.record(3, SimEventKind::Store, 0x30);
+    log.record(4, SimEventKind::Barrier, 0, 5, 0);
+    std::vector<Addr> addrs;
+    log.forEach(SimEventKind::Store, [&](const SimEventRecord &e) {
+        EXPECT_EQ(e.kind, SimEventKind::Store);
+        addrs.push_back(e.addr);
+    });
+    EXPECT_EQ(addrs, (std::vector<Addr>{0x10, 0x30}));
+    // The filtered visit matches the allocating ofKind() snapshot.
+    EXPECT_EQ(addrs.size(), log.ofKind(SimEventKind::Store).size());
+}
+
+TEST(EventLog, ForEachAfterWrapStartsAtOldestRetained)
+{
+    EventLog log(4);
+    for (Cycle c = 1; c <= 10; ++c)
+        log.record(c, SimEventKind::Store, c * 8);
+    std::vector<Cycle> cycles;
+    log.forEach([&](const SimEventRecord &e) {
+        cycles.push_back(e.cycle);
+    });
+    EXPECT_EQ(cycles, (std::vector<Cycle>{7, 8, 9, 10}));
+}
+
 TEST(EventLogSim, BarrierAndBufferFullEventsCaptured)
 {
     MachineConfig config;

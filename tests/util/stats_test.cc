@@ -103,6 +103,116 @@ TEST(Histogram, SummaryMentionsStats)
     EXPECT_NE(s.find("max=3"), std::string::npos);
 }
 
+TEST(Histogram, QuantileOfEmptyIsZero)
+{
+    Histogram h(8);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileInterpolatesInsideBuckets)
+{
+    // One sample per value 0..99: the median interpolates to the
+    // middle of bucket 49, not a bucket edge.
+    Histogram h(100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 49.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 98.5);
+}
+
+TEST(Histogram, QuantileRespectsBucketWidth)
+{
+    Histogram h(8, 10);
+    h.sample(5);
+    h.sample(15, 3);
+    // rank floor(0.95 * 3) = 2 falls mid-bucket-1: (1 + 0.5) * 10,
+    // clamped to the observed maximum.
+    EXPECT_DOUBLE_EQ(h.quantile(0.95), 15.0);
+}
+
+TEST(Histogram, QuantileClampsToObservedRange)
+{
+    Histogram h(16);
+    h.sample(7, 5); // all samples identical
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+}
+
+TEST(Histogram, QuantileOfOverflowSitsAtMaximum)
+{
+    Histogram h(4);
+    h.sample(1);
+    h.sample(100); // overflow bucket
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, MergeCombinesEverything)
+{
+    Histogram a(8);
+    Histogram b(8);
+    a.sample(1);
+    a.sample(2);
+    b.sample(6, 2);
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 4u);
+    EXPECT_EQ(a.minValue(), 1u);
+    EXPECT_EQ(a.maxValue(), 6u);
+    EXPECT_DOUBLE_EQ(a.mean(), (1.0 + 2.0 + 6.0 + 6.0) / 4.0);
+    EXPECT_EQ(a.bucket(6), 2u);
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative)
+{
+    // Per-thread shards from a sharded grid may combine in any
+    // order; the result must be deterministic.
+    auto shard = [](std::uint64_t phase) {
+        Histogram h(16, 2);
+        for (std::uint64_t i = 0; i < 40; ++i)
+            h.sample((i * 7 + phase * 13) % 37);
+        return h;
+    };
+    Histogram a = shard(0);
+    Histogram b = shard(1);
+    Histogram c = shard(2);
+
+    Histogram left = a; // (a + b) + c
+    left.merge(b);
+    left.merge(c);
+    Histogram bc = b; // a + (b + c)
+    bc.merge(c);
+    Histogram right = a;
+    right.merge(bc);
+    Histogram swapped = c; // c + b + a
+    swapped.merge(b);
+    swapped.merge(a);
+
+    for (const Histogram *h : {&right, &swapped}) {
+        EXPECT_EQ(left.samples(), h->samples());
+        EXPECT_EQ(left.minValue(), h->minValue());
+        EXPECT_EQ(left.maxValue(), h->maxValue());
+        EXPECT_DOUBLE_EQ(left.mean(), h->mean());
+        for (std::size_t i = 0; i <= left.buckets(); ++i)
+            EXPECT_EQ(left.bucket(i), h->bucket(i));
+        for (double q : {0.5, 0.95, 0.99})
+            EXPECT_DOUBLE_EQ(left.quantile(q), h->quantile(q));
+    }
+}
+
+TEST(Histogram, MergeOfEmptyIsIdentity)
+{
+    Histogram a(8);
+    a.sample(3);
+    Histogram empty(8);
+    a.merge(empty);
+    EXPECT_EQ(a.samples(), 1u);
+    EXPECT_EQ(a.minValue(), 3u);
+    EXPECT_EQ(a.maxValue(), 3u);
+    empty.merge(a);
+    EXPECT_EQ(empty.samples(), 1u);
+    EXPECT_EQ(empty.minValue(), 3u);
+}
+
 TEST(StatSet, DumpsSortedNamedValues)
 {
     Count raw = 42;
