@@ -158,6 +158,13 @@ runFigure(const Experiment &experiment, int argc,
     cli.declare("trace-out", "re-run the first benchmark on the first "
                 "variant with observability attached and write Chrome "
                 "trace_event JSON to FILE ('-' for stdout)");
+    cli.declare("hazard", "override the load-hazard policy on every "
+                "variant (flush-full, flush-partial, flush-item-only, "
+                "read-from-WB)");
+    cli.declare("retire-mode", "override the retirement mode on every "
+                "variant (occupancy, fixed-rate)");
+    cli.declare("retire-order", "override the retirement order on "
+                "every variant (fifo, fullest-first)");
     cli.declare("help", "print this help", "", true);
     cli.parse(argc, argv);
     if (cli.getFlag("help")) {
@@ -165,12 +172,42 @@ runFigure(const Experiment &experiment, int argc,
         return 0;
     }
 
+    // Policy overrides rebuild the grid with every variant's buffer
+    // policy swapped; WBSIM_CROSSCHECK=1 runs the whole grid with
+    // the naive-scan twin verifying the indexed structures.
+    Experiment run = experiment;
+    bool overridden = false;
+    if (std::string name = cli.get("hazard"); !name.empty()) {
+        LoadHazardPolicy policy = parseLoadHazardPolicy(name);
+        for (ConfigVariant &variant : run.variants)
+            variant.machine.writeBuffer.hazardPolicy = policy;
+        overridden = true;
+    }
+    if (std::string name = cli.get("retire-mode"); !name.empty()) {
+        RetirementMode mode = parseRetirementMode(name);
+        for (ConfigVariant &variant : run.variants)
+            variant.machine.writeBuffer.retirementMode = mode;
+        overridden = true;
+    }
+    if (std::string name = cli.get("retire-order"); !name.empty()) {
+        RetirementOrder order = parseRetirementOrder(name);
+        for (ConfigVariant &variant : run.variants)
+            variant.machine.writeBuffer.retirementOrder = order;
+        overridden = true;
+    }
+    if (envUint("WBSIM_CROSSCHECK", 0) != 0)
+        for (ConfigVariant &variant : run.variants)
+            variant.machine.writeBuffer.crossCheck = true;
+    if (overridden)
+        for (ConfigVariant &variant : run.variants)
+            variant.machine.validate();
+
     std::string json_path = cli.get("json");
     std::string csv_path = cli.get("csv");
     std::string trace_path = cli.get("trace-out");
     if (const char *dir = std::getenv("WBSIM_OBS");
         dir != nullptr && *dir != '\0') {
-        std::string prefix = std::string(dir) + "/" + experiment.id;
+        std::string prefix = std::string(dir) + "/" + run.id;
         if (json_path.empty())
             json_path = prefix + ".json";
         if (csv_path.empty())
@@ -186,12 +223,12 @@ runFigure(const Experiment &experiment, int argc,
     RunnerOptions options = RunnerOptions::fromEnvironment();
     auto profiles = spec92::allProfiles();
     ExperimentResults results =
-        runExperiment(experiment, profiles, options);
+        runExperiment(run, profiles, options);
     if (!stdout_artifact) {
         ReportOptions report;
         report.extended = extended;
         report.csv = envUint("WBSIM_CSV", 0) != 0;
-        printExperimentReport(std::cout, experiment, profiles,
+        printExperimentReport(std::cout, run, profiles,
                               results, report);
         std::cout << "(instructions=" << options.instructions
                   << " warmup=" << options.warmup << " seed="
@@ -200,19 +237,19 @@ runFigure(const Experiment &experiment, int argc,
 
     if (!json_path.empty()) {
         writeArtifact(json_path, "grid JSON", [&](std::ostream &os) {
-            writeExperimentJson(os, experiment, profiles, results,
+            writeExperimentJson(os, run, profiles, results,
                                 options);
         });
     }
     if (!csv_path.empty()) {
         writeArtifact(csv_path, "grid CSV", [&](std::ostream &os) {
-            writeExperimentCsv(os, experiment, profiles, results);
+            writeExperimentCsv(os, run, profiles, results);
         });
     }
     if (!trace_path.empty()) {
         writeArtifact(trace_path, "trace_event JSON",
                       [&](std::ostream &os) {
-                          writeFigureTrace(experiment, profiles,
+                          writeFigureTrace(run, profiles,
                                            options, os);
                       });
     }

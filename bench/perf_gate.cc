@@ -224,6 +224,38 @@ simulatorObserved(Count instructions)
     return r;
 }
 
+/**
+ * The baseline run again, but with every buffer policy resolved
+ * through the parse*() names and the policy factory — the exact path
+ * the figure binaries' override flags use. Tracks the cost of the
+ * pluggable retirement engine against sim_baseline; the two should
+ * stay within noise of each other.
+ */
+GateResult
+simulatorPolicyLayer(Count instructions)
+{
+    auto profile = spec92::profile("compress");
+    MachineConfig machine = figures::baselineMachine();
+    machine.writeBuffer.hazardPolicy =
+        parseLoadHazardPolicy("flush-full");
+    machine.writeBuffer.retirementMode =
+        parseRetirementMode("occupancy");
+    machine.writeBuffer.retirementOrder = parseRetirementOrder("fifo");
+    machine.validate();
+    double start = now();
+    SyntheticSource source(profile, instructions, 1);
+    Simulator simulator(machine);
+    SimResults results = simulator.run(source);
+    double elapsed = now() - start;
+    GateResult r;
+    r.name = "sim_policy_layer";
+    r.iterations = instructions;
+    r.seconds = elapsed;
+    r.opsPerSec = static_cast<double>(instructions) / elapsed;
+    r.cyclesPerSec = static_cast<double>(results.cycles) / elapsed;
+    return r;
+}
+
 /** Figure 3 replay: the full benchmark grid at reduced length. */
 GateResult
 fig03Replay(Count instructions)
@@ -385,6 +417,7 @@ main()
         std::cout << "perf_gate: sim_baseline_obs overhead = "
                   << plain.opsPerSec / observed.opsPerSec << "x\n";
     }
+    results.push_back(simulatorPolicyLayer(sim_instructions));
     results.push_back(fig03Replay(fig_instructions));
     results.push_back(traceReplay(min_seconds));
     results.push_back(gridFig04("grid_fig04_nocache", false,

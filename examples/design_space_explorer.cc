@@ -45,21 +45,6 @@ parseValues(const std::string &text)
     return values;
 }
 
-LoadHazardPolicy
-parseHazard(const std::string &name)
-{
-    for (LoadHazardPolicy policy :
-         {LoadHazardPolicy::FlushFull, LoadHazardPolicy::FlushPartial,
-          LoadHazardPolicy::FlushItemOnly,
-          LoadHazardPolicy::ReadFromWB}) {
-        if (name == loadHazardPolicyName(policy))
-            return policy;
-    }
-    wbsim_fatal("unknown hazard policy '", name,
-                "' (flush-full, flush-partial, flush-item-only, "
-                "read-from-WB)");
-}
-
 void
 applySweep(MachineConfig &machine, const std::string &knob,
            std::uint64_t value)
@@ -120,7 +105,8 @@ main(int argc, char **argv)
         static_cast<unsigned>(options.getUint("depth"));
     base.writeBuffer.highWaterMark =
         static_cast<unsigned>(options.getUint("retire-at"));
-    base.writeBuffer.hazardPolicy = parseHazard(options.get("hazard"));
+    base.writeBuffer.hazardPolicy =
+        parseLoadHazardPolicy(options.get("hazard"));
 
     BenchmarkProfile profile = spec92::profile(benchmark);
 

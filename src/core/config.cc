@@ -7,45 +7,99 @@
 
 namespace wbsim
 {
+namespace
+{
+
+/**
+ * The policy name registry: one table per enum, shared by the
+ * *Name() helpers and their parse*() inverses so CLI strings,
+ * describe(), and the policy factory can never disagree.
+ */
+template <typename Enum>
+struct PolicyName
+{
+    Enum value;
+    const char *name;
+};
+
+constexpr PolicyName<LoadHazardPolicy> kHazardNames[] = {
+    {LoadHazardPolicy::FlushFull, "flush-full"},
+    {LoadHazardPolicy::FlushPartial, "flush-partial"},
+    {LoadHazardPolicy::FlushItemOnly, "flush-item-only"},
+    {LoadHazardPolicy::ReadFromWB, "read-from-WB"},
+};
+
+constexpr PolicyName<RetirementMode> kModeNames[] = {
+    {RetirementMode::Occupancy, "occupancy"},
+    {RetirementMode::FixedRate, "fixed-rate"},
+};
+
+constexpr PolicyName<RetirementOrder> kOrderNames[] = {
+    {RetirementOrder::Fifo, "fifo"},
+    {RetirementOrder::FullestFirst, "fullest-first"},
+};
+
+template <typename Enum, std::size_t N>
+const char *
+nameOf(const PolicyName<Enum> (&table)[N], Enum value)
+{
+    for (const auto &row : table)
+        if (row.value == value)
+            return row.name;
+    return "?";
+}
+
+template <typename Enum, std::size_t N>
+Enum
+parseName(const PolicyName<Enum> (&table)[N], std::string_view name,
+          const char *what)
+{
+    for (const auto &row : table)
+        if (row.name == name)
+            return row.value;
+    std::ostringstream known;
+    for (const auto &row : table)
+        known << (known.tellp() > 0 ? ", " : "") << row.name;
+    wbsim_fatal("unknown ", what, " '", std::string(name),
+                "' (expected one of: ", known.str(), ")");
+}
+
+} // namespace
 
 const char *
 loadHazardPolicyName(LoadHazardPolicy policy)
 {
-    switch (policy) {
-      case LoadHazardPolicy::FlushFull:
-        return "flush-full";
-      case LoadHazardPolicy::FlushPartial:
-        return "flush-partial";
-      case LoadHazardPolicy::FlushItemOnly:
-        return "flush-item-only";
-      case LoadHazardPolicy::ReadFromWB:
-        return "read-from-WB";
-    }
-    return "?";
+    return nameOf(kHazardNames, policy);
+}
+
+LoadHazardPolicy
+parseLoadHazardPolicy(std::string_view name)
+{
+    return parseName(kHazardNames, name, "load-hazard policy");
 }
 
 const char *
 retirementModeName(RetirementMode mode)
 {
-    switch (mode) {
-      case RetirementMode::Occupancy:
-        return "occupancy";
-      case RetirementMode::FixedRate:
-        return "fixed-rate";
-    }
-    return "?";
+    return nameOf(kModeNames, mode);
+}
+
+RetirementMode
+parseRetirementMode(std::string_view name)
+{
+    return parseName(kModeNames, name, "retirement mode");
 }
 
 const char *
 retirementOrderName(RetirementOrder order)
 {
-    switch (order) {
-      case RetirementOrder::Fifo:
-        return "fifo";
-      case RetirementOrder::FullestFirst:
-        return "fullest-first";
-    }
-    return "?";
+    return nameOf(kOrderNames, order);
+}
+
+RetirementOrder
+parseRetirementOrder(std::string_view name)
+{
+    return parseName(kOrderNames, name, "retirement order");
 }
 
 unsigned

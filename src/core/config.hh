@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "util/types.hh"
 
@@ -29,6 +30,9 @@ enum class LoadHazardPolicy : std::uint8_t
 
 const char *loadHazardPolicyName(LoadHazardPolicy policy);
 
+/** Inverse of loadHazardPolicyName(); fatal() on an unknown name. */
+LoadHazardPolicy parseLoadHazardPolicy(std::string_view name);
+
 /** When the buffer decides to retire entries on its own. */
 enum class RetirementMode : std::uint8_t
 {
@@ -41,6 +45,9 @@ enum class RetirementMode : std::uint8_t
 };
 
 const char *retirementModeName(RetirementMode mode);
+
+/** Inverse of retirementModeName(); fatal() on an unknown name. */
+RetirementMode parseRetirementMode(std::string_view name);
 
 /**
  * Which entry goes when a retirement occurs (Table 2's "Retirement
@@ -58,6 +65,9 @@ enum class RetirementOrder : std::uint8_t
 };
 
 const char *retirementOrderName(RetirementOrder order);
+
+/** Inverse of retirementOrderName(); fatal() on an unknown name. */
+RetirementOrder parseRetirementOrder(std::string_view name);
 
 /** Organisation of the store buffer. */
 enum class BufferKind : std::uint8_t

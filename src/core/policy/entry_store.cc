@@ -1,0 +1,380 @@
+#include "core/policy/entry_store.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "core/policy/victim_selector.hh"
+#include "util/logging.hh"
+
+namespace wbsim
+{
+namespace
+{
+
+/** Cross-checking defaults on in debug builds (DESIGN.md). */
+constexpr bool kDebugBuild =
+#ifdef NDEBUG
+    false;
+#else
+    true;
+#endif
+
+} // namespace
+
+EntryStore::EntryStore(const WriteBufferConfig &config,
+                       unsigned line_bytes, EntryOrder order)
+    : entry_bytes_(config.entryBytes), line_bytes_(line_bytes),
+      word_shift_(exactLog2(std::max(config.wordBytes, 1u))),
+      line_is_base_(config.entryBytes == line_bytes), order_(order),
+      naive_scan_(config.naiveScan),
+      cross_check_(config.crossCheck || kDebugBuild),
+      base_map_(std::max<std::size_t>(config.depth, 1)),
+      line_map_(std::max<std::size_t>(
+          std::size_t{config.depth}
+              * std::max<std::size_t>(
+                    config.entryBytes / std::max(line_bytes, 1u), 1),
+          1))
+{
+    entries_.resize(config.depth);
+    free_stack_.reserve(config.depth);
+    for (unsigned i = config.depth; i > 0; --i)
+        free_stack_.push_back(static_cast<int>(i - 1));
+}
+
+template <typename Fn>
+void
+EntryStore::forEachLine(Addr base, Fn &&fn) const
+{
+    Addr first = alignDown(base, line_bytes_);
+    Addr last = alignDown(base + entry_bytes_ - 1, line_bytes_);
+    for (Addr line = first;; line += line_bytes_) {
+        fn(line);
+        if (line >= last)
+            break;
+    }
+}
+
+void
+EntryStore::setSelector(VictimSelector *selector)
+{
+    selector_ = selector;
+    selector_active_ =
+        selector != nullptr && selector->tracksEntries();
+}
+
+void
+EntryStore::attachLines(Addr base)
+{
+    forEachLine(base, [&](Addr line) { ++line_map_[line]; });
+}
+
+void
+EntryStore::releaseLines(Addr base)
+{
+    forEachLine(base, [&](Addr line) {
+        int *count = line_map_.find(line);
+        wbsim_assert(count != nullptr && *count > 0,
+                     "line resident count underflow");
+        if (--*count == 0)
+            line_map_.erase(line);
+    });
+}
+
+void
+EntryStore::selectorAttachOrMerge(std::size_t index)
+{
+    selector_->noteAttachOrMerge(*this, static_cast<int>(index));
+}
+
+void
+EntryStore::selectorDetach(std::size_t index)
+{
+    selector_->noteDetach(*this, static_cast<int>(index));
+}
+
+unsigned
+EntryStore::naiveCountValid() const
+{
+    unsigned n = 0;
+    for (const BufferEntry &entry : entries_)
+        if (entry.valid)
+            ++n;
+    return n;
+}
+
+unsigned
+EntryStore::occupancySlow() const
+{
+    unsigned naive = naiveCountValid();
+    if (cross_check_)
+        wbsim_assert(naive == valid_count_,
+                     "occupancy counter diverged from the scan");
+    return naive_scan_ ? naive : valid_count_;
+}
+
+int
+EntryStore::naiveMergeTarget(Addr base, int exclude) const
+{
+    int best = -1;
+    std::uint64_t best_seq = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const BufferEntry &entry = entries_[i];
+        if (!entry.valid || entry.base != base)
+            continue;
+        if (static_cast<int>(i) == exclude)
+            continue; // stores cannot merge into a retiring entry
+        if (entry.seq > best_seq) {
+            best_seq = entry.seq;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+int
+EntryStore::indexedMergeTarget(Addr base, int exclude) const
+{
+    // The chain is newest-first, so the first non-excluded link is
+    // the highest-sequence merge candidate.
+    const int *head = base_map_.find(base);
+    if (head == nullptr)
+        return -1;
+    if (exclude < 0)
+        return *head;
+    for (int i = *head; i >= 0;
+         i = entries_[static_cast<std::size_t>(i)].baseNext) {
+        if (i == exclude)
+            continue;
+        return i;
+    }
+    return -1;
+}
+
+int
+EntryStore::findMergeTargetSlow(Addr base, int exclude) const
+{
+    int naive = naiveMergeTarget(base, exclude);
+    if (cross_check_)
+        wbsim_assert(indexedMergeTarget(base, exclude) == naive,
+                     "merge-target index diverged from the scan");
+    return naive_scan_ ? naive : indexedMergeTarget(base, exclude);
+}
+
+int
+EntryStore::naiveOldestBySeq() const
+{
+    int best = -1;
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const BufferEntry &entry = entries_[i];
+        if (entry.valid && entry.seq < best_seq) {
+            best_seq = entry.seq;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+int
+EntryStore::naiveLeastRecent() const
+{
+    int best = -1;
+    std::uint64_t best_use = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].valid && entries_[i].lastUse < best_use) {
+            best_use = entries_[i].lastUse;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+int
+EntryStore::oldestBySeq() const
+{
+    if (order_ != EntryOrder::Allocation)
+        return naiveOldestBySeq(); // no seq-ordered index to consult
+    if (naive_scan_ || cross_check_) {
+        int naive = naiveOldestBySeq();
+        if (cross_check_)
+            wbsim_assert(naive == list_head_,
+                         "FIFO head diverged from the scan");
+        if (naive_scan_)
+            return naive;
+    }
+    return list_head_;
+}
+
+int
+EntryStore::oldestOverlapping(Addr line_base, Addr line_end) const
+{
+    int victim = -1;
+    std::uint64_t victim_seq = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const BufferEntry &entry = entries_[i];
+        if (!entry.valid)
+            continue;
+        Addr end = entry.base + entry_bytes_;
+        if (entry.base < line_end && end > line_base
+            && entry.seq < victim_seq) {
+            victim_seq = entry.seq;
+            victim = static_cast<int>(i);
+        }
+    }
+    return victim;
+}
+
+LoadProbe
+EntryStore::naiveProbeLoad(Addr addr, unsigned size) const
+{
+    LoadProbe probe;
+    Addr line_base = alignDown(addr, line_bytes_);
+    Addr line_end = line_base + line_bytes_;
+    Addr entry_base = alignDown(addr, entry_bytes_);
+    std::uint32_t needed = wordMask(addr, size);
+    std::uint32_t found = 0;
+    for (const BufferEntry &entry : entries_) {
+        if (!entry.valid)
+            continue;
+        Addr end = entry.base + entry_bytes_;
+        if (entry.base < line_end && end > line_base) {
+            probe.blockHit = true;
+            probe.hitSeq = std::max(probe.hitSeq, entry.seq);
+        }
+        if (entry.base == entry_base)
+            found |= entry.validMask;
+    }
+    probe.wordHit = probe.blockHit && (found & needed) == needed;
+    return probe;
+}
+
+LoadProbe
+EntryStore::indexedProbeLoad(Addr addr, unsigned size) const
+{
+    // The common case is a load miss with no overlapping entry: one
+    // residency lookup answers it. Hazards (rare, and followed by
+    // flush work) fall back to the full scan.
+    Addr line = alignDown(addr, line_bytes_);
+    const int *hit =
+        line_is_base_ ? base_map_.find(line) : line_map_.find(line);
+    if (hit == nullptr)
+        return LoadProbe{};
+    return naiveProbeLoad(addr, size);
+}
+
+LoadProbe
+EntryStore::probeLoad(Addr addr, unsigned size) const
+{
+    if (naive_scan_ || cross_check_) {
+        LoadProbe naive = naiveProbeLoad(addr, size);
+        if (cross_check_) {
+            LoadProbe fast = indexedProbeLoad(addr, size);
+            wbsim_assert(fast.blockHit == naive.blockHit
+                         && fast.wordHit == naive.wordHit
+                         && fast.hitSeq == naive.hitSeq,
+                         "load probe diverged from the scan");
+        }
+        if (naive_scan_)
+            return naive;
+    }
+    return indexedProbeLoad(addr, size);
+}
+
+void
+EntryStore::verifyIntegrity() const
+{
+    // Occupancy counter and free stack.
+    unsigned valid = naiveCountValid();
+    wbsim_assert(valid_count_ == valid, "occupancy counter diverged");
+    wbsim_assert(free_stack_.size() == entries_.size() - valid,
+                 "free stack size diverged");
+    std::vector<char> stacked(entries_.size(), 0);
+    for (int slot : free_stack_) {
+        auto index = static_cast<std::size_t>(slot);
+        wbsim_assert(index < entries_.size(), "free stack slot range");
+        wbsim_assert(!entries_[index].valid, "valid entry on free stack");
+        wbsim_assert(!stacked[index], "duplicate slot on free stack");
+        stacked[index] = 1;
+    }
+
+    // Cached popcounts.
+    for (const BufferEntry &entry : entries_) {
+        wbsim_assert(entry.validWords
+                         == (entry.valid ? popcount32(entry.validMask)
+                                         : 0u),
+                     "cached popcount diverged");
+    }
+
+    // The ordering list covers every valid entry in ascending order
+    // of its sort key (seq for allocation order, lastUse for
+    // recency).
+    unsigned walked = 0;
+    std::uint64_t last_key = 0;
+    int prev = -1;
+    for (int i = list_head_; i >= 0;
+         i = entries_[static_cast<std::size_t>(i)].listNext) {
+        const BufferEntry &entry = entries_[static_cast<std::size_t>(i)];
+        std::uint64_t key = order_ == EntryOrder::Allocation
+            ? entry.seq
+            : entry.lastUse;
+        wbsim_assert(entry.valid, "invalid entry on the ordering list");
+        wbsim_assert(key > last_key, "ordering list out of order");
+        wbsim_assert(entry.listPrev == prev, "list back-link broken");
+        last_key = key;
+        prev = i;
+        ++walked;
+    }
+    wbsim_assert(prev == list_tail_, "list tail diverged");
+    wbsim_assert(walked == valid, "ordering list misses entries");
+
+    // Base chains cover every valid entry, newest first.
+    unsigned chained = 0;
+    base_map_.forEach([&](Addr key, int head) {
+        int back = -1;
+        std::uint64_t down_seq = ~std::uint64_t{0};
+        for (int i = head; i >= 0;
+             i = entries_[static_cast<std::size_t>(i)].baseNext) {
+            const BufferEntry &entry =
+                entries_[static_cast<std::size_t>(i)];
+            wbsim_assert(entry.valid, "invalid entry on a base chain");
+            wbsim_assert(entry.base == key, "entry on the wrong chain");
+            wbsim_assert(entry.seq < down_seq,
+                         "base chain not newest-first");
+            wbsim_assert(entry.basePrev == back,
+                         "base chain back-link broken");
+            down_seq = entry.seq;
+            back = i;
+            ++chained;
+        }
+        wbsim_assert(back >= 0, "empty base chain left in the map");
+    });
+    wbsim_assert(chained == valid, "base chains miss entries");
+
+    // Per-line resident counts (base_map_ serves this role when
+    // entries and lines coincide, and line_map_ must stay empty).
+    if (line_is_base_) {
+        wbsim_assert(line_map_.size() == 0,
+                     "line map populated in line==entry geometry");
+    } else {
+        std::map<Addr, int> recount;
+        for (const BufferEntry &entry : entries_) {
+            if (!entry.valid)
+                continue;
+            forEachLine(entry.base, [&](Addr line) { ++recount[line]; });
+        }
+        std::size_t lines = 0;
+        line_map_.forEach([&](Addr key, int count) {
+            auto it = recount.find(key);
+            wbsim_assert(it != recount.end() && it->second == count,
+                         "line resident count diverged");
+            ++lines;
+        });
+        wbsim_assert(lines == recount.size(), "line map misses lines");
+    }
+
+    // Selector caches (e.g. the fullest-first victim).
+    if (selector_ != nullptr)
+        selector_->verify(*this);
+}
+
+} // namespace wbsim

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * The slot machinery shared by every store-buffer organisation:
+ * entry slots with per-word valid bits, the free-entry stack, the
+ * intrusive ordering list (allocation order for the FIFO buffer,
+ * recency order for the write cache), the base-address chains, and
+ * the per-line residency index — the PR-1 incremental indexes,
+ * unified in one place.
+ *
+ * Every indexed answer has a naive O(depth) reference scan; the
+ * `naiveScan` config serves queries from the scans and `crossCheck`
+ * asserts both agree on every query (DESIGN.md "Performance").
+ */
+
+#ifndef WBSIM_CORE_POLICY_ENTRY_STORE_HH
+#define WBSIM_CORE_POLICY_ENTRY_STORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/store_buffer.hh"
+#include "obs/metrics.hh"
+#include "util/addr_map.hh"
+#include "util/bits.hh"
+
+namespace wbsim
+{
+
+class VictimSelector;
+
+/** One store-buffer slot, shared by all organisations. */
+struct BufferEntry
+{
+    Addr base = 0;
+    std::uint32_t validMask = 0;
+    bool valid = false;
+    std::uint64_t seq = 0;       //!< allocation order
+    std::uint64_t lastUse = 0;   //!< recency order (LRU organisations)
+    Cycle allocCycle = 0;        //!< for the age-timeout trigger
+    std::uint8_t validWords = 0; //!< cached popcount(validMask)
+    /** @name Ordering list (allocation or recency order). */
+    /// @{
+    int listPrev = -1;
+    int listNext = -1;
+    /// @}
+    /** @name Same-base chain hanging off the base map (newest
+     *  first; duplicates arise while an entry retires or under
+     *  non-coalescing allocation). */
+    /// @{
+    int basePrev = -1;
+    int baseNext = -1;
+    /// @}
+};
+
+/** What the intrusive ordering list sorts by. */
+enum class EntryOrder : std::uint8_t
+{
+    Allocation, //!< head = oldest allocation (FIFO write buffer)
+    Recency,    //!< head = least recently used (write cache)
+};
+
+/** Indexed entry slots plus their reference scans. */
+class EntryStore
+{
+  public:
+    EntryStore(const WriteBufferConfig &config, unsigned line_bytes,
+               EntryOrder order);
+
+    /** Wire the selector whose caches track attach/detach/merge
+     *  (nullptr detaches; cloneRebound rewires). */
+    void setSelector(VictimSelector *selector);
+
+    /** Publish occupancy into @p metrics under @p id (nullptr
+     *  detaches). */
+    void
+    setOccupancyGauge(obs::MetricsRegistry *metrics, obs::MetricId id)
+    {
+        metrics_ = metrics;
+        m_occupancy_ = id;
+    }
+
+    /** @name Slot access. */
+    /// @{
+    const BufferEntry &
+    entry(std::size_t index) const
+    {
+        return entries_[index];
+    }
+    std::size_t size() const { return entries_.size(); }
+    unsigned entryBytes() const { return entry_bytes_; }
+    unsigned lineBytes() const { return line_bytes_; }
+    bool hasFree() const { return !free_stack_.empty(); }
+    unsigned validCount() const { return valid_count_; }
+    int listHead() const { return list_head_; }
+    EntryOrder order() const { return order_; }
+    bool naiveScan() const { return naive_scan_; }
+    bool crossCheck() const { return cross_check_; }
+    /// @}
+
+    /**
+     * Pop a free slot, fill it with a fresh entry (base, mask,
+     * allocation cycle, next seq/use stamps) and register it with
+     * every index. The caller must have ensured a free slot exists.
+     * @return the slot index.
+     */
+    std::size_t
+    allocate(Addr base, std::uint32_t mask, Cycle at)
+    {
+        wbsim_assert(!free_stack_.empty(),
+                     "allocating with no free entry");
+        auto index = static_cast<std::size_t>(free_stack_.back());
+        free_stack_.pop_back();
+        BufferEntry &entry = entries_[index];
+        entry.base = base;
+        entry.validMask = mask;
+        entry.valid = true;
+        entry.lastUse = ++use_clock_;
+        entry.seq = next_seq_++;
+        entry.allocCycle = at;
+        attachEntry(index);
+        return index;
+    }
+
+    /** Invalidate the entry at @p index and drop it from every
+     *  index (retirement, flush, eviction). */
+    void
+    release(std::size_t index)
+    {
+        BufferEntry &entry = entries_[index];
+        wbsim_assert(entry.valid, "detaching an invalid entry");
+        --valid_count_;
+
+        if (entry.listPrev >= 0)
+            entries_[static_cast<std::size_t>(entry.listPrev)]
+                .listNext = entry.listNext;
+        else
+            list_head_ = entry.listNext;
+        if (entry.listNext >= 0)
+            entries_[static_cast<std::size_t>(entry.listNext)]
+                .listPrev = entry.listPrev;
+        else
+            list_tail_ = entry.listPrev;
+
+        if (entry.basePrev >= 0) {
+            entries_[static_cast<std::size_t>(entry.basePrev)]
+                .baseNext = entry.baseNext;
+        } else if (entry.baseNext >= 0) {
+            base_map_[entry.base] = entry.baseNext;
+        } else {
+            base_map_.erase(entry.base);
+        }
+        if (entry.baseNext >= 0)
+            entries_[static_cast<std::size_t>(entry.baseNext)]
+                .basePrev = entry.basePrev;
+
+        if (!line_is_base_)
+            releaseLines(entry.base);
+
+        entry.valid = false;
+        entry.validMask = 0;
+        entry.validWords = 0;
+        entry.listPrev = entry.listNext = -1;
+        entry.basePrev = entry.baseNext = -1;
+        free_stack_.push_back(static_cast<int>(index));
+
+        if (selector_active_)
+            selectorDetach(index);
+        if (metrics_ != nullptr)
+            metrics_->set(m_occupancy_, valid_count_);
+    }
+
+    /** Fold @p mask into the entry at @p index (coalescing). */
+    void
+    merge(std::size_t index, std::uint32_t mask)
+    {
+        BufferEntry &entry = entries_[index];
+        wbsim_assert(entry.valid, "merging into an invalid entry");
+        entry.validMask |= mask;
+        entry.validWords =
+            static_cast<std::uint8_t>(popcount32(entry.validMask));
+        if (selector_active_)
+            selectorAttachOrMerge(index);
+    }
+
+    /** Move the entry to the most-recent end (recency order only). */
+    void
+    touch(std::size_t index)
+    {
+        wbsim_assert(order_ == EntryOrder::Recency,
+                     "touch on an allocation-ordered store");
+        entries_[index].lastUse = ++use_clock_;
+        if (list_tail_ == static_cast<int>(index))
+            return;
+        BufferEntry &entry = entries_[index];
+        // Unlink (not the tail, so listNext >= 0)...
+        if (entry.listPrev >= 0)
+            entries_[static_cast<std::size_t>(entry.listPrev)]
+                .listNext = entry.listNext;
+        else
+            list_head_ = entry.listNext;
+        entries_[static_cast<std::size_t>(entry.listNext)].listPrev =
+            entry.listPrev;
+        // ...and relink at the most-recent end.
+        entry.listPrev = list_tail_;
+        entry.listNext = -1;
+        entries_[static_cast<std::size_t>(list_tail_)].listNext =
+            static_cast<int>(index);
+        list_tail_ = static_cast<int>(index);
+    }
+
+    /**
+     * Newest entry at @p base, skipping @p exclude (the slot of an
+     * entry mid-retirement, or -1). Serves both the write buffer's
+     * merge-target lookup and the write cache's block lookup (blocks
+     * are unique there under coalescing, so "newest" is "the one").
+     */
+    int
+    findMergeTarget(Addr base, int exclude) const
+    {
+        if (naive_scan_ || cross_check_)
+            return findMergeTargetSlow(base, exclude);
+        return indexedMergeTarget(base, exclude);
+    }
+
+    /** Oldest valid entry by allocation order (FIFO flushes, the
+     *  age-timeout trigger). O(1) in allocation order, a scan in
+     *  recency order. */
+    int oldestBySeq() const;
+
+    /** Oldest valid entry (by seq) overlapping [line_base,
+     *  line_end) — flush-item-only's victim. */
+    int oldestOverlapping(Addr line_base, Addr line_end) const;
+
+    /** Probe for a load; naive/indexed/cross-checked per config. */
+    LoadProbe probeLoad(Addr addr, unsigned size) const;
+
+    /** Word-valid mask an access covers within its entry. */
+    std::uint32_t
+    wordMask(Addr addr, unsigned size) const
+    {
+        Addr offset = addr & (entry_bytes_ - 1);
+        wbsim_assert(offset + size <= entry_bytes_,
+                     "access crosses a store-buffer entry boundary");
+        unsigned first = static_cast<unsigned>(offset >> word_shift_);
+        unsigned last =
+            static_cast<unsigned>((offset + size - 1) >> word_shift_);
+        return static_cast<std::uint32_t>((std::uint64_t{2} << last)
+                                          - (std::uint64_t{1} << first));
+    }
+
+    /** occupancy() when scan-serving or cross-checking is on. */
+    unsigned occupancySlow() const;
+
+    /** @name Reference scans (used by selectors and cross-checks). */
+    /// @{
+    unsigned naiveCountValid() const;
+    int naiveOldestBySeq() const;
+    int naiveLeastRecent() const;
+    /// @}
+
+    /**
+     * Panic unless every incremental index agrees with a
+     * from-scratch recomputation over the entry array.
+     */
+    void verifyIntegrity() const;
+
+  private:
+    LoadProbe naiveProbeLoad(Addr addr, unsigned size) const;
+    LoadProbe indexedProbeLoad(Addr addr, unsigned size) const;
+    int naiveMergeTarget(Addr base, int exclude) const;
+    int indexedMergeTarget(Addr base, int exclude) const;
+    int findMergeTargetSlow(Addr base, int exclude) const;
+
+    /** Register a just-filled entry with every index. */
+    void
+    attachEntry(std::size_t index)
+    {
+        BufferEntry &entry = entries_[index];
+        wbsim_assert(entry.valid, "attaching an invalid entry");
+        ++valid_count_;
+        entry.validWords =
+            static_cast<std::uint8_t>(popcount32(entry.validMask));
+
+        entry.listPrev = list_tail_;
+        entry.listNext = -1;
+        if (list_tail_ >= 0)
+            entries_[static_cast<std::size_t>(list_tail_)].listNext =
+                static_cast<int>(index);
+        else
+            list_head_ = static_cast<int>(index);
+        list_tail_ = static_cast<int>(index);
+
+        bool inserted = false;
+        int &head = base_map_.insertOrFind(entry.base, inserted);
+        entry.baseNext = inserted ? -1 : head;
+        entry.basePrev = -1;
+        if (entry.baseNext >= 0)
+            entries_[static_cast<std::size_t>(entry.baseNext)]
+                .basePrev = static_cast<int>(index);
+        head = static_cast<int>(index);
+
+        if (!line_is_base_)
+            attachLines(entry.base);
+
+        if (selector_active_)
+            selectorAttachOrMerge(index);
+        if (metrics_ != nullptr)
+            metrics_->set(m_occupancy_, valid_count_);
+    }
+
+    /** @name Out-of-line pieces of the inlined mutators: per-line
+     *  residency in the multi-line geometry and the notification
+     *  calls of an entry-tracking selector (both off the default
+     *  geometry's fast path). */
+    /// @{
+    void attachLines(Addr base);
+    void releaseLines(Addr base);
+    void selectorAttachOrMerge(std::size_t index);
+    void selectorDetach(std::size_t index);
+    /// @}
+
+    /** Visit the base of every L1 line the entry at @p base covers. */
+    template <typename Fn> void forEachLine(Addr base, Fn &&fn) const;
+
+    unsigned entry_bytes_;
+    unsigned line_bytes_;
+    unsigned word_shift_; //!< log2(wordBytes): wordMask avoids division
+    /** entryBytes == line_bytes: entries and L1 lines coincide, so
+     *  base_map_ doubles as the line residency index and line_map_
+     *  stays empty (the default geometry's fast path). */
+    bool line_is_base_;
+    EntryOrder order_;
+    bool naive_scan_;
+    bool cross_check_;
+
+    std::vector<BufferEntry> entries_;
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t use_clock_ = 0;
+
+    /** @name Incremental indexes over entries_. */
+    /// @{
+    unsigned valid_count_ = 0;    //!< number of valid entries
+    std::vector<int> free_stack_; //!< invalid entry slots
+    int list_head_ = -1;          //!< oldest / least-recent entry
+    int list_tail_ = -1;          //!< newest / most-recent entry
+    AddrMap<int> base_map_;       //!< entry base -> chain head
+    AddrMap<int> line_map_;       //!< L1 line base -> resident count
+    /// @}
+
+    VictimSelector *selector_ = nullptr;
+    /** selector_ != nullptr && selector_->tracksEntries(). */
+    bool selector_active_ = false;
+    obs::MetricsRegistry *metrics_ = nullptr;
+    obs::MetricId m_occupancy_ = 0;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_CORE_POLICY_ENTRY_STORE_HH

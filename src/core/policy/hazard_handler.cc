@@ -1,0 +1,162 @@
+#include "core/policy/hazard_handler.hh"
+
+#include <algorithm>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+HazardResult
+ReadFromWBHandler::handle(RetirementEngine &, EntryStore &,
+                          const WriteBufferConfig &config,
+                          StoreBufferStats &stats,
+                          const LoadProbe &probe, Addr, unsigned,
+                          Cycle now) const
+{
+    if (probe.wordHit) {
+        ++stats.wbServedLoads;
+        return {now + config.wbHitExtraCycles, true};
+    }
+    // The line is active but the needed word is not valid: the load
+    // reads L2 and merges the active words for free (§2.2).
+    return {now, false};
+}
+
+HazardResult
+WbFlushFullHandler::handle(RetirementEngine &engine, EntryStore &store,
+                           const WriteBufferConfig &, StoreBufferStats &,
+                           const LoadProbe &, Addr, unsigned,
+                           Cycle now) const
+{
+    Cycle t = now;
+    // An underway transaction always completes first.
+    if (engine.inFlight()) {
+        t = engine.retireDone();
+        engine.completeRetirement();
+    }
+    // Flush-full empties the entire buffer whenever a hazard occurs
+    // (§2.2) - even when the hit entry was the one mid-retirement.
+    for (;;) {
+        int oldest = store.oldestBySeq();
+        if (oldest < 0)
+            break;
+        t = engine.writeEntryNow(static_cast<std::size_t>(oldest), t,
+                                 L2Txn::WriteFlush);
+    }
+    engine.finishExternal(t);
+    return {t, false};
+}
+
+HazardResult
+WbFlushPartialHandler::handle(RetirementEngine &engine,
+                              EntryStore &store,
+                              const WriteBufferConfig &,
+                              StoreBufferStats &, const LoadProbe &,
+                              Addr addr, unsigned size, Cycle now) const
+{
+    Cycle t = now;
+    if (engine.inFlight()) {
+        t = engine.retireDone();
+        engine.completeRetirement();
+    }
+    // Flush until the load's line is fully purged (duplicated blocks
+    // can take several rounds).
+    for (;;) {
+        LoadProbe current = store.probeLoad(addr, size);
+        if (!current.blockHit)
+            break;
+        for (;;) {
+            int oldest = store.oldestBySeq();
+            if (oldest < 0)
+                break;
+            auto index = static_cast<std::size_t>(oldest);
+            std::uint64_t seq = store.entry(index).seq;
+            t = engine.writeEntryNow(index, t, L2Txn::WriteFlush);
+            if (seq >= current.hitSeq)
+                break;
+        }
+    }
+    engine.finishExternal(t);
+    return {t, false};
+}
+
+HazardResult
+WbFlushItemOnlyHandler::handle(RetirementEngine &engine,
+                               EntryStore &store,
+                               const WriteBufferConfig &,
+                               StoreBufferStats &, const LoadProbe &,
+                               Addr addr, unsigned size, Cycle now) const
+{
+    Cycle t = now;
+    if (engine.inFlight()) {
+        t = engine.retireDone();
+        engine.completeRetirement();
+    }
+    // Flush the oldest entry overlapping the load's line, re-probing
+    // until the line is purged.
+    Addr line_base = alignDown(addr, store.lineBytes());
+    Addr line_end = line_base + store.lineBytes();
+    for (;;) {
+        LoadProbe current = store.probeLoad(addr, size);
+        if (!current.blockHit)
+            break;
+        int victim = store.oldestOverlapping(line_base, line_end);
+        wbsim_assert(victim >= 0, "block hit but no matching entry");
+        t = engine.writeEntryNow(static_cast<std::size_t>(victim), t,
+                                 L2Txn::WriteFlush);
+    }
+    engine.finishExternal(t);
+    return {t, false};
+}
+
+HazardResult
+WcFlushAllHandler::handle(RetirementEngine &engine, EntryStore &store,
+                          const WriteBufferConfig &, StoreBufferStats &,
+                          const LoadProbe &, Addr, unsigned,
+                          Cycle now) const
+{
+    Cycle t = now;
+    // A fixed-rate retirement in flight completes first; so does the
+    // in-flight eviction write.
+    if (engine.inFlight()) {
+        t = engine.retireDone();
+        engine.completeRetirement();
+    }
+    t = std::max(t, engine.backgroundDone());
+    for (std::size_t i = 0; i < store.size(); ++i)
+        if (store.entry(i).valid)
+            t = engine.writeEntryNow(i, t, L2Txn::WriteFlush);
+    engine.finishExternal(t);
+    return {t, false};
+}
+
+HazardResult
+WcFlushItemOnlyHandler::handle(RetirementEngine &engine,
+                               EntryStore &store,
+                               const WriteBufferConfig &,
+                               StoreBufferStats &, const LoadProbe &,
+                               Addr addr, unsigned, Cycle now) const
+{
+    Cycle t = now;
+    if (engine.inFlight()) {
+        t = engine.retireDone();
+        engine.completeRetirement();
+    }
+    t = std::max(t, engine.backgroundDone());
+    Addr line_base = alignDown(addr, store.lineBytes());
+    Addr line_end = line_base + store.lineBytes();
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        const BufferEntry &entry = store.entry(i);
+        if (!entry.valid)
+            continue;
+        Addr end = entry.base + store.entryBytes();
+        if (entry.base < line_end && end > line_base)
+            t = engine.writeEntryNow(i, t, L2Txn::WriteFlush);
+    }
+    engine.finishExternal(t);
+    return {t, false};
+}
+
+} // namespace wbsim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Load-hazard handlers: what happens when a load's line overlaps a
+ * resident store-buffer entry (paper §2.2's four policies). Handlers
+ * are stateless strategies over the shared EntryStore and
+ * RetirementEngine; the organisation counts the hazard and
+ * delegates. The flush policies differ between organisations — the
+ * FIFO buffer flushes in allocation order and re-probes until the
+ * line is purged, the write cache sweeps its slots — so the factory
+ * keys on (policy, buffer kind).
+ */
+
+#ifndef WBSIM_CORE_POLICY_HAZARD_HANDLER_HH
+#define WBSIM_CORE_POLICY_HAZARD_HANDLER_HH
+
+#include <memory>
+
+#include "core/policy/entry_store.hh"
+#include "core/policy/retirement_engine.hh"
+
+namespace wbsim
+{
+
+/** How a load hazard resolves. */
+class HazardHandler
+{
+  public:
+    virtual ~HazardHandler() = default;
+
+    /** Registry name (the load-hazard-policy vocabulary). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Resolve a hazard the probe detected: flush what the policy
+     * demands (or serve the load from the buffer) and return when
+     * the load may proceed. The caller has already counted the
+     * hazard and asserted probe.blockHit.
+     */
+    virtual HazardResult handle(RetirementEngine &engine,
+                                EntryStore &store,
+                                const WriteBufferConfig &config,
+                                StoreBufferStats &stats,
+                                const LoadProbe &probe, Addr addr,
+                                unsigned size, Cycle now) const = 0;
+};
+
+/** Serve the load from the buffer when every word is valid (§2.2);
+ *  shared by both organisations. */
+class ReadFromWBHandler final : public HazardHandler
+{
+  public:
+    const char *name() const override { return "read-from-WB"; }
+    HazardResult handle(RetirementEngine &engine, EntryStore &store,
+                        const WriteBufferConfig &config,
+                        StoreBufferStats &stats, const LoadProbe &probe,
+                        Addr addr, unsigned size,
+                        Cycle now) const override;
+};
+
+/** Flush-full: empty the entire FIFO buffer in allocation order. */
+class WbFlushFullHandler final : public HazardHandler
+{
+  public:
+    const char *name() const override { return "flush-full"; }
+    HazardResult handle(RetirementEngine &engine, EntryStore &store,
+                        const WriteBufferConfig &config,
+                        StoreBufferStats &stats, const LoadProbe &probe,
+                        Addr addr, unsigned size,
+                        Cycle now) const override;
+};
+
+/** Flush-partial: FIFO order up to the newest hit entry, re-probing
+ *  until the load's line is purged. */
+class WbFlushPartialHandler final : public HazardHandler
+{
+  public:
+    const char *name() const override { return "flush-partial"; }
+    HazardResult handle(RetirementEngine &engine, EntryStore &store,
+                        const WriteBufferConfig &config,
+                        StoreBufferStats &stats, const LoadProbe &probe,
+                        Addr addr, unsigned size,
+                        Cycle now) const override;
+};
+
+/** Flush-item-only: only entries overlapping the load's line. */
+class WbFlushItemOnlyHandler final : public HazardHandler
+{
+  public:
+    const char *name() const override { return "flush-item-only"; }
+    HazardResult handle(RetirementEngine &engine, EntryStore &store,
+                        const WriteBufferConfig &config,
+                        StoreBufferStats &stats, const LoadProbe &probe,
+                        Addr addr, unsigned size,
+                        Cycle now) const override;
+};
+
+/** The write cache has no FIFO order: FlushFull and FlushPartial
+ *  both sweep every valid slot in index order. */
+class WcFlushAllHandler final : public HazardHandler
+{
+  public:
+    explicit WcFlushAllHandler(LoadHazardPolicy policy)
+        : policy_(policy)
+    {}
+
+    const char *
+    name() const override
+    {
+        return loadHazardPolicyName(policy_);
+    }
+
+    HazardResult handle(RetirementEngine &engine, EntryStore &store,
+                        const WriteBufferConfig &config,
+                        StoreBufferStats &stats, const LoadProbe &probe,
+                        Addr addr, unsigned size,
+                        Cycle now) const override;
+
+  private:
+    LoadHazardPolicy policy_;
+};
+
+/** Write-cache flush-item-only: sweep the slots overlapping the
+ *  load's line, in index order. */
+class WcFlushItemOnlyHandler final : public HazardHandler
+{
+  public:
+    const char *name() const override { return "flush-item-only"; }
+    HazardResult handle(RetirementEngine &engine, EntryStore &store,
+                        const WriteBufferConfig &config,
+                        StoreBufferStats &stats, const LoadProbe &probe,
+                        Addr addr, unsigned size,
+                        Cycle now) const override;
+};
+
+} // namespace wbsim
+
+#endif // WBSIM_CORE_POLICY_HAZARD_HANDLER_HH

@@ -1,0 +1,79 @@
+#include "core/policy/policy_factory.hh"
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+std::vector<std::unique_ptr<RetirementTrigger>>
+makeRetirementTriggers(const WriteBufferConfig &config)
+{
+    std::vector<std::unique_ptr<RetirementTrigger>> triggers;
+    if (config.retirementMode == RetirementMode::FixedRate) {
+        // The rate clock stands alone: Table 2's fixed-rate row does
+        // not consult occupancy or age.
+        triggers.push_back(
+            std::make_unique<FixedRateTrigger>(config.fixedRatePeriod));
+        return triggers;
+    }
+    if (config.kind == BufferKind::WriteBuffer) {
+        triggers.push_back(
+            std::make_unique<OccupancyTrigger>(config.highWaterMark));
+    }
+    // The write cache has no occupancy trigger: it retires only on
+    // eviction (Jouppi), so occupancy mode composes to no triggers
+    // at all and advanceTo stays a no-op.
+    if (config.ageTimeout != 0) {
+        triggers.push_back(
+            std::make_unique<AgeTimeoutTrigger>(config.ageTimeout));
+    }
+    return triggers;
+}
+
+std::unique_ptr<VictimSelector>
+makeVictimSelector(const WriteBufferConfig &config)
+{
+    if (config.retirementOrder == RetirementOrder::FullestFirst)
+        return std::make_unique<FullestFirstSelector>();
+    return std::make_unique<ListHeadSelector>(entryOrderFor(config.kind));
+}
+
+std::unique_ptr<HazardHandler>
+makeHazardHandler(const WriteBufferConfig &config)
+{
+    if (config.hazardPolicy == LoadHazardPolicy::ReadFromWB)
+        return std::make_unique<ReadFromWBHandler>();
+    if (config.kind == BufferKind::WriteBuffer) {
+        switch (config.hazardPolicy) {
+          case LoadHazardPolicy::FlushFull:
+            return std::make_unique<WbFlushFullHandler>();
+          case LoadHazardPolicy::FlushPartial:
+            return std::make_unique<WbFlushPartialHandler>();
+          case LoadHazardPolicy::FlushItemOnly:
+            return std::make_unique<WbFlushItemOnlyHandler>();
+          case LoadHazardPolicy::ReadFromWB:
+            break;
+        }
+    } else {
+        switch (config.hazardPolicy) {
+          case LoadHazardPolicy::FlushFull:
+          case LoadHazardPolicy::FlushPartial:
+            return std::make_unique<WcFlushAllHandler>(
+                config.hazardPolicy);
+          case LoadHazardPolicy::FlushItemOnly:
+            return std::make_unique<WcFlushItemOnlyHandler>();
+          case LoadHazardPolicy::ReadFromWB:
+            break;
+        }
+    }
+    wbsim_panic("unhandled hazard policy");
+}
+
+EntryOrder
+entryOrderFor(BufferKind kind)
+{
+    return kind == BufferKind::WriteBuffer ? EntryOrder::Allocation
+                                           : EntryOrder::Recency;
+}
+
+} // namespace wbsim

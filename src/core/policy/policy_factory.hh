@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The one place a WriteBufferConfig turns into policy objects. Every
+ * consumer — the organisations themselves, MachineConfig/CLI strings
+ * (via the parse helpers in core/config.hh), describe(), and the
+ * bench ablations — resolves through this table, so adding a policy
+ * means one enum value, one name-table row, and one case here
+ * (DESIGN.md §9 shows the full recipe).
+ */
+
+#ifndef WBSIM_CORE_POLICY_POLICY_FACTORY_HH
+#define WBSIM_CORE_POLICY_POLICY_FACTORY_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/policy/hazard_handler.hh"
+#include "core/policy/retirement_trigger.hh"
+#include "core/policy/victim_selector.hh"
+
+namespace wbsim
+{
+
+/**
+ * Trigger composition for a configuration:
+ *  - write buffer, occupancy mode: retire-at-N, plus the age timeout
+ *    when one is configured;
+ *  - write buffer, fixed-rate mode: the rate clock alone (the age
+ *    timeout is not consulted, matching the paper's Table 2);
+ *  - write cache, occupancy mode: none — the cache retires only on
+ *    eviction (plus the age timeout when configured);
+ *  - write cache, fixed-rate mode: the rate clock.
+ */
+std::vector<std::unique_ptr<RetirementTrigger>>
+makeRetirementTriggers(const WriteBufferConfig &config);
+
+/**
+ * Victim policy: FIFO or fullest-first for the write buffer;
+ * LRU-evict (the cache's native order) or fullest-first for the
+ * write cache.
+ */
+std::unique_ptr<VictimSelector>
+makeVictimSelector(const WriteBufferConfig &config);
+
+/** Hazard policy, keyed on (hazardPolicy, kind): the flush policies
+ *  differ between organisations, read-from-WB is shared. */
+std::unique_ptr<HazardHandler>
+makeHazardHandler(const WriteBufferConfig &config);
+
+/** The ordering the organisation's EntryStore list maintains. */
+EntryOrder entryOrderFor(BufferKind kind);
+
+} // namespace wbsim
+
+#endif // WBSIM_CORE_POLICY_POLICY_FACTORY_HH

@@ -1,0 +1,108 @@
+#include "core/policy/victim_selector.hh"
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+void
+VictimSelector::noteAttachOrMerge(const EntryStore &, int)
+{
+}
+
+void
+VictimSelector::noteDetach(const EntryStore &, int)
+{
+}
+
+void
+VictimSelector::verify(const EntryStore &) const
+{
+}
+
+int
+ListHeadSelector::pick(const EntryStore &store) const
+{
+    return store.listHead();
+}
+
+int
+ListHeadSelector::naivePick(const EntryStore &store) const
+{
+    return order_ == EntryOrder::Allocation ? store.naiveOldestBySeq()
+                                            : store.naiveLeastRecent();
+}
+
+std::unique_ptr<VictimSelector>
+ListHeadSelector::clone() const
+{
+    return std::make_unique<ListHeadSelector>(*this);
+}
+
+int
+FullestFirstSelector::pick(const EntryStore &) const
+{
+    return fullest_;
+}
+
+int
+FullestFirstSelector::naivePick(const EntryStore &store) const
+{
+    // Most valid words wins, oldest breaks ties.
+    int best = -1;
+    int best_words = -1;
+    std::uint64_t best_seq = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < store.size(); ++i) {
+        const BufferEntry &entry = store.entry(i);
+        if (!entry.valid)
+            continue;
+        int words = static_cast<int>(popcount32(entry.validMask));
+        if (words > best_words
+            || (words == best_words && entry.seq < best_seq)) {
+            best_words = words;
+            best_seq = entry.seq;
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+void
+FullestFirstSelector::noteAttachOrMerge(const EntryStore &store, int index)
+{
+    if (fullest_ < 0) {
+        fullest_ = index;
+        return;
+    }
+    const BufferEntry &entry = store.entry(static_cast<std::size_t>(index));
+    const BufferEntry &best =
+        store.entry(static_cast<std::size_t>(fullest_));
+    if (entry.validWords > best.validWords
+        || (entry.validWords == best.validWords && entry.seq < best.seq))
+        fullest_ = index;
+}
+
+void
+FullestFirstSelector::noteDetach(const EntryStore &store, int index)
+{
+    if (fullest_ == index) {
+        // The cached victim left; recompute. This scan is amortised
+        // against the L2 write that evicted the entry.
+        fullest_ = naivePick(store);
+    }
+}
+
+void
+FullestFirstSelector::verify(const EntryStore &store) const
+{
+    wbsim_assert(fullest_ == naivePick(store),
+                 "fullest-victim cache diverged");
+}
+
+std::unique_ptr<VictimSelector>
+FullestFirstSelector::clone() const
+{
+    return std::make_unique<FullestFirstSelector>(*this);
+}
+
+} // namespace wbsim

@@ -1,563 +1,74 @@
 #include "core/write_buffer.hh"
 
-#include <algorithm>
-#include <bit>
-#include <map>
-
+#include "core/policy/policy_factory.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace wbsim
 {
-namespace
-{
-
-/** Cross-checking defaults on in debug builds (DESIGN.md). */
-constexpr bool kDebugBuild =
-#ifdef NDEBUG
-    false;
-#else
-    true;
-#endif
-
-} // namespace
 
 WriteBuffer::WriteBuffer(const WriteBufferConfig &config, L2Port &port,
                          L2WriteHook hook, unsigned line_bytes)
     : config_(config), port_(port), hook_(std::move(hook)),
-      line_bytes_(line_bytes),
-      word_shift_(exactLog2(std::max(config.wordBytes, 1u))),
-      line_is_base_(config.entryBytes == line_bytes),
-      next_fixed_attempt_(config.fixedRatePeriod),
-      base_map_(std::max<std::size_t>(config.depth, 1)),
-      line_map_(std::max<std::size_t>(
-          std::size_t{config.depth}
-              * std::max<std::size_t>(
-                    config.entryBytes / std::max(line_bytes, 1u), 1),
-          1)),
-      naive_scan_(config.naiveScan),
-      cross_check_(config.crossCheck || kDebugBuild)
+      store_(config_, line_bytes, EntryOrder::Allocation),
+      selector_(makeVictimSelector(config_)),
+      hazard_(makeHazardHandler(config_)),
+      engine_(store_, port_, hook_, config_, stats_, *selector_,
+              makeRetirementTriggers(config_))
 {
     config_.validate();
     wbsim_assert(config_.kind == BufferKind::WriteBuffer,
                  "WriteBuffer built from a write-cache config");
     wbsim_assert(hook_ != nullptr, "write buffer needs an L2 write hook");
-    entries_.resize(config_.depth);
-    free_stack_.reserve(config_.depth);
-    for (unsigned i = config_.depth; i > 0; --i)
-        free_stack_.push_back(static_cast<int>(i - 1));
+    store_.setSelector(selector_.get());
 }
 
 WriteBuffer::WriteBuffer(const WriteBuffer &other, L2Port &port,
                          L2WriteHook hook)
     : config_(other.config_), port_(port), hook_(std::move(hook)),
-      line_bytes_(other.line_bytes_), word_shift_(other.word_shift_),
-      line_is_base_(other.line_is_base_), entries_(other.entries_),
-      next_seq_(other.next_seq_), engine_now_(other.engine_now_),
-      retire_in_flight_(other.retire_in_flight_),
-      retiring_index_(other.retiring_index_),
-      retire_done_(other.retire_done_),
-      occupancy_since_(other.occupancy_since_),
-      next_fixed_attempt_(other.next_fixed_attempt_),
-      valid_count_(other.valid_count_), free_stack_(other.free_stack_),
-      fifo_head_(other.fifo_head_), fifo_tail_(other.fifo_tail_),
-      base_map_(other.base_map_), line_map_(other.line_map_),
-      fullest_(other.fullest_), naive_scan_(other.naive_scan_),
-      cross_check_(other.cross_check_), stats_(other.stats_)
+      stats_(other.stats_), store_(other.store_),
+      selector_(other.selector_->clone()),
+      hazard_(makeHazardHandler(config_)),
+      engine_(other.engine_, store_, port_, hook_, config_, stats_,
+              *selector_)
 {
     wbsim_assert(hook_ != nullptr, "write buffer needs an L2 write hook");
-}
-
-template <typename Fn>
-void
-WriteBuffer::forEachLine(Addr base, Fn &&fn) const
-{
-    Addr first = alignDown(base, line_bytes_);
-    Addr last = alignDown(base + config_.entryBytes - 1, line_bytes_);
-    for (Addr line = first;; line += line_bytes_) {
-        fn(line);
-        if (line >= last)
-            break;
-    }
-}
-
-void
-WriteBuffer::considerFullest(int index)
-{
-    if (config_.retirementOrder != RetirementOrder::FullestFirst)
-        return;
-    if (fullest_ < 0) {
-        fullest_ = index;
-        return;
-    }
-    const Entry &entry = entries_[static_cast<std::size_t>(index)];
-    const Entry &best = entries_[static_cast<std::size_t>(fullest_)];
-    if (entry.validWords > best.validWords
-        || (entry.validWords == best.validWords && entry.seq < best.seq))
-        fullest_ = index;
-}
-
-void
-WriteBuffer::attachEntry(std::size_t index)
-{
-    Entry &entry = entries_[index];
-    wbsim_assert(entry.valid, "attaching an invalid entry");
-    ++valid_count_;
-    entry.validWords =
-        static_cast<std::uint8_t>(popcount32(entry.validMask));
-
-    entry.fifoPrev = fifo_tail_;
-    entry.fifoNext = -1;
-    if (fifo_tail_ >= 0)
-        entries_[static_cast<std::size_t>(fifo_tail_)].fifoNext =
-            static_cast<int>(index);
-    else
-        fifo_head_ = static_cast<int>(index);
-    fifo_tail_ = static_cast<int>(index);
-
-    bool inserted = false;
-    int &head = base_map_.insertOrFind(entry.base, inserted);
-    entry.baseNext = inserted ? -1 : head;
-    entry.basePrev = -1;
-    if (entry.baseNext >= 0)
-        entries_[static_cast<std::size_t>(entry.baseNext)].basePrev =
-            static_cast<int>(index);
-    head = static_cast<int>(index);
-
-    if (!line_is_base_)
-        forEachLine(entry.base, [&](Addr line) { ++line_map_[line]; });
-
-    considerFullest(static_cast<int>(index));
-    if (metrics_ != nullptr)
-        metrics_->set(m_occupancy_, valid_count_);
-}
-
-void
-WriteBuffer::detachEntry(std::size_t index)
-{
-    Entry &entry = entries_[index];
-    wbsim_assert(entry.valid, "detaching an invalid entry");
-    --valid_count_;
-
-    if (entry.fifoPrev >= 0)
-        entries_[static_cast<std::size_t>(entry.fifoPrev)].fifoNext =
-            entry.fifoNext;
-    else
-        fifo_head_ = entry.fifoNext;
-    if (entry.fifoNext >= 0)
-        entries_[static_cast<std::size_t>(entry.fifoNext)].fifoPrev =
-            entry.fifoPrev;
-    else
-        fifo_tail_ = entry.fifoPrev;
-
-    if (entry.basePrev >= 0) {
-        entries_[static_cast<std::size_t>(entry.basePrev)].baseNext =
-            entry.baseNext;
-    } else if (entry.baseNext >= 0) {
-        base_map_[entry.base] = entry.baseNext;
-    } else {
-        base_map_.erase(entry.base);
-    }
-    if (entry.baseNext >= 0)
-        entries_[static_cast<std::size_t>(entry.baseNext)].basePrev =
-            entry.basePrev;
-
-    if (!line_is_base_) {
-        forEachLine(entry.base, [&](Addr line) {
-            int *count = line_map_.find(line);
-            wbsim_assert(count != nullptr && *count > 0,
-                         "line resident count underflow");
-            if (--*count == 0)
-                line_map_.erase(line);
-        });
-    }
-
-    entry.valid = false;
-    entry.validMask = 0;
-    entry.validWords = 0;
-    entry.fifoPrev = entry.fifoNext = -1;
-    entry.basePrev = entry.baseNext = -1;
-    free_stack_.push_back(static_cast<int>(index));
-
-    if (config_.retirementOrder == RetirementOrder::FullestFirst
-        && fullest_ == static_cast<int>(index)) {
-        // The cached victim left; recompute. This scan is amortised
-        // against the L2 write that evicted the entry.
-        fullest_ = naiveRetirementVictim();
-    }
-
-    if (metrics_ != nullptr)
-        metrics_->set(m_occupancy_, valid_count_);
-}
-
-unsigned
-WriteBuffer::naiveCountValid() const
-{
-    unsigned n = 0;
-    for (const Entry &entry : entries_)
-        if (entry.valid)
-            ++n;
-    return n;
-}
-
-unsigned
-WriteBuffer::occupancySlow() const
-{
-    unsigned naive = naiveCountValid();
-    if (cross_check_)
-        wbsim_assert(naive == valid_count_,
-                     "occupancy counter diverged from the scan");
-    return naive_scan_ ? naive : valid_count_;
-}
-
-int
-WriteBuffer::naiveFindMergeTarget(Addr base) const
-{
-    int best = -1;
-    std::uint64_t best_seq = 0;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const Entry &entry = entries_[i];
-        if (!entry.valid || entry.base != base)
-            continue;
-        if (retire_in_flight_ && i == retiring_index_)
-            continue; // stores cannot merge into a retiring entry
-        if (entry.seq > best_seq) {
-            best_seq = entry.seq;
-            best = static_cast<int>(i);
-        }
-    }
-    return best;
-}
-
-int
-WriteBuffer::findMergeTargetSlow(Addr base) const
-{
-    int naive = naiveFindMergeTarget(base);
-    if (cross_check_)
-        wbsim_assert(indexedMergeTarget(base) == naive,
-                     "merge-target index diverged from the scan");
-    return naive_scan_ ? naive : indexedMergeTarget(base);
-}
-
-int
-WriteBuffer::naiveOldestEntry() const
-{
-    int best = -1;
-    std::uint64_t best_seq = ~std::uint64_t{0};
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const Entry &entry = entries_[i];
-        if (entry.valid && entry.seq < best_seq) {
-            best_seq = entry.seq;
-            best = static_cast<int>(i);
-        }
-    }
-    return best;
-}
-
-int
-WriteBuffer::oldestEntry() const
-{
-    if (naive_scan_ || cross_check_) {
-        int naive = naiveOldestEntry();
-        if (cross_check_)
-            wbsim_assert(naive == fifo_head_,
-                         "FIFO head diverged from the scan");
-        if (naive_scan_)
-            return naive;
-    }
-    return fifo_head_;
-}
-
-int
-WriteBuffer::naiveRetirementVictim() const
-{
-    if (config_.retirementOrder == RetirementOrder::Fifo)
-        return naiveOldestEntry();
-    // Fullest-first: most valid words wins, oldest breaks ties.
-    int best = -1;
-    int best_words = -1;
-    std::uint64_t best_seq = ~std::uint64_t{0};
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const Entry &entry = entries_[i];
-        if (!entry.valid)
-            continue;
-        int words = std::popcount(entry.validMask);
-        if (words > best_words
-            || (words == best_words && entry.seq < best_seq)) {
-            best_words = words;
-            best_seq = entry.seq;
-            best = static_cast<int>(i);
-        }
-    }
-    return best;
-}
-
-int
-WriteBuffer::indexedRetirementVictim() const
-{
-    return config_.retirementOrder == RetirementOrder::Fifo
-        ? fifo_head_
-        : fullest_;
-}
-
-int
-WriteBuffer::retirementVictim() const
-{
-    if (naive_scan_ || cross_check_) {
-        int naive = naiveRetirementVictim();
-        if (cross_check_)
-            wbsim_assert(indexedRetirementVictim() == naive,
-                         "retirement victim diverged from the scan");
-        if (naive_scan_)
-            return naive;
-    }
-    return indexedRetirementVictim();
-}
-
-void
-WriteBuffer::noteOccupancyChange(Cycle at)
-{
-    bool condition = config_.retirementMode == RetirementMode::Occupancy
-        && valid_count_ >= config_.highWaterMark;
-    if (condition) {
-        if (occupancy_since_ == kNoCycle)
-            occupancy_since_ = at;
-    } else {
-        occupancy_since_ = kNoCycle;
-    }
+    store_.setSelector(selector_.get());
+    store_.setOccupancyGauge(nullptr, 0);
 }
 
 Cycle
-WriteBuffer::nextTrigger() const
+WriteBuffer::store(Addr addr, unsigned size, Cycle now,
+                   StallStats &stalls)
 {
-    if (valid_count_ == 0)
-        return kNoCycle;
-    if (config_.retirementMode == RetirementMode::FixedRate)
-        return next_fixed_attempt_;
-    Cycle trigger = kNoCycle;
-    if (valid_count_ >= config_.highWaterMark) {
-        wbsim_assert(occupancy_since_ != kNoCycle,
-                     "occupancy condition holds but no timestamp");
-        trigger = occupancy_since_;
-    }
-    if (config_.ageTimeout != 0) {
-        int oldest = oldestEntry();
-        wbsim_assert(oldest >= 0, "non-empty buffer with no oldest entry");
-        Cycle age_trigger = entries_[static_cast<std::size_t>(oldest)]
-                                .allocCycle
-            + config_.ageTimeout;
-        trigger = std::min(trigger, age_trigger);
-    }
-    return trigger;
-}
-
-void
-WriteBuffer::startRetirement(std::size_t index, Cycle start, L2Txn kind)
-{
-    Entry &entry = entries_[index];
-    wbsim_assert(entry.valid, "retiring an invalid entry");
-    wbsim_assert(!retire_in_flight_, "overlapping retirements");
-    unsigned valid_words = entry.validWords;
-    Cycle duration = hook_(entry.base, valid_words,
-                           config_.wordsPerEntry(), start);
-    wbsim_assert(duration > 0, "L2 write hook returned zero duration");
-    Cycle actual = port_.begin(kind, start, duration);
-    wbsim_assert(actual == start, "retirement start raced the L2 port");
-    retire_in_flight_ = true;
-    retiring_index_ = index;
-    retire_done_ = start + duration;
-    stats_.wordsWritten += valid_words;
-    ++stats_.entriesWritten;
-    ++stats_.retirements;
-    if (metrics_ != nullptr)
-        metrics_->sample(m_retire_words_, valid_words);
-    if (config_.retirementMode == RetirementMode::FixedRate)
-        next_fixed_attempt_ = start + config_.fixedRatePeriod;
-}
-
-void
-WriteBuffer::completeRetirement()
-{
-    wbsim_assert(retire_in_flight_, "completing a retirement that "
-                 "never started");
-    detachEntry(retiring_index_);
-    retire_in_flight_ = false;
-    noteOccupancyChange(retire_done_);
-}
-
-Cycle
-WriteBuffer::writeEntryNow(std::size_t index, Cycle earliest, L2Txn kind)
-{
-    Entry &entry = entries_[index];
-    wbsim_assert(entry.valid, "flushing an invalid entry");
-    unsigned valid_words = entry.validWords;
-    Cycle start = std::max(earliest, port_.freeAt());
-    Cycle duration = hook_(entry.base, valid_words,
-                           config_.wordsPerEntry(), start);
-    port_.begin(kind, start, duration);
-    detachEntry(index);
-    stats_.wordsWritten += valid_words;
-    ++stats_.entriesWritten;
-    if (kind == L2Txn::WriteFlush)
-        ++stats_.flushes;
-    else
-        ++stats_.retirements;
-    if (metrics_ != nullptr)
-        metrics_->sample(m_retire_words_, valid_words);
-    noteOccupancyChange(start + duration);
-    return start + duration;
-}
-
-void
-WriteBuffer::advanceToSlow(Cycle now)
-{
-    for (;;) {
-        if (retire_in_flight_) {
-            if (retire_done_ <= now) {
-                completeRetirement();
-                continue;
-            }
-            break;
-        }
-        Cycle trigger = nextTrigger();
-        if (trigger == kNoCycle)
-            break;
-        Cycle start = std::max(trigger, port_.freeAt());
-        if (start >= now)
-            break; // ties go to the reader: read-bypassing
-        int victim = retirementVictim();
-        wbsim_assert(victim >= 0, "trigger with an empty buffer");
-        startRetirement(static_cast<std::size_t>(victim), start,
-                        L2Txn::WriteRetire);
-    }
-    // Fixed-rate attempts tick past an empty buffer without effect.
-    // This must run after the loop, not before it: when the last
-    // entry retires inside the loop the attempt clock would be left
-    // in the past and the next stores would see a causally-impossible
-    // burst of stale retirement attempts.
-    if (config_.retirementMode == RetirementMode::FixedRate
-        && valid_count_ == 0) {
-        while (next_fixed_attempt_ < now)
-            next_fixed_attempt_ += config_.fixedRatePeriod;
-    }
-    engine_now_ = std::max(engine_now_, now);
-    if (cross_check_)
-        verifyIndexIntegrity();
-}
-
-Cycle
-WriteBuffer::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
-{
-    advanceTo(now);
+    engine_.advanceTo(now);
     ++stats_.stores;
     stats_.occupancy.sample(occupancy());
     if (metrics_ != nullptr)
-        metrics_->sample(m_occupancy_at_store_, valid_count_);
+        metrics_->sample(m_occupancy_at_store_, store_.validCount());
 
     Addr base = alignDown(addr, config_.entryBytes);
-    std::uint32_t mask = wordMask(addr, size);
+    std::uint32_t mask = store_.wordMask(addr, size);
 
     if (config_.coalescing) {
-        if (int target = findMergeTarget(base); target >= 0) {
-            mergeInto(static_cast<std::size_t>(target), mask);
+        if (int target =
+                store_.findMergeTarget(base, engine_.excludeIndex());
+            target >= 0) {
+            store_.merge(static_cast<std::size_t>(target), mask);
             ++stats_.merges;
-            if (cross_check_)
-                verifyIndexIntegrity();
+            if (store_.crossCheck())
+                store_.verifyIntegrity();
             return now;
         }
     }
 
-    Cycle t = now;
-    if (free_stack_.empty()) {
-        // Buffer-full stall: wait for the next entry to free.
-        ++stalls.bufferFullEvents;
-        if (!retire_in_flight_) {
-            Cycle trigger = nextTrigger();
-            wbsim_assert(trigger != kNoCycle,
-                         "full buffer with no retirement trigger");
-            int victim = retirementVictim();
-            Cycle start = std::max({trigger, port_.freeAt(), now});
-            startRetirement(static_cast<std::size_t>(victim), start,
-                            L2Txn::WriteRetire);
-        }
-        t = retire_done_;
-        completeRetirement();
-        stalls.bufferFullCycles += t - now;
-        engine_now_ = std::max(engine_now_, t);
-        wbsim_assert(!free_stack_.empty(),
-                     "no free entry after a retirement");
-    }
-
-    auto free = static_cast<std::size_t>(free_stack_.back());
-    free_stack_.pop_back();
-    Entry &entry = entries_[free];
-    entry.base = base;
-    entry.validMask = mask;
-    entry.valid = true;
-    entry.seq = next_seq_++;
-    entry.allocCycle = t;
-    attachEntry(free);
+    Cycle t = engine_.waitForFreeEntry(now, stalls);
+    store_.allocate(base, mask, t);
     ++stats_.allocations;
-    noteOccupancyChange(t);
-    if (cross_check_)
-        verifyIndexIntegrity();
+    engine_.noteOccupancyChange(t);
+    if (store_.crossCheck())
+        store_.verifyIntegrity();
     return t;
-}
-
-LoadProbe
-WriteBuffer::naiveProbeLoad(Addr addr, unsigned size) const
-{
-    LoadProbe probe;
-    Addr line_base = alignDown(addr, line_bytes_);
-    Addr line_end = line_base + line_bytes_;
-    Addr entry_base = alignDown(addr, config_.entryBytes);
-    std::uint32_t needed = wordMask(addr, size);
-    std::uint32_t found = 0;
-    for (const Entry &entry : entries_) {
-        if (!entry.valid)
-            continue;
-        Addr end = entry.base + config_.entryBytes;
-        if (entry.base < line_end && end > line_base) {
-            probe.blockHit = true;
-            probe.hitSeq = std::max(probe.hitSeq, entry.seq);
-        }
-        if (entry.base == entry_base)
-            found |= entry.validMask;
-    }
-    probe.wordHit = probe.blockHit && (found & needed) == needed;
-    return probe;
-}
-
-LoadProbe
-WriteBuffer::indexedProbeLoad(Addr addr, unsigned size) const
-{
-    // The common case is a load miss with no overlapping entry: one
-    // residency lookup answers it. Hazards (rare, and followed by
-    // flush work) fall back to the full scan.
-    Addr line = alignDown(addr, line_bytes_);
-    const int *hit =
-        line_is_base_ ? base_map_.find(line) : line_map_.find(line);
-    if (hit == nullptr)
-        return LoadProbe{};
-    return naiveProbeLoad(addr, size);
-}
-
-LoadProbe
-WriteBuffer::probeLoad(Addr addr, unsigned size) const
-{
-    if (naive_scan_ || cross_check_) {
-        LoadProbe naive = naiveProbeLoad(addr, size);
-        if (cross_check_) {
-            LoadProbe fast = indexedProbeLoad(addr, size);
-            wbsim_assert(fast.blockHit == naive.blockHit
-                         && fast.wordHit == naive.wordHit
-                         && fast.hitSeq == naive.hitSeq,
-                         "load probe diverged from the scan");
-        }
-        if (naive_scan_)
-            return naive;
-    }
-    return indexedProbeLoad(addr, size);
 }
 
 HazardResult
@@ -566,221 +77,27 @@ WriteBuffer::handleLoadHazard(const LoadProbe &probe, Addr addr,
 {
     wbsim_assert(probe.blockHit, "hazard handling without a block hit");
     ++stats_.hazards;
-
-    if (config_.hazardPolicy == LoadHazardPolicy::ReadFromWB) {
-        if (probe.wordHit) {
-            ++stats_.wbServedLoads;
-            return {now + config_.wbHitExtraCycles, true};
-        }
-        // The line is active but the needed word is not valid: the
-        // load reads L2 and merges the active words for free (§2.2).
-        return {now, false};
-    }
-
-    Cycle t = now;
-    // An underway transaction always completes first.
-    if (retire_in_flight_) {
-        t = retire_done_;
-        completeRetirement();
-    }
-
-    // Flush-full empties the entire buffer whenever a hazard occurs
-    // (§2.2) - even when the hit entry was the one mid-retirement.
-    if (config_.hazardPolicy == LoadHazardPolicy::FlushFull) {
-        for (;;) {
-            int oldest = oldestEntry();
-            if (oldest < 0)
-                break;
-            t = writeEntryNow(static_cast<std::size_t>(oldest), t,
-                              L2Txn::WriteFlush);
-        }
-        engine_now_ = std::max(engine_now_, t);
-        if (cross_check_)
-            verifyIndexIntegrity();
-        return {t, false};
-    }
-
-    // The precise policies flush until the load's line is fully
-    // purged (duplicated blocks can take several rounds).
-    for (;;) {
-        LoadProbe current = probeLoad(addr, size);
-        if (!current.blockHit)
-            break;
-        switch (config_.hazardPolicy) {
-          case LoadHazardPolicy::FlushPartial:
-            for (;;) {
-                int oldest = oldestEntry();
-                if (oldest < 0)
-                    break;
-                auto index = static_cast<std::size_t>(oldest);
-                std::uint64_t seq = entries_[index].seq;
-                t = writeEntryNow(index, t, L2Txn::WriteFlush);
-                if (seq >= current.hitSeq)
-                    break;
-            }
-            break;
-          case LoadHazardPolicy::FlushFull:
-            wbsim_panic("flush-full handled above");
-          case LoadHazardPolicy::FlushItemOnly: {
-            // Flush the oldest entry overlapping the load's line.
-            Addr line_base = alignDown(addr, line_bytes_);
-            Addr line_end = line_base + line_bytes_;
-            int victim = -1;
-            std::uint64_t victim_seq = ~std::uint64_t{0};
-            for (std::size_t i = 0; i < entries_.size(); ++i) {
-                const Entry &entry = entries_[i];
-                if (!entry.valid)
-                    continue;
-                Addr end = entry.base + config_.entryBytes;
-                if (entry.base < line_end && end > line_base
-                    && entry.seq < victim_seq) {
-                    victim_seq = entry.seq;
-                    victim = static_cast<int>(i);
-                }
-            }
-            wbsim_assert(victim >= 0, "block hit but no matching entry");
-            t = writeEntryNow(static_cast<std::size_t>(victim), t,
-                              L2Txn::WriteFlush);
-            break;
-          }
-          case LoadHazardPolicy::ReadFromWB:
-            wbsim_panic("unreachable hazard policy");
-        }
-    }
-    engine_now_ = std::max(engine_now_, t);
-    if (cross_check_)
-        verifyIndexIntegrity();
-    return {t, false};
-}
-
-Cycle
-WriteBuffer::drainBelow(unsigned target, Cycle now)
-{
-    advanceTo(now);
-    Cycle t = now;
-    while (valid_count_ >= target) {
-        if (retire_in_flight_) {
-            t = std::max(t, retire_done_);
-            completeRetirement();
-            continue;
-        }
-        int victim = retirementVictim();
-        if (victim < 0)
-            break;
-        t = writeEntryNow(static_cast<std::size_t>(victim), t,
-                          L2Txn::WriteRetire);
-    }
-    engine_now_ = std::max(engine_now_, t);
-    if (cross_check_)
-        verifyIndexIntegrity();
-    return t;
-}
-
-void
-WriteBuffer::verifyIndexIntegrity() const
-{
-    // Occupancy counter and free stack.
-    unsigned valid = naiveCountValid();
-    wbsim_assert(valid_count_ == valid, "occupancy counter diverged");
-    wbsim_assert(free_stack_.size() == entries_.size() - valid,
-                 "free stack size diverged");
-    std::vector<char> stacked(entries_.size(), 0);
-    for (int slot : free_stack_) {
-        auto index = static_cast<std::size_t>(slot);
-        wbsim_assert(index < entries_.size(), "free stack slot range");
-        wbsim_assert(!entries_[index].valid, "valid entry on free stack");
-        wbsim_assert(!stacked[index], "duplicate slot on free stack");
-        stacked[index] = 1;
-    }
-
-    // Cached popcounts.
-    for (const Entry &entry : entries_) {
-        wbsim_assert(entry.validWords
-                         == (entry.valid
-                                 ? std::popcount(entry.validMask)
-                                 : 0),
-                     "cached popcount diverged");
-    }
-
-    // FIFO list covers every valid entry in ascending seq order.
-    unsigned walked = 0;
-    std::uint64_t last_seq = 0;
-    int prev = -1;
-    for (int i = fifo_head_; i >= 0;
-         i = entries_[static_cast<std::size_t>(i)].fifoNext) {
-        const Entry &entry = entries_[static_cast<std::size_t>(i)];
-        wbsim_assert(entry.valid, "invalid entry on the FIFO list");
-        wbsim_assert(entry.seq > last_seq, "FIFO list out of order");
-        wbsim_assert(entry.fifoPrev == prev, "FIFO back-link broken");
-        last_seq = entry.seq;
-        prev = i;
-        ++walked;
-    }
-    wbsim_assert(prev == fifo_tail_, "FIFO tail diverged");
-    wbsim_assert(walked == valid, "FIFO list misses entries");
-
-    // Base chains cover every valid entry, newest first.
-    unsigned chained = 0;
-    base_map_.forEach([&](Addr key, int head) {
-        int back = -1;
-        std::uint64_t down_seq = ~std::uint64_t{0};
-        for (int i = head; i >= 0;
-             i = entries_[static_cast<std::size_t>(i)].baseNext) {
-            const Entry &entry = entries_[static_cast<std::size_t>(i)];
-            wbsim_assert(entry.valid, "invalid entry on a base chain");
-            wbsim_assert(entry.base == key, "entry on the wrong chain");
-            wbsim_assert(entry.seq < down_seq,
-                         "base chain not newest-first");
-            wbsim_assert(entry.basePrev == back,
-                         "base chain back-link broken");
-            down_seq = entry.seq;
-            back = i;
-            ++chained;
-        }
-        wbsim_assert(back >= 0, "empty base chain left in the map");
-    });
-    wbsim_assert(chained == valid, "base chains miss entries");
-
-    // Per-line resident counts (base_map_ serves this role when
-    // entries and lines coincide, and line_map_ must stay empty).
-    if (line_is_base_) {
-        wbsim_assert(line_map_.size() == 0,
-                     "line map populated in line==entry geometry");
-    } else {
-        std::map<Addr, int> recount;
-        for (const Entry &entry : entries_) {
-            if (!entry.valid)
-                continue;
-            forEachLine(entry.base, [&](Addr line) { ++recount[line]; });
-        }
-        std::size_t lines = 0;
-        line_map_.forEach([&](Addr key, int count) {
-            auto it = recount.find(key);
-            wbsim_assert(it != recount.end() && it->second == count,
-                         "line resident count diverged");
-            ++lines;
-        });
-        wbsim_assert(lines == recount.size(), "line map misses lines");
-    }
-
-    // Cached fullest-first victim.
-    if (config_.retirementOrder == RetirementOrder::FullestFirst)
-        wbsim_assert(fullest_ == naiveRetirementVictim(),
-                     "fullest-victim cache diverged");
+    return hazard_->handle(engine_, store_, config_, stats_, probe,
+                           addr, size, now);
 }
 
 void
 WriteBuffer::attachMetrics(obs::MetricsRegistry *metrics)
 {
     metrics_ = metrics;
-    if (metrics_ == nullptr)
+    if (metrics_ == nullptr) {
+        store_.setOccupancyGauge(nullptr, 0);
+        engine_.setRetireWordsMetric(nullptr, 0);
         return;
-    m_occupancy_ = metrics_->gauge("wb.occupancy");
+    }
+    obs::MetricId occupancy = metrics_->gauge("wb.occupancy");
     m_occupancy_at_store_ =
         metrics_->histogram("wb.occupancy_at_store", config_.depth + 1);
-    m_retire_words_ =
-        metrics_->histogram("wb.retire_words", config_.wordsPerEntry() + 1);
-    metrics_->set(m_occupancy_, valid_count_);
+    store_.setOccupancyGauge(metrics_, occupancy);
+    engine_.setRetireWordsMetric(
+        metrics_, metrics_->histogram("wb.retire_words",
+                                      config_.wordsPerEntry() + 1));
+    metrics_->set(occupancy, store_.validCount());
 }
 
 } // namespace wbsim

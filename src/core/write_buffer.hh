@@ -1,33 +1,23 @@
 /**
  * @file
- * The paper's coalescing FIFO write buffer (§2.2).
- *
- * Entries hold one address-aligned block each, with per-word valid
- * bits. Incoming stores merge into a matching entry or allocate a
- * new one; the buffer autonomously retires entries to L2 according
- * to its retirement policy, and resolves load hazards according to
- * its load-hazard policy. Stall cycles are attributed per Table 3.
- *
- * Hot-path queries are answered from incrementally-maintained
- * indexes (occupancy counter, free-entry stack, base-address map,
- * per-line resident counts, FIFO list, cached fullest victim) so the
- * per-instruction cost is O(1) instead of an O(depth) rescan. The
- * legacy scans are kept as a reference implementation: config
- * `naiveScan` serves queries from them, and `crossCheck` (always on
- * in debug builds) asserts both agree on every query (DESIGN.md
- * "Performance").
+ * The paper's coalescing FIFO write buffer (§2.2), assembled from
+ * the shared policy layer: an EntryStore holds the slots and
+ * indexes, a RetirementEngine replays background writes, and the
+ * pluggable trigger/victim/hazard policies (core/policy/) say when,
+ * which, and how hazards resolve. Stall cycles are attributed per
+ * Table 3.
  */
 
 #ifndef WBSIM_CORE_WRITE_BUFFER_HH
 #define WBSIM_CORE_WRITE_BUFFER_HH
 
-#include <cstdint>
-#include <functional>
-#include <vector>
+#include <memory>
 
+#include "core/policy/entry_store.hh"
+#include "core/policy/hazard_handler.hh"
+#include "core/policy/retirement_engine.hh"
 #include "core/store_buffer.hh"
 #include "mem/l2_port.hh"
-#include "util/addr_map.hh"
 
 namespace wbsim
 {
@@ -47,39 +37,34 @@ class WriteBuffer final : public StoreBuffer
     WriteBuffer(const WriteBufferConfig &config, L2Port &port,
                 L2WriteHook hook, unsigned line_bytes = 32);
 
-    /**
-     * Replay retirement activity up to @p now. The no-work case —
-     * nothing in flight, no trigger armed — stays inline; anything
-     * else goes through the out-of-line replay loop.
-     */
-    void
-    advanceTo(Cycle now) override
-    {
-        if (!retire_in_flight_ && occupancy_since_ == kNoCycle
-            && config_.retirementMode == RetirementMode::Occupancy
-            && config_.ageTimeout == 0 && !cross_check_) {
-            if (now > engine_now_)
-                engine_now_ = now;
-            return;
-        }
-        advanceToSlow(now);
-    }
+    void advanceTo(Cycle now) override { engine_.advanceTo(now); }
 
     Cycle store(Addr addr, unsigned size, Cycle now,
                 StallStats &stalls) override;
-    LoadProbe probeLoad(Addr addr, unsigned size) const override;
+
+    LoadProbe
+    probeLoad(Addr addr, unsigned size) const override
+    {
+        return store_.probeLoad(addr, size);
+    }
+
     HazardResult handleLoadHazard(const LoadProbe &probe, Addr addr,
                                   unsigned size, Cycle now) override;
 
     unsigned
     occupancy() const override
     {
-        if (naive_scan_ || cross_check_)
-            return occupancySlow();
-        return valid_count_;
+        if (store_.naiveScan() || store_.crossCheck())
+            return store_.occupancySlow();
+        return store_.validCount();
     }
-    bool quiescent() const override { return valid_count_ == 0; }
-    Cycle drainBelow(unsigned target, Cycle now) override;
+    bool quiescent() const override { return store_.validCount() == 0; }
+
+    Cycle
+    drainBelow(unsigned target, Cycle now) override
+    {
+        return engine_.drainBelow(target, now);
+    }
 
     const WriteBufferConfig &config() const override { return config_; }
     const StoreBufferStats &stats() const override { return stats_; }
@@ -94,10 +79,10 @@ class WriteBuffer final : public StoreBuffer
     }
 
     /** True if a retirement is in flight (for tests). */
-    bool retirementUnderway() const { return retire_in_flight_; }
+    bool retirementUnderway() const { return engine_.inFlight(); }
 
     /** How far the retirement engine has been advanced (tests). */
-    Cycle engineTime() const { return engine_now_; }
+    Cycle engineTime() const { return engine_.engineNow(); }
 
     /**
      * Panic unless every incremental index agrees with a from-scratch
@@ -105,180 +90,31 @@ class WriteBuffer final : public StoreBuffer
      * each mutation when cross-checking is enabled; exposed so the
      * fuzzers can call it at arbitrary points.
      */
-    void verifyIndexIntegrity() const;
+    void verifyIndexIntegrity() const { store_.verifyIntegrity(); }
 
   private:
     /** cloneRebound's copy: everything but the references. */
     WriteBuffer(const WriteBuffer &other, L2Port &port,
                 L2WriteHook hook);
 
-    struct Entry
-    {
-        Addr base = 0;
-        std::uint32_t validMask = 0;
-        bool valid = false;
-        std::uint64_t seq = 0;     //!< FIFO order (allocation order)
-        Cycle allocCycle = 0;      //!< for the age-timeout policy
-        std::uint8_t validWords = 0; //!< cached popcount(validMask)
-        /** @name FIFO list of valid entries (allocation order). */
-        /// @{
-        int fifoPrev = -1;
-        int fifoNext = -1;
-        /// @}
-        /** @name Same-base chain hanging off base_map_ (newest
-         *  first; duplicates arise while an entry retires or under
-         *  non-coalescing allocation). */
-        /// @{
-        int basePrev = -1;
-        int baseNext = -1;
-        /// @}
-    };
-
     WriteBufferConfig config_;
     L2Port &port_;
     L2WriteHook hook_;
-    unsigned line_bytes_;
-    unsigned word_shift_; //!< log2(wordBytes): wordMask avoids division
-    /** entryBytes == line_bytes: entries and L1 lines coincide, so
-     *  base_map_ doubles as the line residency index and line_map_
-     *  stays empty (the default geometry's fast path). */
-    bool line_is_base_;
-
-    std::vector<Entry> entries_;
-    std::uint64_t next_seq_ = 1;
-    Cycle engine_now_ = 0;
-
-    bool retire_in_flight_ = false;
-    std::size_t retiring_index_ = 0;
-    Cycle retire_done_ = 0;
-
-    /** Cycle at which the occupancy condition last became true, or
-     *  kNoCycle while occupancy < highWaterMark. */
-    Cycle occupancy_since_ = kNoCycle;
-    /** Next scheduled attempt for fixed-rate retirement. */
-    Cycle next_fixed_attempt_;
-
-    /** @name Incremental indexes over entries_. */
-    /// @{
-    unsigned valid_count_ = 0;      //!< number of valid entries
-    std::vector<int> free_stack_;   //!< invalid entry slots
-    int fifo_head_ = -1;            //!< oldest valid entry
-    int fifo_tail_ = -1;            //!< newest valid entry
-    AddrMap<int> base_map_;         //!< entry base -> chain head
-    AddrMap<int> line_map_;         //!< L1 line base -> resident count
-    /** Fullest-first victim (valid only in that mode; -1 = none). */
-    int fullest_ = -1;
-    /// @}
-
-    bool naive_scan_ = false;
-    bool cross_check_ = false;
-
     StoreBufferStats stats_;
 
+    EntryStore store_;
+    std::unique_ptr<VictimSelector> selector_;
+    std::unique_ptr<HazardHandler> hazard_;
+    RetirementEngine engine_;
+
     /** @name Optional always-on observability hooks (no-ops when
-     *  detached; cloneRebound copies start detached). */
+     *  detached; cloneRebound copies start detached). The occupancy
+     *  gauge and retirement histogram publish from the shared layer;
+     *  only the store-path histogram samples here. */
     /// @{
     obs::MetricsRegistry *metrics_ = nullptr;
-    obs::MetricId m_occupancy_ = 0;
     obs::MetricId m_occupancy_at_store_ = 0;
-    obs::MetricId m_retire_words_ = 0;
     /// @}
-
-    /** @name Legacy O(depth) reference scans. */
-    /// @{
-    unsigned naiveCountValid() const;
-    int naiveFindMergeTarget(Addr base) const;
-    int naiveOldestEntry() const;
-    int naiveRetirementVictim() const;
-    LoadProbe naiveProbeLoad(Addr addr, unsigned size) const;
-    /// @}
-
-    /** @name Indexed O(1) answers. */
-    /// @{
-    int
-    indexedMergeTarget(Addr base) const
-    {
-        // The chain is newest-first, so the first non-retiring link
-        // is the highest-sequence merge candidate.
-        const int *head = base_map_.find(base);
-        if (head == nullptr)
-            return -1;
-        if (!retire_in_flight_)
-            return *head;
-        for (int i = *head; i >= 0;
-             i = entries_[static_cast<std::size_t>(i)].baseNext) {
-            if (static_cast<std::size_t>(i) == retiring_index_)
-                continue;
-            return i;
-        }
-        return -1;
-    }
-
-    int indexedRetirementVictim() const;
-    LoadProbe indexedProbeLoad(Addr addr, unsigned size) const;
-    /// @}
-
-    /** Out-of-line replay loop behind advanceTo's inline fast path. */
-    void advanceToSlow(Cycle now);
-    /** occupancy() when scan-serving or cross-checking is on. */
-    unsigned occupancySlow() const;
-    /** findMergeTarget() when scan-serving or cross-checking is on. */
-    int findMergeTargetSlow(Addr base) const;
-
-    /** Register a just-filled entry with every index. */
-    void attachEntry(std::size_t index);
-    /** Invalidate an entry and remove it from every index. */
-    void detachEntry(std::size_t index);
-    /** Fold @p mask into an entry, maintaining the indexes. */
-    void
-    mergeInto(std::size_t index, std::uint32_t mask)
-    {
-        Entry &entry = entries_[index];
-        entry.validMask |= mask;
-        entry.validWords =
-            static_cast<std::uint8_t>(popcount32(entry.validMask));
-        considerFullest(static_cast<int>(index));
-    }
-    /** Promote @p index to fullest_ if it wins (FullestFirst). */
-    void considerFullest(int index);
-    /** Visit the base of every L1 line the entry at @p base covers. */
-    template <typename Fn> void forEachLine(Addr base, Fn &&fn) const;
-
-    int
-    findMergeTarget(Addr base) const
-    {
-        if (naive_scan_ || cross_check_)
-            return findMergeTargetSlow(base);
-        return indexedMergeTarget(base);
-    }
-
-    /** FIFO-oldest valid entry that is not mid-retirement. */
-    int oldestEntry() const;
-    /** Entry the retirement policy picks next (Table 2's order). */
-    int retirementVictim() const;
-
-    std::uint32_t
-    wordMask(Addr addr, unsigned size) const
-    {
-        Addr offset = addr & (config_.entryBytes - 1);
-        wbsim_assert(offset + size <= config_.entryBytes,
-                     "access crosses a write-buffer entry boundary");
-        unsigned first = static_cast<unsigned>(offset >> word_shift_);
-        unsigned last =
-            static_cast<unsigned>((offset + size - 1) >> word_shift_);
-        return static_cast<std::uint32_t>((std::uint64_t{2} << last)
-                                          - (std::uint64_t{1} << first));
-    }
-
-    /** Earliest cycle a retirement is wanted, or kNoCycle. */
-    Cycle nextTrigger() const;
-    void startRetirement(std::size_t index, Cycle start, L2Txn kind);
-    void completeRetirement();
-    void noteOccupancyChange(Cycle at);
-
-    /** Write one entry to L2 beginning no earlier than @p earliest;
-     *  frees the entry. @return completion cycle. */
-    Cycle writeEntryNow(std::size_t index, Cycle earliest, L2Txn kind);
 };
 
 } // namespace wbsim

@@ -1,577 +1,121 @@
 #include "core/write_cache.hh"
 
-#include <algorithm>
-#include <map>
-
+#include "core/policy/policy_factory.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
 
 namespace wbsim
 {
-namespace
-{
-
-/** Cross-checking defaults on in debug builds (DESIGN.md). */
-constexpr bool kDebugBuild =
-#ifdef NDEBUG
-    false;
-#else
-    true;
-#endif
-
-} // namespace
 
 WriteCache::WriteCache(const WriteBufferConfig &config, L2Port &port,
                        L2WriteHook hook, unsigned line_bytes)
     : config_(config), port_(port), hook_(std::move(hook)),
-      line_bytes_(line_bytes),
-      word_shift_(exactLog2(std::max(config.wordBytes, 1u))),
-      line_is_base_(config.entryBytes == line_bytes),
-      base_map_(std::max<std::size_t>(config.depth, 1)),
-      line_map_(std::max<std::size_t>(
-          std::size_t{config.depth}
-              * std::max<std::size_t>(
-                    config.entryBytes / std::max(line_bytes, 1u), 1),
-          1)),
-      naive_scan_(config.naiveScan),
-      cross_check_(config.crossCheck || kDebugBuild)
+      store_(config_, line_bytes, EntryOrder::Recency),
+      selector_(makeVictimSelector(config_)),
+      hazard_(makeHazardHandler(config_)),
+      engine_(store_, port_, hook_, config_, stats_, *selector_,
+              makeRetirementTriggers(config_))
 {
     config_.validate();
     wbsim_assert(config_.kind == BufferKind::WriteCache,
                  "WriteCache built from a write-buffer config");
     wbsim_assert(hook_ != nullptr, "write cache needs an L2 write hook");
-    entries_.resize(config_.depth);
-    free_stack_.reserve(config_.depth);
-    for (unsigned i = config_.depth; i > 0; --i)
-        free_stack_.push_back(static_cast<int>(i - 1));
+    store_.setSelector(selector_.get());
 }
 
 WriteCache::WriteCache(const WriteCache &other, L2Port &port,
                        L2WriteHook hook)
     : config_(other.config_), port_(port), hook_(std::move(hook)),
-      line_bytes_(other.line_bytes_), word_shift_(other.word_shift_),
-      line_is_base_(other.line_is_base_), entries_(other.entries_),
-      use_clock_(other.use_clock_), next_seq_(other.next_seq_),
-      evict_done_(other.evict_done_),
-      valid_count_(other.valid_count_), free_stack_(other.free_stack_),
-      lru_head_(other.lru_head_), lru_tail_(other.lru_tail_),
-      base_map_(other.base_map_), line_map_(other.line_map_),
-      naive_scan_(other.naive_scan_), cross_check_(other.cross_check_),
-      stats_(other.stats_)
+      stats_(other.stats_), store_(other.store_),
+      selector_(other.selector_->clone()),
+      hazard_(makeHazardHandler(config_)),
+      engine_(other.engine_, store_, port_, hook_, config_, stats_,
+              *selector_)
 {
     wbsim_assert(hook_ != nullptr, "write cache needs an L2 write hook");
-}
-
-template <typename Fn>
-void
-WriteCache::forEachLine(Addr base, Fn &&fn) const
-{
-    Addr first = alignDown(base, line_bytes_);
-    Addr last = alignDown(base + config_.entryBytes - 1, line_bytes_);
-    for (Addr line = first;; line += line_bytes_) {
-        fn(line);
-        if (line >= last)
-            break;
-    }
-}
-
-void
-WriteCache::attachEntry(std::size_t index)
-{
-    Entry &entry = entries_[index];
-    wbsim_assert(entry.valid, "attaching an invalid entry");
-    ++valid_count_;
-    entry.validWords =
-        static_cast<std::uint8_t>(popcount32(entry.validMask));
-
-    entry.lruPrev = lru_tail_;
-    entry.lruNext = -1;
-    if (lru_tail_ >= 0)
-        entries_[static_cast<std::size_t>(lru_tail_)].lruNext =
-            static_cast<int>(index);
-    else
-        lru_head_ = static_cast<int>(index);
-    lru_tail_ = static_cast<int>(index);
-
-    bool inserted = false;
-    int &head = base_map_.insertOrFind(entry.base, inserted);
-    entry.baseNext = inserted ? -1 : head;
-    entry.basePrev = -1;
-    if (entry.baseNext >= 0)
-        entries_[static_cast<std::size_t>(entry.baseNext)].basePrev =
-            static_cast<int>(index);
-    head = static_cast<int>(index);
-
-    if (!line_is_base_)
-        forEachLine(entry.base, [&](Addr line) { ++line_map_[line]; });
-
-    if (metrics_ != nullptr)
-        metrics_->set(m_occupancy_, valid_count_);
-}
-
-void
-WriteCache::detachEntry(std::size_t index)
-{
-    Entry &entry = entries_[index];
-    wbsim_assert(entry.valid, "detaching an invalid entry");
-    --valid_count_;
-
-    if (entry.lruPrev >= 0)
-        entries_[static_cast<std::size_t>(entry.lruPrev)].lruNext =
-            entry.lruNext;
-    else
-        lru_head_ = entry.lruNext;
-    if (entry.lruNext >= 0)
-        entries_[static_cast<std::size_t>(entry.lruNext)].lruPrev =
-            entry.lruPrev;
-    else
-        lru_tail_ = entry.lruPrev;
-
-    if (entry.basePrev >= 0) {
-        entries_[static_cast<std::size_t>(entry.basePrev)].baseNext =
-            entry.baseNext;
-    } else if (entry.baseNext >= 0) {
-        base_map_[entry.base] = entry.baseNext;
-    } else {
-        base_map_.erase(entry.base);
-    }
-    if (entry.baseNext >= 0)
-        entries_[static_cast<std::size_t>(entry.baseNext)].basePrev =
-            entry.basePrev;
-
-    if (!line_is_base_) {
-        forEachLine(entry.base, [&](Addr line) {
-            int *count = line_map_.find(line);
-            wbsim_assert(count != nullptr && *count > 0,
-                         "line resident count underflow");
-            if (--*count == 0)
-                line_map_.erase(line);
-        });
-    }
-
-    entry.valid = false;
-    entry.validMask = 0;
-    entry.validWords = 0;
-    entry.lruPrev = entry.lruNext = -1;
-    entry.basePrev = entry.baseNext = -1;
-    free_stack_.push_back(static_cast<int>(index));
-
-    if (metrics_ != nullptr)
-        metrics_->set(m_occupancy_, valid_count_);
-}
-
-void
-WriteCache::touch(std::size_t index)
-{
-    entries_[index].lastUse = ++use_clock_;
-    if (lru_tail_ == static_cast<int>(index))
-        return;
-    Entry &entry = entries_[index];
-    // Unlink (the entry is not the tail, so lruNext >= 0)...
-    if (entry.lruPrev >= 0)
-        entries_[static_cast<std::size_t>(entry.lruPrev)].lruNext =
-            entry.lruNext;
-    else
-        lru_head_ = entry.lruNext;
-    entries_[static_cast<std::size_t>(entry.lruNext)].lruPrev =
-        entry.lruPrev;
-    // ...and relink at the MRU end.
-    entry.lruPrev = lru_tail_;
-    entry.lruNext = -1;
-    entries_[static_cast<std::size_t>(lru_tail_)].lruNext =
-        static_cast<int>(index);
-    lru_tail_ = static_cast<int>(index);
-}
-
-unsigned
-WriteCache::naiveCountValid() const
-{
-    unsigned n = 0;
-    for (const Entry &entry : entries_)
-        if (entry.valid)
-            ++n;
-    return n;
-}
-
-unsigned
-WriteCache::occupancySlow() const
-{
-    unsigned naive = naiveCountValid();
-    if (cross_check_)
-        wbsim_assert(naive == valid_count_,
-                     "occupancy counter diverged from the scan");
-    return naive_scan_ ? naive : valid_count_;
-}
-
-int
-WriteCache::naiveFindEntry(Addr base) const
-{
-    for (std::size_t i = 0; i < entries_.size(); ++i)
-        if (entries_[i].valid && entries_[i].base == base)
-            return static_cast<int>(i);
-    return -1;
-}
-
-int
-WriteCache::findEntrySlow(Addr base) const
-{
-    int naive = naiveFindEntry(base);
-    if (cross_check_) {
-        // Blocks are unique under coalescing (the only caller), so
-        // the newest-first chain head is the same entry.
-        wbsim_assert(indexedFindEntry(base) == naive,
-                     "write-cache base index diverged from the scan");
-    }
-    return naive_scan_ ? naive : indexedFindEntry(base);
-}
-
-int
-WriteCache::naiveLruEntry() const
-{
-    int best = -1;
-    std::uint64_t best_use = ~std::uint64_t{0};
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (entries_[i].valid && entries_[i].lastUse < best_use) {
-            best_use = entries_[i].lastUse;
-            best = static_cast<int>(i);
-        }
-    }
-    return best;
-}
-
-int
-WriteCache::lruEntry() const
-{
-    if (naive_scan_ || cross_check_) {
-        int naive = naiveLruEntry();
-        if (cross_check_)
-            wbsim_assert(lru_head_ == naive,
-                         "LRU list head diverged from the scan");
-        if (naive_scan_)
-            return naive;
-    }
-    return lru_head_;
+    store_.setSelector(selector_.get());
+    store_.setOccupancyGauge(nullptr, 0);
 }
 
 Cycle
-WriteCache::writeOut(std::size_t index, Cycle earliest, L2Txn kind)
+WriteCache::store(Addr addr, unsigned size, Cycle now,
+                  StallStats &stalls)
 {
-    Entry &entry = entries_[index];
-    wbsim_assert(entry.valid, "writing out an invalid write-cache entry");
-    unsigned valid_words = entry.validWords;
-    Cycle start = std::max(earliest, port_.freeAt());
-    Cycle duration = hook_(entry.base, valid_words,
-                           config_.wordsPerEntry(), start);
-    port_.begin(kind, start, duration);
-    detachEntry(index);
-    stats_.wordsWritten += valid_words;
-    ++stats_.entriesWritten;
-    if (kind == L2Txn::WriteFlush)
-        ++stats_.flushes;
-    else
-        ++stats_.retirements;
-    if (metrics_ != nullptr)
-        metrics_->sample(m_retire_words_, valid_words);
-    return start + duration;
-}
-
-void
-WriteCache::advanceTo(Cycle now)
-{
-    // The write cache has no autonomous retirement engine; the only
-    // background activity is the in-flight eviction write, which is
-    // pure timing state.
-    (void)now;
-}
-
-Cycle
-WriteCache::store(Addr addr, unsigned size, Cycle now, StallStats &stalls)
-{
+    engine_.advanceTo(now);
     ++stats_.stores;
     stats_.occupancy.sample(occupancy());
     if (metrics_ != nullptr)
-        metrics_->sample(m_occupancy_at_store_, valid_count_);
+        metrics_->sample(m_occupancy_at_store_, store_.validCount());
 
     Addr base = alignDown(addr, config_.entryBytes);
-    std::uint32_t mask = wordMask(addr, size);
+    std::uint32_t mask = store_.wordMask(addr, size);
 
     if (config_.coalescing) {
-        if (int hit = findEntry(base); hit >= 0) {
+        if (int hit =
+                store_.findMergeTarget(base, engine_.excludeIndex());
+            hit >= 0) {
             auto index = static_cast<std::size_t>(hit);
-            Entry &entry = entries_[index];
-            entry.validMask |= mask;
-            entry.validWords = static_cast<std::uint8_t>(
-                popcount32(entry.validMask));
-            touch(index);
+            store_.merge(index, mask);
+            store_.touch(index);
             ++stats_.merges;
-            if (cross_check_)
-                verifyIndexIntegrity();
+            if (store_.crossCheck())
+                store_.verifyIntegrity();
             return now;
         }
     }
 
     Cycle t = now;
-    if (free_stack_.empty()) {
-        // Must evict the LRU block. The eviction register holds one
-        // outgoing block; if it is still draining we stall.
-        if (evict_done_ > t) {
+    if (!store_.hasFree()) {
+        if (engine_.inFlight()) {
+            // A fixed-rate retirement holds the victim slot: wait
+            // for its write instead of using the eviction register.
             ++stalls.bufferFullEvents;
-            stalls.bufferFullCycles += evict_done_ - t;
-            t = evict_done_;
+            Cycle done = engine_.retireDone();
+            if (done > t) {
+                stalls.bufferFullCycles += done - t;
+                t = done;
+            }
+            engine_.completeRetirement();
+        } else {
+            t = engine_.evictVictim(t, stalls);
         }
-        int victim = lruEntry();
-        wbsim_assert(victim >= 0, "full write cache with no LRU victim");
-        auto index = static_cast<std::size_t>(victim);
-        // The victim's data moves to the eviction register and the
-        // slot is reused immediately; the write itself drains in the
-        // background.
-        unsigned valid_words = entries_[index].validWords;
-        Cycle start = std::max(t, port_.freeAt());
-        Cycle duration = hook_(entries_[index].base, valid_words,
-                               config_.wordsPerEntry(), start);
-        port_.begin(L2Txn::WriteRetire, start, duration);
-        evict_done_ = start + duration;
-        stats_.wordsWritten += valid_words;
-        ++stats_.entriesWritten;
-        ++stats_.retirements;
-        detachEntry(index);
     }
 
-    auto slot = static_cast<std::size_t>(free_stack_.back());
-    free_stack_.pop_back();
-    Entry &entry = entries_[slot];
-    entry.base = base;
-    entry.validMask = mask;
-    entry.valid = true;
-    entry.lastUse = ++use_clock_;
-    entry.seq = next_seq_++;
-    attachEntry(slot);
+    store_.allocate(base, mask, t);
     ++stats_.allocations;
-    if (cross_check_)
-        verifyIndexIntegrity();
+    engine_.noteOccupancyChange(t);
+    if (store_.crossCheck())
+        store_.verifyIntegrity();
     return t;
-}
-
-LoadProbe
-WriteCache::naiveProbeLoad(Addr addr, unsigned size) const
-{
-    LoadProbe probe;
-    Addr line_base = alignDown(addr, line_bytes_);
-    Addr line_end = line_base + line_bytes_;
-    Addr entry_base = alignDown(addr, config_.entryBytes);
-    std::uint32_t needed = wordMask(addr, size);
-    std::uint32_t found = 0;
-    for (const Entry &entry : entries_) {
-        if (!entry.valid)
-            continue;
-        Addr end = entry.base + config_.entryBytes;
-        if (entry.base < line_end && end > line_base) {
-            probe.blockHit = true;
-            probe.hitSeq = std::max(probe.hitSeq, entry.seq);
-        }
-        if (entry.base == entry_base)
-            found |= entry.validMask;
-    }
-    probe.wordHit = probe.blockHit && (found & needed) == needed;
-    return probe;
-}
-
-LoadProbe
-WriteCache::indexedProbeLoad(Addr addr, unsigned size) const
-{
-    // The common case is a load miss with no overlapping entry: one
-    // residency lookup answers it. Hazards (rare, and followed by
-    // flush work) fall back to the full scan.
-    Addr line = alignDown(addr, line_bytes_);
-    const int *hit =
-        line_is_base_ ? base_map_.find(line) : line_map_.find(line);
-    if (hit == nullptr)
-        return LoadProbe{};
-    return naiveProbeLoad(addr, size);
-}
-
-LoadProbe
-WriteCache::probeLoad(Addr addr, unsigned size) const
-{
-    if (naive_scan_ || cross_check_) {
-        LoadProbe naive = naiveProbeLoad(addr, size);
-        if (cross_check_) {
-            LoadProbe fast = indexedProbeLoad(addr, size);
-            wbsim_assert(fast.blockHit == naive.blockHit
-                         && fast.wordHit == naive.wordHit
-                         && fast.hitSeq == naive.hitSeq,
-                         "load probe diverged from the scan");
-        }
-        if (naive_scan_)
-            return naive;
-    }
-    return indexedProbeLoad(addr, size);
 }
 
 HazardResult
 WriteCache::handleLoadHazard(const LoadProbe &probe, Addr addr,
                              unsigned size, Cycle now)
 {
-    (void)size; // word selection already resolved in the probe
     wbsim_assert(probe.blockHit, "hazard handling without a block hit");
     ++stats_.hazards;
-
-    if (config_.hazardPolicy == LoadHazardPolicy::ReadFromWB) {
-        if (probe.wordHit) {
-            ++stats_.wbServedLoads;
-            return {now + config_.wbHitExtraCycles, true};
-        }
-        return {now, false};
-    }
-
-    Cycle t = now;
-    // An in-flight eviction write completes first.
-    t = std::max(t, evict_done_);
-
-    switch (config_.hazardPolicy) {
-      case LoadHazardPolicy::FlushFull:
-      case LoadHazardPolicy::FlushPartial: // no FIFO order: full flush
-        for (std::size_t i = 0; i < entries_.size(); ++i)
-            if (entries_[i].valid)
-                t = writeOut(i, t, L2Txn::WriteFlush);
-        break;
-      case LoadHazardPolicy::FlushItemOnly: {
-        Addr line_base = alignDown(addr, line_bytes_);
-        Addr line_end = line_base + line_bytes_;
-        for (std::size_t i = 0; i < entries_.size(); ++i) {
-            const Entry &entry = entries_[i];
-            if (!entry.valid)
-                continue;
-            Addr end = entry.base + config_.entryBytes;
-            if (entry.base < line_end && end > line_base)
-                t = writeOut(i, t, L2Txn::WriteFlush);
-        }
-        break;
-      }
-      case LoadHazardPolicy::ReadFromWB:
-        wbsim_panic("unreachable hazard policy");
-    }
-    if (cross_check_)
-        verifyIndexIntegrity();
-    return {t, false};
-}
-
-Cycle
-WriteCache::drainBelow(unsigned target, Cycle now)
-{
-    Cycle t = std::max(now, evict_done_);
-    while (valid_count_ >= target) {
-        int victim = lruEntry();
-        if (victim < 0)
-            break;
-        t = writeOut(static_cast<std::size_t>(victim), t,
-                     L2Txn::WriteRetire);
-    }
-    if (cross_check_)
-        verifyIndexIntegrity();
-    return t;
-}
-
-void
-WriteCache::verifyIndexIntegrity() const
-{
-    // Occupancy counter and free stack.
-    unsigned valid = naiveCountValid();
-    wbsim_assert(valid_count_ == valid, "occupancy counter diverged");
-    wbsim_assert(free_stack_.size() == entries_.size() - valid,
-                 "free stack size diverged");
-    std::vector<char> stacked(entries_.size(), 0);
-    for (int slot : free_stack_) {
-        auto index = static_cast<std::size_t>(slot);
-        wbsim_assert(index < entries_.size(), "free stack slot range");
-        wbsim_assert(!entries_[index].valid, "valid entry on free stack");
-        wbsim_assert(!stacked[index], "duplicate slot on free stack");
-        stacked[index] = 1;
-    }
-
-    // Cached popcounts.
-    for (const Entry &entry : entries_) {
-        wbsim_assert(entry.validWords
-                         == (entry.valid
-                                 ? popcount32(entry.validMask)
-                                 : 0u),
-                     "cached popcount diverged");
-    }
-
-    // LRU list covers every valid entry in ascending lastUse order.
-    unsigned walked = 0;
-    std::uint64_t last_use = 0;
-    int prev = -1;
-    for (int i = lru_head_; i >= 0;
-         i = entries_[static_cast<std::size_t>(i)].lruNext) {
-        const Entry &entry = entries_[static_cast<std::size_t>(i)];
-        wbsim_assert(entry.valid, "invalid entry on the LRU list");
-        wbsim_assert(entry.lastUse > last_use, "LRU list out of order");
-        wbsim_assert(entry.lruPrev == prev, "LRU back-link broken");
-        last_use = entry.lastUse;
-        prev = i;
-        ++walked;
-    }
-    wbsim_assert(prev == lru_tail_, "LRU tail diverged");
-    wbsim_assert(walked == valid, "LRU list misses entries");
-
-    // Base chains cover every valid entry, newest first.
-    unsigned chained = 0;
-    base_map_.forEach([&](Addr key, int head) {
-        int back = -1;
-        std::uint64_t down_seq = ~std::uint64_t{0};
-        for (int i = head; i >= 0;
-             i = entries_[static_cast<std::size_t>(i)].baseNext) {
-            const Entry &entry = entries_[static_cast<std::size_t>(i)];
-            wbsim_assert(entry.valid, "invalid entry on a base chain");
-            wbsim_assert(entry.base == key, "entry on the wrong chain");
-            wbsim_assert(entry.seq < down_seq,
-                         "base chain not newest-first");
-            wbsim_assert(entry.basePrev == back,
-                         "base chain back-link broken");
-            down_seq = entry.seq;
-            back = i;
-            ++chained;
-        }
-        wbsim_assert(back >= 0, "empty base chain left in the map");
-    });
-    wbsim_assert(chained == valid, "base chains miss entries");
-
-    // Per-line resident counts (base_map_ serves this role when
-    // entries and lines coincide, and line_map_ must stay empty).
-    if (line_is_base_) {
-        wbsim_assert(line_map_.size() == 0,
-                     "line map populated in line==entry geometry");
-    } else {
-        std::map<Addr, int> recount;
-        for (const Entry &entry : entries_) {
-            if (!entry.valid)
-                continue;
-            forEachLine(entry.base, [&](Addr line) { ++recount[line]; });
-        }
-        std::size_t lines = 0;
-        line_map_.forEach([&](Addr key, int count) {
-            auto it = recount.find(key);
-            wbsim_assert(it != recount.end() && it->second == count,
-                         "line resident count diverged");
-            ++lines;
-        });
-        wbsim_assert(lines == recount.size(), "line map misses lines");
-    }
+    return hazard_->handle(engine_, store_, config_, stats_, probe,
+                           addr, size, now);
 }
 
 void
 WriteCache::attachMetrics(obs::MetricsRegistry *metrics)
 {
     metrics_ = metrics;
-    if (metrics_ == nullptr)
+    if (metrics_ == nullptr) {
+        store_.setOccupancyGauge(nullptr, 0);
+        engine_.setRetireWordsMetric(nullptr, 0);
         return;
-    m_occupancy_ = metrics_->gauge("wb.occupancy");
+    }
+    obs::MetricId occupancy = metrics_->gauge("wb.occupancy");
     m_occupancy_at_store_ =
         metrics_->histogram("wb.occupancy_at_store", config_.depth + 1);
-    m_retire_words_ =
-        metrics_->histogram("wb.retire_words", config_.wordsPerEntry() + 1);
-    metrics_->set(m_occupancy_, valid_count_);
+    store_.setOccupancyGauge(metrics_, occupancy);
+    engine_.setRetireWordsMetric(
+        metrics_, metrics_->histogram("wb.retire_words",
+                                      config_.wordsPerEntry() + 1));
+    metrics_->set(occupancy, store_.validCount());
 }
 
 } // namespace wbsim

@@ -1,34 +1,32 @@
 /**
  * @file
- * Jouppi-style write cache (paper §1 related work; our ablation A5).
+ * Jouppi-style write cache (paper §1 related work; our ablation A5),
+ * assembled from the shared policy layer: a recency-ordered
+ * EntryStore, the shared RetirementEngine (whose eviction register
+ * holds the one background write), and the pluggable policies.
  *
  * A small, fully-associative cache of write blocks with LRU
- * replacement. Unlike the FIFO write buffer it never retires
- * autonomously: a block is written to L2 only when it must be
- * evicted to make room for a newly-allocated block (or when a load
- * hazard forces a flush). One eviction write may be in flight at a
- * time; a store that needs the eviction slot while it is busy takes
- * a buffer-full stall.
+ * replacement. Under occupancy mode it never retires autonomously: a
+ * block is written to L2 only when it must be evicted to make room
+ * for a newly-allocated block (or when a load hazard forces a
+ * flush). Under fixed-rate mode (or with an age timeout) the shared
+ * engine retires in the background exactly like the write buffer.
+ * One eviction write may be in flight at a time; a store that needs
+ * the eviction slot while it is busy takes a buffer-full stall.
  *
  * FlushPartial has no FIFO meaning here and behaves as FlushFull.
- *
- * Like the write buffer, hot-path queries are answered from
- * incrementally-maintained indexes (occupancy counter, free-entry
- * stack, base-address map, intrusive LRU list, per-line residency)
- * instead of O(depth) rescans, with the legacy scans kept as a
- * cross-checked reference implementation (DESIGN.md "Performance").
  */
 
 #ifndef WBSIM_CORE_WRITE_CACHE_HH
 #define WBSIM_CORE_WRITE_CACHE_HH
 
-#include <cstdint>
-#include <vector>
+#include <memory>
 
+#include "core/policy/entry_store.hh"
+#include "core/policy/hazard_handler.hh"
+#include "core/policy/retirement_engine.hh"
 #include "core/store_buffer.hh"
-#include "core/write_buffer.hh" // for L2WriteHook
 #include "mem/l2_port.hh"
-#include "util/addr_map.hh"
 
 namespace wbsim
 {
@@ -40,23 +38,34 @@ class WriteCache final : public StoreBuffer
     WriteCache(const WriteBufferConfig &config, L2Port &port,
                L2WriteHook hook, unsigned line_bytes = 32);
 
-    void advanceTo(Cycle now) override;
+    void advanceTo(Cycle now) override { engine_.advanceTo(now); }
+
     Cycle store(Addr addr, unsigned size, Cycle now,
                 StallStats &stalls) override;
-    LoadProbe probeLoad(Addr addr, unsigned size) const override;
+
+    LoadProbe
+    probeLoad(Addr addr, unsigned size) const override
+    {
+        return store_.probeLoad(addr, size);
+    }
+
     HazardResult handleLoadHazard(const LoadProbe &probe, Addr addr,
                                   unsigned size, Cycle now) override;
 
     unsigned
     occupancy() const override
     {
-        if (naive_scan_ || cross_check_)
-            return occupancySlow();
-        return valid_count_;
+        if (store_.naiveScan() || store_.crossCheck())
+            return store_.occupancySlow();
+        return store_.validCount();
     }
+    bool quiescent() const override { return store_.validCount() == 0; }
 
-    bool quiescent() const override { return valid_count_ == 0; }
-    Cycle drainBelow(unsigned target, Cycle now) override;
+    Cycle
+    drainBelow(unsigned target, Cycle now) override
+    {
+        return engine_.drainBelow(target, now);
+    }
 
     const WriteBufferConfig &config() const override { return config_; }
     const StoreBufferStats &stats() const override { return stats_; }
@@ -70,139 +79,40 @@ class WriteCache final : public StoreBuffer
             new WriteCache(*this, port, std::move(hook)));
     }
 
+    /** True if a background retirement is in flight (for tests). */
+    bool retirementUnderway() const { return engine_.inFlight(); }
+
+    /** How far the retirement engine has been advanced (tests). */
+    Cycle engineTime() const { return engine_.engineNow(); }
+
     /**
      * Panic unless every incremental index agrees with a from-scratch
      * recomputation over the entry array. Runs automatically after
      * each mutation when cross-checking is enabled; exposed so the
      * fuzzers can call it at arbitrary points.
      */
-    void verifyIndexIntegrity() const;
+    void verifyIndexIntegrity() const { store_.verifyIntegrity(); }
 
   private:
     /** cloneRebound's copy: everything but the references. */
     WriteCache(const WriteCache &other, L2Port &port, L2WriteHook hook);
 
-    struct Entry
-    {
-        Addr base = 0;
-        std::uint32_t validMask = 0;
-        bool valid = false;
-        std::uint64_t lastUse = 0;
-        std::uint64_t seq = 0;
-        std::uint8_t validWords = 0; //!< cached popcount(validMask)
-        /** @name LRU list (head = least recent, tail = most). */
-        /// @{
-        int lruPrev = -1;
-        int lruNext = -1;
-        /// @}
-        /** @name Same-base chain hanging off base_map_ (newest
-         *  first; duplicates only under non-coalescing mode). */
-        /// @{
-        int basePrev = -1;
-        int baseNext = -1;
-        /// @}
-    };
-
     WriteBufferConfig config_;
     L2Port &port_;
     L2WriteHook hook_;
-    unsigned line_bytes_;
-    unsigned word_shift_; //!< log2(wordBytes): wordMask avoids division
-    /** entryBytes == line_bytes: base_map_ doubles as the line
-     *  residency index and line_map_ stays empty. */
-    bool line_is_base_;
-
-    std::vector<Entry> entries_;
-    std::uint64_t use_clock_ = 0;
-    std::uint64_t next_seq_ = 1;
-    /** Completion cycle of the eviction write in flight (0 = idle). */
-    Cycle evict_done_ = 0;
-
-    /** @name Incremental indexes over entries_. */
-    /// @{
-    unsigned valid_count_ = 0;    //!< number of valid entries
-    std::vector<int> free_stack_; //!< invalid entry slots
-    int lru_head_ = -1;           //!< least recently used valid entry
-    int lru_tail_ = -1;           //!< most recently used valid entry
-    AddrMap<int> base_map_;       //!< entry base -> chain head
-    AddrMap<int> line_map_;       //!< L1 line base -> resident count
-    /// @}
-
-    bool naive_scan_ = false;
-    bool cross_check_ = false;
-
     StoreBufferStats stats_;
+
+    EntryStore store_;
+    std::unique_ptr<VictimSelector> selector_;
+    std::unique_ptr<HazardHandler> hazard_;
+    RetirementEngine engine_;
 
     /** @name Optional always-on observability hooks (no-ops when
      *  detached; cloneRebound copies start detached). */
     /// @{
     obs::MetricsRegistry *metrics_ = nullptr;
-    obs::MetricId m_occupancy_ = 0;
     obs::MetricId m_occupancy_at_store_ = 0;
-    obs::MetricId m_retire_words_ = 0;
     /// @}
-
-    /** @name Legacy O(depth) reference scans. */
-    /// @{
-    unsigned naiveCountValid() const;
-    int naiveFindEntry(Addr base) const;
-    int naiveLruEntry() const;
-    LoadProbe naiveProbeLoad(Addr addr, unsigned size) const;
-    /// @}
-
-    /** @name Indexed O(1) answers. */
-    /// @{
-    int
-    indexedFindEntry(Addr base) const
-    {
-        const int *head = base_map_.find(base);
-        return head ? *head : -1;
-    }
-
-    LoadProbe indexedProbeLoad(Addr addr, unsigned size) const;
-    /// @}
-
-    /** occupancy() when scan-serving or cross-checking is on. */
-    unsigned occupancySlow() const;
-    /** findEntry() when scan-serving or cross-checking is on. */
-    int findEntrySlow(Addr base) const;
-
-    /** Register a just-filled entry with every index. */
-    void attachEntry(std::size_t index);
-    /** Invalidate an entry and remove it from every index. */
-    void detachEntry(std::size_t index);
-    /** Move an entry to the MRU end of the LRU list. */
-    void touch(std::size_t index);
-    /** Visit the base of every L1 line the entry at @p base covers. */
-    template <typename Fn> void forEachLine(Addr base, Fn &&fn) const;
-
-    int
-    findEntry(Addr base) const
-    {
-        if (naive_scan_ || cross_check_)
-            return findEntrySlow(base);
-        return indexedFindEntry(base);
-    }
-
-    /** LRU victim for eviction (Table 2's replacement row). */
-    int lruEntry() const;
-
-    std::uint32_t
-    wordMask(Addr addr, unsigned size) const
-    {
-        Addr offset = addr & (config_.entryBytes - 1);
-        wbsim_assert(offset + size <= config_.entryBytes,
-                     "access crosses a write-cache entry boundary");
-        unsigned first = static_cast<unsigned>(offset >> word_shift_);
-        unsigned last =
-            static_cast<unsigned>((offset + size - 1) >> word_shift_);
-        return static_cast<std::uint32_t>((std::uint64_t{2} << last)
-                                          - (std::uint64_t{1} << first));
-    }
-
-    /** Write entry @p index to L2 no earlier than @p earliest and
-     *  free it synchronously. @return completion cycle. */
-    Cycle writeOut(std::size_t index, Cycle earliest, L2Txn kind);
 };
 
 } // namespace wbsim

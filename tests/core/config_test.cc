@@ -140,6 +140,33 @@ TEST(PolicyNames, AllNamed)
                  "fullest-first");
 }
 
+TEST(PolicyNames, ParseIsTheInverseOfName)
+{
+    for (LoadHazardPolicy policy :
+         {LoadHazardPolicy::FlushFull, LoadHazardPolicy::FlushPartial,
+          LoadHazardPolicy::FlushItemOnly,
+          LoadHazardPolicy::ReadFromWB})
+        EXPECT_EQ(parseLoadHazardPolicy(loadHazardPolicyName(policy)),
+                  policy);
+    for (RetirementMode mode :
+         {RetirementMode::Occupancy, RetirementMode::FixedRate})
+        EXPECT_EQ(parseRetirementMode(retirementModeName(mode)), mode);
+    for (RetirementOrder order :
+         {RetirementOrder::Fifo, RetirementOrder::FullestFirst})
+        EXPECT_EQ(parseRetirementOrder(retirementOrderName(order)),
+                  order);
+}
+
+TEST(PolicyNamesDeathTest, UnknownNamesDieListingTheValidOnes)
+{
+    EXPECT_DEATH(parseLoadHazardPolicy("flush"),
+                 "unknown load-hazard policy 'flush'.*flush-full");
+    EXPECT_DEATH(parseRetirementMode("eager"),
+                 "unknown retirement mode 'eager'.*occupancy");
+    EXPECT_DEATH(parseRetirementOrder("lifo"),
+                 "unknown retirement order 'lifo'.*fifo");
+}
+
 TEST(WriteBufferConfig, DescribeMentionsNonFifoOrder)
 {
     WriteBufferConfig config;
