@@ -23,6 +23,7 @@
 #include "obs/metrics.hh"
 #include "util/addr_map.hh"
 #include "util/bits.hh"
+#include "util/lint.hh"
 
 namespace wbsim
 {
@@ -104,7 +105,7 @@ class EntryStore
      * every index. The caller must have ensured a free slot exists.
      * @return the slot index.
      */
-    std::size_t
+    WBSIM_HOT std::size_t
     allocate(Addr base, std::uint32_t mask, Cycle at)
     {
         wbsim_assert(!free_stack_.empty(),
@@ -124,7 +125,7 @@ class EntryStore
 
     /** Invalidate the entry at @p index and drop it from every
      *  index (retirement, flush, eviction). */
-    void
+    WBSIM_HOT void
     release(std::size_t index)
     {
         BufferEntry &entry = entries_[index];
@@ -166,12 +167,11 @@ class EntryStore
 
         if (selector_active_)
             selectorDetach(index);
-        if (metrics_ != nullptr)
-            metrics_->set(m_occupancy_, valid_count_);
+        publishOccupancy();
     }
 
     /** Fold @p mask into the entry at @p index (coalescing). */
-    void
+    WBSIM_HOT void
     merge(std::size_t index, std::uint32_t mask)
     {
         BufferEntry &entry = entries_[index];
@@ -184,7 +184,7 @@ class EntryStore
     }
 
     /** Move the entry to the most-recent end (recency order only). */
-    void
+    WBSIM_HOT void
     touch(std::size_t index)
     {
         wbsim_assert(order_ == EntryOrder::Recency,
@@ -215,7 +215,7 @@ class EntryStore
      * merge-target lookup and the write cache's block lookup (blocks
      * are unique there under coalescing, so "newest" is "the one").
      */
-    int
+    WBSIM_HOT int
     findMergeTarget(Addr base, int exclude) const
     {
         if (naive_scan_ || cross_check_)
@@ -233,10 +233,10 @@ class EntryStore
     int oldestOverlapping(Addr line_base, Addr line_end) const;
 
     /** Probe for a load; naive/indexed/cross-checked per config. */
-    LoadProbe probeLoad(Addr addr, unsigned size) const;
+    WBSIM_HOT LoadProbe probeLoad(Addr addr, unsigned size) const;
 
     /** Word-valid mask an access covers within its entry. */
-    std::uint32_t
+    WBSIM_HOT std::uint32_t
     wordMask(Addr addr, unsigned size) const
     {
         Addr offset = addr & (entry_bytes_ - 1);
@@ -263,7 +263,7 @@ class EntryStore
      * Panic unless every incremental index agrees with a
      * from-scratch recomputation over the entry array.
      */
-    void verifyIntegrity() const;
+    WBSIM_COLD void verifyIntegrity() const;
 
   private:
     LoadProbe naiveProbeLoad(Addr addr, unsigned size) const;
@@ -272,8 +272,17 @@ class EntryStore
     int indexedMergeTarget(Addr base, int exclude) const;
     int findMergeTargetSlow(Addr base, int exclude) const;
 
+    /** The one publish site for the occupancy-gauge handle
+     *  (WL-PUB-UNIQUE): attach and release both report through it. */
+    WBSIM_HOT void
+    publishOccupancy()
+    {
+        if (metrics_ != nullptr)
+            metrics_->set(m_occupancy_, valid_count_);
+    }
+
     /** Register a just-filled entry with every index. */
-    void
+    WBSIM_HOT void
     attachEntry(std::size_t index)
     {
         BufferEntry &entry = entries_[index];
@@ -305,8 +314,7 @@ class EntryStore
 
         if (selector_active_)
             selectorAttachOrMerge(index);
-        if (metrics_ != nullptr)
-            metrics_->set(m_occupancy_, valid_count_);
+        publishOccupancy();
     }
 
     /** @name Out-of-line pieces of the inlined mutators: per-line

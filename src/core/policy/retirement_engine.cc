@@ -115,8 +115,7 @@ RetirementEngine::startRetirement(std::size_t index, Cycle start,
     stats_.wordsWritten += valid_words;
     ++stats_.entriesWritten;
     ++stats_.retirements;
-    if (metrics_ != nullptr)
-        metrics_->sample(m_retire_words_, valid_words);
+    publishRetireWords(valid_words);
     if (sole_occupancy_ == nullptr) // start is a no-op for occupancy
         for (const auto &trigger : triggers_)
             trigger->noteRetirementStart(start);
@@ -150,8 +149,7 @@ RetirementEngine::writeEntryNow(std::size_t index, Cycle earliest,
         ++stats_.flushes;
     else
         ++stats_.retirements;
-    if (metrics_ != nullptr)
-        metrics_->sample(m_retire_words_, valid_words);
+    publishRetireWords(valid_words);
     noteOccupancyChange(start + duration);
     return start + duration;
 }

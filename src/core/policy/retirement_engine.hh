@@ -24,6 +24,7 @@
 #include "core/policy/retirement_trigger.hh"
 #include "core/policy/victim_selector.hh"
 #include "mem/l2_port.hh"
+#include "util/lint.hh"
 
 namespace wbsim
 {
@@ -57,7 +58,7 @@ class RetirementEngine
                      StoreBufferStats &stats, VictimSelector &selector);
 
     /** Replay retirement activity up to @p now. */
-    void
+    WBSIM_HOT void
     advanceTo(Cycle now)
     {
         if (!retire_in_flight_ && trigger_idle_ && fast_when_idle_) {
@@ -73,7 +74,7 @@ class RetirementEngine
      * drops below @p target (checkpoints, quiesce). @return the
      * cycle the last write completes.
      */
-    Cycle drainBelow(unsigned target, Cycle now);
+    WBSIM_HOT Cycle drainBelow(unsigned target, Cycle now);
 
     /**
      * The buffer-full stall on the store path: wait for the
@@ -81,7 +82,7 @@ class RetirementEngine
      * underway) and charge the stall. @return the cycle the freed
      * slot is available. No-op returning @p now if a slot is free.
      */
-    Cycle waitForFreeEntry(Cycle now, StallStats &stalls);
+    WBSIM_HOT Cycle waitForFreeEntry(Cycle now, StallStats &stalls);
 
     /**
      * The write cache's eviction register: move the victim's data to
@@ -89,20 +90,22 @@ class RetirementEngine
      * while the write drains in the background; stall only when the
      * register is still busy. @return the cycle the slot is free.
      */
-    Cycle evictVictim(Cycle now, StallStats &stalls);
+    WBSIM_HOT Cycle evictVictim(Cycle now, StallStats &stalls);
 
     /** Begin retiring @p index at @p start (must match the port). */
-    void startRetirement(std::size_t index, Cycle start, L2Txn kind);
+    WBSIM_HOT void startRetirement(std::size_t index, Cycle start,
+                                   L2Txn kind);
 
     /** Free the in-flight entry once its write has completed. */
-    void completeRetirement();
+    WBSIM_HOT void completeRetirement();
 
     /** Write entry @p index to L2 beginning no earlier than
      *  @p earliest; frees the entry. @return completion cycle. */
-    Cycle writeEntryNow(std::size_t index, Cycle earliest, L2Txn kind);
+    WBSIM_HOT Cycle writeEntryNow(std::size_t index, Cycle earliest,
+                                  L2Txn kind);
 
     /** Re-arm the triggers after an occupancy change at @p at. */
-    void
+    WBSIM_HOT void
     noteOccupancyChange(Cycle at)
     {
         // Monomorphic fast path: retire-at-N with no age timeout is
@@ -116,7 +119,7 @@ class RetirementEngine
     }
 
     /** Entry the victim policy picks next (cross-checked). */
-    int
+    WBSIM_HOT int
     retirementVictim() const
     {
         if (list_head_victim_ && !scan_or_check_)
@@ -125,7 +128,7 @@ class RetirementEngine
     }
 
     /** Earliest cycle any trigger wants a retirement, or kNoCycle. */
-    Cycle
+    WBSIM_HOT Cycle
     nextTrigger() const
     {
         if (store_.validCount() == 0)
@@ -171,9 +174,18 @@ class RetirementEngine
     }
 
     /** Index + selector integrity (the cross-check entry point). */
-    void verifyAll() const { store_.verifyIntegrity(); }
+    WBSIM_COLD void verifyAll() const { store_.verifyIntegrity(); }
 
   private:
+    /** The one publish site for the retire-words handle
+     *  (WL-PUB-UNIQUE): every write path samples through it. */
+    WBSIM_HOT void
+    publishRetireWords(unsigned valid_words)
+    {
+        if (metrics_ != nullptr)
+            metrics_->sample(m_retire_words_, valid_words);
+    }
+
     /** Out-of-line replay loop behind advanceTo's inline fast path. */
     void advanceToSlow(Cycle now);
 

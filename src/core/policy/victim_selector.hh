@@ -14,12 +14,19 @@
 #include <memory>
 
 #include "core/policy/entry_store.hh"
+#include "util/lint.hh"
 
 namespace wbsim
 {
 
-/** Which entry retires (or evicts) next. */
-class VictimSelector
+/**
+ * Which entry retires (or evicts) next.
+ * WBSIM_DEVIRT_OK: list-head selection is devirtualized on the
+ * engine's fast path; the residual dispatch through this interface
+ * (fullest-first, naive cross-checks, entry-tracking callbacks) is
+ * the documented victim escape hatch (DESIGN.md §10).
+ */
+class WBSIM_DEVIRT_OK VictimSelector
 {
   public:
     virtual ~VictimSelector() = default;

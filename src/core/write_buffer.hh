@@ -18,6 +18,7 @@
 #include "core/policy/retirement_engine.hh"
 #include "core/store_buffer.hh"
 #include "mem/l2_port.hh"
+#include "util/lint.hh"
 
 namespace wbsim
 {
@@ -37,10 +38,14 @@ class WriteBuffer final : public StoreBuffer
     WriteBuffer(const WriteBufferConfig &config, L2Port &port,
                 L2WriteHook hook, unsigned line_bytes = 32);
 
-    void advanceTo(Cycle now) override { engine_.advanceTo(now); }
+    WBSIM_HOT void
+    advanceTo(Cycle now) override
+    {
+        engine_.advanceTo(now);
+    }
 
-    Cycle store(Addr addr, unsigned size, Cycle now,
-                StallStats &stalls) override;
+    WBSIM_HOT Cycle store(Addr addr, unsigned size, Cycle now,
+                          StallStats &stalls) override;
 
     LoadProbe
     probeLoad(Addr addr, unsigned size) const override

@@ -34,6 +34,12 @@ constexpr bool kDebugBuild = true;
  * build-once: the first worker to ask for a key builds the value
  * while later askers block on a shared_future, so concurrent grid
  * cells never duplicate work.
+ *
+ * Thread-safety contract: the map is only touched under mutex_; the
+ * values are immutable once the future resolves (shared_ptr<const>),
+ * so readers never race with the builder. Verified race-free by
+ * CI's `tsan` job, which runs the harness tests under
+ * ThreadSanitizer with no suppressions.
  */
 class GridCache
 {

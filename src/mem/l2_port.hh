@@ -14,6 +14,7 @@
 #define WBSIM_MEM_L2_PORT_HH
 
 #include "obs/metrics.hh"
+#include "util/lint.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 
@@ -56,7 +57,7 @@ class L2Port
      * @p duration cycles.
      * @return the actual start cycle (>= earliest).
      */
-    Cycle begin(L2Txn kind, Cycle earliest, Cycle duration);
+    WBSIM_HOT Cycle begin(L2Txn kind, Cycle earliest, Cycle duration);
 
     /** @name Utilisation statistics. */
     /// @{

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "util/lint.hh"
 #include "util/stats.hh"
 #include "util/types.hh"
 
@@ -65,19 +66,19 @@ class MetricsRegistry
 
     /** @name Hot-path publish operations (handles must be valid). */
     /// @{
-    void
+    WBSIM_HOT void
     add(MetricId id, Count n = 1)
     {
         counters_[id] += n;
     }
 
-    void
+    WBSIM_HOT void
     set(MetricId id, std::int64_t value)
     {
         gauges_[id] = value;
     }
 
-    void
+    WBSIM_HOT void
     sample(MetricId id, std::uint64_t value)
     {
         histograms_[id].sample(value);

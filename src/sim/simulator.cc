@@ -212,10 +212,7 @@ Simulator::l2DemandRead(Addr addr, Cycle earliest, Count &stall_cycles,
         stall_cycles += wait;
         ++stall_events;
         note(SimEventKind::ReadAccessStall, addr, wait);
-        if (metrics_ != nullptr)
-            metrics_->sample(m_stall_read_, wait);
-        if (timeline_ != nullptr)
-            timeline_->add(channel, t, wait);
+        publishReadStall(t, wait, channel);
         t = port_.freeAt();
     }
     Cycle start = port_.begin(L2Txn::Read, t, config_.l2Latency);
@@ -298,11 +295,8 @@ Simulator::doLoad(Addr addr, unsigned size)
             Cycle wait = t - cycle_;
             stalls_.l2ReadAccessCycles += wait;
             ++stalls_.l2ReadAccessEvents;
-            if (metrics_ != nullptr)
-                metrics_->sample(m_stall_read_, wait);
-            if (timeline_ != nullptr)
-                timeline_->add(obs::Channel::ReadAccessStall, cycle_,
-                               wait);
+            publishReadStall(cycle_, wait,
+                             obs::Channel::ReadAccessStall);
             cycle_ = t;
         }
     }

@@ -25,6 +25,7 @@
 #include "sim/machine_config.hh"
 #include "sim/results.hh"
 #include "trace/source.hh"
+#include "util/lint.hh"
 #include "util/random.hh"
 
 namespace wbsim
@@ -219,6 +220,18 @@ class Simulator
                        Count &stall_events,
                        obs::Channel channel
                        = obs::Channel::ReadAccessStall);
+
+    /** The one publish site for the read-access-stall handle
+     *  (WL-PUB-UNIQUE): port waits and write-priority drains both
+     *  report through it, attributing the wait to @p channel. */
+    WBSIM_HOT void
+    publishReadStall(Cycle at, Cycle wait, obs::Channel channel)
+    {
+        if (metrics_ != nullptr)
+            metrics_->sample(m_stall_read_, wait);
+        if (timeline_ != nullptr)
+            timeline_->add(channel, at, wait);
+    }
 };
 
 } // namespace wbsim

@@ -51,7 +51,7 @@ getVarint(const std::uint8_t *bytes, std::size_t &offset)
     unsigned shift = 0;
     for (;;) {
         std::uint8_t b = bytes[offset++];
-        v |= std::uint64_t{b & 0x7f} << shift;
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
         if ((b & 0x80) == 0)
             return v;
         shift += 7;

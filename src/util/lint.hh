@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Hot-path contract annotations for wbsim_lint (DESIGN.md §10).
+ *
+ * The macros expand to `[[clang::annotate(...)]]` markers that the
+ * standalone analyzer in tools/wbsim_lint reads from the AST; on
+ * compilers without that attribute (GCC builds) they expand to
+ * nothing, so annotating a declaration never changes codegen or
+ * warnings anywhere.
+ *
+ * - WBSIM_HOT marks a function as a hot-path root: neither it nor
+ *   anything it transitively calls within the project may allocate
+ *   (WL-HOT-ALLOC) or dispatch virtually outside the documented
+ *   escape hatches (WL-HOT-VIRTUAL).
+ * - WBSIM_DEVIRT_OK marks a polymorphic base class (or a single
+ *   virtual method) as a documented devirtualized escape hatch: the
+ *   retirement engine's trigger/victim policy interfaces, whose
+ *   concrete implementations are `final` and whose dispatch the
+ *   engine monomorphises on its fast paths (DESIGN.md §9).
+ * - WBSIM_COLD marks a debug/cross-check reference path (naive-scan
+ *   verification, integrity checks): the analyzer's traversal stops
+ *   there, so reference paths may allocate freely.
+ */
+
+#ifndef WBSIM_UTIL_LINT_HH
+#define WBSIM_UTIL_LINT_HH
+
+#if defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::annotate)
+#define WBSIM_ANNOTATE(what) [[clang::annotate(what)]]
+#endif
+#endif
+
+#ifndef WBSIM_ANNOTATE
+#define WBSIM_ANNOTATE(what)
+#endif
+
+/** Allocation-free, devirtualized hot-path root (transitive). */
+#define WBSIM_HOT WBSIM_ANNOTATE("wbsim::hot")
+
+/** Documented virtual-dispatch escape hatch (policy interfaces). */
+#define WBSIM_DEVIRT_OK WBSIM_ANNOTATE("wbsim::devirt_ok")
+
+/** Debug/cross-check reference path; hot-path traversal stops here. */
+#define WBSIM_COLD WBSIM_ANNOTATE("wbsim::cold")
+
+#endif // WBSIM_UTIL_LINT_HH

@@ -16,6 +16,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/lint.hh"
+
 namespace wbsim
 {
 
@@ -36,15 +38,20 @@ void setLogLevel(LogLevel level);
 namespace detail
 {
 
-[[noreturn]] void
+/* All diagnostic sinks are WBSIM_COLD: they allocate and stream
+ * freely, and the hot-path analyzer (tools/wbsim_lint) stops its
+ * traversal here. Reaching them from a hot path is fine — they only
+ * execute when the simulation is already dying or narrating. */
+
+[[noreturn]] WBSIM_COLD void
 terminate(const char *kind, const char *file, int line,
           const std::string &message, int exit_code);
 
-void report(const char *kind, const std::string &message);
+WBSIM_COLD void report(const char *kind, const std::string &message);
 
 /** Fold a variadic pack into one string via operator<<. */
 template <typename... Args>
-std::string
+WBSIM_COLD std::string
 concat(Args &&...args)
 {
     std::ostringstream os;
@@ -56,7 +63,7 @@ concat(Args &&...args)
 
 /** Informational message, suppressed under LogLevel::Quiet. */
 template <typename... Args>
-void
+WBSIM_COLD void
 inform(Args &&...args)
 {
     if (logLevel() >= LogLevel::Normal)
@@ -65,7 +72,7 @@ inform(Args &&...args)
 
 /** Debug message, shown only under LogLevel::Debug. */
 template <typename... Args>
-void
+WBSIM_COLD void
 debugLog(Args &&...args)
 {
     if (logLevel() >= LogLevel::Debug)
@@ -74,7 +81,7 @@ debugLog(Args &&...args)
 
 /** Warning about suspicious but survivable conditions. */
 template <typename... Args>
-void
+WBSIM_COLD void
 warn(Args &&...args)
 {
     detail::report("warn", detail::concat(std::forward<Args>(args)...));

@@ -6,6 +6,12 @@
  * parallelFor() distributes them across hardware threads while
  * keeping results ordered and deterministic (each simulation owns
  * its state; no sharing).
+ *
+ * Thread-safety contract: iterations are claimed from one atomic
+ * counter, each result slot is written by exactly one worker, and
+ * the join at the end of parallelFor() publishes every write to the
+ * caller. CI's `tsan` job runs this pool (and its users) under
+ * ThreadSanitizer with no suppressions — keep it that way.
  */
 
 #ifndef WBSIM_UTIL_THREAD_POOL_HH

@@ -1,0 +1,108 @@
+/**
+ * wbsim-lint fixture: every idiom the rules police, written the way
+ * the simulator writes it. Must produce zero diagnostics.
+ */
+
+#include <vector>
+
+#define HOT [[clang::annotate("wbsim::hot")]]
+#define COLD [[clang::annotate("wbsim::cold")]]
+#define DEVIRT_OK [[clang::annotate("wbsim::devirt_ok")]]
+
+namespace wbsim::obs
+{
+
+using MetricId = unsigned;
+
+class MetricsRegistry
+{
+  public:
+    void add(MetricId id, unsigned long n = 1);
+    void set(MetricId id, long value);
+    void sample(MetricId id, unsigned long value);
+};
+
+} // namespace wbsim::obs
+
+namespace fixture
+{
+
+/** Documented policy interface (escape hatch). */
+struct DEVIRT_OK Selector
+{
+    virtual ~Selector() = default;
+    virtual int pick() { return 0; }
+};
+
+enum class State
+{
+    Idle,
+    Busy,
+};
+
+const char *
+stateName(State state)
+{
+    switch (state) {
+      case State::Idle:
+        return "idle";
+      case State::Busy:
+        return "busy";
+    }
+    return "?";
+}
+
+class Store
+{
+  public:
+    explicit Store(int capacity)
+    {
+        slots_.resize(static_cast<unsigned>(capacity), 0);
+        free_list_.reserve(static_cast<unsigned>(capacity));
+    }
+
+    /** Allocation-free, devirt-exempt hot path with one publish
+     *  site per handle. */
+    HOT void
+    touch(int index, int value)
+    {
+        slots_[static_cast<unsigned>(index)] = value;
+        (void)selector_->pick();
+        publishOccupancy();
+    }
+
+    HOT void
+    publishOccupancy()
+    {
+        if (metrics_ != nullptr)
+            metrics_->set(m_occupancy_, occupancy_);
+    }
+
+    /** Cold cross-check path may allocate freely. */
+    COLD bool
+    verify() const
+    {
+        std::vector<int> copy(slots_);
+        return copy.size() == slots_.size();
+    }
+
+    HOT int
+    load(int index)
+    {
+        if (state_ == State::Busy)
+            return -1;
+        (void)stateName(state_);
+        return slots_[static_cast<unsigned>(index)];
+    }
+
+  private:
+    std::vector<int> slots_;
+    std::vector<int> free_list_;
+    Selector *selector_ = nullptr;
+    State state_ = State::Idle;
+    long occupancy_ = 0;
+    wbsim::obs::MetricsRegistry *metrics_ = nullptr;
+    wbsim::obs::MetricId m_occupancy_ = 0;
+};
+
+} // namespace fixture

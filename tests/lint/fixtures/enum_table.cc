@@ -1,0 +1,125 @@
+/**
+ * wbsim-lint fixture: seeded WL-ENUM-TABLE violations across both
+ * table idioms (exhaustive switch, file-scope name table) plus an
+ * enum with a parse function and no table at all.
+ */
+
+namespace fixture
+{
+
+// --- switch-based name function missing an enumerator --------------
+
+enum class Color
+{
+    Red,
+    Green,
+    Blue,
+};
+
+const char *
+colorName(Color color)
+{
+    switch (color) { // EXPECT: WL-ENUM-TABLE
+      case Color::Red:
+        return "red";
+      case Color::Green:
+        return "green";
+      default:
+        return "?";
+    }
+}
+
+// --- table-based mapping missing an enumerator ---------------------
+
+enum class Mode
+{
+    Alpha,
+    Beta,
+    Gamma,
+};
+
+struct ModeName
+{
+    Mode mode;
+    const char *name;
+};
+
+const ModeName kModeNames[] = { // EXPECT: WL-ENUM-TABLE
+    {Mode::Alpha, "alpha"},
+    {Mode::Beta, "beta"},
+};
+
+Mode
+parseMode(const char *name)
+{
+    for (const ModeName &entry : kModeNames) {
+        if (entry.name[0] == name[0])
+            return entry.mode;
+    }
+    return Mode::Alpha;
+}
+
+// --- parse function with no table anywhere -------------------------
+
+enum class Level // EXPECT: WL-ENUM-TABLE
+{
+    Low,
+    High,
+};
+
+Level
+parseLevel(const char *name)
+{
+    return name[0] == 'l' ? Level::Low : Level::High;
+}
+
+// --- complete switch: no diagnostic --------------------------------
+
+enum class Shape
+{
+    Circle,
+    Square,
+};
+
+const char *
+shapeName(Shape shape)
+{
+    switch (shape) {
+      case Shape::Circle:
+        return "circle";
+      case Shape::Square:
+        return "square";
+    }
+    return "?";
+}
+
+// --- complete table: no diagnostic ---------------------------------
+
+enum class Kind
+{
+    Solid,
+    Dashed,
+};
+
+struct KindName
+{
+    Kind kind;
+    const char *name;
+};
+
+const KindName kKindNames[] = {
+    {Kind::Solid, "solid"},
+    {Kind::Dashed, "dashed"},
+};
+
+Kind
+parseKind(const char *name)
+{
+    for (const KindName &entry : kKindNames) {
+        if (entry.name[0] == name[0])
+            return entry.kind;
+    }
+    return Kind::Solid;
+}
+
+} // namespace fixture

@@ -1,0 +1,80 @@
+/**
+ * wbsim-lint fixture: seeded WL-HOT-ALLOC violations.
+ *
+ * Lines tagged `EXPECT: <RULE>` must produce exactly one diagnostic
+ * of that rule at that line; the fixture driver fails on any
+ * mismatch in either direction.
+ */
+
+#include <string>
+#include <vector>
+
+#define HOT [[clang::annotate("wbsim::hot")]]
+#define COLD [[clang::annotate("wbsim::cold")]]
+
+namespace fixture
+{
+
+struct Queue
+{
+    std::vector<int> slots;
+
+    /** Direct allocating call in a hot function. */
+    HOT void
+    push(int v)
+    {
+        slots.push_back(v); // EXPECT: WL-HOT-ALLOC
+    }
+
+    /** Not annotated itself, but reached from pushGrow below. */
+    void
+    grow()
+    {
+        slots.resize(slots.size() * 2 + 1); // EXPECT: WL-HOT-ALLOC
+    }
+
+    HOT void
+    pushGrow(int v)
+    {
+        if (slots.size() == slots.capacity())
+            grow();
+        slots[0] = v; // vector subscript: not an allocation
+    }
+
+    /** Allocates, but cold: the traversal must stop here. */
+    COLD std::string
+    describe() const
+    {
+        std::string out = "queue[";
+        out += std::to_string(slots.size());
+        out += "]";
+        return out;
+    }
+
+    /** Hot caller of a cold function: no diagnostic. */
+    HOT void
+    pushQuiet(int v)
+    {
+        if (v < 0)
+            (void)describe();
+        if (!slots.empty())
+            slots[0] = v;
+    }
+};
+
+/** operator new in a hot function. */
+HOT int *
+makeBuffer()
+{
+    return new int[16]; // EXPECT: WL-HOT-ALLOC
+}
+
+/** Dependent call in a hot template pattern (name heuristic). */
+template <typename T>
+HOT void
+pushAll(std::vector<T> &v, const T &x)
+{
+    v.push_back(x); // EXPECT: WL-HOT-ALLOC
+}
+
+} // namespace fixture

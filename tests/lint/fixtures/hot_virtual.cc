@@ -1,0 +1,75 @@
+/**
+ * wbsim-lint fixture: seeded WL-HOT-VIRTUAL violations, plus the two
+ * accepted devirtualization escape hatches (`wbsim::devirt_ok`
+ * interfaces and `final` targets).
+ */
+
+#define HOT [[clang::annotate("wbsim::hot")]]
+#define DEVIRT_OK [[clang::annotate("wbsim::devirt_ok")]]
+
+namespace fixture
+{
+
+/** Undocumented polymorphic interface: dispatch from hot code is a
+ *  violation. */
+struct Policy
+{
+    virtual ~Policy() = default;
+    virtual int pick() = 0;
+};
+
+/** Documented escape hatch, like the retirement trigger/victim
+ *  interfaces. */
+struct DEVIRT_OK Ordering
+{
+    virtual ~Ordering() = default;
+    virtual int order() { return 0; }
+};
+
+struct LruPolicy final : Policy
+{
+    int pick() override { return 1; }
+};
+
+struct Engine
+{
+    Policy *policy = nullptr;
+    Ordering *ordering = nullptr;
+    LruPolicy *lru = nullptr;
+
+    /** Direct virtual dispatch in a hot function. */
+    HOT int
+    step()
+    {
+        return policy->pick(); // EXPECT: WL-HOT-VIRTUAL
+    }
+
+    /** Not annotated itself, but reached from stepTwice below. */
+    int
+    helper()
+    {
+        return 2 * policy->pick(); // EXPECT: WL-HOT-VIRTUAL
+    }
+
+    HOT int
+    stepTwice()
+    {
+        return helper();
+    }
+
+    /** Dispatch through a devirt_ok interface: no diagnostic. */
+    HOT int
+    stepExempt()
+    {
+        return ordering->order();
+    }
+
+    /** Dispatch on a final class: devirtualized, no diagnostic. */
+    HOT int
+    stepFinal()
+    {
+        return lru->pick();
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,72 @@
+/**
+ * wbsim-lint fixture: seeded WL-PUB-UNIQUE violations. The registry
+ * stub matches the shape of wbsim::obs::MetricsRegistry; the rule
+ * keys on the class name and the handle field a publish call names.
+ */
+
+namespace wbsim::obs
+{
+
+using MetricId = unsigned;
+
+class MetricsRegistry
+{
+  public:
+    void add(MetricId id, unsigned long n = 1);
+    void set(MetricId id, long value);
+    void sample(MetricId id, unsigned long value);
+};
+
+} // namespace wbsim::obs
+
+namespace fixture
+{
+
+class Component
+{
+  public:
+    void
+    attach(wbsim::obs::MetricsRegistry *metrics)
+    {
+        metrics_ = metrics;
+        if (metrics_ != nullptr)
+            metrics_->set(m_occupancy_, 0); // EXPECT: WL-PUB-UNIQUE
+    }
+
+    void
+    update(long level)
+    {
+        if (metrics_ != nullptr)
+            metrics_->set(m_occupancy_, level); // EXPECT: WL-PUB-UNIQUE
+    }
+
+    void
+    retireOne()
+    {
+        if (metrics_ != nullptr)
+            metrics_->add(m_retired_); // EXPECT: WL-PUB-UNIQUE
+    }
+
+    void
+    retireMany(unsigned long n)
+    {
+        if (metrics_ != nullptr)
+            metrics_->add(m_retired_, n); // EXPECT: WL-PUB-UNIQUE
+    }
+
+    /** Single publish site: no diagnostic. */
+    void
+    observeLatency(unsigned long cycles)
+    {
+        if (metrics_ != nullptr)
+            metrics_->sample(m_latency_, cycles);
+    }
+
+  private:
+    wbsim::obs::MetricsRegistry *metrics_ = nullptr;
+    wbsim::obs::MetricId m_occupancy_ = 0;
+    wbsim::obs::MetricId m_retired_ = 0;
+    wbsim::obs::MetricId m_latency_ = 0;
+};
+
+} // namespace fixture

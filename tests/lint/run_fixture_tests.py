@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Golden-diagnostic tests for wbsim-lint.
+
+Each fixture under fixtures/ tags its seeded violations with an
+`// EXPECT: <RULE>` comment on the exact line the diagnostic must
+anchor to. The driver runs the analyzer over every fixture in direct
+(database-free) mode and requires the emitted (line, rule) set to
+equal the expected set — no extra diagnostics, no missing ones — and
+the exit status to match. It then checks baseline suppression and
+--update-baseline round-tripping on the noisiest fixture.
+
+Usage: run_fixture_tests.py <wbsim_lint-binary> <fixtures-dir>
+"""
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+DIAG_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): error: "
+                     r"\[(?P<rule>WL-[A-Z-]+)\] (?P<msg>.*)$")
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*(?P<rule>WL-[A-Z-]+)")
+
+CLANG_ARGS = ["--", "-std=c++17"]
+
+failures = []
+
+
+def check(cond, what):
+    if cond:
+        print(f"  ok: {what}")
+    else:
+        print(f"  FAIL: {what}")
+        failures.append(what)
+
+
+def run_lint(tool, fixtures_dir, fixture, extra=None):
+    cmd = ([tool, "--root", fixtures_dir]
+           + (extra or [])
+           + [os.path.join(fixtures_dir, fixture)]
+           + CLANG_ARGS)
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
+    diags = set()
+    for line in proc.stdout.splitlines():
+        match = DIAG_RE.match(line)
+        if match:
+            diags.add((os.path.basename(match.group("file")),
+                       int(match.group("line")),
+                       match.group("rule")))
+    return proc, diags
+
+
+def expected_diags(fixtures_dir, fixture):
+    expected = set()
+    path = os.path.join(fixtures_dir, fixture)
+    with open(path, encoding="utf-8") as handle:
+        for lineno, text in enumerate(handle, start=1):
+            match = EXPECT_RE.search(text)
+            if match:
+                expected.add((fixture, lineno, match.group("rule")))
+    return expected
+
+
+def test_fixture(tool, fixtures_dir, fixture):
+    print(f"fixture: {fixture}")
+    expected = expected_diags(fixtures_dir, fixture)
+    proc, actual = run_lint(tool, fixtures_dir, fixture)
+    if proc.returncode == 2:
+        print(proc.stderr)
+        check(False, f"{fixture}: analyzer ran (exit {proc.returncode})")
+        return
+    missing = expected - actual
+    surplus = actual - expected
+    check(not missing, f"{fixture}: all seeded violations found "
+                       f"(missing: {sorted(missing)})")
+    check(not surplus, f"{fixture}: no unexpected diagnostics "
+                       f"(surplus: {sorted(surplus)})")
+    want_exit = 1 if expected else 0
+    check(proc.returncode == want_exit,
+          f"{fixture}: exit status {proc.returncode} == {want_exit}")
+
+
+def test_baseline(tool, fixtures_dir):
+    print("baseline: wildcard suppression")
+    with tempfile.TemporaryDirectory() as tmp:
+        suppress_all = os.path.join(tmp, "suppress.txt")
+        with open(suppress_all, "w", encoding="utf-8") as handle:
+            handle.write("# suppress every hot-alloc finding\n")
+            handle.write("WL-HOT-ALLOC|hot_alloc.cc|*|*\n")
+            handle.write("WL-HOT-ALLOC|never_matches.cc|*|*\n")
+        proc, diags = run_lint(tool, fixtures_dir, "hot_alloc.cc",
+                               ["--baseline", suppress_all])
+        check(proc.returncode == 0,
+              f"baselined run exits 0 (got {proc.returncode})")
+        check(not diags, f"baselined run reports nothing (got {diags})")
+        check("stale baseline entry" in proc.stderr,
+              "unused baseline entries are reported as stale")
+
+        print("baseline: --update-baseline round-trip")
+        generated = os.path.join(tmp, "generated.txt")
+        run_lint(tool, fixtures_dir, "hot_alloc.cc",
+                 ["--update-baseline", generated])
+        check(os.path.exists(generated), "baseline file written")
+        proc, diags = run_lint(tool, fixtures_dir, "hot_alloc.cc",
+                               ["--baseline", generated])
+        check(proc.returncode == 0 and not diags,
+              "generated baseline suppresses the run that made it")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    tool = sys.argv[1]
+    fixtures_dir = os.path.realpath(sys.argv[2])
+
+    fixtures = sorted(f for f in os.listdir(fixtures_dir)
+                      if f.endswith(".cc"))
+    if not fixtures:
+        print(f"no fixtures in {fixtures_dir}")
+        return 2
+    for fixture in fixtures:
+        test_fixture(tool, fixtures_dir, fixture)
+    test_baseline(tool, fixtures_dir)
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed")
+        return 1
+    print("\nall checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1164 @@
+/**
+ * @file
+ * wbsim-lint: a libclang-based checker for the simulator's hot-path
+ * discipline (DESIGN.md §10).
+ *
+ * The simulator's performance model depends on source-level contracts
+ * that the compiler cannot enforce by itself:
+ *
+ *  - WL-HOT-ALLOC   functions annotated `wbsim::hot` — and everything
+ *                   they transitively call inside the project — must
+ *                   not allocate: no operator new/delete, no malloc,
+ *                   no growing std containers.
+ *  - WL-HOT-VIRTUAL the same closure must not dispatch virtually,
+ *                   except through interfaces annotated
+ *                   `wbsim::devirt_ok` (the documented trigger/victim
+ *                   escape hatches) or through `final` methods and
+ *                   classes, which the optimiser devirtualizes.
+ *  - WL-ENUM-TABLE  every enum that has a `*Name()` / `parse*()`
+ *                   string mapping must have at least one complete
+ *                   table: a switch or a file-scope name table that
+ *                   mentions every enumerator.
+ *  - WL-PUB-UNIQUE  every MetricsRegistry handle field is published
+ *                   (add/set/sample) from exactly one source site, so
+ *                   a metric's meaning can be read off one location.
+ *
+ * Traversal stops at functions annotated `wbsim::cold` (diagnostic
+ * and cross-check paths, which allocate freely by design).
+ *
+ * The tool is a plain libclang C-API client: it loads a CMake
+ * compile_commands.json (`-p <build-dir>`), parses every matching
+ * translation unit, merges per-TU facts by USR, and evaluates the
+ * rules over the merged program. Known, justified violations live in
+ * a baseline file ('|'-separated keys, '*' wildcards); everything
+ * else is an error. See tools/wbsim_lint/README.md.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <clang-c/CXCompilationDatabase.h>
+#include <clang-c/Index.h>
+
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Small libclang helpers
+// ---------------------------------------------------------------------
+
+/** Take ownership of a CXString and return it as a std::string. */
+std::string
+str(CXString s)
+{
+    const char *c = clang_getCString(s);
+    std::string out = c != nullptr ? c : "";
+    clang_disposeString(s);
+    return out;
+}
+
+/** Expansion location of a cursor as (file, line). */
+void
+cursorLocation(CXCursor cursor, std::string &file, unsigned &line)
+{
+    CXSourceLocation loc = clang_getCursorLocation(cursor);
+    CXFile cxfile;
+    unsigned column = 0, offset = 0;
+    line = 0;
+    clang_getExpansionLocation(loc, &cxfile, &line, &column, &offset);
+    if (cxfile == nullptr) {
+        file.clear();
+        return;
+    }
+    file = str(clang_File_tryGetRealPathName(cxfile));
+    if (file.empty())
+        file = str(clang_getFileName(cxfile));
+}
+
+bool
+isFunctionKind(CXCursorKind kind)
+{
+    switch (kind) {
+      case CXCursor_FunctionDecl:
+      case CXCursor_CXXMethod:
+      case CXCursor_Constructor:
+      case CXCursor_Destructor:
+      case CXCursor_ConversionFunction:
+      case CXCursor_FunctionTemplate:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * The canonical identity of a function across translation units:
+ * its USR, with template specializations folded back onto their
+ * pattern so attributes written on the template cover every
+ * instantiation.
+ */
+std::string
+functionUsr(CXCursor cursor)
+{
+    CXCursor pattern = clang_getSpecializedCursorTemplate(cursor);
+    if (!clang_Cursor_isNull(pattern)
+        && !clang_isInvalid(clang_getCursorKind(pattern))) {
+        cursor = pattern;
+    }
+    return str(clang_getCursorUSR(cursor));
+}
+
+/** "Class::name" when the semantic parent is a record, else "name". */
+std::string
+qualifiedName(CXCursor cursor)
+{
+    std::string name = str(clang_getCursorSpelling(cursor));
+    CXCursor parent = clang_getCursorSemanticParent(cursor);
+    switch (clang_getCursorKind(parent)) {
+      case CXCursor_ClassDecl:
+      case CXCursor_StructDecl:
+      case CXCursor_ClassTemplate:
+      case CXCursor_ClassTemplatePartialSpecialization:
+        return str(clang_getCursorSpelling(parent)) + "::" + name;
+      default:
+        return name;
+    }
+}
+
+/** Annotations present on one declaration cursor. */
+struct Annotations
+{
+    bool hot = false;
+    bool cold = false;
+    bool devirtOk = false;
+    bool isFinal = false;
+};
+
+CXChildVisitResult
+annotationVisitor(CXCursor cursor, CXCursor, CXClientData data)
+{
+    auto *out = static_cast<Annotations *>(data);
+    CXCursorKind kind = clang_getCursorKind(cursor);
+    if (kind == CXCursor_AnnotateAttr) {
+        std::string text = str(clang_getCursorSpelling(cursor));
+        if (text == "wbsim::hot")
+            out->hot = true;
+        else if (text == "wbsim::cold")
+            out->cold = true;
+        else if (text == "wbsim::devirt_ok")
+            out->devirtOk = true;
+    } else if (kind == CXCursor_CXXFinalAttr) {
+        out->isFinal = true;
+    }
+    return CXChildVisit_Continue;
+}
+
+Annotations
+annotationsOf(CXCursor cursor)
+{
+    Annotations out;
+    clang_visitChildren(cursor, annotationVisitor, &out);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Merged program model
+// ---------------------------------------------------------------------
+
+/** One would-be diagnostic inside a function body. */
+struct BodySite
+{
+    std::string file;
+    unsigned line = 0;
+    std::string detail; //!< callee or handle, for messages and keys
+};
+
+/** Everything known about one function, merged across TUs. */
+struct Func
+{
+    std::string qual;      //!< display name ("Class::method")
+    std::string file;      //!< definition (or first decl) location
+    unsigned line = 0;
+    bool hot = false;      //!< wbsim::hot on any declaration
+    bool cold = false;     //!< wbsim::cold on any declaration
+    bool defined = false;  //!< body seen in some project TU
+    bool bodyDone = false; //!< body facts already collected once
+    std::set<std::string> callees;   //!< USRs of resolved callees
+    std::vector<BodySite> allocs;    //!< allocating calls in the body
+    std::vector<BodySite> virtuals;  //!< virtual dispatches in body
+};
+
+/** One enum that may need a complete name table. */
+struct EnumInfo
+{
+    std::string name;
+    std::string file;
+    unsigned line = 0;
+    std::set<std::string> enumerators;
+    bool needsTable = false; //!< has a *Name()/parse*() mapping
+};
+
+/** One switch or table initializer that names enumerators of E. */
+struct Coverage
+{
+    std::string file;
+    unsigned line = 0;
+    std::string entity; //!< enclosing function or variable
+    std::set<std::string> covered;
+};
+
+/** One MetricsRegistry add/set/sample call on a handle field. */
+struct PublishSite
+{
+    std::string file;
+    unsigned line = 0;
+    std::string entity;
+    std::string handle; //!< handle field spelling
+};
+
+struct Program
+{
+    std::map<std::string, Func> funcs;          //!< by USR
+    std::map<std::string, EnumInfo> enums;      //!< by USR
+    std::map<std::string, std::vector<Coverage>> coverage; //!< enum USR
+    //! handle USR -> site key "file:line" -> site
+    std::map<std::string, std::map<std::string, PublishSite>> publishes;
+};
+
+/** Names of std members that (may) allocate on the hot path. */
+const std::set<std::string> &
+allocatingMembers()
+{
+    static const std::set<std::string> names = {
+        "push_back",    "emplace_back",  "push_front", "emplace_front",
+        "insert",       "emplace",       "emplace_hint",
+        "resize",       "reserve",       "assign",     "append",
+        "push",         "operator+=",
+    };
+    return names;
+}
+
+/** Free functions that allocate. */
+const std::set<std::string> &
+allocatingFunctions()
+{
+    static const std::set<std::string> names = {
+        "malloc",        "calloc",  "realloc", "strdup",
+        "aligned_alloc", "operator new", "operator new[]",
+    };
+    return names;
+}
+
+bool
+usrInStd(const std::string &usr)
+{
+    return usr.rfind("c:@N@std@", 0) == 0;
+}
+
+/** True when a resolved callee is an allocating entry point. */
+bool
+isAllocatingCallee(CXCursor callee, const std::string &usr,
+                   const std::string &spelling)
+{
+    if (allocatingFunctions().count(spelling) != 0)
+        return true;
+    if (!usrInStd(usr))
+        return false;
+    if (allocatingMembers().count(spelling) != 0)
+        return true;
+    // std::map/unordered_map::operator[] inserts; the vector and
+    // string subscripts do not.
+    if (spelling == "operator[]") {
+        CXCursor parent = clang_getCursorSemanticParent(callee);
+        std::string cls = str(clang_getCursorSpelling(parent));
+        return cls == "map" || cls == "unordered_map";
+    }
+    return false;
+}
+
+/**
+ * True when virtual dispatch through @p method is an accepted
+ * devirtualization point: the method or its class is `final`, or
+ * either carries the wbsim::devirt_ok annotation.
+ */
+bool
+isDevirtExempt(CXCursor method)
+{
+    Annotations m = annotationsOf(method);
+    if (m.devirtOk || m.isFinal)
+        return true;
+    CXCursor cls = clang_getCursorSemanticParent(method);
+    Annotations c = annotationsOf(cls);
+    return c.devirtOk || c.isFinal;
+}
+
+// ---------------------------------------------------------------------
+// TU traversal
+// ---------------------------------------------------------------------
+
+struct WalkContext
+{
+    Program *program = nullptr;
+    std::vector<std::string> roots; //!< absolute project prefixes
+    //! innermost enclosing project function definition (USR), if any
+    std::string currentUsr;
+    std::string currentQual;
+    //! true when the current function's body facts are fresh (first
+    //! definition seen) rather than a redundant re-parse
+    bool recordBody = false;
+};
+
+bool
+inProject(const WalkContext &ctx, const std::string &file)
+{
+    for (const std::string &root : ctx.roots) {
+        if (file.rfind(root, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+CXChildVisitResult walkVisitor(CXCursor, CXCursor, CXClientData);
+
+void
+walkChildren(CXCursor cursor, WalkContext &ctx)
+{
+    clang_visitChildren(cursor, walkVisitor, &ctx);
+}
+
+/** First FieldDecl/file-scope-VarDecl reference under an expr. */
+struct HandleSearch
+{
+    CXCursor found;
+    bool ok = false;
+};
+
+CXChildVisitResult
+handleVisitor(CXCursor cursor, CXCursor, CXClientData data)
+{
+    auto *out = static_cast<HandleSearch *>(data);
+    CXCursorKind kind = clang_getCursorKind(cursor);
+    if (kind == CXCursor_MemberRefExpr || kind == CXCursor_DeclRefExpr) {
+        CXCursor ref = clang_getCursorReferenced(cursor);
+        CXCursorKind refKind = clang_getCursorKind(ref);
+        if (refKind == CXCursor_FieldDecl
+            || refKind == CXCursor_VarDecl) {
+            out->found = ref;
+            out->ok = true;
+            return CXChildVisit_Break;
+        }
+    }
+    return CXChildVisit_Recurse;
+}
+
+/** Collect enumerator references grouped by their enum's USR. */
+struct EnumRefs
+{
+    std::map<std::string, std::set<std::string>> byEnum;
+};
+
+CXChildVisitResult
+enumRefVisitor(CXCursor cursor, CXCursor, CXClientData data)
+{
+    auto *out = static_cast<EnumRefs *>(data);
+    if (clang_getCursorKind(cursor) == CXCursor_DeclRefExpr) {
+        CXCursor ref = clang_getCursorReferenced(cursor);
+        if (clang_getCursorKind(ref) == CXCursor_EnumConstantDecl) {
+            CXCursor enumDecl = clang_getCursorSemanticParent(ref);
+            out->byEnum[str(clang_getCursorUSR(enumDecl))].insert(
+                str(clang_getCursorSpelling(ref)));
+        }
+    }
+    return CXChildVisit_Recurse;
+}
+
+/** Gather the label expression of each `case` under a switch. */
+struct CaseLabels
+{
+    EnumRefs refs;
+};
+
+CXChildVisitResult
+caseLabelExprVisitor(CXCursor cursor, CXCursor, CXClientData data)
+{
+    // Only the first child of a CaseStmt is the label expression;
+    // stop after it so enumerators used in the case *body* (e.g.
+    // `return Channel::X;`) do not count as table coverage.
+    clang_visitChildren(cursor, enumRefVisitor, data);
+    return CXChildVisit_Break;
+}
+
+CXChildVisitResult
+switchVisitor(CXCursor cursor, CXCursor, CXClientData data)
+{
+    auto *out = static_cast<CaseLabels *>(data);
+    if (clang_getCursorKind(cursor) == CXCursor_CaseStmt) {
+        clang_visitChildren(cursor, caseLabelExprVisitor, &out->refs);
+    }
+    return CXChildVisit_Recurse;
+}
+
+/** If @p type (canonically) is an enum, return its decl's USR. */
+std::string
+enumUsrOfType(CXType type)
+{
+    CXType canon = clang_getCanonicalType(type);
+    if (canon.kind != CXType_Enum)
+        return "";
+    return str(clang_getCursorUSR(clang_getTypeDeclaration(canon)));
+}
+
+void
+noteNameTableNeed(WalkContext &ctx, CXCursor fn,
+                  const std::string &spelling)
+{
+    bool nameLike = spelling.size() > 4
+        && spelling.compare(spelling.size() - 4, 4, "Name") == 0;
+    bool parseLike = spelling.rfind("parse", 0) == 0
+        && spelling.size() > 5;
+    if (!nameLike && !parseLike)
+        return;
+
+    std::string enumUsr;
+    if (nameLike) {
+        if (clang_Cursor_getNumArguments(fn) < 1)
+            return;
+        CXCursor arg0 = clang_Cursor_getArgument(fn, 0);
+        enumUsr = enumUsrOfType(clang_getCursorType(arg0));
+    } else {
+        enumUsr = enumUsrOfType(clang_getCursorResultType(fn));
+    }
+    if (enumUsr.empty())
+        return;
+
+    // The enum may not have been visited yet (forward include
+    // order); create the slot and let the EnumDecl visit fill it.
+    ctx.program->enums[enumUsr].needsTable = true;
+}
+
+void
+visitEnumDecl(WalkContext &ctx, CXCursor cursor,
+              const std::string &file, unsigned line)
+{
+    EnumInfo &info = ctx.program->enums[str(clang_getCursorUSR(cursor))];
+    if (info.name.empty()) {
+        info.name = str(clang_getCursorSpelling(cursor));
+        info.file = file;
+        info.line = line;
+    }
+    clang_visitChildren(
+        cursor,
+        [](CXCursor c, CXCursor, CXClientData data) {
+            if (clang_getCursorKind(c) == CXCursor_EnumConstantDecl) {
+                static_cast<EnumInfo *>(data)->enumerators.insert(
+                    str(clang_getCursorSpelling(c)));
+            }
+            return CXChildVisit_Continue;
+        },
+        &info);
+}
+
+void
+visitCall(WalkContext &ctx, CXCursor cursor, const std::string &file,
+          unsigned line)
+{
+    Func &fn = ctx.program->funcs[ctx.currentUsr];
+    CXCursor callee = clang_getCursorReferenced(cursor);
+
+    if (clang_Cursor_isNull(callee)
+        || clang_isInvalid(clang_getCursorKind(callee))) {
+        // Dependent call in a template pattern: fall back to the
+        // spelled member name for the allocation check.
+        std::string spelling = str(clang_getCursorSpelling(cursor));
+        if (ctx.recordBody
+            && allocatingMembers().count(spelling) != 0) {
+            fn.allocs.push_back({file, line, spelling + " (dependent)"});
+        }
+        return;
+    }
+    if (!isFunctionKind(clang_getCursorKind(callee)))
+        return;
+
+    std::string calleeUsr = functionUsr(callee);
+    std::string spelling = str(clang_getCursorSpelling(callee));
+
+    if (ctx.recordBody) {
+        if (isAllocatingCallee(callee, calleeUsr, spelling))
+            fn.allocs.push_back({file, line, qualifiedName(callee)});
+
+        if (clang_CXXMethod_isVirtual(callee) != 0
+            && clang_Cursor_isDynamicCall(cursor) != 0
+            && !isDevirtExempt(callee)) {
+            fn.virtuals.push_back({file, line, qualifiedName(callee)});
+        }
+
+        fn.callees.insert(calleeUsr);
+    }
+
+    // WL-PUB-UNIQUE: a MetricsRegistry publish call. Tracked for
+    // every project body (not only hot ones), deduped by site.
+    if ((spelling == "add" || spelling == "set" || spelling == "sample")
+        && str(clang_getCursorSpelling(
+               clang_getCursorSemanticParent(callee)))
+            == "MetricsRegistry"
+        && clang_Cursor_getNumArguments(cursor) >= 1) {
+        HandleSearch search;
+        CXCursor arg0 = clang_Cursor_getArgument(cursor, 0);
+        clang_visitChildren(arg0, handleVisitor, &search);
+        if (!search.ok) {
+            // The argument may itself be the reference.
+            handleVisitor(arg0, cursor, &search);
+        }
+        if (search.ok) {
+            std::string handleUsr = str(clang_getCursorUSR(search.found));
+            if (!handleUsr.empty()) {
+                std::ostringstream key;
+                key << file << ":" << line;
+                ctx.program->publishes[handleUsr].emplace(
+                    key.str(),
+                    PublishSite{file, line, ctx.currentQual,
+                                str(clang_getCursorSpelling(
+                                    search.found))});
+            }
+        }
+    }
+}
+
+void
+visitFunctionDecl(WalkContext &ctx, CXCursor cursor,
+                  const std::string &file, unsigned line)
+{
+    std::string usr = functionUsr(cursor);
+    if (usr.empty())
+        return;
+    Func &fn = ctx.program->funcs[usr];
+
+    Annotations attrs = annotationsOf(cursor);
+    fn.hot = fn.hot || attrs.hot;
+    fn.cold = fn.cold || attrs.cold;
+    if (fn.qual.empty())
+        fn.qual = qualifiedName(cursor);
+    if (fn.file.empty() || (!fn.defined && clang_isCursorDefinition(cursor))) {
+        fn.file = file;
+        fn.line = line;
+    }
+
+    noteNameTableNeed(ctx, cursor, str(clang_getCursorSpelling(cursor)));
+
+    if (!clang_isCursorDefinition(cursor))
+        return;
+
+    // Each body is analyzed once; inline functions reappear in every
+    // TU that includes their header.
+    bool fresh = !fn.bodyDone;
+    fn.bodyDone = true;
+    fn.defined = true;
+
+    std::string prevUsr = ctx.currentUsr;
+    std::string prevQual = ctx.currentQual;
+    bool prevRecord = ctx.recordBody;
+    ctx.currentUsr = usr;
+    ctx.currentQual = fn.qual;
+    ctx.recordBody = fresh;
+    walkChildren(cursor, ctx);
+    ctx.currentUsr = prevUsr;
+    ctx.currentQual = prevQual;
+    ctx.recordBody = prevRecord;
+}
+
+CXChildVisitResult
+walkVisitor(CXCursor cursor, CXCursor, CXClientData data)
+{
+    auto &ctx = *static_cast<WalkContext *>(data);
+    CXCursorKind kind = clang_getCursorKind(cursor);
+
+    // Containers: always descend.
+    switch (kind) {
+      case CXCursor_Namespace:
+      case CXCursor_ClassDecl:
+      case CXCursor_StructDecl:
+      case CXCursor_ClassTemplate:
+      case CXCursor_ClassTemplatePartialSpecialization:
+      case CXCursor_UnexposedDecl: // extern "C", etc.
+      case CXCursor_LinkageSpec:
+        return CXChildVisit_Recurse;
+      default:
+        break;
+    }
+
+    std::string file;
+    unsigned line = 0;
+    cursorLocation(cursor, file, line);
+    bool project = inProject(ctx, file);
+
+    if (isFunctionKind(kind)) {
+        if (!project)
+            return CXChildVisit_Continue;
+        visitFunctionDecl(ctx, cursor, file, line);
+        return CXChildVisit_Continue;
+    }
+
+    if (kind == CXCursor_EnumDecl) {
+        if (project && clang_isCursorDefinition(cursor))
+            visitEnumDecl(ctx, cursor, file, line);
+        return CXChildVisit_Continue;
+    }
+
+    if (kind == CXCursor_VarDecl && ctx.currentUsr.empty()) {
+        // File-scope variable: a candidate name table (WL-ENUM-TABLE)
+        // when its initializer mentions enumerators.
+        if (project) {
+            EnumRefs refs;
+            clang_visitChildren(cursor, enumRefVisitor, &refs);
+            for (auto &[enumUsr, covered] : refs.byEnum) {
+                ctx.program->coverage[enumUsr].push_back(
+                    {file, line, str(clang_getCursorSpelling(cursor)),
+                     covered});
+            }
+        }
+        return CXChildVisit_Continue;
+    }
+
+    // Inside a function body.
+    if (!ctx.currentUsr.empty() && project) {
+        if (kind == CXCursor_CallExpr) {
+            visitCall(ctx, cursor, file, line);
+            walkChildren(cursor, ctx); // nested calls and lambdas
+            return CXChildVisit_Continue;
+        }
+        if (kind == CXCursor_CXXNewExpr && ctx.recordBody) {
+            ctx.program->funcs[ctx.currentUsr].allocs.push_back(
+                {file, line, "operator new"});
+            return CXChildVisit_Recurse;
+        }
+        if (kind == CXCursor_CXXDeleteExpr && ctx.recordBody) {
+            ctx.program->funcs[ctx.currentUsr].allocs.push_back(
+                {file, line, "operator delete"});
+            return CXChildVisit_Recurse;
+        }
+        if (kind == CXCursor_SwitchStmt && ctx.recordBody) {
+            CaseLabels labels;
+            clang_visitChildren(cursor, switchVisitor, &labels);
+            for (auto &[enumUsr, covered] : labels.refs.byEnum) {
+                ctx.program->coverage[enumUsr].push_back(
+                    {file, line, ctx.currentQual, covered});
+            }
+            // fall through to recurse for nested calls
+        }
+    }
+
+    return CXChildVisit_Recurse;
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics, baseline, rules
+// ---------------------------------------------------------------------
+
+struct Diagnostic
+{
+    std::string rule;
+    std::string file;
+    unsigned line = 0;
+    std::string entity;
+    std::string detail;
+    std::string message;
+};
+
+std::string
+baseName(const std::string &path)
+{
+    std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string
+diagKey(const Diagnostic &d)
+{
+    return d.rule + "|" + baseName(d.file) + "|" + d.entity + "|"
+        + d.detail;
+}
+
+/** Glob match supporting '*' only (enough for baseline entries). */
+bool
+globMatch(const char *pattern, const char *text)
+{
+    if (*pattern == '\0')
+        return *text == '\0';
+    if (*pattern == '*') {
+        for (const char *t = text;; ++t) {
+            if (globMatch(pattern + 1, t))
+                return true;
+            if (*t == '\0')
+                return false;
+        }
+    }
+    return *pattern == *text && globMatch(pattern + 1, text + 1);
+}
+
+struct Baseline
+{
+    std::vector<std::string> patterns;
+    std::vector<bool> used;
+
+    bool
+    matches(const std::string &key)
+    {
+        for (std::size_t i = 0; i < patterns.size(); ++i) {
+            if (globMatch(patterns[i].c_str(), key.c_str())) {
+                used[i] = true;
+                return true;
+            }
+        }
+        return false;
+    }
+};
+
+bool
+loadBaseline(const std::string &path, Baseline &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string lineText;
+    while (std::getline(in, lineText)) {
+        std::size_t start = lineText.find_first_not_of(" \t");
+        if (start == std::string::npos || lineText[start] == '#')
+            continue;
+        std::size_t end = lineText.find_last_not_of(" \t\r");
+        out.patterns.push_back(lineText.substr(start, end - start + 1));
+        out.used.push_back(false);
+    }
+    return true;
+}
+
+/**
+ * Walk the hot closure and turn recorded body facts into
+ * diagnostics. Traversal enters only project-defined functions and
+ * stops at wbsim::cold ones.
+ */
+void
+evaluateHotRules(const Program &program, std::vector<Diagnostic> &out)
+{
+    for (const auto &[rootUsr, root] : program.funcs) {
+        if (!root.hot)
+            continue;
+        std::vector<const std::string *> stack{&rootUsr};
+        std::set<std::string> visited{rootUsr};
+        while (!stack.empty()) {
+            const std::string &usr = *stack.back();
+            stack.pop_back();
+            auto it = program.funcs.find(usr);
+            if (it == program.funcs.end())
+                continue;
+            const Func &fn = it->second;
+            if (fn.cold)
+                continue;
+
+            std::string via = fn.qual == root.qual
+                ? "hot function '" + root.qual + "'"
+                : "'" + fn.qual + "' (reached from hot '" + root.qual
+                    + "')";
+            for (const BodySite &site : fn.allocs) {
+                out.push_back({"WL-HOT-ALLOC", site.file, site.line,
+                               fn.qual, site.detail,
+                               "allocating call to '" + site.detail
+                                   + "' in " + via});
+            }
+            for (const BodySite &site : fn.virtuals) {
+                out.push_back({"WL-HOT-VIRTUAL", site.file, site.line,
+                               fn.qual, site.detail,
+                               "virtual dispatch to '" + site.detail
+                                   + "' in " + via
+                                   + "; mark the interface "
+                                     "wbsim::devirt_ok or make the "
+                                     "target final"});
+            }
+            for (const std::string &callee : fn.callees) {
+                if (visited.insert(callee).second) {
+                    auto cit = program.funcs.find(callee);
+                    if (cit != program.funcs.end() && cit->second.defined)
+                        stack.push_back(&cit->first);
+                }
+            }
+        }
+    }
+}
+
+void
+evaluateEnumRule(const Program &program, std::vector<Diagnostic> &out)
+{
+    for (const auto &[usr, info] : program.enums) {
+        if (!info.needsTable || info.enumerators.empty())
+            continue;
+        auto cov = program.coverage.find(usr);
+        const Coverage *best = nullptr;
+        std::size_t bestCount = 0;
+        if (cov != program.coverage.end()) {
+            for (const Coverage &candidate : cov->second) {
+                std::size_t n = 0;
+                for (const std::string &e : candidate.covered)
+                    n += info.enumerators.count(e);
+                if (best == nullptr || n > bestCount) {
+                    best = &candidate;
+                    bestCount = n;
+                }
+            }
+        }
+        if (best == nullptr) {
+            out.push_back({"WL-ENUM-TABLE", info.file, info.line,
+                           info.name, "no-table",
+                           "enum '" + info.name
+                               + "' has a *Name()/parse*() mapping but "
+                                 "no switch or name table covers its "
+                                 "enumerators"});
+            continue;
+        }
+        std::vector<std::string> missing;
+        for (const std::string &e : info.enumerators) {
+            if (best->covered.count(e) == 0)
+                missing.push_back(e);
+        }
+        if (missing.empty())
+            continue;
+        std::string joined;
+        for (const std::string &m : missing)
+            joined += (joined.empty() ? "" : ",") + m;
+        out.push_back({"WL-ENUM-TABLE", best->file, best->line,
+                       best->entity, info.name + ":" + joined,
+                       "table '" + best->entity + "' for enum '"
+                           + info.name + "' misses enumerator(s): "
+                           + joined});
+    }
+}
+
+void
+evaluatePublishRule(const Program &program, std::vector<Diagnostic> &out)
+{
+    for (const auto &[usr, sites] : program.publishes) {
+        if (sites.size() <= 1)
+            continue;
+        std::string where;
+        for (const auto &[key, site] : sites) {
+            where += (where.empty() ? "" : ", ") + baseName(site.file)
+                + ":" + std::to_string(site.line);
+        }
+        for (const auto &[key, site] : sites) {
+            out.push_back({"WL-PUB-UNIQUE", site.file, site.line,
+                           site.entity, site.handle,
+                           "metric handle '" + site.handle
+                               + "' is published from "
+                               + std::to_string(sites.size())
+                               + " sites (" + where
+                               + "); route all publishes through one "
+                                 "helper"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing drivers
+// ---------------------------------------------------------------------
+
+struct Options
+{
+    std::string buildDir;              //!< -p (database mode)
+    std::vector<std::string> tuFilters; //!< substrings; empty = all
+    std::vector<std::string> roots;
+    std::string baselinePath;
+    std::string updateBaselinePath;
+    std::vector<std::string> files;    //!< direct mode TUs
+    std::vector<std::string> clangArgs; //!< direct mode args after --
+    bool verbose = false;
+};
+
+int parseIssues = 0;
+
+void
+reportTuDiagnostics(CXTranslationUnit tu, const std::string &name,
+                    bool verbose)
+{
+    unsigned n = clang_getNumDiagnostics(tu);
+    for (unsigned i = 0; i < n; ++i) {
+        CXDiagnostic diag = clang_getDiagnostic(tu, i);
+        CXDiagnosticSeverity sev = clang_getDiagnosticSeverity(diag);
+        if (sev >= CXDiagnostic_Error) {
+            ++parseIssues;
+            if (parseIssues <= 20 || verbose) {
+                std::string text = str(clang_formatDiagnostic(
+                    diag, clang_defaultDiagnosticDisplayOptions()));
+                std::fprintf(stderr, "wbsim-lint: [parse] %s: %s\n",
+                             name.c_str(), text.c_str());
+            }
+        }
+        clang_disposeDiagnostic(diag);
+    }
+}
+
+bool
+analyzeTu(CXIndex index, WalkContext &ctx, const char *filename,
+          const std::vector<const char *> &argv, bool fullArgv,
+          bool verbose)
+{
+    CXTranslationUnit tu = nullptr;
+    unsigned flags = CXTranslationUnit_KeepGoing;
+    CXErrorCode err = fullArgv
+        ? clang_parseTranslationUnit2FullArgv(
+              index, filename, argv.data(),
+              static_cast<int>(argv.size()), nullptr, 0, flags, &tu)
+        : clang_parseTranslationUnit2(
+              index, filename, argv.data(),
+              static_cast<int>(argv.size()), nullptr, 0, flags, &tu);
+    if (err != CXError_Success || tu == nullptr) {
+        std::fprintf(stderr,
+                     "wbsim-lint: failed to parse '%s' (error %d)\n",
+                     filename != nullptr ? filename : "<db>",
+                     static_cast<int>(err));
+        ++parseIssues;
+        return false;
+    }
+    reportTuDiagnostics(
+        tu, filename != nullptr ? filename : "<db>", verbose);
+    clang_visitChildren(clang_getTranslationUnitCursor(tu), walkVisitor,
+                        &ctx);
+    clang_disposeTranslationUnit(tu);
+    return true;
+}
+
+bool
+runDatabaseMode(CXIndex index, const Options &opts, WalkContext &ctx)
+{
+    CXCompilationDatabase_Error dbErr = CXCompilationDatabase_NoError;
+    CXCompilationDatabase db = clang_CompilationDatabase_fromDirectory(
+        opts.buildDir.c_str(), &dbErr);
+    if (dbErr != CXCompilationDatabase_NoError) {
+        std::fprintf(stderr,
+                     "wbsim-lint: no compile_commands.json in '%s'\n",
+                     opts.buildDir.c_str());
+        return false;
+    }
+    CXCompileCommands commands =
+        clang_CompilationDatabase_getAllCompileCommands(db);
+    unsigned n = clang_CompileCommands_getSize(commands);
+    unsigned parsed = 0;
+    for (unsigned i = 0; i < n; ++i) {
+        CXCompileCommand command =
+            clang_CompileCommands_getCommand(commands, i);
+        std::string file = str(clang_CompileCommand_getFilename(command));
+        if (!opts.tuFilters.empty()) {
+            bool keep = false;
+            for (const std::string &f : opts.tuFilters)
+                keep = keep || file.find(f) != std::string::npos;
+            if (!keep)
+                continue;
+        }
+
+        std::string dir = str(clang_CompileCommand_getDirectory(command));
+        if (!dir.empty() && chdir(dir.c_str()) != 0) {
+            std::fprintf(stderr, "wbsim-lint: cannot chdir to '%s'\n",
+                         dir.c_str());
+            ++parseIssues;
+            continue;
+        }
+
+        unsigned nargs = clang_CompileCommand_getNumArgs(command);
+        std::vector<std::string> args;
+        args.reserve(nargs);
+        for (unsigned a = 0; a < nargs; ++a)
+            args.push_back(str(clang_CompileCommand_getArg(command, a)));
+        std::vector<const char *> argv;
+        argv.reserve(args.size());
+        for (const std::string &a : args)
+            argv.push_back(a.c_str());
+
+        if (opts.verbose)
+            std::fprintf(stderr, "wbsim-lint: parsing %s\n",
+                         file.c_str());
+        analyzeTu(index, ctx, nullptr, argv, /*fullArgv=*/true,
+                  opts.verbose);
+        ++parsed;
+    }
+    clang_CompileCommands_dispose(commands);
+    clang_CompilationDatabase_dispose(db);
+    if (parsed == 0) {
+        std::fprintf(stderr,
+                     "wbsim-lint: no translation units matched\n");
+        return false;
+    }
+    if (opts.verbose)
+        std::fprintf(stderr, "wbsim-lint: parsed %u TUs\n", parsed);
+    return true;
+}
+
+bool
+runDirectMode(CXIndex index, const Options &opts, WalkContext &ctx)
+{
+    std::vector<const char *> argv;
+    argv.reserve(opts.clangArgs.size());
+    for (const std::string &a : opts.clangArgs)
+        argv.push_back(a.c_str());
+    bool any = false;
+    for (const std::string &file : opts.files) {
+        any = analyzeTu(index, ctx, file.c_str(), argv,
+                        /*fullArgv=*/false, opts.verbose)
+            || any;
+    }
+    return any;
+}
+
+std::string
+absolutePath(const std::string &path)
+{
+    if (!path.empty() && path[0] == '/')
+        return path;
+    char buf[4096];
+    if (getcwd(buf, sizeof buf) == nullptr)
+        return path;
+    return std::string(buf) + "/" + path;
+}
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: wbsim_lint -p <build-dir> --root <dir> [options]\n"
+        "       wbsim_lint --root <dir> [options] file.cc... -- "
+        "<clang args>\n"
+        "options:\n"
+        "  -p <dir>               load <dir>/compile_commands.json\n"
+        "  --root <dir>           project root (repeatable); only\n"
+        "                         code under a root is analyzed\n"
+        "  --tu-filter <substr>   only parse TUs whose path contains\n"
+        "                         <substr> (repeatable)\n"
+        "  --baseline <file>      suppress diagnostics matching keys\n"
+        "  --update-baseline <f>  write current diagnostic keys to f\n"
+        "  --verbose              narrate parsing\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    bool afterDashes = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (afterDashes) {
+            opts.clangArgs.push_back(arg);
+        } else if (arg == "--") {
+            afterDashes = true;
+        } else if (arg == "-p" && i + 1 < argc) {
+            opts.buildDir = argv[++i];
+        } else if (arg == "--root" && i + 1 < argc) {
+            opts.roots.push_back(absolutePath(argv[++i]));
+        } else if (arg == "--tu-filter" && i + 1 < argc) {
+            opts.tuFilters.push_back(argv[++i]);
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            opts.baselinePath = argv[++i];
+        } else if (arg == "--update-baseline" && i + 1 < argc) {
+            opts.updateBaselinePath = argv[++i];
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "wbsim-lint: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        } else {
+            opts.files.push_back(absolutePath(arg));
+        }
+    }
+    if (opts.roots.empty() || (opts.buildDir.empty() && opts.files.empty()))
+        return usage();
+
+    // Normalize roots through realpath-style absolute form; cursor
+    // locations come back as real paths.
+    Baseline baseline;
+    if (!opts.baselinePath.empty()) {
+        std::string path = absolutePath(opts.baselinePath);
+        if (!loadBaseline(path, baseline)) {
+            std::fprintf(stderr,
+                         "wbsim-lint: cannot read baseline '%s'\n",
+                         path.c_str());
+            return 2;
+        }
+    }
+    std::string updatePath = opts.updateBaselinePath.empty()
+        ? ""
+        : absolutePath(opts.updateBaselinePath);
+
+    Program program;
+    WalkContext ctx;
+    ctx.program = &program;
+    ctx.roots = opts.roots;
+
+    CXIndex index = clang_createIndex(/*excludePCH=*/0,
+                                      /*displayDiagnostics=*/0);
+    bool ok = opts.buildDir.empty()
+        ? runDirectMode(index, opts, ctx)
+        : runDatabaseMode(index, opts, ctx);
+    clang_disposeIndex(index);
+    if (!ok)
+        return 2;
+
+    std::vector<Diagnostic> diags;
+    evaluateHotRules(program, diags);
+    evaluateEnumRule(program, diags);
+    evaluatePublishRule(program, diags);
+
+    // Dedup (a site can be reachable from several hot roots and a
+    // header parses in many TUs), then order for stable output.
+    std::map<std::string, Diagnostic> unique;
+    for (Diagnostic &d : diags) {
+        unique.emplace(d.file + ":" + std::to_string(d.line) + ":"
+                           + d.rule + ":" + d.detail,
+                       std::move(d));
+    }
+
+    if (!updatePath.empty()) {
+        std::ofstream out(updatePath);
+        out << "# wbsim-lint baseline: one '|'-separated key per "
+               "line, '*' wildcards.\n"
+            << "# key = RULE|file-basename|entity|detail\n";
+        std::set<std::string> keys;
+        for (const auto &[sortKey, d] : unique)
+            keys.insert(diagKey(d));
+        for (const std::string &k : keys)
+            out << k << "\n";
+        std::fprintf(stderr, "wbsim-lint: wrote %zu baseline keys\n",
+                     keys.size());
+    }
+
+    unsigned reported = 0, suppressed = 0;
+    for (const auto &[sortKey, d] : unique) {
+        if (baseline.matches(diagKey(d))) {
+            ++suppressed;
+            continue;
+        }
+        ++reported;
+        std::printf("%s:%u: error: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+    }
+    for (std::size_t i = 0; i < baseline.patterns.size(); ++i) {
+        if (!baseline.used[i]) {
+            std::fprintf(stderr,
+                         "wbsim-lint: note: stale baseline entry: %s\n",
+                         baseline.patterns[i].c_str());
+        }
+    }
+    std::printf(
+        "wbsim-lint: %u diagnostic(s), %u baselined, %d parse "
+        "issue(s)\n",
+        reported, suppressed, parseIssues);
+    return reported == 0 ? 0 : 1;
+}
