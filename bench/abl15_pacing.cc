@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Ablation A15 (DESIGN.md §11): smooth (token-bucket paced) vs
+ * bursty (evict-driven) drain on the write cache.
+ *
+ * The standard grid report shows the mean stall picture; the point
+ * of the experiment is the second table, which re-runs every cell
+ * with metrics attached and reports the *tail*: p99 of the
+ * buffer-full and load-hazard stall-episode distributions, episodes
+ * per 10k cycles, and the longest single episode. Evict-only drain
+ * stalls exactly when a store (or a flush-full hazard) is already
+ * waiting, so its hazard flushes write a nearly-full cache back
+ * while the load sits; pacing keeps occupancy low, shortening the
+ * hazard tail (and here even the mean) for the same write traffic.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "figure_bench.hh"
+#include "harness/figures.hh"
+#include "harness/report.hh"
+
+namespace
+{
+
+using namespace wbsim;
+
+/** Tail measures of one (benchmark, variant) cell. */
+struct TailRow
+{
+    double cpi = 0.0;
+    stats::Quantile p99Full;
+    stats::Quantile p99Hazard;
+    double episodesPer10k = 0.0;
+    Count maxEpisode = 0;
+};
+
+/** p99 of the named stall histogram, or {0, false} if never hit. */
+stats::Quantile
+histogramP99(const obs::MetricsRegistry &metrics,
+             const std::string &name)
+{
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        if (metrics.kind(i) == obs::MetricKind::Histogram
+            && metrics.name(i) == name)
+            return metrics.histogramValue(i).quantileWithOverflow(0.99);
+    }
+    return {};
+}
+
+/** "123" or "256+" when the quantile sits in the overflow bucket. */
+std::string
+quantileText(const stats::Quantile &q)
+{
+    std::string text = std::to_string(static_cast<Count>(q.value));
+    if (q.overflowed)
+        text += "+";
+    return text;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace wbsim;
+
+    Options cli = bench::parseArtifactFlags(argc, argv);
+    Experiment exp = figures::ablationPacing();
+    if (envUint("WBSIM_CROSSCHECK", 0) != 0)
+        for (ConfigVariant &variant : exp.variants)
+            variant.machine.writeBuffer.crossCheck = true;
+
+    RunnerOptions options = RunnerOptions::fromEnvironment();
+    auto profiles = spec92::allProfiles();
+
+    // Every cell runs uncached with its own metrics registry: the
+    // tail table needs the episode histograms, and the SimResults it
+    // produces are bit-identical to the cached grid path.
+    ExperimentResults results(
+        profiles.size(),
+        std::vector<SimResults>(exp.variants.size()));
+    std::vector<std::vector<TailRow>> tails(
+        profiles.size(), std::vector<TailRow>(exp.variants.size()));
+    for (std::size_t b = 0; b < profiles.size(); ++b) {
+        for (std::size_t v = 0; v < exp.variants.size(); ++v) {
+            obs::MetricsRegistry metrics;
+            obs::ObsSink sink{&metrics, nullptr, nullptr};
+            SimResults r =
+                runOne(profiles[b], exp.variants[v].machine,
+                       options.instructions, options.seed,
+                       options.warmup, sink);
+            results[b][v] = r;
+            TailRow &row = tails[b][v];
+            row.cpi = stats::ratio(r.cycles, r.instructions);
+            row.p99Full = histogramP99(metrics, "sim.stall.buffer_full");
+            row.p99Hazard = histogramP99(metrics, "sim.stall.hazard");
+            row.episodesPer10k = r.stallEpisodesPer10k();
+            row.maxEpisode = r.maxStallEpisode();
+        }
+    }
+
+    bool stdout_artifact =
+        cli.get("json") == "-" || cli.get("csv") == "-";
+    if (!stdout_artifact) {
+        ReportOptions report;
+        report.extended = true;
+        report.csv = envUint("WBSIM_CSV", 0) != 0;
+        printExperimentReport(std::cout, exp, profiles, results,
+                              report);
+
+        std::cout << "\nTail metrics (stall-episode distributions, "
+                     "measured region)\n";
+        for (std::size_t b = 0; b < profiles.size(); ++b) {
+            std::cout << "  " << profiles[b].name << "\n";
+            std::cout << "    " << std::left << std::setw(14)
+                      << "variant" << std::right << std::setw(8)
+                      << "CPI" << std::setw(10) << "p99full"
+                      << std::setw(10) << "p99hzrd" << std::setw(10)
+                      << "ep/10k" << std::setw(8) << "maxep" << "\n";
+            for (std::size_t v = 0; v < exp.variants.size(); ++v) {
+                const TailRow &row = tails[b][v];
+                std::cout << "    " << std::left << std::setw(14)
+                          << exp.variants[v].label << std::right
+                          << std::setw(8) << std::fixed
+                          << std::setprecision(3) << row.cpi
+                          << std::setw(10) << quantileText(row.p99Full)
+                          << std::setw(10) << quantileText(row.p99Hazard)
+                          << std::setw(10) << std::setprecision(1)
+                          << row.episodesPer10k << std::setw(8)
+                          << row.maxEpisode << "\n";
+            }
+        }
+        std::cout << "(instructions=" << options.instructions
+                  << " warmup=" << options.warmup << " seed="
+                  << options.seed << ")\n";
+    }
+
+    std::vector<std::string> benchmarks;
+    for (const BenchmarkProfile &profile : profiles)
+        benchmarks.push_back(profile.name);
+    std::vector<std::string> variants;
+    for (const ConfigVariant &variant : exp.variants)
+        variants.push_back(variant.label);
+    bench::writeGridArtifacts(cli, exp.id, exp.title, benchmarks,
+                              variants, results,
+                              exp.variants.front().machine, options);
+    return 0;
+}

@@ -162,7 +162,7 @@ runFigure(const Experiment &experiment, int argc,
                 "variant (flush-full, flush-partial, flush-item-only, "
                 "read-from-WB)");
     cli.declare("retire-mode", "override the retirement mode on every "
-                "variant (occupancy, fixed-rate)");
+                "variant (occupancy, fixed-rate, paced)");
     cli.declare("retire-order", "override the retirement order on "
                 "every variant (fifo, fullest-first)");
     cli.declare("help", "print this help", "", true);

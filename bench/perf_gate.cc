@@ -12,6 +12,18 @@
  *
  *   WBSIM_PERF_SMOKE=1   short run (CI smoke; numbers still emitted)
  *   WBSIM_PERF_OUT=path  output file (default BENCH_core.json)
+ *
+ * Beyond the wall-clock lanes, the gate carries a *tail* lane: a
+ * fixed, deterministic simulation whose stall-episode p99s and
+ * episode counts are compared against the committed baseline when
+ * WBSIM_PERF_BASELINE points at one. Tail regressions fail the gate
+ * even when the means are flat (DESIGN.md §11). Extra knobs:
+ *
+ *   WBSIM_PERF_BASELINE=path  committed BENCH_core.json to gate
+ *                             the tail lane against (off when unset)
+ *   WBSIM_TAIL_INJECT=pct     inflate the measured tail by pct%
+ *                             (proves the gate trips; tests only)
+ *   WBSIM_TAIL_ONLY=1         run just the tail lane (fast ctest)
  */
 
 #include <algorithm>
@@ -19,6 +31,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -366,9 +379,131 @@ gridFig04(const std::string &name, bool cached, Count instructions,
     return r;
 }
 
+/**
+ * The tail lane's measurement: simulated (not wall-clock) stall-tail
+ * metrics of one fixed, deterministic run, so two builds of the same
+ * code produce identical numbers on any machine.
+ */
+struct TailResult
+{
+    double p99BufferFull = 0.0;
+    double p99ReadAccess = 0.0;
+    Count episodes = 0;
+    double episodesPer10k = 0.0;
+    Count maxEpisode = 0;
+    Count cycles = 0;
+};
+
+/** p99 of the named stall histogram (clamped when overflowed). */
+double
+histogramP99(const obs::MetricsRegistry &metrics,
+             const std::string &name)
+{
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        if (metrics.kind(i) == obs::MetricKind::Histogram
+            && metrics.name(i) == name)
+            return metrics.histogramValue(i)
+                .quantileWithOverflow(0.99).value;
+    }
+    return 0.0;
+}
+
+/** The tail workload is fixed regardless of smoke/full mode: its
+ *  numbers gate on simulated behaviour, not machine speed. */
+constexpr Count kTailInstructions = 30'000;
+constexpr Count kTailWarmup = 10'000;
+
+TailResult
+measureTail()
+{
+    obs::MetricsRegistry metrics;
+    obs::ObsSink sink{&metrics, nullptr, nullptr};
+    SimResults r = runOne(spec92::profile("compress"),
+                          figures::baselineMachine(),
+                          kTailInstructions, 1, kTailWarmup, sink);
+    TailResult tail;
+    tail.p99BufferFull = histogramP99(metrics, "sim.stall.buffer_full");
+    tail.p99ReadAccess = histogramP99(metrics, "sim.stall.read_access");
+    tail.episodes = r.stalls.totalEvents();
+    tail.episodesPer10k = r.stallEpisodesPer10k();
+    tail.maxEpisode = r.maxStallEpisode();
+    tail.cycles = r.cycles;
+
+    // Test hook: inflate the measured tail to prove the gate trips.
+    if (double pct = static_cast<double>(envUint("WBSIM_TAIL_INJECT",
+                                                 0));
+        pct > 0.0) {
+        double scale = 1.0 + pct / 100.0;
+        tail.p99BufferFull *= scale;
+        tail.p99ReadAccess *= scale;
+        tail.episodes =
+            static_cast<Count>(static_cast<double>(tail.episodes)
+                               * scale);
+        tail.episodesPer10k *= scale;
+        std::cout << "perf_gate: tail metrics inflated by " << pct
+                  << "% (WBSIM_TAIL_INJECT)\n";
+    }
+    return tail;
+}
+
+/**
+ * Gate one tail metric: regressions beyond 10% (plus a two-cycle
+ * absolute slack on the quantiles, which are bucket-quantised) fail.
+ * @return true when acceptable.
+ */
+bool
+tailMetricOk(const char *name, double measured, double baseline,
+             double slack)
+{
+    double limit = baseline * 1.10 + slack;
+    if (measured <= limit)
+        return true;
+    std::cerr << "perf_gate: TAIL REGRESSION: " << name << " = "
+              << measured << " exceeds baseline " << baseline
+              << " (limit " << limit << ")\n";
+    return false;
+}
+
+/**
+ * Compare the measured tail against the committed baseline file, if
+ * WBSIM_PERF_BASELINE names one with a tail block. @return false on
+ * a tail regression.
+ */
+bool
+checkTailAgainstBaseline(const TailResult &tail)
+{
+    const char *env = std::getenv("WBSIM_PERF_BASELINE");
+    if (env == nullptr || *env == '\0')
+        return true;
+    std::ifstream file(env);
+    if (!file) {
+        std::cerr << "perf_gate: cannot read baseline " << env << "\n";
+        return false;
+    }
+    std::string text((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    obs::JsonValue doc = obs::JsonValue::parse(text);
+    if (!doc.has("tail")) {
+        std::cout << "perf_gate: baseline " << env
+                  << " has no tail block; tail lane not gated\n";
+        return true;
+    }
+    const obs::JsonValue &base = doc.at("tail");
+    bool ok = true;
+    ok &= tailMetricOk("p99_buffer_full", tail.p99BufferFull,
+                       base.at("p99_buffer_full").number(), 2.0);
+    ok &= tailMetricOk("p99_read_access", tail.p99ReadAccess,
+                       base.at("p99_read_access").number(), 2.0);
+    ok &= tailMetricOk("episodes", static_cast<double>(tail.episodes),
+                       base.at("episodes").number(), 0.0);
+    if (ok)
+        std::cout << "perf_gate: tail lane within baseline limits\n";
+    return ok;
+}
+
 void
 writeJson(std::ostream &os, const std::vector<GateResult> &results,
-          bool smoke)
+          const TailResult &tail, bool smoke)
 {
     obs::JsonWriter json(os);
     json.beginObject();
@@ -388,6 +523,18 @@ writeJson(std::ostream &os, const std::vector<GateResult> &results,
         json.endObject();
     }
     json.endArray();
+    json.key("tail");
+    json.beginObject();
+    json.field("workload", "compress");
+    json.field("instructions", kTailInstructions);
+    json.field("warmup", kTailWarmup);
+    json.field("cycles", tail.cycles);
+    json.field("p99_buffer_full", tail.p99BufferFull);
+    json.field("p99_read_access", tail.p99ReadAccess);
+    json.field("episodes", tail.episodes);
+    json.field("episodes_per_10k", tail.episodesPer10k);
+    json.field("max_episode", tail.maxEpisode);
+    json.endObject();
     json.endObject();
     os << "\n";
 }
@@ -404,6 +551,16 @@ main()
 
     Count grid_instructions = smoke ? 4'000 : 40'000;
     int grid_passes = smoke ? 2 : 3;
+
+    if (envUint("WBSIM_TAIL_ONLY", 0) != 0) {
+        TailResult tail = measureTail();
+        std::cout << "perf_gate: tail p99_buffer_full="
+                  << tail.p99BufferFull << " p99_read_access="
+                  << tail.p99ReadAccess << " episodes="
+                  << tail.episodes << " max_episode="
+                  << tail.maxEpisode << "\n";
+        return checkTailAgainstBaseline(tail) ? 0 : 1;
+    }
 
     std::vector<GateResult> results;
     results.push_back(storeMergeDepth12(min_seconds));
@@ -431,6 +588,8 @@ main()
                   << cached.opsPerSec / nocache.opsPerSec << "x\n";
     }
 
+    TailResult tail = measureTail();
+
     const char *env_out = std::getenv("WBSIM_PERF_OUT");
     std::string path = env_out ? env_out : "BENCH_core.json";
     std::ofstream file(path);
@@ -438,8 +597,8 @@ main()
         std::cerr << "perf_gate: cannot write " << path << "\n";
         return 1;
     }
-    writeJson(file, results, smoke);
-    writeJson(std::cout, results, smoke);
+    writeJson(file, results, tail, smoke);
+    writeJson(std::cout, results, tail, smoke);
     std::cout << "perf_gate: wrote " << path << "\n";
-    return 0;
+    return checkTailAgainstBaseline(tail) ? 0 : 1;
 }

@@ -32,6 +32,7 @@ constexpr PolicyName<LoadHazardPolicy> kHazardNames[] = {
 constexpr PolicyName<RetirementMode> kModeNames[] = {
     {RetirementMode::Occupancy, "occupancy"},
     {RetirementMode::FixedRate, "fixed-rate"},
+    {RetirementMode::Paced, "paced"},
 };
 
 constexpr PolicyName<RetirementOrder> kOrderNames[] = {
@@ -124,9 +125,19 @@ WriteBufferConfig::validate() const
         if (highWaterMark < 1 || highWaterMark > depth)
             wbsim_fatal("retire-at-", highWaterMark,
                         " requires 1 <= N <= depth (depth=", depth, ")");
-    } else {
+    } else if (retirementMode == RetirementMode::FixedRate) {
         if (fixedRatePeriod == 0)
             wbsim_fatal("fixed-rate retirement needs a non-zero period");
+    } else {
+        if (highWaterMark < 1 || highWaterMark > depth)
+            wbsim_fatal("paced retirement at ", highWaterMark,
+                        " requires 1 <= N <= depth (depth=", depth, ")");
+        if (pacedRefillPeriod == 0)
+            wbsim_fatal("paced retirement needs a non-zero refill "
+                        "period");
+        if (pacedBurst == 0)
+            wbsim_fatal("paced retirement needs a token bucket of at "
+                        "least 1");
     }
     if (writePriorityThreshold > depth)
         wbsim_fatal("write-priority threshold exceeds buffer depth");
@@ -143,8 +154,11 @@ WriteBufferConfig::describe() const
         os << "non-coalescing/";
     if (retirementMode == RetirementMode::Occupancy)
         os << "retire-at-" << highWaterMark;
-    else
+    else if (retirementMode == RetirementMode::FixedRate)
         os << "fixed-rate-" << fixedRatePeriod;
+    else
+        os << "paced-" << pacedRefillPeriod << "x" << pacedBurst
+           << "-at-" << highWaterMark;
     if (retirementOrder != RetirementOrder::Fifo)
         os << "/" << retirementOrderName(retirementOrder);
     if (ageTimeout)

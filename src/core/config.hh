@@ -42,6 +42,11 @@ enum class RetirementMode : std::uint8_t
     /** Retire one entry every fixedRatePeriod cycles if non-empty
      *  (Jouppi's fixed-rate policy, studied as an ablation). */
     FixedRate,
+    /** Retire-at-N rate-limited by a token bucket: bursts drain
+     *  back-to-back up to pacedBurst entries, sustained drain is
+     *  capped at one write per pacedRefillPeriod cycles. Smooths
+     *  drain traffic to shorten the read-access stall tail. */
+    Paced,
 };
 
 const char *retirementModeName(RetirementMode mode);
@@ -97,6 +102,11 @@ struct WriteBufferConfig
     unsigned highWaterMark = 2;
     /** Period in cycles between retirements (FixedRate mode). */
     Cycle fixedRatePeriod = 8;
+    /** Token regeneration period in cycles (Paced mode). */
+    Cycle pacedRefillPeriod = 8;
+    /** Token-bucket depth: longest back-to-back drain burst (Paced
+     *  mode). */
+    unsigned pacedBurst = 2;
     /** Retire a lingering front entry after this many cycles; 0
      *  disables. The 21064 uses 256, the 21164 uses 64 (§2.2). */
     Cycle ageTimeout = 0;

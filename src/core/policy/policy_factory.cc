@@ -16,6 +16,20 @@ makeRetirementTriggers(const WriteBufferConfig &config)
             std::make_unique<FixedRateTrigger>(config.fixedRatePeriod));
         return triggers;
     }
+    if (config.retirementMode == RetirementMode::Paced) {
+        // The token bucket subsumes the occupancy trigger (it arms at
+        // the same high-water mark) and applies to both organisations:
+        // a paced write cache drains in the background instead of
+        // waiting for evictions.
+        triggers.push_back(std::make_unique<PacedTrigger>(
+            config.pacedRefillPeriod, config.pacedBurst,
+            config.highWaterMark));
+        if (config.ageTimeout != 0) {
+            triggers.push_back(
+                std::make_unique<AgeTimeoutTrigger>(config.ageTimeout));
+        }
+        return triggers;
+    }
     if (config.kind == BufferKind::WriteBuffer) {
         triggers.push_back(
             std::make_unique<OccupancyTrigger>(config.highWaterMark));

@@ -205,6 +205,8 @@ RetirementEngine::waitForFreeEntry(Cycle now, StallStats &stalls)
     Cycle t = retire_done_;
     completeRetirement();
     stalls.bufferFullCycles += t - now;
+    stalls.bufferFullMaxEpisode =
+        std::max<Count>(stalls.bufferFullMaxEpisode, t - now);
     engine_now_ = std::max(engine_now_, t);
     wbsim_assert(store_.hasFree(), "no free entry after a retirement");
     return t;
@@ -219,6 +221,9 @@ RetirementEngine::evictVictim(Cycle now, StallStats &stalls)
     if (background_done_ > t) {
         ++stalls.bufferFullEvents;
         stalls.bufferFullCycles += background_done_ - t;
+        stalls.bufferFullMaxEpisode =
+            std::max<Count>(stalls.bufferFullMaxEpisode,
+                            background_done_ - t);
         t = background_done_;
     }
     int victim = retirementVictim();

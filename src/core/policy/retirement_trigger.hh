@@ -11,6 +11,7 @@
 #ifndef WBSIM_CORE_POLICY_RETIREMENT_TRIGGER_HH
 #define WBSIM_CORE_POLICY_RETIREMENT_TRIGGER_HH
 
+#include <algorithm>
 #include <memory>
 
 #include "core/policy/entry_store.hh"
@@ -165,6 +166,109 @@ class FixedRateTrigger final : public RetirementTrigger
     Cycle period_;
     /** Next scheduled attempt for fixed-rate retirement. */
     Cycle next_attempt_;
+};
+
+/**
+ * Paced (token-bucket) retire-at-N: arm like an occupancy trigger,
+ * but rate-limit the drain. The bucket holds up to @p burst tokens
+ * and regenerates one every @p period cycles; each background
+ * retirement spends one. A store burst can still drain back-to-back
+ * up to the bucket depth, but sustained drain traffic is capped at
+ * one write per period, leaving L2-port gaps for demand reads —
+ * trading a little buffer-full headroom for a much shorter
+ * read-access stall tail (DESIGN.md §11).
+ */
+class PacedTrigger final : public RetirementTrigger
+{
+  public:
+    PacedTrigger(Cycle period, unsigned burst,
+                 unsigned high_water_mark)
+        : period_(period), burst_(burst),
+          high_water_mark_(high_water_mark), tokens_(burst),
+          next_refill_(period)
+    {}
+
+    const char *name() const override { return "paced"; }
+
+    Cycle
+    nextTrigger(const EntryStore &store) const override
+    {
+        if (store.validCount() < high_water_mark_)
+            return kNoCycle;
+        wbsim_assert(occupancy_since_ != kNoCycle,
+                     "occupancy condition holds but no timestamp");
+        Cycle token_at = tokens_ > 0 ? token_since_ : next_refill_;
+        return std::max(occupancy_since_, token_at);
+    }
+
+    void
+    noteOccupancy(unsigned valid, Cycle at) override
+    {
+        if (valid >= high_water_mark_) {
+            if (occupancy_since_ == kNoCycle)
+                occupancy_since_ = at;
+        } else {
+            occupancy_since_ = kNoCycle;
+        }
+    }
+
+    void
+    noteRetirementStart(Cycle start) override
+    {
+        refillTo(start);
+        wbsim_assert(tokens_ > 0,
+                     "paced retirement started without a token");
+        // While the bucket sits full the refill clock idles; the
+        // token spent now regenerates one period from now.
+        if (tokens_ == burst_)
+            next_refill_ = start + period_;
+        --tokens_;
+        if (tokens_ > 0)
+            token_since_ = start;
+    }
+
+    void
+    noteReplayEnd(unsigned, Cycle now) override
+    {
+        // Keep the refill clock caught up so a long quiet stretch
+        // cannot leave a causally-impossible backlog of stale token
+        // arrivals (bounded: the loop stops once the bucket is full).
+        refillTo(now);
+    }
+
+    /** Never idle: tokens regenerate with the passage of time. */
+    bool idle() const override { return false; }
+
+    std::unique_ptr<RetirementTrigger>
+    clone() const override
+    {
+        return std::make_unique<PacedTrigger>(*this);
+    }
+
+  private:
+    void
+    refillTo(Cycle to)
+    {
+        while (tokens_ < burst_ && next_refill_ <= to) {
+            ++tokens_;
+            if (tokens_ == 1)
+                token_since_ = next_refill_;
+            next_refill_ += period_;
+        }
+    }
+
+    Cycle period_;
+    unsigned burst_;
+    unsigned high_water_mark_;
+    /** Tokens currently available (starts full). */
+    unsigned tokens_;
+    /** Cycle the next token accrues (meaningful while not full). */
+    Cycle next_refill_;
+    /** Cycle the bucket last went from empty to non-empty. */
+    Cycle token_since_ = 0;
+    /** Cycle at which the occupancy condition last became true, or
+     *  kNoCycle while occupancy < highWaterMark. */
+    Cycle occupancy_since_ = kNoCycle;
 };
 
 /** Age timeout: retire once the oldest entry has sat for too long. */

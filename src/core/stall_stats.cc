@@ -1,7 +1,16 @@
 #include "core/stall_stats.hh"
 
+#include <algorithm>
+
 namespace wbsim
 {
+
+Count
+StallStats::maxEpisode() const
+{
+    return std::max({bufferFullMaxEpisode, l2ReadAccessMaxEpisode,
+                     loadHazardMaxEpisode});
+}
 
 StallStats &
 StallStats::operator+=(const StallStats &other)
@@ -12,6 +21,14 @@ StallStats::operator+=(const StallStats &other)
     l2ReadAccessEvents += other.l2ReadAccessEvents;
     loadHazardCycles += other.loadHazardCycles;
     loadHazardEvents += other.loadHazardEvents;
+    // Episodes never span an accumulation boundary, so the combined
+    // maximum is the maximum of the parts.
+    bufferFullMaxEpisode =
+        std::max(bufferFullMaxEpisode, other.bufferFullMaxEpisode);
+    l2ReadAccessMaxEpisode =
+        std::max(l2ReadAccessMaxEpisode, other.l2ReadAccessMaxEpisode);
+    loadHazardMaxEpisode =
+        std::max(loadHazardMaxEpisode, other.loadHazardMaxEpisode);
     return *this;
 }
 

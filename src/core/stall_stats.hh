@@ -28,11 +28,31 @@ struct StallStats
     Count loadHazardCycles = 0;
     Count loadHazardEvents = 0;
 
+    /** @name Tail bookkeeping: the longest single stall episode seen
+     *  in each category, in cycles. Means hide bursts — two policies
+     *  with equal stall totals can differ wildly in how clustered
+     *  the stalls are, and the max episode is the cheapest always-on
+     *  burstiness witness (histograms need an attached sink). */
+    /// @{
+    Count bufferFullMaxEpisode = 0;
+    Count l2ReadAccessMaxEpisode = 0;
+    Count loadHazardMaxEpisode = 0;
+    /// @}
+
     /** Total write-buffer-induced stall cycles. */
     Count totalCycles() const
     {
         return bufferFullCycles + l2ReadAccessCycles + loadHazardCycles;
     }
+
+    /** Total stall episodes across the three categories. */
+    Count totalEvents() const
+    {
+        return bufferFullEvents + l2ReadAccessEvents + loadHazardEvents;
+    }
+
+    /** Longest single stall episode in any category. */
+    Count maxEpisode() const;
 
     StallStats &operator+=(const StallStats &other);
 

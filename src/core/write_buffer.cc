@@ -90,7 +90,10 @@ WriteBuffer::attachMetrics(obs::MetricsRegistry *metrics)
         engine_.setRetireWordsMetric(nullptr, 0);
         return;
     }
-    obs::MetricId occupancy = metrics_->gauge("wb.occupancy");
+    // Occupancy is a level, not a peak: under a sharded grid the
+    // later shard's final value must win the merge.
+    obs::MetricId occupancy =
+        metrics_->gauge("wb.occupancy", obs::GaugeMerge::LastWriter);
     m_occupancy_at_store_ =
         metrics_->histogram("wb.occupancy_at_store", config_.depth + 1);
     store_.setOccupancyGauge(metrics_, occupancy);

@@ -1,5 +1,7 @@
 #include "core/write_cache.hh"
 
+#include <algorithm>
+
 #include "core/policy/policy_factory.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
@@ -73,6 +75,9 @@ WriteCache::store(Addr addr, unsigned size, Cycle now,
             Cycle done = engine_.retireDone();
             if (done > t) {
                 stalls.bufferFullCycles += done - t;
+                stalls.bufferFullMaxEpisode =
+                    std::max<Count>(stalls.bufferFullMaxEpisode,
+                                    done - t);
                 t = done;
             }
             engine_.completeRetirement();
@@ -108,7 +113,10 @@ WriteCache::attachMetrics(obs::MetricsRegistry *metrics)
         engine_.setRetireWordsMetric(nullptr, 0);
         return;
     }
-    obs::MetricId occupancy = metrics_->gauge("wb.occupancy");
+    // Occupancy is a level, not a peak: under a sharded grid the
+    // later shard's final value must win the merge.
+    obs::MetricId occupancy =
+        metrics_->gauge("wb.occupancy", obs::GaugeMerge::LastWriter);
     m_occupancy_at_store_ =
         metrics_->histogram("wb.occupancy_at_store", config_.depth + 1);
     store_.setOccupancyGauge(metrics_, occupancy);

@@ -465,4 +465,38 @@ ablationWriteAllocate()
     return exp;
 }
 
+Experiment
+ablationPacing()
+{
+    Experiment exp;
+    exp.id = "abl15";
+    exp.title = "Bursty (evict-driven) vs paced (token-bucket) drain";
+    exp.subtitle = "4-entry write cache, flush-full";
+    // The write cache under occupancy mode is the burstiest drain in
+    // the design space: it retires only on eviction, i.e. exactly
+    // when a store is already stalled waiting for the entry. Paced
+    // variants add a metered background drain (arming at the same
+    // high-water mark a write buffer would use) that spreads the
+    // same write traffic into the gaps between store bursts.
+    MachineConfig bursty = baselineMachine();
+    bursty.writeBuffer.kind = BufferKind::WriteCache;
+    exp.variants.push_back(variant("evict-only", bursty));
+    struct Knob { Cycle period; unsigned burst; };
+    for (Knob knob : {Knob{8, 2}, Knob{16, 2}, Knob{32, 2}}) {
+        MachineConfig machine = bursty;
+        machine.writeBuffer.retirementMode = RetirementMode::Paced;
+        machine.writeBuffer.pacedRefillPeriod = knob.period;
+        machine.writeBuffer.pacedBurst = knob.burst;
+        exp.variants.push_back(
+            variant("paced-" + std::to_string(knob.period) + "x"
+                        + std::to_string(knob.burst),
+                    machine));
+    }
+    // The paper's FIFO buffer at the same geometry, for scale: its
+    // retire-at-2 drain is already background-paced by occupancy.
+    exp.variants.push_back(
+        variant("wb-retire-at-2", baselineMachine()));
+    return exp;
+}
+
 } // namespace wbsim::figures

@@ -45,6 +45,7 @@ Experiment ablationWbHitCost();     //!< A10: read-from-WB hit cost
 Experiment ablationEntryWidth();    //!< A11: entry width (Table 2)
 Experiment ablationRetireOrder();   //!< A13: retirement order (Table 2)
 Experiment ablationWriteAllocate(); //!< A14: L1 write-miss policy
+Experiment ablationPacing();        //!< A15: bursty vs paced drain
 
 } // namespace wbsim::figures
 

@@ -90,14 +90,17 @@ writeSimResultsJson(std::ostream &os, const SimResults &r,
     json.key("buffer_full").beginObject();
     json.field("cycles", r.stalls.bufferFullCycles);
     json.field("events", r.stalls.bufferFullEvents);
+    json.field("max_episode", r.stalls.bufferFullMaxEpisode);
     json.endObject();
     json.key("read_access").beginObject();
     json.field("cycles", r.stalls.l2ReadAccessCycles);
     json.field("events", r.stalls.l2ReadAccessEvents);
+    json.field("max_episode", r.stalls.l2ReadAccessMaxEpisode);
     json.endObject();
     json.key("load_hazard").beginObject();
     json.field("cycles", r.stalls.loadHazardCycles);
     json.field("events", r.stalls.loadHazardEvents);
+    json.field("max_episode", r.stalls.loadHazardMaxEpisode);
     json.endObject();
     // Derived percentages, so the artifact is plottable without
     // recomputation; parse re-derives and cross-checks them.
@@ -106,6 +109,12 @@ writeSimResultsJson(std::ostream &os, const SimResults &r,
     json.field("read_access", r.pctL2ReadAccess());
     json.field("load_hazard", r.pctLoadHazard());
     json.field("total", r.pctTotalStalls());
+    json.endObject();
+    // Burstiness summary: how clustered the stalls were, not just
+    // how many cycles they cost.
+    json.key("tail").beginObject();
+    json.field("episodes_per_10k", r.stallEpisodesPer10k());
+    json.field("max_episode", r.maxStallEpisode());
     json.endObject();
     json.endObject();
 
@@ -189,6 +198,12 @@ parseSimResultsJson(const std::string &text)
         stalls.at("load_hazard").at("cycles").uint();
     r.stalls.loadHazardEvents =
         stalls.at("load_hazard").at("events").uint();
+    r.stalls.bufferFullMaxEpisode =
+        stalls.at("buffer_full").at("max_episode").uint();
+    r.stalls.l2ReadAccessMaxEpisode =
+        stalls.at("read_access").at("max_episode").uint();
+    r.stalls.loadHazardMaxEpisode =
+        stalls.at("load_hazard").at("max_episode").uint();
 
     const JsonValue &l1 = doc.at("l1");
     r.l1LoadHits = l1.at("load_hits").uint();
@@ -232,7 +247,10 @@ simResultsCsvHeader()
            "buffer_full_cycles,buffer_full_events,"
            "read_access_cycles,read_access_events,"
            "load_hazard_cycles,load_hazard_events,"
+           "buffer_full_max_episode,read_access_max_episode,"
+           "load_hazard_max_episode,"
            "pct_buffer_full,pct_read_access,pct_load_hazard,pct_total,"
+           "episodes_per_10k,max_episode,"
            "l1_load_hits,l1_load_misses,l1_store_hits,l1_store_misses,"
            "wb_merges,wb_allocations,wb_retirements,wb_flushes,"
            "wb_hazards,wb_served_loads,wb_words_written,"
@@ -255,10 +273,15 @@ writeSimResultsCsvRow(std::ostream &os, const SimResults &r)
        << r.stalls.l2ReadAccessEvents << ','
        << r.stalls.loadHazardCycles << ','
        << r.stalls.loadHazardEvents << ','
+       << r.stalls.bufferFullMaxEpisode << ','
+       << r.stalls.l2ReadAccessMaxEpisode << ','
+       << r.stalls.loadHazardMaxEpisode << ','
        << csvDouble(r.pctBufferFull()) << ','
        << csvDouble(r.pctL2ReadAccess()) << ','
        << csvDouble(r.pctLoadHazard()) << ','
-       << csvDouble(r.pctTotalStalls()) << ',' << r.l1LoadHits << ','
+       << csvDouble(r.pctTotalStalls()) << ','
+       << csvDouble(r.stallEpisodesPer10k()) << ','
+       << r.maxStallEpisode() << ',' << r.l1LoadHits << ','
        << r.l1LoadMisses << ',' << r.l1StoreHits << ','
        << r.l1StoreMisses << ',' << r.wbMerges << ','
        << r.wbAllocations << ',' << r.wbRetirements << ','
@@ -326,6 +349,8 @@ writeGridJson(std::ostream &os, const std::string &id,
             json.field("l1_load_hit_rate", r.l1LoadHitRate());
             json.field("wb_merge_rate", r.wbMergeRate());
             json.field("wb_mean_occupancy", r.wbMeanOccupancy);
+            json.field("episodes_per_10k", r.stallEpisodesPer10k());
+            json.field("max_stall_episode", r.maxStallEpisode());
             json.endObject();
         }
     }
@@ -382,7 +407,16 @@ writeMetricsJson(std::ostream &os, const MetricsRegistry &registry,
             json.field("max", h.maxValue());
             json.field("p50", h.quantile(0.50));
             json.field("p95", h.quantile(0.95));
-            json.field("p99", h.quantile(0.99));
+            // Tail quantiles carry an honesty flag: when the rank
+            // lands in the overflow bucket the value is only a lower
+            // bound clamped to the observed maximum.
+            stats::Quantile p99 = h.quantileWithOverflow(0.99);
+            stats::Quantile p999 = h.quantileWithOverflow(0.999);
+            json.field("p99", p99.value);
+            json.field("p99_overflowed", p99.overflowed);
+            json.field("p999", p999.value);
+            json.field("p999_overflowed", p999.overflowed);
+            json.field("overflow_count", h.overflowCount());
             json.field("bucket_width", h.bucketWidth());
             json.key("buckets").beginArray();
             for (std::size_t b = 0; b <= h.buckets(); ++b)
@@ -401,25 +435,30 @@ writeMetricsJson(std::ostream &os, const MetricsRegistry &registry,
 void
 writeMetricsCsv(std::ostream &os, const MetricsRegistry &registry)
 {
-    os << "name,kind,n,value,mean,min,max,p50,p95,p99\n";
+    os << "name,kind,n,value,mean,min,max,p50,p95,p99,p999,"
+          "tail_overflowed\n";
     for (std::size_t i = 0; i < registry.size(); ++i) {
         os << csvField(registry.name(i)) << ','
            << metricKindName(registry.kind(i)) << ',';
         switch (registry.kind(i)) {
           case MetricKind::Counter:
             os << 1 << ',' << registry.counterValue(i)
-               << ",,,,,,\n";
+               << ",,,,,,,,\n";
             break;
           case MetricKind::Gauge:
-            os << 1 << ',' << registry.gaugeValue(i) << ",,,,,,\n";
+            os << 1 << ',' << registry.gaugeValue(i) << ",,,,,,,,\n";
             break;
           case MetricKind::Histogram: {
             const stats::Histogram &h = registry.histogramValue(i);
+            stats::Quantile p99 = h.quantileWithOverflow(0.99);
+            stats::Quantile p999 = h.quantileWithOverflow(0.999);
             os << h.samples() << ",," << csvDouble(h.mean()) << ','
                << h.minValue() << ',' << h.maxValue() << ','
                << csvDouble(h.quantile(0.50)) << ','
                << csvDouble(h.quantile(0.95)) << ','
-               << csvDouble(h.quantile(0.99)) << "\n";
+               << csvDouble(p99.value) << ','
+               << csvDouble(p999.value) << ','
+               << (p99.overflowed || p999.overflowed ? 1 : 0) << "\n";
             break;
           }
         }

@@ -44,16 +44,20 @@ MetricsRegistry::counter(const std::string &name)
 }
 
 MetricId
-MetricsRegistry::gauge(const std::string &name)
+MetricsRegistry::gauge(const std::string &name, GaugeMerge merge)
 {
     if (int i = find(name); i >= 0) {
         const Meta &meta = metrics_[static_cast<std::size_t>(i)];
         wbsim_assert(meta.kind == MetricKind::Gauge,
                      "metric '", name, "' re-registered as a gauge");
+        wbsim_assert(gauge_merge_[meta.slot] == merge,
+                     "gauge '", name,
+                     "' re-registered with a different merge policy");
         return meta.slot;
     }
     auto slot = static_cast<MetricId>(gauges_.size());
     gauges_.push_back(0);
+    gauge_merge_.push_back(merge);
     metrics_.push_back({name, MetricKind::Gauge, slot});
     return slot;
 }
@@ -133,8 +137,19 @@ MetricsRegistry::merge(const MetricsRegistry &other)
     }
     for (std::size_t i = 0; i < counters_.size(); ++i)
         counters_[i] += other.counters_[i];
-    for (std::size_t i = 0; i < gauges_.size(); ++i)
-        gauges_[i] = std::max(gauges_[i], other.gauges_[i]);
+    for (std::size_t i = 0; i < gauges_.size(); ++i) {
+        switch (gauge_merge_[i]) {
+          case GaugeMerge::Max:
+            gauges_[i] = std::max(gauges_[i], other.gauges_[i]);
+            break;
+          case GaugeMerge::LastWriter:
+            // The merged-in shard is the later writer by convention;
+            // shards combine in a fixed order, so this stays
+            // deterministic.
+            gauges_[i] = other.gauges_[i];
+            break;
+        }
+    }
     for (std::size_t i = 0; i < histograms_.size(); ++i)
         histograms_[i].merge(other.histograms_[i]);
 }

@@ -45,6 +45,21 @@ enum class MetricKind : std::uint8_t
 /** Printable name for a MetricKind. */
 const char *metricKindName(MetricKind kind);
 
+/**
+ * How a gauge combines when per-thread shards merge. Counters add
+ * and histograms fold either way, but a gauge is a *level*, and the
+ * right way to reconcile two levels depends on what it measures:
+ * a high-water-mark style gauge wants the peak, while an
+ * occupancy-style gauge wants the value the later shard finished
+ * with (a shard that drained to idle must not lose to one that
+ * happened to peak higher).
+ */
+enum class GaugeMerge : std::uint8_t
+{
+    Max,        //!< peak across shards (high-water style)
+    LastWriter, //!< the merged-in shard's value wins (level style)
+};
+
 /** Registry of named metrics with flat, allocation-free hot paths. */
 class MetricsRegistry
 {
@@ -52,8 +67,13 @@ class MetricsRegistry
     /** Register (or look up) a counter named @p name. */
     MetricId counter(const std::string &name);
 
-    /** Register (or look up) a gauge named @p name. */
-    MetricId gauge(const std::string &name);
+    /**
+     * Register (or look up) a gauge named @p name. The @p merge
+     * policy is fixed at registration time; re-registering the same
+     * gauge must agree on it.
+     */
+    MetricId gauge(const std::string &name,
+                   GaugeMerge merge = GaugeMerge::Max);
 
     /**
      * Register (or look up) a histogram named @p name with
@@ -98,8 +118,8 @@ class MetricsRegistry
     /**
      * Fold @p other into this registry. Both must have registered
      * the same metrics in the same order (the per-thread-shard
-     * pattern); histograms merge, counters add, gauges keep the
-     * larger value (a deterministic, order-independent choice).
+     * pattern); histograms merge, counters add, and each gauge
+     * follows the GaugeMerge policy it was registered with.
      */
     void merge(const MetricsRegistry &other);
 
@@ -122,6 +142,7 @@ class MetricsRegistry
     std::vector<Meta> metrics_;
     std::vector<Count> counters_;
     std::vector<std::int64_t> gauges_;
+    std::vector<GaugeMerge> gauge_merge_; // parallel to gauges_
     std::vector<stats::Histogram> histograms_;
 };
 

@@ -70,11 +70,14 @@ Timeline::fold()
                 + bins_[(2 * e + 1) * kChannels + c];
         }
     }
-    // An odd tail bin carries over unpaired.
+    // An odd tail bin carries over unpaired. It must *replace* its
+    // destination: slot last/2 still holds the stale old-epoch value
+    // that the pairwise loop above already folded forward, so adding
+    // into it would count that epoch twice.
     if (max_epochs_ % 2 == 1) {
         std::size_t last = max_epochs_ - 1;
         for (std::size_t c = 0; c < kChannels; ++c)
-            bins_[(last / 2) * kChannels + c] +=
+            bins_[(last / 2) * kChannels + c] =
                 bins_[last * kChannels + c];
     }
     std::size_t live = (max_epochs_ + 1) / 2;

@@ -48,6 +48,8 @@ MachineConfig::stateFingerprint() const
     h = hashCombine(h, static_cast<std::uint64_t>(wb.retirementOrder));
     h = hashCombine(h, wb.highWaterMark);
     h = hashCombine(h, wb.fixedRatePeriod);
+    h = hashCombine(h, wb.pacedRefillPeriod);
+    h = hashCombine(h, wb.pacedBurst);
     h = hashCombine(h, wb.ageTimeout);
     h = hashCombine(h, static_cast<std::uint64_t>(wb.hazardPolicy));
     h = hashCombine(h, wb.writePriorityThreshold);

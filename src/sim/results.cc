@@ -47,6 +47,12 @@ SimResults::pctTotalStalls() const
     return stats::percent(stalls.totalCycles(), cycles);
 }
 
+double
+SimResults::stallEpisodesPer10k() const
+{
+    return 10000.0 * stats::ratio(stalls.totalEvents(), cycles);
+}
+
 void
 SimResults::dump(std::ostream &os, const std::string &prefix) const
 {
@@ -65,6 +71,11 @@ SimResults::dump(std::ostream &os, const std::string &prefix) const
     put("stall.l2ReadAccessEvents", stalls.l2ReadAccessEvents);
     put("stall.loadHazardCycles", stalls.loadHazardCycles);
     put("stall.loadHazardEvents", stalls.loadHazardEvents);
+    put("stall.bufferFullMaxEpisode", stalls.bufferFullMaxEpisode);
+    put("stall.l2ReadAccessMaxEpisode", stalls.l2ReadAccessMaxEpisode);
+    put("stall.loadHazardMaxEpisode", stalls.loadHazardMaxEpisode);
+    put("stall.episodesPer10k", stallEpisodesPer10k());
+    put("stall.maxEpisode", maxStallEpisode());
     put("l1.loadHits", l1LoadHits);
     put("l1.loadMisses", l1LoadMisses);
     put("l1.storeHits", l1StoreHits);

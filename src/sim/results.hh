@@ -95,6 +95,16 @@ struct SimResults
     double pctTotalStalls() const;
     /// @}
 
+    /** @name Burstiness (tail) measures. Two runs with equal mean
+     *  CPI can stall in very different rhythms; these summarize how
+     *  clustered the stalls were. */
+    /// @{
+    /** Stall episodes (all three categories) per 10k cycles. */
+    double stallEpisodesPer10k() const;
+    /** Longest single stall episode in any category, in cycles. */
+    Count maxStallEpisode() const { return stalls.maxEpisode(); }
+    /// @}
+
     /** Dump every statistic as "prefix.name value" lines (the
      *  machine-readable companion to the report tables). */
     void dump(std::ostream &os, const std::string &prefix = "") const;

@@ -192,14 +192,17 @@ Simulator::fetch(Addr pc)
     // is the §4.3 "L2-I-fetch stall" category, tracked separately
     // from the paper's three data-side categories.
     Count events_unused = 0;
+    Count max_unused = 0;
     cycle_ = l2DemandRead(pc, cycle_, l2_ifetch_stall_cycles_,
-                          events_unused, obs::Channel::IFetchStall);
+                          events_unused, max_unused,
+                          obs::Channel::IFetchStall);
     l1i_.fill(pc);
 }
 
 Cycle
 Simulator::l2DemandRead(Addr addr, Cycle earliest, Count &stall_cycles,
-                        Count &stall_events, obs::Channel channel)
+                        Count &stall_events, Count &max_episode,
+                        obs::Channel channel)
 {
     Cycle t = earliest;
     if (port_.busyAt(t)) {
@@ -211,6 +214,7 @@ Simulator::l2DemandRead(Addr addr, Cycle earliest, Count &stall_cycles,
         Cycle wait = port_.freeAt() - t;
         stall_cycles += wait;
         ++stall_events;
+        max_episode = std::max<Count>(max_episode, wait);
         note(SimEventKind::ReadAccessStall, addr, wait);
         publishReadStall(t, wait, channel);
         t = port_.freeAt();
@@ -249,7 +253,8 @@ Simulator::doStore(Addr addr, unsigned size)
         // the load-miss path.
         Cycle done = l2DemandRead(addr, cycle_,
                                   stalls_.l2ReadAccessCycles,
-                                  stalls_.l2ReadAccessEvents);
+                                  stalls_.l2ReadAccessEvents,
+                                  stalls_.l2ReadAccessMaxEpisode);
         store_fetch_cycles_ += done - cycle_;
         cycle_ = done;
         l1d_.fill(addr);
@@ -295,6 +300,8 @@ Simulator::doLoad(Addr addr, unsigned size)
             Cycle wait = t - cycle_;
             stalls_.l2ReadAccessCycles += wait;
             ++stalls_.l2ReadAccessEvents;
+            stalls_.l2ReadAccessMaxEpisode =
+                std::max<Count>(stalls_.l2ReadAccessMaxEpisode, wait);
             publishReadStall(cycle_, wait,
                              obs::Channel::ReadAccessStall);
             cycle_ = t;
@@ -311,6 +318,8 @@ Simulator::doLoad(Addr addr, unsigned size)
             Cycle wait = hazard.done - cycle_;
             stalls_.loadHazardCycles += wait;
             ++stalls_.loadHazardEvents;
+            stalls_.loadHazardMaxEpisode =
+                std::max<Count>(stalls_.loadHazardMaxEpisode, wait);
             if (metrics_ != nullptr)
                 metrics_->sample(m_stall_hazard_, wait);
             if (timeline_ != nullptr)
@@ -322,7 +331,8 @@ Simulator::doLoad(Addr addr, unsigned size)
     }
 
     cycle_ = l2DemandRead(addr, cycle_, stalls_.l2ReadAccessCycles,
-                          stalls_.l2ReadAccessEvents);
+                          stalls_.l2ReadAccessEvents,
+                          stalls_.l2ReadAccessMaxEpisode);
     l1d_.fill(addr);
 }
 

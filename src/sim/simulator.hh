@@ -214,10 +214,11 @@ class Simulator
     void doStore(Addr addr, unsigned size);
 
     /** Perform a demand L2 read at @p earliest, charging port waits
-     *  to the given stall counters and attributing any wait to
-     *  @p channel on the timeline. @return data-ready cycle. */
+     *  to the given stall counters (including the longest-episode
+     *  high-water mark) and attributing any wait to @p channel on
+     *  the timeline. @return data-ready cycle. */
     Cycle l2DemandRead(Addr addr, Cycle earliest, Count &stall_cycles,
-                       Count &stall_events,
+                       Count &stall_events, Count &max_episode,
                        obs::Channel channel
                        = obs::Channel::ReadAccessStall);
 

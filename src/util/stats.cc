@@ -48,8 +48,14 @@ Histogram::sample(std::uint64_t value, Count count)
 double
 Histogram::quantile(double q) const
 {
+    return quantileWithOverflow(q).value;
+}
+
+Quantile
+Histogram::quantileWithOverflow(double q) const
+{
     if (samples_ == 0)
-        return 0.0;
+        return {0.0, false};
     q = std::min(1.0, std::max(0.0, q));
     // The sample with (0-based) rank floor(q * (n - 1)).
     Count target = static_cast<Count>(
@@ -61,17 +67,20 @@ Histogram::quantile(double q) const
             before += c;
             continue;
         }
-        if (i == counts_.size() - 1)
-            return static_cast<double>(max_); // overflow bucket
+        if (i == counts_.size() - 1) {
+            // Overflow bucket: the in-bucket distribution is lost, so
+            // clamp to the observed maximum and say so.
+            return {static_cast<double>(max_), true};
+        }
         // Interpolate linearly inside [i, i+1) * width.
         double frac = (static_cast<double>(target - before) + 0.5)
             / static_cast<double>(c);
         double value = (static_cast<double>(i) + frac)
             * static_cast<double>(width_);
         value = std::max(value, static_cast<double>(min_));
-        return std::min(value, static_cast<double>(max_));
+        return {std::min(value, static_cast<double>(max_)), false};
     }
-    return static_cast<double>(max_);
+    return {static_cast<double>(max_), false};
 }
 
 void

@@ -46,6 +46,18 @@ double ratio(Count numerator, Count denominator);
 double percent(Count numerator, Count denominator);
 
 /**
+ * A quantile estimate plus an honesty flag: when the requested rank
+ * lands in a histogram's overflow bucket, the value is clamped to
+ * the observed maximum and `overflowed` is set so consumers can tell
+ * a measured tail from a saturated one.
+ */
+struct Quantile
+{
+    double value = 0.0;
+    bool overflowed = false;
+};
+
+/**
  * A histogram over a fixed integer range [0, buckets * bucketWidth);
  * values beyond the top bucket accumulate in an overflow bucket.
  * Tracks min, max, mean, and per-bucket counts.
@@ -90,6 +102,18 @@ class Histogram
      * observed maximum. 0 when empty.
      */
     double quantile(double q) const;
+
+    /**
+     * Like quantile(), but also reports whether the requested rank
+     * fell in the overflow bucket. An overflowed quantile is only a
+     * lower bound: every overflow sample is known to be at least
+     * buckets() * bucketWidth(), but the in-bucket distribution is
+     * lost, so the estimate clamps to the observed maximum.
+     */
+    Quantile quantileWithOverflow(double q) const;
+
+    /** Count of samples that landed in the overflow bucket. */
+    Count overflowCount() const { return counts_.back(); }
 
     /**
      * Fold @p other into this histogram. Both must share the same

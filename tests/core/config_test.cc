@@ -113,6 +113,35 @@ TEST(WriteBufferConfigDeath, FixedRateNeedsPeriod)
                 "period");
 }
 
+TEST(WriteBufferConfig, DescribePaced)
+{
+    WriteBufferConfig config;
+    config.retirementMode = RetirementMode::Paced;
+    config.pacedRefillPeriod = 12;
+    config.pacedBurst = 3;
+    config.highWaterMark = 2;
+    config.validate(); // must not die
+    EXPECT_NE(config.describe().find("paced-12x3-at-2"),
+              std::string::npos);
+}
+
+TEST(WriteBufferConfigDeath, PacedNeedsPeriodAndTokens)
+{
+    WriteBufferConfig config;
+    config.retirementMode = RetirementMode::Paced;
+    config.pacedRefillPeriod = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "refill");
+    config.pacedRefillPeriod = 8;
+    config.pacedBurst = 0;
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "token bucket");
+    config.pacedBurst = 2;
+    config.highWaterMark = 5; // > depth of 4
+    EXPECT_EXIT(config.validate(), ::testing::ExitedWithCode(1),
+                "paced retirement at 5");
+}
+
 TEST(WriteBufferConfigDeath, PriorityThresholdBounded)
 {
     WriteBufferConfig config;
@@ -135,6 +164,7 @@ TEST(PolicyNames, AllNamed)
                  "occupancy");
     EXPECT_STREQ(retirementModeName(RetirementMode::FixedRate),
                  "fixed-rate");
+    EXPECT_STREQ(retirementModeName(RetirementMode::Paced), "paced");
     EXPECT_STREQ(retirementOrderName(RetirementOrder::Fifo), "fifo");
     EXPECT_STREQ(retirementOrderName(RetirementOrder::FullestFirst),
                  "fullest-first");
@@ -149,7 +179,8 @@ TEST(PolicyNames, ParseIsTheInverseOfName)
         EXPECT_EQ(parseLoadHazardPolicy(loadHazardPolicyName(policy)),
                   policy);
     for (RetirementMode mode :
-         {RetirementMode::Occupancy, RetirementMode::FixedRate})
+         {RetirementMode::Occupancy, RetirementMode::FixedRate,
+          RetirementMode::Paced})
         EXPECT_EQ(parseRetirementMode(retirementModeName(mode)), mode);
     for (RetirementOrder order :
          {RetirementOrder::Fifo, RetirementOrder::FullestFirst})

@@ -93,8 +93,17 @@ policyCaseName(const ::testing::TestParamInfo<PolicyCase> &info)
 {
     std::string name;
     name += info.param.kind == BufferKind::WriteCache ? "wc" : "wb";
-    name += info.param.mode == RetirementMode::FixedRate
-        ? "_fixedrate_" : "_occupancy_";
+    switch (info.param.mode) {
+      case RetirementMode::FixedRate:
+        name += "_fixedrate_";
+        break;
+      case RetirementMode::Paced:
+        name += "_paced_";
+        break;
+      case RetirementMode::Occupancy:
+        name += "_occupancy_";
+        break;
+    }
     name += loadHazardPolicyName(info.param.hazard);
     for (char &c : name)
         if (c == '-')
@@ -109,7 +118,8 @@ allPolicyCases()
     for (BufferKind kind :
          {BufferKind::WriteBuffer, BufferKind::WriteCache})
         for (RetirementMode mode :
-             {RetirementMode::Occupancy, RetirementMode::FixedRate})
+             {RetirementMode::Occupancy, RetirementMode::FixedRate,
+              RetirementMode::Paced})
             for (LoadHazardPolicy hazard :
                  {LoadHazardPolicy::FlushFull,
                   LoadHazardPolicy::FlushPartial,
@@ -132,6 +142,8 @@ class PolicyMatrix : public ::testing::TestWithParam<PolicyCase>
         config.depth = 4;
         config.highWaterMark = 2;
         config.fixedRatePeriod = 8;
+        config.pacedRefillPeriod = 8;
+        config.pacedBurst = 2;
         config.crossCheck = true; // naive twin verifies every step
         return config;
     }
@@ -237,9 +249,10 @@ TEST_P(PolicyMatrix, CloneCapturesInFlightRetirement)
     original.buffer->advanceTo(12);
 
     // The write cache retires in the background only under
-    // fixed-rate; the write buffer always does here.
+    // fixed-rate and paced; the write buffer always does here.
     bool expect_in_flight = config.kind == BufferKind::WriteBuffer
-        || config.retirementMode == RetirementMode::FixedRate;
+        || config.retirementMode == RetirementMode::FixedRate
+        || config.retirementMode == RetirementMode::Paced;
     bool in_flight = false;
     if (auto *wb = dynamic_cast<WriteBuffer *>(original.buffer.get()))
         in_flight = wb->retirementUnderway();
@@ -310,6 +323,66 @@ TEST(WriteCachePolicy, AgeTimeoutEvictsIdleEntries)
     EXPECT_EQ(rig.buffer->stats().retirements, 1u);
     ASSERT_EQ(rig.writes.size(), 1u);
     EXPECT_EQ(rig.writes[0].start, 10u); // allocation + timeout
+}
+
+/** The paced trigger drains a burst back-to-back up to the bucket
+ *  depth, then caps sustained drain at one write per refill period. */
+TEST(PacedPolicy, TokenBucketCapsSustainedDrain)
+{
+    WriteBufferConfig config;
+    config.retirementMode = RetirementMode::Paced;
+    config.depth = 6;
+    config.highWaterMark = 1;
+    config.pacedRefillPeriod = 20;
+    config.pacedBurst = 2;
+    config.crossCheck = true;
+    Rig rig;
+    rig.build(config);
+
+    StallStats stalls;
+    Cycle t = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        t = rig.buffer->store(Addr(i) * 64, 8, t, stalls) + 1;
+    rig.buffer->advanceTo(200);
+
+    EXPECT_EQ(rig.buffer->occupancy(), 0u);
+    EXPECT_EQ(rig.buffer->stats().retirements, 4u);
+    ASSERT_EQ(rig.writes.size(), 4u);
+    // Two banked tokens drain back-to-back (the second write queues
+    // behind the 6-cycle port transfer); the third waits for the
+    // refill at one period, the fourth for the next.
+    EXPECT_EQ(rig.writes[0].start, 0u);
+    EXPECT_EQ(rig.writes[1].start, 6u);
+    EXPECT_EQ(rig.writes[2].start, 20u);
+    EXPECT_EQ(rig.writes[3].start, 40u);
+}
+
+/** Explicit flushes bypass the token bucket: a load hazard must not
+ *  be rate-limited by pacing. */
+TEST(PacedPolicy, FlushesBypassTheTokenBucket)
+{
+    WriteBufferConfig config;
+    config.retirementMode = RetirementMode::Paced;
+    config.depth = 6;
+    config.highWaterMark = 6; // background drain never arms
+    config.pacedRefillPeriod = 50;
+    config.pacedBurst = 1;
+    config.crossCheck = true;
+    Rig rig;
+    rig.build(config);
+
+    StallStats stalls;
+    Cycle t = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        t = rig.buffer->store(Addr(i) * 64, 8, t, stalls) + 1;
+
+    Cycle done = rig.buffer->drainBelow(1, t);
+    EXPECT_EQ(rig.buffer->occupancy(), 0u);
+    ASSERT_EQ(rig.writes.size(), 4u);
+    // Back-to-back port transfers, no refill gaps.
+    for (std::size_t i = 1; i < rig.writes.size(); ++i)
+        EXPECT_EQ(rig.writes[i].start, rig.writes[i - 1].start + 6);
+    EXPECT_LT(done, t + 4 * 6 + 6);
 }
 
 } // namespace

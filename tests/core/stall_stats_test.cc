@@ -45,6 +45,25 @@ TEST(StallStats, AccumulateMergesEverything)
     EXPECT_EQ(a.loadHazardCycles, 4u);
     EXPECT_EQ(a.loadHazardEvents, 2u);
     EXPECT_EQ(a.totalCycles(), 10u);
+    EXPECT_EQ(a.totalEvents(), 4u);
+}
+
+TEST(StallStats, MaxEpisodeMergesAsMaximum)
+{
+    // Cycles add across accumulation boundaries, but the longest
+    // single episode of the combined run is the max of the parts —
+    // an episode never spans the boundary.
+    StallStats a, b;
+    a.bufferFullMaxEpisode = 10;
+    a.loadHazardMaxEpisode = 3;
+    b.bufferFullMaxEpisode = 7;
+    b.l2ReadAccessMaxEpisode = 20;
+    b.loadHazardMaxEpisode = 5;
+    a += b;
+    EXPECT_EQ(a.bufferFullMaxEpisode, 10u);
+    EXPECT_EQ(a.l2ReadAccessMaxEpisode, 20u);
+    EXPECT_EQ(a.loadHazardMaxEpisode, 5u);
+    EXPECT_EQ(a.maxEpisode(), 20u);
 }
 
 } // namespace

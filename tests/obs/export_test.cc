@@ -36,6 +36,9 @@ fabricatedResults()
     r.stalls.l2ReadAccessEvents = 1'301;
     r.stalls.loadHazardCycles = 997;
     r.stalls.loadHazardEvents = 41;
+    r.stalls.bufferFullMaxEpisode = 509;
+    r.stalls.l2ReadAccessMaxEpisode = 322;
+    r.stalls.loadHazardMaxEpisode = 77;
     r.l1LoadHits = 170'500;
     r.l1LoadMisses = 9'500;
     r.l1StoreHits = 100'000;
@@ -232,11 +235,50 @@ TEST(MetricsCsv, OneLinePerMetric)
     std::istringstream is(os.str());
     std::string line;
     ASSERT_TRUE(std::getline(is, line));
-    EXPECT_EQ(line, "name,kind,n,value,mean,min,max,p50,p95,p99");
+    EXPECT_EQ(line, "name,kind,n,value,mean,min,max,p50,p95,p99,p999,"
+                    "tail_overflowed");
     ASSERT_TRUE(std::getline(is, line));
     EXPECT_EQ(line.rfind("c,counter,", 0), 0u);
     ASSERT_TRUE(std::getline(is, line));
     EXPECT_EQ(line.rfind("h,histogram,1,", 0), 0u);
+}
+
+TEST(MetricsJson, FlagsOverflowedTailQuantiles)
+{
+    // A histogram whose tail sits in the overflow bucket must say so:
+    // the exported p99/p999 are lower bounds, not measurements.
+    MetricsRegistry registry;
+    MetricId h = registry.histogram("h", 4, 1);
+    // 102 samples, 2 in the overflow bucket: the p99 rank (99) still
+    // lands among the ones, the p999 rank (100) in the overflow.
+    for (int i = 0; i < 100; ++i)
+        registry.sample(h, 1);
+    registry.sample(h, 1000); // overflow
+    registry.sample(h, 1000); // overflow
+    std::ostringstream os;
+    writeMetricsJson(os, registry, fabricatedProvenance());
+    JsonValue doc = JsonValue::parse(os.str());
+    const JsonValue &m = doc.at("metrics").array()[0];
+    EXPECT_FALSE(m.at("p99_overflowed").boolean());
+    EXPECT_TRUE(m.at("p999_overflowed").boolean());
+    EXPECT_EQ(m.at("p999").number(), 1000.0);
+    EXPECT_EQ(m.at("overflow_count").uint(), 2u);
+}
+
+TEST(SimResultsJson, CarriesTailBlock)
+{
+    SimResults r = fabricatedResults();
+    std::ostringstream os;
+    writeSimResultsJson(os, r, fabricatedProvenance());
+    JsonValue doc = JsonValue::parse(os.str());
+    const JsonValue &stalls = doc.at("stalls");
+    EXPECT_EQ(stalls.at("buffer_full").at("max_episode").uint(), 509u);
+    EXPECT_EQ(stalls.at("read_access").at("max_episode").uint(), 322u);
+    EXPECT_EQ(stalls.at("load_hazard").at("max_episode").uint(), 77u);
+    const JsonValue &tail = stalls.at("tail");
+    EXPECT_EQ(tail.at("max_episode").uint(), 509u);
+    EXPECT_EQ(tail.at("episodes_per_10k").number(),
+              r.stallEpisodesPer10k());
 }
 
 } // namespace

@@ -97,9 +97,31 @@ TEST(MetricsRegistry, MergeCombinesShards)
 
     a.merge(b);
     EXPECT_EQ(a.counterValue(0), 15u);
-    EXPECT_EQ(a.gaugeValue(1), 9); // larger value wins
+    EXPECT_EQ(a.gaugeValue(1), 9); // default policy: larger value wins
     EXPECT_EQ(a.histogramValue(2).samples(), 2u);
     EXPECT_EQ(a.histogramValue(2).maxValue(), 6u);
+}
+
+TEST(MetricsRegistry, GaugeMergePolicyIsPerGauge)
+{
+    // Two shards: the peak gauge should keep the peak, but the
+    // occupancy-style gauge must report what the later shard finished
+    // with — a shard that drained to idle must not lose the merge to
+    // one that happened to peak higher.
+    MetricsRegistry a;
+    MetricsRegistry b;
+    for (MetricsRegistry *r : {&a, &b}) {
+        r->gauge("peak", GaugeMerge::Max);
+        r->gauge("occupancy", GaugeMerge::LastWriter);
+    }
+    a.set(a.gauge("peak", GaugeMerge::Max), 7);
+    b.set(b.gauge("peak", GaugeMerge::Max), 4);
+    a.set(a.gauge("occupancy", GaugeMerge::LastWriter), 6); // peaked
+    b.set(b.gauge("occupancy", GaugeMerge::LastWriter), 0); // idle
+
+    a.merge(b);
+    EXPECT_EQ(a.gaugeValue(0), 7); // max policy keeps the peak
+    EXPECT_EQ(a.gaugeValue(1), 0); // last-writer keeps the idle shard
 }
 
 TEST(MetricsRegistry, ResetKeepsRegistrations)

@@ -91,6 +91,33 @@ TEST(ObsIntegration, TimelineTotalsMatchStallAccounting)
               r.wbWordsWritten);
 }
 
+TEST(ObsIntegration, FoldedTimelineStillMatchesStallAccounting)
+{
+    // A timeline small enough that the measured region forces at
+    // least two epoch doublings: LOD folding must redistribute, not
+    // create or destroy, attributed cycles. Totals are pinned
+    // against the simulator's own stall counters.
+    obs::MetricsRegistry metrics;
+    obs::Timeline timeline(8, 1024); // folds at 8k and 16k cycles
+    obs::ObsSink sink{&metrics, &timeline, nullptr};
+    SimResults r = runOne(spec92::profile("compress"),
+                          figures::baselineMachine(), kInstructions, 1,
+                          kWarmup, sink);
+
+    ASSERT_GE(timeline.epochCycles(), 8u * 4)
+        << "run too short to force two doublings";
+    ASSERT_GT(r.stalls.totalCycles(), 0u);
+    EXPECT_EQ(timeline.total(obs::Channel::BufferFullStall),
+              r.stalls.bufferFullCycles);
+    EXPECT_EQ(timeline.total(obs::Channel::ReadAccessStall),
+              r.stalls.l2ReadAccessCycles);
+    EXPECT_EQ(timeline.total(obs::Channel::HazardStall),
+              r.stalls.loadHazardCycles);
+    EXPECT_EQ(timeline.total(obs::Channel::Stores), r.stores);
+    EXPECT_EQ(timeline.total(obs::Channel::WbWords),
+              r.wbWordsWritten);
+}
+
 TEST(ObsIntegration, StallHistogramsConserveCycles)
 {
     ObservedRun run;

@@ -75,6 +75,41 @@ TEST(Timeline, FoldDoublesEpochWidthAndConservesTotals)
     EXPECT_EQ(timeline.value(3, Channel::WbWords), 61u + 71u);
 }
 
+TEST(Timeline, FoldBoundaryAttributesToTheHalvedEpoch)
+{
+    // An add landing exactly on the fold-boundary cycle (the first
+    // cycle past the covered range) must land in epoch max/2 of the
+    // doubled series: old epochs {2k, 2k+1} become new epoch k, and
+    // the boundary cycle opens the first epoch beyond the folded
+    // half.
+    Timeline timeline(10, 4); // covers [0, 40) before folding
+    timeline.add(Channel::Stores, 0, 1);
+    timeline.add(Channel::Stores, 39, 1); // last covered cycle
+    timeline.add(Channel::Stores, 40, 1); // exact boundary
+    EXPECT_EQ(timeline.epochCycles(), 20u);
+    EXPECT_EQ(timeline.epochs(), 3u);
+    EXPECT_EQ(timeline.value(0, Channel::Stores), 1u);
+    EXPECT_EQ(timeline.value(1, Channel::Stores), 1u);
+    EXPECT_EQ(timeline.value(2, Channel::Stores), 1u);
+    EXPECT_EQ(timeline.total(Channel::Stores), 3u);
+}
+
+TEST(Timeline, OddSizedFoldDoesNotDoubleCountTheTail)
+{
+    // Regression: the unpaired tail bin of an odd-sized series used
+    // to be *added* into a slot still holding the stale value the
+    // pairwise loop had already folded forward, counting that epoch
+    // twice.
+    Timeline timeline(10, 5); // covers [0, 50) before folding
+    for (Cycle c = 0; c < 100; c += 10)
+        timeline.add(Channel::Stores, c, 1);
+    EXPECT_EQ(timeline.epochCycles(), 20u);
+    EXPECT_EQ(timeline.total(Channel::Stores), 10u);
+    for (std::size_t e = 0; e < timeline.epochs(); ++e)
+        EXPECT_EQ(timeline.value(e, Channel::Stores), 2u)
+            << "epoch " << e;
+}
+
 TEST(Timeline, RepeatedFoldingStaysBounded)
 {
     Timeline timeline(10, 4);

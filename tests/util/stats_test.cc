@@ -147,6 +147,45 @@ TEST(Histogram, QuantileOfOverflowSitsAtMaximum)
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
 }
 
+TEST(Histogram, QuantileWithOverflowFlagsSaturatedTail)
+{
+    Histogram h(4);
+    h.sample(1);
+    h.sample(2);
+    h.sample(100); // overflow bucket
+    // The median is measured; the p99/p100 rank lands in overflow and
+    // must come back clamped to the observed maximum *and* flagged.
+    Quantile mid = h.quantileWithOverflow(0.5);
+    EXPECT_FALSE(mid.overflowed);
+    Quantile tail = h.quantileWithOverflow(1.0);
+    EXPECT_TRUE(tail.overflowed);
+    EXPECT_DOUBLE_EQ(tail.value, 100.0);
+    EXPECT_EQ(h.overflowCount(), 1u);
+}
+
+TEST(Histogram, QuantileWithOverflowMatchesQuantileValue)
+{
+    // The flagged API must not change the numbers the unflagged one
+    // reports — exporters switch between them freely.
+    Histogram h(8, 4);
+    for (std::uint64_t v = 0; v < 64; ++v)
+        h.sample(v);
+    for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantileWithOverflow(q).value, h.quantile(q));
+}
+
+TEST(Histogram, QuantileWithOverflowOnEmptyAndInRange)
+{
+    Histogram h(8);
+    EXPECT_FALSE(h.quantileWithOverflow(0.999).overflowed);
+    EXPECT_DOUBLE_EQ(h.quantileWithOverflow(0.999).value, 0.0);
+    h.sample(3, 10); // all samples measured, none in overflow
+    Quantile q = h.quantileWithOverflow(0.999);
+    EXPECT_FALSE(q.overflowed);
+    EXPECT_DOUBLE_EQ(q.value, 3.0);
+    EXPECT_EQ(h.overflowCount(), 0u);
+}
+
 TEST(Histogram, MergeCombinesEverything)
 {
     Histogram a(8);
