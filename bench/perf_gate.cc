@@ -24,6 +24,17 @@
  *   WBSIM_TAIL_INJECT=pct     inflate the measured tail by pct%
  *                             (proves the gate trips; tests only)
  *   WBSIM_TAIL_ONLY=1         run just the tail lane (fast ctest)
+ *
+ * The SoA/vectorization work added a *speedup* gate on top: the
+ * `sim_simd` lane (simulator fed run items from a materialized
+ * trace) must stay >= 3x the pre-SoA `sim_baseline` rate, and
+ * `trace_replay_runs` (run-item decode) >= 2.5x the pre-SoA
+ * `trace_replay` rate. The pre-SoA reference rates ride along in the
+ * baseline file's `speedup_baseline` block, which this binary copies
+ * forward into every file it writes (seeding it from the baseline's
+ * own lanes the first time), so regenerating BENCH_core.json never
+ * loosens the gate. Wall-clock ratios are only meaningful on a quiet
+ * machine at full length, so smoke runs report them without gating.
  */
 
 #include <algorithm>
@@ -269,6 +280,43 @@ simulatorPolicyLayer(Count instructions)
     return r;
 }
 
+/**
+ * End-to-end simulator throughput replaying a pre-built materialized
+ * trace: the run-item feed over the SoA store and batched per-op
+ * dispatch — the path every cached grid cell takes. The trace build
+ * is untimed. This lane backs the speedup gate (>= 3x the pre-SoA
+ * sim_baseline), so it keeps the best of @p reps replays rather than
+ * a single shot: the threshold should trip on code regressions, not
+ * on a scheduler hiccup.
+ */
+GateResult
+simulatorSimd(Count instructions, int reps)
+{
+    auto profile = spec92::profile("compress");
+    SyntheticSource source(profile, instructions, 1);
+    MaterializedTrace trace = MaterializedTrace::build(source);
+    GateResult r;
+    r.name = "sim_simd";
+    r.iterations = instructions;
+    for (int rep = 0; rep < reps; ++rep) {
+        double start = now();
+        MaterializedCursor cursor(trace);
+        Simulator simulator(figures::baselineMachine());
+        SimResults results = simulator.run(cursor);
+        double elapsed = now() - start;
+        if (elapsed <= 0.0)
+            continue;
+        double rate = static_cast<double>(instructions) / elapsed;
+        if (rate > r.opsPerSec) {
+            r.opsPerSec = rate;
+            r.seconds = elapsed;
+            r.cyclesPerSec =
+                static_cast<double>(results.cycles) / elapsed;
+        }
+    }
+    return r;
+}
+
 /** Figure 3 replay: the full benchmark grid at reduced length. */
 GateResult
 fig03Replay(Count instructions)
@@ -325,6 +373,43 @@ traceReplay(double min_seconds)
             }
             sink += batch[got - 1].addr;
             left -= got;
+        }
+        if (sink == ~Addr{0}) // defeat dead-code elimination
+            std::cerr << "";
+    });
+}
+
+/**
+ * Records/second through the run-item decode (nextRuns): NonMem runs
+ * come back as counts instead of materialized filler records — the
+ * feed the simulator's batched dispatch actually consumes. The rate
+ * counts records *covered* (runs fold in), which is what makes it
+ * comparable to trace_replay's records-materialized rate; the
+ * speedup gate holds it to >= 2.5x the pre-SoA trace_replay.
+ */
+GateResult
+traceReplayRuns(double min_seconds)
+{
+    auto profile = spec92::profile("compress");
+    SyntheticSource source(profile, 200'000, 1);
+    MaterializedTrace trace = MaterializedTrace::build(source);
+    return timeLoop("trace_replay_runs", min_seconds,
+                    [&](std::uint64_t iterations) {
+        MaterializedCursor cursor(trace);
+        TraceRun batch[256];
+        Addr sink = 0;
+        std::uint64_t left = iterations;
+        while (left > 0) {
+            std::size_t got = cursor.nextRuns(batch, 256);
+            if (got == 0) {
+                cursor.reset();
+                continue;
+            }
+            std::uint64_t covered = 0;
+            for (std::size_t i = 0; i < got; ++i)
+                covered += batch[i].nonMemBefore + 1;
+            sink += batch[got - 1].rec.addr;
+            left -= std::min(left, covered);
         }
         if (sink == ~Addr{0}) // defeat dead-code elimination
             std::cerr << "";
@@ -501,9 +586,117 @@ checkTailAgainstBaseline(const TailResult &tail)
     return ok;
 }
 
+/**
+ * The pre-SoA reference rates the speedup gate divides by. Loaded
+ * from the baseline file and copied forward into every file this
+ * binary writes, so the reference survives regeneration.
+ */
+struct SpeedupBaseline
+{
+    bool present = false;
+    double simBaseline = 0.0;  //!< pre-SoA sim_baseline ops/s
+    double traceReplay = 0.0;  //!< pre-SoA trace_replay ops/s
+};
+
+/**
+ * Read the speedup reference from WBSIM_PERF_BASELINE: prefer the
+ * explicit `speedup_baseline` block; on a baseline that predates the
+ * block (the pre-SoA BENCH_core.json itself), seed the reference
+ * from its own sim_baseline / trace_replay lanes.
+ */
+SpeedupBaseline
+loadSpeedupBaseline()
+{
+    SpeedupBaseline base;
+    const char *env = std::getenv("WBSIM_PERF_BASELINE");
+    if (env == nullptr || *env == '\0')
+        return base;
+    std::ifstream file(env);
+    if (!file)
+        return base;
+    std::string text((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    obs::JsonValue doc = obs::JsonValue::parse(text);
+    if (doc.has("speedup_baseline")) {
+        const obs::JsonValue &block = doc.at("speedup_baseline");
+        base.simBaseline =
+            block.at("sim_baseline_ops_per_sec").number();
+        base.traceReplay =
+            block.at("trace_replay_ops_per_sec").number();
+        base.present = true;
+        return base;
+    }
+    if (!doc.has("results"))
+        return base;
+    for (const obs::JsonValue &entry : doc.at("results").array()) {
+        const std::string &name = entry.at("name").string();
+        if (name == "sim_baseline")
+            base.simBaseline = entry.at("ops_per_sec").number();
+        else if (name == "trace_replay")
+            base.traceReplay = entry.at("ops_per_sec").number();
+    }
+    base.present = base.simBaseline > 0.0 && base.traceReplay > 0.0;
+    return base;
+}
+
+/**
+ * The speedup gate: sim_simd >= 3x the pre-SoA sim_baseline and
+ * trace_replay_runs >= 2.5x the pre-SoA trace_replay. Ratios are
+ * printed in every mode; only full mode fails on them (smoke lengths
+ * are startup-dominated and CI runners are noisy).
+ * @return true when acceptable.
+ */
+bool
+checkSpeedupAgainstBaseline(const std::vector<GateResult> &results,
+                            const SpeedupBaseline &base, bool smoke)
+{
+    if (!base.present)
+        return true;
+    auto find = [&](const char *name) -> const GateResult * {
+        for (const GateResult &r : results)
+            if (r.name == name)
+                return &r;
+        return nullptr;
+    };
+    const GateResult *simd = find("sim_simd");
+    const GateResult *runs = find("trace_replay_runs");
+    if (simd == nullptr || runs == nullptr)
+        return true;
+    double sim_ratio = simd->opsPerSec / base.simBaseline;
+    double replay_ratio = runs->opsPerSec / base.traceReplay;
+    std::cout << "perf_gate: sim_simd = " << sim_ratio
+              << "x pre-SoA sim_baseline (need >= 3x)\n"
+              << "perf_gate: trace_replay_runs = " << replay_ratio
+              << "x pre-SoA trace_replay (need >= 2.5x)\n";
+    if (smoke) {
+        std::cout << "perf_gate: smoke mode; speedup ratios "
+                     "informational only\n";
+        return true;
+    }
+    bool ok = true;
+    if (sim_ratio < 3.0) {
+        std::cerr << "perf_gate: SPEEDUP REGRESSION: sim_simd = "
+                  << simd->opsPerSec << " ops/s is below 3x the "
+                  << "pre-SoA sim_baseline " << base.simBaseline
+                  << "\n";
+        ok = false;
+    }
+    if (replay_ratio < 2.5) {
+        std::cerr << "perf_gate: SPEEDUP REGRESSION: "
+                  << "trace_replay_runs = " << runs->opsPerSec
+                  << " ops/s is below 2.5x the pre-SoA trace_replay "
+                  << base.traceReplay << "\n";
+        ok = false;
+    }
+    if (ok)
+        std::cout << "perf_gate: speedup lanes above thresholds\n";
+    return ok;
+}
+
 void
 writeJson(std::ostream &os, const std::vector<GateResult> &results,
-          const TailResult &tail, bool smoke)
+          const TailResult &tail, const SpeedupBaseline &base,
+          bool smoke)
 {
     obs::JsonWriter json(os);
     json.beginObject();
@@ -535,6 +728,13 @@ writeJson(std::ostream &os, const std::vector<GateResult> &results,
     json.field("episodes_per_10k", tail.episodesPer10k);
     json.field("max_episode", tail.maxEpisode);
     json.endObject();
+    if (base.present) {
+        json.key("speedup_baseline");
+        json.beginObject();
+        json.field("sim_baseline_ops_per_sec", base.simBaseline);
+        json.field("trace_replay_ops_per_sec", base.traceReplay);
+        json.endObject();
+    }
     json.endObject();
     os << "\n";
 }
@@ -575,8 +775,17 @@ main()
                   << plain.opsPerSec / observed.opsPerSec << "x\n";
     }
     results.push_back(simulatorPolicyLayer(sim_instructions));
+    results.push_back(simulatorSimd(sim_instructions, smoke ? 2 : 5));
+    {
+        const GateResult &plain = results[results.size() - 4];
+        const GateResult &simd = results.back();
+        std::cout << "perf_gate: sim_simd vs sim_baseline (this "
+                  << "build) = " << simd.opsPerSec / plain.opsPerSec
+                  << "x\n";
+    }
     results.push_back(fig03Replay(fig_instructions));
     results.push_back(traceReplay(min_seconds));
+    results.push_back(traceReplayRuns(min_seconds));
     results.push_back(gridFig04("grid_fig04_nocache", false,
                                 grid_instructions, grid_passes));
     results.push_back(gridFig04("grid_fig04_cached", true,
@@ -589,6 +798,7 @@ main()
     }
 
     TailResult tail = measureTail();
+    SpeedupBaseline speedup_base = loadSpeedupBaseline();
 
     const char *env_out = std::getenv("WBSIM_PERF_OUT");
     std::string path = env_out ? env_out : "BENCH_core.json";
@@ -597,8 +807,10 @@ main()
         std::cerr << "perf_gate: cannot write " << path << "\n";
         return 1;
     }
-    writeJson(file, results, tail, smoke);
-    writeJson(std::cout, results, tail, smoke);
+    writeJson(file, results, tail, speedup_base, smoke);
+    writeJson(std::cout, results, tail, speedup_base, smoke);
     std::cout << "perf_gate: wrote " << path << "\n";
-    return checkTailAgainstBaseline(tail) ? 0 : 1;
+    bool ok = checkTailAgainstBaseline(tail);
+    ok &= checkSpeedupAgainstBaseline(results, speedup_base, smoke);
+    return ok ? 0 : 1;
 }

@@ -1,7 +1,6 @@
 #include "core/policy/entry_store.hh"
 
 #include <algorithm>
-#include <map>
 
 #include "core/policy/victim_selector.hh"
 #include "util/logging.hh"
@@ -19,39 +18,38 @@ constexpr bool kDebugBuild =
     true;
 #endif
 
+/** Lane count rounded up so the widest vector step never needs a
+ *  scalar tail. */
+std::size_t
+paddedLanes(std::size_t depth)
+{
+    const std::size_t pad = simd::kLanePad;
+    return std::max<std::size_t>((depth + pad - 1) / pad * pad, pad);
+}
+
 } // namespace
 
 EntryStore::EntryStore(const WriteBufferConfig &config,
                        unsigned line_bytes, EntryOrder order)
     : entry_bytes_(config.entryBytes), line_bytes_(line_bytes),
       word_shift_(exactLog2(std::max(config.wordBytes, 1u))),
-      line_is_base_(config.entryBytes == line_bytes), order_(order),
-      naive_scan_(config.naiveScan),
+      line_shift_(exactLog2(line_bytes)),
+      order_(order), naive_scan_(config.naiveScan),
       cross_check_(config.crossCheck || kDebugBuild),
-      base_map_(std::max<std::size_t>(config.depth, 1)),
-      line_map_(std::max<std::size_t>(
-          std::size_t{config.depth}
-              * std::max<std::size_t>(
-                    config.entryBytes / std::max(line_bytes, 1u), 1),
-          1))
+      level_(simd::defaultLevel()), depth_(config.depth),
+      padded_(paddedLanes(config.depth))
 {
-    entries_.resize(config.depth);
+    base_.resize(padded_, 0);
+    valid_mask_.resize(padded_, 0);
+    seq_.resize(padded_, 0);
+    last_use_.resize(padded_, 0);
+    alloc_cycle_.resize(padded_, 0);
+    valid_words_.resize(padded_, 0);
+    occ_.resize((padded_ + 63) / 64, 0);
+    links_.resize(padded_);
     free_stack_.reserve(config.depth);
     for (unsigned i = config.depth; i > 0; --i)
         free_stack_.push_back(static_cast<int>(i - 1));
-}
-
-template <typename Fn>
-void
-EntryStore::forEachLine(Addr base, Fn &&fn) const
-{
-    Addr first = alignDown(base, line_bytes_);
-    Addr last = alignDown(base + entry_bytes_ - 1, line_bytes_);
-    for (Addr line = first;; line += line_bytes_) {
-        fn(line);
-        if (line >= last)
-            break;
-    }
 }
 
 void
@@ -60,24 +58,6 @@ EntryStore::setSelector(VictimSelector *selector)
     selector_ = selector;
     selector_active_ =
         selector != nullptr && selector->tracksEntries();
-}
-
-void
-EntryStore::attachLines(Addr base)
-{
-    forEachLine(base, [&](Addr line) { ++line_map_[line]; });
-}
-
-void
-EntryStore::releaseLines(Addr base)
-{
-    forEachLine(base, [&](Addr line) {
-        int *count = line_map_.find(line);
-        wbsim_assert(count != nullptr && *count > 0,
-                     "line resident count underflow");
-        if (--*count == 0)
-            line_map_.erase(line);
-    });
 }
 
 void
@@ -96,8 +76,8 @@ unsigned
 EntryStore::naiveCountValid() const
 {
     unsigned n = 0;
-    for (const BufferEntry &entry : entries_)
-        if (entry.valid)
+    for (std::size_t i = 0; i < depth_; ++i)
+        if (validAt(i))
             ++n;
     return n;
 }
@@ -106,9 +86,12 @@ unsigned
 EntryStore::occupancySlow() const
 {
     unsigned naive = naiveCountValid();
-    if (cross_check_)
+    if (cross_check_) {
         wbsim_assert(naive == valid_count_,
                      "occupancy counter diverged from the scan");
+        wbsim_assert(simd::countValid(lanes(), level_) == naive,
+                     "occupancy kernel diverged from the scan");
+    }
     return naive_scan_ ? naive : valid_count_;
 }
 
@@ -117,14 +100,13 @@ EntryStore::naiveMergeTarget(Addr base, int exclude) const
 {
     int best = -1;
     std::uint64_t best_seq = 0;
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const BufferEntry &entry = entries_[i];
-        if (!entry.valid || entry.base != base)
+    for (std::size_t i = 0; i < depth_; ++i) {
+        if (!validAt(i) || base_[i] != base)
             continue;
         if (static_cast<int>(i) == exclude)
             continue; // stores cannot merge into a retiring entry
-        if (entry.seq > best_seq) {
-            best_seq = entry.seq;
+        if (seq_[i] > best_seq) {
+            best_seq = seq_[i];
             best = static_cast<int>(i);
         }
     }
@@ -132,32 +114,16 @@ EntryStore::naiveMergeTarget(Addr base, int exclude) const
 }
 
 int
-EntryStore::indexedMergeTarget(Addr base, int exclude) const
-{
-    // The chain is newest-first, so the first non-excluded link is
-    // the highest-sequence merge candidate.
-    const int *head = base_map_.find(base);
-    if (head == nullptr)
-        return -1;
-    if (exclude < 0)
-        return *head;
-    for (int i = *head; i >= 0;
-         i = entries_[static_cast<std::size_t>(i)].baseNext) {
-        if (i == exclude)
-            continue;
-        return i;
-    }
-    return -1;
-}
-
-int
 EntryStore::findMergeTargetSlow(Addr base, int exclude) const
 {
     int naive = naiveMergeTarget(base, exclude);
     if (cross_check_)
-        wbsim_assert(indexedMergeTarget(base, exclude) == naive,
-                     "merge-target index diverged from the scan");
-    return naive_scan_ ? naive : indexedMergeTarget(base, exclude);
+        wbsim_assert(
+            simd::newestMatch(lanes(), base, exclude, level_) == naive,
+            "merge-target kernel diverged from the scan");
+    return naive_scan_
+        ? naive
+        : simd::newestMatch(lanes(), base, exclude, level_);
 }
 
 int
@@ -165,10 +131,9 @@ EntryStore::naiveOldestBySeq() const
 {
     int best = -1;
     std::uint64_t best_seq = ~std::uint64_t{0};
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const BufferEntry &entry = entries_[i];
-        if (entry.valid && entry.seq < best_seq) {
-            best_seq = entry.seq;
+    for (std::size_t i = 0; i < depth_; ++i) {
+        if (validAt(i) && seq_[i] < best_seq) {
+            best_seq = seq_[i];
             best = static_cast<int>(i);
         }
     }
@@ -180,9 +145,9 @@ EntryStore::naiveLeastRecent() const
 {
     int best = -1;
     std::uint64_t best_use = ~std::uint64_t{0};
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        if (entries_[i].valid && entries_[i].lastUse < best_use) {
-            best_use = entries_[i].lastUse;
+    for (std::size_t i = 0; i < depth_; ++i) {
+        if (validAt(i) && last_use_[i] < best_use) {
+            best_use = last_use_[i];
             best = static_cast<int>(i);
         }
     }
@@ -192,8 +157,20 @@ EntryStore::naiveLeastRecent() const
 int
 EntryStore::oldestBySeq() const
 {
-    if (order_ != EntryOrder::Allocation)
-        return naiveOldestBySeq(); // no seq-ordered index to consult
+    if (order_ != EntryOrder::Allocation) {
+        // No seq-ordered list to consult: an oldestValid sweep
+        // (unique seqs make the min reduction unambiguous).
+        if (naive_scan_ || cross_check_) {
+            int naive = naiveOldestBySeq();
+            if (cross_check_)
+                wbsim_assert(simd::oldestValid(lanes(), level_)
+                                 == naive,
+                             "oldest-seq kernel diverged from the scan");
+            if (naive_scan_)
+                return naive;
+        }
+        return simd::oldestValid(lanes(), level_);
+    }
     if (naive_scan_ || cross_check_) {
         int naive = naiveOldestBySeq();
         if (cross_check_)
@@ -208,20 +185,30 @@ EntryStore::oldestBySeq() const
 int
 EntryStore::oldestOverlapping(Addr line_base, Addr line_end) const
 {
-    int victim = -1;
-    std::uint64_t victim_seq = ~std::uint64_t{0};
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-        const BufferEntry &entry = entries_[i];
-        if (!entry.valid)
-            continue;
-        Addr end = entry.base + entry_bytes_;
-        if (entry.base < line_end && end > line_base
-            && entry.seq < victim_seq) {
-            victim_seq = entry.seq;
-            victim = static_cast<int>(i);
+    if (naive_scan_ || cross_check_) {
+        int naive = -1;
+        std::uint64_t naive_seq = ~std::uint64_t{0};
+        for (std::size_t i = 0; i < depth_; ++i) {
+            if (!validAt(i))
+                continue;
+            Addr end = base_[i] + entry_bytes_;
+            if (base_[i] < line_end && end > line_base
+                && seq_[i] < naive_seq) {
+                naive_seq = seq_[i];
+                naive = static_cast<int>(i);
+            }
         }
+        if (cross_check_)
+            wbsim_assert(
+                simd::oldestOverlapping(lanes(), line_base, line_end,
+                                        entry_bytes_, level_)
+                    == naive,
+                "overlap-victim kernel diverged from the scan");
+        if (naive_scan_)
+            return naive;
     }
-    return victim;
+    return simd::oldestOverlapping(lanes(), line_base, line_end,
+                                   entry_bytes_, level_);
 }
 
 LoadProbe
@@ -233,76 +220,92 @@ EntryStore::naiveProbeLoad(Addr addr, unsigned size) const
     Addr entry_base = alignDown(addr, entry_bytes_);
     std::uint32_t needed = wordMask(addr, size);
     std::uint32_t found = 0;
-    for (const BufferEntry &entry : entries_) {
-        if (!entry.valid)
+    for (std::size_t i = 0; i < depth_; ++i) {
+        if (!validAt(i))
             continue;
-        Addr end = entry.base + entry_bytes_;
-        if (entry.base < line_end && end > line_base) {
+        Addr end = base_[i] + entry_bytes_;
+        if (base_[i] < line_end && end > line_base) {
             probe.blockHit = true;
-            probe.hitSeq = std::max(probe.hitSeq, entry.seq);
+            probe.hitSeq = std::max(probe.hitSeq, seq_[i]);
         }
-        if (entry.base == entry_base)
-            found |= entry.validMask;
+        if (base_[i] == entry_base)
+            found |= valid_mask_[i];
     }
     probe.wordHit = probe.blockHit && (found & needed) == needed;
     return probe;
 }
 
 LoadProbe
-EntryStore::indexedProbeLoad(Addr addr, unsigned size) const
+EntryStore::kernelProbeLoad(Addr addr, unsigned size) const
 {
-    // The common case is a load miss with no overlapping entry: one
-    // residency lookup answers it. Hazards (rare, and followed by
-    // flush work) fall back to the full scan.
-    Addr line = alignDown(addr, line_bytes_);
-    const int *hit =
-        line_is_base_ ? base_map_.find(line) : line_map_.find(line);
-    if (hit == nullptr)
-        return LoadProbe{};
-    return naiveProbeLoad(addr, size);
+    Addr line_base = alignDown(addr, line_bytes_);
+    simd::ProbeHit hit = simd::probeSweep(
+        lanes(), line_base, line_base + line_bytes_,
+        alignDown(addr, entry_bytes_), entry_bytes_, level_);
+    LoadProbe probe;
+    probe.blockHit = hit.blockHit;
+    probe.hitSeq = hit.hitSeq;
+    std::uint32_t needed = wordMask(addr, size);
+    probe.wordHit =
+        hit.blockHit && (hit.foundMask & needed) == needed;
+    return probe;
 }
 
 LoadProbe
 EntryStore::probeLoad(Addr addr, unsigned size) const
 {
+    bool resident = lineResident(alignDown(addr, line_bytes_));
     if (naive_scan_ || cross_check_) {
         LoadProbe naive = naiveProbeLoad(addr, size);
         if (cross_check_) {
-            LoadProbe fast = indexedProbeLoad(addr, size);
+            wbsim_assert(resident
+                             || (!naive.blockHit && !naive.wordHit
+                                 && naive.hitSeq == 0),
+                         "residency filter hid a probe hit");
+            LoadProbe fast = kernelProbeLoad(addr, size);
             wbsim_assert(fast.blockHit == naive.blockHit
-                         && fast.wordHit == naive.wordHit
-                         && fast.hitSeq == naive.hitSeq,
+                             && fast.wordHit == naive.wordHit
+                             && fast.hitSeq == naive.hitSeq,
                          "load probe diverged from the scan");
         }
         if (naive_scan_)
             return naive;
     }
-    return indexedProbeLoad(addr, size);
+    if (!resident)
+        return LoadProbe{};
+    return kernelProbeLoad(addr, size);
 }
 
 void
 EntryStore::verifyIntegrity() const
 {
-    // Occupancy counter and free stack.
+    // Occupancy counter, bitmask, and free stack.
     unsigned valid = naiveCountValid();
     wbsim_assert(valid_count_ == valid, "occupancy counter diverged");
-    wbsim_assert(free_stack_.size() == entries_.size() - valid,
+    wbsim_assert(simd::countValid(lanes(), level_) == valid,
+                 "occupancy bitmask diverged");
+    for (std::size_t i = depth_; i < padded_; ++i)
+        wbsim_assert(!validAt(i), "pad lane marked occupied");
+    wbsim_assert(free_stack_.size() == depth_ - valid,
                  "free stack size diverged");
-    std::vector<char> stacked(entries_.size(), 0);
+    std::vector<char> stacked(depth_, 0);
     for (int slot : free_stack_) {
         auto index = static_cast<std::size_t>(slot);
-        wbsim_assert(index < entries_.size(), "free stack slot range");
-        wbsim_assert(!entries_[index].valid, "valid entry on free stack");
+        wbsim_assert(index < depth_, "free stack slot range");
+        wbsim_assert(!validAt(index), "valid entry on free stack");
         wbsim_assert(!stacked[index], "duplicate slot on free stack");
         stacked[index] = 1;
     }
 
-    // Cached popcounts.
-    for (const BufferEntry &entry : entries_) {
-        wbsim_assert(entry.validWords
-                         == (entry.valid ? popcount32(entry.validMask)
-                                         : 0u),
+    // Cached popcounts (invalid lanes hold zeroed masks).
+    for (std::size_t i = 0; i < padded_; ++i) {
+        wbsim_assert(valid_words_[i]
+                         == (validAt(i) ? popcount32(valid_mask_[i])
+                                        : 0u),
                      "cached popcount diverged");
+        if (!validAt(i))
+            wbsim_assert(valid_mask_[i] == 0,
+                         "invalid lane holds a stale mask");
     }
 
     // The ordering list covers every valid entry in ascending order
@@ -312,14 +315,16 @@ EntryStore::verifyIntegrity() const
     std::uint64_t last_key = 0;
     int prev = -1;
     for (int i = list_head_; i >= 0;
-         i = entries_[static_cast<std::size_t>(i)].listNext) {
-        const BufferEntry &entry = entries_[static_cast<std::size_t>(i)];
+         i = links_[static_cast<std::size_t>(i)].next) {
+        auto index = static_cast<std::size_t>(i);
         std::uint64_t key = order_ == EntryOrder::Allocation
-            ? entry.seq
-            : entry.lastUse;
-        wbsim_assert(entry.valid, "invalid entry on the ordering list");
+            ? seq_[index]
+            : last_use_[index];
+        wbsim_assert(validAt(index),
+                     "invalid entry on the ordering list");
         wbsim_assert(key > last_key, "ordering list out of order");
-        wbsim_assert(entry.listPrev == prev, "list back-link broken");
+        wbsim_assert(links_[index].prev == prev,
+                     "list back-link broken");
         last_key = key;
         prev = i;
         ++walked;
@@ -327,50 +332,18 @@ EntryStore::verifyIntegrity() const
     wbsim_assert(prev == list_tail_, "list tail diverged");
     wbsim_assert(walked == valid, "ordering list misses entries");
 
-    // Base chains cover every valid entry, newest first.
-    unsigned chained = 0;
-    base_map_.forEach([&](Addr key, int head) {
-        int back = -1;
-        std::uint64_t down_seq = ~std::uint64_t{0};
-        for (int i = head; i >= 0;
-             i = entries_[static_cast<std::size_t>(i)].baseNext) {
-            const BufferEntry &entry =
-                entries_[static_cast<std::size_t>(i)];
-            wbsim_assert(entry.valid, "invalid entry on a base chain");
-            wbsim_assert(entry.base == key, "entry on the wrong chain");
-            wbsim_assert(entry.seq < down_seq,
-                         "base chain not newest-first");
-            wbsim_assert(entry.basePrev == back,
-                         "base chain back-link broken");
-            down_seq = entry.seq;
-            back = i;
-            ++chained;
-        }
-        wbsim_assert(back >= 0, "empty base chain left in the map");
-    });
-    wbsim_assert(chained == valid, "base chains miss entries");
-
-    // Per-line resident counts (base_map_ serves this role when
-    // entries and lines coincide, and line_map_ must stay empty).
-    if (line_is_base_) {
-        wbsim_assert(line_map_.size() == 0,
-                     "line map populated in line==entry geometry");
-    } else {
-        std::map<Addr, int> recount;
-        for (const BufferEntry &entry : entries_) {
-            if (!entry.valid)
-                continue;
-            forEachLine(entry.base, [&](Addr line) { ++recount[line]; });
-        }
-        std::size_t lines = 0;
-        line_map_.forEach([&](Addr key, int count) {
-            auto it = recount.find(key);
-            wbsim_assert(it != recount.end() && it->second == count,
-                         "line resident count diverged");
-            ++lines;
-        });
-        wbsim_assert(lines == recount.size(), "line map misses lines");
+    // Line-residency filter: recount every valid entry's footprint.
+    std::array<std::uint16_t, kLineFilterBuckets> expected{};
+    for (std::size_t i = 0; i < depth_; ++i) {
+        if (!validAt(i))
+            continue;
+        Addr first = base_[i] >> line_shift_;
+        Addr last = (base_[i] + entry_bytes_ - 1) >> line_shift_;
+        for (Addr line = first; line <= last; ++line)
+            ++expected[line % kLineFilterBuckets];
     }
+    wbsim_assert(expected == line_filter_,
+                 "line-residency filter diverged");
 
     // Selector caches (e.g. the fullest-first victim).
     if (selector_ != nullptr)

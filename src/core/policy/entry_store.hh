@@ -1,58 +1,52 @@
 /**
  * @file
- * The slot machinery shared by every store-buffer organisation:
- * entry slots with per-word valid bits, the free-entry stack, the
- * intrusive ordering list (allocation order for the FIFO buffer,
- * recency order for the write cache), the base-address chains, and
- * the per-line residency index — the PR-1 incremental indexes,
- * unified in one place.
+ * The slot machinery shared by every store-buffer organisation,
+ * restructured as structure-of-arrays (DESIGN.md §12): parallel
+ * lanes for the entry base tags, word-valid masks, cached
+ * popcounts, seq/lastUse/allocCycle stamps, plus a packed occupancy
+ * bitmask, with the intrusive ordering links packed into an
+ * `int32_t` pair per slot. The load-hazard probe, the coalescing
+ * merge-target lookup, and the flush victim scans are branch-free
+ * sweeps over the contiguous lanes (src/util/simd.hh kernels, with
+ * SSE2/AVX2/NEON specializations behind the WBSIM_SIMD knob); the
+ * PR-1 base/line hash indexes they replace are gone.
  *
- * Every indexed answer has a naive O(depth) reference scan; the
+ * Every kernel answer has a naive O(depth) reference scan; the
  * `naiveScan` config serves queries from the scans and `crossCheck`
- * asserts both agree on every query (DESIGN.md "Performance").
+ * asserts both agree on every query (DESIGN.md "Performance") —
+ * which is also what pins the vector kernels bit-for-bit to the
+ * scalar reference.
  */
 
 #ifndef WBSIM_CORE_POLICY_ENTRY_STORE_HH
 #define WBSIM_CORE_POLICY_ENTRY_STORE_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "core/config.hh"
 #include "core/store_buffer.hh"
 #include "obs/metrics.hh"
-#include "util/addr_map.hh"
 #include "util/bits.hh"
 #include "util/lint.hh"
+#include "util/simd.hh"
 
 namespace wbsim
 {
 
 class VictimSelector;
 
-/** One store-buffer slot, shared by all organisations. */
-struct BufferEntry
+/** The per-entry bookkeeping that stays AoS: the intrusive ordering
+ *  list (allocation or recency order). Packed so eight slots share
+ *  one 64-byte cache line. */
+struct EntryLinks
 {
-    Addr base = 0;
-    std::uint32_t validMask = 0;
-    bool valid = false;
-    std::uint64_t seq = 0;       //!< allocation order
-    std::uint64_t lastUse = 0;   //!< recency order (LRU organisations)
-    Cycle allocCycle = 0;        //!< for the age-timeout trigger
-    std::uint8_t validWords = 0; //!< cached popcount(validMask)
-    /** @name Ordering list (allocation or recency order). */
-    /// @{
-    int listPrev = -1;
-    int listNext = -1;
-    /// @}
-    /** @name Same-base chain hanging off the base map (newest
-     *  first; duplicates arise while an entry retires or under
-     *  non-coalescing allocation). */
-    /// @{
-    int basePrev = -1;
-    int baseNext = -1;
-    /// @}
+    std::int32_t prev = -1;
+    std::int32_t next = -1;
 };
+static_assert(sizeof(EntryLinks) == 8,
+              "EntryLinks must stay an int32_t pair (8 per line)");
 
 /** What the intrusive ordering list sorts by. */
 enum class EntryOrder : std::uint8_t
@@ -61,7 +55,7 @@ enum class EntryOrder : std::uint8_t
     Recency,    //!< head = least recently used (write cache)
 };
 
-/** Indexed entry slots plus their reference scans. */
+/** SoA entry slots, their sweep kernels, and the reference scans. */
 class EntryStore
 {
   public:
@@ -81,14 +75,40 @@ class EntryStore
         m_occupancy_ = id;
     }
 
-    /** @name Slot access. */
+    /** @name Per-slot lane access (replaces the old AoS entry()). */
     /// @{
-    const BufferEntry &
-    entry(std::size_t index) const
+    bool
+    validAt(std::size_t index) const
     {
-        return entries_[index];
+        return ((occ_[index >> 6] >> (index & 63)) & 1u) != 0;
     }
-    std::size_t size() const { return entries_.size(); }
+    Addr base(std::size_t index) const { return base_[index]; }
+    std::uint32_t
+    validMask(std::size_t index) const
+    {
+        return valid_mask_[index];
+    }
+    std::uint8_t
+    validWords(std::size_t index) const
+    {
+        return valid_words_[index];
+    }
+    std::uint64_t seq(std::size_t index) const { return seq_[index]; }
+    std::uint64_t
+    lastUse(std::size_t index) const
+    {
+        return last_use_[index];
+    }
+    Cycle
+    allocCycle(std::size_t index) const
+    {
+        return alloc_cycle_[index];
+    }
+    /// @}
+
+    /** @name Store-wide state. */
+    /// @{
+    std::size_t size() const { return depth_; }
     unsigned entryBytes() const { return entry_bytes_; }
     unsigned lineBytes() const { return line_bytes_; }
     bool hasFree() const { return !free_stack_.empty(); }
@@ -99,10 +119,27 @@ class EntryStore
     bool crossCheck() const { return cross_check_; }
     /// @}
 
+    /** @name Kernel level (the twin-rig fuzzers force Scalar on one
+     *  rig and the detected vector level on the other). */
+    /// @{
+    simd::Level level() const { return level_; }
+    void setLevel(simd::Level level) { level_ = level; }
+    /// @}
+
+    /** The lane arrays as the sweep kernels see them (padded to a
+     *  kLanePad multiple; pad lanes' occupancy bits stay clear). */
+    simd::Lanes
+    lanes() const
+    {
+        return {base_.data(), valid_mask_.data(), seq_.data(),
+                occ_.data(), padded_};
+    }
+
     /**
-     * Pop a free slot, fill it with a fresh entry (base, mask,
-     * allocation cycle, next seq/use stamps) and register it with
-     * every index. The caller must have ensured a free slot exists.
+     * Pop a free slot, fill its lanes with a fresh entry (base,
+     * mask, allocation cycle, next seq/use stamps) and register it
+     * with every index. The caller must have ensured a free slot
+     * exists.
      * @return the slot index.
      */
     WBSIM_HOT std::size_t
@@ -112,13 +149,12 @@ class EntryStore
                      "allocating with no free entry");
         auto index = static_cast<std::size_t>(free_stack_.back());
         free_stack_.pop_back();
-        BufferEntry &entry = entries_[index];
-        entry.base = base;
-        entry.validMask = mask;
-        entry.valid = true;
-        entry.lastUse = ++use_clock_;
-        entry.seq = next_seq_++;
-        entry.allocCycle = at;
+        base_[index] = base;
+        valid_mask_[index] = mask;
+        occ_[index >> 6] |= std::uint64_t{1} << (index & 63);
+        last_use_[index] = ++use_clock_;
+        seq_[index] = next_seq_++;
+        alloc_cycle_[index] = at;
         attachEntry(index);
         return index;
     }
@@ -128,41 +164,26 @@ class EntryStore
     WBSIM_HOT void
     release(std::size_t index)
     {
-        BufferEntry &entry = entries_[index];
-        wbsim_assert(entry.valid, "detaching an invalid entry");
+        wbsim_assert(validAt(index), "detaching an invalid entry");
         --valid_count_;
 
-        if (entry.listPrev >= 0)
-            entries_[static_cast<std::size_t>(entry.listPrev)]
-                .listNext = entry.listNext;
+        EntryLinks &links = links_[index];
+        if (links.prev >= 0)
+            links_[static_cast<std::size_t>(links.prev)].next =
+                links.next;
         else
-            list_head_ = entry.listNext;
-        if (entry.listNext >= 0)
-            entries_[static_cast<std::size_t>(entry.listNext)]
-                .listPrev = entry.listPrev;
+            list_head_ = links.next;
+        if (links.next >= 0)
+            links_[static_cast<std::size_t>(links.next)].prev =
+                links.prev;
         else
-            list_tail_ = entry.listPrev;
+            list_tail_ = links.prev;
 
-        if (entry.basePrev >= 0) {
-            entries_[static_cast<std::size_t>(entry.basePrev)]
-                .baseNext = entry.baseNext;
-        } else if (entry.baseNext >= 0) {
-            base_map_[entry.base] = entry.baseNext;
-        } else {
-            base_map_.erase(entry.base);
-        }
-        if (entry.baseNext >= 0)
-            entries_[static_cast<std::size_t>(entry.baseNext)]
-                .basePrev = entry.basePrev;
-
-        if (!line_is_base_)
-            releaseLines(entry.base);
-
-        entry.valid = false;
-        entry.validMask = 0;
-        entry.validWords = 0;
-        entry.listPrev = entry.listNext = -1;
-        entry.basePrev = entry.baseNext = -1;
+        occ_[index >> 6] &= ~(std::uint64_t{1} << (index & 63));
+        valid_mask_[index] = 0;
+        valid_words_[index] = 0;
+        lineFilterAdjust(index, -1);
+        links.prev = links.next = -1;
         free_stack_.push_back(static_cast<int>(index));
 
         if (selector_active_)
@@ -174,11 +195,10 @@ class EntryStore
     WBSIM_HOT void
     merge(std::size_t index, std::uint32_t mask)
     {
-        BufferEntry &entry = entries_[index];
-        wbsim_assert(entry.valid, "merging into an invalid entry");
-        entry.validMask |= mask;
-        entry.validWords =
-            static_cast<std::uint8_t>(popcount32(entry.validMask));
+        wbsim_assert(validAt(index), "merging into an invalid entry");
+        valid_mask_[index] |= mask;
+        valid_words_[index] =
+            static_cast<std::uint8_t>(popcount32(valid_mask_[index]));
         if (selector_active_)
             selectorAttachOrMerge(index);
     }
@@ -189,22 +209,21 @@ class EntryStore
     {
         wbsim_assert(order_ == EntryOrder::Recency,
                      "touch on an allocation-ordered store");
-        entries_[index].lastUse = ++use_clock_;
+        last_use_[index] = ++use_clock_;
         if (list_tail_ == static_cast<int>(index))
             return;
-        BufferEntry &entry = entries_[index];
-        // Unlink (not the tail, so listNext >= 0)...
-        if (entry.listPrev >= 0)
-            entries_[static_cast<std::size_t>(entry.listPrev)]
-                .listNext = entry.listNext;
+        EntryLinks &links = links_[index];
+        // Unlink (not the tail, so next >= 0)...
+        if (links.prev >= 0)
+            links_[static_cast<std::size_t>(links.prev)].next =
+                links.next;
         else
-            list_head_ = entry.listNext;
-        entries_[static_cast<std::size_t>(entry.listNext)].listPrev =
-            entry.listPrev;
+            list_head_ = links.next;
+        links_[static_cast<std::size_t>(links.next)].prev = links.prev;
         // ...and relink at the most-recent end.
-        entry.listPrev = list_tail_;
-        entry.listNext = -1;
-        entries_[static_cast<std::size_t>(list_tail_)].listNext =
+        links.prev = list_tail_;
+        links.next = -1;
+        links_[static_cast<std::size_t>(list_tail_)].next =
             static_cast<int>(index);
         list_tail_ = static_cast<int>(index);
     }
@@ -214,26 +233,42 @@ class EntryStore
      * entry mid-retirement, or -1). Serves both the write buffer's
      * merge-target lookup and the write cache's block lookup (blocks
      * are unique there under coalescing, so "newest" is "the one").
+     * A single newestMatch sweep over the base/seq lanes.
      */
     WBSIM_HOT int
     findMergeTarget(Addr base, int exclude) const
     {
         if (naive_scan_ || cross_check_)
             return findMergeTargetSlow(base, exclude);
-        return indexedMergeTarget(base, exclude);
+        return simd::newestMatch(lanes(), base, exclude, level_);
     }
 
     /** Oldest valid entry by allocation order (FIFO flushes, the
-     *  age-timeout trigger). O(1) in allocation order, a scan in
-     *  recency order. */
+     *  age-timeout trigger). O(1) in allocation order, an
+     *  oldestValid sweep in recency order. */
     int oldestBySeq() const;
 
     /** Oldest valid entry (by seq) overlapping [line_base,
      *  line_end) — flush-item-only's victim. */
     int oldestOverlapping(Addr line_base, Addr line_end) const;
 
-    /** Probe for a load; naive/indexed/cross-checked per config. */
+    /** Probe for a load; kernel/naive/cross-checked per config. */
     WBSIM_HOT LoadProbe probeLoad(Addr addr, unsigned size) const;
+
+    /**
+     * Exact-negative residency filter for the probed L1 line: the
+     * counter for a line's hash bucket is non-zero whenever any
+     * valid entry covers any byte of that line, so a zero bucket
+     * proves the probe misses (both the overlap test and the
+     * base-equality test imply overlap with the probed line) and
+     * probeLoad can skip the sweep. Collisions only cost the sweep.
+     */
+    bool
+    lineResident(Addr line_base) const
+    {
+        return line_filter_[(line_base >> line_shift_)
+                            % kLineFilterBuckets] != 0;
+    }
 
     /** Word-valid mask an access covers within its entry. */
     WBSIM_HOT std::uint32_t
@@ -261,15 +296,14 @@ class EntryStore
 
     /**
      * Panic unless every incremental index agrees with a
-     * from-scratch recomputation over the entry array.
+     * from-scratch recomputation over the lane arrays.
      */
     WBSIM_COLD void verifyIntegrity() const;
 
   private:
     LoadProbe naiveProbeLoad(Addr addr, unsigned size) const;
-    LoadProbe indexedProbeLoad(Addr addr, unsigned size) const;
+    LoadProbe kernelProbeLoad(Addr addr, unsigned size) const;
     int naiveMergeTarget(Addr base, int exclude) const;
-    int indexedMergeTarget(Addr base, int exclude) const;
     int findMergeTargetSlow(Addr base, int exclude) const;
 
     /** The one publish site for the occupancy-gauge handle
@@ -285,76 +319,89 @@ class EntryStore
     WBSIM_HOT void
     attachEntry(std::size_t index)
     {
-        BufferEntry &entry = entries_[index];
-        wbsim_assert(entry.valid, "attaching an invalid entry");
+        wbsim_assert(validAt(index), "attaching an invalid entry");
         ++valid_count_;
-        entry.validWords =
-            static_cast<std::uint8_t>(popcount32(entry.validMask));
+        valid_words_[index] =
+            static_cast<std::uint8_t>(popcount32(valid_mask_[index]));
+        lineFilterAdjust(index, +1);
 
-        entry.listPrev = list_tail_;
-        entry.listNext = -1;
+        EntryLinks &links = links_[index];
+        links.prev = list_tail_;
+        links.next = -1;
         if (list_tail_ >= 0)
-            entries_[static_cast<std::size_t>(list_tail_)].listNext =
+            links_[static_cast<std::size_t>(list_tail_)].next =
                 static_cast<int>(index);
         else
             list_head_ = static_cast<int>(index);
         list_tail_ = static_cast<int>(index);
-
-        bool inserted = false;
-        int &head = base_map_.insertOrFind(entry.base, inserted);
-        entry.baseNext = inserted ? -1 : head;
-        entry.basePrev = -1;
-        if (entry.baseNext >= 0)
-            entries_[static_cast<std::size_t>(entry.baseNext)]
-                .basePrev = static_cast<int>(index);
-        head = static_cast<int>(index);
-
-        if (!line_is_base_)
-            attachLines(entry.base);
 
         if (selector_active_)
             selectorAttachOrMerge(index);
         publishOccupancy();
     }
 
-    /** @name Out-of-line pieces of the inlined mutators: per-line
-     *  residency in the multi-line geometry and the notification
-     *  calls of an entry-tracking selector (both off the default
-     *  geometry's fast path). */
+    /** @name Out-of-line notification calls of an entry-tracking
+     *  selector (off the default policies' fast path). */
     /// @{
-    void attachLines(Addr base);
-    void releaseLines(Addr base);
     void selectorAttachOrMerge(std::size_t index);
     void selectorDetach(std::size_t index);
     /// @}
 
-    /** Visit the base of every L1 line the entry at @p base covers. */
-    template <typename Fn> void forEachLine(Addr base, Fn &&fn) const;
+    /** Count the entry at @p index in (or out of) the residency
+     *  filter, once per L1 line its footprint touches. */
+    WBSIM_HOT void
+    lineFilterAdjust(std::size_t index, int delta)
+    {
+        Addr first = base_[index] >> line_shift_;
+        Addr last = (base_[index] + entry_bytes_ - 1) >> line_shift_;
+        for (Addr line = first; line <= last; ++line)
+            line_filter_[line % kLineFilterBuckets] =
+                static_cast<std::uint16_t>(
+                    line_filter_[line % kLineFilterBuckets] + delta);
+    }
 
     unsigned entry_bytes_;
     unsigned line_bytes_;
     unsigned word_shift_; //!< log2(wordBytes): wordMask avoids division
-    /** entryBytes == line_bytes: entries and L1 lines coincide, so
-     *  base_map_ doubles as the line residency index and line_map_
-     *  stays empty (the default geometry's fast path). */
-    bool line_is_base_;
+    unsigned line_shift_; //!< log2(lineBytes): filter avoids division
     EntryOrder order_;
     bool naive_scan_;
     bool cross_check_;
+    simd::Level level_;
 
-    std::vector<BufferEntry> entries_;
+    std::size_t depth_;  //!< logical entry count
+    std::size_t padded_; //!< depth_ rounded up to simd::kLanePad
+
+    /** @name SoA lanes (each sized padded_; pad lanes stay zero and
+     *  their occupancy bits stay clear, so kernels never need a
+     *  scalar tail). */
+    /// @{
+    std::vector<Addr> base_;
+    std::vector<std::uint32_t> valid_mask_;
+    std::vector<std::uint64_t> seq_;
+    std::vector<std::uint64_t> last_use_;
+    std::vector<Cycle> alloc_cycle_;
+    std::vector<std::uint8_t> valid_words_;
+    std::vector<std::uint64_t> occ_; //!< packed occupancy bitmask
+    std::vector<EntryLinks> links_;  //!< ordering-list AoS remainder
+    /// @}
+
     std::uint64_t next_seq_ = 1;
     std::uint64_t use_clock_ = 0;
 
-    /** @name Incremental indexes over entries_. */
+    /** @name Incremental indexes over the lanes. */
     /// @{
     unsigned valid_count_ = 0;    //!< number of valid entries
     std::vector<int> free_stack_; //!< invalid entry slots
     int list_head_ = -1;          //!< oldest / least-recent entry
     int list_tail_ = -1;          //!< newest / most-recent entry
-    AddrMap<int> base_map_;       //!< entry base -> chain head
-    AddrMap<int> line_map_;       //!< L1 line base -> resident count
     /// @}
+
+    /** Line-residency counters for the probe miss fast path. Depth
+     *  is small (tens) and footprints a few lines, so uint16_t
+     *  cannot saturate. */
+    static constexpr std::size_t kLineFilterBuckets = 64;
+    std::array<std::uint16_t, kLineFilterBuckets> line_filter_{};
 
     VictimSelector *selector_ = nullptr;
     /** selector_ != nullptr && selector_->tracksEntries(). */

@@ -72,7 +72,7 @@ WbFlushPartialHandler::handle(RetirementEngine &engine,
             if (oldest < 0)
                 break;
             auto index = static_cast<std::size_t>(oldest);
-            std::uint64_t seq = store.entry(index).seq;
+            std::uint64_t seq = store.seq(index);
             t = engine.writeEntryNow(index, t, L2Txn::WriteFlush);
             if (seq >= current.hitSeq)
                 break;
@@ -126,7 +126,7 @@ WcFlushAllHandler::handle(RetirementEngine &engine, EntryStore &store,
     }
     t = std::max(t, engine.backgroundDone());
     for (std::size_t i = 0; i < store.size(); ++i)
-        if (store.entry(i).valid)
+        if (store.validAt(i))
             t = engine.writeEntryNow(i, t, L2Txn::WriteFlush);
     engine.finishExternal(t);
     return {t, false};
@@ -148,11 +148,10 @@ WcFlushItemOnlyHandler::handle(RetirementEngine &engine,
     Addr line_base = alignDown(addr, store.lineBytes());
     Addr line_end = line_base + store.lineBytes();
     for (std::size_t i = 0; i < store.size(); ++i) {
-        const BufferEntry &entry = store.entry(i);
-        if (!entry.valid)
+        if (!store.validAt(i))
             continue;
-        Addr end = entry.base + store.entryBytes();
-        if (entry.base < line_end && end > line_base)
+        Addr end = store.base(i) + store.entryBytes();
+        if (store.base(i) < line_end && end > line_base)
             t = engine.writeEntryNow(i, t, L2Txn::WriteFlush);
     }
     engine.finishExternal(t);

@@ -100,11 +100,10 @@ void
 RetirementEngine::startRetirement(std::size_t index, Cycle start,
                                   L2Txn kind)
 {
-    const BufferEntry &entry = store_.entry(index);
-    wbsim_assert(entry.valid, "retiring an invalid entry");
+    wbsim_assert(store_.validAt(index), "retiring an invalid entry");
     wbsim_assert(!retire_in_flight_, "overlapping retirements");
-    unsigned valid_words = entry.validWords;
-    Cycle duration = hook_(entry.base, valid_words,
+    unsigned valid_words = store_.validWords(index);
+    Cycle duration = hook_(store_.base(index), valid_words,
                            config_.wordsPerEntry(), start);
     wbsim_assert(duration > 0, "L2 write hook returned zero duration");
     Cycle actual = port_.begin(kind, start, duration);
@@ -135,11 +134,10 @@ Cycle
 RetirementEngine::writeEntryNow(std::size_t index, Cycle earliest,
                                 L2Txn kind)
 {
-    const BufferEntry &entry = store_.entry(index);
-    wbsim_assert(entry.valid, "flushing an invalid entry");
-    unsigned valid_words = entry.validWords;
+    wbsim_assert(store_.validAt(index), "flushing an invalid entry");
+    unsigned valid_words = store_.validWords(index);
     Cycle start = std::max(earliest, port_.freeAt());
-    Cycle duration = hook_(entry.base, valid_words,
+    Cycle duration = hook_(store_.base(index), valid_words,
                            config_.wordsPerEntry(), start);
     port_.begin(kind, start, duration);
     store_.release(index);
@@ -232,10 +230,9 @@ RetirementEngine::evictVictim(Cycle now, StallStats &stalls)
     // The victim's data moves to the eviction register and the slot
     // is reused immediately; the write itself drains in the
     // background.
-    const BufferEntry &entry = store_.entry(index);
-    unsigned valid_words = entry.validWords;
+    unsigned valid_words = store_.validWords(index);
     Cycle start = std::max(t, port_.freeAt());
-    Cycle duration = hook_(entry.base, valid_words,
+    Cycle duration = hook_(store_.base(index), valid_words,
                            config_.wordsPerEntry(), start);
     port_.begin(L2Txn::WriteRetire, start, duration);
     background_done_ = start + duration;

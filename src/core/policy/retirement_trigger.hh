@@ -284,7 +284,7 @@ class AgeTimeoutTrigger final : public RetirementTrigger
     {
         int oldest = store.oldestBySeq();
         wbsim_assert(oldest >= 0, "non-empty buffer with no oldest entry");
-        return store.entry(static_cast<std::size_t>(oldest)).allocCycle
+        return store.allocCycle(static_cast<std::size_t>(oldest))
             + timeout_;
     }
 

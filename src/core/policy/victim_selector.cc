@@ -53,14 +53,13 @@ FullestFirstSelector::naivePick(const EntryStore &store) const
     int best_words = -1;
     std::uint64_t best_seq = ~std::uint64_t{0};
     for (std::size_t i = 0; i < store.size(); ++i) {
-        const BufferEntry &entry = store.entry(i);
-        if (!entry.valid)
+        if (!store.validAt(i))
             continue;
-        int words = static_cast<int>(popcount32(entry.validMask));
+        int words = static_cast<int>(popcount32(store.validMask(i)));
         if (words > best_words
-            || (words == best_words && entry.seq < best_seq)) {
+            || (words == best_words && store.seq(i) < best_seq)) {
             best_words = words;
-            best_seq = entry.seq;
+            best_seq = store.seq(i);
             best = static_cast<int>(i);
         }
     }
@@ -74,11 +73,11 @@ FullestFirstSelector::noteAttachOrMerge(const EntryStore &store, int index)
         fullest_ = index;
         return;
     }
-    const BufferEntry &entry = store.entry(static_cast<std::size_t>(index));
-    const BufferEntry &best =
-        store.entry(static_cast<std::size_t>(fullest_));
-    if (entry.validWords > best.validWords
-        || (entry.validWords == best.validWords && entry.seq < best.seq))
+    auto entry = static_cast<std::size_t>(index);
+    auto best = static_cast<std::size_t>(fullest_);
+    if (store.validWords(entry) > store.validWords(best)
+        || (store.validWords(entry) == store.validWords(best)
+            && store.seq(entry) < store.seq(best)))
         fullest_ = index;
 }
 

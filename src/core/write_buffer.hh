@@ -97,6 +97,10 @@ class WriteBuffer final : public StoreBuffer
      */
     void verifyIndexIntegrity() const { store_.verifyIntegrity(); }
 
+    /** The slot store (the SIMD twin-rig fuzzers force the kernel
+     *  level here; see EntryStore::setLevel). */
+    EntryStore &entryStore() { return store_; }
+
   private:
     /** cloneRebound's copy: everything but the references. */
     WriteBuffer(const WriteBuffer &other, L2Port &port,

@@ -98,6 +98,10 @@ class WriteCache final : public StoreBuffer
      */
     void verifyIndexIntegrity() const { store_.verifyIntegrity(); }
 
+    /** The slot store (the SIMD twin-rig fuzzers force the kernel
+     *  level here; see EntryStore::setLevel). */
+    EntryStore &entryStore() { return store_; }
+
   private:
     /** cloneRebound's copy: everything but the references. */
     WriteCache(const WriteCache &other, L2Port &port, L2WriteHook hook);

@@ -7,6 +7,7 @@
 #include "util/bits.hh"
 #include "core/write_cache.hh"
 #include "obs/metrics.hh"
+#include "trace/materialized_trace.hh"
 #include "util/logging.hh"
 
 namespace wbsim
@@ -18,7 +19,9 @@ Simulator::Simulator(const MachineConfig &config)
       l1d_(config.l1d),
       l1i_(config.perfectICache ? L1ICache() : L1ICache(config.l1i)),
       l2_(config.perfectL2 ? L2Cache() : L2Cache(config.l2)),
-      memory_(config.memLatency)
+      memory_(config.memLatency),
+      batch_runs_ok_(config.perfectICache
+                     && config.bubbleProbability <= 0.0)
 {
     config_.validate();
     auto line = static_cast<unsigned>(config_.l1d.lineBytes);
@@ -352,23 +355,122 @@ Simulator::step(const TraceRecord &record)
       case Op::Store:
         doStore(record.addr, record.size);
         break;
-      case Op::Barrier: {
-        // §2.2: ordering instructions drain the buffer; the CPU
-        // stalls until every buffered write is in L2.
-        ++barriers_;
-        Cycle done = buffer_->drainBelow(1, cycle_);
-        note(SimEventKind::Barrier, 0, done - cycle_);
-        if (done > cycle_) {
-            Cycle wait = done - cycle_;
-            barrier_stall_cycles_ += wait;
-            if (metrics_ != nullptr)
-                metrics_->sample(m_stall_barrier_, wait);
-            if (timeline_ != nullptr)
-                timeline_->add(obs::Channel::BarrierStall, cycle_, wait);
-            cycle_ = done;
-        }
+      case Op::Barrier:
+        doBarrier();
         break;
-      }
+    }
+}
+
+void
+Simulator::doBarrier()
+{
+    // §2.2: ordering instructions drain the buffer; the CPU stalls
+    // until every buffered write is in L2.
+    ++barriers_;
+    Cycle done = buffer_->drainBelow(1, cycle_);
+    note(SimEventKind::Barrier, 0, done - cycle_);
+    if (done > cycle_) {
+        Cycle wait = done - cycle_;
+        barrier_stall_cycles_ += wait;
+        if (metrics_ != nullptr)
+            metrics_->sample(m_stall_barrier_, wait);
+        if (timeline_ != nullptr)
+            timeline_->add(obs::Channel::BarrierStall, cycle_, wait);
+        cycle_ = done;
+    }
+}
+
+void
+Simulator::runBatch(const TraceRecord *batch, std::size_t count)
+{
+    if (!batch_runs_ok_) {
+        // Real I-cache or bubble RNG: every record carries per-record
+        // work beyond issue arithmetic, so run decoding buys nothing.
+        for (std::size_t i = 0; i < count; ++i)
+            step(batch[i]);
+        return;
+    }
+    std::size_t i = 0;
+    while (i < count) {
+        const Op op = batch[i].op;
+        std::size_t j = i + 1;
+        while (j < count && batch[j].op == op)
+            ++j;
+        switch (op) {
+          case Op::NonMem:
+            skipNonMemRun(j - i);
+            break;
+          case Op::Load:
+            for (std::size_t k = i; k < j; ++k) {
+                ++instructions_;
+                advanceIssueFast();
+                doLoad(batch[k].addr, batch[k].size);
+            }
+            break;
+          case Op::Store:
+            for (std::size_t k = i; k < j; ++k) {
+                ++instructions_;
+                advanceIssueFast();
+                doStore(batch[k].addr, batch[k].size);
+            }
+            break;
+          case Op::Barrier:
+            for (std::size_t k = i; k < j; ++k) {
+                ++instructions_;
+                advanceIssueFast();
+                doBarrier();
+            }
+            break;
+        }
+        i = j;
+    }
+}
+
+namespace
+{
+
+/// Records (or run items) pulled from a TraceSource per batch refill.
+constexpr std::size_t kFeedBatch = 256;
+
+} // namespace
+
+void
+Simulator::runFromRuns(MaterializedCursor &cursor)
+{
+    TraceRun runs[kFeedBatch];
+    std::size_t got;
+    while ((got = cursor.nextRuns(runs, kFeedBatch)) > 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+            const TraceRun &item = runs[i];
+            switch (item.rec.op) {
+              case Op::NonMem:
+                // Carrier item: the record itself is one more plain
+                // NonMem instruction; fold it into the run charge.
+                skipNonMemRun(item.nonMemBefore + Count{1});
+                break;
+              case Op::Load:
+                if (item.nonMemBefore != 0)
+                    skipNonMemRun(item.nonMemBefore);
+                ++instructions_;
+                advanceIssueFast();
+                doLoad(item.rec.addr, item.rec.size);
+                break;
+              case Op::Store:
+                if (item.nonMemBefore != 0)
+                    skipNonMemRun(item.nonMemBefore);
+                ++instructions_;
+                advanceIssueFast();
+                doStore(item.rec.addr, item.rec.size);
+                break;
+              case Op::Barrier:
+                if (item.nonMemBefore != 0)
+                    skipNonMemRun(item.nonMemBefore);
+                ++instructions_;
+                advanceIssueFast();
+                doBarrier();
+                break;
+            }
+        }
     }
 }
 
@@ -441,17 +543,22 @@ Simulator::results(const std::string &workload) const
     return r;
 }
 
-namespace
-{
-
-/// Records pulled from a TraceSource per batch refill.
-constexpr std::size_t kFeedBatch = 256;
-
-} // namespace
-
 SimResults
 Simulator::run(TraceSource &source, Count max_instructions)
 {
+    // Materialized traces feed run items (run-length counts plus one
+    // record) straight from the encoding, skipping both the filler
+    // materialization and runBatch's op boundary scan. Limited runs
+    // keep the record path: a run item is not splittable at an
+    // instruction quota.
+    if (batch_runs_ok_ && max_instructions == 0) {
+        if (auto *cursor = dynamic_cast<MaterializedCursor *>(&source)) {
+            runFromRuns(*cursor);
+            drain();
+            return results(source.name());
+        }
+    }
+
     TraceRecord batch[kFeedBatch];
     for (;;) {
         std::size_t want = kFeedBatch;
@@ -462,8 +569,7 @@ Simulator::run(TraceSource &source, Count max_instructions)
             want = std::min<Count>(left, kFeedBatch);
         }
         std::size_t got = source.nextBatch(batch, want);
-        for (std::size_t i = 0; i < got; ++i)
-            step(batch[i]);
+        runBatch(batch, got);
         if (got < want)
             break;
     }
@@ -481,8 +587,7 @@ Simulator::consume(TraceSource &source, Count count)
             static_cast<std::size_t>(std::min<Count>(count - done,
                                                      kFeedBatch));
         std::size_t got = source.nextBatch(batch, want);
-        for (std::size_t i = 0; i < got; ++i)
-            step(batch[i]);
+        runBatch(batch, got);
         done += got;
         if (got < want)
             break;

@@ -31,6 +31,8 @@
 namespace wbsim
 {
 
+class MaterializedCursor;
+
 /**
  * A bit-exact capture of one Simulator's complete mutable state:
  * tag stores, write-buffer contents and in-flight transactions, the
@@ -162,6 +164,12 @@ class Simulator
     MainMemory memory_;
     std::unique_ptr<StoreBuffer> buffer_;
 
+    /** Per-record work outside the op handlers is pure issue
+     *  arithmetic (perfect I-cache, no bubble RNG draws), so
+     *  runBatch may decode per-op runs and skip NonMem runs in
+     *  O(1). Fixed by the config at construction. */
+    bool batch_runs_ok_;
+
     Cycle cycle_ = 0;
     Cycle cycle_base_ = 0;
     Count instructions_ = 0;
@@ -202,6 +210,60 @@ class Simulator
 
     /** Charge the issue cost of one instruction. */
     void advanceIssue();
+
+    /**
+     * Execute @p count records decoded into per-op index runs: one
+     * `switch(op)` per run instead of per record, monomorphic inner
+     * loops per op, and an O(1) arithmetic skip for NonMem runs.
+     * The run decode applies only when the per-record path would be
+     * pure issue arithmetic (perfect I-cache, no bubbles, checked
+     * once at construction); otherwise every record goes through
+     * step()'s logic unchanged, so results are bit-identical either
+     * way.
+     */
+    void runBatch(const TraceRecord *batch, std::size_t count);
+
+    /**
+     * Feed loop over MaterializedCursor::nextRuns(): the decoder
+     * hands NonMem runs as counts (the stream's native run-prefix
+     * shape), so the batched dispatch neither materializes filler
+     * records nor re-discovers run boundaries by scanning ops — the
+     * boundary-scan branch was the single largest cost of the
+     * record-path runBatch(). Only entered when batch_runs_ok_
+     * (NonMem records are pure issue arithmetic, charged via
+     * skipNonMemRun exactly as runBatch does), so results are
+     * bit-identical to the record path.
+     */
+    void runFromRuns(MaterializedCursor &cursor);
+
+    /** advanceIssue() for the batched fast path: no bubble draw
+     *  (the path is gated on bubbleProbability <= 0). */
+    void
+    advanceIssueFast()
+    {
+        if (++issue_slot_ >= config_.issueWidth) {
+            issue_slot_ = 0;
+            ++cycle_;
+        }
+    }
+
+    /**
+     * Charge a run of @p count back-to-back NonMem instructions in
+     * O(1): the same division advanceIssueFast() performs one
+     * increment at a time, so cycle_ and issue_slot_ land exactly
+     * where @p count advanceIssueFast() calls would leave them.
+     */
+    void
+    skipNonMemRun(Count count)
+    {
+        instructions_ += count;
+        Count slots = issue_slot_ + count;
+        cycle_ += slots / config_.issueWidth;
+        issue_slot_ = static_cast<unsigned>(slots % config_.issueWidth);
+    }
+
+    /** §2.2 ordering instruction: drain the buffer, stall the CPU. */
+    void doBarrier();
 
     /** Functional-and-timing L2 write callback for the buffer. */
     Cycle l2Write(Addr base, unsigned valid_words, unsigned total_words,

@@ -12,12 +12,18 @@
  *
  * Storage is structure-of-arrays in spirit but byte-packed in
  * practice: one header byte per record (op, size class, delta flags)
- * followed by zigzag-varint address/PC deltas. Typical synthetic
- * streams encode in 2-4 bytes per record versus the 24-byte
- * TraceRecord, so whole-figure trace sets stay cache- and
- * memory-friendly. Periodic sync points make seek() cheap, which is
- * what lets warm-state checkpoint forks resume mid-stream without
- * decoding the warmup prefix.
+ * followed by a raw fixed-width address delta (int32, or int64 for
+ * wide jumps) and a zigzag-varint PC delta. Runs of plain
+ * non-memory instructions (size 0, no address, pc advancing by 4) —
+ * the majority of every stream — collapse into a run-prefix byte on
+ * the next record's header, so the batched decoder replays them
+ * with unconditional fill stores instead of one header dispatch per
+ * record. Typical synthetic streams
+ * encode in 1-3 bytes per record versus the 24-byte TraceRecord, so
+ * whole-figure trace sets stay cache- and memory-friendly. Periodic
+ * sync points make seek() cheap, which is what lets warm-state
+ * checkpoint forks resume mid-stream without decoding the warmup
+ * prefix.
  */
 
 #ifndef WBSIM_TRACE_MATERIALIZED_TRACE_HH
@@ -60,7 +66,10 @@ class MaterializedTrace
   private:
     friend class MaterializedCursor;
 
-    /** Records between seekable sync points (power of two). */
+    /** Records between seekable sync points (power of two). Sync
+     *  points also cut NonMem runs (an item never spans one), so the
+     *  interval is kept coarse: fine syncs fragment the run-prefix
+     *  encoding for no decode benefit. */
     static constexpr Count kSyncInterval = 4096;
 
     /** Decoder state immediately before record kSyncInterval * i. */
@@ -73,6 +82,10 @@ class MaterializedTrace
 
     void append(const TraceRecord &record);
 
+    /** Emit any accumulated NonMem run as self-carried records
+     *  (used when no following record can carry the prefix). */
+    void flushRun();
+
     std::vector<std::uint8_t> bytes_;
     std::vector<Sync> syncs_;
     Count size_ = 0;
@@ -83,7 +96,31 @@ class MaterializedTrace
     /// @{
     Addr enc_last_addr_ = 0;
     Addr enc_last_pc_ = 0;
+    /** Plain NonMem records accumulated but not yet tokenised. */
+    unsigned enc_run_ = 0;
     /// @}
+};
+
+/**
+ * One decoded run item: a run of plain non-memory instructions
+ * followed by one explicit record. This is the stream's native shape
+ * — the encoder folds NonMem runs into a prefix byte on the next
+ * record — surfaced directly so batch consumers can charge the run
+ * in O(1) instead of scanning materialized filler records.
+ *
+ * The run covers @ref nonMemBefore plain NonMem records (size 0, no
+ * address, pc ascending by 4 up to `rec.pc - 4`); their individual
+ * pc values are not materialized, so run consumers must not need
+ * per-instruction fetch addresses (the simulator's run-feed path is
+ * gated on a perfect I-cache for exactly this reason). A trailing
+ * NonMem run with no following record decodes as items whose `rec`
+ * is itself a plain NonMem record (the encoder's carrier form).
+ */
+struct TraceRun
+{
+    /** Plain NonMem records preceding (and not including) rec. */
+    std::uint32_t nonMemBefore = 0;
+    TraceRecord rec;
 };
 
 /**
@@ -103,6 +140,16 @@ class MaterializedCursor final : public TraceSource
     void reset() override;
     std::string name() const override { return trace_->name(); }
 
+    /**
+     * Decode up to @p max run items (see TraceRun): the same stream
+     * nextBatch() yields, but with NonMem runs delivered as counts
+     * instead of materialized filler records. The cursor advances by
+     * the records the items cover, so nextRuns() and nextBatch()
+     * calls may be interleaved freely on one cursor.
+     * @return items produced; 0 at end of trace.
+     */
+    std::size_t nextRuns(TraceRun *out, std::size_t max);
+
     /** Jump so the next record returned is record @p index. */
     void seek(Count index);
 
@@ -115,6 +162,11 @@ class MaterializedCursor final : public TraceSource
     Count index_ = 0;
     Addr last_addr_ = 0;
     Addr last_pc_ = 0;
+    /** NonMem records left in the run prefix being replayed. */
+    unsigned run_left_ = 0;
+    /** Header byte of an item cut by a batch boundary after its
+     *  run prefix was (partially) consumed; -1 when none. */
+    int pending_ = -1;
 
     void decodeOne(TraceRecord &record);
 };

@@ -21,30 +21,6 @@ opName(Op op)
     return "?";
 }
 
-TraceRecord
-TraceRecord::nonMem(Addr pc)
-{
-    return TraceRecord{Op::NonMem, 0, 0, pc};
-}
-
-TraceRecord
-TraceRecord::load(Addr addr, std::uint8_t size, Addr pc)
-{
-    return TraceRecord{Op::Load, size, addr, pc};
-}
-
-TraceRecord
-TraceRecord::store(Addr addr, std::uint8_t size, Addr pc)
-{
-    return TraceRecord{Op::Store, size, addr, pc};
-}
-
-TraceRecord
-TraceRecord::barrier(Addr pc)
-{
-    return TraceRecord{Op::Barrier, 0, 0, pc};
-}
-
 std::string
 toString(const TraceRecord &rec)
 {

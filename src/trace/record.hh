@@ -49,10 +49,30 @@ struct TraceRecord
     bool isLoad() const { return op == Op::Load; }
     bool isStore() const { return op == Op::Store; }
 
-    static TraceRecord nonMem(Addr pc = 0);
-    static TraceRecord load(Addr addr, std::uint8_t size = 8, Addr pc = 0);
-    static TraceRecord store(Addr addr, std::uint8_t size = 8, Addr pc = 0);
-    static TraceRecord barrier(Addr pc = 0);
+    /* Factory helpers are inline: the synthetic generator constructs
+     * one record per emitted instruction, so an out-of-line call plus
+     * return-value copy per record is measurable on the sim_baseline
+     * lane. */
+    static TraceRecord
+    nonMem(Addr pc = 0)
+    {
+        return TraceRecord{Op::NonMem, 0, 0, pc};
+    }
+    static TraceRecord
+    load(Addr addr, std::uint8_t size = 8, Addr pc = 0)
+    {
+        return TraceRecord{Op::Load, size, addr, pc};
+    }
+    static TraceRecord
+    store(Addr addr, std::uint8_t size = 8, Addr pc = 0)
+    {
+        return TraceRecord{Op::Store, size, addr, pc};
+    }
+    static TraceRecord
+    barrier(Addr pc = 0)
+    {
+        return TraceRecord{Op::Barrier, 0, 0, pc};
+    }
 
     bool operator==(const TraceRecord &other) const = default;
 };

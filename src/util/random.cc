@@ -1,7 +1,5 @@
 #include "util/random.hh"
 
-#include "util/logging.hh"
-
 namespace wbsim
 {
 
@@ -34,77 +32,6 @@ Rng::Rng(std::uint64_t seed)
     // A zero state would lock the generator at zero forever.
     if (state0_ == 0 && state1_ == 0)
         state1_ = 1;
-}
-
-std::uint64_t
-Rng::next()
-{
-    std::uint64_t x = state0_;
-    const std::uint64_t y = state1_;
-    state0_ = y;
-    x ^= x << 23;
-    state1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
-    return state1_ + y;
-}
-
-std::uint64_t
-Rng::nextBelow(std::uint64_t bound)
-{
-    wbsim_assert(bound != 0, "nextBelow(0)");
-    // Multiply-shift rejection-free mapping; bias is < 2^-64 * bound,
-    // negligible for simulation purposes.
-    return static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(next())
-         * static_cast<unsigned __int128>(bound)) >> 64);
-}
-
-std::uint64_t
-Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
-{
-    wbsim_assert(lo <= hi, "nextRange with lo > hi");
-    return lo + nextBelow(hi - lo + 1);
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return nextDouble() < p;
-}
-
-std::size_t
-Rng::nextWeighted(const std::vector<double> &weights)
-{
-    double total = 0.0;
-    for (double w : weights)
-        total += w;
-    if (total <= 0.0)
-        return 0;
-    double draw = nextDouble() * total;
-    for (std::size_t i = 0; i < weights.size(); ++i) {
-        draw -= weights[i];
-        if (draw < 0.0)
-            return i;
-    }
-    return weights.size() - 1;
-}
-
-unsigned
-Rng::nextBurst(double p, unsigned cap)
-{
-    unsigned length = 1;
-    while (length < cap && nextBool(p))
-        ++length;
-    return length;
 }
 
 } // namespace wbsim

@@ -6,6 +6,12 @@
  * and standard-library versions, so we implement our own xorshift128+
  * generator and distribution helpers rather than relying on
  * <random> (whose distributions are not specified bit-exactly).
+ *
+ * The draw methods are defined inline: the synthetic workload
+ * generator sits on the simulator-baseline critical path and draws
+ * several values per emitted record, so a call into random.cc per
+ * draw is measurable. The sequences are part of the reproducibility
+ * contract and must not change.
  */
 
 #ifndef WBSIM_UTIL_RANDOM_HH
@@ -13,6 +19,8 @@
 
 #include <cstdint>
 #include <vector>
+
+#include "util/logging.hh"
 
 namespace wbsim
 {
@@ -29,31 +37,107 @@ class Rng
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state0_;
+        const std::uint64_t y = state1_;
+        state0_ = y;
+        x ^= x << 23;
+        state1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return state1_ + y;
+    }
 
     /** Uniform integer in [0, bound). @p bound must be non-zero. */
-    std::uint64_t nextBelow(std::uint64_t bound);
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        wbsim_assert(bound != 0, "nextBelow(0)");
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 *
+        // bound, negligible for simulation purposes.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next())
+             * static_cast<unsigned __int128>(bound)) >> 64);
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+    std::uint64_t
+    nextRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        wbsim_assert(lo <= hi, "nextRange with lo > hi");
+        return lo + nextBelow(hi - lo + 1);
+    }
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli draw with probability @p p of returning true. */
-    bool nextBool(double p);
+    bool
+    nextBool(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /**
      * Draw an index according to a discrete weight vector.
      * Weights need not be normalised; all-zero weights return 0.
      */
-    std::size_t nextWeighted(const std::vector<double> &weights);
+    std::size_t
+    nextWeighted(const std::vector<double> &weights)
+    {
+        return nextWeighted(weights, weightTotal(weights));
+    }
+
+    /**
+     * nextWeighted with the total precomputed by weightTotal() —
+     * callers that draw from a fixed weight vector per record hoist
+     * the summation. @p total MUST equal weightTotal(weights) (the
+     * left-to-right sum) or the draw mapping changes.
+     */
+    std::size_t
+    nextWeighted(const std::vector<double> &weights, double total)
+    {
+        if (total <= 0.0)
+            return 0;
+        double draw = nextDouble() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            draw -= weights[i];
+            if (draw < 0.0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /** The left-to-right weight sum nextWeighted scales draws by. */
+    static double
+    weightTotal(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        return total;
+    }
 
     /**
      * Geometric-ish burst length: 1 + number of successes of
      * repeated trials with probability @p p, capped at @p cap.
      */
-    unsigned nextBurst(double p, unsigned cap);
+    unsigned
+    nextBurst(double p, unsigned cap)
+    {
+        unsigned length = 1;
+        while (length < cap && nextBool(p))
+            ++length;
+        return length;
+    }
 
   private:
     std::uint64_t state0_;

@@ -1,0 +1,63 @@
+#include "util/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace wbsim::simd
+{
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return "scalar";
+    case Level::Sse2:
+        return "sse2";
+    case Level::Avx2:
+        return "avx2";
+    case Level::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+Level
+detectLevel()
+{
+#if defined(WBSIM_SIMD_X86)
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2"))
+        return Level::Avx2;
+    return Level::Sse2;
+#elif defined(WBSIM_SIMD_NEON)
+    return Level::Neon;
+#else
+    return Level::Scalar;
+#endif
+}
+
+namespace
+{
+
+Level
+readDefaultLevel()
+{
+    const char *env = std::getenv("WBSIM_SIMD");
+    if (env != nullptr
+        && (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0
+            || std::strcmp(env, "scalar") == 0))
+        return Level::Scalar;
+    return detectLevel();
+}
+
+} // namespace
+
+Level
+defaultLevel()
+{
+    static const Level cached = readDefaultLevel();
+    return cached;
+}
+
+} // namespace wbsim::simd

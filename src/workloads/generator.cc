@@ -97,6 +97,8 @@ SyntheticSource::rebuild()
         store_weights_.push_back(spec.weight);
         ++index;
     }
+    load_weight_total_ = Rng::weightTotal(load_weights_);
+    store_weight_total_ = Rng::weightTotal(store_weights_);
 
     emitted_ = 0;
     burst_left_ = 0;
@@ -153,7 +155,8 @@ SyntheticSource::makeLoad()
         return TraceRecord::load(rs.addr,
                                  static_cast<std::uint8_t>(rs.size));
     }
-    std::size_t which = rng_.nextWeighted(load_weights_);
+    std::size_t which =
+        rng_.nextWeighted(load_weights_, load_weight_total_);
     Behavior &behavior = *load_behaviors_[which];
     return TraceRecord::load(
         behavior.next(),
@@ -167,7 +170,8 @@ SyntheticSource::makeStore()
     // runs of stores from a single loop, which is what makes
     // write-buffer coalescing work at eager retirement policies.
     if (store_run_left_ == 0) {
-        store_run_behavior_ = rng_.nextWeighted(store_weights_);
+        store_run_behavior_ =
+            rng_.nextWeighted(store_weights_, store_weight_total_);
         store_run_left_ = rng_.nextBurst(profile_.storeRunContinue,
                                          profile_.storeRunCap);
     }

@@ -54,6 +54,10 @@ class SyntheticSource : public TraceSource
     std::vector<std::unique_ptr<Behavior>> store_behaviors_;
     std::vector<double> load_weights_;
     std::vector<double> store_weights_;
+    /** Rng::weightTotal of the vectors above, hoisted out of the
+     *  per-record nextWeighted draws (same left-to-right sum). */
+    double load_weight_total_ = 0.0;
+    double store_weight_total_ = 0.0;
 
     Count emitted_ = 0;
     unsigned burst_left_ = 0;

@@ -129,6 +129,100 @@ TEST(MaterializedCursor, NextBatchMatchesNext)
         ASSERT_EQ(batches[i], singles[i]) << "record " << i;
 }
 
+/** Expand run items back into flat records. A run's NonMem pcs step
+ *  by 4 from the pc of the record preceding the run (the decoder's
+ *  last_pc), which the expansion tracks across items. */
+void
+expandItems(const TraceRun *items, std::size_t count, Addr &last_pc,
+            std::vector<TraceRecord> &records)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceRun &item = items[i];
+        for (std::uint32_t k = 1; k <= item.nonMemBefore; ++k)
+            records.push_back(
+                TraceRecord::nonMem(last_pc + 4 * static_cast<Addr>(k)));
+        records.push_back(item.rec);
+        last_pc = item.rec.pc;
+    }
+}
+
+std::vector<TraceRecord>
+expandRuns(MaterializedCursor &cursor, std::size_t batch_items)
+{
+    std::vector<TraceRecord> records;
+    std::vector<TraceRun> items(batch_items);
+    Addr last_pc = 0;
+    for (;;) {
+        std::size_t got = cursor.nextRuns(items.data(), batch_items);
+        if (got == 0)
+            break;
+        expandItems(items.data(), got, last_pc, records);
+    }
+    return records;
+}
+
+TEST(MaterializedCursor, NextRunsExpandsToSameStream)
+{
+    // Profiles with very different run structure: dense NonMem runs
+    // (compress), store-heavy bursts (tomcatv), and a pure-NonMem
+    // tail exercising the carrier form.
+    for (const char *name : {"compress", "tomcatv", "espresso"}) {
+        BenchmarkProfile profile = spec92::profile(name);
+        SyntheticSource source(profile, 20'000, 5);
+        MaterializedTrace trace = MaterializedTrace::build(source);
+
+        MaterializedCursor flat(trace);
+        std::vector<TraceRecord> expected = drain(flat);
+
+        // Odd item-batch size so refills land mid-stream.
+        MaterializedCursor runs(trace);
+        std::vector<TraceRecord> expanded = expandRuns(runs, 17);
+        ASSERT_EQ(expanded.size(), expected.size()) << name;
+        for (std::size_t i = 0; i < expected.size(); ++i)
+            ASSERT_EQ(expanded[i], expected[i])
+                << name << " record " << i;
+    }
+}
+
+TEST(MaterializedCursor, NextRunsResumesAfterRecordBatchCut)
+{
+    BenchmarkProfile profile = spec92::profile("compress");
+    SyntheticSource source(profile, 20'000, 9);
+    MaterializedTrace trace = MaterializedTrace::build(source);
+
+    MaterializedCursor flat(trace);
+    std::vector<TraceRecord> expected = drain(flat);
+
+    // Interleave record batches (odd size, so they cut items mid-run)
+    // with run batches; together they must still cover the stream
+    // record-for-record.
+    MaterializedCursor mixed(trace);
+    std::vector<TraceRecord> seen;
+    TraceRecord buffer[7];
+    std::vector<TraceRun> items(5);
+    Addr last_pc = 0;
+    bool use_records = true;
+    for (;;) {
+        std::size_t before = seen.size();
+        if (use_records) {
+            std::size_t got = mixed.nextBatch(buffer, 7);
+            seen.insert(seen.end(), buffer, buffer + got);
+            if (got > 0)
+                last_pc = buffer[got - 1].pc;
+        } else {
+            std::size_t got = mixed.nextRuns(items.data(), 5);
+            expandItems(items.data(), got, last_pc, seen);
+        }
+        use_records = !use_records;
+        if (seen.size() == before)
+            break;
+    }
+    ASSERT_EQ(seen.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        ASSERT_EQ(seen[i], expected[i]) << "record " << i;
+    EXPECT_EQ(mixed.position(), trace.size());
+}
+
 TEST(MaterializedCursor, ResetRestartsFromRecordZero)
 {
     BenchmarkProfile profile = spec92::profile("li");
