@@ -12,12 +12,19 @@
  *       --values=2,4,6,8 --depth=12 --hazard=read-from-WB
  *   design_space_explorer --benchmark=tomcatv --sweep=l2-latency \
  *       --values=3,6,10,20
+ *
+ * With --server=PORT (or --server=unix:PATH) the whole sweep is
+ * shipped to a running wbsim_serve daemon as one batch and the
+ * explorer becomes a thin client: no simulation happens in this
+ * process, and repeated sweeps come straight out of the daemon's
+ * result store.
  */
 
 #include <iostream>
 #include <sstream>
 
 #include "harness/experiment.hh"
+#include "serve/client.hh"
 #include "sim/simulator.hh"
 #include "workloads/generator.hh"
 #include "harness/figures.hh"
@@ -74,6 +81,55 @@ applySweep(MachineConfig &machine, const std::string &knob,
                     "mem-latency, datapath, issue-width)");
 }
 
+/** Run every sweep point through a wbsim_serve daemon as one batch
+ *  and decode the served payloads back into SimResults. @p target is
+ *  a TCP port number or "unix:PATH". */
+std::vector<SimResults>
+runOnServer(const std::string &target, const std::string &benchmark,
+            const std::vector<MachineConfig> &machines,
+            Count instructions, Count warmup, std::uint64_t seed)
+{
+    serve::ServeClient client;
+    std::string error;
+    bool connected = false;
+    if (target.rfind("unix:", 0) == 0)
+        connected = client.connectUnix(target.substr(5), error);
+    else
+        connected = client.connectTcp(
+            std::uint16_t(std::stoul(target)), error);
+    if (!connected)
+        wbsim_fatal("--server=", target, ": ", error);
+
+    std::vector<serve::CellSpec> cells;
+    cells.reserve(machines.size());
+    for (const MachineConfig &machine : machines) {
+        serve::CellSpec cell;
+        cell.benchmark = benchmark;
+        cell.seed = seed;
+        cell.instructions = instructions;
+        cell.warmup = warmup;
+        cell.machine = machine;
+        cells.push_back(std::move(cell));
+    }
+
+    serve::Response response;
+    if (!client.sweepWithRetry(cells, /*priority=*/0,
+                               /*maxAttempts=*/100, response, error))
+        wbsim_fatal("--server sweep failed: ", error);
+    if (response.type != serve::ResponseType::Results)
+        wbsim_fatal("--server sweep rejected: ", response.error);
+
+    std::vector<SimResults> results;
+    results.reserve(response.cells.size());
+    for (const serve::CellResult &cell : response.cells) {
+        SimResults r;
+        if (!serve::ServeClient::cellToResults(cell, r, error))
+            wbsim_fatal("--server payload: ", error);
+        results.push_back(r);
+    }
+    return results;
+}
+
 } // namespace
 
 int
@@ -92,6 +148,10 @@ main(int argc, char **argv)
     options.declare("seed", "workload seed", "1");
     options.declare("events", "dump the last N debug events of the "
                               "final run (0 = off)", "0");
+    options.declare("server",
+                    "run the sweep on a wbsim_serve daemon: a TCP "
+                    "port or unix:PATH (empty = in-process)",
+                    "");
     options.parse(argc, argv);
 
     const std::string benchmark = options.get("benchmark");
@@ -117,20 +177,40 @@ main(int argc, char **argv)
     BarChart chart({"L2-read-access", "buffer-full", "load-hazard"});
     chart.beginGroup(benchmark);
 
-    for (std::uint64_t value : parseValues(options.get("values"))) {
+    const std::vector<std::uint64_t> values =
+        parseValues(options.get("values"));
+    std::vector<MachineConfig> machines;
+    machines.reserve(values.size());
+    for (std::uint64_t value : values) {
         MachineConfig machine = base;
         applySweep(machine, knob, value);
         machine.validate();
-        SimResults r =
-            runOne(profile, machine, instructions, seed, warmup);
+        machines.push_back(machine);
+    }
+
+    const std::string server = options.get("server");
+    std::vector<SimResults> results;
+    if (!server.empty()) {
+        results = runOnServer(server, benchmark, machines,
+                              instructions, warmup, seed);
+    } else {
+        results.reserve(machines.size());
+        for (const MachineConfig &machine : machines)
+            results.push_back(
+                runOne(profile, machine, instructions, seed, warmup));
+    }
+
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+        const SimResults &r = results[i];
         double cpi = double(r.cycles) / double(r.instructions);
-        table.addRow({std::to_string(value), machine.describe(),
+        table.addRow({std::to_string(values[i]),
+                      machines[i].describe(),
                       formatPercent(r.pctL2ReadAccess()),
                       formatPercent(r.pctBufferFull()),
                       formatPercent(r.pctLoadHazard()),
                       formatPercent(r.pctTotalStalls()),
                       formatDouble(cpi, 3)});
-        chart.addBar({std::to_string(value),
+        chart.addBar({std::to_string(values[i]),
                       {r.pctL2ReadAccess(), r.pctBufferFull(),
                        r.pctLoadHazard()}});
     }
@@ -140,10 +220,9 @@ main(int argc, char **argv)
 
     if (Count events = options.getUint("events"); events > 0) {
         // Replay the last sweep point with an event log attached and
-        // show the tail of the microarchitectural story.
-        MachineConfig machine = base;
-        auto values = parseValues(options.get("values"));
-        applySweep(machine, knob, values.back());
+        // show the tail of the microarchitectural story. Always
+        // in-process: event logs never cross the wire.
+        MachineConfig machine = machines.back();
         EventLog log(events);
         Simulator simulator(machine);
         simulator.attachEventLog(&log);

@@ -40,6 +40,11 @@ constexpr PolicyName<RetirementOrder> kOrderNames[] = {
     {RetirementOrder::FullestFirst, "fullest-first"},
 };
 
+constexpr PolicyName<BufferKind> kKindNames[] = {
+    {BufferKind::WriteBuffer, "write-buffer"},
+    {BufferKind::WriteCache, "write-cache"},
+};
+
 template <typename Enum, std::size_t N>
 const char *
 nameOf(const PolicyName<Enum> (&table)[N], Enum value)
@@ -51,13 +56,27 @@ nameOf(const PolicyName<Enum> (&table)[N], Enum value)
 }
 
 template <typename Enum, std::size_t N>
+bool
+tryParseName(const PolicyName<Enum> (&table)[N], std::string_view name,
+             Enum &out)
+{
+    for (const auto &row : table) {
+        if (row.name == name) {
+            out = row.value;
+            return true;
+        }
+    }
+    return false;
+}
+
+template <typename Enum, std::size_t N>
 Enum
 parseName(const PolicyName<Enum> (&table)[N], std::string_view name,
           const char *what)
 {
-    for (const auto &row : table)
-        if (row.name == name)
-            return row.value;
+    Enum value{};
+    if (tryParseName(table, name, value))
+        return value;
     std::ostringstream known;
     for (const auto &row : table)
         known << (known.tellp() > 0 ? ", " : "") << row.name;
@@ -103,6 +122,42 @@ parseRetirementOrder(std::string_view name)
     return parseName(kOrderNames, name, "retirement order");
 }
 
+const char *
+bufferKindName(BufferKind kind)
+{
+    return nameOf(kKindNames, kind);
+}
+
+BufferKind
+parseBufferKind(std::string_view name)
+{
+    return parseName(kKindNames, name, "store-buffer kind");
+}
+
+bool
+tryParseLoadHazardPolicy(std::string_view name, LoadHazardPolicy &out)
+{
+    return tryParseName(kHazardNames, name, out);
+}
+
+bool
+tryParseRetirementMode(std::string_view name, RetirementMode &out)
+{
+    return tryParseName(kModeNames, name, out);
+}
+
+bool
+tryParseRetirementOrder(std::string_view name, RetirementOrder &out)
+{
+    return tryParseName(kOrderNames, name, out);
+}
+
+bool
+tryParseBufferKind(std::string_view name, BufferKind &out)
+{
+    return tryParseName(kKindNames, name, out);
+}
+
 unsigned
 WriteBufferConfig::headroom() const
 {
@@ -112,35 +167,42 @@ WriteBufferConfig::headroom() const
 void
 WriteBufferConfig::validate() const
 {
+    if (std::string error = validationError(); !error.empty())
+        wbsim_fatal(error);
+}
+
+std::string
+WriteBufferConfig::validationError() const
+{
+    std::ostringstream os;
     if (depth == 0)
-        wbsim_fatal("write buffer depth must be at least 1");
-    if (!isPowerOfTwo(entryBytes) || !isPowerOfTwo(wordBytes))
-        wbsim_fatal("write buffer entry and word sizes must be powers "
-                    "of two");
-    if (wordBytes > entryBytes)
-        wbsim_fatal("write buffer word larger than entry");
-    if (wordsPerEntry() > 32)
-        wbsim_fatal("write buffer entries support at most 32 words");
-    if (retirementMode == RetirementMode::Occupancy) {
-        if (highWaterMark < 1 || highWaterMark > depth)
-            wbsim_fatal("retire-at-", highWaterMark,
-                        " requires 1 <= N <= depth (depth=", depth, ")");
-    } else if (retirementMode == RetirementMode::FixedRate) {
-        if (fixedRatePeriod == 0)
-            wbsim_fatal("fixed-rate retirement needs a non-zero period");
-    } else {
-        if (highWaterMark < 1 || highWaterMark > depth)
-            wbsim_fatal("paced retirement at ", highWaterMark,
-                        " requires 1 <= N <= depth (depth=", depth, ")");
-        if (pacedRefillPeriod == 0)
-            wbsim_fatal("paced retirement needs a non-zero refill "
-                        "period");
-        if (pacedBurst == 0)
-            wbsim_fatal("paced retirement needs a token bucket of at "
-                        "least 1");
-    }
-    if (writePriorityThreshold > depth)
-        wbsim_fatal("write-priority threshold exceeds buffer depth");
+        os << "write buffer depth must be at least 1";
+    else if (!isPowerOfTwo(entryBytes) || !isPowerOfTwo(wordBytes))
+        os << "write buffer entry and word sizes must be powers of "
+              "two";
+    else if (wordBytes > entryBytes)
+        os << "write buffer word larger than entry";
+    else if (wordsPerEntry() > 32)
+        os << "write buffer entries support at most 32 words";
+    else if (retirementMode == RetirementMode::Occupancy
+             && (highWaterMark < 1 || highWaterMark > depth))
+        os << "retire-at-" << highWaterMark
+           << " requires 1 <= N <= depth (depth=" << depth << ")";
+    else if (retirementMode == RetirementMode::FixedRate
+             && fixedRatePeriod == 0)
+        os << "fixed-rate retirement needs a non-zero period";
+    else if (retirementMode == RetirementMode::Paced
+             && (highWaterMark < 1 || highWaterMark > depth))
+        os << "paced retirement at " << highWaterMark
+           << " requires 1 <= N <= depth (depth=" << depth << ")";
+    else if (retirementMode == RetirementMode::Paced
+             && pacedRefillPeriod == 0)
+        os << "paced retirement needs a non-zero refill period";
+    else if (retirementMode == RetirementMode::Paced && pacedBurst == 0)
+        os << "paced retirement needs a token bucket of at least 1";
+    else if (writePriorityThreshold > depth)
+        os << "write-priority threshold exceeds buffer depth";
+    return os.str();
 }
 
 std::string

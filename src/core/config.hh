@@ -81,6 +81,22 @@ enum class BufferKind : std::uint8_t
     WriteCache,  //!< fully-associative, LRU, retire-on-evict (Jouppi)
 };
 
+const char *bufferKindName(BufferKind kind);
+
+/** Inverse of bufferKindName(); fatal() on an unknown name. */
+BufferKind parseBufferKind(std::string_view name);
+
+/** @name Non-fatal parse variants for untrusted (wire) input: false
+ *  on an unknown name instead of terminating the daemon. */
+/// @{
+bool tryParseLoadHazardPolicy(std::string_view name,
+                              LoadHazardPolicy &out);
+bool tryParseRetirementMode(std::string_view name, RetirementMode &out);
+bool tryParseRetirementOrder(std::string_view name,
+                             RetirementOrder &out);
+bool tryParseBufferKind(std::string_view name, BufferKind &out);
+/// @}
+
 /** Full configuration of the store-buffer stage. */
 struct WriteBufferConfig
 {
@@ -144,6 +160,11 @@ struct WriteBufferConfig
 
     /** fatal() on inconsistent parameters. */
     void validate() const;
+
+    /** First inconsistency as a message, or "" when the
+     *  configuration is valid. The non-fatal face of validate() for
+     *  network-supplied configurations (wbsim-serve). */
+    std::string validationError() const;
 
     /** Short identity like "4-deep/retire-at-2/flush-full". */
     std::string describe() const;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -27,6 +28,30 @@ constexpr bool kDebugBuild = false;
 constexpr bool kDebugBuild = true;
 #endif
 
+/** Map/key/control-block overhead charged per cached entry. */
+constexpr std::size_t kEntryOverhead = 256;
+
+/**
+ * Approximate resident bytes of one warm-state checkpoint. The
+ * dominant term is per-line cache state (tag + status per line in
+ * every modelled cache); the rest (write buffer, ports, RNG) is a
+ * small fixed cost. An estimate is enough here: the budget bounds
+ * the cache to the right order of magnitude, it is not an allocator.
+ */
+std::size_t
+approxSnapshotBytes(const MachineConfig &machine)
+{
+    auto lines = [](const CacheGeometry &g) {
+        return std::size_t(g.sizeBytes / g.lineBytes);
+    };
+    std::size_t count = lines(machine.l1d);
+    if (!machine.perfectICache)
+        count += lines(machine.l1i);
+    if (!machine.perfectL2)
+        count += lines(machine.l2);
+    return count * 32 + 4 * 1024 + kEntryOverhead;
+}
+
 /**
  * The process-wide grid caches: materialized traces keyed by
  * (benchmark, seed, length) and warm-state checkpoints keyed by
@@ -35,11 +60,20 @@ constexpr bool kDebugBuild = true;
  * while later askers block on a shared_future, so concurrent grid
  * cells never duplicate work.
  *
- * Thread-safety contract: the map is only touched under mutex_; the
- * values are immutable once the future resolves (shared_ptr<const>),
- * so readers never race with the builder. Verified race-free by
- * CI's `tsan` job, which runs the harness tests under
- * ThreadSanitizer with no suppressions.
+ * The cache is byte-bounded: when a budget is set (WBSIM_GRID_CACHE_MB
+ * or setGridCacheByteBudget) and a build pushes the resident
+ * footprint past it, the least-recently-used *resolved* entries are
+ * evicted across both maps until the footprint fits. In-flight
+ * builds are never evicted, and eviction never invalidates a value a
+ * caller already holds (values are shared_ptr; the map only drops
+ * its reference), so a too-small budget degrades throughput, never
+ * correctness.
+ *
+ * Thread-safety contract: maps, LRU list and counters are only
+ * touched under mutex_; the values are immutable once the future
+ * resolves (shared_ptr<const>), so readers never race with the
+ * builder. Verified race-free by CI's `tsan` job, which runs the
+ * harness tests under ThreadSanitizer with no suppressions.
  */
 class GridCache
 {
@@ -47,18 +81,28 @@ class GridCache
     using TracePtr = std::shared_ptr<const MaterializedTrace>;
     using SnapPtr = std::shared_ptr<const SimSnapshot>;
 
+    GridCache()
+    {
+        budget_ = std::size_t(envUint("WBSIM_GRID_CACHE_MB", 0))
+                  * 1024 * 1024;
+    }
+
     TracePtr trace(const BenchmarkProfile &profile, std::uint64_t seed,
                    Count length)
     {
         std::ostringstream key;
         key << profile.name << '#' << seed << '#' << length;
-        return dedupe(traces_, key.str(), stats_.traceBuilds,
-                      stats_.traceHits, [&]() {
-                          SyntheticSource source(profile, length, seed);
-                          return std::make_shared<
-                              const MaterializedTrace>(
-                              MaterializedTrace::build(source));
-                      });
+        return dedupe(
+            traces_, /*isTrace=*/true, key.str(),
+            stats_.traceBuilds, stats_.traceHits,
+            [&]() {
+                SyntheticSource source(profile, length, seed);
+                return std::make_shared<const MaterializedTrace>(
+                    MaterializedTrace::build(source));
+            },
+            [](const TracePtr &t) {
+                return t->encodedBytes() + kEntryOverhead;
+            });
     }
 
     SnapPtr checkpoint(const BenchmarkProfile &profile,
@@ -68,24 +112,38 @@ class GridCache
         std::ostringstream key;
         key << profile.name << '#' << seed << '#' << warmup << '#'
             << machine.stateFingerprint();
-        return dedupe(snapshots_, key.str(), stats_.checkpointBuilds,
-                      stats_.checkpointHits, [&]() {
-                          Simulator simulator(machine);
-                          MaterializedCursor cursor(trace);
-                          Count done =
-                              simulator.consume(cursor, warmup);
-                          wbsim_assert(done == warmup,
-                                       "trace shorter than warmup");
-                          simulator.resetStats();
-                          return std::make_shared<const SimSnapshot>(
-                              simulator.snapshot());
-                      });
+        return dedupe(
+            snapshots_, /*isTrace=*/false, key.str(),
+            stats_.checkpointBuilds, stats_.checkpointHits,
+            [&]() {
+                Simulator simulator(machine);
+                MaterializedCursor cursor(trace);
+                Count done = simulator.consume(cursor, warmup);
+                wbsim_assert(done == warmup,
+                             "trace shorter than warmup");
+                simulator.resetStats();
+                return std::make_shared<const SimSnapshot>(
+                    simulator.snapshot());
+            },
+            [&machine](const SnapPtr &) {
+                return approxSnapshotBytes(machine);
+            });
     }
 
     GridCacheStats stats()
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        return stats_;
+        GridCacheStats out = stats_;
+        out.cachedBytes = bytes_;
+        out.budgetBytes = budget_;
+        return out;
+    }
+
+    void setByteBudget(std::size_t bytes)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        budget_ = bytes;
+        evictLocked();
     }
 
     void clear()
@@ -93,43 +151,110 @@ class GridCache
         std::lock_guard<std::mutex> lock(mutex_);
         traces_.clear();
         snapshots_.clear();
+        lru_.clear();
+        bytes_ = 0;
+        ++generation_;
         stats_ = GridCacheStats{};
     }
 
   private:
-    template <typename Ptr, typename Build>
-    Ptr dedupe(std::unordered_map<std::string, std::shared_future<Ptr>>
-                   &map,
-               const std::string &key, std::size_t &builds,
-               std::size_t &hits, Build build)
+    /** MRU at the back; only resolved entries are listed. */
+    using LruList = std::list<std::pair<bool, std::string>>;
+
+    template <typename Ptr> struct Slot
+    {
+        std::shared_future<Ptr> future;
+        std::size_t bytes = 0;
+        bool resolved = false;
+        /** clear() epoch at insert; a stale builder must not book
+         *  bytes against a slot re-created after a clear(). */
+        std::uint64_t generation = 0;
+        LruList::iterator lru{};
+    };
+
+    template <typename Ptr>
+    using Map = std::unordered_map<std::string, Slot<Ptr>>;
+
+    template <typename Ptr, typename Build, typename SizeOf>
+    Ptr dedupe(Map<Ptr> &map, bool isTrace, const std::string &key,
+               std::size_t &builds, std::size_t &hits, Build build,
+               SizeOf sizeOf)
     {
         std::promise<Ptr> promise;
         std::shared_future<Ptr> future;
         bool is_builder = false;
+        std::uint64_t my_generation = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             auto it = map.find(key);
             if (it == map.end()) {
                 future = promise.get_future().share();
-                map.emplace(key, future);
+                Slot<Ptr> slot;
+                slot.future = future;
+                slot.generation = generation_;
+                my_generation = generation_;
+                map.emplace(key, std::move(slot));
                 is_builder = true;
                 ++builds;
             } else {
-                future = it->second;
+                future = it->second.future;
                 ++hits;
+                if (it->second.resolved)
+                    lru_.splice(lru_.end(), lru_, it->second.lru);
             }
         }
-        if (is_builder)
-            promise.set_value(build());
-        return future.get();
+        if (!is_builder)
+            return future.get();
+
+        Ptr value = build();
+        promise.set_value(value);
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = map.find(key);
+        if (it != map.end() && !it->second.resolved
+            && it->second.generation == my_generation) {
+            it->second.resolved = true;
+            it->second.bytes = sizeOf(value);
+            it->second.lru =
+                lru_.insert(lru_.end(), {isTrace, key});
+            bytes_ += it->second.bytes;
+            evictLocked();
+        }
+        return value;
+    }
+
+    void evictLocked()
+    {
+        while (budget_ != 0 && bytes_ > budget_ && !lru_.empty()) {
+            const auto &[isTrace, key] = lru_.front();
+            if (isTrace)
+                evictFrom(traces_, key, stats_.traceEvictions);
+            else
+                evictFrom(snapshots_, key,
+                          stats_.checkpointEvictions);
+            lru_.pop_front();
+        }
+    }
+
+    template <typename Ptr>
+    void evictFrom(Map<Ptr> &map, const std::string &key,
+                   std::size_t &evictions)
+    {
+        auto it = map.find(key);
+        wbsim_assert(it != map.end() && it->second.resolved,
+                     "grid-cache LRU entry out of sync with its map");
+        bytes_ -= it->second.bytes;
+        map.erase(it);
+        ++evictions;
     }
 
     std::mutex mutex_;
-    std::unordered_map<std::string, std::shared_future<TracePtr>>
-        traces_;
-    std::unordered_map<std::string, std::shared_future<SnapPtr>>
-        snapshots_;
+    Map<TracePtr> traces_;
+    Map<SnapPtr> snapshots_;
+    LruList lru_;
     GridCacheStats stats_;
+    std::size_t bytes_ = 0;
+    std::size_t budget_ = 0;
+    std::uint64_t generation_ = 0;
 };
 
 GridCache &
@@ -219,6 +344,12 @@ GridCacheStats
 gridCacheStats()
 {
     return gridCache().stats();
+}
+
+void
+setGridCacheByteBudget(std::size_t bytes)
+{
+    gridCache().setByteBudget(bytes);
 }
 
 void

@@ -94,17 +94,37 @@ SimResults runOne(const BenchmarkProfile &profile,
                   const MachineConfig &machine,
                   const RunnerOptions &options, std::uint64_t seed);
 
-/** Hit/build counters for the process-wide grid caches. */
+/** Hit/build/eviction counters and footprint for the process-wide
+ *  grid caches. */
 struct GridCacheStats
 {
     std::size_t traceBuilds = 0;
     std::size_t traceHits = 0;
     std::size_t checkpointBuilds = 0;
     std::size_t checkpointHits = 0;
+    /** LRU evictions forced by the byte budget. */
+    std::size_t traceEvictions = 0;
+    std::size_t checkpointEvictions = 0;
+    /** Approximate bytes of resident traces and checkpoints. */
+    std::size_t cachedBytes = 0;
+    /** Current byte budget; 0 = unbounded. */
+    std::size_t budgetBytes = 0;
 };
 
 /** Snapshot the grid-cache counters (tests and benchmarks). */
 GridCacheStats gridCacheStats();
+
+/**
+ * Bound the process-wide grid caches to roughly @p bytes (0 =
+ * unbounded, the CLI default). When a build pushes the footprint
+ * over the budget, least-recently-used resolved entries are evicted
+ * (in-flight builds are never evicted; waiters hold their own
+ * futures, so eviction only forces a rebuild on the *next* ask).
+ * Long-running services (wbsim-serve) must set a budget — an
+ * unbounded cache over an unbounded query stream is a leak. The
+ * WBSIM_GRID_CACHE_MB env var sets the initial budget.
+ */
+void setGridCacheByteBudget(std::size_t bytes);
 
 /** Drop all cached traces and checkpoints and zero the counters.
  *  Callers must not race this with an in-flight runExperiment. */

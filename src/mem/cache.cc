@@ -15,13 +15,20 @@ CacheGeometry::sets() const
 void
 CacheGeometry::validate(const std::string &what) const
 {
+    if (std::string error = validationError(what); !error.empty())
+        wbsim_fatal(error);
+}
+
+std::string
+CacheGeometry::validationError(const std::string &what) const
+{
     if (!isPowerOfTwo(sizeBytes) || !isPowerOfTwo(lineBytes)
-        || !isPowerOfTwo(associativity)) {
-        wbsim_fatal(what, ": cache size, line size and associativity "
-                    "must be powers of two");
-    }
+        || !isPowerOfTwo(associativity))
+        return what + ": cache size, line size and associativity "
+                      "must be powers of two";
     if (lineBytes * associativity > sizeBytes)
-        wbsim_fatal(what, ": cache smaller than one set");
+        return what + ": cache smaller than one set";
+    return "";
 }
 
 Cache::Cache(const CacheGeometry &geometry, std::string name)

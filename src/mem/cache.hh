@@ -33,6 +33,8 @@ struct CacheGeometry
     std::uint64_t sets() const;
     /** fatal() unless all fields are consistent powers of two. */
     void validate(const std::string &what) const;
+    /** Non-fatal validate(): the first inconsistency, or "". */
+    std::string validationError(const std::string &what) const;
 };
 
 /** Outcome of an allocation: the victim line, if one was evicted. */

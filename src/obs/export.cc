@@ -76,6 +76,14 @@ writeSimResultsJson(std::ostream &os, const SimResults &r,
                     const Provenance &provenance)
 {
     JsonWriter json(os);
+    writeSimResultsObject(json, r, provenance);
+    os << "\n";
+}
+
+void
+writeSimResultsObject(JsonWriter &json, const SimResults &r,
+                      const Provenance &provenance)
+{
     json.beginObject();
     json.field("schema", "wbsim-sim-results-v1");
     writeProvenance(json, provenance);
@@ -168,13 +176,17 @@ writeSimResultsJson(std::ostream &os, const SimResults &r,
     json.endObject();
 
     json.endObject();
-    os << "\n";
 }
 
 SimResults
 parseSimResultsJson(const std::string &text)
 {
-    JsonValue doc = JsonValue::parse(text);
+    return simResultsFromJson(JsonValue::parse(text));
+}
+
+SimResults
+simResultsFromJson(const JsonValue &doc)
+{
     wbsim_assert(doc.at("schema").string() == "wbsim-sim-results-v1",
                  "not a wbsim-sim-results-v1 document");
     SimResults r;
@@ -387,6 +399,14 @@ writeMetricsJson(std::ostream &os, const MetricsRegistry &registry,
     json.beginObject();
     json.field("schema", "wbsim-metrics-v1");
     writeProvenance(json, provenance);
+    writeMetricsArray(json, registry);
+    json.endObject();
+    os << "\n";
+}
+
+void
+writeMetricsArray(JsonWriter &json, const MetricsRegistry &registry)
+{
     json.key("metrics").beginArray();
     for (std::size_t i = 0; i < registry.size(); ++i) {
         json.beginObject();
@@ -428,8 +448,6 @@ writeMetricsJson(std::ostream &os, const MetricsRegistry &registry,
         json.endObject();
     }
     json.endArray();
-    json.endObject();
-    os << "\n";
 }
 
 void

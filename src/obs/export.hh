@@ -56,11 +56,24 @@ void writeSimResultsJson(std::ostream &os, const SimResults &results,
                          const Provenance &provenance);
 
 /**
+ * The body of a wbsim-sim-results-v1 document as one JSON object
+ * written into an already-open @p json stream. This is the shared
+ * renderer behind writeSimResultsJson() and the wbsim-serve per-cell
+ * payloads, so a served cell is byte-identical to a local artifact.
+ */
+void writeSimResultsObject(JsonWriter &json, const SimResults &results,
+                           const Provenance &provenance);
+
+/**
  * Re-parse a writeSimResultsJson() document. Every stored field is
  * restored exactly (doubles included); derived fields (rates, stall
  * percentages) are re-derived. fatal() on malformed input.
  */
 SimResults parseSimResultsJson(const std::string &text);
+
+/** Rebuild a SimResults from an already-parsed wbsim-sim-results-v1
+ *  object (the serve client's path). fatal() on schema mismatch. */
+SimResults simResultsFromJson(const JsonValue &doc);
 
 /** The CSV column header shared by all SimResults CSV emitters. */
 std::string simResultsCsvHeader();
@@ -99,6 +112,11 @@ void writeGridCsv(std::ostream &os,
  */
 void writeMetricsJson(std::ostream &os, const MetricsRegistry &registry,
                       const Provenance &provenance);
+
+/** The "metrics" array of a wbsim-metrics-v1 document written into
+ *  an already-open @p json stream (shared with wbsim-serve stats
+ *  responses). */
+void writeMetricsArray(JsonWriter &json, const MetricsRegistry &registry);
 
 /** Registry contents as CSV (name, kind, n, value/mean, quantiles). */
 void writeMetricsCsv(std::ostream &os,

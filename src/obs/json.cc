@@ -246,6 +246,13 @@ JsonValue::array() const
     return arr_;
 }
 
+const std::map<std::string, JsonValue> &
+JsonValue::object() const
+{
+    wbsim_assert(kind_ == Kind::Object, "JSON value is not an object");
+    return obj_;
+}
+
 const JsonValue &
 JsonValue::at(const std::string &name) const
 {
@@ -262,10 +269,19 @@ JsonValue::has(const std::string &name) const
     return kind_ == Kind::Object && obj_.count(name) > 0;
 }
 
-/** Recursive-descent parser over an in-memory document. */
+/** Recursive-descent parser over an in-memory document. Malformed
+ *  input raises Malformed; the two public entry points translate it
+ *  into fatal() (trusted artifacts) or an error string (untrusted
+ *  wire payloads). */
 class JsonParser
 {
   public:
+    /** Parse failure carrying the diagnostic. */
+    struct Malformed
+    {
+        std::string message;
+    };
+
     explicit JsonParser(const std::string &text)
         : text_(text)
     {
@@ -277,12 +293,33 @@ class JsonParser
         JsonValue v = parseValue();
         skipSpace();
         if (pos_ != text_.size())
-            wbsim_fatal("trailing garbage after JSON document at byte ",
-                        pos_);
+            fail("trailing garbage after JSON document at byte ",
+                 pos_);
         return v;
     }
 
   private:
+    template <typename... Args>
+    [[noreturn]] void
+    fail(Args &&...args)
+    {
+        throw Malformed{
+            detail::concat(std::forward<Args>(args)...)};
+    }
+
+    /** Recursion guard: a few KB of '[' must not overflow the
+     *  connection thread's stack. */
+    struct DepthGuard
+    {
+        explicit DepthGuard(JsonParser &p) : parser(p)
+        {
+            if (++parser.depth_ > kMaxDepth)
+                throw Malformed{"JSON nesting deeper than 64 levels"};
+        }
+        ~DepthGuard() { --parser.depth_; }
+        JsonParser &parser;
+    };
+    static constexpr int kMaxDepth = 64;
     void
     skipSpace()
     {
@@ -296,7 +333,7 @@ class JsonParser
     {
         skipSpace();
         if (pos_ >= text_.size())
-            wbsim_fatal("unexpected end of JSON document");
+            fail("unexpected end of JSON document");
         return text_[pos_];
     }
 
@@ -304,8 +341,8 @@ class JsonParser
     expect(char c)
     {
         if (peek() != c)
-            wbsim_fatal("expected '", std::string(1, c),
-                        "' at byte ", pos_, " of JSON document");
+            fail("expected '", std::string(1, c), "' at byte ", pos_,
+                 " of JSON document");
         ++pos_;
     }
 
@@ -322,6 +359,7 @@ class JsonParser
     JsonValue
     parseValue()
     {
+        DepthGuard depth(*this);
         switch (peek()) {
           case '{':
             return parseObject();
@@ -350,7 +388,7 @@ class JsonParser
         skipSpace();
         for (const char *p = word; *p; ++p, ++pos_)
             if (pos_ >= text_.size() || text_[pos_] != *p)
-                wbsim_fatal("malformed JSON literal at byte ", pos_);
+                fail("malformed JSON literal at byte ", pos_);
     }
 
     JsonValue
@@ -399,7 +437,7 @@ class JsonParser
                 break;
               case 'u': {
                 if (pos_ + 4 > text_.size())
-                    wbsim_fatal("truncated \\u escape in JSON string");
+                    fail("truncated \\u escape in JSON string");
                 unsigned code = static_cast<unsigned>(std::strtoul(
                     text_.substr(pos_, 4).c_str(), nullptr, 16));
                 pos_ += 4;
@@ -408,8 +446,8 @@ class JsonParser
                 break;
               }
               default:
-                wbsim_fatal("unsupported JSON escape '\\",
-                            std::string(1, e), "'");
+                fail("unsupported JSON escape '\\",
+                     std::string(1, e), "'");
             }
         }
         expect('"');
@@ -438,7 +476,7 @@ class JsonParser
             }
         }
         if (pos_ == start)
-            wbsim_fatal("malformed JSON number at byte ", pos_);
+            fail("malformed JSON number at byte ", pos_);
         std::string text = text_.substr(start, pos_ - start);
         JsonValue v;
         v.kind_ = JsonValue::Kind::Number;
@@ -485,12 +523,30 @@ class JsonParser
 
     const std::string &text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 JsonValue
 JsonValue::parse(const std::string &text)
 {
-    return JsonParser(text).document();
+    try {
+        return JsonParser(text).document();
+    } catch (const JsonParser::Malformed &err) {
+        wbsim_fatal(err.message);
+    }
+}
+
+bool
+JsonValue::tryParse(const std::string &text, JsonValue &out,
+                    std::string &error)
+{
+    try {
+        out = JsonParser(text).document();
+        return true;
+    } catch (const JsonParser::Malformed &err) {
+        error = err.message;
+        return false;
+    }
 }
 
 } // namespace wbsim::obs

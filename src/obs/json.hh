@@ -92,6 +92,14 @@ class JsonValue
 
     Kind kind() const { return kind_; }
     bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    /** True when uint() is safe: a number written without sign,
+     *  fraction, or exponent. */
+    bool isUint() const { return kind_ == Kind::Number && integral_; }
 
     /** @name Typed accessors; fatal() on kind mismatch. */
     /// @{
@@ -101,6 +109,9 @@ class JsonValue
     std::uint64_t uint() const;
     const std::string &string() const;
     const std::vector<JsonValue> &array() const;
+    /** All object members (sorted by key); fatal() if not an object.
+     *  Lets strict decoders reject unknown keys. */
+    const std::map<std::string, JsonValue> &object() const;
     /// @}
 
     /** Object member @p name; fatal() if absent or not an object. */
@@ -113,6 +124,14 @@ class JsonValue
      * input — artifacts are machine-written, so damage is a bug.
      */
     static JsonValue parse(const std::string &text);
+
+    /**
+     * Non-fatal parse for untrusted input (the wbsim-serve wire
+     * protocol): on malformed text returns false and describes the
+     * damage in @p error instead of terminating the process.
+     */
+    static bool tryParse(const std::string &text, JsonValue &out,
+                         std::string &error);
 
   private:
     friend class JsonParser;

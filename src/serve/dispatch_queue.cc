@@ -1,0 +1,165 @@
+#include "serve/dispatch_queue.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace wbsim::serve
+{
+namespace
+{
+
+struct DisciplineName
+{
+    DispatchDiscipline value;
+    const char *name;
+};
+
+constexpr DisciplineName kDisciplineNames[] = {
+    {DispatchDiscipline::Fcfs, "fcfs"},
+    {DispatchDiscipline::Priority, "priority"},
+};
+
+} // namespace
+
+const char *
+dispatchDisciplineName(DispatchDiscipline discipline)
+{
+    for (const auto &row : kDisciplineNames)
+        if (row.value == discipline)
+            return row.name;
+    return "?";
+}
+
+bool
+tryParseDispatchDiscipline(std::string_view name,
+                           DispatchDiscipline &out)
+{
+    for (const auto &row : kDisciplineNames) {
+        if (row.name == name) {
+            out = row.value;
+            return true;
+        }
+    }
+    return false;
+}
+
+DispatchDiscipline
+parseDispatchDiscipline(std::string_view name)
+{
+    DispatchDiscipline discipline{};
+    if (tryParseDispatchDiscipline(name, discipline))
+        return discipline;
+    std::ostringstream known;
+    for (const auto &row : kDisciplineNames)
+        known << ' ' << row.name;
+    wbsim_fatal("unknown dispatch discipline \"", std::string(name),
+                "\"; known:", known.str());
+}
+
+DispatchQueue::DispatchQueue(std::size_t capacity,
+                             DispatchDiscipline discipline)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      discipline_(discipline)
+{
+}
+
+bool
+DispatchQueue::tryPushBatch(std::vector<DispatchJob> jobs)
+{
+    if (jobs.empty())
+        return true;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || entries_.size() + jobs.size() > capacity_) {
+            ++rejected_;
+            return false;
+        }
+        for (DispatchJob &job : jobs) {
+            Entry entry;
+            entry.priority = job.priority;
+            entry.seq = nextSeq_++;
+            entry.run = std::move(job.run);
+            entries_.push_back(std::move(entry));
+            ++pushed_;
+        }
+        highWater_ = std::max<std::uint64_t>(highWater_,
+                                             entries_.size());
+    }
+    // Wake one worker per admitted job; any worker can run any job.
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        notEmpty_.notify_one();
+    return true;
+}
+
+bool
+DispatchQueue::tryPush(DispatchJob job)
+{
+    std::vector<DispatchJob> batch;
+    batch.push_back(std::move(job));
+    return tryPushBatch(std::move(batch));
+}
+
+bool
+DispatchQueue::pop(DispatchJob &out)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    notEmpty_.wait(lock,
+                   [&]() { return closed_ || !entries_.empty(); });
+    if (entries_.empty())
+        return false; // closed and drained
+    Entry entry = takeLocked();
+    ++popped_;
+    out.priority = entry.priority;
+    out.run = std::move(entry.run);
+    return true;
+}
+
+DispatchQueue::Entry
+DispatchQueue::takeLocked()
+{
+    // FCFS pops the head; priority scans for the best (priority
+    // desc, seq asc). The queue is admission-bounded (typically a
+    // few thousand entries), so a linear scan beats maintaining a
+    // heap once push/pop bookkeeping is counted, and it keeps the
+    // structure a plain deque for both disciplines.
+    auto best = entries_.begin();
+    if (discipline_ == DispatchDiscipline::Priority) {
+        for (auto it = std::next(best); it != entries_.end(); ++it) {
+            if (it->priority > best->priority
+                || (it->priority == best->priority
+                    && it->seq < best->seq))
+                best = it;
+        }
+    }
+    Entry entry = std::move(*best);
+    entries_.erase(best);
+    return entry;
+}
+
+void
+DispatchQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    notEmpty_.notify_all();
+}
+
+DispatchQueueStats
+DispatchQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    DispatchQueueStats out;
+    out.pushed = pushed_;
+    out.rejected = rejected_;
+    out.popped = popped_;
+    out.highWater = highWater_;
+    out.depth = entries_.size();
+    return out;
+}
+
+} // namespace wbsim::serve

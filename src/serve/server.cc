@@ -1,0 +1,554 @@
+#include "serve/server.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "harness/experiment.hh"
+#include "obs/export.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim::serve
+{
+namespace
+{
+
+/** Which worker this thread is; set once by workerLoop so job
+ *  closures built on connection threads can find their shard. */
+thread_local unsigned tlsWorkerIndex = 0;
+
+std::string
+socketError(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+ServeServer::ServeServer(ServeConfig config)
+    : config_(std::move(config)),
+      store_(config_.storeBudgetBytes, config_.storeShards),
+      queue_(config_.queueCapacity, config_.discipline)
+{
+}
+
+ServeServer::~ServeServer()
+{
+    stop();
+}
+
+void
+ServeServer::registerWorkerMetrics(obs::MetricsRegistry &metrics)
+{
+    metrics.counter("serve.cells_simulated");
+    metrics.counter("serve.sim_micros");
+    // 64 buckets x ~1ms covers sub-ms cached rebuilds out to 64ms
+    // cold cells; longer runs land in the overflow bucket.
+    metrics.histogram("serve.cell_micros", 64, 1024);
+}
+
+bool
+ServeServer::start(std::string &error)
+{
+    unsigned workers =
+        config_.workers != 0 ? config_.workers : defaultThreads();
+
+    if (!config_.unixPath.empty()) {
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0) {
+            error = socketError("socket");
+            return false;
+        }
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (config_.unixPath.size() >= sizeof addr.sun_path) {
+            error = "unix socket path too long: " + config_.unixPath;
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return false;
+        }
+        std::strncpy(addr.sun_path, config_.unixPath.c_str(),
+                     sizeof addr.sun_path - 1);
+        ::unlink(config_.unixPath.c_str());
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof addr)
+            < 0) {
+            error = socketError("bind");
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return false;
+        }
+    } else {
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd_ < 0) {
+            error = socketError("socket");
+            return false;
+        }
+        int one = 1;
+        ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(config_.port);
+        if (::bind(listenFd_,
+                   reinterpret_cast<const sockaddr *>(&addr),
+                   sizeof addr)
+            < 0) {
+            error = socketError("bind");
+            ::close(listenFd_);
+            listenFd_ = -1;
+            return false;
+        }
+        sockaddr_in bound{};
+        socklen_t length = sizeof bound;
+        if (::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&bound),
+                          &length)
+            == 0)
+            port_ = ntohs(bound.sin_port);
+    }
+
+    if (::listen(listenFd_, 128) < 0) {
+        error = socketError("listen");
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return false;
+    }
+
+    shards_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        auto shard = std::make_unique<WorkerShard>();
+        registerWorkerMetrics(shard->metrics);
+        shards_.push_back(std::move(shard));
+    }
+    workers_.start(workers,
+                   [this](unsigned index) { workerLoop(index); });
+    acceptThread_ = std::thread([this]() { acceptLoop(); });
+    return true;
+}
+
+void
+ServeServer::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // listener shut down by stop()
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) {
+                ::close(fd);
+                return;
+            }
+            connectionFds_.insert(fd);
+            ++activeConnections_;
+        }
+        connections_.fetch_add(1, std::memory_order_relaxed);
+        std::thread([this, fd]() { connectionMain(fd); }).detach();
+    }
+}
+
+void
+ServeServer::connectionMain(int fd)
+{
+    handleConnection(fd);
+    // Last touch of server state: after the notify below, this
+    // detached thread references nothing of *this.
+    std::lock_guard<std::mutex> lock(mutex_);
+    connectionFds_.erase(fd);
+    ::close(fd);
+    --activeConnections_;
+    connectionsDrained_.notify_all();
+}
+
+void
+ServeServer::handleConnection(int fd)
+{
+    std::string payload;
+    for (;;) {
+        FrameResult got =
+            readFrame(fd, payload, config_.maxFrameBytes);
+        if (got == FrameResult::Eof || got == FrameResult::Error)
+            return;
+        if (got != FrameResult::Ok) {
+            // BadMagic / TooLarge poison the stream: answer once,
+            // then hang up (there is no way to find the next frame).
+            Response response;
+            response.type = ResponseType::Error;
+            if (got == FrameResult::TooLarge) {
+                std::ostringstream os;
+                os << "frame exceeds " << config_.maxFrameBytes
+                   << " bytes";
+                response.error = os.str();
+            } else {
+                response.error = "bad frame magic (expected WBS1)";
+            }
+            requestErrors_.fetch_add(1, std::memory_order_relaxed);
+            writeFrame(fd, encodeResponse(response));
+            return;
+        }
+        Request request;
+        std::string error;
+        Response response;
+        if (!decodeRequest(payload, request, error)) {
+            requestErrors_.fetch_add(1, std::memory_order_relaxed);
+            response.type = ResponseType::Error;
+            response.error = error;
+        } else {
+            response = handleRequest(request);
+        }
+        if (!writeFrame(fd, encodeResponse(response)))
+            return;
+        if (response.type == ResponseType::Bye)
+            return;
+    }
+}
+
+Response
+ServeServer::handleRequest(const Request &request)
+{
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    Response response;
+    switch (request.type) {
+    case RequestType::Ping:
+        response.type = ResponseType::Pong;
+        return response;
+    case RequestType::Stats:
+        response.type = ResponseType::Stats;
+        response.statsJson = statsJson();
+        return response;
+    case RequestType::Shutdown:
+        requestShutdown();
+        response.type = ResponseType::Bye;
+        return response;
+    case RequestType::Sweep:
+        return handleSweep(request);
+    }
+    response.type = ResponseType::Error;
+    response.error = "unhandled request type";
+    return response;
+}
+
+Response
+ServeServer::handleSweep(const Request &request)
+{
+    const std::vector<CellSpec> &cells = request.cells;
+    auto reject = [&](const std::string &why) {
+        requestErrors_.fetch_add(1, std::memory_order_relaxed);
+        Response response;
+        response.type = ResponseType::Error;
+        response.error = why;
+        return response;
+    };
+
+    if (cells.size() > config_.maxCellsPerRequest) {
+        std::ostringstream os;
+        os << "sweep of " << cells.size()
+           << " cells exceeds the per-request cap of "
+           << config_.maxCellsPerRequest;
+        return reject(os.str());
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellSpec &spec = cells[i];
+        std::ostringstream where;
+        where << "cells[" << i << "]: ";
+        if (!spec92::isBenchmark(spec.benchmark))
+            return reject(where.str() + "unknown benchmark \""
+                          + spec.benchmark + "\"");
+        if (spec.instructions == 0)
+            return reject(where.str()
+                          + "instructions must be positive");
+        if (spec.instructions > config_.cellInstructionCap
+            || spec.warmup
+                   > config_.cellInstructionCap - spec.instructions)
+            return reject(where.str()
+                          + "instructions + warmup exceed the "
+                            "per-cell cap");
+        if (std::string error = spec.machine.validationError();
+            !error.empty())
+            return reject(where.str() + error);
+    }
+
+    // Admission: answer store hits directly; batch the misses into
+    // the queue all-or-nothing.
+    struct Latch
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::size_t remaining = 0;
+    };
+    Latch latch;
+    std::vector<ResultStore::ResultPtr> results(cells.size());
+    std::vector<char> fromStore(cells.size(), 0);
+    std::vector<DispatchJob> jobs;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        CellKey key = keyOf(cells[i]);
+        if (ResultStore::ResultPtr cached = store_.find(key)) {
+            results[i] = std::move(cached);
+            fromStore[i] = 1;
+            continue;
+        }
+        DispatchJob job;
+        job.priority = request.priority;
+        job.run = [this, &latch, &results, i, spec = cells[i]]() {
+            auto ptr = std::make_shared<const SimResults>(
+                simulateCell(spec, tlsWorkerIndex));
+            store_.insert(keyOf(spec), ptr);
+            std::lock_guard<std::mutex> lock(latch.mutex);
+            results[i] = std::move(ptr);
+            if (--latch.remaining == 0)
+                latch.done.notify_all();
+        };
+        jobs.push_back(std::move(job));
+    }
+
+    std::uint64_t hits = 0;
+    for (char h : fromStore)
+        hits += h != 0;
+    cellsFromStore_.fetch_add(hits, std::memory_order_relaxed);
+
+    if (!jobs.empty()) {
+        // A miss batch larger than the whole queue can never be
+        // admitted; RETRY_AFTER would send the client into an
+        // infinite retry loop, so fail the request outright.
+        if (jobs.size() > config_.queueCapacity) {
+            std::ostringstream os;
+            os << jobs.size()
+               << " uncached cells exceed the admission queue "
+                  "capacity of "
+               << config_.queueCapacity
+               << "; split the sweep into smaller requests";
+            return reject(os.str());
+        }
+        latch.remaining = jobs.size();
+        if (!queue_.tryPushBatch(std::move(jobs))) {
+            retryAfters_.fetch_add(1, std::memory_order_relaxed);
+            Response response;
+            response.type = ResponseType::RetryAfter;
+            response.retryAfterMs = config_.retryAfterMs;
+            return response;
+        }
+        std::unique_lock<std::mutex> lock(latch.mutex);
+        latch.done.wait(lock,
+                        [&]() { return latch.remaining == 0; });
+    }
+
+    sweeps_.fetch_add(1, std::memory_order_relaxed);
+    cellsServed_.fetch_add(cells.size(), std::memory_order_relaxed);
+
+    Response response;
+    response.type = ResponseType::Results;
+    response.cells.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellSpec &spec = cells[i];
+        obs::Provenance provenance;
+        provenance.machineFingerprint =
+            spec.machine.stateFingerprint();
+        provenance.machine = spec.machine.describe();
+        provenance.seed = spec.seed;
+        provenance.instructions = spec.instructions;
+        provenance.warmup = spec.warmup;
+        std::ostringstream os;
+        obs::writeSimResultsJson(os, *results[i], provenance);
+        CellResult cell;
+        cell.benchmark = spec.benchmark;
+        cell.cacheHit = fromStore[i] != 0;
+        cell.resultJson = os.str();
+        response.cells.push_back(std::move(cell));
+    }
+    return response;
+}
+
+void
+ServeServer::workerLoop(unsigned index)
+{
+    tlsWorkerIndex = index;
+    DispatchJob job;
+    while (queue_.pop(job))
+        job.run();
+}
+
+SimResults
+ServeServer::simulateCell(const CellSpec &spec, unsigned worker)
+{
+    auto begin = std::chrono::steady_clock::now();
+    BenchmarkProfile profile = spec92::profile(spec.benchmark);
+    RunnerOptions options;
+    options.instructions = spec.instructions;
+    options.warmup = spec.warmup;
+    options.threads = 1;
+    options.seed = spec.seed;
+    SimResults result =
+        runOne(profile, spec.machine, options, spec.seed);
+    auto micros = std::uint64_t(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - begin)
+            .count());
+
+    WorkerShard &shard = *shards_[worker];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    obs::MetricsRegistry &metrics = shard.metrics;
+    metrics.add(metrics.counter("serve.cells_simulated"));
+    metrics.add(metrics.counter("serve.sim_micros"), micros);
+    metrics.sample(metrics.histogram("serve.cell_micros", 64, 1024),
+                   micros);
+    return result;
+}
+
+CellKey
+ServeServer::keyOf(const CellSpec &spec)
+{
+    CellKey key;
+    key.benchmark = spec.benchmark;
+    key.machineFingerprint = spec.machine.stateFingerprint();
+    key.seed = spec.seed;
+    key.instructions = spec.instructions;
+    key.warmup = spec.warmup;
+    return key;
+}
+
+std::string
+ServeServer::statsJson()
+{
+    obs::MetricsRegistry merged;
+    registerWorkerMetrics(merged);
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        merged.merge(shard->metrics);
+    }
+    ResultStoreStats store = store_.stats();
+    DispatchQueueStats queue = queue_.stats();
+    GridCacheStats grid = gridCacheStats();
+
+    std::ostringstream os;
+    obs::JsonWriter json(os, 0);
+    json.beginObject();
+    json.field("schema", "wbsim-serve-stats-v1");
+    json.key("server").beginObject();
+    json.field("connections",
+               connections_.load(std::memory_order_relaxed));
+    json.field("requests", requests_.load(std::memory_order_relaxed));
+    json.field("sweeps", sweeps_.load(std::memory_order_relaxed));
+    json.field("cells_served",
+               cellsServed_.load(std::memory_order_relaxed));
+    json.field("cells_from_store",
+               cellsFromStore_.load(std::memory_order_relaxed));
+    json.field("retry_afters",
+               retryAfters_.load(std::memory_order_relaxed));
+    json.field("request_errors",
+               requestErrors_.load(std::memory_order_relaxed));
+    json.field("workers", std::uint64_t(shards_.size()));
+    json.field("discipline",
+               dispatchDisciplineName(config_.discipline));
+    json.endObject();
+    json.key("store").beginObject();
+    json.field("hits", store.hits);
+    json.field("misses", store.misses);
+    json.field("inserts", store.inserts);
+    json.field("evictions", store.evictions);
+    json.field("bytes", store.bytes);
+    json.field("entries", store.entries);
+    json.field("budget_bytes", store.budgetBytes);
+    json.endObject();
+    json.key("queue").beginObject();
+    json.field("pushed", queue.pushed);
+    json.field("rejected", queue.rejected);
+    json.field("popped", queue.popped);
+    json.field("high_water", queue.highWater);
+    json.field("depth", queue.depth);
+    json.field("capacity", std::uint64_t(queue_.capacity()));
+    json.endObject();
+    json.key("grid_cache").beginObject();
+    json.field("trace_builds", std::uint64_t(grid.traceBuilds));
+    json.field("trace_hits", std::uint64_t(grid.traceHits));
+    json.field("checkpoint_builds",
+               std::uint64_t(grid.checkpointBuilds));
+    json.field("checkpoint_hits",
+               std::uint64_t(grid.checkpointHits));
+    json.field("trace_evictions",
+               std::uint64_t(grid.traceEvictions));
+    json.field("checkpoint_evictions",
+               std::uint64_t(grid.checkpointEvictions));
+    json.field("cached_bytes", std::uint64_t(grid.cachedBytes));
+    json.field("budget_bytes", std::uint64_t(grid.budgetBytes));
+    json.endObject();
+    obs::writeMetricsArray(json, merged);
+    json.endObject();
+    os << "\n";
+    return os.str();
+}
+
+void
+ServeServer::requestShutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdownAsked_ = true;
+    }
+    shutdownRequested_.notify_all();
+}
+
+void
+ServeServer::waitForShutdownRequest()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutdownRequested_.wait(
+        lock, [&]() { return shutdownAsked_ || stopping_; });
+}
+
+void
+ServeServer::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    shutdownRequested_.notify_all();
+
+    // 1. Stop accepting: shutting the listener down unblocks
+    //    accept() with an error.
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+
+    // 2. Fail new admissions and drain queued cells: pending sweeps
+    //    resolve, so no connection thread stays parked on a latch.
+    queue_.close();
+    workers_.join();
+
+    // 3. Unblock connections waiting in readFrame and wait for the
+    //    last one to bow out.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (int fd : connectionFds_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        connectionsDrained_.wait(
+            lock, [&]() { return activeConnections_ == 0; });
+    }
+
+    if (!config_.unixPath.empty())
+        ::unlink(config_.unixPath.c_str());
+}
+
+} // namespace wbsim::serve

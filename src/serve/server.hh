@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The wbsim-serve daemon core: a sharded, backpressured sweep
+ * service over the grid cache.
+ *
+ * Architecture (DESIGN.md §13):
+ *
+ *   listener ──► connection threads ──► admission ──► DispatchQueue
+ *                      │                   │               │
+ *                      │              ResultStore      WorkerPool
+ *                      │             (hit bypasses      (runOne via
+ *                      ▼               the queue)       grid cache)
+ *                 one response
+ *                 frame per request
+ *
+ * A connection thread decodes one request frame at a time, answers
+ * store hits immediately, and enqueues the misses as one
+ * all-or-nothing batch. If the bounded queue cannot take the batch
+ * the client gets RETRY_AFTER with a backoff hint — the daemon never
+ * queues unboundedly and never drops a request on the floor
+ * silently. Workers simulate cells through the process-wide grid
+ * cache (traces and warm checkpoints are shared across requests) and
+ * publish into the ResultStore.
+ *
+ * Thread-safety contract: connection bookkeeping sits behind
+ * mutex_; cross-thread sweep completion uses a per-request latch;
+ * per-worker metrics shards are guarded by per-shard mutexes and
+ * merged on demand. stop() must not be called from a connection
+ * thread (it joins them); daemon code waits on
+ * waitForShutdownRequest() and calls stop() from the main thread.
+ * CI runs the loopback tests under ThreadSanitizer with no
+ * suppressions.
+ */
+
+#ifndef WBSIM_SERVE_SERVER_HH
+#define WBSIM_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "serve/dispatch_queue.hh"
+#include "serve/result_store.hh"
+#include "serve/wire.hh"
+#include "util/thread_pool.hh"
+
+namespace wbsim::serve
+{
+
+/** Everything a ServeServer needs to know at construction. */
+struct ServeConfig
+{
+    /** TCP port on 127.0.0.1; 0 picks an ephemeral port (tests read
+     *  it back via port()). Ignored when unixPath is set. */
+    std::uint16_t port = 0;
+    /** Unix-domain socket path; empty = TCP. */
+    std::string unixPath;
+    /** Simulation workers; 0 = defaultThreads(). */
+    unsigned workers = 0;
+    /** Admission queue capacity, in cells. */
+    std::size_t queueCapacity = 1024;
+    DispatchDiscipline discipline = DispatchDiscipline::Fcfs;
+    /** ResultStore byte budget (0 = unbounded) and shard count. */
+    std::size_t storeBudgetBytes = 256u << 20;
+    std::size_t storeShards = 16;
+    /** Backoff hint handed out with RETRY_AFTER. */
+    std::uint32_t retryAfterMs = 50;
+    /** Per-frame payload cap. */
+    std::size_t maxFrameBytes = kDefaultMaxFrameBytes;
+    /** Cells one sweep request may carry. */
+    std::size_t maxCellsPerRequest = 4096;
+    /** Upper bound on instructions + warmup per cell; a sweep
+     *  service must not let one client buy an unbounded simulation. */
+    Count cellInstructionCap = 64'000'000;
+};
+
+/** The daemon: listener, connection threads, workers, result store. */
+class ServeServer
+{
+  public:
+    explicit ServeServer(ServeConfig config);
+    ~ServeServer();
+
+    ServeServer(const ServeServer &) = delete;
+    ServeServer &operator=(const ServeServer &) = delete;
+
+    /** Bind, listen, launch workers and the accept thread. False
+     *  (with @p error) when the socket cannot be set up. */
+    bool start(std::string &error);
+
+    /** The bound TCP port (after start(); 0 in Unix-socket mode). */
+    std::uint16_t port() const { return port_; }
+
+    const ServeConfig &config() const { return config_; }
+
+    /** Block until a client sends a shutdown request, another thread
+     *  calls requestShutdown(), or stop() runs. */
+    void waitForShutdownRequest();
+
+    /** Unblock waitForShutdownRequest() without tearing anything
+     *  down (the daemon's signal path and tests use this). */
+    void requestShutdown();
+
+    /** Drain and tear everything down: stop accepting, fail new
+     *  admissions, let workers finish queued cells, unblock and join
+     *  every connection. Idempotent. Must not be called from a
+     *  connection thread. */
+    void stop();
+
+    /** The wbsim-serve-stats-v1 document (also served on a stats
+     *  request). */
+    std::string statsJson();
+
+    /** Direct counter access for in-process harnesses. */
+    ResultStoreStats storeStats() const { return store_.stats(); }
+    DispatchQueueStats queueStats() const { return queue_.stats(); }
+
+  private:
+    /** Per-worker metrics shard (own lock so a stats request can
+     *  merge while workers publish). */
+    struct WorkerShard
+    {
+        std::mutex mutex;
+        obs::MetricsRegistry metrics;
+    };
+
+    void acceptLoop();
+    void connectionMain(int fd);
+    void handleConnection(int fd);
+    Response handleRequest(const Request &request);
+    Response handleSweep(const Request &request);
+    void workerLoop(unsigned index);
+    /** Simulate one cell on a worker thread and publish it. */
+    SimResults simulateCell(const CellSpec &spec, unsigned worker);
+    static CellKey keyOf(const CellSpec &spec);
+    /** Register the per-worker metrics (same order everywhere so
+     *  shards merge). */
+    static void registerWorkerMetrics(obs::MetricsRegistry &metrics);
+
+    ServeConfig config_;
+    ResultStore store_;
+    DispatchQueue queue_;
+    WorkerPool workers_;
+    std::vector<std::unique_ptr<WorkerShard>> shards_;
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptThread_;
+
+    std::mutex mutex_;
+    std::condition_variable connectionsDrained_;
+    std::condition_variable shutdownRequested_;
+    std::set<int> connectionFds_;
+    std::size_t activeConnections_ = 0;
+    bool stopping_ = false;
+    bool shutdownAsked_ = false;
+
+    std::atomic<std::uint64_t> connections_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> sweeps_{0};
+    std::atomic<std::uint64_t> cellsServed_{0};
+    std::atomic<std::uint64_t> cellsFromStore_{0};
+    std::atomic<std::uint64_t> retryAfters_{0};
+    std::atomic<std::uint64_t> requestErrors_{0};
+};
+
+} // namespace wbsim::serve
+
+#endif // WBSIM_SERVE_SERVER_HH

@@ -71,32 +71,49 @@ MachineConfig::l2TransferCycles() const
 void
 MachineConfig::validate() const
 {
-    l1d.validate("L1D");
-    if (!perfectICache)
-        l1i.validate("L1I");
+    if (std::string error = validationError(); !error.empty())
+        wbsim_fatal(error);
+}
+
+std::string
+MachineConfig::validationError() const
+{
+    if (std::string error = l1d.validationError("L1D");
+        !error.empty())
+        return error;
+    if (!perfectICache) {
+        if (std::string error = l1i.validationError("L1I");
+            !error.empty())
+            return error;
+    }
     if (!perfectL2) {
-        l2.validate("L2");
+        if (std::string error = l2.validationError("L2");
+            !error.empty())
+            return error;
         if (l2.lineBytes != l1d.lineBytes)
-            wbsim_fatal("L1 and L2 line sizes must match (strict "
-                        "inclusion model)");
+            return "L1 and L2 line sizes must match (strict inclusion "
+                   "model)";
         if (l2.sizeBytes < l1d.sizeBytes)
-            wbsim_fatal("L2 smaller than L1 breaks inclusion");
+            return "L2 smaller than L1 breaks inclusion";
     }
     if (l2Latency == 0)
-        wbsim_fatal("L2 latency must be positive");
+        return "L2 latency must be positive";
     if (memLatency == 0)
-        wbsim_fatal("memory latency must be positive");
+        return "memory latency must be positive";
     if (l2DatapathBytes == 0 || !isPowerOfTwo(l2DatapathBytes))
-        wbsim_fatal("L2 datapath width must be a power of two");
+        return "L2 datapath width must be a power of two";
     if (issueWidth == 0)
-        wbsim_fatal("issue width must be positive");
+        return "issue width must be positive";
     if (bubbleProbability < 0.0 || bubbleProbability > 1.0)
-        wbsim_fatal("bubble probability out of range");
-    writeBuffer.validate();
+        return "bubble probability out of range";
+    if (std::string error = writeBuffer.validationError();
+        !error.empty())
+        return error;
     if (writeBuffer.entryBytes > l1d.lineBytes
         && writeBuffer.entryBytes % l1d.lineBytes != 0)
-        wbsim_fatal("write buffer entries wider than a line must be a "
-                    "multiple of the line size");
+        return "write buffer entries wider than a line must be a "
+               "multiple of the line size";
+    return "";
 }
 
 std::string

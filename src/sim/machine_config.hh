@@ -81,6 +81,11 @@ struct MachineConfig
     /** fatal() on inconsistent parameters. */
     void validate() const;
 
+    /** Non-fatal validate(): the first inconsistency, or "" when the
+     *  configuration is sound. wbsim-serve validates every
+     *  network-supplied machine through this before simulating. */
+    std::string validationError() const;
+
     /** Short identity for reports. */
     std::string describe() const;
 };

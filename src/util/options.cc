@@ -1,5 +1,8 @@
 #include "util/options.hh"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -73,32 +76,32 @@ std::int64_t
 Options::getInt(const std::string &name) const
 {
     const std::string text = get(name);
-    char *end = nullptr;
-    long long v = std::strtoll(text.c_str(), &end, 0);
-    if (end == text.c_str() || *end != '\0')
-        wbsim_fatal("option --", name, " expects an integer, got '",
-                    text, "'");
+    std::int64_t v = 0;
+    if (!tryParseInt64(text, v))
+        wbsim_fatal("option --", name, " expects an integer in "
+                    "[-2^63, 2^63), got '", text, "'");
     return v;
 }
 
 std::uint64_t
 Options::getUint(const std::string &name) const
 {
-    std::int64_t v = getInt(name);
-    if (v < 0)
-        wbsim_fatal("option --", name, " must be non-negative");
-    return static_cast<std::uint64_t>(v);
+    const std::string text = get(name);
+    std::uint64_t v = 0;
+    if (!tryParseUint64(text, v))
+        wbsim_fatal("option --", name, " expects a non-negative "
+                    "integer below 2^64, got '", text, "'");
+    return v;
 }
 
 double
 Options::getDouble(const std::string &name) const
 {
     const std::string text = get(name);
-    char *end = nullptr;
-    double v = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0')
-        wbsim_fatal("option --", name, " expects a number, got '",
-                    text, "'");
+    double v = 0.0;
+    if (!tryParseDouble(text, v))
+        wbsim_fatal("option --", name, " expects a finite number, "
+                    "got '", text, "'");
     return v;
 }
 
@@ -125,16 +128,85 @@ Options::usage() const
     return os.str();
 }
 
+namespace
+{
+
+/** Common strict-parse scaffolding: @p text must be non-empty, the
+ *  conversion must consume all of it, and the C library must not
+ *  have reported a range error. */
+template <typename Value, typename Convert>
+bool
+strictParse(std::string_view text, Value &out, Convert convert)
+{
+    if (text.empty())
+        return false;
+    // strtoll & friends skip leading whitespace; the documented
+    // grammar is "the whole of text is the number", so don't.
+    if (std::isspace(static_cast<unsigned char>(text.front())))
+        return false;
+    // strtoll & friends need a NUL terminator; string_views into
+    // larger buffers (wire fields) may not have one.
+    std::string buffer(text);
+    errno = 0;
+    char *end = nullptr;
+    Value v = convert(buffer.c_str(), &end);
+    if (end != buffer.c_str() + buffer.size() || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+tryParseInt64(std::string_view text, std::int64_t &out)
+{
+    static_assert(sizeof(long long) == sizeof(std::int64_t));
+    return strictParse<std::int64_t>(
+        text, out, [](const char *s, char **end) {
+            return std::strtoll(s, end, 0);
+        });
+}
+
+bool
+tryParseUint64(std::string_view text, std::uint64_t &out)
+{
+    // strtoull silently accepts "-1" as 2^64-1; a negative count is
+    // a rejection, not a wrap.
+    std::size_t first = text.find_first_not_of(" \t");
+    if (first != std::string_view::npos && text[first] == '-')
+        return false;
+    static_assert(sizeof(unsigned long long) == sizeof(std::uint64_t));
+    return strictParse<std::uint64_t>(
+        text, out, [](const char *s, char **end) {
+            return std::strtoull(s, end, 0);
+        });
+}
+
+bool
+tryParseDouble(std::string_view text, double &out)
+{
+    double v = 0.0;
+    if (!strictParse<double>(text, v,
+                             [](const char *s, char **end) {
+                                 return std::strtod(s, end);
+                             })
+        || !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
 std::uint64_t
 envUint(const char *name, std::uint64_t fallback)
 {
     const char *text = std::getenv(name);
     if (!text || !*text)
         return fallback;
-    char *end = nullptr;
-    unsigned long long v = std::strtoull(text, &end, 0);
-    if (end == text || *end != '\0') {
-        warn("ignoring malformed ", name, "='", text, "'");
+    std::uint64_t v = 0;
+    if (!tryParseUint64(text, v)) {
+        warn("ignoring malformed or out-of-range ", name, "='", text,
+             "'");
         return fallback;
     }
     return v;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace wbsim
@@ -66,6 +67,20 @@ class Options
     std::vector<std::string> positionals_;
     std::string program_;
 };
+
+/** @name Strict numeric parsing.
+ *
+ * The accepted grammar is the whole of @p text: no leading or
+ * trailing junk, no empty strings. Out-of-range values are rejected,
+ * never wrapped or saturated — these parsers front both the CLI and
+ * the wbsim-serve network protocol, where a wrapped length or count
+ * would be an exploitable lie. Integers accept the 0x/0 prefixes of
+ * strtoll's base 0. */
+/// @{
+bool tryParseInt64(std::string_view text, std::int64_t &out);
+bool tryParseUint64(std::string_view text, std::uint64_t &out);
+bool tryParseDouble(std::string_view text, double &out);
+/// @}
 
 /** Read an environment variable as unsigned, or @p fallback. */
 std::uint64_t envUint(const char *name, std::uint64_t fallback);

@@ -4,6 +4,7 @@
 #include <exception>
 #include <mutex>
 
+#include "util/logging.hh"
 #include "util/options.hh"
 
 namespace wbsim
@@ -52,6 +53,44 @@ parallelFor(std::size_t count, unsigned threads,
         worker.join();
     if (error)
         std::rethrow_exception(error);
+}
+
+WorkerPool::~WorkerPool()
+{
+    join();
+}
+
+void
+WorkerPool::start(unsigned threads, std::function<void(unsigned)> body)
+{
+    wbsim_assert(workers_.empty(), "WorkerPool started twice");
+    wbsim_assert(body, "WorkerPool needs a body");
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers_.emplace_back([body, t]() {
+            try {
+                body(t);
+            } catch (const std::exception &e) {
+                wbsim_fatal("worker ", t,
+                            " died on an unhandled exception: ",
+                            e.what());
+            } catch (...) {
+                wbsim_fatal("worker ", t,
+                            " died on an unhandled exception");
+            }
+        });
+    }
+}
+
+void
+WorkerPool::join()
+{
+    for (auto &worker : workers_)
+        if (worker.joinable())
+            worker.join();
+    workers_.clear();
 }
 
 unsigned

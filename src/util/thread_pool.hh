@@ -42,6 +42,43 @@ void parallelFor(std::size_t count, unsigned threads,
 /** Hardware concurrency clamped to [1, 64], honours WBSIM_THREADS. */
 unsigned defaultThreads();
 
+/**
+ * A set of long-lived worker threads for services (wbsim-serve).
+ * Unlike parallelFor's scoped fork/join, the workers here run one
+ * long @p body(workerIndex) each — typically a pop-until-closed loop
+ * over a queue — and live until join().
+ *
+ * Thread-safety contract: start() publishes @p body to the workers
+ * via thread creation; join() publishes everything the workers wrote
+ * back to the caller. The pool itself is not re-entrant: call
+ * start() once, then join() once (the destructor joins as a
+ * backstop). A body that lets an exception escape takes the process
+ * down with a clear message instead of std::terminate's silence —
+ * service loops are expected to catch and report their own errors.
+ */
+class WorkerPool
+{
+  public:
+    WorkerPool() = default;
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Launch @p threads workers (at least 1) running @p body. */
+    void start(unsigned threads,
+               std::function<void(unsigned)> body);
+
+    /** Wait for every worker's body to return. Idempotent. */
+    void join();
+
+    /** Workers launched by start() (0 before start). */
+    std::size_t size() const { return workers_.size(); }
+
+  private:
+    std::vector<std::thread> workers_;
+};
+
 } // namespace wbsim
 
 #endif // WBSIM_UTIL_THREAD_POOL_HH

@@ -434,6 +434,12 @@ profile(const std::string &name)
     return it->second;
 }
 
+bool
+isBenchmark(const std::string &name)
+{
+    return profileMap().count(name) != 0;
+}
+
 std::vector<BenchmarkProfile>
 allProfiles()
 {

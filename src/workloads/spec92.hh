@@ -28,6 +28,10 @@ const std::vector<std::string> &benchmarkNames();
 /** The profile for one benchmark; fatal() on unknown names. */
 BenchmarkProfile profile(const std::string &name);
 
+/** True when profile(@p name) would succeed (the non-fatal probe for
+ *  network-supplied benchmark names in wbsim-serve). */
+bool isBenchmark(const std::string &name);
+
 /** All 17 profiles, in display order. */
 std::vector<BenchmarkProfile> allProfiles();
 

@@ -189,6 +189,68 @@ TEST(GridCacheFuzz, ForkResumedMatchesFromScratchAcrossVariants)
     }
 }
 
+TEST(GridCacheBudget, EvictsLruUnderByteBudgetAndStaysCorrect)
+{
+    clearGridCaches();
+    setGridCacheByteBudget(0); // unbounded while measuring
+    BenchmarkProfile profile = spec92::profile("espresso");
+    MachineConfig machine;
+    RunnerOptions options = tinyOptions(1, true, true);
+
+    // Populate 3 distinct (seed -> trace) entries and measure.
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        runOne(profile, machine, options, seed);
+    GridCacheStats unbounded = gridCacheStats();
+    EXPECT_EQ(unbounded.traceBuilds, 3u);
+    EXPECT_EQ(unbounded.traceEvictions, 0u);
+    EXPECT_EQ(unbounded.budgetBytes, 0u);
+    ASSERT_GT(unbounded.cachedBytes, 0u);
+
+    // A budget of roughly one entry forces LRU eviction on refill.
+    clearGridCaches();
+    setGridCacheByteBudget(unbounded.cachedBytes / 3);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed)
+        runOne(profile, machine, options, seed);
+    GridCacheStats bounded = gridCacheStats();
+    EXPECT_GT(bounded.traceEvictions + bounded.checkpointEvictions,
+              0u);
+    EXPECT_LE(bounded.cachedBytes, bounded.budgetBytes);
+    EXPECT_EQ(bounded.budgetBytes, unbounded.cachedBytes / 3);
+
+    // Evicted-and-rebuilt entries must still reproduce the uncached
+    // reference bit for bit.
+    SimResults cached = runOne(profile, machine, options, 1);
+    SimResults scratch = runOne(profile, machine,
+                                options.instructions, 1,
+                                options.warmup);
+    EXPECT_EQ(cached, scratch);
+
+    setGridCacheByteBudget(0);
+    clearGridCaches();
+}
+
+TEST(GridCacheBudget, ShrinkingTheBudgetEvictsImmediately)
+{
+    clearGridCaches();
+    setGridCacheByteBudget(0);
+    BenchmarkProfile profile = spec92::profile("li");
+    MachineConfig machine;
+    RunnerOptions options = tinyOptions(1, true, true);
+    for (std::uint64_t seed = 1; seed <= 2; ++seed)
+        runOne(profile, machine, options, seed);
+    GridCacheStats before = gridCacheStats();
+    ASSERT_GT(before.cachedBytes, 0u);
+
+    // Setting a budget below residency evicts on the spot.
+    setGridCacheByteBudget(1);
+    GridCacheStats after = gridCacheStats();
+    EXPECT_LE(after.cachedBytes, 1u);
+    EXPECT_GT(after.traceEvictions + after.checkpointEvictions, 0u);
+
+    setGridCacheByteBudget(0);
+    clearGridCaches();
+}
+
 TEST(RunnerOptions, FromEnvironmentHonoursOverrides)
 {
     setenv("WBSIM_INSTRUCTIONS", "4242", 1);

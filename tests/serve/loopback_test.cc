@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Loopback tests: a real ServeServer on an ephemeral port, exercised
+ * by real clients.
+ *
+ * The load-bearing suite is ServedBytes: for a grid spanning both
+ * store-buffer kinds, multiple retirement modes, and multiple hazard
+ * policies, the JSON text a served cell carries must be
+ * *byte-identical* to writeSimResultsJson() of an in-process
+ * runOne() of the same cell — the protocol's whole correctness
+ * claim. CI also runs this binary under ThreadSanitizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/figures.hh"
+#include "obs/export.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
+#include "workloads/spec92.hh"
+
+namespace wbsim::serve
+{
+namespace
+{
+
+constexpr Count kInstructions = 4000;
+constexpr Count kWarmup = 800;
+constexpr std::uint64_t kSeed = 3;
+
+/** Start a server on an ephemeral loopback port for one test. */
+struct ServerFixture
+{
+    ServeServer server;
+
+    explicit ServerFixture(ServeConfig config = {})
+        : server(std::move(patch(config)))
+    {
+        std::string error;
+        EXPECT_TRUE(server.start(error)) << error;
+    }
+
+    ~ServerFixture() { server.stop(); }
+
+    static ServeConfig &
+    patch(ServeConfig &config)
+    {
+        config.port = 0; // always ephemeral in tests
+        if (config.workers == 0)
+            config.workers = 2;
+        return config;
+    }
+
+    ServeClient
+    client()
+    {
+        ServeClient c;
+        std::string error;
+        EXPECT_TRUE(c.connectTcp(server.port(), error)) << error;
+        return c;
+    }
+};
+
+CellSpec
+cellFor(const std::string &benchmark, const MachineConfig &machine)
+{
+    CellSpec cell;
+    cell.benchmark = benchmark;
+    cell.seed = kSeed;
+    cell.instructions = kInstructions;
+    cell.warmup = kWarmup;
+    cell.machine = machine;
+    return cell;
+}
+
+/** What a local, in-process run of @p spec serialises to — the
+ *  reference bytes a served cell must reproduce exactly. */
+std::string
+localRender(const CellSpec &spec)
+{
+    BenchmarkProfile profile = spec92::profile(spec.benchmark);
+    SimResults results = runOne(profile, spec.machine,
+                                spec.instructions, spec.seed,
+                                spec.warmup);
+    obs::Provenance provenance;
+    provenance.machineFingerprint = spec.machine.stateFingerprint();
+    provenance.machine = spec.machine.describe();
+    provenance.seed = spec.seed;
+    provenance.instructions = spec.instructions;
+    provenance.warmup = spec.warmup;
+    std::ostringstream os;
+    obs::writeSimResultsJson(os, results, provenance);
+    return os.str();
+}
+
+TEST(Loopback, PingAndStats)
+{
+    ServerFixture fixture;
+    ServeClient client = fixture.client();
+    std::string error;
+    EXPECT_TRUE(client.ping(error)) << error;
+
+    std::string statsJson;
+    ASSERT_TRUE(client.stats(statsJson, error)) << error;
+    EXPECT_NE(std::string::npos,
+              statsJson.find("\"wbsim-serve-stats-v1\""));
+    EXPECT_NE(std::string::npos, statsJson.find("\"grid_cache\""));
+    EXPECT_NE(std::string::npos, statsJson.find("\"queue\""));
+    EXPECT_NE(std::string::npos, statsJson.find("\"store\""));
+}
+
+TEST(Loopback, ServedBytesMatchLocalRunsAcrossThePolicyGrid)
+{
+    // Both kinds x two retirement modes x two hazard policies —
+    // the acceptance grid. One benchmark keeps the runtime sane; the
+    // machine axis is what the serialisation could get wrong.
+    std::vector<CellSpec> cells;
+    for (BufferKind kind :
+         {BufferKind::WriteBuffer, BufferKind::WriteCache}) {
+        for (RetirementMode mode :
+             {RetirementMode::Occupancy, RetirementMode::Paced}) {
+            for (LoadHazardPolicy hazard :
+                 {LoadHazardPolicy::FlushFull,
+                  LoadHazardPolicy::FlushPartial}) {
+                MachineConfig machine = figures::baselineMachine();
+                machine.writeBuffer.kind = kind;
+                machine.writeBuffer.retirementMode = mode;
+                machine.writeBuffer.hazardPolicy = hazard;
+                machine.validate();
+                cells.push_back(cellFor("espresso", machine));
+            }
+        }
+    }
+
+    ServerFixture fixture;
+    ServeClient client = fixture.client();
+    Response response;
+    std::string error;
+    ASSERT_TRUE(client.sweep(cells, 0, response, error)) << error;
+    ASSERT_EQ(ResponseType::Results, response.type)
+        << response.error;
+    ASSERT_EQ(cells.size(), response.cells.size());
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i) + ": "
+                     + cells[i].machine.describe());
+        EXPECT_FALSE(response.cells[i].cacheHit);
+        EXPECT_EQ(localRender(cells[i]),
+                  response.cells[i].resultJson)
+            << "served bytes diverge from the in-process render";
+
+        SimResults decoded;
+        ASSERT_TRUE(ServeClient::cellToResults(response.cells[i],
+                                               decoded, error))
+            << error;
+        EXPECT_GT(decoded.cycles, 0u);
+    }
+
+    // The same sweep again must come from the result store with the
+    // same bytes.
+    Response warm;
+    ASSERT_TRUE(client.sweep(cells, 0, warm, error)) << error;
+    ASSERT_EQ(ResponseType::Results, warm.type);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_TRUE(warm.cells[i].cacheHit);
+        EXPECT_EQ(response.cells[i].resultJson,
+                  warm.cells[i].resultJson);
+    }
+    EXPECT_EQ(cells.size(),
+              fixture.server.storeStats().hits);
+}
+
+TEST(Loopback, SeedAndRunLengthChangeTheKey)
+{
+    ServerFixture fixture;
+    ServeClient client = fixture.client();
+    CellSpec base = cellFor("li", figures::baselineMachine());
+    CellSpec reseeded = base;
+    reseeded.seed = kSeed + 1;
+    CellSpec longer = base;
+    longer.instructions = kInstructions * 2;
+
+    Response response;
+    std::string error;
+    ASSERT_TRUE(client.sweep({base, reseeded, longer}, 0, response,
+                             error))
+        << error;
+    ASSERT_EQ(ResponseType::Results, response.type)
+        << response.error;
+    ASSERT_EQ(3u, response.cells.size());
+    // Three distinct cells: no aliasing in the store.
+    EXPECT_EQ(0u, fixture.server.storeStats().hits);
+    EXPECT_NE(response.cells[0].resultJson,
+              response.cells[1].resultJson);
+    EXPECT_NE(response.cells[0].resultJson,
+              response.cells[2].resultJson);
+}
+
+TEST(Loopback, RejectsInvalidSweeps)
+{
+    ServeConfig config;
+    config.maxCellsPerRequest = 4;
+    config.cellInstructionCap = 100000;
+    ServerFixture fixture(config);
+    ServeClient client = fixture.client();
+    Response response;
+    std::string error;
+
+    CellSpec good = cellFor("li", figures::baselineMachine());
+
+    CellSpec unknown = good;
+    unknown.benchmark = "quake3";
+    ASSERT_TRUE(client.sweep({unknown}, 0, response, error)) << error;
+    EXPECT_EQ(ResponseType::Error, response.type);
+    EXPECT_NE(std::string::npos, response.error.find("quake3"));
+
+    CellSpec zero = good;
+    zero.instructions = 0;
+    ASSERT_TRUE(client.sweep({zero}, 0, response, error)) << error;
+    EXPECT_EQ(ResponseType::Error, response.type);
+
+    CellSpec huge = good;
+    huge.instructions = 200000;
+    ASSERT_TRUE(client.sweep({huge}, 0, response, error)) << error;
+    EXPECT_EQ(ResponseType::Error, response.type);
+    EXPECT_NE(std::string::npos, response.error.find("cap"));
+
+    std::vector<CellSpec> tooMany(5, good);
+    ASSERT_TRUE(client.sweep(tooMany, 0, response, error)) << error;
+    EXPECT_EQ(ResponseType::Error, response.type);
+
+    // After all that abuse the connection still works.
+    EXPECT_TRUE(client.ping(error)) << error;
+}
+
+TEST(Loopback, OversizedMissBatchIsAHardErrorNotRetryAfter)
+{
+    // A miss batch larger than the whole queue could never be
+    // admitted; RETRY_AFTER would loop forever (regression: the
+    // first loadgen run did exactly that).
+    ServeConfig config;
+    config.queueCapacity = 2;
+    ServerFixture fixture(config);
+    ServeClient client = fixture.client();
+
+    std::vector<CellSpec> batch;
+    for (unsigned depth = 1; depth <= 3; ++depth) {
+        MachineConfig machine = figures::baselineMachine();
+        machine.writeBuffer.depth = depth;
+        machine.writeBuffer.highWaterMark =
+            std::min(machine.writeBuffer.highWaterMark, depth);
+        machine.validate();
+        batch.push_back(cellFor("li", machine));
+    }
+    Response response;
+    std::string error;
+    ASSERT_TRUE(client.sweep(batch, 0, response, error)) << error;
+    EXPECT_EQ(ResponseType::Error, response.type);
+    EXPECT_NE(std::string::npos,
+              response.error.find("queue capacity"))
+        << response.error;
+}
+
+TEST(Loopback, OverloadAnswersRetryAfterAndRetriesComplete)
+{
+    // One worker, one queue slot: while the worker chews a slow cell
+    // and another waits in the queue, further admissions must bounce
+    // with RETRY_AFTER — and honouring the hint must converge.
+    ServeConfig config;
+    config.workers = 1;
+    config.queueCapacity = 1;
+    config.retryAfterMs = 5;
+    ServerFixture fixture(config);
+
+    auto slowCell = [](unsigned depth) {
+        MachineConfig machine = figures::baselineMachine();
+        machine.writeBuffer.depth = depth;
+        machine.writeBuffer.highWaterMark =
+            std::min(machine.writeBuffer.highWaterMark, depth);
+        machine.validate();
+        CellSpec cell = cellFor("espresso", machine);
+        cell.instructions = 4'000'000;
+        cell.warmup = 0;
+        return cell;
+    };
+
+    std::vector<std::thread> heavy;
+    for (unsigned depth = 1; depth <= 2; ++depth) {
+        heavy.emplace_back([&fixture, slowCell, depth]() {
+            ServeClient client = fixture.client();
+            Response response;
+            std::string error;
+            ASSERT_TRUE(client.sweepWithRetry({slowCell(depth)}, 0,
+                                              10000, response, error))
+                << error;
+            EXPECT_EQ(ResponseType::Results, response.type);
+        });
+    }
+
+    // Hammer with cheap distinct cells until one bounces.
+    ServeClient prober = fixture.client();
+    bool sawRetryAfter = false;
+    for (unsigned attempt = 0; attempt < 2000 && !sawRetryAfter;
+         ++attempt) {
+        MachineConfig machine = figures::baselineMachine();
+        machine.writeBuffer.depth = 3 + attempt % 8;
+        machine.validate();
+        CellSpec cell = cellFor("li", machine);
+        cell.seed = 100 + attempt;
+        Response response;
+        std::string error;
+        ASSERT_TRUE(prober.sweep({cell}, 0, response, error))
+            << error;
+        sawRetryAfter = response.type == ResponseType::RetryAfter;
+    }
+    for (std::thread &thread : heavy)
+        thread.join();
+
+    EXPECT_TRUE(sawRetryAfter)
+        << "a 1-deep queue behind a busy worker never overflowed";
+    EXPECT_GT(fixture.server.queueStats().rejected, 0u);
+}
+
+TEST(Loopback, PriorityDisciplineServesSweeps)
+{
+    ServeConfig config;
+    config.discipline = DispatchDiscipline::Priority;
+    ServerFixture fixture(config);
+    ServeClient client = fixture.client();
+    Response response;
+    std::string error;
+    ASSERT_TRUE(client.sweep(
+        {cellFor("compress", figures::baselineMachine())},
+        /*priority=*/9, response, error))
+        << error;
+    ASSERT_EQ(ResponseType::Results, response.type)
+        << response.error;
+    EXPECT_EQ(localRender(
+                  cellFor("compress", figures::baselineMachine())),
+              response.cells[0].resultJson);
+}
+
+TEST(Loopback, ConcurrentClientsAllComplete)
+{
+    ServerFixture fixture;
+    std::vector<std::thread> clients;
+    for (unsigned c = 0; c < 6; ++c) {
+        clients.emplace_back([&fixture, c]() {
+            ServeClient client = fixture.client();
+            MachineConfig machine = figures::baselineMachine();
+            machine.writeBuffer.depth = 1 + c;
+            machine.writeBuffer.highWaterMark = std::min(
+                machine.writeBuffer.highWaterMark, 1 + c);
+            machine.validate();
+            CellSpec cell = cellFor("tomcatv", machine);
+            Response response;
+            std::string error;
+            ASSERT_TRUE(client.sweepWithRetry({cell}, c, 100,
+                                              response, error))
+                << error;
+            ASSERT_EQ(ResponseType::Results, response.type);
+            EXPECT_FALSE(response.cells[0].resultJson.empty());
+        });
+    }
+    for (std::thread &thread : clients)
+        thread.join();
+    EXPECT_EQ(6u, fixture.server.storeStats().inserts);
+}
+
+TEST(Loopback, ClientShutdownDrainsTheServer)
+{
+    ServerFixture fixture;
+    ServeClient client = fixture.client();
+    std::string error;
+    ASSERT_TRUE(client.shutdownServer(error)) << error;
+    // The request unblocks waitForShutdownRequest() promptly.
+    fixture.server.waitForShutdownRequest();
+    fixture.server.stop();
+}
+
+} // namespace
+} // namespace wbsim::serve

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/options.hh"
 
 namespace wbsim
@@ -109,6 +111,95 @@ TEST(OptionsDeath, MalformedIntIsFatal)
             o.getInt("count");
         }(),
         ::testing::ExitedWithCode(1), "expects an integer");
+}
+
+// The tryParse* grammar is "the whole of text is the number": no
+// empty strings, no leading/trailing junk, no wrap or saturation.
+// These parsers front the wbsim-serve wire protocol as well as the
+// CLI, so the rejections are load-bearing.
+
+TEST(TryParseInt64, AcceptsWholeTextNumbers)
+{
+    std::int64_t v = 0;
+    EXPECT_TRUE(tryParseInt64("0", v));
+    EXPECT_EQ(0, v);
+    EXPECT_TRUE(tryParseInt64("-42", v));
+    EXPECT_EQ(-42, v);
+    EXPECT_TRUE(tryParseInt64("+7", v));
+    EXPECT_EQ(7, v);
+    EXPECT_TRUE(tryParseInt64("0x10", v)) << "base-0 hex";
+    EXPECT_EQ(16, v);
+    EXPECT_TRUE(tryParseInt64("9223372036854775807", v));
+    EXPECT_EQ(std::numeric_limits<std::int64_t>::max(), v);
+    EXPECT_TRUE(tryParseInt64("-9223372036854775808", v));
+    EXPECT_EQ(std::numeric_limits<std::int64_t>::min(), v);
+}
+
+TEST(TryParseInt64, RejectsGarbageAndOverflow)
+{
+    std::int64_t v = 99;
+    EXPECT_FALSE(tryParseInt64("", v));
+    EXPECT_FALSE(tryParseInt64("abc", v));
+    EXPECT_FALSE(tryParseInt64("12abc", v)) << "trailing junk";
+    EXPECT_FALSE(tryParseInt64("12 ", v)) << "trailing space";
+    EXPECT_FALSE(tryParseInt64(" 12", v)) << "leading space";
+    EXPECT_FALSE(tryParseInt64("1.5", v));
+    EXPECT_FALSE(tryParseInt64("9223372036854775808", v))
+        << "2^63 must be rejected, not wrapped";
+    EXPECT_FALSE(tryParseInt64("-9223372036854775809", v));
+    EXPECT_EQ(99, v) << "failed parses must not clobber out";
+}
+
+TEST(TryParseUint64, AcceptsWholeTextNumbers)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(tryParseUint64("0", v));
+    EXPECT_EQ(0u, v);
+    EXPECT_TRUE(tryParseUint64("18446744073709551615", v));
+    EXPECT_EQ(std::numeric_limits<std::uint64_t>::max(), v);
+    EXPECT_TRUE(tryParseUint64("0xff", v));
+    EXPECT_EQ(255u, v);
+}
+
+TEST(TryParseUint64, RejectsNegativesGarbageAndOverflow)
+{
+    std::uint64_t v = 99;
+    EXPECT_FALSE(tryParseUint64("", v));
+    EXPECT_FALSE(tryParseUint64("-1", v))
+        << "strtoull would wrap -1 to 2^64-1; we must not";
+    EXPECT_FALSE(tryParseUint64("-0", v));
+    EXPECT_FALSE(tryParseUint64("18446744073709551616", v))
+        << "2^64 must be rejected, not saturated";
+    EXPECT_FALSE(tryParseUint64("1e3", v));
+    EXPECT_FALSE(tryParseUint64("12junk", v));
+    EXPECT_FALSE(tryParseUint64("\t12", v));
+    EXPECT_EQ(99u, v);
+}
+
+TEST(TryParseDouble, AcceptsFiniteRejectsJunk)
+{
+    double v = 0.0;
+    EXPECT_TRUE(tryParseDouble("0.25", v));
+    EXPECT_DOUBLE_EQ(0.25, v);
+    EXPECT_TRUE(tryParseDouble("-1e-3", v));
+    EXPECT_DOUBLE_EQ(-1e-3, v);
+    EXPECT_FALSE(tryParseDouble("", v));
+    EXPECT_FALSE(tryParseDouble("0.25x", v));
+    EXPECT_FALSE(tryParseDouble(" 0.25", v));
+    EXPECT_FALSE(tryParseDouble("inf", v)) << "must be finite";
+    EXPECT_FALSE(tryParseDouble("nan", v));
+    EXPECT_FALSE(tryParseDouble("1e999", v)) << "overflows to inf";
+}
+
+TEST(OptionsDeath, OverflowUintIsFatal)
+{
+    EXPECT_EXIT(
+        [] {
+            Options o =
+                makeParsed({"prog", "--count=99999999999999999999"});
+            o.getUint("count");
+        }(),
+        ::testing::ExitedWithCode(1), "non-negative");
 }
 
 TEST(EnvUint, FallsBackWhenUnset)
