@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Multi-core extension: N cores with private store buffers
+ * contending for the shared L2 through the arbitrated bus. Sweeps
+ * cores x buffer depth x bus discipline and reports per-core CPI,
+ * L2-read-stall inflation relative to the solo machine, and how the
+ * retire-at-N crossover moves under contention. See DESIGN.md §14.
+ */
+
+#include <iomanip>
+#include <sstream>
+
+#include "figure_bench.hh"
+#include "harness/figures.hh"
+#include "mem/bus.hh"
+
+namespace
+{
+
+using namespace wbsim;
+using wbsim::bench::writeArtifact;
+
+/** One (discipline, cores, depth | retire-at) cell of the sweep. */
+struct Cell
+{
+    BusDiscipline discipline = BusDiscipline::Fcfs;
+    unsigned cores = 1;
+    unsigned depth = 4;
+    unsigned retireAt = 2;
+    MultiCoreResults results;
+
+    double cpiOf(std::size_t core) const
+    {
+        const SimResults &r = results.perCore[core];
+        return static_cast<double>(r.cycles)
+            / static_cast<double>(r.instructions);
+    }
+
+    double meanCpi() const
+    {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < results.perCore.size(); ++i)
+            sum += cpiOf(i);
+        return sum / static_cast<double>(results.perCore.size());
+    }
+
+    double maxCpi() const
+    {
+        double best = 0.0;
+        for (std::size_t i = 0; i < results.perCore.size(); ++i)
+            best = std::max(best, cpiOf(i));
+        return best;
+    }
+
+    /** Mean per-core L2-read-access stall % of cycles. */
+    double meanReadStallPct() const
+    {
+        double sum = 0.0;
+        for (const SimResults &r : results.perCore)
+            sum += r.pctL2ReadAccess();
+        return sum / static_cast<double>(results.perCore.size());
+    }
+
+    /** Mean per-core total write-buffer stall % of cycles. */
+    double meanTotalStallPct() const
+    {
+        double sum = 0.0;
+        for (const SimResults &r : results.perCore)
+            sum += r.pctTotalStalls();
+        return sum / static_cast<double>(results.perCore.size());
+    }
+
+    /** Bus busy cycles as % of the slowest core's span. */
+    double busUtilPct() const
+    {
+        Count busy = 0;
+        for (const BusCoreStats &s : results.bus)
+            busy += s.busyCycles;
+        Count span = 0;
+        for (const SimResults &r : results.perCore)
+            span = std::max(span, r.cycles);
+        return span == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(busy)
+                / static_cast<double>(span);
+    }
+
+    Count maxWaitCycles() const
+    {
+        Count worst = 0;
+        for (const BusCoreStats &s : results.bus)
+            worst = std::max(worst, s.waitCycles);
+        return worst;
+    }
+};
+
+Cell
+runCell(const BenchmarkProfile &profile, const MachineConfig &base,
+        const RunnerOptions &options, BusDiscipline discipline,
+        unsigned cores, unsigned depth, unsigned retire_at)
+{
+    Cell cell;
+    cell.discipline = discipline;
+    cell.cores = cores;
+    cell.depth = depth;
+    cell.retireAt = retire_at;
+    MachineConfig machine = base;
+    machine.cores = cores;
+    machine.busDiscipline = discipline;
+    machine.writeBuffer.depth = depth;
+    machine.writeBuffer.highWaterMark = retire_at;
+    machine.validate();
+    cell.results =
+        runMultiCore(profile, machine, options, options.seed);
+    return cell;
+}
+
+void
+writeSweepCsv(std::ostream &os, const std::vector<Cell> &cells)
+{
+    os << "table,discipline,cores,depth,retire_at,core,cpi,"
+          "read_stall_pct,total_stall_pct,bus_grants,"
+          "bus_wait_cycles,bus_busy_cycles\n";
+    os << std::fixed << std::setprecision(6);
+    for (const Cell &cell : cells) {
+        for (std::size_t i = 0; i < cell.results.perCore.size();
+             ++i) {
+            const SimResults &r = cell.results.perCore[i];
+            const BusCoreStats &b = cell.results.bus[i];
+            os << "mc_bus," << busDisciplineName(cell.discipline)
+               << ',' << cell.cores << ',' << cell.depth << ','
+               << cell.retireAt << ',' << i << ',' << cell.cpiOf(i)
+               << ',' << r.pctL2ReadAccess() << ','
+               << r.pctTotalStalls() << ',' << b.grants << ','
+               << b.waitCycles << ',' << b.busyCycles << "\n";
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace wbsim;
+
+    Options cli;
+    cli.declare("benchmark", "benchmark profile to sweep "
+                "(default compress)");
+    cli.declare("csv", "write every (cell, core) row as CSV to FILE "
+                "('-' for stdout)");
+    cli.declare("help", "print this help", "", true);
+    cli.parse(argc, argv);
+    if (cli.getFlag("help")) {
+        std::cout << cli.usage();
+        return 0;
+    }
+
+    std::string bench_name = cli.get("benchmark");
+    if (bench_name.empty())
+        bench_name = "compress";
+    const BenchmarkProfile profile = spec92::profile(bench_name);
+
+    RunnerOptions options = RunnerOptions::fromEnvironment();
+    MachineConfig base = figures::baselineMachine();
+
+    const unsigned kDepths[] = {2, 4, 8, 16};
+    const unsigned kCores[] = {1, 2, 4};
+    const BusDiscipline kDisciplines[] = {BusDiscipline::Fcfs,
+                                          BusDiscipline::Priority};
+
+    std::vector<Cell> cells;
+    std::ostream &os = std::cout;
+    os << "fig_mc_bus: shared-L2 bus contention "
+          "(cores x depth x discipline)\n";
+    os << "benchmark " << profile.name << ", "
+       << base.writeBuffer.describe() << " (depth/retire-at swept)\n";
+    os << "(instructions=" << options.instructions << " warmup="
+       << options.warmup << " seed=" << options.seed << ")\n\n";
+
+    // Table 1: contention sweep. cores=1 is the paper's machine; the
+    // discipline is inert there, so it appears once.
+    os << "Table 1: per-core CPI and L2-read-stall inflation\n";
+    os << std::left << std::setw(11) << "discipline" << std::right
+       << std::setw(6) << "cores" << std::setw(6) << "depth"
+       << std::setw(9) << "cpi" << std::setw(9) << "cpi-max"
+       << std::setw(9) << "rd-st%" << std::setw(8) << "infl"
+       << std::setw(8) << "bus%" << std::setw(12) << "wait-max"
+       << "\n";
+    os << std::fixed;
+    for (BusDiscipline discipline : kDisciplines) {
+        for (unsigned cores : kCores) {
+            if (cores == 1 && discipline != BusDiscipline::Fcfs)
+                continue; // the bus discipline is inert solo
+            for (unsigned depth : kDepths) {
+                Cell cell =
+                    runCell(profile, base, options, discipline,
+                            cores, depth,
+                            base.writeBuffer.highWaterMark);
+                // Solo baseline at the same depth, for inflation.
+                Cell solo = cell;
+                if (cores != 1)
+                    solo = runCell(profile, base, options,
+                                   BusDiscipline::Fcfs, 1, depth,
+                                   base.writeBuffer.highWaterMark);
+                double base_pct = solo.meanReadStallPct();
+                double pct = cell.meanReadStallPct();
+                os << std::left << std::setw(11)
+                   << (cores == 1
+                           ? "-"
+                           : busDisciplineName(discipline))
+                   << std::right << std::setw(6) << cores
+                   << std::setw(6) << depth << std::setw(9)
+                   << std::setprecision(3) << cell.meanCpi()
+                   << std::setw(9) << cell.maxCpi() << std::setw(9)
+                   << std::setprecision(2) << pct << std::setw(7)
+                   << std::setprecision(2)
+                   << (base_pct == 0.0 ? 1.0 : pct / base_pct)
+                   << "x" << std::setw(8) << std::setprecision(1)
+                   << cell.busUtilPct() << std::setw(12)
+                   << cell.maxWaitCycles() << "\n";
+                cells.push_back(cell);
+            }
+        }
+    }
+
+    // Table 2: where the retire-at-N sweet spot moves once the L2
+    // port is shared. Fixed depth, FCFS; cells are mean per-core
+    // total-stall % of cycles, '*' marks each row's minimum.
+    const unsigned kCrossoverDepth = 8;
+    os << "\nTable 2: retire-at-N crossover at depth "
+       << kCrossoverDepth << " (fcfs)\n";
+    os << std::left << std::setw(9) << "cores" << std::right;
+    for (unsigned n = 1; n <= kCrossoverDepth; ++n)
+        os << std::setw(9) << ("N=" + std::to_string(n));
+    os << "\n";
+    for (unsigned cores : kCores) {
+        std::vector<Cell> row;
+        std::size_t best = 0;
+        for (unsigned n = 1; n <= kCrossoverDepth; ++n) {
+            row.push_back(runCell(profile, base, options,
+                                  BusDiscipline::Fcfs, cores,
+                                  kCrossoverDepth, n));
+            if (row.back().meanTotalStallPct()
+                < row[best].meanTotalStallPct())
+                best = row.size() - 1;
+        }
+        os << std::left << std::setw(9) << cores << std::right;
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            std::ostringstream value;
+            value << std::fixed << std::setprecision(2)
+                  << row[i].meanTotalStallPct()
+                  << (i == best ? "*" : " ");
+            os << std::setw(9) << value.str();
+        }
+        os << "\n";
+        for (Cell &cell : row)
+            cells.push_back(std::move(cell));
+    }
+    os << "(cells: mean per-core write-buffer stall % of cycles; "
+          "* = row minimum)\n";
+
+    std::string csv_path = cli.get("csv");
+    if (const char *dir = std::getenv("WBSIM_OBS");
+        dir != nullptr && *dir != '\0') {
+        if (csv_path.empty())
+            csv_path = std::string(dir) + "/fig_mc_bus.csv";
+    }
+    if (!csv_path.empty()) {
+        writeArtifact(csv_path, "sweep CSV", [&](std::ostream &out) {
+            writeSweepCsv(out, cells);
+        });
+    }
+    return 0;
+}

@@ -165,6 +165,11 @@ runFigure(const Experiment &experiment, int argc,
                 "variant (occupancy, fixed-rate, paced)");
     cli.declare("retire-order", "override the retirement order on "
                 "every variant (fifo, fullest-first)");
+    cli.declare("cores", "override the core count on every variant "
+                "(N cores contend for the shared L2 bus; 1 = the "
+                "paper's machine)");
+    cli.declare("bus-discipline", "override the bus service "
+                "discipline on every variant (fcfs, priority)");
     cli.declare("help", "print this help", "", true);
     cli.parse(argc, argv);
     if (cli.getFlag("help")) {
@@ -193,6 +198,19 @@ runFigure(const Experiment &experiment, int argc,
         RetirementOrder order = parseRetirementOrder(name);
         for (ConfigVariant &variant : run.variants)
             variant.machine.writeBuffer.retirementOrder = order;
+        overridden = true;
+    }
+    if (std::string value = cli.get("cores"); !value.empty()) {
+        auto cores = static_cast<unsigned>(std::strtoul(
+            value.c_str(), nullptr, 10));
+        for (ConfigVariant &variant : run.variants)
+            variant.machine.cores = cores;
+        overridden = true;
+    }
+    if (std::string name = cli.get("bus-discipline"); !name.empty()) {
+        BusDiscipline discipline = parseBusDiscipline(name);
+        for (ConfigVariant &variant : run.variants)
+            variant.machine.busDiscipline = discipline;
         overridden = true;
     }
     if (envUint("WBSIM_CROSSCHECK", 0) != 0)

@@ -55,6 +55,7 @@
 #include "obs/metrics.hh"
 #include "obs/timeline.hh"
 #include "sim/event_log.hh"
+#include "sim/multicore.hh"
 #include "sim/simulator.hh"
 #include "trace/materialized_trace.hh"
 #include "util/options.hh"
@@ -314,6 +315,38 @@ simulatorSimd(Count instructions, int reps)
                 static_cast<double>(results.cycles) / elapsed;
         }
     }
+    return r;
+}
+
+/**
+ * End-to-end multi-core throughput: a two-core FCFS system driving
+ * the arbitrated bus, the cost model behind every fig_mc_bus cell.
+ * The rate counts instructions summed across cores, so it is
+ * directly comparable to sim_baseline: the gap between the two is
+ * the price of arbitration (the co-simulation windows, the grant
+ * bookkeeping) plus whatever contention does to the schedule.
+ */
+GateResult
+simulatorMultiCore(Count instructions)
+{
+    auto profile = spec92::profile("compress");
+    MachineConfig machine = figures::baselineMachine();
+    machine.cores = 2;
+    double start = now();
+    SyntheticSource first(profile, instructions, 1);
+    SyntheticSource second(profile, instructions, 2);
+    MultiCoreSystem system(machine);
+    MultiCoreResults results = system.run({&first, &second});
+    double elapsed = now() - start;
+    Count cycles = 0;
+    for (const SimResults &core : results.perCore)
+        cycles = std::max(cycles, core.cycles);
+    GateResult r;
+    r.name = "sim_multicore";
+    r.iterations = 2 * instructions;
+    r.seconds = elapsed;
+    r.opsPerSec = static_cast<double>(2 * instructions) / elapsed;
+    r.cyclesPerSec = static_cast<double>(cycles) / elapsed;
     return r;
 }
 
@@ -782,6 +815,14 @@ main()
         std::cout << "perf_gate: sim_simd vs sim_baseline (this "
                   << "build) = " << simd.opsPerSec / plain.opsPerSec
                   << "x\n";
+    }
+    results.push_back(simulatorMultiCore(sim_instructions));
+    {
+        const GateResult &plain = results[results.size() - 5];
+        const GateResult &multi = results.back();
+        std::cout << "perf_gate: sim_multicore per-instruction cost "
+                  << "= " << plain.opsPerSec / multi.opsPerSec
+                  << "x sim_baseline\n";
     }
     results.push_back(fig03Replay(fig_instructions));
     results.push_back(traceReplay(min_seconds));

@@ -75,10 +75,12 @@ applySweep(MachineConfig &machine, const std::string &knob,
         machine.l2DatapathBytes = static_cast<unsigned>(value);
     else if (knob == "issue-width")
         machine.issueWidth = static_cast<unsigned>(value);
+    else if (knob == "cores")
+        machine.cores = static_cast<unsigned>(value);
     else
         wbsim_fatal("unknown sweep knob '", knob,
                     "' (depth, retire-at, l1-kb, l2-latency, l2-kb, "
-                    "mem-latency, datapath, issue-width)");
+                    "mem-latency, datapath, issue-width, cores)");
 }
 
 /** Run every sweep point through a wbsim_serve daemon as one batch

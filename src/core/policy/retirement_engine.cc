@@ -107,17 +107,22 @@ RetirementEngine::startRetirement(std::size_t index, Cycle start,
                            config_.wordsPerEntry(), start);
     wbsim_assert(duration > 0, "L2 write hook returned zero duration");
     Cycle actual = port_.begin(kind, start, duration);
-    wbsim_assert(actual == start, "retirement start raced the L2 port");
+    // Standalone, start was computed against the port's own freeAt so
+    // the grant is exact; under bus arbitration another core may have
+    // slipped in and pushed the grant later.
+    if (!port_.busArbitrated())
+        wbsim_assert(actual == start,
+                     "retirement start raced the L2 port");
     retire_in_flight_ = true;
     retiring_index_ = index;
-    retire_done_ = start + duration;
+    retire_done_ = actual + duration;
     stats_.wordsWritten += valid_words;
     ++stats_.entriesWritten;
     ++stats_.retirements;
     publishRetireWords(valid_words);
     if (sole_occupancy_ == nullptr) // start is a no-op for occupancy
         for (const auto &trigger : triggers_)
-            trigger->noteRetirementStart(start);
+            trigger->noteRetirementStart(actual);
 }
 
 void
@@ -139,7 +144,7 @@ RetirementEngine::writeEntryNow(std::size_t index, Cycle earliest,
     Cycle start = std::max(earliest, port_.freeAt());
     Cycle duration = hook_(store_.base(index), valid_words,
                            config_.wordsPerEntry(), start);
-    port_.begin(kind, start, duration);
+    Cycle actual = port_.begin(kind, start, duration);
     store_.release(index);
     stats_.wordsWritten += valid_words;
     ++stats_.entriesWritten;
@@ -148,8 +153,8 @@ RetirementEngine::writeEntryNow(std::size_t index, Cycle earliest,
     else
         ++stats_.retirements;
     publishRetireWords(valid_words);
-    noteOccupancyChange(start + duration);
-    return start + duration;
+    noteOccupancyChange(actual + duration);
+    return actual + duration;
 }
 
 void
@@ -234,8 +239,8 @@ RetirementEngine::evictVictim(Cycle now, StallStats &stalls)
     Cycle start = std::max(t, port_.freeAt());
     Cycle duration = hook_(store_.base(index), valid_words,
                            config_.wordsPerEntry(), start);
-    port_.begin(L2Txn::WriteRetire, start, duration);
-    background_done_ = start + duration;
+    Cycle actual = port_.begin(L2Txn::WriteRetire, start, duration);
+    background_done_ = actual + duration;
     stats_.wordsWritten += valid_words;
     ++stats_.entriesWritten;
     ++stats_.retirements;

@@ -280,11 +280,92 @@ RunnerOptions::fromEnvironment()
     return options;
 }
 
+MultiCoreResults
+runMultiCore(const BenchmarkProfile &profile,
+             const MachineConfig &machine,
+             const RunnerOptions &options, std::uint64_t seed)
+{
+    wbsim_assert(machine.cores >= 1, "runMultiCore with no cores");
+    Count length = options.instructions + options.warmup;
+    MultiCoreSystem system(machine);
+    if (options.obs.attached()) {
+        for (unsigned i = 0; i < system.cores(); ++i)
+            system.attachObs(i, options.obs);
+        system.attachBusTimeline(options.obs.timeline);
+    }
+
+    MultiCoreResults result;
+    if (options.materialize) {
+        // One cached trace per core seed; checkpoints are bypassed
+        // (a warm snapshot captures one core, not a system).
+        GridCache &cache = gridCache();
+        std::vector<GridCache::TracePtr> traces;
+        std::vector<std::unique_ptr<MaterializedCursor>> cursors;
+        std::vector<TraceSource *> sources;
+        for (unsigned i = 0; i < system.cores(); ++i) {
+            traces.push_back(cache.trace(profile, seed + i, length));
+            cursors.push_back(
+                std::make_unique<MaterializedCursor>(*traces.back()));
+            sources.push_back(cursors.back().get());
+        }
+        result = system.run(sources, options.warmup);
+    } else {
+        std::vector<std::unique_ptr<SyntheticSource>> generators;
+        std::vector<TraceSource *> sources;
+        for (unsigned i = 0; i < system.cores(); ++i) {
+            generators.push_back(std::make_unique<SyntheticSource>(
+                profile, length, seed + i));
+            sources.push_back(generators.back().get());
+        }
+        result = system.run(sources, options.warmup);
+    }
+
+    if constexpr (kDebugBuild) {
+        if (options.materialize) {
+            // Shadow the cached cell with the regenerate-in-place
+            // path, like the single-core debug cross-check: replay
+            // must never change a bit of any core's results.
+            RunnerOptions uncached = options;
+            uncached.materialize = false;
+            uncached.checkpoints = false;
+            uncached.obs = {};
+            MultiCoreSystem reference_system(machine);
+            std::vector<std::unique_ptr<SyntheticSource>> generators;
+            std::vector<TraceSource *> sources;
+            for (unsigned i = 0; i < reference_system.cores(); ++i) {
+                generators.push_back(
+                    std::make_unique<SyntheticSource>(profile, length,
+                                                      seed + i));
+                sources.push_back(generators.back().get());
+            }
+            MultiCoreResults reference =
+                reference_system.run(sources, options.warmup);
+            wbsim_assert(result.perCore == reference.perCore
+                         && result.bus == reference.bus,
+                         "cached multi-core cell diverged from the "
+                         "uncached reference run (workload ",
+                         profile.name, ", machine ",
+                         machine.describe(), ")");
+        }
+    }
+    return result;
+}
+
 SimResults
 runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
        Count instructions, std::uint64_t seed, Count warmup,
        const obs::ObsSink &obs)
 {
+    if (machine.cores > 1) {
+        RunnerOptions options;
+        options.instructions = instructions;
+        options.warmup = warmup;
+        options.materialize = false;
+        options.checkpoints = false;
+        options.obs = obs;
+        return runMultiCore(profile, machine, options, seed)
+            .aggregate();
+    }
     SyntheticSource source(profile, instructions + warmup, seed);
     Simulator simulator(machine);
     if (warmup > 0) {
@@ -300,6 +381,9 @@ SimResults
 runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
        const RunnerOptions &options, std::uint64_t seed)
 {
+    if (machine.cores > 1)
+        return runMultiCore(profile, machine, options, seed)
+            .aggregate();
     if (!options.materialize && !options.checkpoints)
         return runOne(profile, machine, options.instructions, seed,
                       options.warmup, options.obs);

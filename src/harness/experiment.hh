@@ -14,6 +14,7 @@
 
 #include "obs/hooks.hh"
 #include "sim/machine_config.hh"
+#include "sim/multicore.hh"
 #include "sim/results.hh"
 #include "workloads/profile.hh"
 
@@ -93,6 +94,26 @@ SimResults runOne(const BenchmarkProfile &profile,
 SimResults runOne(const BenchmarkProfile &profile,
                   const MachineConfig &machine,
                   const RunnerOptions &options, std::uint64_t seed);
+
+/**
+ * Run a multi-core cell (machine.cores cores contending for the
+ * shared L2 bus) and return the per-core detail. Core i runs the
+ * workload generated from seed + i, so cores execute decorrelated
+ * instances of the same benchmark profile. Honours
+ * @p options.materialize through the grid trace cache (one cached
+ * trace per core seed); warm-state checkpoints do not apply to
+ * multi-core cells and are bypassed. @p options.obs sinks attach to
+ * every core (shared registry = aggregated metrics) plus the bus
+ * timeline channel.
+ *
+ * Both runOne overloads delegate here when machine.cores > 1 and
+ * return the aggregate() view, so grids, replication, serve cells,
+ * and caching treat topology like any other machine axis.
+ */
+MultiCoreResults runMultiCore(const BenchmarkProfile &profile,
+                              const MachineConfig &machine,
+                              const RunnerOptions &options,
+                              std::uint64_t seed);
 
 /** Hit/build/eviction counters and footprint for the process-wide
  *  grid caches. */

@@ -1,0 +1,243 @@
+#include "mem/bus.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+namespace
+{
+
+struct DisciplineName
+{
+    BusDiscipline value;
+    const char *name;
+};
+
+/** The one name table (WL-ENUM-TABLE): busDisciplineName(), both
+ *  parsers, and the CLI help derive from it and can never disagree. */
+constexpr DisciplineName kDisciplineNames[] = {
+    {BusDiscipline::Fcfs, "fcfs"},
+    {BusDiscipline::Priority, "priority"},
+};
+
+} // namespace
+
+const char *
+busDisciplineName(BusDiscipline discipline)
+{
+    for (const auto &row : kDisciplineNames)
+        if (row.value == discipline)
+            return row.name;
+    return "?";
+}
+
+bool
+tryParseBusDiscipline(std::string_view name, BusDiscipline &out)
+{
+    for (const auto &row : kDisciplineNames) {
+        if (row.name == name) {
+            out = row.value;
+            return true;
+        }
+    }
+    return false;
+}
+
+BusDiscipline
+parseBusDiscipline(std::string_view name)
+{
+    BusDiscipline value{};
+    if (tryParseBusDiscipline(name, value))
+        return value;
+    std::ostringstream known;
+    for (const auto &row : kDisciplineNames)
+        known << (known.tellp() > 0 ? ", " : "") << row.name;
+    wbsim_fatal("unknown bus discipline '", std::string(name),
+                "' (expected one of: ", known.str(), ")");
+}
+
+BusArbiter::BusArbiter(unsigned cores, BusDiscipline discipline)
+    : pending_(cores), stats_(cores), exhausted_(cores, false),
+      discipline_(discipline)
+{
+    wbsim_assert(cores >= 1, "a bus needs at least one requester");
+}
+
+void
+BusArbiter::setHooks(CoreHooks hooks)
+{
+    hooks_ = std::move(hooks);
+}
+
+bool
+BusArbiter::writeUnderwayAt(Cycle t) const
+{
+    return busyAt(t)
+        && (current_ == L2Txn::WriteRetire
+            || current_ == L2Txn::WriteFlush);
+}
+
+L2Txn
+BusArbiter::kindAt(Cycle t) const
+{
+    return busyAt(t) ? current_ : L2Txn::None;
+}
+
+Cycle
+BusArbiter::bookGrant(unsigned core, L2Txn kind, Cycle earliest,
+                      Cycle duration)
+{
+    Cycle start = std::max(earliest, free_at_);
+    busy_from_ = start;
+    free_at_ = start + duration;
+    current_ = kind;
+    owner_ = core;
+    BusCoreStats &s = stats_[core];
+    ++s.grants;
+    s.busyCycles += duration;
+    Cycle wait = start - earliest;
+    s.waitCycles += wait;
+    if (wait != 0)
+        ++s.contendedGrants;
+    if (timeline_ != nullptr)
+        timeline_->add(obs::Channel::BusBusy, start, duration);
+    return start;
+}
+
+int
+BusArbiter::winner() const
+{
+    int best = -1;
+    for (unsigned i = 0; i < pending_.size(); ++i) {
+        const Pending &p = pending_[i];
+        if (!p.active || p.granted)
+            continue;
+        if (best < 0) {
+            // Ascending scan: under fixed priority the first active
+            // requester is the lowest (highest-priority) core id.
+            best = static_cast<int>(i);
+            if (discipline_ == BusDiscipline::Priority)
+                return best;
+            continue;
+        }
+        const Pending &b = pending_[static_cast<unsigned>(best)];
+        if (p.earliest < b.earliest
+            || (p.earliest == b.earliest && p.seq < b.seq))
+            best = static_cast<int>(i);
+    }
+    return best;
+}
+
+void
+BusArbiter::advanceOthers()
+{
+    if (!hooks_.clockOf || !hooks_.stepOne)
+        return; // no scheduler: nothing can lag (unit tests, N=1)
+    for (;;) {
+        // Every free core must reach the instant the winning request
+        // would be granted before the grant is causally safe: a
+        // lagging core may still present an earlier (FCFS) or
+        // higher-priority request. Grants during the catch-up grow
+        // free_at_, so the horizon is recomputed each pass. A nested
+        // pass may have drained the pending set entirely (including
+        // this frame's own request) — nothing left to protect.
+        int w = winner();
+        if (w < 0)
+            return;
+        Cycle horizon =
+            std::max(pending_[static_cast<unsigned>(w)].earliest,
+                     free_at_);
+        int lagging = -1;
+        Cycle lag_clock = 0;
+        for (unsigned i = 0; i < pending_.size(); ++i) {
+            if (pending_[i].active || exhausted_[i])
+                continue;
+            Cycle t = hooks_.clockOf(i);
+            if (t >= horizon)
+                continue;
+            if (lagging < 0 || t < lag_clock) {
+                lagging = static_cast<int>(i);
+                lag_clock = t;
+            }
+        }
+        if (lagging < 0)
+            return;
+        if (!hooks_.stepOne(static_cast<unsigned>(lagging)))
+            exhausted_[static_cast<unsigned>(lagging)] = true;
+    }
+}
+
+void
+BusArbiter::grantBest()
+{
+    int w = winner();
+    wbsim_assert(w >= 0, "grant pass with no pending request");
+    Pending &p = pending_[static_cast<unsigned>(w)];
+    p.start = bookGrant(static_cast<unsigned>(w), p.kind, p.earliest,
+                        p.duration);
+    p.granted = true;
+}
+
+Cycle
+BusArbiter::acquire(unsigned core, L2Txn kind, Cycle earliest,
+                    Cycle duration)
+{
+    wbsim_assert(core < pending_.size(), "bus request from a core id "
+                 "beyond the configured topology");
+    Pending &me = pending_[core];
+    wbsim_assert(!me.active, "re-entrant bus request from one core");
+    me.active = true;
+    me.granted = false;
+    me.kind = kind;
+    me.earliest = earliest;
+    me.duration = duration;
+    me.start = 0;
+    me.seq = seq_++;
+    // A nested resolution (from a core advanced below) may grant
+    // this request while its own frame is suspended; check between
+    // passes rather than assuming grantBest() serves self.
+    while (!me.granted) {
+        advanceOthers();
+        if (!me.granted)
+            grantBest();
+    }
+    me.active = false;
+    return me.start;
+}
+
+const BusCoreStats &
+BusArbiter::coreStats(unsigned core) const
+{
+    wbsim_assert(core < stats_.size(), "bus stats for an unknown core");
+    return stats_[core];
+}
+
+Count
+BusArbiter::totalGrants() const
+{
+    Count total = 0;
+    for (const BusCoreStats &s : stats_)
+        total += s.grants;
+    return total;
+}
+
+Count
+BusArbiter::totalBusyCycles() const
+{
+    Count total = 0;
+    for (const BusCoreStats &s : stats_)
+        total += s.busyCycles;
+    return total;
+}
+
+void
+BusArbiter::resetStats()
+{
+    std::fill(stats_.begin(), stats_.end(), BusCoreStats{});
+}
+
+} // namespace wbsim

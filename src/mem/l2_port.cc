@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "mem/bus.hh"
 #include "util/logging.hh"
 
 namespace wbsim
@@ -23,9 +24,23 @@ l2TxnName(L2Txn txn)
     return "?";
 }
 
+Cycle
+L2Port::busFreeAt() const
+{
+    return bus_->freeAt();
+}
+
+bool
+L2Port::busBusyAt(Cycle t) const
+{
+    return bus_->busyAt(t);
+}
+
 bool
 L2Port::writeUnderwayAt(Cycle t) const
 {
+    if (bus_ != nullptr)
+        return bus_->writeUnderwayAt(t);
     return busyAt(t)
         && (current_ == L2Txn::WriteRetire
             || current_ == L2Txn::WriteFlush);
@@ -34,6 +49,8 @@ L2Port::writeUnderwayAt(Cycle t) const
 L2Txn
 L2Port::kindAt(Cycle t) const
 {
+    if (bus_ != nullptr)
+        return bus_->kindAt(t);
     return busyAt(t) ? current_ : L2Txn::None;
 }
 
@@ -42,7 +59,11 @@ L2Port::begin(L2Txn kind, Cycle earliest, Cycle duration)
 {
     wbsim_assert(kind != L2Txn::None, "cannot begin an idle transaction");
     wbsim_assert(duration > 0, "zero-length L2 transaction");
-    Cycle start = std::max(earliest, free_at_);
+    Cycle start;
+    if (bus_ != nullptr)
+        start = bus_->acquire(bus_core_, kind, earliest, duration);
+    else
+        start = std::max(earliest, free_at_);
     busy_from_ = start;
     free_at_ = start + duration;
     current_ = kind;

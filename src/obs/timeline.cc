@@ -27,6 +27,8 @@ channelName(Channel channel)
         return "stores";
       case Channel::OccupancySum:
         return "occupancy_sum";
+      case Channel::BusBusy:
+        return "bus_busy";
     }
     return "?";
 }

@@ -35,10 +35,11 @@ enum class Channel : std::uint8_t
     WbWords,         //!< words retired/flushed to L2
     Stores,          //!< stores presented to the buffer
     OccupancySum,    //!< sum of occupancy sampled at each store
+    BusBusy,         //!< shared-bus occupancy cycles (§14 topology)
 };
 
 /** Number of Channel values (array extent). */
-constexpr std::size_t kChannels = 8;
+constexpr std::size_t kChannels = 9;
 
 /** Printable name for a Channel. */
 const char *channelName(Channel channel);

@@ -168,6 +168,17 @@ writeTimelineCounters(JsonWriter &json, const Timeline &timeline)
         json.endObject();
         json.endObject();
 
+        // Only multi-core runs feed the bus channel; emitting it
+        // conditionally keeps every single-core trace document
+        // byte-identical to the pre-topology format.
+        if (timeline.total(Channel::BusBusy) != 0) {
+            eventHead(json, "bus occupancy / epoch", "C", ts, 0);
+            json.key("args").beginObject();
+            json.field("busy", timeline.value(e, Channel::BusBusy));
+            json.endObject();
+            json.endObject();
+        }
+
         Count stores = timeline.value(e, Channel::Stores);
         Count occ_sum = timeline.value(e, Channel::OccupancySum);
         eventHead(json, "mean wb occupancy", "C", ts, 0);

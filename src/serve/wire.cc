@@ -455,6 +455,14 @@ machineConfigToJson(obs::JsonWriter &json, const MachineConfig &machine)
     json.field("l1_write_allocate", machine.l1WriteAllocate);
     json.key("write_buffer");
     writeBufferToJson(json, machine.writeBuffer);
+    // Topology fields only for multi-core machines: single-core
+    // payloads (and their golden fixtures) stay byte-identical, and
+    // pre-topology peers that reject unknown fields keep working.
+    if (machine.cores != 1) {
+        json.field("cores", machine.cores);
+        json.field("bus_discipline",
+                   busDisciplineName(machine.busDiscipline));
+    }
     json.endObject();
 }
 
@@ -487,6 +495,11 @@ machineConfigFromJson(const obs::JsonValue &value, MachineConfig &out,
         if (!writeBufferFromJson(*wb, out.writeBuffer, error))
             return reader.fail(error);
     }
+    reader.uintField("cores", out.cores);
+    reader.enumField("bus_discipline", out.busDiscipline,
+                     [](std::string_view name, BusDiscipline &out_d) {
+                         return tryParseBusDiscipline(name, out_d);
+                     });
     return reader.finish();
 }
 

@@ -56,6 +56,15 @@ MachineConfig::stateFingerprint() const
     h = hashCombine(h, wb.wbHitExtraCycles);
     h = hashCombine(h, wb.naiveScan ? 1 : 0);
     h = hashCombine(h, wb.crossCheck ? 1 : 0);
+    // Topology mixes in only for multi-core machines: every
+    // single-core fingerprint (embedded in golden artifacts,
+    // provenance headers, and serve cache keys) is unchanged, while
+    // multi-core cells can never alias a cached single-core cell.
+    if (cores != 1) {
+        h = hashCombine(h, 0x6d756c7469636f72ull); // topology tag
+        h = hashCombine(h, cores);
+        h = hashCombine(h, static_cast<std::uint64_t>(busDiscipline));
+    }
     return h;
 }
 
@@ -113,6 +122,10 @@ MachineConfig::validationError() const
         && writeBuffer.entryBytes % l1d.lineBytes != 0)
         return "write buffer entries wider than a line must be a "
                "multiple of the line size";
+    if (cores == 0)
+        return "core count must be positive";
+    if (cores > 64)
+        return "core count above 64 is not supported";
     return "";
 }
 
@@ -133,6 +146,9 @@ MachineConfig::describe() const
     if (issueWidth != 1)
         os << "/issue=" << issueWidth;
     os << "/" << writeBuffer.describe();
+    if (cores != 1)
+        os << "/cores=" << cores << ",bus="
+           << busDisciplineName(busDiscipline);
     return os.str();
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/config.hh"
+#include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "util/types.hh"
 
@@ -63,6 +64,20 @@ struct MachineConfig
 
     /** The write buffer (Table 2). */
     WriteBufferConfig writeBuffer;
+
+    /**
+     * Cores sharing the L2 through the arbitrated bus. 1 (the
+     * paper's machine) keeps the legacy private-port path, bit for
+     * bit; above 1 every core gets its own L1s + store buffer and
+     * all L2 traffic serialises through a BusArbiter (DESIGN.md
+     * §14).
+     */
+    unsigned cores = 1;
+
+    /** Bus service discipline; only meaningful when cores > 1 (a
+     *  single core never contends, so the field is inert — and
+     *  excluded from the fingerprint — at cores == 1). */
+    BusDiscipline busDiscipline = BusDiscipline::Fcfs;
 
     /** Cycles one L2 transfer occupies the port. */
     Cycle l2TransferCycles() const;

@@ -1,0 +1,218 @@
+#include "sim/multicore.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace wbsim
+{
+
+namespace
+{
+
+/// Records pulled from a core's TraceSource per batch refill.
+constexpr std::size_t kFeedBatch = 256;
+
+std::vector<MachineConfig>
+replicate(const MachineConfig &config)
+{
+    config.validate();
+    return std::vector<MachineConfig>(std::max(1u, config.cores),
+                                      config);
+}
+
+} // namespace
+
+SimResults
+MultiCoreResults::aggregate() const
+{
+    wbsim_assert(!perCore.empty(), "aggregating an empty system");
+    SimResults r = perCore.front();
+    for (std::size_t i = 1; i < perCore.size(); ++i) {
+        const SimResults &c = perCore[i];
+        r.instructions += c.instructions;
+        r.cycles = std::max(r.cycles, c.cycles);
+        r.loads += c.loads;
+        r.stores += c.stores;
+        r.stalls += c.stalls;
+        r.l1LoadHits += c.l1LoadHits;
+        r.l1LoadMisses += c.l1LoadMisses;
+        r.l1StoreHits += c.l1StoreHits;
+        r.l1StoreMisses += c.l1StoreMisses;
+        r.wbMerges += c.wbMerges;
+        r.wbAllocations += c.wbAllocations;
+        r.wbRetirements += c.wbRetirements;
+        r.wbFlushes += c.wbFlushes;
+        r.wbHazards += c.wbHazards;
+        r.wbServedLoads += c.wbServedLoads;
+        r.wbWordsWritten += c.wbWordsWritten;
+        r.wbEntriesWritten += c.wbEntriesWritten;
+        r.wbMeanOccupancy += c.wbMeanOccupancy;
+        r.l2ReadHits += c.l2ReadHits;
+        r.l2ReadMisses += c.l2ReadMisses;
+        r.l2WriteHits += c.l2WriteHits;
+        r.l2WriteMisses += c.l2WriteMisses;
+        r.memReads += c.memReads;
+        r.memWriteBacks += c.memWriteBacks;
+        r.ifetchMisses += c.ifetchMisses;
+        r.l2IFetchStallCycles += c.l2IFetchStallCycles;
+        r.barriers += c.barriers;
+        r.barrierStallCycles += c.barrierStallCycles;
+        r.storeFetches += c.storeFetches;
+        r.storeFetchCycles += c.storeFetchCycles;
+    }
+    r.wbMeanOccupancy /= static_cast<double>(perCore.size());
+    return r;
+}
+
+MultiCoreSystem::MultiCoreSystem(const MachineConfig &config)
+    : MultiCoreSystem(replicate(config))
+{
+}
+
+MultiCoreSystem::MultiCoreSystem(
+    const std::vector<MachineConfig> &configs)
+    : bus_(static_cast<unsigned>(
+               std::max<std::size_t>(1, configs.size())),
+           configs.empty() ? BusDiscipline::Fcfs
+                           : configs.front().busDiscipline)
+{
+    wbsim_assert(!configs.empty(),
+                 "a multi-core system needs at least one core");
+    cores_.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        CoreState core;
+        core.sim = std::make_unique<Simulator>(configs[i]);
+        core.sim->attachBus(&bus_, static_cast<unsigned>(i));
+        core.batch.resize(kFeedBatch);
+        cores_.push_back(std::move(core));
+    }
+    wireHooks();
+}
+
+void
+MultiCoreSystem::wireHooks()
+{
+    BusArbiter::CoreHooks hooks;
+    hooks.clockOf = [this](unsigned i) {
+        return cores_[i].sim->now();
+    };
+    hooks.stepOne = [this](unsigned i) { return stepOne(i); };
+    bus_.setHooks(std::move(hooks));
+}
+
+void
+MultiCoreSystem::attachObs(unsigned coreId, const obs::ObsSink &sink)
+{
+    wbsim_assert(coreId < cores_.size(),
+                 "obs attach to an unknown core");
+    cores_[coreId].sink = sink;
+    // Already past the measurement boundary (warmup == 0 or a
+    // mid-run attach): take effect immediately, like the single-core
+    // harness attaching after resetStats().
+    if (cores_[coreId].measuring && sink.attached())
+        cores_[coreId].sim->attachObs(sink);
+}
+
+void
+MultiCoreSystem::beginMeasurement(unsigned i)
+{
+    CoreState &core = cores_[i];
+    core.sim->resetStats();
+    core.busAtReset = bus_.coreStats(i);
+    core.measuring = true;
+    if (core.sink.attached())
+        core.sim->attachObs(core.sink);
+}
+
+bool
+MultiCoreSystem::stepOne(unsigned i)
+{
+    CoreState &core = cores_[i];
+    if (core.exhausted || core.source == nullptr)
+        return false;
+    if (core.pos == core.have) {
+        core.have = core.source->nextBatch(core.batch.data(),
+                                           kFeedBatch);
+        core.pos = 0;
+        if (core.have == 0) {
+            core.exhausted = true;
+            return false;
+        }
+    }
+    core.sim->step(core.batch[core.pos++]);
+    // Each core crosses its warmup boundary at its own pace: under
+    // contention the cores' clocks diverge, so a global boundary
+    // would mix warmup and measured cycles on the faster cores.
+    if (!core.measuring && core.sim->instructions() >= warmup_)
+        beginMeasurement(i);
+    return true;
+}
+
+MultiCoreResults
+MultiCoreSystem::run(const std::vector<TraceSource *> &sources,
+                     Count warmup)
+{
+    wbsim_assert(sources.size() == cores_.size(),
+                 "one trace source per core required");
+    warmup_ = warmup;
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        wbsim_assert(sources[i] != nullptr, "null trace source");
+        cores_[i].source = sources[i];
+        cores_[i].workload = sources[i]->name();
+        if (warmup == 0)
+            beginMeasurement(static_cast<unsigned>(i));
+    }
+
+    // Min-clock schedule: always feed the core whose local clock is
+    // furthest behind (ties to the lowest id), so no core runs ahead
+    // of bus traffic that could contend with it. The bus arbiter
+    // recursively advances lagging cores inside a step whenever a
+    // grant needs the causality window closed.
+    for (;;) {
+        int best = -1;
+        Cycle best_clock = 0;
+        for (unsigned i = 0; i < cores_.size(); ++i) {
+            if (cores_[i].exhausted)
+                continue;
+            Cycle t = cores_[i].sim->now();
+            if (best < 0 || t < best_clock) {
+                best = static_cast<int>(i);
+                best_clock = t;
+            }
+        }
+        if (best < 0)
+            break;
+        stepOne(static_cast<unsigned>(best));
+    }
+
+    // Drain in core id order; drains serialise through the bus like
+    // any other write traffic.
+    for (CoreState &core : cores_)
+        core.sim->drain();
+
+    MultiCoreResults out;
+    out.discipline = bus_.discipline();
+    out.perCore.reserve(cores_.size());
+    out.bus.reserve(cores_.size());
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        CoreState &core = cores_[i];
+        wbsim_assert(core.measuring,
+                     "a core never reached its warmup quota; "
+                     "warmup must be shorter than the trace");
+        out.perCore.push_back(core.sim->results(core.workload));
+        const BusCoreStats &now =
+            bus_.coreStats(static_cast<unsigned>(i));
+        const BusCoreStats &base = core.busAtReset;
+        BusCoreStats measured;
+        measured.grants = now.grants - base.grants;
+        measured.busyCycles = now.busyCycles - base.busyCycles;
+        measured.waitCycles = now.waitCycles - base.waitCycles;
+        measured.contendedGrants =
+            now.contendedGrants - base.contendedGrants;
+        out.bus.push_back(measured);
+    }
+    return out;
+}
+
+} // namespace wbsim

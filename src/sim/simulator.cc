@@ -110,7 +110,12 @@ Simulator::restore(const SimSnapshot &snap)
     l1i_ = snap.l1i;
     l2_ = snap.l2;
     memory_ = snap.memory;
+    // The snapshot's port copy carries its creator's bus attachment;
+    // this simulator's own attachment (usually none) wins.
+    BusArbiter *bus = port_.bus();
+    unsigned bus_core = port_.busCoreId();
     port_ = *snap.port;
+    port_.attachBus(bus, bus_core);
     buffer_ = snap.buffer->cloneRebound(port_, makeL2WriteHook());
     cycle_ = snap.cycle;
     cycle_base_ = snap.cycleBase;
@@ -208,22 +213,40 @@ Simulator::l2DemandRead(Addr addr, Cycle earliest, Count &stall_cycles,
                         obs::Channel channel)
 {
     Cycle t = earliest;
-    if (port_.busyAt(t)) {
-        // Blocking caches mean a previous demand read always
-        // finished before the CPU resumed, so any occupancy here is
-        // a write-buffer transaction: an L2-read-access stall.
-        wbsim_assert(port_.writeUnderwayAt(t),
-                     "demand read blocked by another read");
-        Cycle wait = port_.freeAt() - t;
-        stall_cycles += wait;
-        ++stall_events;
-        max_episode = std::max<Count>(max_episode, wait);
-        note(SimEventKind::ReadAccessStall, addr, wait);
-        publishReadStall(t, wait, channel);
-        t = port_.freeAt();
+    Cycle start;
+    if (!port_.busArbitrated()) {
+        if (port_.busyAt(t)) {
+            // Blocking caches mean a previous demand read always
+            // finished before the CPU resumed, so any occupancy here
+            // is a write-buffer transaction: an L2-read-access stall.
+            wbsim_assert(port_.writeUnderwayAt(t),
+                         "demand read blocked by another read");
+            Cycle wait = port_.freeAt() - t;
+            stall_cycles += wait;
+            ++stall_events;
+            max_episode = std::max<Count>(max_episode, wait);
+            note(SimEventKind::ReadAccessStall, addr, wait);
+            publishReadStall(t, wait, channel);
+            t = port_.freeAt();
+        }
+        start = port_.begin(L2Txn::Read, t, config_.l2Latency);
+        wbsim_assert(start == t, "demand read start raced the L2 port");
+    } else {
+        // Shared bus: the wait is only known after arbitration (a
+        // lagging core may slip in ahead), and the blocker may be
+        // another core's read, not just a write. Either way the CPU
+        // sat waiting for L2 read service: an L2-read-access stall,
+        // now inflated by contention (the fig_mc_bus axis).
+        start = port_.begin(L2Txn::Read, t, config_.l2Latency);
+        if (start > t) {
+            Cycle wait = start - t;
+            stall_cycles += wait;
+            ++stall_events;
+            max_episode = std::max<Count>(max_episode, wait);
+            note(SimEventKind::ReadAccessStall, addr, wait);
+            publishReadStall(t, wait, channel);
+        }
     }
-    Cycle start = port_.begin(L2Txn::Read, t, config_.l2Latency);
-    wbsim_assert(start == t, "demand read start raced the L2 port");
     Cycle done = start + config_.l2Latency;
     L2Outcome outcome = l2_.read(addr);
     if (outcome.memoryFetch) {

@@ -134,6 +134,19 @@ class Simulator
     void attachEventLog(EventLog *log) { event_log_ = log; }
 
     /**
+     * Route all of this core's L2 traffic through @p bus as
+     * requester @p coreId (nullptr detaches; the default standalone
+     * port is the paper's single-core machine, bit for bit).
+     * Survives restore(). The MultiCoreSystem attaches every core
+     * before feeding records.
+     */
+    void
+    attachBus(BusArbiter *bus, unsigned coreId)
+    {
+        port_.attachBus(bus, coreId);
+    }
+
+    /**
      * Attach an observability sink: any combination of a metrics
      * registry, a cycle-attribution timeline, and an event log (all
      * optional, caller-owned). Null members detach the corresponding

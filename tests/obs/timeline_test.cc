@@ -141,7 +141,8 @@ TEST(Timeline, ChannelNames)
     EXPECT_STREQ(channelName(Channel::BufferFullStall),
                  "buffer_full_stall");
     EXPECT_STREQ(channelName(Channel::OccupancySum), "occupancy_sum");
-    EXPECT_EQ(kChannels, 8u);
+    EXPECT_STREQ(channelName(Channel::BusBusy), "bus_busy");
+    EXPECT_EQ(kChannels, 9u);
 }
 
 } // namespace

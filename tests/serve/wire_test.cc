@@ -180,6 +180,48 @@ TEST(WireRequest, EncodeDecodeRoundTrips)
               decoded.cells[1].machine.stateFingerprint());
 }
 
+TEST(WireRequest, TopologyFieldsRoundTrip)
+{
+    // cores / bus_discipline ride the machine object; the
+    // fingerprint hashes them at cores > 1, so exact-trip equality
+    // is the whole test.
+    Request request = sampleSweep();
+    request.cells.resize(1);
+    request.cells[0].machine.cores = 4;
+    request.cells[0].machine.busDiscipline = BusDiscipline::Priority;
+    Request decoded;
+    std::string error;
+    ASSERT_TRUE(decodeRequest(encodeRequest(request), decoded, error))
+        << error;
+    ASSERT_EQ(1u, decoded.cells.size());
+    EXPECT_EQ(4u, decoded.cells[0].machine.cores);
+    EXPECT_EQ(BusDiscipline::Priority,
+              decoded.cells[0].machine.busDiscipline);
+    EXPECT_EQ(request.cells[0].machine.stateFingerprint(),
+              decoded.cells[0].machine.stateFingerprint());
+
+    // A single-core machine encodes without the topology keys: the
+    // pre-topology wire bytes (and their golden fixtures) survive.
+    Request solo = sampleSweep();
+    EXPECT_EQ(std::string::npos,
+              encodeRequest(solo).find("\"cores\""));
+    EXPECT_EQ(std::string::npos,
+              encodeRequest(solo).find("bus_discipline"));
+}
+
+TEST(WireRequest, RejectsUnknownBusDiscipline)
+{
+    Request out;
+    std::string error;
+    EXPECT_FALSE(decodeRequest(
+        R"({"schema": "wbsim-serve-req-v1", "type": "sweep",)"
+        R"( "cells": [{"benchmark": "li", "instructions": 100,)"
+        R"( "machine": {"cores": 2, "bus_discipline": "lottery"}}]})",
+        out, error));
+    EXPECT_NE(std::string::npos, error.find("bus_discipline"))
+        << error;
+}
+
 TEST(WireRequest, RejectsGarbageAndMismatches)
 {
     Request out;
