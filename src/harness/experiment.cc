@@ -70,10 +70,12 @@ approxSnapshotBytes(const MachineConfig &machine)
  * correctness.
  *
  * Thread-safety contract: maps, LRU list and counters are only
- * touched under mutex_; the values are immutable once the future
- * resolves (shared_ptr<const>), so readers never race with the
- * builder. Verified race-free by CI's `tsan` job, which runs the
- * harness tests under ThreadSanitizer with no suppressions.
+ * touched under mutex_ (WBSIM_GUARDED_BY on every such member, so
+ * wbsim-lint's WL-LOCK-GUARD proves it statically); the values are
+ * immutable once the future resolves (shared_ptr<const>), so
+ * readers never race with the builder. Verified race-free by CI's
+ * `tsan` job, which runs the harness tests under ThreadSanitizer
+ * with no suppressions.
  */
 class GridCache
 {
@@ -92,9 +94,8 @@ class GridCache
     {
         std::ostringstream key;
         key << profile.name << '#' << seed << '#' << length;
-        return dedupe(
-            traces_, /*isTrace=*/true, key.str(),
-            stats_.traceBuilds, stats_.traceHits,
+        return dedupe<TracePtr>(
+            /*isTrace=*/true, key.str(),
             [&]() {
                 SyntheticSource source(profile, length, seed);
                 return std::make_shared<const MaterializedTrace>(
@@ -112,9 +113,8 @@ class GridCache
         std::ostringstream key;
         key << profile.name << '#' << seed << '#' << warmup << '#'
             << machine.stateFingerprint();
-        return dedupe(
-            snapshots_, /*isTrace=*/false, key.str(),
-            stats_.checkpointBuilds, stats_.checkpointHits,
+        return dedupe<SnapPtr>(
+            /*isTrace=*/false, key.str(),
             [&]() {
                 Simulator simulator(machine);
                 MaterializedCursor cursor(trace);
@@ -175,9 +175,21 @@ class GridCache
     template <typename Ptr>
     using Map = std::unordered_map<std::string, Slot<Ptr>>;
 
+    /** The map holding entries of @p Ptr's kind. Tag-pointer
+     *  overloads (not a template) so the WBSIM_REQUIRES contract is
+     *  visible to the analyzer: the returned reference is guarded
+     *  state and every caller selects it under mutex_. */
+    WBSIM_REQUIRES(mutex_) Map<TracePtr> &mapFor(const TracePtr *)
+    {
+        return traces_;
+    }
+    WBSIM_REQUIRES(mutex_) Map<SnapPtr> &mapFor(const SnapPtr *)
+    {
+        return snapshots_;
+    }
+
     template <typename Ptr, typename Build, typename SizeOf>
-    Ptr dedupe(Map<Ptr> &map, bool isTrace, const std::string &key,
-               std::size_t &builds, std::size_t &hits, Build build,
+    Ptr dedupe(bool isTrace, const std::string &key, Build build,
                SizeOf sizeOf)
     {
         std::promise<Ptr> promise;
@@ -186,6 +198,7 @@ class GridCache
         std::uint64_t my_generation = 0;
         {
             std::lock_guard<std::mutex> lock(mutex_);
+            Map<Ptr> &map = mapFor(static_cast<const Ptr *>(nullptr));
             auto it = map.find(key);
             if (it == map.end()) {
                 future = promise.get_future().share();
@@ -195,10 +208,12 @@ class GridCache
                 my_generation = generation_;
                 map.emplace(key, std::move(slot));
                 is_builder = true;
-                ++builds;
+                ++(isTrace ? stats_.traceBuilds
+                           : stats_.checkpointBuilds);
             } else {
                 future = it->second.future;
-                ++hits;
+                ++(isTrace ? stats_.traceHits
+                           : stats_.checkpointHits);
                 if (it->second.resolved)
                     lru_.splice(lru_.end(), lru_, it->second.lru);
             }
@@ -209,6 +224,7 @@ class GridCache
         Ptr value = build();
         promise.set_value(value);
         std::lock_guard<std::mutex> lock(mutex_);
+        Map<Ptr> &map = mapFor(static_cast<const Ptr *>(nullptr));
         auto it = map.find(key);
         if (it != map.end() && !it->second.resolved
             && it->second.generation == my_generation) {
@@ -222,7 +238,7 @@ class GridCache
         return value;
     }
 
-    void evictLocked()
+    WBSIM_REQUIRES(mutex_) void evictLocked()
     {
         while (budget_ != 0 && bytes_ > budget_ && !lru_.empty()) {
             const auto &[isTrace, key] = lru_.front();
@@ -236,8 +252,9 @@ class GridCache
     }
 
     template <typename Ptr>
-    void evictFrom(Map<Ptr> &map, const std::string &key,
-                   std::size_t &evictions)
+    WBSIM_REQUIRES(mutex_) void evictFrom(Map<Ptr> &map,
+                                          const std::string &key,
+                                          std::size_t &evictions)
     {
         auto it = map.find(key);
         wbsim_assert(it != map.end() && it->second.resolved,
@@ -248,13 +265,13 @@ class GridCache
     }
 
     std::mutex mutex_;
-    Map<TracePtr> traces_;
-    Map<SnapPtr> snapshots_;
-    LruList lru_;
-    GridCacheStats stats_;
-    std::size_t bytes_ = 0;
-    std::size_t budget_ = 0;
-    std::uint64_t generation_ = 0;
+    WBSIM_GUARDED_BY(mutex_) Map<TracePtr> traces_;
+    WBSIM_GUARDED_BY(mutex_) Map<SnapPtr> snapshots_;
+    WBSIM_GUARDED_BY(mutex_) LruList lru_;
+    WBSIM_GUARDED_BY(mutex_) GridCacheStats stats_;
+    WBSIM_GUARDED_BY(mutex_) std::size_t bytes_ = 0;
+    WBSIM_GUARDED_BY(mutex_) std::size_t budget_ = 0;
+    WBSIM_GUARDED_BY(mutex_) std::uint64_t generation_ = 0;
 };
 
 GridCache &

@@ -16,6 +16,7 @@
 #include "sim/machine_config.hh"
 #include "sim/multicore.hh"
 #include "sim/results.hh"
+#include "util/lint.hh"
 #include "workloads/profile.hh"
 
 namespace wbsim
@@ -79,10 +80,10 @@ struct RunnerOptions
 /** Run one benchmark on one machine (uncached reference path: the
  *  trace is generated in place and warmup is always simulated).
  *  @p obs sinks, if any, attach after warmup. */
-SimResults runOne(const BenchmarkProfile &profile,
-                  const MachineConfig &machine, Count instructions,
-                  std::uint64_t seed = 1, Count warmup = 0,
-                  const obs::ObsSink &obs = {});
+WBSIM_DETERMINISTIC SimResults
+runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
+       Count instructions, std::uint64_t seed = 1, Count warmup = 0,
+       const obs::ObsSink &obs = {});
 
 /**
  * Run one benchmark on one machine through the process-wide grid
@@ -91,9 +92,9 @@ SimResults runOne(const BenchmarkProfile &profile,
  * every cached call). @p seed overrides options.seed so replicated
  * runs can share the cache.
  */
-SimResults runOne(const BenchmarkProfile &profile,
-                  const MachineConfig &machine,
-                  const RunnerOptions &options, std::uint64_t seed);
+WBSIM_DETERMINISTIC SimResults
+runOne(const BenchmarkProfile &profile, const MachineConfig &machine,
+       const RunnerOptions &options, std::uint64_t seed);
 
 /**
  * Run a multi-core cell (machine.cores cores contending for the
@@ -110,10 +111,10 @@ SimResults runOne(const BenchmarkProfile &profile,
  * return the aggregate() view, so grids, replication, serve cells,
  * and caching treat topology like any other machine axis.
  */
-MultiCoreResults runMultiCore(const BenchmarkProfile &profile,
-                              const MachineConfig &machine,
-                              const RunnerOptions &options,
-                              std::uint64_t seed);
+WBSIM_DETERMINISTIC MultiCoreResults
+runMultiCore(const BenchmarkProfile &profile,
+             const MachineConfig &machine,
+             const RunnerOptions &options, std::uint64_t seed);
 
 /** Hit/build/eviction counters and footprint for the process-wide
  *  grid caches. */

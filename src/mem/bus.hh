@@ -106,7 +106,7 @@ class BusArbiter
      *  fine for single-core use and direct unit tests. */
     void setHooks(CoreHooks hooks);
 
-    unsigned cores() const
+    WBSIM_REQUIRES(bus_driver) unsigned cores() const
     {
         return static_cast<unsigned>(pending_.size());
     }
@@ -132,8 +132,9 @@ class BusArbiter
      * through the hooks until the grant is causally safe, then
      * returns the granted start cycle (>= earliest).
      */
-    Cycle acquire(unsigned core, L2Txn kind, Cycle earliest,
-                  Cycle duration);
+    WBSIM_REQUIRES(bus_driver) Cycle
+    acquire(unsigned core, L2Txn kind, Cycle earliest,
+            Cycle duration);
 
     /** @name Accounting. */
     /// @{
@@ -175,16 +176,26 @@ class BusArbiter
                               Cycle earliest, Cycle duration);
 
     /** Requester the discipline picks among pending, or -1. */
-    int winner() const;
+    WBSIM_REQUIRES(bus_driver) int winner() const;
 
     /** Step free cores until none lags the prospective grant. */
-    void advanceOthers();
+    WBSIM_REQUIRES(bus_driver) void advanceOthers();
 
     /** Commit the winning pending request. */
-    void grantBest();
+    WBSIM_REQUIRES(bus_driver) void grantBest();
 
+    /* The request book below is guarded by `bus_driver`, a *virtual*
+     * capability (no mutex exists): exactly one thread — the one
+     * running the multi-core scheduling loop — may drive the arbiter
+     * at a time. runMultiCore() upholds this by construction (each
+     * cell owns its arbiter; cores interleave on one thread), so the
+     * guard documents and fences the single-driver discipline rather
+     * than a lock. The analyzer gates the member touches; call sites
+     * are not lock-checkable and are not checked (WL-LOCK-GUARD). */
+    WBSIM_GUARDED_BY(bus_driver)
     std::vector<Pending> pending_;     //!< slot per core, no realloc
     std::vector<BusCoreStats> stats_;  //!< slot per core
+    WBSIM_GUARDED_BY(bus_driver)
     std::vector<bool> exhausted_;      //!< cores with no records left
     CoreHooks hooks_;
     BusDiscipline discipline_;
@@ -193,7 +204,7 @@ class BusArbiter
     Cycle free_at_ = 0;
     L2Txn current_ = L2Txn::None;
     unsigned owner_ = 0;
-    std::uint64_t seq_ = 0;
+    WBSIM_GUARDED_BY(bus_driver) std::uint64_t seq_ = 0;
 
     obs::Timeline *timeline_ = nullptr;
 };

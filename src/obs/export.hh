@@ -18,6 +18,7 @@
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "sim/results.hh"
+#include "util/lint.hh"
 #include "util/types.hh"
 
 namespace wbsim::obs
@@ -51,9 +52,12 @@ void writeProvenance(JsonWriter &json, const Provenance &provenance);
 
 /** @name SimResults artifacts. */
 /// @{
-/** One run as a JSON document (schema wbsim-sim-results-v1). */
-void writeSimResultsJson(std::ostream &os, const SimResults &results,
-                         const Provenance &provenance);
+/** One run as a JSON document (schema wbsim-sim-results-v1). The
+ *  figure pipeline pins these bytes, so the writer is a
+ *  deterministic root (WL-DETERMINISM). */
+WBSIM_DETERMINISTIC void
+writeSimResultsJson(std::ostream &os, const SimResults &results,
+                    const Provenance &provenance);
 
 /**
  * The body of a wbsim-sim-results-v1 document as one JSON object

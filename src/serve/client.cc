@@ -21,7 +21,18 @@ namespace
 std::string
 socketError(const char *what)
 {
-    return std::string(what) + ": " + std::strerror(errno);
+    // strerror_r, not strerror: clients are used from harness worker
+    // threads and strerror's shared buffer is not thread-safe
+    // (clang-tidy concurrency-mt-unsafe).
+    char buf[128];
+    const char *text = "unknown error";
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+    text = ::strerror_r(errno, buf, sizeof buf);
+#else
+    if (::strerror_r(errno, buf, sizeof buf) == 0)
+        text = buf;
+#endif
+    return std::string(what) + ": " + text;
 }
 
 } // namespace

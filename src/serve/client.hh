@@ -19,6 +19,7 @@
 
 #include "serve/wire.hh"
 #include "sim/results.hh"
+#include "util/lint.hh"
 
 namespace wbsim::serve
 {
@@ -76,10 +77,18 @@ class ServeClient
      * sweep() that honours RETRY_AFTER: sleeps the hinted backoff
      * and retries, up to @p maxAttempts. False when attempts run out
      * (error explains) or the transport dies.
+     *
+     * Deterministic root: the decoded response must not depend on
+     * when or how often we retried. WBSIM_NONDET_OK: the
+     * sleep_for(backoff hint) in this body is timing-only — it
+     * decides *when* the next attempt happens, never what bytes come
+     * back; the wire encode/decode callees stay in the checked
+     * closure.
      */
-    bool sweepWithRetry(const std::vector<CellSpec> &cells,
-                        std::uint32_t priority, unsigned maxAttempts,
-                        Response &response, std::string &error);
+    WBSIM_DETERMINISTIC WBSIM_NONDET_OK bool
+    sweepWithRetry(const std::vector<CellSpec> &cells,
+                   std::uint32_t priority, unsigned maxAttempts,
+                   Response &response, std::string &error);
     /// @}
 
     /**

@@ -106,19 +106,19 @@ class DispatchQueue
 
     /** Pick and remove the next entry per the discipline. Hot: this
      *  is the scheduling decision made once per simulated cell. */
-    WBSIM_HOT Entry takeLocked();
+    WBSIM_HOT WBSIM_REQUIRES(mutex_) Entry takeLocked();
 
     mutable std::mutex mutex_;
     std::condition_variable notEmpty_;
-    std::deque<Entry> entries_;
+    WBSIM_GUARDED_BY(mutex_) std::deque<Entry> entries_;
     std::size_t capacity_;
     DispatchDiscipline discipline_;
-    bool closed_ = false;
-    std::uint64_t nextSeq_ = 0;
-    std::uint64_t pushed_ = 0;
-    std::uint64_t rejected_ = 0;
-    std::uint64_t popped_ = 0;
-    std::uint64_t highWater_ = 0;
+    WBSIM_GUARDED_BY(mutex_) bool closed_ = false;
+    WBSIM_GUARDED_BY(mutex_) std::uint64_t nextSeq_ = 0;
+    WBSIM_GUARDED_BY(mutex_) std::uint64_t pushed_ = 0;
+    WBSIM_GUARDED_BY(mutex_) std::uint64_t rejected_ = 0;
+    WBSIM_GUARDED_BY(mutex_) std::uint64_t popped_ = 0;
+    WBSIM_GUARDED_BY(mutex_) std::uint64_t highWater_ = 0;
 };
 
 } // namespace wbsim::serve

@@ -100,7 +100,7 @@ class ResultStore
     {
         std::mutex mutex;
         /** MRU at the back. */
-        std::list<CellKey> lru;
+        WBSIM_GUARDED_BY(mutex) std::list<CellKey> lru;
         struct Slot
         {
             ResultPtr result;
@@ -115,8 +115,9 @@ class ResultStore
                 return std::size_t(key.hash());
             }
         };
+        WBSIM_GUARDED_BY(mutex)
         std::unordered_map<CellKey, Slot, KeyHash> map;
-        std::size_t bytes = 0;
+        WBSIM_GUARDED_BY(mutex) std::size_t bytes = 0;
     };
 
     Shard &shardFor(const CellKey &key);

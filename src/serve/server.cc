@@ -28,7 +28,18 @@ thread_local unsigned tlsWorkerIndex = 0;
 std::string
 socketError(const char *what)
 {
-    return std::string(what) + ": " + std::strerror(errno);
+    // strerror_r, not strerror: connection threads hit this
+    // concurrently and strerror's shared buffer is not thread-safe
+    // (clang-tidy concurrency-mt-unsafe).
+    char buf[128];
+    const char *text = "unknown error";
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+    text = ::strerror_r(errno, buf, sizeof buf);
+#else
+    if (::strerror_r(errno, buf, sizeof buf) == 0)
+        text = buf;
+#endif
+    return std::string(what) + ": " + text;
 }
 
 } // namespace
@@ -128,7 +139,14 @@ ServeServer::start(std::string &error)
     shards_.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
         auto shard = std::make_unique<WorkerShard>();
-        registerWorkerMetrics(shard->metrics);
+        {
+            // No worker exists yet, but metrics is guarded state and
+            // the registration writes it; take the shard lock so the
+            // access is covered by the same discipline as every
+            // other touch (WL-LOCK-GUARD).
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            registerWorkerMetrics(shard->metrics);
+        }
         shards_.push_back(std::move(shard));
     }
     workers_.start(workers,

@@ -49,6 +49,7 @@
 #include "serve/dispatch_queue.hh"
 #include "serve/result_store.hh"
 #include "serve/wire.hh"
+#include "util/lint.hh"
 #include "util/thread_pool.hh"
 
 namespace wbsim::serve
@@ -128,17 +129,26 @@ class ServeServer
     struct WorkerShard
     {
         std::mutex mutex;
-        obs::MetricsRegistry metrics;
+        WBSIM_GUARDED_BY(mutex) obs::MetricsRegistry metrics;
     };
 
     void acceptLoop();
     void connectionMain(int fd);
     void handleConnection(int fd);
     Response handleRequest(const Request &request);
-    Response handleSweep(const Request &request);
+    /** The response bytes for a sweep must be a pure function of the
+     *  request (WL-DETERMINISM); latency stats are the one exempted
+     *  side channel (see simulateCell). */
+    WBSIM_DETERMINISTIC Response handleSweep(const Request &request);
     void workerLoop(unsigned index);
-    /** Simulate one cell on a worker thread and publish it. */
-    SimResults simulateCell(const CellSpec &spec, unsigned worker);
+    /** Simulate one cell on a worker thread and publish it.
+     *  WBSIM_NONDET_OK: the steady_clock reads here time the worker
+     *  for the latency histograms only — the SimResults bytes come
+     *  entirely from runOne(), which stays inside the checked
+     *  deterministic closure (the exemption covers this body, not
+     *  its callees). */
+    WBSIM_NONDET_OK SimResults simulateCell(const CellSpec &spec,
+                                            unsigned worker);
     static CellKey keyOf(const CellSpec &spec);
     /** Register the per-worker metrics (same order everywhere so
      *  shards merge). */
@@ -154,13 +164,19 @@ class ServeServer
     std::uint16_t port_ = 0;
     std::thread acceptThread_;
 
-    std::mutex mutex_;
+    /** Server lock, declared before the worker shards' metric locks
+     *  in the hierarchy. No current path nests the two (statsJson
+     *  merges shards lock-by-lock with mutex_ released), but any
+     *  future nesting must keep the server lock outermost — workers
+     *  publish under a shard lock from inside queue closures and
+     *  must never be able to wait on connection state. */
+    WBSIM_ACQUIRES_BEFORE(WorkerShard::mutex) std::mutex mutex_;
     std::condition_variable connectionsDrained_;
     std::condition_variable shutdownRequested_;
-    std::set<int> connectionFds_;
-    std::size_t activeConnections_ = 0;
-    bool stopping_ = false;
-    bool shutdownAsked_ = false;
+    WBSIM_GUARDED_BY(mutex_) std::set<int> connectionFds_;
+    WBSIM_GUARDED_BY(mutex_) std::size_t activeConnections_ = 0;
+    WBSIM_GUARDED_BY(mutex_) bool stopping_ = false;
+    WBSIM_GUARDED_BY(mutex_) bool shutdownAsked_ = false;
 
     std::atomic<std::uint64_t> connections_{0};
     std::atomic<std::uint64_t> requests_{0};

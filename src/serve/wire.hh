@@ -28,6 +28,7 @@
 
 #include "obs/json.hh"
 #include "sim/machine_config.hh"
+#include "util/lint.hh"
 #include "util/types.hh"
 
 namespace wbsim::serve
@@ -156,12 +157,16 @@ bool machineConfigFromJson(const obs::JsonValue &value,
 /// @}
 
 /** @name Frame payload encode/decode. Decoders are strict and
- *  non-fatal: false + @p error on anything unexpected. */
+ *  non-fatal: false + @p error on anything unexpected. Encoders are
+ *  deterministic roots: the on-wire bytes for a given message must
+ *  never depend on clocks, RNG, or hash order (WL-DETERMINISM) —
+ *  sweep responses are compared byte-for-byte against local runs. */
 /// @{
-std::string encodeRequest(const Request &request);
+WBSIM_DETERMINISTIC std::string encodeRequest(const Request &request);
 bool decodeRequest(const std::string &payload, Request &out,
                    std::string &error);
-std::string encodeResponse(const Response &response);
+WBSIM_DETERMINISTIC std::string
+encodeResponse(const Response &response);
 bool decodeResponse(const std::string &payload, Response &out,
                     std::string &error);
 /// @}

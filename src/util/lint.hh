@@ -1,12 +1,14 @@
 /**
  * @file
- * Hot-path contract annotations for wbsim_lint (DESIGN.md §10).
+ * Contract annotations for wbsim_lint (DESIGN.md §10).
  *
  * The macros expand to `[[clang::annotate(...)]]` markers that the
  * standalone analyzer in tools/wbsim_lint reads from the AST; on
  * compilers without that attribute (GCC builds) they expand to
  * nothing, so annotating a declaration never changes codegen or
  * warnings anywhere.
+ *
+ * Hot-path contracts (WL-HOT-ALLOC / WL-HOT-VIRTUAL):
  *
  * - WBSIM_HOT marks a function as a hot-path root: neither it nor
  *   anything it transitively calls within the project may allocate
@@ -20,6 +22,45 @@
  * - WBSIM_COLD marks a debug/cross-check reference path (naive-scan
  *   verification, integrity checks): the analyzer's traversal stops
  *   there, so reference paths may allocate freely.
+ *
+ * Concurrency contracts (WL-LOCK-GUARD / WL-LOCK-ORDER):
+ *
+ * - WBSIM_GUARDED_BY(m) on a data member declares that the member is
+ *   protected by the capability `m` — normally a sibling
+ *   `std::mutex` member, optionally a virtual capability name for
+ *   state with a non-mutex protection discipline (the bus arbiter's
+ *   single-driver pending set). Every touch of the member must
+ *   happen in a function that demonstrably holds `m`: it constructs
+ *   a `lock_guard`/`unique_lock`/`scoped_lock` on `m` (or calls
+ *   `m.lock()`) in an enclosing scope, or it is annotated
+ *   WBSIM_REQUIRES(m). Constructors and destructors of the owning
+ *   class are exempt (no concurrent access can exist yet/anymore).
+ * - WBSIM_REQUIRES(m) on a function declares that callers must hold
+ *   `m` when calling it (the `*Locked()` helper idiom). For
+ *   mutex-backed capabilities the analyzer also checks every call
+ *   site; for virtual capabilities the annotation gates the guarded
+ *   members only.
+ * - WBSIM_ACQUIRES_BEFORE(m) on a mutex member declares a lock-order
+ *   edge: this mutex, when nested with `m`, is always acquired
+ *   first. The analyzer collects every nested-acquire path (in-body
+ *   and across calls) and requires each to follow a declared edge;
+ *   an undeclared or inverted nesting is a WL-LOCK-ORDER error, so
+ *   the declared hierarchy is the complete deadlock story. Name a
+ *   same-class member directly, a foreign one as `Class::member`.
+ *
+ * Determinism contract (WL-DETERMINISM):
+ *
+ * - WBSIM_DETERMINISTIC marks a function whose transitive closure
+ *   must be reproducible byte-for-byte: no wall-clock reads, no
+ *   non-seeded randomness, no iteration over unordered containers
+ *   (hash order feeds emitted bytes). WBSIM_HOT roots are checked
+ *   too — the simulator core is the original determinism domain.
+ * - WBSIM_NONDET_OK exempts one function's *body* from the
+ *   determinism checks while traversal continues into its callees:
+ *   the escape hatch for sites that are legitimately
+ *   nondeterministic without perturbing emitted bytes (retry backoff
+ *   sleeps, stats latency timestamps). Every use carries a comment
+ *   justifying why the nondeterminism cannot reach output bytes.
  */
 
 #ifndef WBSIM_UTIL_LINT_HH
@@ -43,5 +84,25 @@
 
 /** Debug/cross-check reference path; hot-path traversal stops here. */
 #define WBSIM_COLD WBSIM_ANNOTATE("wbsim::cold")
+
+/** Member is protected by capability @p m (WL-LOCK-GUARD). */
+#define WBSIM_GUARDED_BY(m) WBSIM_ANNOTATE("wbsim::guarded_by:" #m)
+
+/** Callers must hold capability @p m (WL-LOCK-GUARD). */
+#define WBSIM_REQUIRES(m) WBSIM_ANNOTATE("wbsim::requires:" #m)
+
+/** This mutex is acquired before @p m when nested (WL-LOCK-ORDER). */
+#define WBSIM_ACQUIRES_BEFORE(m) \
+    WBSIM_ANNOTATE("wbsim::acquires_before:" #m)
+
+/** Byte-reproducible root: the transitive closure must be free of
+ *  wall-clock, unseeded randomness, and unordered iteration
+ *  (WL-DETERMINISM). */
+#define WBSIM_DETERMINISTIC WBSIM_ANNOTATE("wbsim::deterministic")
+
+/** Body-level determinism escape hatch: this function's own body is
+ *  exempt (callees are still checked). Justify every use in a
+ *  comment beside the annotation (WL-DETERMINISM). */
+#define WBSIM_NONDET_OK WBSIM_ANNOTATE("wbsim::nondet_ok")
 
 #endif // WBSIM_UTIL_LINT_HH

@@ -200,6 +200,9 @@ tryParseDouble(std::string_view text, double &out)
 std::uint64_t
 envUint(const char *name, std::uint64_t fallback)
 {
+    // getenv is only MT-unsafe against a concurrent setenv; nothing
+    // in the program writes the environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *text = std::getenv(name);
     if (!text || !*text)
         return fallback;

@@ -43,6 +43,9 @@ namespace
 Level
 readDefaultLevel()
 {
+    // getenv is only MT-unsafe against a concurrent setenv; nothing
+    // in the program writes the environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv("WBSIM_SIMD");
     if (env != nullptr
         && (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0

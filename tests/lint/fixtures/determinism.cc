@@ -1,0 +1,79 @@
+/**
+ * wbsim-lint fixture: seeded WL-DETERMINISM violations.
+ *
+ * Lines tagged `EXPECT: <RULE>` must produce exactly one diagnostic
+ * of that rule at that line; the fixture driver fails on any
+ * mismatch in either direction.
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <unordered_map>
+
+#define DETERMINISTIC [[clang::annotate("wbsim::deterministic")]]
+#define NONDET_OK [[clang::annotate("wbsim::nondet_ok")]]
+
+namespace fixture
+{
+
+/** Wall-clock read in a deterministic root. */
+DETERMINISTIC long
+stamp()
+{
+    auto t = std::chrono::steady_clock::now(); // EXPECT: WL-DETERMINISM
+    return long(t.time_since_epoch().count());
+}
+
+/** Unseeded RNG in a deterministic root. */
+DETERMINISTIC int
+roll()
+{
+    return std::rand() % 6; // EXPECT: WL-DETERMINISM
+}
+
+/** Hash-order iteration feeding the returned bytes. */
+DETERMINISTIC std::string
+joinKeys(const std::unordered_map<std::string, int> &m)
+{
+    std::string out;
+    for (const auto &kv : m) { // EXPECT: WL-DETERMINISM
+        out += kv.first;
+    }
+    return out;
+}
+
+/** Not annotated itself, but reached from the root below. */
+long
+helper()
+{
+    return long(::time(nullptr)); // EXPECT: WL-DETERMINISM
+}
+
+DETERMINISTIC long
+viaCall()
+{
+    return helper() + 1;
+}
+
+int
+noisy()
+{
+    return std::rand(); // EXPECT: WL-DETERMINISM
+}
+
+/**
+ * NONDET_OK exempts this body (the now() below is fine) but must
+ * not whitelist the subtree: the rand() inside noisy() above is
+ * still reported, attributed through this root.
+ */
+DETERMINISTIC NONDET_OK int
+backoffThenDraw()
+{
+    auto t = std::chrono::steady_clock::now(); // exempt: own body
+    (void)t;
+    return noisy();
+}
+
+} // namespace fixture

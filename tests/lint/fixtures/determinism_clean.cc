@@ -1,0 +1,77 @@
+/**
+ * wbsim-lint fixture: WL-DETERMINISM exercised with zero violations.
+ *
+ * What the rule must accept: seeded project-style RNG (plain
+ * arithmetic, not the banned families), ordered-map iteration,
+ * simulated time threaded as data, and a NONDET_OK body whose only
+ * nondeterminism is its own.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#define DETERMINISTIC [[clang::annotate("wbsim::deterministic")]]
+#define NONDET_OK [[clang::annotate("wbsim::nondet_ok")]]
+
+namespace fixture
+{
+
+/** Seeded xorshift: reproducible by construction. */
+struct Rng
+{
+    std::uint64_t state;
+
+    explicit Rng(std::uint64_t seed) : state(seed ? seed : 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    }
+};
+
+DETERMINISTIC std::uint64_t
+draw(std::uint64_t seed, int rounds)
+{
+    Rng rng(seed);
+    std::uint64_t last = 0;
+    for (int i = 0; i < rounds; ++i)
+        last = rng.next();
+    return last;
+}
+
+/** Ordered map: iteration order is part of the contract. */
+DETERMINISTIC std::string
+joinKeys(const std::map<std::string, int> &m)
+{
+    std::string out;
+    for (const auto &kv : m)
+        out += kv.first;
+    return out;
+}
+
+/** Simulated time arrives as data, never from a clock. */
+DETERMINISTIC std::uint64_t
+advance(std::uint64_t nowCycles, std::uint64_t delta)
+{
+    return nowCycles + delta;
+}
+
+/** The timing side channel: legitimately wall-clock, exempted, and
+ *  with nothing nondeterministic in its callees. */
+DETERMINISTIC NONDET_OK std::uint64_t
+measure(std::uint64_t seed)
+{
+    auto begin = std::chrono::steady_clock::now();
+    std::uint64_t result = draw(seed, 8);
+    auto end = std::chrono::steady_clock::now();
+    (void)(end - begin);
+    return result;
+}
+
+} // namespace fixture

@@ -1,0 +1,61 @@
+/**
+ * wbsim-lint fixture: WL-LOCK-GUARD exercised with zero violations.
+ *
+ * Every idiom the rule must accept: RAII locks in enclosing scopes,
+ * the REQUIRES(*Locked) pattern, constructor/destructor exemption,
+ * scoped_lock naming the mutex among others, and cv-style
+ * unique_lock use.
+ */
+
+#include <condition_variable>
+#include <mutex>
+
+#define GUARDED_BY(m) [[clang::annotate("wbsim::guarded_by:" #m)]]
+#define REQUIRES(m) [[clang::annotate("wbsim::requires:" #m)]]
+
+namespace fixture
+{
+
+struct Box
+{
+    std::mutex mutex_;
+    std::condition_variable ready_;
+    GUARDED_BY(mutex_) int value = 0;
+    GUARDED_BY(mutex_) bool set = false;
+
+    Box() { value = -1; }
+    ~Box() { value = 0; }
+
+    REQUIRES(mutex_) void
+    storeLocked(int v)
+    {
+        value = v;
+        set = true;
+    }
+
+    void
+    store(int v)
+    {
+        std::scoped_lock<std::mutex> lock(mutex_);
+        storeLocked(v);
+        ready_.notify_all();
+    }
+
+    int
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (!set)
+            ready_.wait(lock);
+        return value;
+    }
+
+    int
+    peek()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return value;
+    }
+};
+
+} // namespace fixture

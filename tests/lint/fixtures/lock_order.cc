@@ -1,0 +1,93 @@
+/**
+ * wbsim-lint fixture: seeded WL-LOCK-ORDER violations.
+ *
+ * Lines tagged `EXPECT: <RULE>` must produce exactly one diagnostic
+ * of that rule at that line; the fixture driver fails on any
+ * mismatch in either direction.
+ */
+
+#include <mutex>
+
+#define ACQUIRES_BEFORE(m) \
+    [[clang::annotate("wbsim::acquires_before:" #m)]]
+
+namespace fixture
+{
+
+struct Lattice
+{
+    /** Declared hierarchy: coarse_ is always outside fine_. */
+    ACQUIRES_BEFORE(fine_) std::mutex coarse_;
+    std::mutex fine_;
+    /** No declared relation to the others. */
+    std::mutex stray_;
+
+    int a = 0;
+    int b = 0;
+
+    /** Follows the declared order: no diagnostic. */
+    void
+    good()
+    {
+        std::lock_guard<std::mutex> outer(coarse_);
+        std::lock_guard<std::mutex> inner(fine_);
+        ++a;
+    }
+
+    /** Inverts the declared order: latent deadlock against good(). */
+    void
+    inverted()
+    {
+        std::lock_guard<std::mutex> outer(fine_);
+        std::lock_guard<std::mutex> inner(coarse_); // EXPECT: WL-LOCK-ORDER
+        ++a;
+    }
+
+    /** Nests two locks with no declared relation. */
+    void
+    undeclared()
+    {
+        std::lock_guard<std::mutex> outer(coarse_);
+        std::lock_guard<std::mutex> inner(stray_); // EXPECT: WL-LOCK-ORDER
+        ++b;
+    }
+
+    /** Re-acquiring a held mutex: self-deadlock. */
+    void
+    twice()
+    {
+        fine_.lock();
+        fine_.lock(); // EXPECT: WL-LOCK-ORDER
+        fine_.unlock();
+        fine_.unlock();
+    }
+
+    /** Acquires fine_ on behalf of callers. */
+    void
+    lockFineAnd(int d)
+    {
+        std::lock_guard<std::mutex> lock(fine_);
+        a += d;
+    }
+
+    /** Interprocedural, declared: coarse_ held across a callee that
+     *  takes fine_ — follows the hierarchy, no diagnostic. */
+    void
+    viaCallGood()
+    {
+        std::lock_guard<std::mutex> outer(coarse_);
+        b = a;
+        lockFineAnd(1);
+    }
+
+    /** Interprocedural, undeclared: stray_ held across the same
+     *  callee. */
+    void
+    viaCallBad()
+    {
+        std::lock_guard<std::mutex> outer(stray_);
+        lockFineAnd(1); // EXPECT: WL-LOCK-ORDER
+    }
+};
+
+} // namespace fixture

@@ -1,0 +1,74 @@
+/**
+ * wbsim-lint fixture: WL-LOCK-ORDER exercised with zero violations.
+ *
+ * A three-level declared hierarchy used correctly: chained nesting,
+ * transitively declared skips (outer to innermost without the middle
+ * lock), interprocedural nesting through a helper, and sequential
+ * (non-nested) use that needs no declarations at all.
+ */
+
+#include <mutex>
+
+#define ACQUIRES_BEFORE(m) \
+    [[clang::annotate("wbsim::acquires_before:" #m)]]
+
+namespace fixture
+{
+
+struct Tiered
+{
+    ACQUIRES_BEFORE(mid_) std::mutex top_;
+    ACQUIRES_BEFORE(bottom_) std::mutex mid_;
+    std::mutex bottom_;
+
+    int state = 0;
+
+    void
+    chain()
+    {
+        std::lock_guard<std::mutex> l1(top_);
+        std::lock_guard<std::mutex> l2(mid_);
+        std::lock_guard<std::mutex> l3(bottom_);
+        ++state;
+    }
+
+    /** top_ before bottom_ follows the declared edges transitively
+     *  (top_ -> mid_ -> bottom_). */
+    void
+    skipMiddle()
+    {
+        std::lock_guard<std::mutex> l1(top_);
+        std::lock_guard<std::mutex> l3(bottom_);
+        ++state;
+    }
+
+    void
+    lockBottom()
+    {
+        std::lock_guard<std::mutex> lock(bottom_);
+        ++state;
+    }
+
+    /** Interprocedural nesting along a declared path. */
+    void
+    viaCall()
+    {
+        std::lock_guard<std::mutex> l2(mid_);
+        lockBottom();
+    }
+
+    /** Sequential acquisition never nests: no declarations needed
+     *  between bottom_ and top_ in this direction. */
+    void
+    sequential()
+    {
+        {
+            std::lock_guard<std::mutex> l3(bottom_);
+            ++state;
+        }
+        std::lock_guard<std::mutex> l1(top_);
+        ++state;
+    }
+};
+
+} // namespace fixture

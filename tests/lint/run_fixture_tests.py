@@ -7,7 +7,9 @@ anchor to. The driver runs the analyzer over every fixture in direct
 (database-free) mode and requires the emitted (line, rule) set to
 equal the expected set — no extra diagnostics, no missing ones — and
 the exit status to match. It then checks baseline suppression and
---update-baseline round-tripping on the noisiest fixture.
+--update-baseline round-tripping on the noisiest fixture, the
+--list-rules registry dump, and --rules selection (including that
+stale-entry notes carry the rule ID and respect the selection).
 
 Usage: run_fixture_tests.py <wbsim_lint-binary> <fixtures-dir>
 """
@@ -23,6 +25,12 @@ DIAG_RE = re.compile(r"^(?P<file>[^:]+):(?P<line>\d+): error: "
 EXPECT_RE = re.compile(r"//\s*EXPECT:\s*(?P<rule>WL-[A-Z-]+)")
 
 CLANG_ARGS = ["--", "-std=c++17"]
+
+ALL_RULES = [
+    "WL-DETERMINISM", "WL-ENUM-TABLE", "WL-HOT-ALLOC",
+    "WL-HOT-VIRTUAL", "WL-LOCK-GUARD", "WL-LOCK-ORDER",
+    "WL-PUB-UNIQUE",
+]
 
 failures = []
 
@@ -95,8 +103,9 @@ def test_baseline(tool, fixtures_dir):
         check(proc.returncode == 0,
               f"baselined run exits 0 (got {proc.returncode})")
         check(not diags, f"baselined run reports nothing (got {diags})")
-        check("stale baseline entry" in proc.stderr,
-              "unused baseline entries are reported as stale")
+        check("stale baseline entry [WL-HOT-ALLOC]:" in proc.stderr,
+              "unused baseline entries are reported as stale with "
+              "their rule ID")
 
         print("baseline: --update-baseline round-trip")
         generated = os.path.join(tmp, "generated.txt")
@@ -107,6 +116,59 @@ def test_baseline(tool, fixtures_dir):
                                ["--baseline", generated])
         check(proc.returncode == 0 and not diags,
               "generated baseline suppresses the run that made it")
+
+
+def test_list_rules(tool):
+    print("registry: --list-rules")
+    proc = subprocess.run([tool, "--list-rules"],
+                          stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True)
+    check(proc.returncode == 0,
+          f"--list-rules exits 0 (got {proc.returncode})")
+    listed = [line.split()[0] for line in proc.stdout.splitlines()
+              if line.strip()]
+    check(listed == ALL_RULES,
+          f"--list-rules prints all rules sorted (got {listed})")
+
+
+def test_rule_selection(tool, fixtures_dir):
+    print("selection: --rules")
+    # Disabling the only rule the fixture violates silences it.
+    proc, diags = run_lint(tool, fixtures_dir, "lock_guard.cc",
+                           ["--rules", "WL-HOT-ALLOC"])
+    check(proc.returncode == 0 and not diags,
+          "--rules=WL-HOT-ALLOC silences lock_guard.cc "
+          f"(exit {proc.returncode}, diags {diags})")
+
+    # Selecting the violated rule reproduces the full expected set.
+    expected = expected_diags(fixtures_dir, "lock_guard.cc")
+    proc, diags = run_lint(tool, fixtures_dir, "lock_guard.cc",
+                           ["--rules", "WL-LOCK-GUARD"])
+    check(diags == expected,
+          f"--rules=WL-LOCK-GUARD reports the seeded set "
+          f"(got {sorted(diags)})")
+
+    # A typo'd rule ID fails fast.
+    proc, _ = run_lint(tool, fixtures_dir, "clean.cc",
+                       ["--rules", "WL-NO-SUCH-RULE"])
+    check(proc.returncode == 2,
+          f"unknown rule ID exits 2 (got {proc.returncode})")
+
+    # A baseline entry for a rule outside the selection is
+    # unexercised, not stale: no note. A selected rule's unused
+    # entry still notes.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "baseline.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("WL-HOT-ALLOC|never.cc|*|*\n")
+            handle.write("WL-LOCK-GUARD|never.cc|*|*\n")
+        proc, _ = run_lint(tool, fixtures_dir, "lock_guard_clean.cc",
+                           ["--rules", "WL-LOCK-GUARD",
+                            "--baseline", path])
+        check("[WL-HOT-ALLOC]" not in proc.stderr,
+              "deselected rule's baseline entry is not called stale")
+        check("stale baseline entry [WL-LOCK-GUARD]:" in proc.stderr,
+              "selected rule's unused baseline entry is stale")
 
 
 def main():
@@ -124,6 +186,8 @@ def main():
     for fixture in fixtures:
         test_fixture(tool, fixtures_dir, fixture)
     test_baseline(tool, fixtures_dir)
+    test_list_rules(tool)
+    test_rule_selection(tool, fixtures_dir)
 
     if failures:
         print(f"\n{len(failures)} check(s) failed")

@@ -1,62 +1,42 @@
 /**
  * @file
- * wbsim-lint: a libclang-based checker for the simulator's hot-path
- * discipline (DESIGN.md §10).
+ * wbsim-lint core: libclang drivers and the fact-collecting AST walk.
  *
- * The simulator's performance model depends on source-level contracts
- * that the compiler cannot enforce by itself:
+ * One pass over every selected translation unit fills the Program
+ * fact base the rules evaluate (lint_core.hh). Per-TU facts merge by
+ * USR, and each function body is analyzed exactly once even when its
+ * inline definition reappears in many TUs.
  *
- *  - WL-HOT-ALLOC   functions annotated `wbsim::hot` — and everything
- *                   they transitively call inside the project — must
- *                   not allocate: no operator new/delete, no malloc,
- *                   no growing std containers.
- *  - WL-HOT-VIRTUAL the same closure must not dispatch virtually,
- *                   except through interfaces annotated
- *                   `wbsim::devirt_ok` (the documented trigger/victim
- *                   escape hatches) or through `final` methods and
- *                   classes, which the optimiser devirtualizes.
- *  - WL-ENUM-TABLE  every enum that has a `*Name()` / `parse*()`
- *                   string mapping must have at least one complete
- *                   table: a switch or a file-scope name table that
- *                   mentions every enumerator.
- *  - WL-PUB-UNIQUE  every MetricsRegistry handle field is published
- *                   (add/set/sample) from exactly one source site, so
- *                   a metric's meaning can be read off one location.
- *
- * Traversal stops at functions annotated `wbsim::cold` (diagnostic
- * and cross-check paths, which allocate freely by design).
- *
- * The tool is a plain libclang C-API client: it loads a CMake
- * compile_commands.json (`-p <build-dir>`), parses every matching
- * translation unit, merges per-TU facts by USR, and evaluates the
- * rules over the merged program. Known, justified violations live in
- * a baseline file ('|'-separated keys, '*' wildcards); everything
- * else is an error. See tools/wbsim_lint/README.md.
+ * Lock tracking: the walk maintains the lexical held-capability set —
+ * seeded from WBSIM_REQUIRES, grown by lock_guard/unique_lock/
+ * scoped_lock/shared_lock declarations and bare mutex .lock() calls,
+ * shrunk by .unlock(), and restored at every compound-statement exit.
+ * Lambdas are walked in their enclosing function's lexical context,
+ * so a condition-variable wait predicate sees the lock its wait
+ * holds. The tracker is lexical, not path-sensitive: a lock acquired
+ * under one branch of an if is considered held for the rest of that
+ * scope only, which matches the RAII idiom the codebase uses
+ * everywhere.
  */
+
+#include "lint_core.hh"
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
-#include <string>
-#include <vector>
 
 #include <unistd.h>
 
 #include <clang-c/CXCompilationDatabase.h>
-#include <clang-c/Index.h>
 
-namespace
+namespace wbsim_lint
 {
 
 // ---------------------------------------------------------------------
 // Small libclang helpers
 // ---------------------------------------------------------------------
 
-/** Take ownership of a CXString and return it as a std::string. */
 std::string
 str(CXString s)
 {
@@ -66,7 +46,6 @@ str(CXString s)
     return out;
 }
 
-/** Expansion location of a cursor as (file, line). */
 void
 cursorLocation(CXCursor cursor, std::string &file, unsigned &line)
 {
@@ -100,12 +79,6 @@ isFunctionKind(CXCursorKind kind)
     }
 }
 
-/**
- * The canonical identity of a function across translation units:
- * its USR, with template specializations folded back onto their
- * pattern so attributes written on the template cover every
- * instantiation.
- */
 std::string
 functionUsr(CXCursor cursor)
 {
@@ -117,31 +90,48 @@ functionUsr(CXCursor cursor)
     return str(clang_getCursorUSR(cursor));
 }
 
-/** "Class::name" when the semantic parent is a record, else "name". */
+namespace
+{
+
+bool
+isRecordKind(CXCursorKind kind)
+{
+    switch (kind) {
+      case CXCursor_ClassDecl:
+      case CXCursor_StructDecl:
+      case CXCursor_ClassTemplate:
+      case CXCursor_ClassTemplatePartialSpecialization:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
 std::string
 qualifiedName(CXCursor cursor)
 {
     std::string name = str(clang_getCursorSpelling(cursor));
     CXCursor parent = clang_getCursorSemanticParent(cursor);
-    switch (clang_getCursorKind(parent)) {
-      case CXCursor_ClassDecl:
-      case CXCursor_StructDecl:
-      case CXCursor_ClassTemplate:
-      case CXCursor_ClassTemplatePartialSpecialization:
+    if (isRecordKind(clang_getCursorKind(parent)))
         return str(clang_getCursorSpelling(parent)) + "::" + name;
-      default:
-        return name;
-    }
+    return name;
 }
 
-/** Annotations present on one declaration cursor. */
-struct Annotations
+namespace
 {
-    bool hot = false;
-    bool cold = false;
-    bool devirtOk = false;
-    bool isFinal = false;
-};
+
+bool
+consumePrefix(const std::string &text, const char *prefix,
+              std::string &rest)
+{
+    std::size_t n = std::char_traits<char>::length(prefix);
+    if (text.compare(0, n, prefix) != 0)
+        return false;
+    rest = text.substr(n);
+    return true;
+}
 
 CXChildVisitResult
 annotationVisitor(CXCursor cursor, CXCursor, CXClientData data)
@@ -150,17 +140,30 @@ annotationVisitor(CXCursor cursor, CXCursor, CXClientData data)
     CXCursorKind kind = clang_getCursorKind(cursor);
     if (kind == CXCursor_AnnotateAttr) {
         std::string text = str(clang_getCursorSpelling(cursor));
+        std::string rest;
         if (text == "wbsim::hot")
             out->hot = true;
         else if (text == "wbsim::cold")
             out->cold = true;
         else if (text == "wbsim::devirt_ok")
             out->devirtOk = true;
+        else if (text == "wbsim::deterministic")
+            out->deterministic = true;
+        else if (text == "wbsim::nondet_ok")
+            out->nondetOk = true;
+        else if (consumePrefix(text, "wbsim::guarded_by:", rest))
+            out->guardedBy.push_back(rest);
+        else if (consumePrefix(text, "wbsim::requires:", rest))
+            out->requiresCaps.push_back(rest);
+        else if (consumePrefix(text, "wbsim::acquires_before:", rest))
+            out->acquiresBefore.push_back(rest);
     } else if (kind == CXCursor_CXXFinalAttr) {
         out->isFinal = true;
     }
     return CXChildVisit_Continue;
 }
+
+} // namespace
 
 Annotations
 annotationsOf(CXCursor cursor)
@@ -171,68 +174,11 @@ annotationsOf(CXCursor cursor)
 }
 
 // ---------------------------------------------------------------------
-// Merged program model
+// Fact tables shared by the walk
 // ---------------------------------------------------------------------
 
-/** One would-be diagnostic inside a function body. */
-struct BodySite
+namespace
 {
-    std::string file;
-    unsigned line = 0;
-    std::string detail; //!< callee or handle, for messages and keys
-};
-
-/** Everything known about one function, merged across TUs. */
-struct Func
-{
-    std::string qual;      //!< display name ("Class::method")
-    std::string file;      //!< definition (or first decl) location
-    unsigned line = 0;
-    bool hot = false;      //!< wbsim::hot on any declaration
-    bool cold = false;     //!< wbsim::cold on any declaration
-    bool defined = false;  //!< body seen in some project TU
-    bool bodyDone = false; //!< body facts already collected once
-    std::set<std::string> callees;   //!< USRs of resolved callees
-    std::vector<BodySite> allocs;    //!< allocating calls in the body
-    std::vector<BodySite> virtuals;  //!< virtual dispatches in body
-};
-
-/** One enum that may need a complete name table. */
-struct EnumInfo
-{
-    std::string name;
-    std::string file;
-    unsigned line = 0;
-    std::set<std::string> enumerators;
-    bool needsTable = false; //!< has a *Name()/parse*() mapping
-};
-
-/** One switch or table initializer that names enumerators of E. */
-struct Coverage
-{
-    std::string file;
-    unsigned line = 0;
-    std::string entity; //!< enclosing function or variable
-    std::set<std::string> covered;
-};
-
-/** One MetricsRegistry add/set/sample call on a handle field. */
-struct PublishSite
-{
-    std::string file;
-    unsigned line = 0;
-    std::string entity;
-    std::string handle; //!< handle field spelling
-};
-
-struct Program
-{
-    std::map<std::string, Func> funcs;          //!< by USR
-    std::map<std::string, EnumInfo> enums;      //!< by USR
-    std::map<std::string, std::vector<Coverage>> coverage; //!< enum USR
-    //! handle USR -> site key "file:line" -> site
-    std::map<std::string, std::map<std::string, PublishSite>> publishes;
-};
 
 /** Names of std members that (may) allocate on the hot path. */
 const std::set<std::string> &
@@ -258,10 +204,64 @@ allocatingFunctions()
     return names;
 }
 
+/** Free/member functions whose results depend on wall-clock time,
+ *  process scheduling, or an unseeded entropy source
+ *  (WL-DETERMINISM). */
+const std::set<std::string> &
+nondetFunctions()
+{
+    static const std::set<std::string> names = {
+        "time",       "clock_gettime", "gettimeofday", "timespec_get",
+        "localtime",  "localtime_r",   "gmtime",       "gmtime_r",
+        "ctime",      "clock",
+        "rand",       "srand",         "rand_r",       "random",
+        "srandom",    "drand48",       "lrand48",      "mrand48",
+        "usleep",     "nanosleep",     "sleep",
+        "sleep_for",  "sleep_until",
+    };
+    return names;
+}
+
+/** Clock classes whose static now() reads the wall clock. */
+const std::set<std::string> &
+clockClasses()
+{
+    static const std::set<std::string> names = {
+        "steady_clock", "system_clock", "high_resolution_clock",
+    };
+    return names;
+}
+
+/** std lock classes whose mutex the walk must not mistake for one
+ *  of the RAII lock holders' own types. */
+bool
+isLockHolderType(const std::string &canonical)
+{
+    return canonical.find("lock_guard") != std::string::npos
+        || canonical.find("unique_lock") != std::string::npos
+        || canonical.find("scoped_lock") != std::string::npos
+        || canonical.find("shared_lock") != std::string::npos;
+}
+
+bool
+isMutexClassName(const std::string &name)
+{
+    return name == "mutex" || name == "timed_mutex"
+        || name == "recursive_mutex" || name == "shared_mutex"
+        || name == "recursive_timed_mutex";
+}
+
 bool
 usrInStd(const std::string &usr)
 {
     return usr.rfind("c:@N@std@", 0) == 0;
+}
+
+std::string
+canonicalTypeSpelling(CXCursor cursor)
+{
+    return str(clang_getTypeSpelling(
+        clang_getCanonicalType(clang_getCursorType(cursor))));
 }
 
 /** True when a resolved callee is an allocating entry point. */
@@ -301,6 +301,35 @@ isDevirtExempt(CXCursor method)
     return c.devirtOk || c.isFinal;
 }
 
+/**
+ * Resolve an annotation's capability name: an already-qualified
+ * "Class::member" stands as written; a bare member name qualifies
+ * against @p context (the record owning the annotated field, or the
+ * annotated function's class).
+ */
+std::string
+resolveCap(const std::string &name, CXCursor context)
+{
+    if (name.find("::") != std::string::npos)
+        return name;
+    if (!isRecordKind(clang_getCursorKind(context)))
+        return name;
+    std::string cls = str(clang_getCursorSpelling(context));
+    if (cls.empty())
+        return name;
+    return cls + "::" + name;
+}
+
+/** Capability identity of a referenced mutex: fields qualify as
+ *  "Record::member", local variables by their bare name. */
+std::string
+capOfDecl(CXCursor decl)
+{
+    if (clang_getCursorKind(decl) == CXCursor_FieldDecl)
+        return qualifiedName(decl);
+    return str(clang_getCursorSpelling(decl));
+}
+
 // ---------------------------------------------------------------------
 // TU traversal
 // ---------------------------------------------------------------------
@@ -315,6 +344,13 @@ struct WalkContext
     //! true when the current function's body facts are fresh (first
     //! definition seen) rather than a redundant re-parse
     bool recordBody = false;
+    //! lexical held-capability set (WBSIM_REQUIRES seeds it; RAII
+    //! lock declarations and .lock()/.unlock() maintain it)
+    std::vector<std::string> held;
+    //! resolved WBSIM_REQUIRES set of the current function
+    std::set<std::string> currentNeeds;
+    //! record name when the current function is its ctor/dtor
+    std::string ctorDtorOf;
 };
 
 bool
@@ -333,6 +369,62 @@ void
 walkChildren(CXCursor cursor, WalkContext &ctx)
 {
     clang_visitChildren(cursor, walkVisitor, &ctx);
+}
+
+bool
+heldContains(const WalkContext &ctx, const std::string &cap)
+{
+    return std::find(ctx.held.begin(), ctx.held.end(), cap)
+        != ctx.held.end();
+}
+
+void
+acquireCap(WalkContext &ctx, const std::string &cap,
+           const std::string &file, unsigned line)
+{
+    if (ctx.recordBody) {
+        for (const std::string &h : ctx.held) {
+            ctx.program->lockEdges.push_back(
+                {file, line, ctx.currentQual, h, cap});
+        }
+        ctx.program->funcs[ctx.currentUsr].acquired.insert(cap);
+    }
+    ctx.held.push_back(cap);
+}
+
+void
+releaseCap(WalkContext &ctx, const std::string &cap)
+{
+    auto it = std::find(ctx.held.rbegin(), ctx.held.rend(), cap);
+    if (it != ctx.held.rend())
+        ctx.held.erase(std::next(it).base());
+}
+
+/** Mutex-typed FieldDecl/VarDecl references under an expression
+ *  (the operand list of a RAII lock declaration). */
+struct MutexRefs
+{
+    std::vector<CXCursor> decls;
+};
+
+CXChildVisitResult
+mutexRefVisitor(CXCursor cursor, CXCursor, CXClientData data)
+{
+    auto *out = static_cast<MutexRefs *>(data);
+    CXCursorKind kind = clang_getCursorKind(cursor);
+    if (kind == CXCursor_MemberRefExpr || kind == CXCursor_DeclRefExpr) {
+        CXCursor ref = clang_getCursorReferenced(cursor);
+        CXCursorKind refKind = clang_getCursorKind(ref);
+        if (refKind == CXCursor_FieldDecl
+            || refKind == CXCursor_VarDecl) {
+            std::string type = canonicalTypeSpelling(ref);
+            if (type.find("mutex") != std::string::npos
+                && !isLockHolderType(type)) {
+                out->decls.push_back(ref);
+            }
+        }
+    }
+    return CXChildVisit_Recurse;
 }
 
 /** First FieldDecl/file-scope-VarDecl reference under an expr. */
@@ -407,6 +499,28 @@ switchVisitor(CXCursor cursor, CXCursor, CXClientData data)
     return CXChildVisit_Recurse;
 }
 
+/** Range-expression child of a CXXForRangeStmt whose type is an
+ *  unordered container (everything before the body counts; the
+ *  loop variable's element type never matches). */
+struct UnorderedRangeSearch
+{
+    bool found = false;
+};
+
+CXChildVisitResult
+unorderedRangeVisitor(CXCursor cursor, CXCursor, CXClientData data)
+{
+    auto *out = static_cast<UnorderedRangeSearch *>(data);
+    if (clang_getCursorKind(cursor) == CXCursor_CompoundStmt)
+        return CXChildVisit_Break;
+    std::string type = canonicalTypeSpelling(cursor);
+    if (type.find("unordered_") != std::string::npos) {
+        out->found = true;
+        return CXChildVisit_Break;
+    }
+    return CXChildVisit_Continue;
+}
+
 /** If @p type (canonically) is an enum, return its decl's USR. */
 std::string
 enumUsrOfType(CXType type)
@@ -467,6 +581,47 @@ visitEnumDecl(WalkContext &ctx, CXCursor cursor,
         &info);
 }
 
+/** A record's field: capability registration (mutex members) and
+ *  declared lock-order edges (WBSIM_ACQUIRES_BEFORE). */
+void
+visitFieldDecl(WalkContext &ctx, CXCursor cursor,
+               const std::string &file, unsigned line)
+{
+    std::string fieldQual = qualifiedName(cursor);
+    std::string type = canonicalTypeSpelling(cursor);
+    if (type.find("mutex") != std::string::npos
+        && !isLockHolderType(type)) {
+        CapabilityInfo &cap = ctx.program->capabilities[fieldQual];
+        cap.lockable = true;
+        if (cap.file.empty()) {
+            cap.file = file;
+            cap.line = line;
+        }
+    }
+    Annotations attrs = annotationsOf(cursor);
+    if (attrs.acquiresBefore.empty())
+        return;
+    CXCursor record = clang_getCursorSemanticParent(cursor);
+    for (const std::string &after : attrs.acquiresBefore) {
+        ctx.program->declaredEdges.push_back(
+            {file, line, fieldQual, resolveCap(after, record)});
+    }
+}
+
+/** True when the callee's own clock/RNG/sleep semantics make any
+ *  call to it nondeterministic (WL-DETERMINISM). */
+bool
+isNondetCallee(CXCursor callee, const std::string &spelling)
+{
+    if (nondetFunctions().count(spelling) != 0)
+        return true;
+    std::string cls = str(clang_getCursorSpelling(
+        clang_getCursorSemanticParent(callee)));
+    if (spelling == "now" && clockClasses().count(cls) != 0)
+        return true;
+    return cls == "random_device";
+}
+
 void
 visitCall(WalkContext &ctx, CXCursor cursor, const std::string &file,
           unsigned line)
@@ -491,9 +646,31 @@ visitCall(WalkContext &ctx, CXCursor cursor, const std::string &file,
     std::string calleeUsr = functionUsr(callee);
     std::string spelling = str(clang_getCursorSpelling(callee));
 
+    // Bare mutex lock()/unlock() maintain the lexical held set just
+    // like the RAII holders (RAII is the idiom; this covers the
+    // exceptions and the fixtures that seed violations with it).
+    if (spelling == "lock" || spelling == "unlock") {
+        std::string cls = str(clang_getCursorSpelling(
+            clang_getCursorSemanticParent(callee)));
+        if (isMutexClassName(cls)) {
+            MutexRefs refs;
+            clang_visitChildren(cursor, mutexRefVisitor, &refs);
+            if (!refs.decls.empty()) {
+                std::string cap = capOfDecl(refs.decls.front());
+                if (spelling == "lock")
+                    acquireCap(ctx, cap, file, line);
+                else
+                    releaseCap(ctx, cap);
+            }
+        }
+    }
+
     if (ctx.recordBody) {
         if (isAllocatingCallee(callee, calleeUsr, spelling))
             fn.allocs.push_back({file, line, qualifiedName(callee)});
+
+        if (isNondetCallee(callee, spelling))
+            fn.nondet.push_back({file, line, qualifiedName(callee)});
 
         if (clang_CXXMethod_isVirtual(callee) != 0
             && clang_Cursor_isDynamicCall(cursor) != 0
@@ -502,6 +679,33 @@ visitCall(WalkContext &ctx, CXCursor cursor, const std::string &file,
         }
 
         fn.callees.insert(calleeUsr);
+
+        // WL-LOCK-GUARD: calls into WBSIM_REQUIRES functions. The
+        // callee's needs may come from a header declaration already
+        // merged, or sit on this very cursor (single-file fixtures).
+        std::set<std::string> calleeNeeds;
+        auto it = ctx.program->funcs.find(calleeUsr);
+        if (it != ctx.program->funcs.end())
+            calleeNeeds = it->second.needsCaps;
+        Annotations calleeAttrs = annotationsOf(callee);
+        CXCursor calleeParent = clang_getCursorSemanticParent(callee);
+        for (const std::string &need : calleeAttrs.requiresCaps)
+            calleeNeeds.insert(resolveCap(need, calleeParent));
+        for (const std::string &cap : calleeNeeds) {
+            bool ok = heldContains(ctx, cap)
+                || ctx.currentNeeds.count(cap) != 0;
+            ctx.program->requiresCalls.push_back(
+                {file, line, ctx.currentQual, qualifiedName(callee),
+                 cap, ok});
+        }
+
+        // WL-LOCK-ORDER: calls made under a lock pick up the
+        // callee's transitive acquires at evaluation time.
+        if (!ctx.held.empty()) {
+            ctx.program->heldCalls.push_back(
+                {file, line, ctx.currentQual, ctx.held, calleeUsr,
+                 qualifiedName(callee)});
+        }
     }
 
     // WL-PUB-UNIQUE: a MetricsRegistry publish call. Tracked for
@@ -533,6 +737,31 @@ visitCall(WalkContext &ctx, CXCursor cursor, const std::string &file,
     }
 }
 
+/** A touch of a data member inside a body: the WL-LOCK-GUARD access
+ *  check, judged against the lexical held set right here. */
+void
+visitMemberRef(WalkContext &ctx, CXCursor cursor,
+               const std::string &file, unsigned line)
+{
+    CXCursor ref = clang_getCursorReferenced(cursor);
+    if (clang_getCursorKind(ref) != CXCursor_FieldDecl)
+        return;
+    Annotations attrs = annotationsOf(ref);
+    if (attrs.guardedBy.empty())
+        return;
+    CXCursor record = clang_getCursorSemanticParent(ref);
+    std::string owner = str(clang_getCursorSpelling(record));
+    for (const std::string &guard : attrs.guardedBy) {
+        std::string cap = resolveCap(guard, record);
+        bool ok = heldContains(ctx, cap)
+            || ctx.currentNeeds.count(cap) != 0
+            || (!ctx.ctorDtorOf.empty() && ctx.ctorDtorOf == owner);
+        ctx.program->guardedAccesses.push_back(
+            {file, line, ctx.currentQual, qualifiedName(ref), cap,
+             ok});
+    }
+}
+
 void
 visitFunctionDecl(WalkContext &ctx, CXCursor cursor,
                   const std::string &file, unsigned line)
@@ -545,6 +774,11 @@ visitFunctionDecl(WalkContext &ctx, CXCursor cursor,
     Annotations attrs = annotationsOf(cursor);
     fn.hot = fn.hot || attrs.hot;
     fn.cold = fn.cold || attrs.cold;
+    fn.deterministic = fn.deterministic || attrs.deterministic;
+    fn.nondetOk = fn.nondetOk || attrs.nondetOk;
+    CXCursor parent = clang_getCursorSemanticParent(cursor);
+    for (const std::string &need : attrs.requiresCaps)
+        fn.needsCaps.insert(resolveCap(need, parent));
     if (fn.qual.empty())
         fn.qual = qualifiedName(cursor);
     if (fn.file.empty() || (!fn.defined && clang_isCursorDefinition(cursor))) {
@@ -563,16 +797,34 @@ visitFunctionDecl(WalkContext &ctx, CXCursor cursor,
     fn.bodyDone = true;
     fn.defined = true;
 
+    CXCursorKind kind = clang_getCursorKind(cursor);
     std::string prevUsr = ctx.currentUsr;
     std::string prevQual = ctx.currentQual;
     bool prevRecord = ctx.recordBody;
+    std::vector<std::string> prevHeld = std::move(ctx.held);
+    std::set<std::string> prevNeeds = std::move(ctx.currentNeeds);
+    std::string prevCtorDtor = std::move(ctx.ctorDtorOf);
+
     ctx.currentUsr = usr;
     ctx.currentQual = fn.qual;
     ctx.recordBody = fresh;
+    // WBSIM_REQUIRES is a promise about every caller: inside the
+    // body the capabilities count as held.
+    ctx.held.assign(fn.needsCaps.begin(), fn.needsCaps.end());
+    ctx.currentNeeds = fn.needsCaps;
+    ctx.ctorDtorOf =
+        (kind == CXCursor_Constructor || kind == CXCursor_Destructor)
+            ? str(clang_getCursorSpelling(parent))
+            : "";
+
     walkChildren(cursor, ctx);
+
     ctx.currentUsr = prevUsr;
     ctx.currentQual = prevQual;
     ctx.recordBody = prevRecord;
+    ctx.held = std::move(prevHeld);
+    ctx.currentNeeds = std::move(prevNeeds);
+    ctx.ctorDtorOf = std::move(prevCtorDtor);
 }
 
 CXChildVisitResult
@@ -613,6 +865,12 @@ walkVisitor(CXCursor cursor, CXCursor, CXClientData data)
         return CXChildVisit_Continue;
     }
 
+    if (kind == CXCursor_FieldDecl && ctx.currentUsr.empty()) {
+        if (project)
+            visitFieldDecl(ctx, cursor, file, line);
+        return CXChildVisit_Continue;
+    }
+
     if (kind == CXCursor_VarDecl && ctx.currentUsr.empty()) {
         // File-scope variable: a candidate name table (WL-ENUM-TABLE)
         // when its initializer mentions enumerators.
@@ -630,10 +888,53 @@ walkVisitor(CXCursor cursor, CXCursor, CXClientData data)
 
     // Inside a function body.
     if (!ctx.currentUsr.empty() && project) {
+        if (kind == CXCursor_CompoundStmt) {
+            // Lexical lock scope: whatever this block acquires dies
+            // with it (RAII), and whatever it unlocks is restored —
+            // walk the children explicitly, then rewind.
+            std::vector<std::string> saved = ctx.held;
+            walkChildren(cursor, ctx);
+            ctx.held = std::move(saved);
+            return CXChildVisit_Continue;
+        }
+        if (kind == CXCursor_VarDecl) {
+            std::string type = canonicalTypeSpelling(cursor);
+            if (isLockHolderType(type)) {
+                // A RAII holder: every mutex named in its initializer
+                // is acquired here (scoped_lock may name several).
+                MutexRefs refs;
+                clang_visitChildren(cursor, mutexRefVisitor, &refs);
+                for (CXCursor decl : refs.decls)
+                    acquireCap(ctx, capOfDecl(decl), file, line);
+                return CXChildVisit_Continue;
+            }
+            if (ctx.recordBody
+                && type.find("random_device") != std::string::npos) {
+                ctx.program->funcs[ctx.currentUsr].nondet.push_back(
+                    {file, line, "std::random_device"});
+            }
+            return CXChildVisit_Recurse;
+        }
+        if (kind == CXCursor_MemberRefExpr) {
+            if (ctx.recordBody)
+                visitMemberRef(ctx, cursor, file, line);
+            return CXChildVisit_Recurse;
+        }
         if (kind == CXCursor_CallExpr) {
             visitCall(ctx, cursor, file, line);
             walkChildren(cursor, ctx); // nested calls and lambdas
             return CXChildVisit_Continue;
+        }
+        if (kind == CXCursor_CXXForRangeStmt && ctx.recordBody) {
+            UnorderedRangeSearch search;
+            clang_visitChildren(cursor, unorderedRangeVisitor,
+                                &search);
+            if (search.found) {
+                ctx.program->funcs[ctx.currentUsr]
+                    .unorderedIters.push_back(
+                        {file, line, "unordered-range"});
+            }
+            return CXChildVisit_Recurse;
         }
         if (kind == CXCursor_CXXNewExpr && ctx.recordBody) {
             ctx.program->funcs[ctx.currentUsr].allocs.push_back(
@@ -659,19 +960,11 @@ walkVisitor(CXCursor cursor, CXCursor, CXClientData data)
     return CXChildVisit_Recurse;
 }
 
-// ---------------------------------------------------------------------
-// Diagnostics, baseline, rules
-// ---------------------------------------------------------------------
+} // namespace
 
-struct Diagnostic
-{
-    std::string rule;
-    std::string file;
-    unsigned line = 0;
-    std::string entity;
-    std::string detail;
-    std::string message;
-};
+// ---------------------------------------------------------------------
+// Diagnostics and baseline
+// ---------------------------------------------------------------------
 
 std::string
 baseName(const std::string &path)
@@ -687,7 +980,6 @@ diagKey(const Diagnostic &d)
         + d.detail;
 }
 
-/** Glob match supporting '*' only (enough for baseline entries). */
 bool
 globMatch(const char *pattern, const char *text)
 {
@@ -704,23 +996,17 @@ globMatch(const char *pattern, const char *text)
     return *pattern == *text && globMatch(pattern + 1, text + 1);
 }
 
-struct Baseline
+bool
+Baseline::matches(const std::string &key)
 {
-    std::vector<std::string> patterns;
-    std::vector<bool> used;
-
-    bool
-    matches(const std::string &key)
-    {
-        for (std::size_t i = 0; i < patterns.size(); ++i) {
-            if (globMatch(patterns[i].c_str(), key.c_str())) {
-                used[i] = true;
-                return true;
-            }
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+        if (globMatch(patterns[i].c_str(), key.c_str())) {
+            used[i] = true;
+            return true;
         }
-        return false;
     }
-};
+    return false;
+}
 
 bool
 loadBaseline(const std::string &path, Baseline &out)
@@ -740,16 +1026,46 @@ loadBaseline(const std::string &path, Baseline &out)
     return true;
 }
 
-/**
- * Walk the hot closure and turn recorded body facts into
- * diagnostics. Traversal enters only project-defined functions and
- * stops at wbsim::cold ones.
- */
+// ---------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+std::vector<const Rule *> &
+mutableRules()
+{
+    static std::vector<const Rule *> rules;
+    return rules;
+}
+
+} // namespace
+
+const std::vector<const Rule *> &
+allRules()
+{
+    std::vector<const Rule *> &rules = mutableRules();
+    std::sort(rules.begin(), rules.end(),
+              [](const Rule *a, const Rule *b) {
+                  return std::string(a->id()) < b->id();
+              });
+    return rules;
+}
+
+RuleRegistrar::RuleRegistrar(const Rule *rule)
+{
+    mutableRules().push_back(rule);
+}
+
 void
-evaluateHotRules(const Program &program, std::vector<Diagnostic> &out)
+forEachReachable(const Program &program, bool (*isRoot)(const Func &),
+                 void (*visit)(const Func &root, const Func &fn,
+                               std::vector<Diagnostic> &out),
+                 std::vector<Diagnostic> &out)
 {
     for (const auto &[rootUsr, root] : program.funcs) {
-        if (!root.hot)
+        if (!isRoot(root))
             continue;
         std::vector<const std::string *> stack{&rootUsr};
         std::set<std::string> visited{rootUsr};
@@ -763,25 +1079,8 @@ evaluateHotRules(const Program &program, std::vector<Diagnostic> &out)
             if (fn.cold)
                 continue;
 
-            std::string via = fn.qual == root.qual
-                ? "hot function '" + root.qual + "'"
-                : "'" + fn.qual + "' (reached from hot '" + root.qual
-                    + "')";
-            for (const BodySite &site : fn.allocs) {
-                out.push_back({"WL-HOT-ALLOC", site.file, site.line,
-                               fn.qual, site.detail,
-                               "allocating call to '" + site.detail
-                                   + "' in " + via});
-            }
-            for (const BodySite &site : fn.virtuals) {
-                out.push_back({"WL-HOT-VIRTUAL", site.file, site.line,
-                               fn.qual, site.detail,
-                               "virtual dispatch to '" + site.detail
-                                   + "' in " + via
-                                   + "; mark the interface "
-                                     "wbsim::devirt_ok or make the "
-                                     "target final"});
-            }
+            visit(root, fn, out);
+
             for (const std::string &callee : fn.callees) {
                 if (visited.insert(callee).second) {
                     auto cit = program.funcs.find(callee);
@@ -793,92 +1092,12 @@ evaluateHotRules(const Program &program, std::vector<Diagnostic> &out)
     }
 }
 
-void
-evaluateEnumRule(const Program &program, std::vector<Diagnostic> &out)
-{
-    for (const auto &[usr, info] : program.enums) {
-        if (!info.needsTable || info.enumerators.empty())
-            continue;
-        auto cov = program.coverage.find(usr);
-        const Coverage *best = nullptr;
-        std::size_t bestCount = 0;
-        if (cov != program.coverage.end()) {
-            for (const Coverage &candidate : cov->second) {
-                std::size_t n = 0;
-                for (const std::string &e : candidate.covered)
-                    n += info.enumerators.count(e);
-                if (best == nullptr || n > bestCount) {
-                    best = &candidate;
-                    bestCount = n;
-                }
-            }
-        }
-        if (best == nullptr) {
-            out.push_back({"WL-ENUM-TABLE", info.file, info.line,
-                           info.name, "no-table",
-                           "enum '" + info.name
-                               + "' has a *Name()/parse*() mapping but "
-                                 "no switch or name table covers its "
-                                 "enumerators"});
-            continue;
-        }
-        std::vector<std::string> missing;
-        for (const std::string &e : info.enumerators) {
-            if (best->covered.count(e) == 0)
-                missing.push_back(e);
-        }
-        if (missing.empty())
-            continue;
-        std::string joined;
-        for (const std::string &m : missing)
-            joined += (joined.empty() ? "" : ",") + m;
-        out.push_back({"WL-ENUM-TABLE", best->file, best->line,
-                       best->entity, info.name + ":" + joined,
-                       "table '" + best->entity + "' for enum '"
-                           + info.name + "' misses enumerator(s): "
-                           + joined});
-    }
-}
-
-void
-evaluatePublishRule(const Program &program, std::vector<Diagnostic> &out)
-{
-    for (const auto &[usr, sites] : program.publishes) {
-        if (sites.size() <= 1)
-            continue;
-        std::string where;
-        for (const auto &[key, site] : sites) {
-            where += (where.empty() ? "" : ", ") + baseName(site.file)
-                + ":" + std::to_string(site.line);
-        }
-        for (const auto &[key, site] : sites) {
-            out.push_back({"WL-PUB-UNIQUE", site.file, site.line,
-                           site.entity, site.handle,
-                           "metric handle '" + site.handle
-                               + "' is published from "
-                               + std::to_string(sites.size())
-                               + " sites (" + where
-                               + "); route all publishes through one "
-                                 "helper"});
-        }
-    }
-}
-
 // ---------------------------------------------------------------------
 // Parsing drivers
 // ---------------------------------------------------------------------
 
-struct Options
+namespace
 {
-    std::string buildDir;              //!< -p (database mode)
-    std::vector<std::string> tuFilters; //!< substrings; empty = all
-    std::vector<std::string> roots;
-    std::string baselinePath;
-    std::string updateBaselinePath;
-    std::vector<std::string> files;    //!< direct mode TUs
-    std::vector<std::string> clangArgs; //!< direct mode args after --
-    bool verbose = false;
-};
 
 int parseIssues = 0;
 
@@ -1014,6 +1233,30 @@ runDirectMode(CXIndex index, const Options &opts, WalkContext &ctx)
     return any;
 }
 
+} // namespace
+
+bool
+collectProgram(const Options &opts, Program &program)
+{
+    WalkContext ctx;
+    ctx.program = &program;
+    ctx.roots = opts.roots;
+
+    CXIndex index = clang_createIndex(/*excludePCH=*/0,
+                                      /*displayDiagnostics=*/0);
+    bool ok = opts.buildDir.empty()
+        ? runDirectMode(index, opts, ctx)
+        : runDatabaseMode(index, opts, ctx);
+    clang_disposeIndex(index);
+    return ok;
+}
+
+int
+parseIssueCount()
+{
+    return parseIssues;
+}
+
 std::string
 absolutePath(const std::string &path)
 {
@@ -1025,140 +1268,4 @@ absolutePath(const std::string &path)
     return std::string(buf) + "/" + path;
 }
 
-int
-usage()
-{
-    std::fprintf(
-        stderr,
-        "usage: wbsim_lint -p <build-dir> --root <dir> [options]\n"
-        "       wbsim_lint --root <dir> [options] file.cc... -- "
-        "<clang args>\n"
-        "options:\n"
-        "  -p <dir>               load <dir>/compile_commands.json\n"
-        "  --root <dir>           project root (repeatable); only\n"
-        "                         code under a root is analyzed\n"
-        "  --tu-filter <substr>   only parse TUs whose path contains\n"
-        "                         <substr> (repeatable)\n"
-        "  --baseline <file>      suppress diagnostics matching keys\n"
-        "  --update-baseline <f>  write current diagnostic keys to f\n"
-        "  --verbose              narrate parsing\n");
-    return 2;
-}
-
-} // namespace
-
-int
-main(int argc, char **argv)
-{
-    Options opts;
-    bool afterDashes = false;
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        if (afterDashes) {
-            opts.clangArgs.push_back(arg);
-        } else if (arg == "--") {
-            afterDashes = true;
-        } else if (arg == "-p" && i + 1 < argc) {
-            opts.buildDir = argv[++i];
-        } else if (arg == "--root" && i + 1 < argc) {
-            opts.roots.push_back(absolutePath(argv[++i]));
-        } else if (arg == "--tu-filter" && i + 1 < argc) {
-            opts.tuFilters.push_back(argv[++i]);
-        } else if (arg == "--baseline" && i + 1 < argc) {
-            opts.baselinePath = argv[++i];
-        } else if (arg == "--update-baseline" && i + 1 < argc) {
-            opts.updateBaselinePath = argv[++i];
-        } else if (arg == "--verbose") {
-            opts.verbose = true;
-        } else if (!arg.empty() && arg[0] == '-') {
-            std::fprintf(stderr, "wbsim-lint: unknown option '%s'\n",
-                         arg.c_str());
-            return usage();
-        } else {
-            opts.files.push_back(absolutePath(arg));
-        }
-    }
-    if (opts.roots.empty() || (opts.buildDir.empty() && opts.files.empty()))
-        return usage();
-
-    // Normalize roots through realpath-style absolute form; cursor
-    // locations come back as real paths.
-    Baseline baseline;
-    if (!opts.baselinePath.empty()) {
-        std::string path = absolutePath(opts.baselinePath);
-        if (!loadBaseline(path, baseline)) {
-            std::fprintf(stderr,
-                         "wbsim-lint: cannot read baseline '%s'\n",
-                         path.c_str());
-            return 2;
-        }
-    }
-    std::string updatePath = opts.updateBaselinePath.empty()
-        ? ""
-        : absolutePath(opts.updateBaselinePath);
-
-    Program program;
-    WalkContext ctx;
-    ctx.program = &program;
-    ctx.roots = opts.roots;
-
-    CXIndex index = clang_createIndex(/*excludePCH=*/0,
-                                      /*displayDiagnostics=*/0);
-    bool ok = opts.buildDir.empty()
-        ? runDirectMode(index, opts, ctx)
-        : runDatabaseMode(index, opts, ctx);
-    clang_disposeIndex(index);
-    if (!ok)
-        return 2;
-
-    std::vector<Diagnostic> diags;
-    evaluateHotRules(program, diags);
-    evaluateEnumRule(program, diags);
-    evaluatePublishRule(program, diags);
-
-    // Dedup (a site can be reachable from several hot roots and a
-    // header parses in many TUs), then order for stable output.
-    std::map<std::string, Diagnostic> unique;
-    for (Diagnostic &d : diags) {
-        unique.emplace(d.file + ":" + std::to_string(d.line) + ":"
-                           + d.rule + ":" + d.detail,
-                       std::move(d));
-    }
-
-    if (!updatePath.empty()) {
-        std::ofstream out(updatePath);
-        out << "# wbsim-lint baseline: one '|'-separated key per "
-               "line, '*' wildcards.\n"
-            << "# key = RULE|file-basename|entity|detail\n";
-        std::set<std::string> keys;
-        for (const auto &[sortKey, d] : unique)
-            keys.insert(diagKey(d));
-        for (const std::string &k : keys)
-            out << k << "\n";
-        std::fprintf(stderr, "wbsim-lint: wrote %zu baseline keys\n",
-                     keys.size());
-    }
-
-    unsigned reported = 0, suppressed = 0;
-    for (const auto &[sortKey, d] : unique) {
-        if (baseline.matches(diagKey(d))) {
-            ++suppressed;
-            continue;
-        }
-        ++reported;
-        std::printf("%s:%u: error: [%s] %s\n", d.file.c_str(), d.line,
-                    d.rule.c_str(), d.message.c_str());
-    }
-    for (std::size_t i = 0; i < baseline.patterns.size(); ++i) {
-        if (!baseline.used[i]) {
-            std::fprintf(stderr,
-                         "wbsim-lint: note: stale baseline entry: %s\n",
-                         baseline.patterns[i].c_str());
-        }
-    }
-    std::printf(
-        "wbsim-lint: %u diagnostic(s), %u baselined, %d parse "
-        "issue(s)\n",
-        reported, suppressed, parseIssues);
-    return reported == 0 ? 0 : 1;
-}
+} // namespace wbsim_lint

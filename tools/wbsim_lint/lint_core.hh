@@ -1,0 +1,337 @@
+/**
+ * @file
+ * The wbsim-lint core: everything a rule plugin needs.
+ *
+ * The analyzer is split into three layers (DESIGN.md §10):
+ *
+ *  - this core: libclang parsing drivers, the AST walk that turns
+ *    translation units into a merged, USR-keyed Program fact base
+ *    (call graph, annotations, body sites, lock scopes, guarded
+ *    accesses, declared lock-order edges), plus the shared
+ *    diagnostic/baseline machinery;
+ *  - rules/<name>.cc: one self-registering Rule per check, each a
+ *    pure function from the Program to diagnostics;
+ *  - main.cc: option parsing, rule selection, output.
+ *
+ * Rules never touch libclang: by the time evaluate() runs, every TU
+ * has been disposed and all facts live in plain data structures, so
+ * a rule is trivially unit-testable against a hand-built Program and
+ * adding one cannot perturb the walk another rule depends on.
+ */
+
+#ifndef WBSIM_LINT_CORE_HH
+#define WBSIM_LINT_CORE_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <clang-c/Index.h>
+
+namespace wbsim_lint
+{
+
+// ---------------------------------------------------------------------
+// Small libclang helpers (used by the walk; exposed for tests)
+// ---------------------------------------------------------------------
+
+/** Take ownership of a CXString and return it as a std::string. */
+std::string str(CXString s);
+
+/** Expansion location of a cursor as (file, line). */
+void cursorLocation(CXCursor cursor, std::string &file, unsigned &line);
+
+bool isFunctionKind(CXCursorKind kind);
+
+/**
+ * The canonical identity of a function across translation units:
+ * its USR, with template specializations folded back onto their
+ * pattern so attributes written on the template cover every
+ * instantiation.
+ */
+std::string functionUsr(CXCursor cursor);
+
+/** "Class::name" when the semantic parent is a record, else "name". */
+std::string qualifiedName(CXCursor cursor);
+
+/** wbsim::* annotations present on one declaration cursor. */
+struct Annotations
+{
+    bool hot = false;
+    bool cold = false;
+    bool devirtOk = false;
+    bool isFinal = false;
+    bool deterministic = false;
+    bool nondetOk = false;
+    /** Unresolved capability names from WBSIM_GUARDED_BY. */
+    std::vector<std::string> guardedBy;
+    /** Unresolved capability names from WBSIM_REQUIRES. */
+    std::vector<std::string> requiresCaps;
+    /** Unresolved capability names from WBSIM_ACQUIRES_BEFORE. */
+    std::vector<std::string> acquiresBefore;
+};
+
+Annotations annotationsOf(CXCursor cursor);
+
+// ---------------------------------------------------------------------
+// Merged program model
+// ---------------------------------------------------------------------
+
+/** One would-be diagnostic inside a function body. */
+struct BodySite
+{
+    std::string file;
+    unsigned line = 0;
+    std::string detail; //!< callee or handle, for messages and keys
+};
+
+/** Everything known about one function, merged across TUs. */
+struct Func
+{
+    std::string qual;      //!< display name ("Class::method")
+    std::string file;      //!< definition (or first decl) location
+    unsigned line = 0;
+    bool hot = false;          //!< wbsim::hot on any declaration
+    bool cold = false;         //!< wbsim::cold on any declaration
+    bool deterministic = false; //!< wbsim::deterministic declared
+    bool nondetOk = false;     //!< wbsim::nondet_ok declared
+    bool defined = false;  //!< body seen in some project TU
+    bool bodyDone = false; //!< body facts already collected once
+    /** Capabilities callers must hold (resolved "Record::member"). */
+    std::set<std::string> needsCaps;
+    /** Capabilities acquired somewhere in the body (resolved). */
+    std::set<std::string> acquired;
+    std::set<std::string> callees;   //!< USRs of resolved callees
+    std::vector<BodySite> allocs;    //!< allocating calls in the body
+    std::vector<BodySite> virtuals;  //!< virtual dispatches in body
+    std::vector<BodySite> nondet;    //!< wall-clock / RNG / sleeps
+    /** Range-for statements iterating an unordered container. */
+    std::vector<BodySite> unorderedIters;
+};
+
+/** One enum that may need a complete name table. */
+struct EnumInfo
+{
+    std::string name;
+    std::string file;
+    unsigned line = 0;
+    std::set<std::string> enumerators;
+    bool needsTable = false; //!< has a *Name()/parse*() mapping
+};
+
+/** One switch or table initializer that names enumerators of E. */
+struct Coverage
+{
+    std::string file;
+    unsigned line = 0;
+    std::string entity; //!< enclosing function or variable
+    std::set<std::string> covered;
+};
+
+/** One MetricsRegistry add/set/sample call on a handle field. */
+struct PublishSite
+{
+    std::string file;
+    unsigned line = 0;
+    std::string entity;
+    std::string handle; //!< handle field spelling
+};
+
+/** One capability named by the annotations. Lockable capabilities
+ *  are mutex-typed members (the walk checks call sites against
+ *  them); the rest are virtual disciplines (single-driver state)
+ *  where only the member touches are gated. */
+struct CapabilityInfo
+{
+    bool lockable = false;
+    std::string file;
+    unsigned line = 0;
+};
+
+/** One touch of a WBSIM_GUARDED_BY member, judged at walk time
+ *  against the lexical held-lock set (WL-LOCK-GUARD). */
+struct GuardedAccess
+{
+    std::string file;
+    unsigned line = 0;
+    std::string entity; //!< enclosing function
+    std::string field;  //!< "Record::member" touched
+    std::string cap;    //!< capability the field is guarded by
+    bool ok = false;    //!< held, required, or ctor/dtor-exempt
+};
+
+/** One call to a WBSIM_REQUIRES function (WL-LOCK-GUARD; checked
+ *  only when the capability is lockable). */
+struct RequiresCall
+{
+    std::string file;
+    unsigned line = 0;
+    std::string entity; //!< calling function
+    std::string callee; //!< callee display name
+    std::string cap;
+    bool ok = false;    //!< capability held or required by caller
+};
+
+/** One in-body nested acquire: @p to acquired while @p from was
+ *  already held (WL-LOCK-ORDER). */
+struct LockEdge
+{
+    std::string file;
+    unsigned line = 0;
+    std::string entity;
+    std::string from;
+    std::string to;
+};
+
+/** One call made while holding locks; combined with the callees'
+ *  transitive acquire sets this yields the interprocedural
+ *  nested-acquire edges (WL-LOCK-ORDER). */
+struct HeldCall
+{
+    std::string file;
+    unsigned line = 0;
+    std::string entity;
+    std::vector<std::string> held;
+    std::string calleeUsr;
+    std::string calleeQual;
+};
+
+/** One WBSIM_ACQUIRES_BEFORE declaration: @p from, when nested with
+ *  @p to, is always the outer lock. */
+struct DeclaredEdge
+{
+    std::string file;
+    unsigned line = 0;
+    std::string from;
+    std::string to;
+};
+
+struct Program
+{
+    std::map<std::string, Func> funcs;          //!< by USR
+    std::map<std::string, EnumInfo> enums;      //!< by USR
+    std::map<std::string, std::vector<Coverage>> coverage; //!< enum USR
+    //! handle USR -> site key "file:line" -> site
+    std::map<std::string, std::map<std::string, PublishSite>> publishes;
+    //! capability id "Record::member" -> lockability
+    std::map<std::string, CapabilityInfo> capabilities;
+    std::vector<GuardedAccess> guardedAccesses;
+    std::vector<RequiresCall> requiresCalls;
+    std::vector<LockEdge> lockEdges;
+    std::vector<HeldCall> heldCalls;
+    std::vector<DeclaredEdge> declaredEdges;
+};
+
+// ---------------------------------------------------------------------
+// Diagnostics and baseline
+// ---------------------------------------------------------------------
+
+struct Diagnostic
+{
+    std::string rule;
+    std::string file;
+    unsigned line = 0;
+    std::string entity;
+    std::string detail;
+    std::string message;
+};
+
+std::string baseName(const std::string &path);
+
+/** Baseline key: RULE|file-basename|entity|detail. */
+std::string diagKey(const Diagnostic &d);
+
+/** Glob match supporting '*' only (enough for baseline entries). */
+bool globMatch(const char *pattern, const char *text);
+
+struct Baseline
+{
+    std::vector<std::string> patterns;
+    std::vector<bool> used;
+
+    bool matches(const std::string &key);
+};
+
+bool loadBaseline(const std::string &path, Baseline &out);
+
+// ---------------------------------------------------------------------
+// Rule plugins
+// ---------------------------------------------------------------------
+
+/**
+ * One analysis pass. Implementations are stateless: evaluate() maps
+ * the merged Program onto diagnostics and must be deterministic
+ * (main dedups and sorts, but rules should not depend on it).
+ */
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+    /** Stable identifier, e.g. "WL-LOCK-GUARD" (baseline keys and
+     *  --rules selection use it verbatim). */
+    virtual const char *id() const = 0;
+    /** One-line description for --list-rules. */
+    virtual const char *summary() const = 0;
+    virtual void evaluate(const Program &program,
+                          std::vector<Diagnostic> &out) const = 0;
+};
+
+/** Every registered rule, sorted by id. */
+const std::vector<const Rule *> &allRules();
+
+/** Registers @p rule into allRules() from a static initializer. */
+class RuleRegistrar
+{
+  public:
+    explicit RuleRegistrar(const Rule *rule);
+};
+
+/** Define-and-register boilerplate for the rule sources. */
+#define WBSIM_LINT_REGISTER_RULE(RuleType)                            \
+    static const RuleType g_ruleInstance_##RuleType;                  \
+    static const ::wbsim_lint::RuleRegistrar                          \
+        g_ruleRegistrar_##RuleType(&g_ruleInstance_##RuleType)
+
+/**
+ * Walk the closure of every root function selected by @p isRoot and
+ * call @p visit(root, fn) for each member. Traversal enters only
+ * project-defined callees and stops at wbsim::cold functions — the
+ * shared reachability used by the WL-HOT-* and WL-DETERMINISM rules.
+ */
+void forEachReachable(const Program &program,
+                      bool (*isRoot)(const Func &),
+                      void (*visit)(const Func &root, const Func &fn,
+                                    std::vector<Diagnostic> &out),
+                      std::vector<Diagnostic> &out);
+
+// ---------------------------------------------------------------------
+// Parsing drivers
+// ---------------------------------------------------------------------
+
+struct Options
+{
+    std::string buildDir;              //!< -p (database mode)
+    std::vector<std::string> tuFilters; //!< substrings; empty = all
+    std::vector<std::string> roots;
+    std::string baselinePath;
+    std::string updateBaselinePath;
+    std::vector<std::string> files;    //!< direct mode TUs
+    std::vector<std::string> clangArgs; //!< direct mode args after --
+    std::vector<std::string> ruleIds;  //!< --rules selection; empty = all
+    bool listRules = false;
+    bool verbose = false;
+};
+
+/** Parse every selected TU and merge the facts into @p program.
+ *  False when nothing could be parsed at all. */
+bool collectProgram(const Options &opts, Program &program);
+
+/** Parse errors seen across all TUs (reported in the summary). */
+int parseIssueCount();
+
+std::string absolutePath(const std::string &path);
+
+} // namespace wbsim_lint
+
+#endif // WBSIM_LINT_CORE_HH

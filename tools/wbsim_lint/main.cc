@@ -1,0 +1,224 @@
+/**
+ * @file
+ * wbsim-lint entry point: options, rule selection, output.
+ *
+ * All analysis lives in lint_core.cc (the walk) and the rules/
+ * sources (the passes); this file only wires them together and owns
+ * the output contract the fixtures and CI depend on:
+ *
+ *   <file>:<line>: error: [WL-RULE] <message>
+ *   wbsim-lint: note: stale baseline entry [WL-RULE]: <pattern>
+ *   wbsim-lint: N diagnostic(s), M baselined, P parse issue(s)
+ *
+ * Exit status: 0 clean, 1 diagnostics reported, 2 usage/parse-setup
+ * failure.
+ */
+
+#include "lint_core.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+using namespace wbsim_lint;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: wbsim_lint -p <build-dir> --root <dir> [options]\n"
+        "       wbsim_lint --root <dir> [options] file.cc... -- "
+        "<clang args>\n"
+        "       wbsim_lint --list-rules\n"
+        "options:\n"
+        "  -p <dir>               load <dir>/compile_commands.json\n"
+        "  --root <dir>           project root (repeatable); only\n"
+        "                         code under a root is analyzed\n"
+        "  --tu-filter <substr>   only parse TUs whose path contains\n"
+        "                         <substr> (repeatable)\n"
+        "  --rules <csv>          run only the listed rule IDs\n"
+        "  --list-rules           print registered rules and exit\n"
+        "  --baseline <file>      suppress diagnostics matching keys\n"
+        "  --update-baseline <f>  write current diagnostic keys to f\n"
+        "  --verbose              narrate parsing\n");
+    return 2;
+}
+
+void
+splitCsv(const std::string &csv, std::vector<std::string> &out)
+{
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > start)
+            out.push_back(csv.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+/** Rule ID of a baseline key/pattern: the field before the first
+ *  '|'. May contain '*' when the pattern wildcards the rule. */
+std::string
+ruleOfPattern(const std::string &pattern)
+{
+    return pattern.substr(0, pattern.find('|'));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    bool afterDashes = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (afterDashes) {
+            opts.clangArgs.push_back(arg);
+        } else if (arg == "--") {
+            afterDashes = true;
+        } else if (arg == "-p" && i + 1 < argc) {
+            opts.buildDir = argv[++i];
+        } else if (arg == "--root" && i + 1 < argc) {
+            opts.roots.push_back(absolutePath(argv[++i]));
+        } else if (arg == "--tu-filter" && i + 1 < argc) {
+            opts.tuFilters.push_back(argv[++i]);
+        } else if (arg == "--rules" && i + 1 < argc) {
+            splitCsv(argv[++i], opts.ruleIds);
+        } else if (arg.rfind("--rules=", 0) == 0) {
+            splitCsv(arg.substr(8), opts.ruleIds);
+        } else if (arg == "--list-rules") {
+            opts.listRules = true;
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            opts.baselinePath = argv[++i];
+        } else if (arg == "--update-baseline" && i + 1 < argc) {
+            opts.updateBaselinePath = argv[++i];
+        } else if (arg == "--verbose") {
+            opts.verbose = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "wbsim-lint: unknown option '%s'\n",
+                         arg.c_str());
+            return usage();
+        } else {
+            opts.files.push_back(absolutePath(arg));
+        }
+    }
+
+    if (opts.listRules) {
+        for (const Rule *rule : allRules())
+            std::printf("%-16s %s\n", rule->id(), rule->summary());
+        return 0;
+    }
+    if (opts.roots.empty() || (opts.buildDir.empty() && opts.files.empty()))
+        return usage();
+
+    // Resolve the rule selection before any parsing so a typo fails
+    // fast.
+    std::vector<const Rule *> selected;
+    std::set<std::string> selectedIds;
+    for (const Rule *rule : allRules()) {
+        bool wanted = opts.ruleIds.empty();
+        for (const std::string &id : opts.ruleIds)
+            wanted = wanted || id == rule->id();
+        if (wanted) {
+            selected.push_back(rule);
+            selectedIds.insert(rule->id());
+        }
+    }
+    for (const std::string &id : opts.ruleIds) {
+        if (selectedIds.count(id) == 0) {
+            std::fprintf(stderr,
+                         "wbsim-lint: unknown rule '%s' (see "
+                         "--list-rules)\n",
+                         id.c_str());
+            return 2;
+        }
+    }
+
+    Baseline baseline;
+    if (!opts.baselinePath.empty()) {
+        std::string path = absolutePath(opts.baselinePath);
+        if (!loadBaseline(path, baseline)) {
+            std::fprintf(stderr,
+                         "wbsim-lint: cannot read baseline '%s'\n",
+                         path.c_str());
+            return 2;
+        }
+    }
+    std::string updatePath = opts.updateBaselinePath.empty()
+        ? ""
+        : absolutePath(opts.updateBaselinePath);
+
+    Program program;
+    if (!collectProgram(opts, program))
+        return 2;
+
+    std::vector<Diagnostic> diags;
+    for (const Rule *rule : selected)
+        rule->evaluate(program, diags);
+
+    // Dedup (a site can be reachable from several hot roots and a
+    // header parses in many TUs), then order for stable output.
+    std::map<std::string, Diagnostic> unique;
+    for (Diagnostic &d : diags) {
+        unique.emplace(d.file + ":" + std::to_string(d.line) + ":"
+                           + d.rule + ":" + d.detail,
+                       std::move(d));
+    }
+
+    if (!updatePath.empty()) {
+        std::ofstream out(updatePath);
+        out << "# wbsim-lint baseline: one '|'-separated key per "
+               "line, '*' wildcards.\n"
+            << "# key = RULE|file-basename|entity|detail\n";
+        std::set<std::string> keys;
+        for (const auto &[sortKey, d] : unique)
+            keys.insert(diagKey(d));
+        for (const std::string &k : keys)
+            out << k << "\n";
+        std::fprintf(stderr, "wbsim-lint: wrote %zu baseline keys\n",
+                     keys.size());
+    }
+
+    unsigned reported = 0, suppressed = 0;
+    for (const auto &[sortKey, d] : unique) {
+        if (baseline.matches(diagKey(d))) {
+            ++suppressed;
+            continue;
+        }
+        ++reported;
+        std::printf("%s:%u: error: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+    }
+    for (std::size_t i = 0; i < baseline.patterns.size(); ++i) {
+        if (baseline.used[i])
+            continue;
+        // A suppression for a rule that was not selected this run is
+        // merely unexercised, not stale; wildcarded rule fields are
+        // always worth flagging.
+        std::string rule = ruleOfPattern(baseline.patterns[i]);
+        if (!opts.ruleIds.empty()
+            && rule.find('*') == std::string::npos
+            && selectedIds.count(rule) == 0) {
+            continue;
+        }
+        std::fprintf(stderr,
+                     "wbsim-lint: note: stale baseline entry [%s]: "
+                     "%s\n",
+                     rule.c_str(), baseline.patterns[i].c_str());
+    }
+    std::printf(
+        "wbsim-lint: %u diagnostic(s), %u baselined, %d parse "
+        "issue(s)\n",
+        reported, suppressed, parseIssueCount());
+    return reported == 0 ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * WL-DETERMINISM: reproducible closures stay reproducible.
+ *
+ * Roots are WBSIM_DETERMINISTIC and WBSIM_HOT functions (the
+ * simulator core is the original determinism domain; the serve
+ * encode/decode and figure-export paths opt in explicitly). Within a
+ * root's closure — same traversal as the hot rules, stopping at
+ * WBSIM_COLD — three fact kinds are errors:
+ *
+ *  - wall-clock reads (time(), chrono *_clock::now, gettimeofday…),
+ *  - non-seeded randomness (rand family, std::random_device) and
+ *    scheduling-dependent sleeps,
+ *  - range-for over an unordered container, whose hash order can
+ *    feed emitted bytes.
+ *
+ * WBSIM_NONDET_OK on a function exempts that function's *own body*
+ * only; its callees remain in the closure, so an escape hatch cannot
+ * silently whitelist a subtree.
+ */
+
+#include "../lint_core.hh"
+
+namespace
+{
+
+using namespace wbsim_lint;
+
+bool
+isDetRoot(const Func &fn)
+{
+    return fn.deterministic || fn.hot;
+}
+
+std::string
+via(const Func &root, const Func &fn)
+{
+    return fn.qual == root.qual
+        ? "deterministic root '" + root.qual + "'"
+        : "'" + fn.qual + "' (reached from deterministic root '"
+            + root.qual + "')";
+}
+
+void
+visit(const Func &root, const Func &fn, std::vector<Diagnostic> &out)
+{
+    if (fn.nondetOk)
+        return;
+    for (const BodySite &site : fn.nondet) {
+        out.push_back(
+            {"WL-DETERMINISM", site.file, site.line, fn.qual,
+             site.detail,
+             "nondeterministic call to '" + site.detail + "' in "
+                 + via(root, fn)
+                 + "; use the seeded util Rng / simulated time, or "
+                   "annotate the function WBSIM_NONDET_OK with a "
+                   "justification"});
+    }
+    for (const BodySite &site : fn.unorderedIters) {
+        out.push_back(
+            {"WL-DETERMINISM", site.file, site.line, fn.qual,
+             site.detail,
+             "iteration over an unordered container in "
+                 + via(root, fn)
+                 + "; hash order can feed emitted bytes — use an "
+                   "ordered container or sort before iterating"});
+    }
+}
+
+class DeterminismRule final : public Rule
+{
+  public:
+    const char *id() const override { return "WL-DETERMINISM"; }
+    const char *summary() const override
+    {
+        return "deterministic closures avoid clocks, raw RNG, and "
+               "unordered iteration";
+    }
+    void evaluate(const Program &program,
+                  std::vector<Diagnostic> &out) const override
+    {
+        forEachReachable(program, isDetRoot, visit, out);
+    }
+};
+
+WBSIM_LINT_REGISTER_RULE(DeterminismRule);
+
+} // namespace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * WL-ENUM-TABLE: name tables must cover their enum completely.
+ *
+ * An enum with a `*Name()` or `parse*()` mapping gets its
+ * best-covering switch or table initializer compared against the
+ * full enumerator set; missing entries are listed so adding an
+ * enumerator without extending the table fails the lint run instead
+ * of silently printing "?".
+ */
+
+#include "../lint_core.hh"
+
+namespace
+{
+
+using namespace wbsim_lint;
+
+class EnumTableRule final : public Rule
+{
+  public:
+    const char *id() const override { return "WL-ENUM-TABLE"; }
+    const char *summary() const override
+    {
+        return "enum name tables must cover every enumerator";
+    }
+    void evaluate(const Program &program,
+                  std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &[usr, info] : program.enums) {
+            if (!info.needsTable || info.enumerators.empty())
+                continue;
+            auto cov = program.coverage.find(usr);
+            const Coverage *best = nullptr;
+            std::size_t bestCount = 0;
+            if (cov != program.coverage.end()) {
+                for (const Coverage &candidate : cov->second) {
+                    std::size_t n = 0;
+                    for (const std::string &e : candidate.covered)
+                        n += info.enumerators.count(e);
+                    if (best == nullptr || n > bestCount) {
+                        best = &candidate;
+                        bestCount = n;
+                    }
+                }
+            }
+            if (best == nullptr) {
+                out.push_back(
+                    {"WL-ENUM-TABLE", info.file, info.line, info.name,
+                     "no-table",
+                     "enum '" + info.name
+                         + "' has a *Name()/parse*() mapping but no "
+                           "switch or name table covers its "
+                           "enumerators"});
+                continue;
+            }
+            std::vector<std::string> missing;
+            for (const std::string &e : info.enumerators) {
+                if (best->covered.count(e) == 0)
+                    missing.push_back(e);
+            }
+            if (missing.empty())
+                continue;
+            std::string joined;
+            for (const std::string &m : missing)
+                joined += (joined.empty() ? "" : ",") + m;
+            out.push_back({"WL-ENUM-TABLE", best->file, best->line,
+                           best->entity, info.name + ":" + joined,
+                           "table '" + best->entity + "' for enum '"
+                               + info.name
+                               + "' misses enumerator(s): " + joined});
+        }
+    }
+};
+
+WBSIM_LINT_REGISTER_RULE(EnumTableRule);
+
+} // namespace

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * WL-HOT-ALLOC: no allocation anywhere in a hot-path closure.
+ *
+ * Roots are WBSIM_HOT functions; traversal stops at WBSIM_COLD (the
+ * naive-reference cross-check paths allocate freely). The walk
+ * already recorded every allocating call site (std container
+ * growers, malloc-family, operator new) per function; this rule just
+ * attributes each to the hot root(s) that reach it.
+ */
+
+#include "../lint_core.hh"
+
+namespace
+{
+
+using namespace wbsim_lint;
+
+bool
+isHotRoot(const Func &fn)
+{
+    return fn.hot;
+}
+
+std::string
+via(const Func &root, const Func &fn)
+{
+    return fn.qual == root.qual
+        ? "hot function '" + root.qual + "'"
+        : "'" + fn.qual + "' (reached from hot '" + root.qual + "')";
+}
+
+void
+visit(const Func &root, const Func &fn, std::vector<Diagnostic> &out)
+{
+    for (const BodySite &site : fn.allocs) {
+        out.push_back({"WL-HOT-ALLOC", site.file, site.line, fn.qual,
+                       site.detail,
+                       "allocating call to '" + site.detail + "' in "
+                           + via(root, fn)});
+    }
+}
+
+class HotAllocRule final : public Rule
+{
+  public:
+    const char *id() const override { return "WL-HOT-ALLOC"; }
+    const char *summary() const override
+    {
+        return "hot-path closures must not allocate";
+    }
+    void evaluate(const Program &program,
+                  std::vector<Diagnostic> &out) const override
+    {
+        forEachReachable(program, isHotRoot, visit, out);
+    }
+};
+
+WBSIM_LINT_REGISTER_RULE(HotAllocRule);
+
+} // namespace

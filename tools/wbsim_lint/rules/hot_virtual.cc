@@ -1,0 +1,63 @@
+/**
+ * @file
+ * WL-HOT-VIRTUAL: no undocumented virtual dispatch in hot closures.
+ *
+ * Dispatch through a `final` method/class or one carrying
+ * wbsim::devirt_ok (the policy interfaces the engine monomorphises,
+ * DESIGN.md §9) was already filtered out by the walk; whatever
+ * reached the fact base is an undocumented indirect call on a hot
+ * path.
+ */
+
+#include "../lint_core.hh"
+
+namespace
+{
+
+using namespace wbsim_lint;
+
+bool
+isHotRoot(const Func &fn)
+{
+    return fn.hot;
+}
+
+std::string
+via(const Func &root, const Func &fn)
+{
+    return fn.qual == root.qual
+        ? "hot function '" + root.qual + "'"
+        : "'" + fn.qual + "' (reached from hot '" + root.qual + "')";
+}
+
+void
+visit(const Func &root, const Func &fn, std::vector<Diagnostic> &out)
+{
+    for (const BodySite &site : fn.virtuals) {
+        out.push_back({"WL-HOT-VIRTUAL", site.file, site.line, fn.qual,
+                       site.detail,
+                       "virtual dispatch to '" + site.detail + "' in "
+                           + via(root, fn)
+                           + "; mark the interface wbsim::devirt_ok "
+                             "or make the target final"});
+    }
+}
+
+class HotVirtualRule final : public Rule
+{
+  public:
+    const char *id() const override { return "WL-HOT-VIRTUAL"; }
+    const char *summary() const override
+    {
+        return "hot-path virtual dispatch needs a devirt_ok contract";
+    }
+    void evaluate(const Program &program,
+                  std::vector<Diagnostic> &out) const override
+    {
+        forEachReachable(program, isHotRoot, visit, out);
+    }
+};
+
+WBSIM_LINT_REGISTER_RULE(HotVirtualRule);
+
+} // namespace

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * WL-LOCK-GUARD: guarded members are touched only under their lock.
+ *
+ * The walk judged every touch of a WBSIM_GUARDED_BY member against
+ * the lexical held-lock set (RAII holders, bare .lock()/.unlock(),
+ * WBSIM_REQUIRES seeding) with ctor/dtor exemption, and recorded
+ * every call into a WBSIM_REQUIRES function with whether the caller
+ * holds the capability. This rule reports the failures:
+ *
+ *  - a guarded member touched with the capability neither held nor
+ *    required — always an error, even for virtual (non-mutex)
+ *    capabilities, which is exactly how single-driver state like the
+ *    bus arbiter's pending set is fenced;
+ *  - a call into a REQUIRES(m) function without holding m — checked
+ *    only when m is a real mutex member, because virtual
+ *    capabilities have no lock operation a caller could perform.
+ */
+
+#include "../lint_core.hh"
+
+namespace
+{
+
+using namespace wbsim_lint;
+
+class LockGuardRule final : public Rule
+{
+  public:
+    const char *id() const override { return "WL-LOCK-GUARD"; }
+    const char *summary() const override
+    {
+        return "guarded members are touched only with their "
+               "capability held";
+    }
+    void evaluate(const Program &program,
+                  std::vector<Diagnostic> &out) const override
+    {
+        for (const GuardedAccess &access : program.guardedAccesses) {
+            if (access.ok)
+                continue;
+            out.push_back(
+                {"WL-LOCK-GUARD", access.file, access.line,
+                 access.entity, access.field,
+                 "'" + access.field + "' (guarded by '" + access.cap
+                     + "') touched in '" + access.entity
+                     + "' without the capability held; lock it in an "
+                       "enclosing scope or annotate the function "
+                       "WBSIM_REQUIRES"});
+        }
+        for (const RequiresCall &call : program.requiresCalls) {
+            if (call.ok)
+                continue;
+            auto cap = program.capabilities.find(call.cap);
+            if (cap == program.capabilities.end()
+                || !cap->second.lockable) {
+                continue;
+            }
+            out.push_back(
+                {"WL-LOCK-GUARD", call.file, call.line, call.entity,
+                 call.callee,
+                 "call to '" + call.callee + "' requires '" + call.cap
+                     + "', which '" + call.entity
+                     + "' does not hold"});
+        }
+    }
+};
+
+WBSIM_LINT_REGISTER_RULE(LockGuardRule);
+
+} // namespace

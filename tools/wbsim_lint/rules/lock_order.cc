@@ -1,0 +1,202 @@
+/**
+ * @file
+ * WL-LOCK-ORDER: every nested acquire follows the declared order.
+ *
+ * WBSIM_ACQUIRES_BEFORE edges on mutex members form the declared
+ * hierarchy. Observed nestings come from two sources: direct
+ * lock-while-held edges inside one body, and calls made under a lock
+ * into functions whose transitive closure acquires further locks.
+ * Each observed (outer, inner) pair must be reachable along declared
+ * edges; an inverted pair (the declared order runs inner → outer) is
+ * a latent deadlock, an unrelated pair is an undeclared nesting the
+ * hierarchy must be extended to cover, and outer == inner is a
+ * self-deadlock. The declared graph itself must also be acyclic, so
+ * the annotations stay a consistent total story.
+ */
+
+#include "../lint_core.hh"
+
+#include <map>
+#include <set>
+
+namespace
+{
+
+using namespace wbsim_lint;
+
+/** Transitive reachability over the declared acquires-before graph. */
+class DeclaredOrder
+{
+  public:
+    explicit DeclaredOrder(const Program &program)
+    {
+        for (const DeclaredEdge &edge : program.declaredEdges)
+            edges_[edge.from].insert(edge.to);
+    }
+
+    bool
+    path(const std::string &from, const std::string &to) const
+    {
+        std::set<std::string> visited;
+        return dfs(from, to, visited);
+    }
+
+    /** First capability found on a declared cycle, if any. */
+    bool
+    onCycle(const std::string &start) const
+    {
+        std::set<std::string> visited;
+        auto it = edges_.find(start);
+        if (it == edges_.end())
+            return false;
+        for (const std::string &next : it->second) {
+            if (next == start || dfs(next, start, visited))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    bool
+    dfs(const std::string &from, const std::string &to,
+        std::set<std::string> &visited) const
+    {
+        if (from == to)
+            return true;
+        if (!visited.insert(from).second)
+            return false;
+        auto it = edges_.find(from);
+        if (it == edges_.end())
+            return false;
+        for (const std::string &next : it->second) {
+            if (dfs(next, to, visited))
+                return true;
+        }
+        return false;
+    }
+
+    std::map<std::string, std::set<std::string>> edges_;
+};
+
+/** Capabilities a function's transitive closure acquires. */
+class TransitiveAcquires
+{
+  public:
+    explicit TransitiveAcquires(const Program &program)
+        : program_(program)
+    {
+    }
+
+    const std::set<std::string> &
+    of(const std::string &usr)
+    {
+        auto memo = memo_.find(usr);
+        if (memo != memo_.end())
+            return memo->second;
+        // Seed the memo before recursing so call cycles terminate
+        // (they see the partial set — the usual fixpoint
+        // approximation). std::map node references stay valid across
+        // the recursive inserts.
+        std::set<std::string> &result = memo_[usr];
+        auto it = program_.funcs.find(usr);
+        if (it == program_.funcs.end())
+            return result;
+        result.insert(it->second.acquired.begin(),
+                      it->second.acquired.end());
+        for (const std::string &callee : it->second.callees) {
+            // Copy: `of(callee)` may alias `result` on a recursive
+            // call chain, and inserting a set into itself while
+            // iterating it is undefined.
+            std::set<std::string> sub = of(callee);
+            result.insert(sub.begin(), sub.end());
+        }
+        return result;
+    }
+
+  private:
+    const Program &program_;
+    std::map<std::string, std::set<std::string>> memo_;
+};
+
+void
+checkEdge(const DeclaredOrder &declared, const std::string &file,
+          unsigned line, const std::string &entity,
+          const std::string &from, const std::string &to,
+          const std::string &how, std::vector<Diagnostic> &out)
+{
+    if (from == to) {
+        out.push_back({"WL-LOCK-ORDER", file, line, entity,
+                       from + "->" + to,
+                       "'" + entity + "' re-acquires '" + from
+                           + "' while already holding it" + how
+                           + " (self-deadlock)"});
+        return;
+    }
+    if (declared.path(from, to))
+        return;
+    if (declared.path(to, from)) {
+        out.push_back(
+            {"WL-LOCK-ORDER", file, line, entity, from + "->" + to,
+             "'" + entity + "' acquires '" + to + "' while holding '"
+                 + from + "'" + how
+                 + ", inverting the declared order ('" + to
+                 + "' is declared before '" + from + "')"});
+        return;
+    }
+    out.push_back(
+        {"WL-LOCK-ORDER", file, line, entity, from + "->" + to,
+         "undeclared nesting: '" + entity + "' acquires '" + to
+             + "' while holding '" + from + "'" + how
+             + "; declare WBSIM_ACQUIRES_BEFORE on the outer mutex"});
+}
+
+class LockOrderRule final : public Rule
+{
+  public:
+    const char *id() const override { return "WL-LOCK-ORDER"; }
+    const char *summary() const override
+    {
+        return "nested lock acquires follow the declared hierarchy";
+    }
+    void evaluate(const Program &program,
+                  std::vector<Diagnostic> &out) const override
+    {
+        DeclaredOrder declared(program);
+
+        // The declared graph itself must be acyclic.
+        for (const DeclaredEdge &edge : program.declaredEdges) {
+            if (edge.from == edge.to || declared.onCycle(edge.from)) {
+                out.push_back(
+                    {"WL-LOCK-ORDER", edge.file, edge.line, edge.from,
+                     "declared-cycle",
+                     "declared order starting at '" + edge.from
+                         + "' is cyclic; acquires_before edges must "
+                           "form a DAG"});
+            }
+        }
+
+        for (const LockEdge &edge : program.lockEdges) {
+            checkEdge(declared, edge.file, edge.line, edge.entity,
+                      edge.from, edge.to, "", out);
+        }
+
+        TransitiveAcquires closure(program);
+        for (const HeldCall &call : program.heldCalls) {
+            const std::set<std::string> acquires =
+                closure.of(call.calleeUsr);
+            if (acquires.empty())
+                continue;
+            std::string how = " (via call to '" + call.calleeQual + "')";
+            for (const std::string &held : call.held) {
+                for (const std::string &to : acquires) {
+                    checkEdge(declared, call.file, call.line,
+                              call.entity, held, to, how, out);
+                }
+            }
+        }
+    }
+};
+
+WBSIM_LINT_REGISTER_RULE(LockOrderRule);
+
+} // namespace

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * WL-PUB-UNIQUE: each metric handle has one publish site.
+ *
+ * A MetricsRegistry handle published from several places makes the
+ * emitted stats stream depend on call interleaving; every handle's
+ * add/set/sample calls must route through a single helper. The walk
+ * grouped publish sites by handle USR (deduped by file:line); any
+ * group larger than one is reported at every member site.
+ */
+
+#include "../lint_core.hh"
+
+namespace
+{
+
+using namespace wbsim_lint;
+
+class PubUniqueRule final : public Rule
+{
+  public:
+    const char *id() const override { return "WL-PUB-UNIQUE"; }
+    const char *summary() const override
+    {
+        return "metric handles are published from exactly one site";
+    }
+    void evaluate(const Program &program,
+                  std::vector<Diagnostic> &out) const override
+    {
+        for (const auto &[usr, sites] : program.publishes) {
+            if (sites.size() <= 1)
+                continue;
+            std::string where;
+            for (const auto &[key, site] : sites) {
+                where += (where.empty() ? "" : ", ")
+                    + baseName(site.file) + ":"
+                    + std::to_string(site.line);
+            }
+            for (const auto &[key, site] : sites) {
+                out.push_back(
+                    {"WL-PUB-UNIQUE", site.file, site.line,
+                     site.entity, site.handle,
+                     "metric handle '" + site.handle
+                         + "' is published from "
+                         + std::to_string(sites.size()) + " sites ("
+                         + where
+                         + "); route all publishes through one "
+                           "helper"});
+            }
+        }
+    }
+};
+
+WBSIM_LINT_REGISTER_RULE(PubUniqueRule);
+
+} // namespace
